@@ -1,0 +1,64 @@
+"""Appendix A (Eq. 1) — the cost of doubling bitlines at halved width.
+
+Regenerates the 33 % SA extension and the ≈21 % B5 chip overhead, and
+sweeps the width/distance ratio.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.bitline_scaling import (
+    bitline_halving_extension,
+    m2_slack_factor,
+    sa_extension_eq1,
+)
+from repro.analog.bitline_parasitics import shrink_report
+from repro.core.chips import CHIPS
+from repro.core.report import percent, render_table
+
+
+def _rows():
+    rows = []
+    for chip_id in CHIPS:
+        result = bitline_halving_extension(chip_id)
+        rows.append(
+            [
+                chip_id,
+                percent(result["sa_extension"]),
+                percent(result["mat_plus_sa_fraction"]),
+                percent(result["chip_overhead"]),
+                f"{m2_slack_factor(chip_id):.0f}x",
+            ]
+        )
+    return rows
+
+
+def test_appendix_a(benchmark):
+    rows = benchmark(_rows)
+    sweep = {f"Bw/d={r:.1f}": sa_extension_eq1(r) for r in (1.0, 2.0, 3.0, 4.0)}
+    electrical = shrink_report()
+    emit(
+        "Appendix A / Eq. 1: bitline halving overhead",
+        render_table(
+            ["chip", "SA ext (Eq.1)", "MAT+SA frac", "chip overhead", "M2/M1 slack"],
+            rows,
+        )
+        + "\n\nextension sweep: "
+        + ", ".join(f"{k}: {v:.0%}" for k, v in sweep.items())
+        + "\n\nelectrical impact of the halved bitline (Appendix A): "
+        + f"R x{electrical['resistance_factor']:.1f}, "
+        + f"settling x{electrical['settling_factor']:.1f}, "
+        + f"crosstalk {electrical['crosstalk_before']:.0%} -> {electrical['crosstalk_after']:.0%}",
+    )
+    # Shrinking doubles R and slows settling — the electrical reasons the
+    # appendix gives for why vendors do not just shrink bitlines.
+    assert electrical["resistance_factor"] == pytest.approx(2.0)
+    assert electrical["settling_factor"] > 1.2
+    by_chip = {r[0]: r for r in rows}
+    # Eq. 1 at the paper's Bw ≈ 2d: 33 %.
+    assert sa_extension_eq1() == pytest.approx(1 / 3)
+    # B5: ≈21 % chip overhead.
+    b5_overhead = float(by_chip["B5"][3].rstrip("%")) / 100
+    assert b5_overhead == pytest.approx(0.21, abs=0.04)
+    # Only vendor A has the documented M2 slack.
+    assert by_chip["A4"][4] == "8x" and by_chip["C4"][4] == "0x"

@@ -1,0 +1,90 @@
+"""§VI-D at the command level — out-of-spec experiments per topology.
+
+Runs the same violated command traces against a classic-SA bank and an
+OCSA bank whose timings derive from the analog simulations, and reports
+where the outcomes diverge — the hazard the paper warns about.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.report import render_table
+from repro.dram import (
+    charge_sharing_window,
+    multi_row_activation_experiment,
+    truncated_activation_experiment,
+)
+from repro.dram.out_of_spec import divergence_sweep
+
+
+def test_dram_out_of_spec(benchmark):
+    results = benchmark.pedantic(divergence_sweep, rounds=1, iterations=1)
+    window = charge_sharing_window()
+
+    rows = [
+        [f"{r.parameter_ns:.1f} ns", r.classic_outcome, r.ocsa_outcome,
+         "DIVERGES" if r.diverges else ""]
+        for r in results
+    ]
+    emit(
+        "§VI-D: truncated activation (ACT→PRE) outcome per topology",
+        render_table(["ACT→PRE", "classic chip", "OCSA chip", ""], rows)
+        + f"\n\ncharge-sharing windows: classic ≥ {window['classic_min_t1_ns']:.1f} ns, "
+        f"OCSA ≥ {window['ocsa_min_t1_ns']:.1f} ns "
+        f"(hazard window: {window['hazard_window_ns']:.1f} ns)",
+    )
+
+    # Somewhere in the sweep the two chips disagree.
+    assert any(r.diverges for r in results)
+    # The OCSA charge-sharing window opens later.
+    assert window["hazard_window_ns"] > 1.0
+
+    # The ComputeDRAM-style multi-row trick: calibrated on a classic chip,
+    # it silently stops working on an OCSA chip.
+    t1 = (window["classic_min_t1_ns"] + window["ocsa_min_t1_ns"]) / 2
+    trick = multi_row_activation_experiment(t1)
+    assert trick.classic_outcome == "rows_shared"
+    assert trick.ocsa_outcome == "no_sharing"
+
+    # And a characterisation study that truncates activations mid-window
+    # reads corrupted cells on one vendor and pristine cells on another.
+    probe = truncated_activation_experiment(t1)
+    assert probe.classic_outcome == "corrupted"
+    assert probe.ocsa_outcome == "untouched"
+
+
+def test_in_dram_compute_portability(benchmark):
+    """AMBIT-style AND/OR via 3-row majority: calibrated once, run on all
+    six chips' topologies — works on the classic half, silently fails on
+    the OCSA half until recalibrated with HiFi-DRAM's timing data."""
+    from repro.circuits.topologies import SaTopology
+    from repro.core.chips import CHIPS
+    from repro.dram import Bank, in_dram_and
+
+    a = (1, 0, 1, 1, 0, 0, 1, 0)
+    b = (1, 1, 0, 1, 0, 1, 0, 0)
+
+    def run():
+        rows = []
+        for chip in CHIPS.values():
+            bank = Bank(topology=chip.topology)
+            naive = in_dram_and(bank, a, b)  # classic-calibrated t1
+            recal = in_dram_and(
+                Bank(topology=chip.topology), a, b,
+                t1_ns=bank.timings.t_charge_share * 1.5,
+            )
+            rows.append([chip.chip_id, chip.topology.value,
+                         "works" if naive.correct else "fails",
+                         "works" if recal.correct else "fails"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "In-DRAM AND on all six chips (classic-calibrated vs recalibrated)",
+        render_table(["chip", "topology", "naive calibration", "HiFi recalibration"], rows),
+    )
+    outcomes = {r[0]: (r[2], r[3]) for r in rows}
+    for chip_id in ("B4", "C4", "C5"):
+        assert outcomes[chip_id] == ("works", "works")
+    for chip_id in ("A4", "A5", "B5"):
+        assert outcomes[chip_id] == ("fails", "works")

@@ -1,0 +1,42 @@
+"""Fig 11 — measured pSA/nSA transistor sizes for all chips and REM.
+
+CROW is omitted "as severely out the range", as in the paper.
+"""
+
+from conftest import emit
+
+from repro.core.model_accuracy import fig11_series
+from repro.core.report import render_table
+
+
+def _rows():
+    rows = []
+    for name, entry in fig11_series().items():
+        for element, (w, w_spread, l, l_spread) in entry.items():
+            rows.append(
+                [
+                    name,
+                    element,
+                    f"{w:.1f} +/- {w_spread:.1f}",
+                    f"{l:.1f} +/- {l_spread:.1f}",
+                    f"{w / l:.2f}",
+                ]
+            )
+    return rows
+
+
+def test_fig11(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        "Fig 11: pSA/nSA dimensions (nm), all chips + REM (CROW omitted)",
+        render_table(["series", "element", "W (nm)", "L (nm)", "W/L"], rows),
+    )
+    assert len(rows) == 7 * 2  # six chips + REM, two elements each
+    by_series = {}
+    for r in rows:
+        by_series.setdefault(r[0], {})[r[1]] = float(r[2].split()[0])
+    # pSA narrower than nSA everywhere (the §V-A step-viii heuristic).
+    for series, elems in by_series.items():
+        assert elems["pSA"] < elems["nSA"], series
+    # DDR5 latch devices are smaller than same-vendor DDR4 ones.
+    assert by_series["A5"]["nSA"] < by_series["A4"]["nSA"]

@@ -1,0 +1,61 @@
+"""Fig 12 — average and maximum inaccuracies of REM and CROW.
+
+W/L ratios plus separate width and length errors, against DDR4 chips and
+(portability, "¥") DDR5 chips.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.model_accuracy import all_reports, worst_case_factor
+from repro.core.report import render_table
+
+
+def _rows():
+    rows = []
+    for report in all_reports():
+        for attr, label in (
+            ("wl_error", "W/L"),
+            ("width_error", "width"),
+            ("length_error", "length"),
+        ):
+            value, who = report.maximum(attr)
+            rows.append(
+                [
+                    report.model,
+                    report.generation,
+                    label,
+                    f"{report.average(attr) * 100:.0f}%",
+                    f"{value * 100:.0f}%",
+                    f"{who.chip_id}/{who.kind.value}",
+                ]
+            )
+    return rows
+
+
+def test_fig12(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        "Fig 12: model inaccuracies vs measured transistors",
+        render_table(["model", "gen", "metric", "avg", "max", "worst at"], rows)
+        + f"\n\nworst-case factor: {worst_case_factor():.1f}x (abstract: 'up to 9x')",
+    )
+    table = {(r[0], r[1], r[2]): (r[3], r[4], r[5]) for r in rows}
+
+    # CROW DDR4: avg W/L ≈ 236 %, max 562 % at C4's precharge.
+    avg, worst, who = table[("CROW", "DDR4", "W/L")]
+    assert float(avg.rstrip("%")) == pytest.approx(236, abs=35)
+    assert float(worst.rstrip("%")) == pytest.approx(562, abs=30)
+    assert who == "C4/precharge"
+    # CROW widths max ≈938 % at C4's precharge.
+    _avg, worst, who = table[("CROW", "DDR4", "width")]
+    assert float(worst.rstrip("%")) == pytest.approx(938, abs=30)
+    # REM lengths: avg ≈31 %, max ≈101 % at C4's equalizer.
+    avg, worst, who = table[("REM", "DDR4", "length")]
+    assert float(avg.rstrip("%")) == pytest.approx(31, abs=8)
+    assert float(worst.rstrip("%")) == pytest.approx(101, abs=10)
+    assert who == "C4/equalizer"
+    # CROW is the more inaccurate model on average.
+    assert float(table[("CROW", "DDR4", "W/L")][0].rstrip("%")) > float(
+        table[("REM", "DDR4", "W/L")][0].rstrip("%")
+    )

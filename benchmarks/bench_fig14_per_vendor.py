@@ -1,0 +1,47 @@
+"""Fig 14 — per-vendor/per-chip overhead variation for the <10x papers.
+
+Also checks the two observations the paper draws from the figure.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.overheads import (
+    fig14_breakdown,
+    observation1_charm_vendor_spread,
+    observation2_biggest_port_gain,
+)
+from repro.core.report import render_series
+
+
+def test_fig14(benchmark):
+    breakdown = benchmark(fig14_breakdown)
+    lines = [
+        render_series(title, per_chip, unit="x")
+        for title, per_chip in breakdown.items()
+    ]
+    obs1 = observation1_charm_vendor_spread()
+    obs2 = observation2_biggest_port_gain()
+    emit(
+        "Fig 14: per-chip overhead error / porting cost (papers <10x)",
+        "\n".join(lines)
+        + f"\n\nObservation 1: CHARM A-to-C DDR5 spread = {obs1:.2f}x"
+        + f"\nObservation 2: largest porting gain = {obs2[2]:.2f}x "
+        f"({obs2[0]} on {obs2[1]}; paper: -0.47x on A5)",
+    )
+
+    # The always-over-10x papers are omitted, as in the figure.
+    assert "CoolDRAM" not in breakdown
+    assert "AMBIT" not in breakdown
+    # The feasible proposals stay.
+    for title in ("CHARM", "R.B. DEC.", "Nov. DRAM", "PF-DRAM"):
+        assert title in breakdown
+
+    # Observation 2 reproduces exactly: R.B. DEC., chip A5, ≈ −0.47x.
+    assert obs2[0] == "R.B. DEC."
+    assert obs2[1] == "A5"
+    assert obs2[2] == pytest.approx(-0.47, abs=0.05)
+
+    # Observation 1: vendor-to-vendor variation exists for every paper.
+    for title, per_chip in breakdown.items():
+        assert max(per_chip.values()) - min(per_chip.values()) > 0.01, title

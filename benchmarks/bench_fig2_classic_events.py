@@ -1,0 +1,61 @@
+"""Fig 2c — classic SA events: charge sharing, latch & restore, precharge.
+
+Simulates a full activation/precharge cycle on the classic SA and reports
+the bitline trajectory at each event boundary.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analog import SenseAmpBench, SenseAmpConfig
+from repro.analog.events import classic_activation_timeline
+from repro.circuits.topologies import SaTopology
+from repro.core.report import render_table
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    bench = SenseAmpBench(SenseAmpConfig(topology=SaTopology.CLASSIC))
+    return bench.run(data=1, stop_after_restore=False)
+
+
+def _sample(outcome):
+    res = outcome.result
+    timeline = outcome.timeline
+    rows = []
+    for event in timeline.events:
+        t = min(event.end_ns - 0.2, res.time_ns[-1])
+        rows.append(
+            [
+                event.name,
+                f"{event.start_ns:.1f}-{event.end_ns:.1f} ns",
+                f"{res.at('BL', t):.3f} V",
+                f"{res.at('BLB', t):.3f} V",
+                f"{res.at('CELL', t):.3f} V",
+            ]
+        )
+    return rows
+
+
+def test_fig2_classic_events(benchmark, outcome):
+    rows = benchmark(_sample, outcome)
+    emit(
+        "Fig 2c: classic SA activation events (data=1)",
+        render_table(["event", "window", "BL", "BLB", "CELL"], rows),
+    )
+    timeline = outcome.timeline
+    res = outcome.result
+    vpre = outcome.config.vpre
+    vdd = outcome.config.vdd
+
+    # (1) charge sharing perturbs BL above Vpre but below full rail.
+    t_cs = timeline.event("charge_sharing").end_ns - 0.2
+    assert vpre + 0.02 < res.at("BL", t_cs) < vpre + 0.2
+    # (2) latching & restore drives full rails and recharges the cell.
+    t_res = timeline.event("latch_restore").end_ns - 0.2
+    assert res.at("BL", t_res) > 0.9 * vdd
+    assert res.at("CELL", t_res) > 0.9 * vdd
+    # (3) precharge & equalize returns both bitlines to Vpre.
+    t_pre = timeline.t_end_ns - 0.2
+    assert res.at("BL", t_pre) == pytest.approx(vpre, abs=0.08)
+    assert res.at("BLB", t_pre) == pytest.approx(vpre, abs=0.08)

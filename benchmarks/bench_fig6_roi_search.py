@@ -1,0 +1,47 @@
+"""Fig 6 — blind ROI identification.
+
+Runs the morphology-change search over a simulated MAT/SA/MAT chip strip
+and reports probe counts and machine time (paper: under 2 hours).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.imaging import identify_roi, voxelize
+from repro.layout import SaRegionSpec, generate_chip_layout
+from repro.core.report import render_table
+
+
+@pytest.fixture(scope="module")
+def chip_and_volume():
+    chip = generate_chip_layout(
+        SaRegionSpec(topology="ocsa", n_pairs=2), mat_rows=8, include_row_drivers=True
+    )
+    return chip, voxelize(chip, voxel_nm=8.0)
+
+
+def test_fig6_roi(benchmark, chip_and_volume):
+    chip, volume = chip_and_volume
+    result = benchmark(identify_roi, volume, 300.0)
+
+    offset = float(chip.annotations["region_offset_nm"])
+    width = float(chip.annotations["region_width_nm"])
+    rd_width = float(chip.annotations["row_driver_width_nm"])
+    rows = [
+        ["true SA region", f"{offset:.0f}..{offset + width:.0f} nm", f"{width:.0f} nm"],
+        ["row-driver strips (W1)", f"{rd_width:.0f} nm", "narrower logic"],
+        ["identified ROI (W2)", f"{result.roi[0]:.0f}..{result.roi[1]:.0f} nm",
+         f"{result.roi_width_nm:.0f} nm"],
+        ["logic spans found", str(len(result.logic_spans)), ""],
+        ["probe cross-sections", str(result.probe_count), ""],
+        ["estimated machine time", f"{result.estimated_hours:.2f} h", "< 2 h"],
+    ]
+    emit("Fig 6: blind ROI identification (W2 > W1 decision)",
+         render_table(["item", "value", "note"], rows))
+
+    # The widest logic span is the SA region, not a row-driver strip.
+    x0, x1 = result.roi
+    assert x0 < offset + width / 2 < x1
+    assert result.roi_width_nm > 2 * rd_width
+    assert result.estimated_hours < 2.0
+    assert result.roi_width_nm == pytest.approx(width, rel=0.35)

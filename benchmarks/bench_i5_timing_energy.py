@@ -1,0 +1,88 @@
+"""I5 quantified — what assuming the classic SA gets wrong on OCSA chips.
+
+§VI-B: not considering the OCSA affects "the timings of the new events as
+well as the reliability of analog simulations, impacting the performance,
+energy and power overheads of the affected operations".  This bench runs
+both topologies with the B5 chip's measured dimensions and reports the
+deltas a classic-only study would never see.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analog import SenseAmpBench, SenseAmpConfig
+from repro.analog.metrics import activation_comparison
+from repro.circuits.topologies import SaTopology
+from repro.core.hifi import sa_sizes_for
+from repro.core.report import render_table
+
+
+def _compare():
+    sizes = sa_sizes_for("B5")
+    classic = SenseAmpBench(
+        SenseAmpConfig(topology=SaTopology.CLASSIC, sizes=sizes)
+    ).run(data=1)
+    ocsa = SenseAmpBench(
+        SenseAmpConfig(topology=SaTopology.OCSA, sizes=sizes)
+    ).run(data=1)
+    return activation_comparison(classic, ocsa)
+
+
+def test_i5_timing_energy(benchmark):
+    cmp = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    sensing_delta = cmp["sensing_latency_ocsa_ns"] - cmp["sensing_latency_classic_ns"]
+    rows = [
+        ["sensing latency (ACT→80% rail)",
+         f"{cmp['sensing_latency_classic_ns']:.1f} ns",
+         f"{cmp['sensing_latency_ocsa_ns']:.1f} ns",
+         f"+{sensing_delta:.1f} ns"],
+        ["restore latency (ACT→cell 90%)",
+         f"{cmp['restore_latency_classic_ns']:.1f} ns",
+         f"{cmp['restore_latency_ocsa_ns']:.1f} ns",
+         f"+{cmp['restore_latency_ocsa_ns'] - cmp['restore_latency_classic_ns']:.1f} ns"],
+        ["switched energy",
+         f"{cmp['energy_classic_fj']:.0f} fJ",
+         f"{cmp['energy_ocsa_fj']:.0f} fJ",
+         f"{cmp['energy_ocsa_fj'] / cmp['energy_classic_fj']:.2f}x"],
+    ]
+    emit(
+        "I5 quantified: classic-SA assumptions vs B5's actual OCSA",
+        render_table(["metric", "classic assumption", "OCSA reality", "delta"], rows),
+    )
+    # The OCSA's extra events lengthen the activation; a classic-only
+    # study underestimates both latencies.
+    assert cmp["sensing_latency_ocsa_ns"] > cmp["sensing_latency_classic_ns"]
+    assert cmp["restore_latency_ocsa_ns"] > cmp["restore_latency_classic_ns"]
+    # And the internal nodes add switched capacitance.
+    assert cmp["energy_ocsa_fj"] > cmp["energy_classic_fj"] * 0.95
+
+
+def test_i5_request_throughput(benchmark):
+    """The request-level consequence: the same row-miss-heavy workload
+    finishes later under the OCSA-derived timings."""
+    from repro.circuits.topologies import SaTopology
+    from repro.dram import derive_timings, row_hit_stream, row_miss_stream, throughput_comparison
+
+    def run():
+        classic = derive_timings(SaTopology.CLASSIC)
+        ocsa = derive_timings(SaTopology.OCSA)
+        return (
+            throughput_comparison(row_miss_stream(32), classic, ocsa),
+            throughput_comparison(row_hit_stream(32), classic, ocsa),
+        )
+
+    misses, hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "I5 at request level: OCSA-derived timings vs classic-derived",
+        render_table(
+            ["workload", "classic total", "OCSA total", "slowdown"],
+            [
+                ["32 row misses", f"{misses['total_a_ns']:.0f} ns",
+                 f"{misses['total_b_ns']:.0f} ns", f"{misses['slowdown']:.2f}x"],
+                ["32 row hits", f"{hits['total_a_ns']:.0f} ns",
+                 f"{hits['total_b_ns']:.0f} ns", f"{hits['slowdown']:.2f}x"],
+            ],
+        ),
+    )
+    assert misses["slowdown"] > 1.15
+    assert hits["slowdown"] < misses["slowdown"]

@@ -1,0 +1,61 @@
+"""§VI-D — out-of-spec DRAM experiments meet OCSA chips.
+
+Two behaviours that break classic-SA assumptions:
+1. charge sharing is delayed until after the offset-cancellation phase;
+2. bitlines transiently connect to diode-connected transistors during the
+   OC phase, so they are not simply 'latched or precharged'.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analog import SenseAmpBench, SenseAmpConfig, charge_sharing_onset
+from repro.circuits.topologies import SaTopology
+from repro.core.report import render_table
+
+
+def _measure():
+    onset_classic = charge_sharing_onset(SaTopology.CLASSIC)
+    onset_ocsa = charge_sharing_onset(SaTopology.OCSA)
+
+    # Bitline disturbance before the wordline ever rises (OC phase).
+    bench = SenseAmpBench(SenseAmpConfig(topology=SaTopology.OCSA))
+    out = bench.run(data=1)
+    timeline = out.timeline
+    oc_end = timeline.event("offset_cancellation").end_ns
+    wl = timeline.event("charge_sharing").start_ns
+    pre_wl = out.result.time_ns < wl
+    bl_excursion = float(
+        np.max(np.abs(out.result.voltages["BL"][pre_wl] - out.config.vpre))
+    )
+
+    classic_bench = SenseAmpBench(SenseAmpConfig(topology=SaTopology.CLASSIC))
+    classic_out = classic_bench.run(data=1)
+    wl_c = classic_out.timeline.event("charge_sharing").start_ns
+    pre_wl_c = classic_out.result.time_ns < wl_c - 0.2
+    bl_excursion_classic = float(
+        np.max(np.abs(classic_out.result.voltages["BL"][pre_wl_c] - classic_out.config.vpre))
+    )
+    return onset_classic, onset_ocsa, bl_excursion, bl_excursion_classic, oc_end
+
+
+def test_out_of_spec_behaviour(benchmark):
+    onset_classic, onset_ocsa, exc_ocsa, exc_classic, oc_end = benchmark(_measure)
+    rows = [
+        ["charge-sharing onset (classic)", f"{onset_classic:.2f} ns", "at ACT + tWL"],
+        ["charge-sharing onset (OCSA)", f"{onset_ocsa:.2f} ns", "delayed past OC phase"],
+        ["pre-WL bitline excursion (classic)", f"{exc_classic * 1000:.1f} mV", "~0"],
+        ["pre-WL bitline excursion (OCSA)", f"{exc_ocsa * 1000:.1f} mV",
+         "diode connection during OC"],
+    ]
+    emit("§VI-D: out-of-spec experiment hazards on OCSA chips",
+         render_table(["behaviour", "measured", "interpretation"], rows))
+
+    # 1. Delay: an experiment timed for the classic onset misses the OCSA one.
+    assert onset_ocsa > onset_classic + 1.0
+    assert onset_ocsa > oc_end
+    # 2. The OCSA bitline moves measurably before the wordline; the classic
+    #    one does not.
+    assert exc_ocsa > 3 * exc_classic
+    assert exc_ocsa > 0.005

@@ -1,0 +1,63 @@
+"""Table II — research inaccuracies, overhead error and porting cost.
+
+Regenerates every row via the Appendix B formulas over the six-chip
+dataset and checks the headline factors.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.overheads import table2_rows
+from repro.core.report import render_table
+
+
+def _rows():
+    rows = []
+    for result in table2_rows():
+        p = result.paper
+        rows.append(
+            [
+                p.title,
+                ",".join(i.name[1] for i in p.inaccuracies),
+                result.error_str,
+                result.porting_str,
+                str(p.ddr),
+                f"'{p.venue_year % 100}",
+            ]
+        )
+    return rows
+
+
+def test_table2(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        "Table II: research inaccuracies, overhead error, portability cost",
+        render_table(["Research", "Inacc.", "Error", "Port. Cost", "DDR", "Yr."], rows),
+    )
+    by_title = {r[0]: r for r in rows}
+
+    # DDR3 papers have no applicable overhead error.
+    for title in ("CHARM", "R.B. DEC.", "AMBIT", "ELP2IM"):
+        assert by_title[title][2] == "N/A"
+
+    def err(title):
+        return float(by_title[title][2].rstrip("x"))
+
+    def port(title):
+        return float(by_title[title][3].rstrip("x"))
+
+    # Headline factors (paper values in comments).
+    assert err("DrACC") == pytest.approx(35, rel=0.15)        # 35x
+    assert err("GraphiDe") == pytest.approx(54, rel=0.15)     # 54x
+    assert err("In-Mem.Lowcost.") == pytest.approx(70, rel=0.15)  # 70x
+    assert err("CLR-DRAM") == pytest.approx(22, rel=0.15)     # 22x
+    assert err("SIMDRAM") == pytest.approx(70, rel=0.15)      # 70x
+    assert err("REGA") == pytest.approx(8, rel=0.25)          # 8x
+    assert err("CoolDRAM") == pytest.approx(175, rel=0.1)     # 175x
+    assert err("Nov. DRAM") < 1.0                             # 0.49x
+    assert err("PF-DRAM") < 1.0                               # 0.35x
+    # Porting costs keep the paper's sign structure.
+    assert port("AMBIT") > 20                                 # 68x
+    assert port("ELP2IM") > 20                                # 90x
+    assert port("R.B. DEC.") < 0                              # -0.25x
+    assert port("CHARM") > 0                                  # 0.29x

@@ -1,0 +1,31 @@
+"""Shared helpers for the per-table/figure benchmarks.
+
+Every bench regenerates the rows/series of one paper artefact (printed via
+``report_lines``) and asserts the headline *shape* so the harness doubles
+as a regression gate.  Run with ``pytest benchmarks/ --benchmark-only``;
+add ``-s`` to see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artefact with a recognisable banner."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def ocsa_region_small():
+    from repro.layout import SaRegionSpec, generate_sa_region
+
+    return generate_sa_region(SaRegionSpec(name="bench_ocsa", topology="ocsa", n_pairs=2))
+
+
+@pytest.fixture(scope="session")
+def classic_region_small():
+    from repro.layout import SaRegionSpec, generate_sa_region
+
+    return generate_sa_region(SaRegionSpec(name="bench_classic", topology="classic", n_pairs=2))

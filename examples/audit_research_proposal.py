@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Audit a new DRAM proposal before writing the paper (§VI-E).
+
+Describes a hypothetical PIM proposal ("add one extra bitline per MAT and
+a per-SA equalizer control"), runs it through the recommendation engine
+(R1-R4), and prices the real overhead on every studied chip the way
+Appendix B prices the 13 published papers.
+
+Run:  python examples/audit_research_proposal.py
+"""
+
+from repro.circuits.topologies import SaTopology
+from repro.core.chips import CHIPS
+from repro.core.recommendations import ProposalDescription, audit_proposal
+from repro.core.report import percent, render_table
+
+
+def price_extra_bitlines() -> list[list[str]]:
+    """An extra-bitline proposal pays the I1/I2 price: MAT + SA doubling."""
+    rows = []
+    for c in CHIPS.values():
+        overhead = c.mat_plus_sa_fraction
+        rows.append([c.chip_id, percent(c.mat_area_fraction),
+                     percent(c.sa_area_fraction), percent(overhead)])
+    return rows
+
+
+def main() -> None:
+    proposal = ProposalDescription(
+        name="BitlinePIM-2026",
+        adds_bitlines_in_mat=True,
+        adds_bitlines_in_sa=True,
+        assumes_independent_control_gates=True,  # per-SA equalizer control
+        evaluated_topologies=(SaTopology.CLASSIC,),
+    )
+
+    print(f"Auditing proposal: {proposal.name}\n")
+    result = audit_proposal(proposal)
+
+    print("Triggered inaccuracies:")
+    for inc in result.inaccuracies:
+        print(f"  {inc.name}: {inc.value}")
+
+    print("\nViolated recommendations:")
+    for rec in result.violated:
+        print(f"  {rec.key}: {rec.text}")
+        print(f"       why: {rec.rationale}")
+
+    print("\nAnalyst notes:")
+    for note in result.notes:
+        print(f"  - {note}")
+
+    print("\nReal area price of the extra bitlines (Appendix B, I1+I2):")
+    print(render_table(["chip", "MAT ext.", "SA ext.", "total overhead"],
+                       price_extra_bitlines()))
+
+    print("\nVerdict:", "clean" if result.clean else
+          "revise before submission — the overhead story will not survive "
+          "contact with commodity silicon.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Pick analog simulation dimensions with open data (§VI-A).
+
+A researcher about to run SPICE on a sense amplifier must choose
+transistor dimensions.  This example compares the two public models (CROW,
+REM) against every measured chip, reports the error they would bake into
+a simulation, and prints the per-chip measured dimensions to use instead.
+
+Run:  python examples/choose_simulation_model.py
+"""
+
+from repro.core.chips import CHIPS
+from repro.core.model_accuracy import model_accuracy_report, worst_case_factor
+from repro.core.models import public_models
+from repro.core.report import render_table
+from repro.layout.elements import TransistorKind
+
+ELEMENTS = (
+    TransistorKind.NSA,
+    TransistorKind.PSA,
+    TransistorKind.PRECHARGE,
+    TransistorKind.EQUALIZER,
+    TransistorKind.COLUMN,
+    TransistorKind.ISOLATION,
+    TransistorKind.OFFSET_CANCEL,
+)
+
+
+def model_report() -> None:
+    print("== How wrong would a public model make my simulation? ==\n")
+    rows = []
+    for model in public_models().values():
+        for generation in ("DDR4", "DDR5"):
+            report = model_accuracy_report(model, generation)
+            wl_max, who = report.maximum("wl_error")
+            rows.append([
+                model.name, generation,
+                f"{report.average('wl_error'):.0%}",
+                f"{wl_max:.0%} ({who.chip_id} {who.kind.value})",
+            ])
+    print(render_table(["model", "vs", "avg W/L error", "worst W/L error"], rows))
+    print(f"\nWorst single-dimension deviation: {worst_case_factor():.1f}x "
+          "('up to 9x inaccurate').\n")
+
+
+def measured_dimensions() -> None:
+    print("== Use the measured dimensions instead ==\n")
+    header = ["chip"] + [k.value for k in ELEMENTS]
+    rows = []
+    for c in CHIPS.values():
+        row = [c.chip_id]
+        for kind in ELEMENTS:
+            if c.has(kind):
+                rec = c.transistor(kind)
+                row.append(f"{rec.w:.0f}/{rec.l:.0f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    print(render_table(header, rows))
+    print("\n(W/L in nm; '-' = the element does not exist on that chip's "
+          "topology. A4/A5/B5 need the OCSA netlist: repro.circuits.build_ocsa.)")
+
+
+def main() -> None:
+    model_report()
+    measured_dimensions()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+
+* ``summary`` (default) — the dataset and the audit at a glance;
+* ``chips`` — Table I with derived geometry;
+* ``audit`` — Table II (overhead errors and porting costs);
+* ``models`` — Fig 12 model-inaccuracy statistics;
+* ``spice <CHIP>`` — the SPICE card of one chip's reverse-engineered SA;
+* ``bundle <DIR>`` — write the open-source data bundle to a directory.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.chips import CHIPS, total_measurement_count
+from repro.core.hifi import spice_card
+from repro.core.model_accuracy import all_reports, worst_case_factor
+from repro.core.overheads import table2_rows
+from repro.core.report import percent, render_table
+
+
+def cmd_chips() -> None:
+    rows = [
+        [
+            c.chip_id, c.vendor, c.generation, f"{c.storage_gbit}Gb", str(c.year),
+            f"{c.die_area_mm2:.0f}mm^2", c.detector, c.topology.value,
+            percent(c.mat_area_fraction), f"{c.sa_height_um():.1f}um",
+        ]
+        for c in CHIPS.values()
+    ]
+    print(render_table(
+        ["ID", "Vendor", "Gen", "Size", "Year", "Die", "Det.", "Topology",
+         "MAT frac", "SA height"],
+        rows, title="Studied chips (Table I + derived)",
+    ))
+    print(f"\ntotal size measurements: {total_measurement_count()}")
+
+
+def cmd_audit() -> None:
+    rows = [
+        [r.paper.title, ",".join(i.name for i in r.paper.inaccuracies),
+         r.error_str, r.porting_str]
+        for r in table2_rows()
+    ]
+    print(render_table(
+        ["Research", "Inaccuracies", "Overhead error", "Porting cost"],
+        rows, title="Research audit (Table II)",
+    ))
+
+
+def cmd_models() -> None:
+    rows = []
+    for report in all_reports():
+        value, who = report.maximum("wl_error")
+        rows.append([
+            report.model, report.generation,
+            percent(report.average("wl_error")),
+            f"{percent(value)} ({who.chip_id} {who.kind.value})",
+        ])
+    print(render_table(
+        ["Model", "vs", "avg W/L error", "worst W/L error"],
+        rows, title="Public model inaccuracies (Fig 12)",
+    ))
+    print(f"\nworst single-dimension deviation: {worst_case_factor():.1f}x")
+
+
+def cmd_summary() -> None:
+    cmd_chips()
+    print()
+    cmd_models()
+    print()
+    cmd_audit()
+
+
+def cmd_spice(chip_id: str) -> None:
+    print(spice_card(chip_id))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args[0] if args else "summary"
+    if command == "summary":
+        cmd_summary()
+    elif command == "chips":
+        cmd_chips()
+    elif command == "audit":
+        cmd_audit()
+    elif command == "models":
+        cmd_models()
+    elif command == "spice":
+        if len(args) < 2:
+            print("usage: python -m repro spice <CHIP_ID>", file=sys.stderr)
+            return 2
+        cmd_spice(args[1].upper())
+    elif command == "bundle":
+        if len(args) < 2:
+            print("usage: python -m repro bundle <TARGET_DIR>", file=sys.stderr)
+            return 2
+        from repro.core.bundle import write_bundle
+
+        manifest = write_bundle(args[1])
+        print(f"bundle written: {len(manifest['chips'])} chips, "
+              f"{len(manifest['tables'])} tables -> {args[1]}")
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

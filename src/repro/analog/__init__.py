@@ -1,0 +1,80 @@
+"""Analog simulation substrate.
+
+The paper's §VI-A argues that analog simulations of DRAM SAs are only as
+good as the transistor dimensions and topology they assume.  This package
+provides the simulator those arguments need:
+
+* :mod:`repro.analog.devices` — square-law MOSFET model and passives;
+* :mod:`repro.analog.solver` — modified-nodal-analysis transient solver
+  (Newton iteration + backward Euler companion models);
+* :mod:`repro.analog.events` — DDR activation/precharge control sequences
+  for the classic SA (Fig 2c) and the OCSA (Fig 9b);
+* :mod:`repro.analog.sense_amp` — end-to-end testbenches: charge sharing,
+  offset cancellation, pre-sensing, latch & restore, sense-margin sweeps.
+"""
+
+from repro.analog.devices import MosModel, NMOS_DEFAULT, PMOS_DEFAULT
+from repro.analog.solver import TransientResult, TransientSolver, Waveform
+from repro.analog.events import (
+    EventTimeline,
+    classic_activation_timeline,
+    ocsa_activation_timeline,
+)
+from repro.analog.metrics import (
+    activation_comparison,
+    restore_latency_ns,
+    sensing_latency_ns,
+    switched_energy_fj,
+)
+from repro.analog.bitline_parasitics import (
+    BitlineGeometry,
+    crosstalk_ratio,
+    settling_time_ns,
+    shrink_report,
+)
+from repro.analog.montecarlo import (
+    YieldResult,
+    model_optimism,
+    sensing_yield,
+    yield_curve,
+)
+from repro.analog.sense_amp import (
+    SenseAmpBench,
+    SenseAmpConfig,
+    ActivationOutcome,
+    simulate_activation,
+    offset_tolerance,
+    worst_case_offset_tolerance,
+    charge_sharing_onset,
+)
+
+__all__ = [
+    "MosModel",
+    "NMOS_DEFAULT",
+    "PMOS_DEFAULT",
+    "TransientResult",
+    "TransientSolver",
+    "Waveform",
+    "EventTimeline",
+    "classic_activation_timeline",
+    "ocsa_activation_timeline",
+    "SenseAmpBench",
+    "SenseAmpConfig",
+    "ActivationOutcome",
+    "simulate_activation",
+    "offset_tolerance",
+    "worst_case_offset_tolerance",
+    "charge_sharing_onset",
+    "activation_comparison",
+    "restore_latency_ns",
+    "sensing_latency_ns",
+    "switched_energy_fj",
+    "YieldResult",
+    "model_optimism",
+    "sensing_yield",
+    "yield_curve",
+    "BitlineGeometry",
+    "crosstalk_ratio",
+    "settling_time_ns",
+    "shrink_report",
+]

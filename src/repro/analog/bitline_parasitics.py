@@ -1,0 +1,157 @@
+"""Bitline parasitics: the electrical impact of changing bitlines.
+
+Appendix A argues that even where shrinking bitlines is manufacturable it
+is electrically costly: "shrinking wires increases their electrical
+resistance (R) ... making wires closer increases crosstalk", slowing
+precharge/charge-sharing/latching and risking read failures.  This module
+puts numbers on that argument with a distributed-RC wire model:
+
+* resistance from the drawn cross-section (with a barrier-inflated
+  effective resistivity, as appropriate below ~50 nm line widths);
+* ground and neighbour-coupling capacitance from parallel-plate + fringe
+  terms;
+* the derived figures the SA cares about: precharge settling time, the
+  crosstalk coupling ratio, and the charge-sharing transfer ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import AnalogError
+
+#: Vacuum permittivity (F/m).
+EPS0 = 8.854e-12
+#: Inter-layer dielectric relative permittivity.
+EPS_R = 3.9
+#: Effective copper resistivity at DRAM bitline dimensions (Ω·m):
+#: several times the bulk 1.7e-8 due to barrier layers and surface
+#: scattering at sub-50 nm line widths.
+RHO_EFF = 5.5e-8
+#: Distributed-RC settling coefficient (Elmore, to ~90 %).
+ELMORE = 0.38
+#: Dielectric height below the bitline layer (nm).
+DIELECTRIC_HEIGHT_NM = 60.0
+#: Fringe capacitance per unit length, as a fraction of the plate term.
+FRINGE_FACTOR = 0.35
+#: Junction/contact capacitance each attached cell adds to the bitline (F):
+#: the dominant loading term on real DRAM bitlines.
+CELL_JUNCTION_F = 6e-17
+#: Wordline pitch (3F) used to count attached cells along the run (nm).
+WORDLINE_PITCH_NM = 54.0
+
+
+@dataclass(frozen=True)
+class BitlineGeometry:
+    """Drawn geometry of one bitline and its environment (nm / µm)."""
+
+    width_nm: float = 18.0
+    spacing_nm: float = 18.0
+    thickness_nm: float = 40.0
+    length_um: float = 40.0  #: a MAT-height-ish run
+
+    def __post_init__(self) -> None:
+        if min(self.width_nm, self.spacing_nm, self.thickness_nm, self.length_um) <= 0:
+            raise AnalogError("bitline geometry must be positive")
+
+    def shrunk(self, width_factor: float, spacing_factor: float | None = None) -> "BitlineGeometry":
+        """Scaled copy (the Appendix A what-if)."""
+        return replace(
+            self,
+            width_nm=self.width_nm * width_factor,
+            spacing_nm=self.spacing_nm * (
+                spacing_factor if spacing_factor is not None else 1.0
+            ),
+        )
+
+
+def resistance_ohm(geometry: BitlineGeometry) -> float:
+    """End-to-end wire resistance."""
+    area_m2 = (geometry.width_nm * 1e-9) * (geometry.thickness_nm * 1e-9)
+    return RHO_EFF * (geometry.length_um * 1e-6) / area_m2
+
+
+def ground_capacitance_f(geometry: BitlineGeometry) -> float:
+    """Capacitance to the layers below (plate + fringe)."""
+    plate = (
+        EPS0 * EPS_R
+        * (geometry.width_nm * 1e-9)
+        * (geometry.length_um * 1e-6)
+        / (DIELECTRIC_HEIGHT_NM * 1e-9)
+    )
+    return plate * (1.0 + FRINGE_FACTOR)
+
+
+def coupling_capacitance_f(geometry: BitlineGeometry) -> float:
+    """Sidewall capacitance to ONE neighbouring bitline."""
+    return (
+        EPS0 * EPS_R
+        * (geometry.thickness_nm * 1e-9)
+        * (geometry.length_um * 1e-6)
+        / (geometry.spacing_nm * 1e-9)
+    )
+
+
+def cell_loading_f(geometry: BitlineGeometry) -> float:
+    """Junction loading of the attached cells (interleaved: every other
+    wordline's cell lands on this bitline)."""
+    cells = geometry.length_um * 1000.0 / WORDLINE_PITCH_NM / 2.0
+    return cells * CELL_JUNCTION_F
+
+
+def total_capacitance_f(geometry: BitlineGeometry) -> float:
+    """Ground + both neighbours + attached-cell junctions."""
+    return (
+        ground_capacitance_f(geometry)
+        + 2.0 * coupling_capacitance_f(geometry)
+        + cell_loading_f(geometry)
+    )
+
+
+def crosstalk_ratio(geometry: BitlineGeometry) -> float:
+    """Fraction of a full neighbour swing coupled onto this bitline.
+
+    The "particularly well known problem in DRAM" of Appendix A: a victim
+    at the sensing moment sees ``Cc/(Cc + Cg + Cc)`` of each aggressor's
+    swing.
+    """
+    cc = coupling_capacitance_f(geometry)
+    return cc / (2.0 * cc + ground_capacitance_f(geometry) + cell_loading_f(geometry))
+
+
+def settling_time_ns(geometry: BitlineGeometry) -> float:
+    """Distributed-RC settling time (precharge / equalize / restore)."""
+    return ELMORE * resistance_ohm(geometry) * total_capacitance_f(geometry) * 1e9
+
+
+def transfer_ratio(geometry: BitlineGeometry, cell_cap_f: float = 18e-15) -> float:
+    """Charge-sharing transfer ratio with this bitline's capacitance."""
+    cbl = total_capacitance_f(geometry)
+    return cell_cap_f / (cell_cap_f + cbl)
+
+
+def shrink_report(
+    geometry: BitlineGeometry | None = None,
+    width_factor: float = 0.5,
+    spacing_factor: float = 1.0,
+) -> dict[str, float]:
+    """The Appendix A what-if: halve the bitline width, keep the distance.
+
+    Returns before/after resistance, settling time, crosstalk and signal
+    transfer — every electrical quantity the appendix says must not be
+    ignored by papers that add bitlines.
+    """
+    before = geometry or BitlineGeometry()
+    after = before.shrunk(width_factor, spacing_factor)
+    return {
+        "resistance_before_ohm": resistance_ohm(before),
+        "resistance_after_ohm": resistance_ohm(after),
+        "resistance_factor": resistance_ohm(after) / resistance_ohm(before),
+        "settling_before_ns": settling_time_ns(before),
+        "settling_after_ns": settling_time_ns(after),
+        "settling_factor": settling_time_ns(after) / settling_time_ns(before),
+        "crosstalk_before": crosstalk_ratio(before),
+        "crosstalk_after": crosstalk_ratio(after),
+        "transfer_before": transfer_ratio(before),
+        "transfer_after": transfer_ratio(after),
+    }

@@ -1,0 +1,121 @@
+"""Device models for the MNA solver.
+
+MOSFETs use the level-1 square-law model with channel-length modulation.
+That is deliberately simple — the goal is not SPICE-grade accuracy but a
+model in which **W/L matters**, because the paper's model-accuracy argument
+(§VI-A) is entirely about W/L ratios: "higher width-to-length ratios
+correspond to more optimistic simulations".
+
+All voltages in volts, currents in amperes, lengths in nm (W/L is a ratio,
+so the unit cancels), capacitance in farads.
+
+The solver linearises devices by finite differences around the current
+Newton guess, so the only thing a model must provide is a smooth(ish)
+current function; :func:`mos_current` is that function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Sub-threshold leak conductance (S): keeps cut-off devices numerically
+#: visible so Newton never sees a floating node through a stack of
+#: cut-off transistors.
+GLEAK = 1e-12
+
+#: Finite-difference step (V) used for device linearisation.
+FD_STEP = 1e-6
+
+
+@dataclass(frozen=True)
+class MosModel:
+    """Square-law MOSFET parameters.
+
+    ``kp`` is the process transconductance (A/V²), ``vt`` the threshold
+    voltage magnitude (V, positive for both channels), ``lam`` the
+    channel-length-modulation coefficient (1/V).
+    """
+
+    channel: str  # "nmos" | "pmos"
+    kp: float
+    vt: float
+    lam: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.channel not in ("nmos", "pmos"):
+            raise ValueError(f"bad channel {self.channel!r}")
+
+    def with_vt_shift(self, delta: float) -> "MosModel":
+        """Return a copy with the threshold shifted by *delta* volts.
+
+        Sense-amplifier offset is dominated by Vt mismatch between the two
+        latch devices; the sense-margin analysis sweeps this shift.
+        """
+        return replace(self, vt=self.vt + delta)
+
+
+#: DRAM-array NMOS at a generic modern node.
+NMOS_DEFAULT = MosModel(channel="nmos", kp=220e-6, vt=0.45)
+#: DRAM-array PMOS (weaker, as usual).
+PMOS_DEFAULT = MosModel(channel="pmos", kp=110e-6, vt=0.45)
+
+
+def _nmos_forward(kp: float, vt: float, lam: float, wl: float, vgs: float, vds: float) -> float:
+    """NMOS current with vds >= 0."""
+    vov = vgs - vt
+    if vov <= 0.0:
+        return GLEAK * vds
+    if vds < vov:
+        return kp * wl * (vov * vds - 0.5 * vds * vds) * (1.0 + lam * vds) + GLEAK * vds
+    return 0.5 * kp * wl * vov * vov * (1.0 + lam * vds) + GLEAK * vds
+
+
+def mos_current(model: MosModel, w_over_l: float, vg: float, vd: float, vs: float) -> float:
+    """Drain-to-source current of a MOSFET at the given terminal voltages.
+
+    The device is treated symmetrically: when the nominal drain sits below
+    the nominal source (NMOS frame), the terminals swap roles and the
+    current sign flips.  This matters for pass transistors (column, ISO,
+    OC) whose conduction direction reverses between events.
+    """
+    if model.channel == "pmos":
+        # A PMOS is an NMOS in a mirrored voltage frame with mirrored
+        # current direction.
+        return -mos_current(
+            MosModel("nmos", model.kp, model.vt, model.lam), w_over_l, -vg, -vd, -vs
+        )
+
+    if vd >= vs:
+        return _nmos_forward(model.kp, model.vt, model.lam, w_over_l, vg - vs, vd - vs)
+    # Swapped frame: terminal at vd acts as source.
+    return -_nmos_forward(model.kp, model.vt, model.lam, w_over_l, vg - vd, vs - vd)
+
+
+def mos_ids(
+    model: MosModel, w_over_l: float, vg: float, vd: float, vs: float
+) -> tuple[float, float, float]:
+    """Current plus finite-difference ``(ids, gm, gds)`` around a bias point.
+
+    Provided for analysis/tests; the transient solver computes its own
+    finite differences against all three terminals.
+    """
+    ids = mos_current(model, w_over_l, vg, vd, vs)
+    gm = (mos_current(model, w_over_l, vg + FD_STEP, vd, vs) - ids) / FD_STEP
+    gds = (mos_current(model, w_over_l, vg, vd + FD_STEP, vs) - ids) / FD_STEP
+    return ids, gm, gds
+
+
+def mos_operating_region(
+    model: MosModel, vg: float, vd: float, vs: float
+) -> str:
+    """Classify the operating region ('cutoff' | 'triode' | 'saturation')."""
+    if model.channel == "pmos":
+        vg, vd, vs = -vg, -vd, -vs
+    if vd < vs:
+        vd, vs = vs, vd
+    vov = vg - vs - model.vt
+    if vov <= 0:
+        return "cutoff"
+    if vd - vs < vov:
+        return "triode"
+    return "saturation"

@@ -1,0 +1,212 @@
+"""Control-event sequences for sense-amplifier operations.
+
+Fig 2c (classic) and Fig 9b (OCSA) describe *events*: named intervals during
+a row activation/precharge in which specific control lines move.  This
+module turns those figures into :class:`EventTimeline` objects — an ordered
+set of events plus the piecewise-linear waveforms for every control source.
+
+The OCSA adds two events to the classic activation (§V-A):
+
+* **offset cancellation** *before* charge sharing — with the bitlines
+  floating, the OC diodes let each latch device imprint its strength on its
+  bitline, pre-biasing the comparison against the device mismatch;
+* **pre-sensing** *before* restore — the latch amplifies onto the internal
+  nodes without the bitline load and without recharging the capacitor
+  (ISO still off).
+
+§VI-D consequences are visible directly in these timelines: charge sharing
+is *delayed* in OCSA chips (it waits for the offset-cancellation phase), and
+bitlines transiently connect to diode-connected transistors — the two
+behaviours that break out-of-spec experiments designed for classic SAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analog.solver import Waveform
+from repro.circuits.topologies import SaTopology
+
+
+@dataclass(frozen=True)
+class Event:
+    """A named interval within an operation."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        """Event length."""
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class EventTimeline:
+    """Events plus the control waveforms that realise them."""
+
+    topology: SaTopology
+    events: list[Event]
+    waveforms: dict[str, Waveform]
+    vdd: float
+    vpre: float
+    vpp: float
+    t_end_ns: float
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def event(self, name: str) -> Event:
+        """Look up an event by name."""
+        for ev in self.events:
+            if ev.name == name:
+                return ev
+        raise KeyError(f"no event named {name!r} in {self.topology.value} timeline")
+
+    def has_event(self, name: str) -> bool:
+        """True if the timeline contains *name*."""
+        return any(ev.name == name for ev in self.events)
+
+    def charge_sharing_start(self) -> float:
+        """When the wordline opens — delayed on OCSA chips (§VI-D)."""
+        return self.event("charge_sharing").start_ns
+
+
+def _ramp(t: float, v_from: float, v_to: float, rise: float = 0.3) -> tuple[tuple[float, float], ...]:
+    return ((t, v_from), (t + rise, v_to))
+
+
+def classic_activation_timeline(
+    vdd: float = 1.1,
+    vpre: float | None = None,
+    vpp: float = 2.4,
+    t_wl_ns: float = 2.0,
+    t_latch_ns: float = 5.0,
+    t_restore_end_ns: float = 16.0,
+    t_precharge_ns: float = 18.0,
+    t_end_ns: float = 24.0,
+) -> EventTimeline:
+    """The classic activation/precharge of Fig 2c.
+
+    Events: (1) charge sharing at wordline rise, (2) latching & restore at
+    LA/LAB enable, (3) precharge & equalize at PEQ rise after the wordline
+    closes.  Control sources produced: ``WL``, ``PEQ``, ``LA``, ``LAB``
+    (plus DC ``VPRE``).
+    """
+    vpre = vdd / 2 if vpre is None else vpre
+    waveforms = {
+        "WL": Waveform(
+            _ramp(t_wl_ns, 0.0, vpp) + _ramp(t_precharge_ns - 1.0, vpp, 0.0)
+        ),
+        "PEQ": Waveform(
+            _ramp(0.8, vpp, 0.0) + _ramp(t_precharge_ns, 0.0, vpp)
+        ),
+        "LA": Waveform(
+            _ramp(t_latch_ns, vpre, vdd) + _ramp(t_precharge_ns, vdd, vpre)
+        ),
+        "LAB": Waveform(
+            _ramp(t_latch_ns, vpre, 0.0) + _ramp(t_precharge_ns, 0.0, vpre)
+        ),
+        "VPRE": Waveform.constant(vpre),
+    }
+    events = [
+        Event("charge_sharing", t_wl_ns, t_latch_ns),
+        Event("latch_restore", t_latch_ns, t_restore_end_ns),
+        Event("precharge_equalize", t_precharge_ns, t_end_ns),
+    ]
+    return EventTimeline(
+        topology=SaTopology.CLASSIC,
+        events=events,
+        waveforms=waveforms,
+        vdd=vdd,
+        vpre=vpre,
+        vpp=vpp,
+        t_end_ns=t_end_ns,
+        notes={"figure": "Fig 2c"},
+    )
+
+
+def ocsa_activation_timeline(
+    vdd: float = 1.1,
+    vpre: float | None = None,
+    vpp: float = 2.4,
+    t_oc_start_ns: float = 1.0,
+    t_oc_end_ns: float = 4.0,
+    t_wl_ns: float = 5.0,
+    t_presense_ns: float = 8.0,
+    t_iso_restore_ns: float = 10.5,
+    t_restore_end_ns: float = 20.0,
+    t_precharge_ns: float = 22.0,
+    t_end_ns: float = 28.0,
+    oc_bias: float = 0.5,
+) -> EventTimeline:
+    """The OCSA activation of Fig 9b.
+
+    Events: (1) offset cancellation — bitlines released, OC diodes on, the
+    n-latch tail (LAB) partially pulled so each latch device imprints its
+    strength on its bitline; (2) charge sharing — *delayed* relative to the
+    classic design; (3) pre-sensing — LA/LAB full swing while ISO is still
+    off, latching the internal nodes without bitline load; (4) restore —
+    ISO on, bitlines and cell driven to full levels; (5) precharge —
+    PRE plus the ISO∧OC equalisation path (no dedicated equalizer exists).
+
+    ``oc_bias`` is how far below Vpre the LAB tail is pulled during offset
+    cancellation; it scales the imprinted compensation.
+    """
+    vpre = vdd / 2 if vpre is None else vpre
+    lab_oc = max(0.0, vpre - oc_bias)
+    waveforms = {
+        "WL": Waveform(
+            _ramp(t_wl_ns, 0.0, vpp) + _ramp(t_precharge_ns - 1.0, vpp, 0.0)
+        ),
+        "PRE": Waveform(
+            _ramp(t_oc_start_ns - 0.5, vpp, 0.0) + _ramp(t_precharge_ns, 0.0, vpp)
+        ),
+        "ISO": Waveform(
+            _ramp(t_oc_start_ns - 0.5, vpp, 0.0) + _ramp(t_iso_restore_ns, 0.0, vpp)
+        ),
+        "OC": Waveform(
+            _ramp(t_oc_start_ns, 0.0, vpp)
+            + _ramp(t_oc_end_ns, vpp, 0.0)
+            + _ramp(t_precharge_ns, 0.0, vpp)
+        ),
+        "LA": Waveform(
+            _ramp(t_presense_ns, vpre, vdd) + _ramp(t_precharge_ns, vdd, vpre)
+        ),
+        "LAB": Waveform(
+            _ramp(t_oc_start_ns, vpre, lab_oc)
+            + _ramp(t_oc_end_ns, lab_oc, vpre)
+            + _ramp(t_presense_ns, vpre, 0.0)
+            + _ramp(t_precharge_ns, 0.0, vpre)
+        ),
+        "VPRE": Waveform.constant(vpre),
+    }
+    events = [
+        Event("offset_cancellation", t_oc_start_ns, t_oc_end_ns),
+        Event("charge_sharing", t_wl_ns, t_presense_ns),
+        Event("pre_sensing", t_presense_ns, t_iso_restore_ns),
+        Event("latch_restore", t_iso_restore_ns, t_restore_end_ns),
+        Event("precharge_equalize", t_precharge_ns, t_end_ns),
+    ]
+    return EventTimeline(
+        topology=SaTopology.OCSA,
+        events=events,
+        waveforms=waveforms,
+        vdd=vdd,
+        vpre=vpre,
+        vpp=vpp,
+        t_end_ns=t_end_ns,
+        notes={
+            "figure": "Fig 9b",
+            "charge_sharing_delay": (
+                "charge sharing waits for the offset-cancellation phase "
+                "(§VI-D: breaks experiments assuming immediate sharing)"
+            ),
+        },
+    )
+
+
+def timeline_for(topology: SaTopology, **kwargs) -> EventTimeline:
+    """Dispatch to the right builder for *topology*."""
+    if topology is SaTopology.CLASSIC:
+        return classic_activation_timeline(**kwargs)
+    return ocsa_activation_timeline(**kwargs)

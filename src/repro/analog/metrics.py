@@ -1,0 +1,88 @@
+"""Timing and energy metrics over activation simulations.
+
+§VI-B's inaccuracy I5 notes that ignoring the OCSA "impacts the ...
+timings of the new events as well as the reliability of analog
+simulations, impacting the performance, energy and power overheads of the
+affected operations".  These helpers quantify exactly that, on top of
+:class:`~repro.analog.sense_amp.ActivationOutcome`:
+
+* :func:`sensing_latency_ns` — ACT → bitlines separated to a fraction of
+  Vdd (a tRCD-like figure);
+* :func:`restore_latency_ns` — ACT → cell recharged (a tRAS-like figure);
+* :func:`switched_energy_fj` — CV² switching energy over the activation.
+"""
+
+from __future__ import annotations
+
+from repro.analog.sense_amp import ActivationOutcome
+from repro.circuits.netlist import DeviceType
+from repro.errors import AnalogError
+
+
+def sensing_latency_ns(outcome: ActivationOutcome, fraction: float = 0.8) -> float:
+    """Time from wordline rise until |BL − BLB| reaches *fraction*·Vdd."""
+    if not 0.0 < fraction < 1.0:
+        raise AnalogError("fraction must be in (0, 1)")
+    res = outcome.result
+    target = fraction * outcome.config.vdd
+    t_act = outcome.timeline.event("charge_sharing").start_ns
+    sep = abs(res.separation("BL", "BLB"))
+    crossing = None
+    for t, s in zip(res.time_ns, sep):
+        if t >= t_act and s >= target:
+            crossing = t
+            break
+    if crossing is None:
+        raise AnalogError(f"bitlines never separated to {fraction:.0%} of Vdd")
+    return float(crossing - t_act)
+
+
+def restore_latency_ns(outcome: ActivationOutcome, fraction: float = 0.9) -> float:
+    """Time from wordline rise until the cell is recharged to its rail."""
+    res = outcome.result
+    cfg = outcome.config
+    t_act = outcome.timeline.event("charge_sharing").start_ns
+    target = fraction * cfg.vdd if outcome.data_written else (1 - fraction) * cfg.vdd
+    for t, v in zip(res.time_ns, res.voltages["CELL"]):
+        if t <= t_act + 0.5:
+            continue
+        hit = v >= target if outcome.data_written else v <= target
+        if hit:
+            return float(t - t_act)
+    raise AnalogError("the cell never restored")
+
+
+def switched_energy_fj(outcome: ActivationOutcome) -> float:
+    """Total ΣC·ΔV² switching energy of the activation, in femtojoules.
+
+    ΔV is each capacitor's total voltage excursion over the simulation —
+    an upper-bound style estimate of the dynamic energy the activation
+    moved, the quantity I5 says OCSA timing changes perturb.
+    """
+    bench_circuit = outcome.result
+    total_j = 0.0
+    # Reconstruct the capacitor list from the recorded traces and config.
+    cfg = outcome.config
+    caps = {"BL": cfg.bitline_cap_f, "BLB": cfg.bitline_cap_f, "CELL": cfg.cell_cap_f}
+    if "SABL" in bench_circuit.voltages:
+        caps["SABL"] = cfg.internal_cap_f
+        caps["SABLB"] = cfg.internal_cap_f
+    for net, c in caps.items():
+        trace = bench_circuit.voltages[net]
+        swing = float(trace.max() - trace.min())
+        total_j += c * swing * swing
+    return total_j * 1e15
+
+
+def activation_comparison(
+    classic: ActivationOutcome, ocsa: ActivationOutcome
+) -> dict[str, float]:
+    """The I5 deltas: how OCSA shifts sensing/restore latency and energy."""
+    return {
+        "sensing_latency_classic_ns": sensing_latency_ns(classic),
+        "sensing_latency_ocsa_ns": sensing_latency_ns(ocsa),
+        "restore_latency_classic_ns": restore_latency_ns(classic),
+        "restore_latency_ocsa_ns": restore_latency_ns(ocsa),
+        "energy_classic_fj": switched_energy_fj(classic),
+        "energy_ocsa_fj": switched_energy_fj(ocsa),
+    }

@@ -1,0 +1,155 @@
+"""Monte Carlo sensing-yield analysis.
+
+§VI-A's core warning is quantitative: "higher width-to-length ratios
+correspond to more optimistic simulations".  Two things go wrong for a
+study that simulates with a public model's inflated W/L:
+
+* the simulated SA **senses faster** than the silicon, so timing budgets
+  derived from it (tRCD margins, latch windows) are too tight;
+* at a fixed sensing deadline, the simulated **yield** under Vt mismatch
+  is higher than what the measured dimensions deliver.
+
+This module measures both: sample latch Vt mismatches from a process
+distribution, run the activation per sample, and count samples that sense
+*correctly and in time* — for any topology and any set of transistor sizes
+(a public model's or a chip's measured ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.metrics import sensing_latency_ns
+from repro.analog.sense_amp import SenseAmpBench, SenseAmpConfig
+from repro.circuits.topologies import SaSizes, SaTopology
+from repro.errors import AnalogError
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Outcome of a yield run."""
+
+    topology: SaTopology
+    sigma_mv: float
+    samples: int
+    failures: int
+    deadline_ns: float | None = None
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of samples that sensed correctly (and in time)."""
+        return 1.0 - self.failures / self.samples
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of failing samples."""
+        return self.failures / self.samples
+
+
+def _bench_for(topology: SaTopology, sizes: SaSizes | None, config: SenseAmpConfig | None) -> SenseAmpBench:
+    cfg = config or SenseAmpConfig(topology=topology, sizes=sizes or SaSizes())
+    if sizes is not None and cfg.sizes is not sizes:
+        cfg = SenseAmpConfig(topology=topology, sizes=sizes)
+    return SenseAmpBench(cfg)
+
+
+def sensing_yield(
+    topology: SaTopology,
+    sizes: SaSizes | None = None,
+    sigma_mv: float = 60.0,
+    samples: int = 40,
+    data: int = 1,
+    seed: int = 7,
+    deadline_ns: float | None = None,
+    config: SenseAmpConfig | None = None,
+) -> YieldResult:
+    """Monte Carlo sensing yield under N(0, sigma) latch Vt mismatch.
+
+    Each sample draws one mismatch value (the dominant offset term) and
+    simulates a full activation.  A sample fails when the latched value is
+    wrong, or — with *deadline_ns* set — when the bitlines take longer
+    than the deadline to separate.  Deterministic for a given *seed*.
+    """
+    if samples < 1:
+        raise AnalogError("need at least one sample")
+    if sigma_mv < 0:
+        raise AnalogError("sigma must be non-negative")
+    bench = _bench_for(topology, sizes, config)
+    rng = np.random.default_rng(seed)
+    mismatches = rng.normal(0.0, sigma_mv / 1000.0, size=samples)
+    failures = 0
+    for mismatch in mismatches:
+        outcome = bench.run(data=data, vt_mismatch=float(mismatch))
+        if not outcome.correct:
+            failures += 1
+            continue
+        if deadline_ns is not None:
+            try:
+                latency = sensing_latency_ns(outcome)
+            except AnalogError:
+                failures += 1
+                continue
+            if latency > deadline_ns:
+                failures += 1
+    return YieldResult(
+        topology=topology, sigma_mv=sigma_mv, samples=samples,
+        failures=failures, deadline_ns=deadline_ns,
+    )
+
+
+def nominal_sensing_latency(
+    topology: SaTopology, sizes: SaSizes | None = None
+) -> float:
+    """Mismatch-free sensing latency for a set of sizes (ns)."""
+    outcome = _bench_for(topology, sizes, None).run(data=1)
+    return sensing_latency_ns(outcome)
+
+
+def model_optimism(
+    model_sizes: SaSizes,
+    measured_sizes: SaSizes,
+    topology: SaTopology = SaTopology.CLASSIC,
+    sigma_mv: float = 80.0,
+    samples: int = 20,
+    deadline_margin: float = 1.05,
+) -> dict[str, float]:
+    """Quantify how optimistic a public model's dimensions are.
+
+    A designer trusting the model budgets the sensing deadline from the
+    model's latency (plus a small margin); the measured dimensions then
+    have to live with that budget.  Returns the two latencies, the
+    resulting deadline, the two yields under it, and the optimism gap.
+    """
+    latency_model = nominal_sensing_latency(topology, model_sizes)
+    latency_measured = nominal_sensing_latency(topology, measured_sizes)
+    deadline = latency_model * deadline_margin
+    model_run = sensing_yield(
+        topology, model_sizes, sigma_mv, samples, deadline_ns=deadline
+    )
+    silicon_run = sensing_yield(
+        topology, measured_sizes, sigma_mv, samples, deadline_ns=deadline
+    )
+    return {
+        "model_latency_ns": latency_model,
+        "measured_latency_ns": latency_measured,
+        "deadline_ns": deadline,
+        "model_yield": model_run.yield_fraction,
+        "measured_yield": silicon_run.yield_fraction,
+        "optimism": model_run.yield_fraction - silicon_run.yield_fraction,
+    }
+
+
+def yield_curve(
+    topology: SaTopology,
+    sizes: SaSizes | None = None,
+    sigmas_mv: tuple[float, ...] = (20.0, 60.0, 100.0, 140.0),
+    samples: int = 25,
+    deadline_ns: float | None = None,
+) -> list[YieldResult]:
+    """Yield as a function of the mismatch sigma (a shmoo along offset)."""
+    return [
+        sensing_yield(topology, sizes, sigma_mv=s, samples=samples, deadline_ns=deadline_ns)
+        for s in sigmas_mv
+    ]

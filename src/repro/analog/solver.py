@@ -1,0 +1,369 @@
+"""Modified-nodal-analysis transient solver.
+
+A small but genuine circuit simulator:
+
+* **Unknowns** — node voltages (every net except ground) plus one branch
+  current per voltage source.
+* **Time integration** — backward Euler with a fixed step; capacitors become
+  Norton companions ``G = C/h``, ``I = C/h · v_prev``.
+* **Nonlinearity** — Newton-Raphson; MOSFETs are linearised by finite
+  differences of :func:`repro.analog.devices.mos_current` against all three
+  terminals each iteration (a Norton companion with three controlled
+  conductances).
+* **Robustness** — a ``gmin`` conductance from every node to ground, an
+  iteration cap with an informative :class:`~repro.errors.ConvergenceError`,
+  and voltage-step damping.
+
+The solver reads a :class:`repro.circuits.netlist.Circuit`; time-varying
+stimuli are :class:`Waveform` objects attached to voltage sources by name.
+Time is in nanoseconds externally and converted to seconds internally.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.devices import FD_STEP, MosModel, NMOS_DEFAULT, PMOS_DEFAULT, mos_current
+from repro.circuits.netlist import Circuit, Device, DeviceType
+from repro.errors import AnalogError, ConvergenceError
+
+GROUND_NAMES = ("0", "GND", "gnd", "VSS")
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Piecewise-linear waveform: (time_ns, volts) breakpoints.
+
+    Before the first breakpoint the first value holds; after the last, the
+    last value holds.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [t for t, _v in self.points]
+        if not self.points:
+            raise AnalogError("empty waveform")
+        if times != sorted(times):
+            raise AnalogError("waveform breakpoints must be time-sorted")
+
+    @classmethod
+    def constant(cls, volts: float) -> "Waveform":
+        """A DC waveform."""
+        return cls(((0.0, volts),))
+
+    @classmethod
+    def step(cls, t_ns: float, before: float, after: float, rise_ns: float = 0.2) -> "Waveform":
+        """A single linear-ramp step at *t_ns*."""
+        return cls(((t_ns, before), (t_ns + rise_ns, after)))
+
+    def value(self, t_ns: float) -> float:
+        """Evaluate at time *t_ns* (linear interpolation)."""
+        pts = self.points
+        if t_ns <= pts[0][0]:
+            return pts[0][1]
+        if t_ns >= pts[-1][0]:
+            return pts[-1][1]
+        times = [p[0] for p in pts]
+        i = bisect_right(times, t_ns)
+        t0, v0 = pts[i - 1]
+        t1, v1 = pts[i]
+        if t1 == t0:
+            return v1
+        frac = (t_ns - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def shifted(self, dt_ns: float) -> "Waveform":
+        """Return a copy delayed by *dt_ns*."""
+        return Waveform(tuple((t + dt_ns, v) for t, v in self.points))
+
+
+@dataclass
+class TransientResult:
+    """Simulation output: time axis plus per-net voltage traces."""
+
+    time_ns: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def at(self, net: str, t_ns: float) -> float:
+        """Voltage of *net* at the sample nearest to *t_ns*."""
+        idx = int(np.argmin(np.abs(self.time_ns - t_ns)))
+        return float(self.voltages[net][idx])
+
+    def final(self, net: str) -> float:
+        """Voltage of *net* at the last sample."""
+        return float(self.voltages[net][-1])
+
+    def crossing_time(self, net: str, level: float, after_ns: float = 0.0) -> float | None:
+        """First time *net* crosses *level* after *after_ns*, or ``None``."""
+        v = self.voltages[net]
+        t = self.time_ns
+        mask = t >= after_ns
+        vs = v[mask]
+        ts = t[mask]
+        if len(vs) < 2:
+            return None
+        above = vs >= level
+        flips = np.nonzero(above[1:] != above[:-1])[0]
+        if len(flips) == 0:
+            return None
+        i = int(flips[0])
+        # Linear interpolation inside the flip interval.
+        v0, v1 = float(vs[i]), float(vs[i + 1])
+        t0, t1 = float(ts[i]), float(ts[i + 1])
+        if v1 == v0:
+            return t1
+        return t0 + (level - v0) / (v1 - v0) * (t1 - t0)
+
+    def separation(self, net_a: str, net_b: str) -> np.ndarray:
+        """Trace of ``V(net_a) − V(net_b)`` (the latched differential)."""
+        return self.voltages[net_a] - self.voltages[net_b]
+
+
+class TransientSolver:
+    """Transient simulator over a :class:`Circuit`.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.  Voltage sources whose names appear in *stimuli* are
+        driven by the associated waveform; others hold their ``v`` param.
+    stimuli:
+        Mapping of voltage-source device name → :class:`Waveform`.
+    models:
+        Optional override of the NMOS/PMOS models; per-device overrides go
+        in ``device_models`` keyed by device name (how Vt mismatch is
+        injected for the sense-margin analysis).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        stimuli: dict[str, Waveform] | None = None,
+        nmos: MosModel = NMOS_DEFAULT,
+        pmos: MosModel = PMOS_DEFAULT,
+        device_models: dict[str, MosModel] | None = None,
+        gmin: float = 1e-10,
+        max_newton: int = 80,
+        tol: float = 1e-6,
+    ) -> None:
+        self.circuit = circuit
+        self.stimuli = dict(stimuli or {})
+        self.nmos = nmos
+        self.pmos = pmos
+        self.device_models = dict(device_models or {})
+        self.gmin = gmin
+        self.max_newton = max_newton
+        self.tol = tol
+
+        self._nodes: list[str] = sorted(
+            net for net in circuit.nets() if net not in GROUND_NAMES
+        )
+        self._node_index = {net: i for i, net in enumerate(self._nodes)}
+        self._vsources = [d for d in circuit if d.dtype is DeviceType.VSOURCE]
+        self._n_nodes = len(self._nodes)
+        self._n_unknowns = self._n_nodes + len(self._vsources)
+
+        unknown_stimuli = set(self.stimuli) - {d.name for d in self._vsources}
+        if unknown_stimuli:
+            raise AnalogError(f"stimuli target unknown sources: {sorted(unknown_stimuli)}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _v_of(self, x: np.ndarray, net: str) -> float:
+        net = self.circuit.resolve(net)
+        if net in GROUND_NAMES:
+            return 0.0
+        return float(x[self._node_index[net]])
+
+    def _idx(self, net: str) -> int | None:
+        net = self.circuit.resolve(net)
+        if net in GROUND_NAMES:
+            return None
+        return self._node_index[net]
+
+    def _model_for(self, dev: Device) -> MosModel:
+        if dev.name in self.device_models:
+            return self.device_models[dev.name]
+        return self.nmos if dev.dtype is DeviceType.NMOS else self.pmos
+
+    def _stamp_conductance(self, g_mat: np.ndarray, a: int | None, b: int | None, g: float) -> None:
+        if a is not None:
+            g_mat[a, a] += g
+        if b is not None:
+            g_mat[b, b] += g
+        if a is not None and b is not None:
+            g_mat[a, b] -= g
+            g_mat[b, a] -= g
+
+    def _stamp_current(self, rhs: np.ndarray, into: int | None, out_of: int | None, i: float) -> None:
+        """Stamp a current *i* flowing from node *out_of* into node *into*."""
+        if into is not None:
+            rhs[into] += i
+        if out_of is not None:
+            rhs[out_of] -= i
+
+    # -- assembly -------------------------------------------------------------
+
+    def _assemble(
+        self, x: np.ndarray, v_prev: np.ndarray, h_s: float, t_ns: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = self._n_unknowns
+        g_mat = np.zeros((n, n))
+        rhs = np.zeros(n)
+
+        # gmin to ground for every node.
+        for i in range(self._n_nodes):
+            g_mat[i, i] += self.gmin
+
+        branch = self._n_nodes
+        for dev in self.circuit:
+            if dev.dtype is DeviceType.RESISTOR:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                self._stamp_conductance(g_mat, a, b, 1.0 / dev.params["r"])
+
+            elif dev.dtype is DeviceType.CAPACITOR:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                c = dev.params["c"]
+                geq = c / h_s
+                self._stamp_conductance(g_mat, a, b, geq)
+                vp_prev = v_prev[a] if a is not None else 0.0
+                vn_prev = v_prev[b] if b is not None else 0.0
+                ieq = geq * (vp_prev - vn_prev)
+                # Norton companion injects from n into p.
+                self._stamp_current(rhs, a, b, ieq)
+
+            elif dev.dtype is DeviceType.VSOURCE:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                wave = self.stimuli.get(dev.name)
+                v_val = wave.value(t_ns) if wave is not None else dev.params.get("v", 0.0)
+                k = branch
+                if a is not None:
+                    g_mat[a, k] += 1.0
+                    g_mat[k, a] += 1.0
+                if b is not None:
+                    g_mat[b, k] -= 1.0
+                    g_mat[k, b] -= 1.0
+                rhs[k] += v_val
+                branch += 1
+
+            elif dev.dtype.is_mos:
+                model = self._model_for(dev)
+                wl = dev.params["w"] / dev.params["l"]
+                d_i, g_i, s_i = (
+                    self._idx(dev.nets["d"]),
+                    self._idx(dev.nets["g"]),
+                    self._idx(dev.nets["s"]),
+                )
+                vd = self._v_of(x, dev.nets["d"])
+                vg = self._v_of(x, dev.nets["g"])
+                vs = self._v_of(x, dev.nets["s"])
+                ids = mos_current(model, wl, vg, vd, vs)
+                gdd = (mos_current(model, wl, vg, vd + FD_STEP, vs) - ids) / FD_STEP
+                gdg = (mos_current(model, wl, vg + FD_STEP, vd, vs) - ids) / FD_STEP
+                gds_ = (mos_current(model, wl, vg, vd, vs + FD_STEP) - ids) / FD_STEP
+                # Linearised: I = ids + gdd·Δvd + gdg·Δvg + gds·Δvs.
+                # KCL: I leaves the drain node and enters the source node.
+                i0 = ids - gdd * vd - gdg * vg - gds_ * vs
+                for node_idx, gval in ((d_i, gdd), (g_i, gdg), (s_i, gds_)):
+                    if node_idx is None:
+                        continue
+                    if d_i is not None:
+                        g_mat[d_i, node_idx] += gval
+                    if s_i is not None:
+                        g_mat[s_i, node_idx] -= gval
+                self._stamp_current(rhs, s_i, d_i, i0)
+
+            elif dev.dtype is DeviceType.SWITCH:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                ron = dev.params.get("ron", 1e3)
+                self._stamp_conductance(g_mat, a, b, 1.0 / ron)
+
+        return g_mat, rhs
+
+    # -- main entry -------------------------------------------------------------
+
+    def run(
+        self,
+        t_stop_ns: float,
+        dt_ns: float = 0.05,
+        ic: dict[str, float] | None = None,
+        record: list[str] | None = None,
+    ) -> TransientResult:
+        """Run a transient simulation from 0 to *t_stop_ns*.
+
+        ``ic`` sets initial node voltages (unspecified nodes start at 0 V);
+        ``record`` limits the returned traces (default: every node).
+        """
+        if t_stop_ns <= 0 or dt_ns <= 0:
+            raise AnalogError("t_stop and dt must be positive")
+        h_s = dt_ns * 1e-9
+        steps = int(round(t_stop_ns / dt_ns))
+        record = record or list(self._nodes)
+        for net in record:
+            if self.circuit.resolve(net) not in self._node_index:
+                raise AnalogError(f"cannot record unknown net {net!r}")
+
+        x = np.zeros(self._n_unknowns)
+        for net, v0 in (ic or {}).items():
+            idx = self._idx(net)
+            if idx is None:
+                continue
+            x[idx] = v0
+
+        times = np.empty(steps + 1)
+        traces = {net: np.empty(steps + 1) for net in record}
+        times[0] = 0.0
+        for net in record:
+            traces[net][0] = self._v_of(x, net)
+
+        v_prev = x[: self._n_nodes].copy()
+        for step in range(1, steps + 1):
+            t_ns = step * dt_ns
+            x = self._newton(x, v_prev, h_s, t_ns)
+            v_prev = x[: self._n_nodes].copy()
+            times[step] = t_ns
+            for net in record:
+                traces[net][step] = self._v_of(x, net)
+
+        return TransientResult(time_ns=times, voltages=traces)
+
+    def _newton(self, x0: np.ndarray, v_prev: np.ndarray, h_s: float, t_ns: float) -> np.ndarray:
+        x = x0.copy()
+        residual = float("inf")
+        for _iteration in range(self.max_newton):
+            g_mat, rhs = self._assemble(x, v_prev, h_s, t_ns)
+            try:
+                x_new = np.linalg.solve(g_mat, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise AnalogError(f"singular MNA matrix at t={t_ns:.3f} ns") from exc
+            delta = x_new - x
+            # Damp large voltage steps to keep square-law Newton stable.
+            max_step = 0.5
+            biggest = float(np.max(np.abs(delta[: self._n_nodes]))) if self._n_nodes else 0.0
+            if biggest > max_step:
+                delta *= max_step / biggest
+            x = x + delta
+            residual = float(np.max(np.abs(delta[: self._n_nodes]))) if self._n_nodes else 0.0
+            if residual < self.tol:
+                return x
+        raise ConvergenceError(t_ns, residual, self.max_newton)
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    stimuli: dict[str, Waveform] | None = None,
+    **solver_kwargs,
+) -> dict[str, float]:
+    """Solve the DC operating point (long transient settle at t=0 stimuli).
+
+    Capacitors are open at DC; rather than special-casing the assembly we
+    run a short settling transient with a large step, which converges to
+    the same point for the circuits this library builds.
+    """
+    solver = TransientSolver(circuit, stimuli, **solver_kwargs)
+    result = solver.run(t_stop_ns=200.0, dt_ns=10.0)
+    return {net: result.final(net) for net in result.voltages}

@@ -1,0 +1,37 @@
+"""Netlist substrate: circuit representation, SA topologies, matching.
+
+HiFi-DRAM's §V reverse engineers two sense-amplifier topologies from silicon:
+the *classic* SA (Fig 2b, used by B4/C4/C5) and the *offset-cancellation* SA
+(OCSA, Fig 9a, used by A4/A5/B5).  This package provides:
+
+* :mod:`repro.circuits.netlist` — devices, nets, circuits (networkx view);
+* :mod:`repro.circuits.topologies` — reference builders for both topologies;
+* :mod:`repro.circuits.matching` — identification of an extracted circuit
+  against the reference corpus (the paper's step of pin-pointing the
+  reverse-engineered circuit to the design of Kim et al. [45]).
+"""
+
+from repro.circuits.netlist import Circuit, Device, DeviceType, Terminal
+from repro.circuits.topologies import (
+    SaTopology,
+    build_classic_sa,
+    build_ocsa,
+    build_latch,
+    reference_corpus,
+)
+from repro.circuits.matching import identify_topology, topology_signature, MatchResult
+
+__all__ = [
+    "Circuit",
+    "Device",
+    "DeviceType",
+    "Terminal",
+    "SaTopology",
+    "build_classic_sa",
+    "build_ocsa",
+    "build_latch",
+    "reference_corpus",
+    "identify_topology",
+    "topology_signature",
+    "MatchResult",
+]

@@ -1,0 +1,205 @@
+"""Topology identification for extracted sense-amplifier circuits.
+
+The paper describes how, after the full circuit was mapped, the extra
+elements of A4/A5/B5 could only be explained by searching the
+offset-cancellation literature until the circuit pin-pointed to one design
+(Kim et al. [45]).  This module automates that step in two stages:
+
+1. a cheap **structural signature** (device counts, bitline bridging,
+   internal-node detection, shared-gate fan-outs) that distinguishes the
+   classic SA from the OCSA and rejects circuits that are neither;
+2. an exact **graph-isomorphism check** (VF2 on the bipartite
+   device/net multigraph) against the reference corpus, confirming the
+   identification the way the collaborating DRAM vendor confirmed the
+   authors' analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.circuits.netlist import Circuit, DeviceType
+from repro.circuits.topologies import SaTopology, reference_corpus
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class TopologySignature:
+    """Structural fingerprint of a single-pair SA circuit."""
+
+    mos_count: int
+    has_bitline_bridge: bool  #: a device with both S/D on the two bitlines
+    internal_node_count: int  #: latch-drain nets that are not bitlines
+    shared_gate_fanouts: tuple[int, ...]  #: sorted gate fan-outs > 1
+    latch_gates_on_bitlines: bool
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return (
+            f"{self.mos_count} MOS, bridge={self.has_bitline_bridge}, "
+            f"internal_nodes={self.internal_node_count}, "
+            f"gate_fanouts={list(self.shared_gate_fanouts)}"
+        )
+
+
+@dataclass
+class MatchResult:
+    """Outcome of :func:`identify_topology`."""
+
+    topology: SaTopology
+    exact: bool  #: VF2 isomorphism with the reference succeeded
+    signature: TopologySignature
+    notes: list[str] = field(default_factory=list)
+
+
+def _latch_structure(circuit: Circuit, bl: str, blb: str) -> tuple[list, set[str]]:
+    """Find the cross-coupled latch devices and their tail nets.
+
+    Terminal order (d vs s) is meaningless for an extracted device, so the
+    analysis is symmetric in the two channel terminals:
+
+    * *candidates* are MOSFETs whose gate sits on a bitline;
+    * a *tail* net (LA/LAB) is a non-bitline net shared, as a channel
+      terminal, by two candidates gated by *different* bitlines;
+    * *latch devices* are candidates with a tail terminal.
+
+    Returns ``(latch_devices, tail_nets)``.
+    """
+    bitlines = {circuit.resolve(bl), circuit.resolve(blb)}
+    candidates = [
+        d
+        for d in circuit
+        if d.dtype.is_mos and circuit.resolve(d.nets["g"]) in bitlines
+    ]
+
+    terminal_users: dict[str, list] = {}
+    for dev in candidates:
+        for pin in ("d", "s"):
+            net = circuit.resolve(dev.nets[pin])
+            if net not in bitlines:
+                terminal_users.setdefault(net, []).append(dev)
+
+    tails = {
+        net
+        for net, users in terminal_users.items()
+        if len({circuit.resolve(u.nets["g"]) for u in users}) >= 2
+    }
+    latch = [
+        dev
+        for dev in candidates
+        if any(circuit.resolve(dev.nets[pin]) in tails for pin in ("d", "s"))
+    ]
+    return latch, tails
+
+
+def topology_signature(circuit: Circuit, bl: str = "BL", blb: str = "BLB") -> TopologySignature:
+    """Compute the structural fingerprint of a one-pair SA circuit.
+
+    ``bl``/``blb`` anchor the analysis: the extraction stage knows which
+    nets are the bitlines because it traced them from the MAT (§V-A step ii
+    — "we use the bitlines as an anchor for inferring the circuit").
+    """
+    bitlines = {circuit.resolve(bl), circuit.resolve(blb)}
+    mos = [d for d in circuit if d.dtype.is_mos]
+    if not mos:
+        raise TopologyError(f"{circuit.name!r} has no transistors")
+
+    bridge = any(
+        {circuit.resolve(d.nets["d"]), circuit.resolve(d.nets["s"])} == bitlines
+        for d in mos
+    )
+
+    latch, tails = _latch_structure(circuit, bl, blb)
+    internal: set[str] = set()
+    for dev in latch:
+        for pin in ("d", "s"):
+            net = circuit.resolve(dev.nets[pin])
+            if net not in bitlines and net not in tails:
+                internal.add(net)
+
+    gate_fanout: dict[str, int] = {}
+    for d in mos:
+        g = circuit.resolve(d.nets["g"])
+        if g in bitlines:
+            continue
+        gate_fanout[g] = gate_fanout.get(g, 0) + 1
+    fanouts = tuple(sorted(v for v in gate_fanout.values() if v > 1))
+
+    return TopologySignature(
+        mos_count=len(mos),
+        has_bitline_bridge=bridge,
+        internal_node_count=len(internal),
+        shared_gate_fanouts=fanouts,
+        latch_gates_on_bitlines=bool(latch),
+    )
+
+
+def _node_match(a: dict, b: dict) -> bool:
+    if a["kind"] != b["kind"]:
+        return False
+    if a["kind"] == "dev":
+        return a["dtype"] == b["dtype"]
+    return True
+
+
+def _loose_node_match(a: dict, b: dict) -> bool:
+    if a["kind"] != b["kind"]:
+        return False
+    if a["kind"] == "dev":
+        mos = {DeviceType.NMOS.value, DeviceType.PMOS.value}
+        return (a["dtype"] in mos) == (b["dtype"] in mos)
+    return True
+
+
+def is_isomorphic_to(circuit: Circuit, reference: Circuit, loose: bool = False) -> bool:
+    """True if *circuit* is structurally identical to *reference*.
+
+    With ``loose=True``, NMOS and PMOS are treated as interchangeable —
+    useful before the width heuristic has assigned channel types (§V-A
+    step viii notes NMOS/PMOS are visually indistinguishable in the images).
+    """
+    matcher = nx.algorithms.isomorphism.MultiGraphMatcher(
+        circuit.to_graph(),
+        reference.to_graph(),
+        node_match=_loose_node_match if loose else _node_match,
+    )
+    return matcher.is_isomorphic()
+
+
+def identify_topology(
+    circuit: Circuit,
+    bl: str = "BL",
+    blb: str = "BLB",
+    loose: bool = False,
+) -> MatchResult:
+    """Identify a one-pair extracted SA circuit as classic or OCSA.
+
+    Raises :class:`~repro.errors.TopologyError` when the circuit matches
+    neither reference even at the signature level — the situation the paper
+    faced before widening the search to the offset-cancellation corpus.
+    """
+    sig = topology_signature(circuit, bl, blb)
+    notes: list[str] = []
+
+    if sig.internal_node_count == 0 and sig.has_bitline_bridge:
+        candidate = SaTopology.CLASSIC
+        notes.append("latch drains on bitlines and an equalizer bridge: classic")
+    elif sig.internal_node_count >= 2 and not sig.has_bitline_bridge:
+        candidate = SaTopology.OCSA
+        notes.append(
+            "latch drains isolated from bitlines and no equalizer: "
+            "offset-cancellation design"
+        )
+    else:
+        raise TopologyError(
+            f"{circuit.name!r} matches no known SA topology "
+            f"(signature: {sig.describe()})"
+        )
+
+    reference = reference_corpus()[candidate]
+    exact = is_isomorphic_to(circuit, reference, loose=loose)
+    if not exact:
+        notes.append("signature matched but VF2 isomorphism failed (extra elements?)")
+    return MatchResult(topology=candidate, exact=exact, signature=sig, notes=notes)

@@ -1,0 +1,259 @@
+"""Circuit representation: devices, terminals, nets.
+
+A :class:`Circuit` is a multigraph between *nets*; each :class:`Device`
+contributes edges between the nets its terminals attach to.  The
+representation is deliberately SPICE-like (named nets, typed devices with
+ordered terminals) so that
+
+* the analog solver (:mod:`repro.analog`) can stamp it into MNA matrices,
+* the topology matcher (:mod:`repro.circuits.matching`) can compare an
+  extracted circuit against references structurally, and
+* the extraction stage (:mod:`repro.reveng.connectivity`) can emit one
+  without knowing anything about simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import NetlistError
+
+
+class DeviceType(enum.Enum):
+    """Device archetypes understood by the solver and matcher."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    CAPACITOR = "cap"
+    RESISTOR = "res"
+    VSOURCE = "vsrc"
+    SWITCH = "switch"
+
+    @property
+    def is_mos(self) -> bool:
+        """True for MOSFETs."""
+        return self in (DeviceType.NMOS, DeviceType.PMOS)
+
+
+#: Ordered terminal names per device type.
+TERMINALS: dict[DeviceType, tuple[str, ...]] = {
+    DeviceType.NMOS: ("d", "g", "s"),
+    DeviceType.PMOS: ("d", "g", "s"),
+    DeviceType.CAPACITOR: ("p", "n"),
+    DeviceType.RESISTOR: ("p", "n"),
+    DeviceType.VSOURCE: ("p", "n"),
+    DeviceType.SWITCH: ("p", "n"),
+}
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """A (device, pin) pair."""
+
+    device: str
+    pin: str
+
+
+@dataclass
+class Device:
+    """A placed circuit device.
+
+    ``params`` carries electrical values: MOSFETs use ``w`` and ``l`` (nm),
+    capacitors ``c`` (farads), resistors ``r`` (ohms), sources ``v`` (volts,
+    possibly overridden by a waveform at simulation time), switches ``ron`` /
+    ``roff``.
+    """
+
+    name: str
+    dtype: DeviceType
+    nets: dict[str, str]  # pin -> net name
+    params: dict[str, float] = field(default_factory=dict)
+    #: optional functional annotation (e.g. a TransistorKind value)
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        expected = TERMINALS[self.dtype]
+        missing = [pin for pin in expected if pin not in self.nets]
+        if missing:
+            raise NetlistError(f"device {self.name!r} missing pins {missing}")
+        extra = [pin for pin in self.nets if pin not in expected]
+        if extra:
+            raise NetlistError(f"device {self.name!r} has unknown pins {extra}")
+
+    @property
+    def net_of(self) -> dict[str, str]:
+        """Alias for ``nets`` (pin → net)."""
+        return self.nets
+
+    def terminal_nets(self) -> Iterator[tuple[str, str]]:
+        """Yield ``(pin, net)`` in canonical pin order."""
+        for pin in TERMINALS[self.dtype]:
+            yield pin, self.nets[pin]
+
+
+class Circuit:
+    """A named collection of devices over a shared net namespace."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._devices: dict[str, Device] = {}
+        self._net_aliases: dict[str, str] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, device: Device) -> Device:
+        """Add a device; names must be unique."""
+        if device.name in self._devices:
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        self._devices[device.name] = device
+        return device
+
+    def add_mos(
+        self,
+        name: str,
+        channel: str,
+        d: str,
+        g: str,
+        s: str,
+        w: float,
+        l: float,  # noqa: E741 - matches SPICE convention
+        role: str = "",
+    ) -> Device:
+        """Convenience constructor for a MOSFET."""
+        dtype = DeviceType.NMOS if channel == "nmos" else DeviceType.PMOS
+        return self.add(
+            Device(name, dtype, {"d": d, "g": g, "s": s}, {"w": w, "l": l}, role)
+        )
+
+    def add_capacitor(self, name: str, p: str, n: str, c: float, role: str = "") -> Device:
+        """Convenience constructor for a capacitor."""
+        return self.add(Device(name, DeviceType.CAPACITOR, {"p": p, "n": n}, {"c": c}, role))
+
+    def add_resistor(self, name: str, p: str, n: str, r: float, role: str = "") -> Device:
+        """Convenience constructor for a resistor."""
+        return self.add(Device(name, DeviceType.RESISTOR, {"p": p, "n": n}, {"r": r}, role))
+
+    def add_vsource(self, name: str, p: str, n: str, v: float, role: str = "") -> Device:
+        """Convenience constructor for an ideal voltage source."""
+        return self.add(Device(name, DeviceType.VSOURCE, {"p": p, "n": n}, {"v": v}, role))
+
+    def alias_net(self, alias: str, target: str) -> None:
+        """Declare that *alias* is electrically the same net as *target*.
+
+        Used by extraction when two physical rails turn out connected (e.g.
+        the classic SA's PRE and EQ poly rails bridged into one PEQ net).
+        """
+        self._net_aliases[alias] = target
+
+    def resolve(self, net: str) -> str:
+        """Follow alias chains to the canonical net name."""
+        seen = set()
+        while net in self._net_aliases:
+            if net in seen:
+                raise NetlistError(f"alias cycle at net {net!r}")
+            seen.add(net)
+            net = self._net_aliases[net]
+        return net
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def devices(self) -> dict[str, Device]:
+        """Mapping of device name → device."""
+        return dict(self._devices)
+
+    def device(self, name: str) -> Device:
+        """Look up a device by name."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise NetlistError(f"no device named {name!r} in {self.name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self._devices.values())
+
+    def nets(self) -> set[str]:
+        """All canonical net names."""
+        result: set[str] = set()
+        for dev in self:
+            for _pin, net in dev.terminal_nets():
+                result.add(self.resolve(net))
+        return result
+
+    def devices_on(self, net: str) -> list[tuple[Device, str]]:
+        """All ``(device, pin)`` attached to canonical net *net*."""
+        net = self.resolve(net)
+        found: list[tuple[Device, str]] = []
+        for dev in self:
+            for pin, n in dev.terminal_nets():
+                if self.resolve(n) == net:
+                    found.append((dev, pin))
+        return found
+
+    def count(self, dtype: DeviceType) -> int:
+        """Number of devices of the given type."""
+        return sum(1 for d in self if d.dtype is dtype)
+
+    def mos_count(self) -> int:
+        """Number of MOSFETs."""
+        return sum(1 for d in self if d.dtype.is_mos)
+
+    # -- graph view ----------------------------------------------------------
+
+    def to_graph(self) -> nx.MultiGraph:
+        """Bipartite multigraph: net nodes and device nodes.
+
+        Net nodes are the canonical net names with ``kind='net'``; device
+        nodes carry ``kind='dev'`` and ``dtype``.  Edges are labelled with
+        the pin name.  This is the structure the VF2 matcher runs on.
+        """
+        g = nx.MultiGraph()
+        for net in self.nets():
+            g.add_node(("net", net), kind="net")
+        for dev in self:
+            g.add_node(("dev", dev.name), kind="dev", dtype=dev.dtype.value)
+            for pin, net in dev.terminal_nets():
+                g.add_edge(("dev", dev.name), ("net", self.resolve(net)), pin=pin)
+        return g
+
+    def merged(self, other: "Circuit", prefix: str) -> "Circuit":
+        """Return a new circuit combining self with a prefixed copy of *other*.
+
+        Net names are shared (no prefixing) so callers can tie subcircuits
+        together through common rails; device names from *other* get
+        ``prefix`` to stay unique.
+        """
+        combined = Circuit(self.name)
+        for dev in self:
+            combined.add(
+                Device(dev.name, dev.dtype, dict(dev.nets), dict(dev.params), dev.role)
+            )
+        for dev in other:
+            combined.add(
+                Device(
+                    prefix + dev.name, dev.dtype, dict(dev.nets), dict(dev.params), dev.role
+                )
+            )
+        for alias, target in {**self._net_aliases, **other._net_aliases}.items():
+            combined.alias_net(alias, target)
+        return combined
+
+
+def renamed_nets(circuit: Circuit, mapping: dict[str, str], name: str | None = None) -> Circuit:
+    """Return a copy of *circuit* with nets renamed through *mapping*.
+
+    Nets absent from the mapping keep their names.  Used to instantiate the
+    per-bitline-pair reference subcircuit at each lane.
+    """
+    out = Circuit(name or circuit.name)
+    for dev in circuit:
+        nets = {pin: mapping.get(net, net) for pin, net in dev.nets.items()}
+        out.add(Device(dev.name, dev.dtype, nets, dict(dev.params), dev.role))
+    return out

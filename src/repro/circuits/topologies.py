@@ -1,0 +1,198 @@
+"""Reference sense-amplifier topologies.
+
+Two circuits matter to HiFi-DRAM:
+
+* the **classic SA** (Fig 2b; Keeth et al. [42]) — cross-coupled latch,
+  two precharge transistors, one equalizer, two column transistors, all
+  precharge/equalize gates driven by PEQ; deployed on **B4, C4, C5**;
+* the **OCSA** (Fig 9a; pin-pointed to Kim, Song & Jung 2019 [45]) — the
+  latch drains are decoupled from the bitlines by two ISO transistors while
+  the latch *gates* stay on the bitlines; two OC transistors diode-connect
+  each bitline to the opposite internal node during offset cancellation;
+  the equalizer is absent (equalisation = ISO and OC on simultaneously);
+  deployed on **A4, A5, B5**.
+
+Builders are parameterised on transistor sizes so chips instantiate them
+with measured dimensions.  Default sizes are generic and only used by tests
+and quick demos.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit
+
+
+class SaTopology(enum.Enum):
+    """Topology labels used across the library."""
+
+    CLASSIC = "classic"
+    OCSA = "ocsa"
+
+    @property
+    def extra_events(self) -> tuple[str, ...]:
+        """Activation events beyond charge-sharing/latch/precharge (§V-A)."""
+        if self is SaTopology.OCSA:
+            return ("offset_cancellation", "pre_sensing")
+        return ()
+
+
+@dataclass(frozen=True)
+class SaSizes:
+    """Transistor W/L (nm) used to instantiate a topology."""
+
+    nsa_w: float = 100.0
+    nsa_l: float = 40.0
+    psa_w: float = 70.0
+    psa_l: float = 40.0
+    precharge_w: float = 60.0
+    precharge_l: float = 45.0
+    equalizer_w: float = 60.0
+    equalizer_l: float = 45.0
+    column_w: float = 80.0
+    column_l: float = 45.0
+    isolation_w: float = 70.0
+    isolation_l: float = 50.0
+    offset_cancel_w: float = 60.0
+    offset_cancel_l: float = 50.0
+
+
+def build_latch(
+    circuit: Circuit,
+    bl_gate: str,
+    blb_gate: str,
+    bl_drain: str,
+    blb_drain: str,
+    sizes: SaSizes,
+    prefix: str = "",
+) -> None:
+    """Add the four cross-coupled latch transistors to *circuit*.
+
+    Gate nets and drain nets are passed separately because the OCSA connects
+    gates to the bitlines but drains to the internal (isolated) nodes;
+    the classic SA passes the same nets for both.
+    """
+    circuit.add_mos(
+        prefix + "n1", "nmos", d=bl_drain, g=blb_gate, s="LAB",
+        w=sizes.nsa_w, l=sizes.nsa_l, role="nSA",
+    )
+    circuit.add_mos(
+        prefix + "n2", "nmos", d=blb_drain, g=bl_gate, s="LAB",
+        w=sizes.nsa_w, l=sizes.nsa_l, role="nSA",
+    )
+    circuit.add_mos(
+        prefix + "p1", "pmos", d=bl_drain, g=blb_gate, s="LA",
+        w=sizes.psa_w, l=sizes.psa_l, role="pSA",
+    )
+    circuit.add_mos(
+        prefix + "p2", "pmos", d=blb_drain, g=bl_gate, s="LA",
+        w=sizes.psa_w, l=sizes.psa_l, role="pSA",
+    )
+
+
+def build_classic_sa(
+    sizes: SaSizes | None = None,
+    bl: str = "BL",
+    blb: str = "BLB",
+    name: str = "classic_sa",
+) -> Circuit:
+    """Build the classic SA of Fig 2b for one bitline pair.
+
+    Nets: ``BL``/``BLB`` (bitlines), ``LA``/``LAB`` (latch enables),
+    ``VPRE`` (precharge reference), ``PEQ`` (precharge+equalize gate),
+    ``Y`` (column select), ``LIO``/``LIOB`` (local IO).
+    """
+    sizes = sizes or SaSizes()
+    c = Circuit(name)
+    build_latch(c, bl_gate=bl, blb_gate=blb, bl_drain=bl, blb_drain=blb, sizes=sizes)
+    # Precharge: both bitlines to Vpre, gate PEQ.
+    c.add_mos("pre1", "nmos", d=bl, g="PEQ", s="VPRE",
+              w=sizes.precharge_w, l=sizes.precharge_l, role="precharge")
+    c.add_mos("pre2", "nmos", d=blb, g="PEQ", s="VPRE",
+              w=sizes.precharge_w, l=sizes.precharge_l, role="precharge")
+    # Equalizer: BL to BLB, gate PEQ.
+    c.add_mos("eq", "nmos", d=bl, g="PEQ", s=blb,
+              w=sizes.equalizer_w, l=sizes.equalizer_l, role="equalizer")
+    # Column multiplexer.
+    c.add_mos("col1", "nmos", d="LIO", g="Y", s=bl,
+              w=sizes.column_w, l=sizes.column_l, role="column")
+    c.add_mos("col2", "nmos", d="LIOB", g="Y", s=blb,
+              w=sizes.column_w, l=sizes.column_l, role="column")
+    return c
+
+
+def build_ocsa(
+    sizes: SaSizes | None = None,
+    bl: str = "BL",
+    blb: str = "BLB",
+    name: str = "ocsa",
+) -> Circuit:
+    """Build the OCSA of Fig 9a for one bitline pair.
+
+    Additional nets vs the classic SA: ``SABL``/``SABLB`` (internal latch
+    nodes), ``ISO`` and ``OC`` (the two new control signals).  There is no
+    equalizer and no PEQ; the standalone precharge gate is ``PRE``.
+
+    Key structural facts the matcher relies on (§V-A "investigating the
+    extra elements"):
+
+    * latch **gates** stay on BL/BLB, latch **drains** on SABL/SABLB;
+    * ISO connects each bitline to its own internal node;
+    * OC connects each bitline to the *opposite* internal node, so turning
+      OC on diode-connects the latch devices whose gate is that bitline;
+    * equalisation emerges from ISO+OC both on (BL–SABL–BLB path).
+    """
+    sizes = sizes or SaSizes()
+    c = Circuit(name)
+    sabl, sablb = "SABL", "SABLB"
+    build_latch(c, bl_gate=bl, blb_gate=blb, bl_drain=sabl, blb_drain=sablb, sizes=sizes)
+    # Isolation: bitline to own internal node.
+    c.add_mos("iso1", "nmos", d=sabl, g="ISO", s=bl,
+              w=sizes.isolation_w, l=sizes.isolation_l, role="isolation")
+    c.add_mos("iso2", "nmos", d=sablb, g="ISO", s=blb,
+              w=sizes.isolation_w, l=sizes.isolation_l, role="isolation")
+    # Offset cancellation: bitline to opposite internal node.
+    c.add_mos("oc1", "nmos", d=sablb, g="OC", s=bl,
+              w=sizes.offset_cancel_w, l=sizes.offset_cancel_l, role="offset_cancel")
+    c.add_mos("oc2", "nmos", d=sabl, g="OC", s=blb,
+              w=sizes.offset_cancel_w, l=sizes.offset_cancel_l, role="offset_cancel")
+    # Stand-alone precharge (no equalizer in OCSA).
+    c.add_mos("pre1", "nmos", d=bl, g="PRE", s="VPRE",
+              w=sizes.precharge_w, l=sizes.precharge_l, role="precharge")
+    c.add_mos("pre2", "nmos", d=blb, g="PRE", s="VPRE",
+              w=sizes.precharge_w, l=sizes.precharge_l, role="precharge")
+    # Column multiplexer.
+    c.add_mos("col1", "nmos", d="LIO", g="Y", s=bl,
+              w=sizes.column_w, l=sizes.column_l, role="column")
+    c.add_mos("col2", "nmos", d="LIOB", g="Y", s=blb,
+              w=sizes.column_w, l=sizes.column_l, role="column")
+    return c
+
+
+def reference_corpus() -> dict[SaTopology, Circuit]:
+    """The reference circuits the matcher compares extractions against.
+
+    Mirrors the paper's process of searching the offset-cancellation
+    literature until the extracted circuit pin-points to one design.
+    """
+    return {
+        SaTopology.CLASSIC: build_classic_sa(),
+        SaTopology.OCSA: build_ocsa(),
+    }
+
+
+#: Number of SA-proper MOSFETs per bitline pair, per topology (column
+#: transistors included; the LSA second-stage latch is not part of the SA).
+DEVICE_COUNT: dict[SaTopology, int] = {
+    SaTopology.CLASSIC: 9,  # 4 latch + 2 precharge + 1 equalizer + 2 column
+    SaTopology.OCSA: 12,  # 4 latch + 2 ISO + 2 OC + 2 precharge + 2 column
+}
+
+
+#: Control nets per topology (used by event sequencing and the matcher).
+CONTROL_NETS: dict[SaTopology, tuple[str, ...]] = {
+    SaTopology.CLASSIC: ("PEQ", "Y", "LA", "LAB"),
+    SaTopology.OCSA: ("PRE", "ISO", "OC", "Y", "LA", "LAB"),
+}

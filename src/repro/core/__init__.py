@@ -1,0 +1,99 @@
+"""HiFi-DRAM core: the reverse-engineered dataset and the research audit.
+
+This package is the paper's primary contribution in library form:
+
+* :mod:`repro.core.chips` — the six-chip dataset (Table I + the §V
+  measurements, synthesised to the paper's published statistics);
+* :mod:`repro.core.models` — the public analog models CROW and REM;
+* :mod:`repro.core.model_accuracy` — §VI-A (Fig 11, Fig 12);
+* :mod:`repro.core.papers` — the 13 audited proposals (Table II rows);
+* :mod:`repro.core.overheads` — Appendix B overhead-error/porting-cost
+  calculator (Table II, Fig 14);
+* :mod:`repro.core.bitline_scaling` — Appendix A Eq. 1;
+* :mod:`repro.core.mat_transition` — §V-C MAT→SA transition overheads;
+* :mod:`repro.core.dcc` — dual-contact-cell area analysis (I1);
+* :mod:`repro.core.recommendations` — R1–R4 as a checkable rule set;
+* :mod:`repro.core.report` — plain-text tables for the benches.
+"""
+
+from repro.core.chips import (
+    Chip,
+    ChipGeometry,
+    CHIPS,
+    chip,
+    chips_by_generation,
+    chips_by_vendor,
+)
+from repro.core.measurements import TransistorRecord, MeasurementSet, synthesize_measurements
+from repro.core.models import AnalogModel, CROW, REM, public_models
+from repro.core.model_accuracy import (
+    ModelAccuracyReport,
+    element_inaccuracy,
+    model_accuracy_report,
+    fig11_series,
+)
+from repro.core.papers import Paper, Inaccuracy, PAPERS, paper, papers_with
+from repro.core.overheads import (
+    OverheadResult,
+    paper_overhead_fraction,
+    overhead_error,
+    porting_cost,
+    table2_rows,
+    fig14_breakdown,
+)
+from repro.core.bitline_scaling import bitline_halving_extension, sa_extension_eq1
+from repro.core.mat_transition import transition_overhead_fraction, average_transition_nm
+from repro.core.dcc import dcc_area_factor, dcc_chip_overhead
+from repro.core.recommendations import RECOMMENDATIONS, Recommendation, audit_proposal
+from repro.core.hifi import (
+    analog_model_for,
+    netlist_for,
+    region_spec_for,
+    sa_sizes_for,
+    spice_card,
+)
+
+__all__ = [
+    "Chip",
+    "ChipGeometry",
+    "CHIPS",
+    "chip",
+    "chips_by_generation",
+    "chips_by_vendor",
+    "TransistorRecord",
+    "MeasurementSet",
+    "synthesize_measurements",
+    "AnalogModel",
+    "CROW",
+    "REM",
+    "public_models",
+    "ModelAccuracyReport",
+    "element_inaccuracy",
+    "model_accuracy_report",
+    "fig11_series",
+    "Paper",
+    "Inaccuracy",
+    "PAPERS",
+    "paper",
+    "papers_with",
+    "OverheadResult",
+    "paper_overhead_fraction",
+    "overhead_error",
+    "porting_cost",
+    "table2_rows",
+    "fig14_breakdown",
+    "bitline_halving_extension",
+    "sa_extension_eq1",
+    "transition_overhead_fraction",
+    "average_transition_nm",
+    "dcc_area_factor",
+    "dcc_chip_overhead",
+    "RECOMMENDATIONS",
+    "Recommendation",
+    "audit_proposal",
+    "analog_model_for",
+    "netlist_for",
+    "region_spec_for",
+    "sa_sizes_for",
+    "spice_card",
+]

@@ -1,0 +1,63 @@
+"""Appendix A: the effects of changing bitlines (Eq. 1).
+
+Even if halving the bitline width were possible, doubling the number of
+bitlines still extends the SA region.  With the safe distance ``d`` kept
+and the bitline width ``Bw ≈ 2 d``, Eq. 1 gives the Y-direction extension
+
+    Ext = (T_B · 2 · (d + Bw/2)) / (T_B · (d + Bw)) − 1
+        = 2 · (Bw/2 + Bw/2) / (Bw/2 + Bw) − 1 = 4/3 − 1 ≈ 33 %
+
+and, because layout requirements force the MAT to follow, ≈21 % of chip
+overhead for B5.  This module implements the general form so the bench can
+regenerate both numbers and explore other width/distance ratios.
+"""
+
+from __future__ import annotations
+
+from repro.core.chips import Chip, chip as get_chip
+from repro.errors import EvaluationError
+
+
+def sa_extension_eq1(width_over_distance: float = 2.0) -> float:
+    """Eq. 1: SA Y-extension from doubling bitlines at halved width.
+
+    ``width_over_distance`` is Bw/d (the paper takes Bw ≈ 2d).  The halved
+    bitlines keep the original safe distance, so the new pitch is
+    ``d + Bw/2`` for twice the line count versus ``d + Bw`` for the
+    original count.
+    """
+    if width_over_distance <= 0:
+        raise EvaluationError("Bw/d must be positive")
+    bw = width_over_distance  # in units of d
+    new_total = 2.0 * (1.0 + bw / 2.0)
+    old_total = 1.0 + bw
+    return new_total / old_total - 1.0
+
+
+def bitline_halving_extension(chip_id: str = "B5", width_over_distance: float = 2.0) -> dict[str, float]:
+    """Chip-level overhead of the Eq. 1 scenario on one chip.
+
+    The SA extension applies to the MAT as well (or introduces equivalent
+    empty spaces), so the chip overhead is the extension times the MAT+SA
+    area fraction — ≈21 % for B5 with the default ratio.
+    """
+    c: Chip = get_chip(chip_id)
+    ext = sa_extension_eq1(width_over_distance)
+    return {
+        "sa_extension": ext,
+        "chip_overhead": ext * c.mat_plus_sa_fraction,
+        "mat_plus_sa_fraction": c.mat_plus_sa_fraction,
+    }
+
+
+def m2_slack_factor(chip_id: str) -> float:
+    """Relative slack of metal-2 wires vs M1 bitlines (Appendix A).
+
+    On A4/A5 the second set of bitlines transfers on M2, whose wires are
+    around 8x bigger than M1 bitlines and not packed closely — REGA's extra
+    wires fit by shrinking them 0.25x.  Returns the M2/M1 width factor the
+    dataset assumes for the chip's vendor (8.0 for vendor A, 0 otherwise:
+    no documented slack).
+    """
+    c = get_chip(chip_id)
+    return 8.0 if c.vendor == "A" else 0.0

@@ -1,0 +1,167 @@
+"""The open-source data bundle.
+
+The paper's lasting contribution is its published artefact: "the extracted
+information including IC images, reverse engineered circuits, transistor
+dimensions and physical layouts".  This module writes the equivalent
+bundle from this library's dataset:
+
+```
+bundle/
+├── MANIFEST.json              inventory + provenance note
+├── tables/
+│   ├── table1_chips.txt       Table I
+│   ├── table2_audit.txt       Table II
+│   └── fig12_models.txt       model-inaccuracy statistics
+└── chips/<ID>/
+    ├── <ID>.json              Table I row + measured dimensions
+    ├── <ID>.gds               generated SA-region layout (GDSII)
+    ├── <ID>.svg               rendered layout (Fig 10 style)
+    ├── <ID>.sp                SPICE subcircuit card
+    └── <ID>_measurements.json raw measurement samples
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.chips import CHIPS, Chip
+from repro.core.hifi import region_spec_for, spice_card
+from repro.core.model_accuracy import all_reports
+from repro.core.overheads import table2_rows
+from repro.core.report import render_table
+from repro.layout import generate_sa_region, write_gds, write_svg
+
+
+def _chip_record(chip: Chip) -> dict:
+    return {
+        "id": chip.chip_id,
+        "vendor": chip.vendor,
+        "generation": chip.generation,
+        "storage_gbit": chip.storage_gbit,
+        "year": chip.year,
+        "die_area_mm2": chip.die_area_mm2,
+        "detector": chip.detector,
+        "pixel_resolution_nm": chip.pixel_resolution_nm,
+        "topology": chip.topology.value,
+        "feature_nm": chip.geometry.feature_nm,
+        "mat_rows": chip.geometry.mat_rows,
+        "mat_cols": chip.geometry.mat_cols,
+        "transition_nm": chip.geometry.transition_nm,
+        "sa_height_nm": chip.sa_height_nm,
+        "mat_area_fraction": chip.mat_area_fraction,
+        "sa_area_fraction": chip.sa_area_fraction,
+        "transistors": {
+            kind.value: {
+                "w_nm": rec.w, "l_nm": rec.l,
+                "eff_w_nm": rec.eff_w, "eff_l_nm": rec.eff_l,
+            }
+            for kind, rec in chip.transistors.items()
+        },
+    }
+
+
+def _measurement_record(chip: Chip) -> dict:
+    ms = chip.measurements()
+    return {
+        "chip": chip.chip_id,
+        "count": ms.count(),
+        "samples": {
+            kind.value: dims for kind, dims in ms.samples.items()
+        },
+    }
+
+
+def _table1_text() -> str:
+    rows = [
+        [c.chip_id, c.vendor, c.generation, f"{c.storage_gbit}Gb", str(c.year),
+         f"{c.die_area_mm2:.0f}mm^2", c.detector,
+         "V." if c.mats_visible else "N.V.", f"{c.pixel_resolution_nm}nm",
+         c.topology.value]
+        for c in CHIPS.values()
+    ]
+    return render_table(
+        ["ID", "Vendor", "Gen", "Storage", "Yr", "Size", "Det", "MATs", "Res", "Topology"],
+        rows, title="Table I - studied chips",
+    )
+
+
+def _table2_text() -> str:
+    rows = [
+        [r.paper.title, ",".join(i.name for i in r.paper.inaccuracies),
+         r.error_str, r.porting_str, str(r.paper.ddr), str(r.paper.venue_year)]
+        for r in table2_rows()
+    ]
+    return render_table(
+        ["Research", "Inacc.", "Error", "Port.Cost", "DDR", "Year"],
+        rows, title="Table II - research audit",
+    )
+
+
+def _fig12_text() -> str:
+    rows = []
+    for report in all_reports():
+        for attr in ("wl_error", "width_error", "length_error"):
+            value, who = report.maximum(attr)
+            rows.append([
+                report.model, report.generation, attr,
+                f"{report.average(attr):.0%}", f"{value:.0%}",
+                f"{who.chip_id}/{who.kind.value}",
+            ])
+    return render_table(
+        ["Model", "Gen", "Metric", "Avg", "Max", "Worst at"],
+        rows, title="Fig 12 - model inaccuracies",
+    )
+
+
+def write_bundle(target: str | Path, n_pairs: int = 2) -> dict:
+    """Write the full data bundle under *target*; returns the manifest."""
+    target = Path(target)
+    (target / "tables").mkdir(parents=True, exist_ok=True)
+
+    manifest: dict = {
+        "name": "HiFi-DRAM reproduction data bundle",
+        "provenance": (
+            "synthetic dataset calibrated to the statistics published in "
+            "'HiFi-DRAM' (ISCA 2024); see DESIGN.md in the repository"
+        ),
+        "chips": {},
+        "tables": ["tables/table1_chips.txt", "tables/table2_audit.txt",
+                   "tables/fig12_models.txt"],
+    }
+
+    (target / "tables" / "table1_chips.txt").write_text(_table1_text() + "\n")
+    (target / "tables" / "table2_audit.txt").write_text(_table2_text() + "\n")
+    (target / "tables" / "fig12_models.txt").write_text(_fig12_text() + "\n")
+
+    for chip_id, chip in CHIPS.items():
+        chip_dir = target / "chips" / chip_id
+        chip_dir.mkdir(parents=True, exist_ok=True)
+
+        record = _chip_record(chip)
+        (chip_dir / f"{chip_id}.json").write_text(json.dumps(record, indent=2))
+
+        cell = generate_sa_region(region_spec_for(chip_id, n_pairs=n_pairs))
+        shapes = write_gds(cell, chip_dir / f"{chip_id}.gds")
+        write_svg(cell, chip_dir / f"{chip_id}.svg")
+
+        (chip_dir / f"{chip_id}.sp").write_text(spice_card(chip_id) + "\n")
+        (chip_dir / f"{chip_id}_measurements.json").write_text(
+            json.dumps(_measurement_record(chip), indent=2)
+        )
+
+        manifest["chips"][chip_id] = {
+            "topology": chip.topology.value,
+            "gds_shapes": shapes,
+            "files": [
+                f"chips/{chip_id}/{chip_id}.json",
+                f"chips/{chip_id}/{chip_id}.gds",
+                f"chips/{chip_id}/{chip_id}.svg",
+                f"chips/{chip_id}/{chip_id}.sp",
+                f"chips/{chip_id}/{chip_id}_measurements.json",
+            ],
+        }
+
+    (target / "MANIFEST.json").write_text(json.dumps(manifest, indent=2))
+    return manifest

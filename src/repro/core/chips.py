@@ -1,0 +1,309 @@
+"""The six-chip reverse-engineered dataset (Table I + §V measurements).
+
+Provenance: the paper publishes Table I verbatim (vendor, generation,
+density, year, die size, detector, pixel resolution) and the *statistics*
+of its 835 measurements (Fig 11/12, the §V-C layout facts, the Table II
+audit results).  The per-class transistor dimensions stored here are
+**synthetic**: chosen so that the published statistics are reproduced by
+the analysis code in :mod:`repro.core.model_accuracy` and
+:mod:`repro.core.overheads` (see DESIGN.md "Calibration & provenance").
+
+Key structural facts encoded per chip:
+
+* topology — classic SA on B4/C4/C5, OCSA on A4/A5/B5 (§V-A);
+* two stacked SAs between MATs, column transistors first (§V-C);
+* common-gate elements cost their *length* along the SA height (§V-C);
+* MAT→SA transition overhead ~318 nm (DDR4) / ~275 nm (DDR5) (§V-C);
+* open-bitline 6F² cell, honeycomb stacked capacitors (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.topologies import SaTopology
+from repro.core.measurements import MeasurementSet, TransistorRecord, synthesize_measurements
+from repro.errors import UnknownChipError
+from repro.layout.elements import TransistorKind
+from repro.units import MM2, UM
+
+#: Extra SA-height budget for wiring (M2 rails, jumpers), in feature sizes.
+WIRING_FEATURES = 28.0
+
+#: Ratio of effective spacing sizes to drawn sizes (§V-B: effective sizes
+#: "are higher than the width and length of transistors, as they must
+#: include safety margins").
+EFF_W_FACTOR = 1.45
+EFF_L_FACTOR = 2.2
+
+
+def _rec(w: float, l: float) -> TransistorRecord:  # noqa: E741
+    return TransistorRecord(w=w, l=l, eff_w=w * EFF_W_FACTOR, eff_l=l * EFF_L_FACTOR)
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Array geometry of a chip (all lengths nm unless noted)."""
+
+    feature_nm: float  #: 6F² cell feature size F
+    mat_rows: int
+    mat_cols: int
+    transition_nm: float  #: MAT→SA bitline transition (§V-C)
+
+    @property
+    def cell_area_nm2(self) -> float:
+        """Open-bitline cell: 6F²."""
+        return 6.0 * self.feature_nm * self.feature_nm
+
+    @property
+    def bitline_pitch_nm(self) -> float:
+        """2F (bitline direction of the 6F² cell)."""
+        return 2.0 * self.feature_nm
+
+    @property
+    def wordline_pitch_nm(self) -> float:
+        """3F."""
+        return 3.0 * self.feature_nm
+
+    @property
+    def cells_per_mat(self) -> int:
+        """Capacitors in one MAT ("half to a million", §II-A)."""
+        return self.mat_rows * self.mat_cols
+
+    @property
+    def mat_height_nm(self) -> float:
+        """MAT extent along the bitlines (X)."""
+        return self.mat_rows * self.wordline_pitch_nm
+
+    @property
+    def mat_width_nm(self) -> float:
+        """MAT extent along the wordlines (Y) — also the SA region width."""
+        return self.mat_cols * self.bitline_pitch_nm
+
+    @property
+    def mat_area_nm2(self) -> float:
+        """One MAT's area."""
+        return self.mat_height_nm * self.mat_width_nm
+
+
+@dataclass(frozen=True)
+class Chip:
+    """One studied chip: Table I row + reverse-engineered data."""
+
+    chip_id: str
+    vendor: str  # "A" | "B" | "C" (anonymized as in the paper)
+    generation: str  # "DDR4" | "DDR5"
+    storage_gbit: int
+    year: int
+    die_area_mm2: float
+    detector: str  # "SE" | "BSE"
+    mats_visible: bool
+    pixel_resolution_nm: float
+    topology: SaTopology
+    geometry: ChipGeometry
+    transistors: dict[TransistorKind, TransistorRecord] = field(default_factory=dict)
+    #: SEM dwell time used for this chip (§IV-B: 3 µs for A4/A5/B4,
+    #: 6 µs for B5/C4/C5).
+    dwell_time_us: float = 3.0
+    #: FIB slice thickness (§IV-B: 20 nm or 10 nm).
+    slice_thickness_nm: float = 10.0
+
+    # -- derived array-level quantities ------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Total capacity in bits."""
+        return self.storage_gbit * (1 << 30)
+
+    @property
+    def mats(self) -> int:
+        """Number of MATs on the die."""
+        return round(self.storage_bits / self.geometry.cells_per_mat)
+
+    @property
+    def die_area_nm2(self) -> float:
+        """Die area in nm²."""
+        return self.die_area_mm2 * MM2
+
+    @property
+    def mat_area_fraction(self) -> float:
+        """Fraction of the die covered by MATs."""
+        return self.geometry.cell_area_nm2 * self.storage_bits / self.die_area_nm2
+
+    def transistor(self, kind: TransistorKind) -> TransistorRecord:
+        """Measured record for a transistor class present on this chip."""
+        try:
+            return self.transistors[kind]
+        except KeyError:
+            raise UnknownChipError(
+                f"{self.chip_id} has no {kind.value} transistors "
+                f"({self.topology.value} topology)"
+            ) from None
+
+    def has(self, kind: TransistorKind) -> bool:
+        """True when the class exists on this chip's topology."""
+        return kind in self.transistors
+
+    @property
+    def sa_height_nm(self) -> float:
+        """SA region height (X): two stacked SAs' element budget (§V-C).
+
+        Latch-class elements cost their effective *width* along X, common
+        gate elements their effective *length*; the LSA second-stage latch
+        and a wiring allowance are included because they sit in the region.
+        """
+        t = self.transistors
+        tile = (
+            t[TransistorKind.COLUMN].eff_l
+            + 2 * t[TransistorKind.NSA].eff_w
+            + 2 * t[TransistorKind.PSA].eff_w
+            + t[TransistorKind.PRECHARGE].eff_l
+            + 2 * t[TransistorKind.LSA].eff_w
+            + WIRING_FEATURES * self.geometry.feature_nm
+        )
+        if self.topology is SaTopology.OCSA:
+            tile += t[TransistorKind.ISOLATION].eff_l
+            tile += t[TransistorKind.OFFSET_CANCEL].eff_l
+        else:
+            tile += t[TransistorKind.EQUALIZER].eff_l
+        return 2.0 * tile
+
+    @property
+    def sa_region_area_nm2(self) -> float:
+        """Area of one SA region (between two MATs)."""
+        return self.sa_height_nm * self.geometry.mat_width_nm
+
+    @property
+    def sa_area_fraction(self) -> float:
+        """Fraction of the die covered by SA regions (~one per MAT)."""
+        return self.mats * self.sa_region_area_nm2 / self.die_area_nm2
+
+    @property
+    def mat_plus_sa_fraction(self) -> float:
+        """MAT + SA fraction — the P_extra base of the I1/I2 papers."""
+        return self.mat_area_fraction + self.sa_area_fraction
+
+    def sa_height_um(self) -> float:
+        """SA height in µm (for reports)."""
+        return self.sa_height_nm / UM
+
+    def measurements(self) -> MeasurementSet:
+        """Synthetic raw measurement samples (deterministic per chip)."""
+        return synthesize_measurements(self.chip_id, self.transistors)
+
+
+def _classic(nsa, psa, pre, eq, col, lsa) -> dict[TransistorKind, TransistorRecord]:
+    return {
+        TransistorKind.NSA: _rec(*nsa),
+        TransistorKind.PSA: _rec(*psa),
+        TransistorKind.PRECHARGE: _rec(*pre),
+        TransistorKind.EQUALIZER: _rec(*eq),
+        TransistorKind.COLUMN: _rec(*col),
+        TransistorKind.LSA: _rec(*lsa),
+    }
+
+
+def _ocsa(nsa, psa, pre, iso, oc, col, lsa) -> dict[TransistorKind, TransistorRecord]:
+    return {
+        TransistorKind.NSA: _rec(*nsa),
+        TransistorKind.PSA: _rec(*psa),
+        TransistorKind.PRECHARGE: _rec(*pre),
+        TransistorKind.ISOLATION: _rec(*iso),
+        TransistorKind.OFFSET_CANCEL: _rec(*oc),
+        TransistorKind.COLUMN: _rec(*col),
+        TransistorKind.LSA: _rec(*lsa),
+    }
+
+
+#: The six studied chips (Table I), keyed by ID.
+CHIPS: dict[str, Chip] = {
+    "A4": Chip(
+        chip_id="A4", vendor="A", generation="DDR4", storage_gbit=8, year=2017,
+        die_area_mm2=34.0, detector="SE", mats_visible=True, pixel_resolution_nm=10.4,
+        dwell_time_us=3.0, slice_thickness_nm=20.0,
+        topology=SaTopology.OCSA,
+        geometry=ChipGeometry(feature_nm=20.5, mat_rows=640, mat_cols=1024, transition_nm=330.0),
+        transistors=_ocsa(
+            nsa=(104, 40), psa=(76, 40), pre=(54, 52),
+            iso=(70, 55), oc=(62, 55), col=(84, 48), lsa=(92, 46),
+        ),
+    ),
+    "B4": Chip(
+        chip_id="B4", vendor="B", generation="DDR4", storage_gbit=4, year=2022,
+        die_area_mm2=48.0, detector="BSE", mats_visible=False, pixel_resolution_nm=3.4,
+        dwell_time_us=3.0, slice_thickness_nm=10.0,
+        topology=SaTopology.CLASSIC,
+        geometry=ChipGeometry(feature_nm=33.0, mat_rows=448, mat_cols=1024, transition_nm=315.0),
+        transistors=_classic(
+            nsa=(120, 48), psa=(88, 47), pre=(58, 56), eq=(60, 50),
+            col=(95, 55), lsa=(105, 52),
+        ),
+    ),
+    "C4": Chip(
+        chip_id="C4", vendor="C", generation="DDR4", storage_gbit=8, year=2018,
+        die_area_mm2=42.0, detector="BSE", mats_visible=True, pixel_resolution_nm=5.0,
+        dwell_time_us=6.0, slice_thickness_nm=10.0,
+        topology=SaTopology.CLASSIC,
+        geometry=ChipGeometry(feature_nm=20.0, mat_rows=640, mat_cols=1024, transition_nm=310.0),
+        transistors=_classic(
+            nsa=(98, 41), psa=(72, 40), pre=(48, 48), eq=(52, 44),
+            col=(82, 47), lsa=(90, 45),
+        ),
+    ),
+    "A5": Chip(
+        chip_id="A5", vendor="A", generation="DDR5", storage_gbit=16, year=2021,
+        die_area_mm2=75.0, detector="SE", mats_visible=False, pixel_resolution_nm=5.2,
+        dwell_time_us=3.0, slice_thickness_nm=10.0,
+        topology=SaTopology.OCSA,
+        geometry=ChipGeometry(feature_nm=17.5, mat_rows=896, mat_cols=1024, transition_nm=280.0),
+        transistors=_ocsa(
+            nsa=(88, 34), psa=(64, 34), pre=(46, 45),
+            iso=(60, 47), oc=(53, 47), col=(72, 41), lsa=(78, 39),
+        ),
+    ),
+    "B5": Chip(
+        chip_id="B5", vendor="B", generation="DDR5", storage_gbit=16, year=2022,
+        die_area_mm2=68.0, detector="BSE", mats_visible=False, pixel_resolution_nm=4.2,
+        dwell_time_us=6.0, slice_thickness_nm=10.0,
+        topology=SaTopology.OCSA,
+        geometry=ChipGeometry(feature_nm=19.0, mat_rows=896, mat_cols=1024, transition_nm=270.0),
+        transistors=_ocsa(
+            nsa=(86, 33), psa=(62, 33), pre=(45, 44),
+            iso=(58, 46), oc=(52, 46), col=(70, 40), lsa=(76, 38),
+        ),
+    ),
+    "C5": Chip(
+        chip_id="C5", vendor="C", generation="DDR5", storage_gbit=16, year=2022,
+        die_area_mm2=66.0, detector="BSE", mats_visible=True, pixel_resolution_nm=5.0,
+        dwell_time_us=6.0, slice_thickness_nm=10.0,
+        topology=SaTopology.CLASSIC,
+        geometry=ChipGeometry(feature_nm=17.5, mat_rows=896, mat_cols=1024, transition_nm=275.0),
+        transistors=_classic(
+            nsa=(84, 34), psa=(62, 33), pre=(42, 41), eq=(45, 38),
+            col=(70, 40), lsa=(77, 39),
+        ),
+    ),
+}
+
+
+def chip(chip_id: str) -> Chip:
+    """Look up a chip by Table I ID (A4/B4/C4/A5/B5/C5)."""
+    try:
+        return CHIPS[chip_id]
+    except KeyError:
+        raise UnknownChipError(chip_id) from None
+
+
+def chips_by_generation(generation: str) -> list[Chip]:
+    """All chips of one generation ("DDR4"/"DDR5"), Table I order."""
+    return [c for c in CHIPS.values() if c.generation == generation]
+
+
+def chips_by_vendor(vendor: str) -> list[Chip]:
+    """Both chips of one (anonymized) vendor."""
+    return [c for c in CHIPS.values() if c.vendor == vendor]
+
+
+def total_measurement_count() -> int:
+    """Total synthetic measurements across the dataset (paper: 835)."""
+    return sum(c.measurements().count() for c in CHIPS.values())

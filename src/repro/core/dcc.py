@@ -1,0 +1,54 @@
+"""Dual-contact-cell (DCC) area analysis — the quantitative core of I1.
+
+DCCs (originally from AMBIT) add an extra row whose capacitors connect to
+*two* bitlines.  Their overhead is usually estimated as "approximately two
+wordlines, i.e., negligible"; but no studied MAT has free space for the
+extra bitlines, so implementing a DCC really means doubling the MAT area —
+reverting the 6F² open-bitline cell to a 12F² folded-bitline-like cell, as
+the prior dual-port patent confirms (§VI-B).
+"""
+
+from __future__ import annotations
+
+from repro.core.chips import Chip, CHIPS, chip as get_chip
+
+#: Cell area factors (in F² units).
+OPEN_BITLINE_F2 = 6.0
+DCC_F2 = 12.0
+
+
+def dcc_area_factor() -> float:
+    """Cell-area multiplier of a dual-contact cell (12F² / 6F² = 2)."""
+    return DCC_F2 / OPEN_BITLINE_F2
+
+
+def naive_dcc_overhead(chip_id: str, dcc_rows: int = 2) -> float:
+    """The *assumed* overhead: ~two extra wordlines per MAT (negligible)."""
+    c = get_chip(chip_id)
+    return dcc_rows / c.geometry.mat_rows * c.mat_area_fraction
+
+
+def dcc_chip_overhead(chip_id: str, include_row_drivers: bool = True) -> float:
+    """The *real* overhead of implementing DCCs on *chip_id*.
+
+    Doubling the MAT width doubles the MAT area; longer wordlines then need
+    new row drivers, whose area is comparable to the SA area (§VI-B).
+    """
+    c: Chip = get_chip(chip_id)
+    overhead = c.mat_area_fraction
+    if include_row_drivers:
+        overhead += c.sa_area_fraction
+    return overhead
+
+
+def average_mat_extension_overhead() -> float:
+    """Average chip overhead of the MAT extension alone (paper: 57 %)."""
+    chips = list(CHIPS.values())
+    return sum(c.mat_area_fraction for c in chips if c.generation == "DDR4") / 3.0
+
+
+def underestimation_factor(chip_id: str) -> float:
+    """How many times the naive estimate undershoots the real overhead."""
+    naive = naive_dcc_overhead(chip_id)
+    real = dcc_chip_overhead(chip_id)
+    return real / naive

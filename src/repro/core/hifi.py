@@ -1,0 +1,124 @@
+"""HiFi models: accurate per-chip simulation artefacts.
+
+The paper's purpose is to *enable* high-fidelity research: it open-sources
+circuits, dimensions and layouts so nobody has to simulate with CROW/REM
+guesses again.  This module packages the dataset the same way:
+
+* :func:`sa_sizes_for` — a chip's measured dimensions as
+  :class:`~repro.circuits.topologies.SaSizes`, ready for the analog bench;
+* :func:`netlist_for` — the chip's deployed topology instantiated with its
+  measured dimensions (the SPICE-ready circuit);
+* :func:`analog_model_for` — the chip packaged as an
+  :class:`~repro.core.models.AnalogModel`, comparable against CROW/REM
+  with the §VI-A machinery (its self-inaccuracy is zero by construction);
+* :func:`region_spec_for` — a layout-generator spec with the chip's
+  dimensions, so imaging/RE experiments can run on "that chip".
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.topologies import SaSizes, SaTopology, build_classic_sa, build_ocsa
+from repro.core.chips import Chip, chip as get_chip
+from repro.core.models import AnalogModel
+from repro.layout.elements import TransistorKind
+from repro.layout.generator import DeviceDims, SaRegionSpec
+
+
+def sa_sizes_for(chip_id: str) -> SaSizes:
+    """Measured W/L of one chip as analog-bench sizes."""
+    c = get_chip(chip_id)
+    t = c.transistors
+
+    def wl(kind: TransistorKind, fallback: TransistorKind | None = None):
+        source = t.get(kind) or (t.get(fallback) if fallback else None)
+        assert source is not None
+        return source.w, source.l
+
+    nsa_w, nsa_l = wl(TransistorKind.NSA)
+    psa_w, psa_l = wl(TransistorKind.PSA)
+    pre_w, pre_l = wl(TransistorKind.PRECHARGE)
+    col_w, col_l = wl(TransistorKind.COLUMN)
+    eq_w, eq_l = wl(TransistorKind.EQUALIZER, fallback=TransistorKind.PRECHARGE)
+    iso_w, iso_l = wl(TransistorKind.ISOLATION, fallback=TransistorKind.PRECHARGE)
+    oc_w, oc_l = wl(TransistorKind.OFFSET_CANCEL, fallback=TransistorKind.PRECHARGE)
+    return SaSizes(
+        nsa_w=nsa_w, nsa_l=nsa_l,
+        psa_w=psa_w, psa_l=psa_l,
+        precharge_w=pre_w, precharge_l=pre_l,
+        equalizer_w=eq_w, equalizer_l=eq_l,
+        column_w=col_w, column_l=col_l,
+        isolation_w=iso_w, isolation_l=iso_l,
+        offset_cancel_w=oc_w, offset_cancel_l=oc_l,
+    )
+
+
+def netlist_for(chip_id: str) -> Circuit:
+    """The chip's deployed SA topology with its measured dimensions."""
+    c = get_chip(chip_id)
+    sizes = sa_sizes_for(chip_id)
+    if c.topology is SaTopology.OCSA:
+        return build_ocsa(sizes, name=f"{chip_id}_sa")
+    return build_classic_sa(sizes, name=f"{chip_id}_sa")
+
+
+def analog_model_for(chip_id: str) -> AnalogModel:
+    """Package one chip's measurements as a public-model object."""
+    c = get_chip(chip_id)
+    return AnalogModel(
+        name=f"HiFi-{chip_id}",
+        year=2024,
+        basis=f"reverse-engineered {chip_id} ({c.vendor}, {c.generation})",
+        technology=c.generation,
+        includes_column=True,
+        includes_ocsa=c.topology is SaTopology.OCSA,
+        transistors=dict(c.transistors),
+    )
+
+
+def region_spec_for(chip_id: str, n_pairs: int = 2) -> SaRegionSpec:
+    """A layout-generator spec reproducing the chip's SA region."""
+    c = get_chip(chip_id)
+    dims = {
+        kind: DeviceDims(w=rec.w, l=rec.l, eff_w=rec.eff_w, eff_l=rec.eff_l)
+        for kind, rec in c.transistors.items()
+    }
+    return SaRegionSpec(
+        name=f"{chip_id.lower()}_region",
+        topology=c.topology.value,
+        n_pairs=n_pairs,
+        feature_nm=c.geometry.feature_nm,
+        transition_nm=c.geometry.transition_nm,
+        dims=dims,
+    )
+
+
+def spice_card(chip_id: str) -> str:
+    """A SPICE-style subcircuit card for the chip's SA (documentation aid).
+
+    The node order is ``BL BLB LIO LIOB`` plus the topology's control nets;
+    transistor cards carry the measured W/L in nanometres.
+    """
+    c = get_chip(chip_id)
+    circuit = netlist_for(chip_id)
+    controls = (
+        "PRE ISO OC Y LA LAB VPRE"
+        if c.topology is SaTopology.OCSA
+        else "PEQ Y LA LAB VPRE"
+    )
+    lines = [
+        f"* HiFi-DRAM reverse-engineered SA: {chip_id} "
+        f"({c.vendor}, {c.generation}, {c.topology.value})",
+        f".SUBCKT SA_{chip_id} BL BLB LIO LIOB {controls}",
+    ]
+    for dev in circuit:
+        if not dev.dtype.is_mos:
+            continue
+        model = "PMOS_DRAM" if dev.dtype.value == "pmos" else "NMOS_DRAM"
+        lines.append(
+            f"M{dev.name} {dev.nets['d']} {dev.nets['g']} {dev.nets['s']} "
+            f"{dev.nets['s']} {model} W={dev.params['w']:.0f}n "
+            f"L={dev.params['l']:.0f}n"
+        )
+    lines.append(f".ENDS SA_{chip_id}")
+    return "\n".join(lines)

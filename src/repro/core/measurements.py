@@ -1,0 +1,112 @@
+"""Transistor measurement records (§V-B).
+
+The paper performs 835 distinct size measurements with Dragonfly: multiple
+measurements per dimension per transistor class per chip.  The dataset in
+:mod:`repro.core.chips` stores the per-class means; this module provides
+
+* :class:`TransistorRecord` — a class's W/L plus effective spacing sizes;
+* :func:`synthesize_measurements` — per-measurement samples regenerated
+  around those means with a deterministic per-chip jitter, so statistical
+  code (and the Fig 11 whiskers) has raw samples to chew on;
+* :class:`MeasurementSet` — aggregation helpers over the samples.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+#: Relative 1-sigma jitter of individual size measurements: combines the
+#: imaging pixel quantisation with real device-to-device variation.
+MEASUREMENT_SIGMA = 0.045
+
+#: Default number of measurements per dimension per class — chosen so the
+#: whole six-chip dataset lands close to the paper's 835 total.
+DEFAULT_SAMPLES_PER_DIM = 11
+
+
+@dataclass(frozen=True)
+class TransistorRecord:
+    """Mean measured dimensions of one transistor class on one chip (nm).
+
+    ``eff_w``/``eff_l`` are the *effective spacing sizes* of §V-B: the room
+    the element occupies including safety margins — what the Appendix B
+    overhead formulas consume (``san_ws``, ``iso_ls``, ...).
+    """
+
+    w: float
+    l: float  # noqa: E741 - SPICE convention
+    eff_w: float
+    eff_l: float
+
+    def __post_init__(self) -> None:
+        if min(self.w, self.l, self.eff_w, self.eff_l) <= 0:
+            raise EvaluationError("non-positive transistor dimension")
+        if self.eff_w < self.w or self.eff_l < self.l:
+            raise EvaluationError("effective sizes must include the drawn sizes")
+
+    @property
+    def wl_ratio(self) -> float:
+        """W/L — §VI-A's figure of merit."""
+        return self.w / self.l
+
+
+@dataclass
+class MeasurementSet:
+    """Raw measurement samples for one chip."""
+
+    chip_id: str
+    samples: dict[TransistorKind, dict[str, list[float]]] = field(default_factory=dict)
+
+    def count(self) -> int:
+        """Total number of individual measurements."""
+        return sum(
+            len(values) for dims in self.samples.values() for values in dims.values()
+        )
+
+    def mean(self, kind: TransistorKind, dim: str) -> float:
+        """Sample mean of dimension *dim* ('w' or 'l') for *kind*."""
+        try:
+            return statistics.fmean(self.samples[kind][dim])
+        except KeyError:
+            raise EvaluationError(
+                f"{self.chip_id}: no '{dim}' measurements for {kind.value}"
+            ) from None
+
+    def stdev(self, kind: TransistorKind, dim: str) -> float:
+        """Sample standard deviation."""
+        values = self.samples[kind][dim]
+        return statistics.pstdev(values) if len(values) > 1 else 0.0
+
+    def spread(self, kind: TransistorKind, dim: str) -> tuple[float, float]:
+        """(min, max) of the samples — the Fig 11 whiskers."""
+        values = self.samples[kind][dim]
+        return (min(values), max(values))
+
+
+def synthesize_measurements(
+    chip_id: str,
+    records: dict[TransistorKind, TransistorRecord],
+    samples_per_dim: int = DEFAULT_SAMPLES_PER_DIM,
+    sigma: float = MEASUREMENT_SIGMA,
+) -> MeasurementSet:
+    """Regenerate raw measurement samples around the per-class means.
+
+    Deterministic per chip (the seed derives from the chip id), so repeated
+    calls — and therefore all benches — see identical data.
+    """
+    seed = sum(ord(c) for c in chip_id) * 7919
+    rng = np.random.default_rng(seed)
+    out = MeasurementSet(chip_id=chip_id)
+    for kind, rec in sorted(records.items(), key=lambda kv: kv[0].value):
+        dims: dict[str, list[float]] = {}
+        for dim, mean in (("w", rec.w), ("l", rec.l)):
+            noise = rng.normal(1.0, sigma, size=samples_per_dim)
+            dims[dim] = [float(mean * max(0.5, n)) for n in noise]
+        out.samples[kind] = dims
+    return out

@@ -1,0 +1,144 @@
+"""§VI-A: how inaccurate are the public analog models? (Fig 11, Fig 12)
+
+The analysis compares each model element's dimensions to the measured
+dimensions of the same element on each chip, as
+
+* **W/L inaccuracy** — |model_ratio / chip_ratio − 1| (higher ratios make
+  simulations optimistic, §VI-A);
+* **width / length inaccuracy** — the same relative error per dimension.
+
+Elements absent from a comparison side are skipped: CROW has no column
+transistors, neither model has ISO/OC elements, OCSA chips have no
+equalizer.  Averages and maxima are reported per generation, matching the
+Fig 12 presentation ("¥ portability to DDR5").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chips import Chip, chips_by_generation
+from repro.core.models import AnalogModel, public_models
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+@dataclass(frozen=True)
+class ElementInaccuracy:
+    """One model-element vs one chip-element comparison."""
+
+    model: str
+    chip_id: str
+    kind: TransistorKind
+    wl_error: float  #: relative error of W/L, e.g. 5.62 for "562 %"
+    width_error: float
+    length_error: float
+
+
+@dataclass
+class ModelAccuracyReport:
+    """Fig 12 numbers for one model vs one chip generation."""
+
+    model: str
+    generation: str
+    comparisons: list[ElementInaccuracy] = field(default_factory=list)
+
+    def _values(self, attr: str) -> list[float]:
+        return [getattr(c, attr) for c in self.comparisons]
+
+    def average(self, attr: str = "wl_error") -> float:
+        """Average inaccuracy over all comparisons."""
+        values = self._values(attr)
+        if not values:
+            raise EvaluationError(f"no comparisons for {self.model}/{self.generation}")
+        return sum(values) / len(values)
+
+    def maximum(self, attr: str = "wl_error") -> tuple[float, ElementInaccuracy]:
+        """Worst inaccuracy and the comparison that produced it."""
+        worst = max(self.comparisons, key=lambda c: getattr(c, attr))
+        return getattr(worst, attr), worst
+
+
+def element_inaccuracy(model: AnalogModel, chip: Chip, kind: TransistorKind) -> ElementInaccuracy:
+    """Compare one element of *model* against the same element on *chip*."""
+    m = model.transistor(kind)
+    c = chip.transistor(kind)
+    return ElementInaccuracy(
+        model=model.name,
+        chip_id=chip.chip_id,
+        kind=kind,
+        wl_error=abs(m.wl_ratio / c.wl_ratio - 1.0),
+        width_error=abs(m.w / c.w - 1.0),
+        length_error=abs(m.l / c.l - 1.0),
+    )
+
+
+def model_accuracy_report(
+    model: AnalogModel, generation: str = "DDR4"
+) -> ModelAccuracyReport:
+    """All comparable elements of *model* against all chips of *generation*."""
+    report = ModelAccuracyReport(model=model.name, generation=generation)
+    for chip in chips_by_generation(generation):
+        for kind in model.transistors:
+            if not chip.has(kind):
+                continue  # e.g. no equalizer on OCSA chips
+            report.comparisons.append(element_inaccuracy(model, chip, kind))
+    if not report.comparisons:
+        raise EvaluationError(f"no comparable elements for {model.name} on {generation}")
+    return report
+
+
+def all_reports() -> list[ModelAccuracyReport]:
+    """Every (model × generation) report — the full Fig 12."""
+    reports = []
+    for model in public_models().values():
+        for generation in ("DDR4", "DDR5"):
+            reports.append(model_accuracy_report(model, generation))
+    return reports
+
+
+def worst_case_factor(generation: str = "DDR4") -> float:
+    """The abstract's headline: public models are "up to 9x inaccurate".
+
+    Computed as the worst single-dimension relative error across both
+    models against the chips of the models' own technology generation,
+    expressed as a multiplicative factor.
+    """
+    worst = 0.0
+    for model in public_models().values():
+        report = model_accuracy_report(model, generation)
+        for attr in ("wl_error", "width_error", "length_error"):
+            value, _who = report.maximum(attr)
+            worst = max(worst, value)
+    return worst
+
+
+def fig11_series() -> dict[str, dict[str, tuple[float, float, float, float]]]:
+    """Fig 11 data: measured pSA/nSA dimensions for all chips plus REM.
+
+    Returns ``{series: {element: (w_mean, w_spread, l_mean, l_spread)}}``
+    where spreads are the half-ranges of the synthetic measurement samples
+    (the whiskers).  CROW is omitted "as severely out of range", as in the
+    paper.
+    """
+    from repro.core.chips import CHIPS
+    from repro.core.models import REM
+
+    series: dict[str, dict[str, tuple[float, float, float, float]]] = {}
+    for chip in CHIPS.values():
+        ms = chip.measurements()
+        entry: dict[str, tuple[float, float, float, float]] = {}
+        for kind in (TransistorKind.NSA, TransistorKind.PSA):
+            w_lo, w_hi = ms.spread(kind, "w")
+            l_lo, l_hi = ms.spread(kind, "l")
+            entry[kind.value] = (
+                ms.mean(kind, "w"), (w_hi - w_lo) / 2,
+                ms.mean(kind, "l"), (l_hi - l_lo) / 2,
+            )
+        series[chip.chip_id] = entry
+    rem_entry: dict[str, tuple[float, float, float, float]] = {}
+    for kind in (TransistorKind.NSA, TransistorKind.PSA):
+        rec = REM.transistor(kind)
+        rem_entry[kind.value] = (rec.w, 0.0, rec.l, 0.0)
+    series["REM"] = rem_entry
+    return series

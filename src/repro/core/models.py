@@ -1,0 +1,89 @@
+"""Public analog DRAM sense-amplifier models (§VI-A).
+
+Only two public models exist for DDR4 and none for DDR5:
+
+* **CROW** (Hassan et al., ISCA 2019) — transistor dimensions based on
+  best guesses; includes no column transistors;
+* **REM** (Marazzi et al., S&P 2023 / REGA) — based on real DDR4 transistor
+  dimensions of a smaller vendor (Zentel Japan) at 25 nm technology, one
+  generation older than the studied commodity chips.
+
+Neither includes the OCSA design.  Dimension values are representative of
+the published models (CROW deliberately "vastly out of range", per Fig 11's
+omission) and calibrated so the Fig 12 statistics come out as published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.measurements import TransistorRecord
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+@dataclass(frozen=True)
+class AnalogModel:
+    """A public SA simulation model."""
+
+    name: str
+    year: int
+    basis: str  #: what the dimensions are based on
+    technology: str
+    includes_column: bool
+    includes_ocsa: bool
+    transistors: dict[TransistorKind, TransistorRecord] = field(default_factory=dict)
+
+    def transistor(self, kind: TransistorKind) -> TransistorRecord:
+        """Model record for a transistor class."""
+        try:
+            return self.transistors[kind]
+        except KeyError:
+            raise EvaluationError(f"model {self.name} has no {kind.value} element") from None
+
+    def has(self, kind: TransistorKind) -> bool:
+        """True when the model includes the class."""
+        return kind in self.transistors
+
+
+def _rec(w: float, l: float) -> TransistorRecord:  # noqa: E741
+    return TransistorRecord(w=w, l=l, eff_w=w * 1.4, eff_l=l * 2.0)
+
+
+#: CROW (2019): best-guess dimensions, no column transistors.
+CROW = AnalogModel(
+    name="CROW",
+    year=2019,
+    basis="best guesses",
+    technology="DDR4 (assumed)",
+    includes_column=False,
+    includes_ocsa=False,
+    transistors={
+        TransistorKind.NSA: _rec(170.0, 50.0),
+        TransistorKind.PSA: _rec(125.0, 50.0),
+        TransistorKind.PRECHARGE: _rec(498.0, 75.0),
+        TransistorKind.EQUALIZER: _rec(250.0, 55.0),
+    },
+)
+
+#: REM (2022): real dimensions from a smaller vendor's 25 nm DDR4.
+REM = AnalogModel(
+    name="REM",
+    year=2022,
+    basis="Zentel Japan 25 nm DDR4",
+    technology="DDR4 (25 nm, one generation older)",
+    includes_column=True,
+    includes_ocsa=False,
+    transistors={
+        TransistorKind.NSA: _rec(116.0, 52.0),
+        TransistorKind.PSA: _rec(84.0, 48.0),
+        TransistorKind.PRECHARGE: _rec(72.0, 60.0),
+        TransistorKind.EQUALIZER: _rec(66.0, 88.0),
+        TransistorKind.COLUMN: _rec(100.0, 52.0),
+    },
+)
+
+
+def public_models() -> dict[str, AnalogModel]:
+    """The public model corpus, keyed by name."""
+    return {"CROW": CROW, "REM": REM}

@@ -1,0 +1,156 @@
+"""The 13 audited papers (Table II) and the five inaccuracies I1–I5.
+
+Each entry records the columns of Table II that are *inputs* to the audit:
+the inaccuracy set, the DDR generation the paper targeted, the year, and
+the paper's original overhead estimate ``P_oe`` (the published number the
+overhead error is measured against).  The *outputs* — overhead error and
+porting cost — are computed by :mod:`repro.core.overheads` from the chip
+dataset via the Appendix B formulas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import UnknownPaperError
+
+
+class Inaccuracy(enum.Enum):
+    """The five sources of research inaccuracy (§VI-B)."""
+
+    I1 = "no free space for bitlines in the MAT area"
+    I2 = "no free space for bitlines in the SA area"
+    I3 = "assuming a SA circuitry that is not deployed in practice"
+    I4 = "assuming a SA physical layout that does not correspond to the ones deployed"
+    I5 = "not considering offset-cancellation designs as the deployed SA topologies"
+
+
+class OverheadFormula(enum.Enum):
+    """Which Appendix B formula computes the paper's P_extra."""
+
+    MAT_SA_DOUBLE = "mat_sa_double"  #: doubling bitlines → MAT + SA areas
+    REGA = "rega"  #: (MAT+SA)/3 on B/C chips; iso+SA extension on A chips
+    ISO_PAIR = "iso_pair"  #: 2 isolation transistors per SA region
+    ISO_COL_SA = "iso_col_sa"  #: iso + column + full SA transistors
+    CHARM = "charm"  #: MAT aspect-ratio change + 1 % reorganization
+    PF_DRAM = "pf_dram"  #: 4 iso + SA imbalancer
+
+
+@dataclass(frozen=True)
+class Paper:
+    """One audited proposal (a Table II row)."""
+
+    key: str
+    title: str
+    venue_year: int
+    ddr: int  #: original technology generation (3 or 4)
+    inaccuracies: tuple[Inaccuracy, ...]
+    formula: OverheadFormula
+    original_overhead: float  #: P_oe, fraction of chip area
+    summary: str
+
+    @property
+    def error_applicable(self) -> bool:
+        """Overhead error needs the original technology ≥ DDR4 (§VI-C)."""
+        return self.ddr >= 4
+
+    def has(self, inaccuracy: Inaccuracy) -> bool:
+        """True when the paper suffers *inaccuracy*."""
+        return inaccuracy in self.inaccuracies
+
+
+#: The Table II corpus, in the paper's row order.
+PAPERS: dict[str, Paper] = {
+    "charm": Paper(
+        key="charm", title="CHARM", venue_year=2013, ddr=3,
+        inaccuracies=(Inaccuracy.I5,),
+        formula=OverheadFormula.CHARM, original_overhead=0.0147,
+        summary="asymmetric bank organizations to cut access latency",
+    ),
+    "rb_dec": Paper(
+        key="rb_dec", title="R.B. DEC.", venue_year=2014, ddr=3,
+        inaccuracies=(Inaccuracy.I4, Inaccuracy.I5),
+        formula=OverheadFormula.ISO_PAIR, original_overhead=0.0035,
+        summary="row-buffer decoupling with isolation transistors",
+    ),
+    "ambit": Paper(
+        key="ambit", title="AMBIT", venue_year=2017, ddr=3,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0085,
+        summary="in-DRAM bulk bitwise operations via dual-contact cells",
+    ),
+    "dracc": Paper(
+        key="dracc", title="DrACC", venue_year=2018, ddr=4,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0172,
+        summary="in-DRAM accelerator for ternary CNN inference",
+    ),
+    "graphide": Paper(
+        key="graphide", title="GraphiDe", venue_year=2019, ddr=4,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0112,
+        summary="graph-processing acceleration by in-DRAM computing",
+    ),
+    "inmem_lowcost": Paper(
+        key="inmem_lowcost", title="In-Mem.Lowcost.", venue_year=2019, ddr=4,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0087,
+        summary="low-cost bit-serial addition in commodity DRAM",
+    ),
+    "elp2im": Paper(
+        key="elp2im", title="ELP2IM", venue_year=2020, ddr=3,
+        inaccuracies=(Inaccuracy.I2, Inaccuracy.I3, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0064,
+        summary="low-power bitwise PIM using pseudo-precharge states",
+    ),
+    "clr_dram": Paper(
+        key="clr_dram", title="CLR-DRAM", venue_year=2020, ddr=4,
+        inaccuracies=(Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0269,
+        summary="dynamic capacity-latency trade-off (coupled bitlines)",
+    ),
+    "simdram": Paper(
+        key="simdram", title="SIMDRAM", venue_year=2021, ddr=4,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0087,
+        summary="bit-serial SIMD processing framework using DRAM",
+    ),
+    "nov_dram": Paper(
+        key="nov_dram", title="Nov. DRAM", venue_year=2021, ddr=4,
+        inaccuracies=(Inaccuracy.I4, Inaccuracy.I5),
+        formula=OverheadFormula.ISO_COL_SA, original_overhead=0.0228,
+        summary="dual-page operation for bandwidth/latency improvements",
+    ),
+    "pf_dram": Paper(
+        key="pf_dram", title="PF-DRAM", venue_year=2021, ddr=4,
+        inaccuracies=(Inaccuracy.I5,),
+        formula=OverheadFormula.PF_DRAM, original_overhead=0.0283,
+        summary="precharge-free DRAM structure",
+    ),
+    "rega": Paper(
+        key="rega", title="REGA", venue_year=2023, ddr=4,
+        inaccuracies=(Inaccuracy.I2, Inaccuracy.I4, Inaccuracy.I5),
+        formula=OverheadFormula.REGA, original_overhead=0.0147,
+        summary="refresh-generating activations against Rowhammer",
+    ),
+    "cooldram": Paper(
+        key="cooldram", title="CoolDRAM", venue_year=2023, ddr=4,
+        inaccuracies=(Inaccuracy.I1, Inaccuracy.I2, Inaccuracy.I3, Inaccuracy.I5),
+        formula=OverheadFormula.MAT_SA_DOUBLE, original_overhead=0.0035,
+        summary="energy-efficient and robust DRAM operation",
+    ),
+}
+
+
+def paper(key: str) -> Paper:
+    """Look up a paper by key."""
+    try:
+        return PAPERS[key]
+    except KeyError:
+        raise UnknownPaperError(key) from None
+
+
+def papers_with(inaccuracy: Inaccuracy) -> list[Paper]:
+    """All papers suffering a given inaccuracy."""
+    return [p for p in PAPERS.values() if p.has(inaccuracy)]

@@ -1,0 +1,139 @@
+"""§VI-E: recommendations R1–R4 as a checkable rule set.
+
+Beyond listing the recommendations, this module can *audit a proposal
+description*: given a structured description of a DRAM modification
+(what it adds, what it assumes), it reports which recommendations the
+proposal violates and which inaccuracies (I1–I5) it would suffer on the
+studied chips — the forward-looking use the paper intends for its data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.topologies import SaTopology
+from repro.core.chips import CHIPS
+from repro.core.papers import Inaccuracy
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One of the paper's four recommendations."""
+
+    key: str
+    text: str
+    rationale: str
+
+
+RECOMMENDATIONS: dict[str, Recommendation] = {
+    "R1": Recommendation(
+        key="R1",
+        text=(
+            "Overheads should be estimated including all additions to MATs "
+            "or SAs, such as wires connections."
+        ),
+        rationale="simple changes have non-negligible overheads on commodity devices (I1-2)",
+    ),
+    "R2": Recommendation(
+        key="R2",
+        text="Research modifying SAs should consider the impact on all the interconnected SAs.",
+        rationale="SA control lines are shared across the region, not per-SA (I3)",
+    ),
+    "R3": Recommendation(
+        key="R3",
+        text="Research should consider the physical layout and organization of SAs blocks.",
+        rationale="schematic-vs-layout differences break placement assumptions (I4)",
+    ),
+    "R4": Recommendation(
+        key="R4",
+        text="Research should consider OCSA in the evaluation.",
+        rationale="half the studied chips deploy offset-cancellation designs (I5)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ProposalDescription:
+    """Structured description of a DRAM modification to be audited."""
+
+    name: str
+    adds_bitlines_in_mat: bool = False
+    adds_bitlines_in_sa: bool = False
+    adds_wiring: bool = False
+    wiring_overhead_included: bool = False
+    assumes_independent_control_gates: bool = False
+    assumes_isolation_present: bool = False
+    assumes_columns_after_sa: bool = False
+    evaluated_topologies: tuple[SaTopology, ...] = (SaTopology.CLASSIC,)
+
+
+@dataclass
+class ProposalAudit:
+    """Audit result: violated recommendations + triggered inaccuracies."""
+
+    proposal: str
+    inaccuracies: list[Inaccuracy] = field(default_factory=list)
+    violated: list[Recommendation] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no recommendation is violated."""
+        return not self.violated
+
+
+def audit_proposal(description: ProposalDescription) -> ProposalAudit:
+    """Audit a proposal description against R1–R4 and I1–I5."""
+    result = ProposalAudit(proposal=description.name)
+
+    if description.adds_bitlines_in_mat:
+        result.inaccuracies.append(Inaccuracy.I1)
+        result.notes.append("no studied MAT has free space for extra bitlines (Fig 13a)")
+    if description.adds_bitlines_in_sa:
+        result.inaccuracies.append(Inaccuracy.I2)
+        result.notes.append("no studied SA region has free bitline tracks (Fig 13b)")
+    if (description.adds_wiring or description.adds_bitlines_in_mat
+            or description.adds_bitlines_in_sa) and not description.wiring_overhead_included:
+        result.violated.append(RECOMMENDATIONS["R1"])
+
+    if description.assumes_independent_control_gates:
+        result.inaccuracies.append(Inaccuracy.I3)
+        result.violated.append(RECOMMENDATIONS["R2"])
+        result.notes.append(
+            "precharge/equalize gates span the whole region and are shared "
+            "across all the SAs on every studied chip"
+        )
+    if description.assumes_isolation_present:
+        deployed = [c.chip_id for c in CHIPS.values() if c.topology is SaTopology.OCSA]
+        result.inaccuracies.append(Inaccuracy.I3)
+        result.notes.append(
+            "OCSA isolation transistors decouple latch drains but not gates; "
+            f"they exist only on {', '.join(deployed)} and differ from the "
+            "assumed free-standing isolation"
+        )
+        if RECOMMENDATIONS["R2"] not in result.violated:
+            result.violated.append(RECOMMENDATIONS["R2"])
+
+    if description.assumes_columns_after_sa:
+        result.inaccuracies.append(Inaccuracy.I4)
+        result.violated.append(RECOMMENDATIONS["R3"])
+        result.notes.append(
+            "column transistors are the first elements after the MAT on all "
+            "studied chips; placing elements before them needs reorganization"
+        )
+
+    if SaTopology.OCSA not in description.evaluated_topologies:
+        result.inaccuracies.append(Inaccuracy.I5)
+        result.violated.append(RECOMMENDATIONS["R4"])
+        ocsa_chips = [c.chip_id for c in CHIPS.values() if c.topology is SaTopology.OCSA]
+        result.notes.append(
+            f"chips {', '.join(ocsa_chips)} deploy OCSAs; timings and "
+            "overheads evaluated only on the classic SA do not transfer"
+        )
+
+    # Deduplicate while keeping order.
+    seen = set()
+    result.inaccuracies = [
+        i for i in result.inaccuracies if not (i in seen or seen.add(i))
+    ]
+    return result

@@ -1,0 +1,47 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every bench prints through these helpers so the regenerated rows/series
+look the same everywhere (and diff cleanly against EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: dict[str, float], unit: str = "", digits: int = 2) -> str:
+    """One labelled data series (a figure's bar group) as a text line."""
+    body = ", ".join(f"{k}={v:.{digits}f}{unit}" for k, v in points.items())
+    return f"{name}: {body}"
+
+
+def percent(value: float, digits: int = 0) -> str:
+    """0.57 → '57%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def factor(value: float | None, digits: int = 2) -> str:
+    """Table II style x-factors; None → 'N/A'."""
+    if value is None:
+        return "N/A"
+    return f"{value:.{digits}f}x"

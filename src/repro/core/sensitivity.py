@@ -1,0 +1,115 @@
+"""Sensitivity analysis of the Table II audit.
+
+The audit's inputs carry uncertainty: effective spacing sizes include
+process-rule margins the paper measures but we synthesise, and the array
+geometry (rows per MAT, feature size) is inferred.  This module quantifies
+how much the Table II conclusions move when those inputs wiggle — the
+robustness check a careful reader of §VI-C would ask for.
+
+The key structural result it demonstrates: the I1/I2 papers' errors are
+*insensitive* to transistor sizing (their P_extra is the MAT+SA area), so
+the 20×–175× conclusions survive any plausible measurement error; only the
+small transistor-level papers (R.B. DEC., Nov. DRAM, PF-DRAM) move.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+
+from repro.core.chips import CHIPS, Chip
+from repro.core.measurements import TransistorRecord
+from repro.core.overheads import overhead_error
+from repro.core.papers import PAPERS, Paper
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+def _scaled_chip(chip: Chip, eff_scale: float) -> Chip:
+    """A copy of *chip* with every effective size scaled by *eff_scale*.
+
+    Drawn W/L stay put (they are measured directly); only the spacing
+    margins — the part we synthesise — are perturbed.
+    """
+    if eff_scale <= 0:
+        raise EvaluationError("effective-size scale must be positive")
+    scaled: dict[TransistorKind, TransistorRecord] = {}
+    for kind, rec in chip.transistors.items():
+        scaled[kind] = TransistorRecord(
+            w=rec.w,
+            l=rec.l,
+            eff_w=max(rec.w, rec.eff_w * eff_scale),
+            eff_l=max(rec.l, rec.eff_l * eff_scale),
+        )
+    return replace(chip, transistors=scaled)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Error range of one paper over the perturbation sweep."""
+
+    paper: Paper
+    nominal: float | None
+    low: float | None
+    high: float | None
+
+    @property
+    def relative_span(self) -> float:
+        """(high − low) / nominal; 0 for N/A rows."""
+        if self.nominal is None or not self.nominal:
+            return 0.0
+        assert self.low is not None and self.high is not None
+        return (self.high - self.low) / abs(self.nominal)
+
+
+def _error_with_scale(paper: Paper, eff_scale: float) -> float | None:
+    """Overhead error with all chips' effective sizes scaled."""
+    if not paper.error_applicable:
+        return None
+    from repro.core import overheads
+
+    chips = [
+        _scaled_chip(c, eff_scale)
+        for c in CHIPS.values()
+        if c.generation == "DDR4"
+    ]
+    values = [
+        overheads.paper_overhead_fraction(paper, chip) / paper.original_overhead - 1.0
+        for chip in chips
+    ]
+    return statistics.fmean(values)
+
+
+def sweep_effective_sizes(
+    scales: tuple[float, float] = (0.8, 1.2)
+) -> list[SensitivityResult]:
+    """Table II error ranges when effective sizes move ±20 %."""
+    results = []
+    lo_scale, hi_scale = scales
+    for paper in PAPERS.values():
+        nominal = overhead_error(paper)
+        if nominal is None:
+            results.append(SensitivityResult(paper, None, None, None))
+            continue
+        candidates = [_error_with_scale(paper, s) for s in (lo_scale, hi_scale)]
+        values = [v for v in candidates if v is not None]
+        results.append(
+            SensitivityResult(paper, nominal, min(values), max(values))
+        )
+    return results
+
+
+def conclusions_robust(threshold: float = 20.0) -> bool:
+    """Does the ">20x for 8 papers" claim survive the ±20 % sweep?
+
+    Checks that every paper above *threshold* nominally stays above it at
+    both sweep extremes (I1/I2 errors are area-driven, so they must).
+    """
+    for result in sweep_effective_sizes():
+        if result.nominal is None:
+            continue
+        if result.nominal > threshold:
+            assert result.low is not None
+            if result.low <= threshold:
+                return False
+    return True

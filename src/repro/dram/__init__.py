@@ -1,0 +1,68 @@
+"""DRAM command-level substrate.
+
+§VI-D discusses *out-of-spec DRAM experiments*: research that issues
+command sequences violating the JEDEC timings — for in-DRAM compute
+(ComputeDRAM-style majority operations), reverse engineering, or
+characterization — and implicitly assumes the classic SA's behaviour.
+This package provides the command level those experiments live at:
+
+* :mod:`repro.dram.timing` — timing parameters, including sets *derived
+  from the analog simulations* of each SA topology (tRCD/tRAS shift on
+  OCSA chips because charge sharing is delayed and restore starts later);
+* :mod:`repro.dram.commands` — the command vocabulary and traces;
+* :mod:`repro.dram.bank` — a bank state machine that executes traces,
+  checks (or deliberately ignores) timings, and models what happens to the
+  cells electrically, topology-aware;
+* :mod:`repro.dram.out_of_spec` — the §VI-D experiments: truncated
+  activations, skipped precharges and multi-row charge sharing, run against
+  classic and OCSA banks side by side.
+"""
+
+from repro.dram.timing import TimingParameters, derive_timings, JEDEC_DDR4
+from repro.dram.commands import Command, DramCommand, CommandTrace
+from repro.dram.bank import Bank, BankState, CellState, TimingViolation
+from repro.dram.out_of_spec import (
+    OutOfSpecResult,
+    truncated_activation_experiment,
+    multi_row_activation_experiment,
+    charge_sharing_window,
+)
+from repro.dram.controller import (
+    Controller,
+    Request,
+    row_hit_stream,
+    row_miss_stream,
+    throughput_comparison,
+)
+from repro.dram.compute import (
+    ComputeResult,
+    in_dram_and,
+    in_dram_majority,
+    in_dram_or,
+)
+
+__all__ = [
+    "TimingParameters",
+    "derive_timings",
+    "JEDEC_DDR4",
+    "Command",
+    "DramCommand",
+    "CommandTrace",
+    "Bank",
+    "BankState",
+    "CellState",
+    "TimingViolation",
+    "OutOfSpecResult",
+    "truncated_activation_experiment",
+    "multi_row_activation_experiment",
+    "charge_sharing_window",
+    "ComputeResult",
+    "in_dram_and",
+    "in_dram_majority",
+    "in_dram_or",
+    "Controller",
+    "Request",
+    "row_hit_stream",
+    "row_miss_stream",
+    "throughput_comparison",
+]

@@ -1,0 +1,263 @@
+"""Bank state machine with topology-aware activation outcomes.
+
+Executes a :class:`~repro.dram.commands.CommandTrace` against the timing
+milestones of the bank's SA topology (see
+:mod:`repro.dram.timing`).  In ``enforce=False`` mode — the §VI-D setting —
+illegal command distances are *recorded* rather than rejected, and their
+electrical consequences follow the topology's milestones:
+
+* PRE before ``t_charge_share``: the cell never connected — data intact,
+  no sharing happened (on OCSA chips this window is several ns wide!);
+* PRE after sharing but before ``t_rcd``: the cell charge was dumped on
+  the bitline and never re-latched — data **corrupted**;
+* PRE after sensing but before ``t_ras``: latched correctly but only
+  partially restored — data weak (reads OK, retention degraded);
+* PRE after ``t_ras``: the legal case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.circuits.topologies import SaTopology
+from repro.dram.commands import Command, CommandTrace, DramCommand
+from repro.dram.timing import TimingParameters, derive_timings
+from repro.errors import EvaluationError
+
+
+class BankState(enum.Enum):
+    """Row-buffer state."""
+
+    IDLE = "idle"  #: precharged, no open row
+    ACTIVE = "active"  #: a row is open
+    PRECHARGING = "precharging"
+
+
+class CellState(enum.Enum):
+    """Qualitative charge state of a row's cells after commands touched it."""
+
+    RESTORED = "restored"  #: full level
+    WEAK = "weak"  #: latched but restore cut short
+    CORRUPTED = "corrupted"  #: charge shared and never re-latched
+    UNTOUCHED = "untouched"  #: activation ended before charge sharing
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    """A recorded sub-spec command distance."""
+
+    time_ns: float
+    command: Command
+    parameter: str
+    required_ns: float
+    actual_ns: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"t={self.time_ns:.1f}ns {self.command.value}: {self.parameter} "
+            f"{self.actual_ns:.1f} < {self.required_ns:.1f} ns"
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a trace."""
+
+    trace_name: str
+    row_states: dict[int, CellState]
+    violations: list[TimingViolation]
+    reads: list[tuple[float, int, bool]]  #: (time, row, data_valid)
+    final_state: BankState
+    shared_rows: list[list[int]] = field(default_factory=list)
+    #: groups whose majority actually latched and wrote back
+    computed_rows: list[list[int]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no timing was violated."""
+        return not self.violations
+
+
+#: Comparison slack (ns): commands placed exactly at a milestone are legal.
+EPS_NS = 1e-6
+
+
+class Bank:
+    """One DRAM bank over a given SA topology.
+
+    Rows can carry data (:meth:`load_row`), in which case multi-row charge
+    sharing computes: when a shared group's final activation reaches the
+    sensing milestone, the SAs latch the **bitwise majority** of the
+    participating rows and write it back into all of them — the AMBIT /
+    ComputeDRAM primitive.  On OCSA banks the same command timings often
+    never reach charge sharing, so the data stays put (§VI-D).
+    """
+
+    def __init__(
+        self,
+        topology: SaTopology = SaTopology.CLASSIC,
+        timings: TimingParameters | None = None,
+        rows: int = 65536,
+        enforce: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.timings = timings or derive_timings(topology)
+        self.rows = rows
+        self.enforce = enforce
+        self._data: dict[int, tuple[int, ...]] = {}
+
+    # -- row data ---------------------------------------------------------------
+
+    def load_row(self, row: int, bits: tuple[int, ...] | list[int]) -> None:
+        """Store a bit pattern in *row* (a write through the normal path)."""
+        if not 0 <= row < self.rows:
+            raise EvaluationError(f"row out of range: {row}")
+        if any(b not in (0, 1) for b in bits):
+            raise EvaluationError("bits must be 0/1")
+        self._data[row] = tuple(int(b) for b in bits)
+
+    def read_row(self, row: int) -> tuple[int, ...] | None:
+        """Current bit pattern of *row* (None when never loaded)."""
+        return self._data.get(row)
+
+    def _latch_majority(self, group: list[int]) -> bool:
+        """Latch the bitwise majority of *group* back into every row.
+
+        Returns False (and leaves data untouched) when any participating
+        row has no data or the widths disagree — the physical analogue is
+        simply undefined charge, which we refuse to invent.
+        """
+        patterns = [self._data.get(r) for r in group]
+        if any(p is None for p in patterns):
+            return False
+        width = len(patterns[0])  # type: ignore[arg-type]
+        if any(len(p) != width for p in patterns):  # type: ignore[arg-type]
+            return False
+        result = tuple(
+            1 if sum(p[i] for p in patterns) * 2 > len(patterns) else 0  # type: ignore[index]
+            for i in range(width)
+        )
+        for r in group:
+            self._data[r] = result
+        return True
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, trace: CommandTrace) -> ExecutionResult:
+        """Run *trace* from a precharged-idle state."""
+        timings = self.timings
+        state = BankState.IDLE
+        open_row: int | None = None
+        t_act = -1e18
+        t_pre = -1e18
+        pre_completed = True
+        activation_resolved = True
+        row_states: dict[int, CellState] = {}
+        violations: list[TimingViolation] = []
+        reads: list[tuple[float, int, bool]] = []
+        shared_groups: list[list[int]] = []
+        computed_groups: list[list[int]] = []
+        bitline_rows: list[int] = []  # rows whose charge is on the bitlines
+
+        def violate(cmd: DramCommand, parameter: str, required: float, actual: float) -> None:
+            violation = TimingViolation(cmd.time_ns, cmd.command, parameter, required, actual)
+            if self.enforce:
+                raise EvaluationError(f"timing violated: {violation.describe()}")
+            violations.append(violation)
+
+        def resolve_activation(now: float) -> None:
+            """Decide what the interval since ACT did to the open row."""
+            nonlocal activation_resolved
+            if activation_resolved or open_row is None:
+                return
+            dwell = now - t_act
+            if dwell < timings.t_charge_share - EPS_NS:
+                row_states[open_row] = CellState.UNTOUCHED
+            elif dwell < timings.t_rcd - EPS_NS:
+                row_states[open_row] = CellState.CORRUPTED
+            elif dwell < timings.t_ras - EPS_NS:
+                row_states[open_row] = CellState.WEAK
+            else:
+                row_states[open_row] = CellState.RESTORED
+            # The in-DRAM compute case: the SAs sensed a *shared* group, so
+            # what they latch — and write back into every open row — is the
+            # bitwise majority of the group's charges.
+            if dwell >= timings.t_rcd - EPS_NS and len(bitline_rows) >= 2:
+                if self._latch_majority(list(bitline_rows)):
+                    computed_groups.append(list(bitline_rows))
+            activation_resolved = True
+
+        for cmd in trace:
+            if cmd.command is Command.ACT:
+                if cmd.row is None or not 0 <= cmd.row < self.rows:
+                    raise EvaluationError(f"row out of range: {cmd.row}")
+                if state is BankState.ACTIVE:
+                    violate(cmd, "ACT while row open", timings.t_rc, cmd.time_ns - t_act)
+                    resolve_activation(cmd.time_ns)
+                elif cmd.time_ns - t_pre < timings.t_rp - EPS_NS:
+                    violate(cmd, "tRP", timings.t_rp, cmd.time_ns - t_pre)
+                # Multi-row charge sharing: the precharge never finished and
+                # the previous row's charge still rides the bitlines — but
+                # only if that activation actually *reached* charge sharing.
+                if not pre_completed and bitline_rows:
+                    previous = row_states.get(bitline_rows[-1])
+                    if previous not in (CellState.UNTOUCHED, None):
+                        shared_groups.append(bitline_rows + [cmd.row])
+                    else:
+                        bitline_rows.clear()
+                else:
+                    bitline_rows.clear()
+                bitline_rows.append(cmd.row)
+                state = BankState.ACTIVE
+                open_row = cmd.row
+                t_act = cmd.time_ns
+                activation_resolved = False
+
+            elif cmd.command is Command.PRE:
+                if state is BankState.ACTIVE:
+                    dwell = cmd.time_ns - t_act
+                    if dwell < timings.t_ras - EPS_NS:
+                        violate(cmd, "tRAS", timings.t_ras, dwell)
+                    resolve_activation(cmd.time_ns)
+                state = BankState.IDLE
+                open_row = None
+                t_pre = cmd.time_ns
+                # A precharge shorter than tRP (because a new ACT lands too
+                # early) is resolved at that ACT; optimistically mark it
+                # complete and let the next ACT's tRP check decide.
+                pre_completed = False
+
+            elif cmd.command in (Command.RD, Command.WR):
+                if state is not BankState.ACTIVE or open_row is None:
+                    violate(cmd, "column access with no open row", 0.0, -1.0)
+                    continue
+                dwell = cmd.time_ns - t_act
+                valid = dwell >= timings.t_rcd - EPS_NS
+                if not valid:
+                    violate(cmd, "tRCD", timings.t_rcd, dwell)
+                reads.append((cmd.time_ns, open_row, valid))
+                if cmd.command is Command.WR and valid:
+                    row_states[open_row] = CellState.RESTORED
+                    activation_resolved = True
+
+            elif cmd.command is Command.NOP:
+                continue
+
+        # Trace ended: resolve a still-open activation as fully settled.
+        if state is BankState.ACTIVE:
+            resolve_activation(t_act + timings.t_ras + 1.0)
+        # A trailing precharge completes if nothing interrupted it.
+        if state is BankState.IDLE:
+            pre_completed = True
+
+        return ExecutionResult(
+            trace_name=trace.name,
+            row_states=row_states,
+            violations=violations,
+            reads=reads,
+            final_state=state,
+            shared_rows=shared_groups,
+            computed_rows=computed_groups,
+        )

@@ -1,0 +1,105 @@
+"""DRAM commands and command traces.
+
+The vocabulary of §VI-D experiments: timed ACT/PRE/RD/WR sequences, some
+deliberately violating the minimum command distances.  A
+:class:`CommandTrace` is the unit a :class:`~repro.dram.bank.Bank`
+executes; builders for the common (and the common *illegal*) patterns are
+provided.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import EvaluationError
+
+
+class Command(enum.Enum):
+    """DDR command subset relevant to the SA region."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class DramCommand:
+    """One timed command."""
+
+    time_ns: float
+    command: Command
+    row: int | None = None
+    col: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.command is Command.ACT and self.row is None:
+            raise EvaluationError("ACT needs a row")
+        if self.command in (Command.RD, Command.WR) and self.col is None:
+            raise EvaluationError(f"{self.command.value} needs a column")
+
+
+@dataclass
+class CommandTrace:
+    """A time-ordered command sequence for one bank."""
+
+    name: str
+    commands: list[DramCommand] = field(default_factory=list)
+
+    def at(self, time_ns: float, command: Command, row: int | None = None, col: int | None = None) -> "CommandTrace":
+        """Append a command (fluent)."""
+        self.commands.append(DramCommand(time_ns, command, row, col))
+        return self
+
+    def __iter__(self) -> Iterator[DramCommand]:
+        return iter(sorted(self.commands, key=lambda c: c.time_ns))
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def duration_ns(self) -> float:
+        """Time of the last command."""
+        return max((c.time_ns for c in self.commands), default=0.0)
+
+
+def legal_read(row: int, col: int, timings, start_ns: float = 0.0) -> CommandTrace:
+    """ACT → RD → PRE honouring the given timing parameters."""
+    trace = CommandTrace(f"read_r{row}c{col}")
+    t = start_ns
+    trace.at(t, Command.ACT, row=row)
+    trace.at(t + timings.t_rcd, Command.RD, row=row, col=col)
+    trace.at(t + timings.t_ras, Command.PRE)
+    return trace
+
+
+def truncated_activation(row: int, act_to_pre_ns: float, start_ns: float = 0.0) -> CommandTrace:
+    """ACT → PRE after an arbitrary (possibly illegal) interval.
+
+    The primitive of ComputeDRAM-style tricks and of retention studies:
+    cutting the activation short interrupts the SA somewhere along its
+    event sequence.
+    """
+    if act_to_pre_ns <= 0:
+        raise EvaluationError("ACT→PRE interval must be positive")
+    trace = CommandTrace(f"truncated_act_{act_to_pre_ns:.1f}ns")
+    trace.at(start_ns, Command.ACT, row=row)
+    trace.at(start_ns + act_to_pre_ns, Command.PRE)
+    return trace
+
+
+def act_pre_act(row_a: int, row_b: int, t1_ns: float, t2_ns: float, start_ns: float = 0.0) -> CommandTrace:
+    """The ComputeDRAM ACT(A)–PRE–ACT(B) pattern with violated t1/t2.
+
+    With t1 (ACT→PRE) and t2 (PRE→ACT) both far below spec, the precharge
+    never completes and the second activation opens another row onto
+    still-charged bitlines — the multi-row charge-sharing primitive used
+    for in-DRAM logic [24].
+    """
+    trace = CommandTrace(f"act_pre_act_{t1_ns:.1f}_{t2_ns:.1f}")
+    trace.at(start_ns, Command.ACT, row=row_a)
+    trace.at(start_ns + t1_ns, Command.PRE)
+    trace.at(start_ns + t1_ns + t2_ns, Command.ACT, row=row_b)
+    return trace

@@ -1,0 +1,128 @@
+"""In-DRAM bitwise compute via multi-row charge sharing.
+
+The AMBIT/ComputeDRAM primitive the §VI-B PIM papers build on: activate
+three rows together and the sense amplifiers latch the bitwise majority,
+which implements AND/OR with a preset control row:
+
+* ``AND(a, b) = MAJ(a, b, 0)``
+* ``OR(a, b)  = MAJ(a, b, 1)``
+
+On commodity chips this needs the violated ACT–PRE–ACT sequence; whether
+it *works* depends on the SA topology's charge-sharing window — which is
+exactly what I5 and §VI-D say the PIM papers never checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.topologies import SaTopology
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandTrace
+from repro.dram.timing import derive_timings
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """Outcome of an attempted in-DRAM operation."""
+
+    operation: str
+    topology: SaTopology
+    succeeded: bool
+    result_bits: tuple[int, ...] | None
+    expected_bits: tuple[int, ...]
+
+    @property
+    def correct(self) -> bool:
+        """True when the operation latched the expected value."""
+        return self.succeeded and self.result_bits == self.expected_bits
+
+
+def triple_row_trace(rows: tuple[int, int, int], t1_ns: float, settle_ns: float) -> CommandTrace:
+    """ACT–PRE–ACT–PRE–ACT chaining that opens three rows together.
+
+    The early precharges never complete, so each ACT adds its row to the
+    bitline charge; the final activation is given *settle_ns* to sense and
+    restore the majority.
+    """
+    a, b, c = rows
+    trace = CommandTrace(f"maj3_{a}_{b}_{c}")
+    t = 0.0
+    trace.at(t, Command.ACT, row=a)
+    t += t1_ns
+    trace.at(t, Command.PRE)
+    t += 1.0
+    trace.at(t, Command.ACT, row=b)
+    t += t1_ns
+    trace.at(t, Command.PRE)
+    t += 1.0
+    trace.at(t, Command.ACT, row=c)
+    trace.at(t + settle_ns, Command.PRE)
+    return trace
+
+
+def in_dram_majority(
+    bank: Bank,
+    patterns: tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]],
+    t1_ns: float | None = None,
+    rows: tuple[int, int, int] = (8, 16, 24),
+) -> ComputeResult:
+    """Attempt MAJ(a, b, c) on *bank* and report what actually latched.
+
+    ``t1_ns`` defaults to just past the *classic* charge-sharing onset —
+    the calibration a researcher without HiFi-DRAM data would ship.
+    """
+    a, b, c = patterns
+    if not len(a) == len(b) == len(c):
+        raise EvaluationError("pattern widths differ")
+    if t1_ns is None:
+        t1_ns = derive_timings(SaTopology.CLASSIC).t_charge_share * 1.5
+    for row, bits in zip(rows, patterns):
+        bank.load_row(row, bits)
+
+    settle = bank.timings.t_ras + 1.0
+    result = bank.execute(triple_row_trace(rows, t1_ns, settle))
+    succeeded = bool(result.computed_rows) and set(rows) <= set(
+        result.computed_rows[-1]
+    )
+    expected = tuple(
+        1 if (a[i] + b[i] + c[i]) >= 2 else 0 for i in range(len(a))
+    )
+    return ComputeResult(
+        operation="MAJ",
+        topology=bank.topology,
+        succeeded=succeeded,
+        result_bits=bank.read_row(rows[0]) if succeeded else None,
+        expected_bits=expected,
+    )
+
+
+def in_dram_and(
+    bank: Bank, a: tuple[int, ...], b: tuple[int, ...], t1_ns: float | None = None
+) -> ComputeResult:
+    """AND via MAJ(a, b, all-zeros control row)."""
+    zeros = tuple(0 for _ in a)
+    result = in_dram_majority(bank, (a, b, zeros), t1_ns=t1_ns)
+    return ComputeResult(
+        operation="AND",
+        topology=result.topology,
+        succeeded=result.succeeded,
+        result_bits=result.result_bits,
+        expected_bits=tuple(x & y for x, y in zip(a, b)),
+    )
+
+
+def in_dram_or(
+    bank: Bank, a: tuple[int, ...], b: tuple[int, ...], t1_ns: float | None = None
+) -> ComputeResult:
+    """OR via MAJ(a, b, all-ones control row)."""
+    ones = tuple(1 for _ in a)
+    result = in_dram_majority(bank, (a, b, ones), t1_ns=t1_ns)
+    return ComputeResult(
+        operation="OR",
+        topology=result.topology,
+        succeeded=result.succeeded,
+        result_bits=result.result_bits,
+        expected_bits=tuple(x | y for x, y in zip(a, b)),
+    )

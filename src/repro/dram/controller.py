@@ -1,0 +1,128 @@
+"""A minimal open-page memory controller.
+
+Schedules read/write requests into a timing-legal command trace for one
+bank.  Its purpose here is to finish the I5 performance argument: the
+controller is parameterised on :class:`TimingParameters`, so scheduling
+the *same* request stream with classic-derived and OCSA-derived milestones
+shows how much activation latency the offset-cancellation events cost at
+the request level — the "performance overheads of the affected
+operations" §VI-B warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command, CommandTrace
+from repro.dram.timing import TimingParameters
+from repro.errors import EvaluationError
+
+#: Column-access latency (RD/WR to data) — independent of the SA topology.
+CAS_NS = 13.75
+#: Back-to-back column command spacing.
+CCD_NS = 5.0
+
+
+@dataclass(frozen=True)
+class Request:
+    """One memory request."""
+
+    row: int
+    col: int
+    is_write: bool = False
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a request stream."""
+
+    trace: CommandTrace
+    completion_ns: list[float] = field(default_factory=list)
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        """When the last request's data arrives."""
+        return max(self.completion_ns, default=0.0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Row-buffer hit rate."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def mean_latency_ns(self) -> float:
+        """Average request completion time spacing (a throughput proxy)."""
+        if not self.completion_ns:
+            raise EvaluationError("no requests were scheduled")
+        return self.total_ns / len(self.completion_ns)
+
+
+class Controller:
+    """Open-page scheduler for a single bank."""
+
+    def __init__(self, timings: TimingParameters) -> None:
+        self.timings = timings
+
+    def schedule(self, requests: list[Request], name: str = "workload") -> ScheduleResult:
+        """Produce a legal command trace serving *requests* in order."""
+        t = self.timings
+        trace = CommandTrace(name)
+        result = ScheduleResult(trace=trace)
+
+        now = 0.0
+        open_row: int | None = None
+        t_act = -1e18
+        last_col = -1e18
+
+        for req in requests:
+            if req.row != open_row:
+                if open_row is not None:
+                    # Precharge, honouring tRAS from the last ACT.
+                    pre_time = max(now, t_act + t.t_ras)
+                    trace.at(pre_time, Command.PRE)
+                    now = pre_time + t.t_rp
+                    result.row_misses += 1
+                else:
+                    result.row_misses += 1
+                trace.at(now, Command.ACT, row=req.row)
+                t_act = now
+                open_row = req.row
+            else:
+                result.row_hits += 1
+
+            col_time = max(t_act + t.t_rcd, last_col + CCD_NS, now)
+            command = Command.WR if req.is_write else Command.RD
+            trace.at(col_time, command, row=req.row, col=req.col)
+            last_col = col_time
+            now = col_time
+            result.completion_ns.append(col_time + CAS_NS)
+
+        return result
+
+
+def throughput_comparison(
+    requests: list[Request],
+    timings_a: TimingParameters,
+    timings_b: TimingParameters,
+) -> dict[str, float]:
+    """Schedule the same stream under two timing sets (the I5 delta)."""
+    a = Controller(timings_a).schedule(requests, name="a")
+    b = Controller(timings_b).schedule(requests, name="b")
+    return {
+        "total_a_ns": a.total_ns,
+        "total_b_ns": b.total_ns,
+        "slowdown": b.total_ns / a.total_ns if a.total_ns else 1.0,
+        "hit_rate": a.hit_rate,
+    }
+
+
+def row_miss_stream(n: int = 32, stride: int = 3) -> list[Request]:
+    """A worst-case stream: every request opens a new row."""
+    return [Request(row=(i * stride) % 4096, col=i % 8) for i in range(n)]
+
+
+def row_hit_stream(n: int = 32, row: int = 5) -> list[Request]:
+    """A best-case stream: one row, many columns."""
+    return [Request(row=row, col=i % 64) for i in range(n)]

@@ -1,0 +1,117 @@
+"""The §VI-D experiments, runnable against both SA topologies.
+
+Out-of-spec research implicitly calibrated on the classic SA breaks on
+OCSA chips in two documented ways:
+
+1. **Charge sharing is delayed** — a truncated activation window that
+   reliably dumps the cell on a classic chip falls *before* charge sharing
+   on an OCSA chip (the offset-cancellation phase runs first), so nothing
+   happens;
+2. **majority-style multi-row tricks** (ACT–PRE–ACT with violated
+   timings) need the first activation to have reached charge sharing
+   before the second row opens — a window that shifts and shrinks on OCSA
+   chips.
+
+Each experiment runs the same command trace against a classic bank and an
+OCSA bank and reports both outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.topologies import SaTopology
+from repro.dram.bank import Bank, CellState
+from repro.dram.commands import act_pre_act, truncated_activation
+from repro.dram.timing import derive_timings
+
+
+@dataclass(frozen=True)
+class OutOfSpecResult:
+    """Outcome of one experiment on both topologies."""
+
+    experiment: str
+    parameter_ns: float
+    classic_outcome: str
+    ocsa_outcome: str
+
+    @property
+    def diverges(self) -> bool:
+        """True when the same trace behaves differently per topology."""
+        return self.classic_outcome != self.ocsa_outcome
+
+
+def _banks() -> tuple[Bank, Bank]:
+    return (
+        Bank(topology=SaTopology.CLASSIC),
+        Bank(topology=SaTopology.OCSA),
+    )
+
+
+def truncated_activation_experiment(act_to_pre_ns: float, row: int = 7) -> OutOfSpecResult:
+    """ACT→PRE after *act_to_pre_ns*: what state is the row left in?
+
+    The §VI-D retention/characterization primitive.  Outcomes are the
+    :class:`~repro.dram.bank.CellState` names.
+    """
+    classic, ocsa = _banks()
+    trace = truncated_activation(row, act_to_pre_ns)
+    out_c = classic.execute(trace).row_states.get(row, CellState.UNTOUCHED)
+    out_o = ocsa.execute(trace).row_states.get(row, CellState.UNTOUCHED)
+    return OutOfSpecResult(
+        experiment="truncated_activation",
+        parameter_ns=act_to_pre_ns,
+        classic_outcome=out_c.value,
+        ocsa_outcome=out_o.value,
+    )
+
+
+def multi_row_activation_experiment(
+    t1_ns: float, t2_ns: float = 1.0, row_a: int = 3, row_b: int = 12
+) -> OutOfSpecResult:
+    """ACT(A)–PRE–ACT(B) with violated t1/t2: did the rows charge-share?
+
+    Succeeding requires the first activation to have *reached* charge
+    sharing before the early precharge — the window the OCSA delays.
+    """
+    classic, ocsa = _banks()
+    trace = act_pre_act(row_a, row_b, t1_ns, t2_ns)
+
+    def outcome(bank: Bank) -> str:
+        result = bank.execute(trace)
+        return "rows_shared" if result.shared_rows else "no_sharing"
+
+    return OutOfSpecResult(
+        experiment="multi_row_activation",
+        parameter_ns=t1_ns,
+        classic_outcome=outcome(classic),
+        ocsa_outcome=outcome(ocsa),
+    )
+
+
+def charge_sharing_window() -> dict[str, float]:
+    """The t1 windows in which multi-row tricks work, per topology.
+
+    Returns each topology's charge-sharing onset (the minimum viable t1)
+    — the number an out-of-spec experimenter must recalibrate per vendor.
+    """
+    classic = derive_timings(SaTopology.CLASSIC)
+    ocsa = derive_timings(SaTopology.OCSA)
+    return {
+        "classic_min_t1_ns": classic.t_charge_share,
+        "ocsa_min_t1_ns": ocsa.t_charge_share,
+        "hazard_window_ns": ocsa.t_charge_share - classic.t_charge_share,
+    }
+
+
+def divergence_sweep(t1_values_ns: list[float] | None = None) -> list[OutOfSpecResult]:
+    """Sweep the truncation interval and collect per-topology outcomes."""
+    if t1_values_ns is None:
+        classic = derive_timings(SaTopology.CLASSIC)
+        ocsa = derive_timings(SaTopology.OCSA)
+        lo = 0.5 * classic.t_charge_share
+        hi = 1.2 * ocsa.t_ras
+        t1_values_ns = list(np.linspace(lo, hi, 12))
+    return [truncated_activation_experiment(t1) for t1 in t1_values_ns]

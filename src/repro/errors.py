@@ -1,0 +1,102 @@
+"""Exception hierarchy for the HiFi-DRAM reproduction library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so downstream users can catch a single base class.
+The sub-hierarchy mirrors the package structure: layout, circuits, analog,
+imaging, pipeline, reverse engineering, and the core evaluation framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class LayoutError(ReproError):
+    """Invalid layout construction or query (bad geometry, unknown layer)."""
+
+
+class DesignRuleViolation(LayoutError):
+    """A DRC check failed (minimum width / spacing / overlap)."""
+
+    def __init__(self, rule: str, detail: str = "") -> None:
+        self.rule = rule
+        self.detail = detail
+        message = f"design rule violated: {rule}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class GdsFormatError(LayoutError):
+    """Malformed GDSII stream encountered while reading or writing."""
+
+
+class NetlistError(ReproError):
+    """Invalid netlist construction (dangling terminal, duplicate net...)."""
+
+
+class TopologyError(NetlistError):
+    """A circuit could not be classified as a known SA topology."""
+
+
+class AnalogError(ReproError):
+    """Analog simulation failure."""
+
+
+class ConvergenceError(AnalogError):
+    """The Newton iteration of the MNA solver failed to converge."""
+
+    def __init__(self, time_ns: float, residual: float, iterations: int) -> None:
+        self.time_ns = time_ns
+        self.residual = residual
+        self.iterations = iterations
+        super().__init__(
+            f"solver did not converge at t={time_ns:.4f} ns "
+            f"(residual {residual:.3e} after {iterations} iterations)"
+        )
+
+
+class ImagingError(ReproError):
+    """SEM/FIB simulation failure (bad volume, empty ROI, bad parameters)."""
+
+
+class PipelineError(ReproError):
+    """Image post-processing failure (alignment, denoising, reslicing)."""
+
+
+class AlignmentBudgetExceeded(PipelineError):
+    """Residual slice misalignment exceeds the paper's 0.77 % budget."""
+
+    def __init__(self, residual_fraction: float, budget_fraction: float) -> None:
+        self.residual_fraction = residual_fraction
+        self.budget_fraction = budget_fraction
+        super().__init__(
+            f"residual alignment noise {residual_fraction:.4%} exceeds "
+            f"budget {budget_fraction:.4%}"
+        )
+
+
+class ReverseEngineeringError(ReproError):
+    """Feature extraction or connectivity tracing failed."""
+
+
+class EvaluationError(ReproError):
+    """The §VI evaluation framework was asked something inconsistent."""
+
+
+class UnknownChipError(EvaluationError):
+    """A chip ID not present in the Table I database was requested."""
+
+    def __init__(self, chip_id: str) -> None:
+        self.chip_id = chip_id
+        super().__init__(f"unknown chip id: {chip_id!r} (expected A4/B4/C4/A5/B5/C5)")
+
+
+class UnknownPaperError(EvaluationError):
+    """A paper key not present in the Table II audit set was requested."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        super().__init__(f"unknown paper key: {key!r}")

@@ -1,0 +1,45 @@
+"""SEM/FIB imaging substrate.
+
+Replaces the paper's Helios 5 UX FIB/SEM (hardware-gated) with a simulator
+that exercises the same downstream code paths:
+
+* :mod:`repro.imaging.voxel` — layouts → 3-D material volumes;
+* :mod:`repro.imaging.sem` — SE/BSE image formation with dwell-time
+  dependent noise;
+* :mod:`repro.imaging.fib` — slice milling and acquisition campaigns
+  (slice thickness, drift, Table I parameters);
+* :mod:`repro.imaging.roi` — the blind ROI identification of Fig 6.
+"""
+
+from repro.imaging.voxel import (
+    LAYER_Z_RANGES,
+    VoxelVolume,
+    voxelize,
+    rasterize_layer,
+)
+from repro.imaging.sem import SemParameters, Detector, image_cross_section
+from repro.imaging.fib import FibSemCampaign, SliceStack, acquire_stack
+from repro.imaging.roi import RoiSearchResult, identify_roi
+from repro.imaging.cost import CampaignCost, campaign_cost, reference_campaigns
+from repro.imaging.plan import AcquisitionPlan, all_plans, plan_for
+
+__all__ = [
+    "LAYER_Z_RANGES",
+    "VoxelVolume",
+    "voxelize",
+    "rasterize_layer",
+    "SemParameters",
+    "Detector",
+    "image_cross_section",
+    "FibSemCampaign",
+    "SliceStack",
+    "acquire_stack",
+    "RoiSearchResult",
+    "identify_roi",
+    "CampaignCost",
+    "campaign_cost",
+    "reference_campaigns",
+    "AcquisitionPlan",
+    "all_plans",
+    "plan_for",
+]

@@ -1,0 +1,92 @@
+"""Acquisition cost model (§IV's economics).
+
+The paper repeatedly prices its choices in machine time: the 100 µm²
+A4/A5 scans took *more than 24 hours* of FIB/SEM each, which is why the
+remaining chips were scanned at 30 µm²; dwell time trades SNR against
+cost; the ROI identification budget is 2 hours.  This model reproduces
+those trade-offs so campaign planning can be reasoned about (and tested)
+without a microscope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ImagingError
+
+#: FIB milling rate at the paper's 90 pA Gallium beam: minutes of beam
+#: time per µm³ of removed material (a gentle current mills slowly —
+#: that is why it preserves the exposed face).
+MILL_MINUTES_PER_UM3 = 13.0
+
+#: SEM frame averaging: the quoted per-pixel dwell is repeated over this
+#: many integration frames to reach a usable SNR on IC cross-sections.
+FRAME_AVERAGING = 64
+
+#: Fixed per-slice overhead (stage settle, autofocus, registration), s.
+SLICE_OVERHEAD_S = 30.0
+
+
+@dataclass(frozen=True)
+class CampaignCost:
+    """Machine-time breakdown of a volumetric acquisition."""
+
+    slices: int
+    sem_hours: float
+    fib_hours: float
+    overhead_hours: float
+
+    @property
+    def total_hours(self) -> float:
+        """Total FIB/SEM machine time."""
+        return self.sem_hours + self.fib_hours + self.overhead_hours
+
+
+def campaign_cost(
+    area_um2: float,
+    pixel_nm: float,
+    dwell_time_us: float,
+    slice_thickness_nm: float,
+    depth_nm: float = 380.0,
+) -> CampaignCost:
+    """Estimate the machine time of a volumetric scan.
+
+    *area_um2* is the planar ROI area (the paper's 100 or 30 µm²); the
+    scanned volume is that area times the stack depth.  Slices cut along
+    one side; each exposes a face of (side × depth) that SEM rasterises at
+    ``pixel_nm`` and ``dwell_time_us``.
+    """
+    if min(area_um2, pixel_nm, dwell_time_us, slice_thickness_nm) <= 0:
+        raise ImagingError("all cost parameters must be positive")
+    side_nm = (area_um2 ** 0.5) * 1000.0
+    slices = max(1, int(side_nm / slice_thickness_nm))
+    face_pixels = (side_nm / pixel_nm) * (depth_nm / pixel_nm)
+    sem_seconds = slices * face_pixels * dwell_time_us * FRAME_AVERAGING / 1e6
+    slice_volume_um3 = (side_nm / 1000.0) * (depth_nm / 1000.0) * (
+        slice_thickness_nm / 1000.0
+    )
+    fib_seconds = slices * slice_volume_um3 * MILL_MINUTES_PER_UM3 * 60.0
+    overhead_seconds = slices * SLICE_OVERHEAD_S
+    return CampaignCost(
+        slices=slices,
+        sem_hours=sem_seconds / 3600.0,
+        fib_hours=fib_seconds / 3600.0,
+        overhead_hours=overhead_seconds / 3600.0,
+    )
+
+
+def reference_campaigns() -> dict[str, CampaignCost]:
+    """The paper's two campaign classes.
+
+    * "A4/A5": 100 µm² at ~5–10 nm pixels, 3 µs dwell, 10–20 nm slices —
+      "more than 24 hours of SEM/FIB";
+    * "reduced": 30 µm², the economy setting used for the other chips.
+    """
+    return {
+        "full_100um2": campaign_cost(
+            area_um2=100.0, pixel_nm=5.2, dwell_time_us=3.0, slice_thickness_nm=10.0
+        ),
+        "reduced_30um2": campaign_cost(
+            area_um2=30.0, pixel_nm=4.2, dwell_time_us=6.0, slice_thickness_nm=10.0
+        ),
+    }

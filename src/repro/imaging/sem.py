@@ -1,0 +1,151 @@
+"""SEM image formation.
+
+Models the properties §IV describes as mattering for acquisition quality:
+
+* **detector choice** — BSE contrast follows atomic number, SE contrast
+  follows conductivity; for some vendors' processes one works markedly
+  better than the other (the paper had to switch from SE to BSE for
+  vendors B and C);
+* **dwell time** — longer dwell → better SNR but more (expensive) machine
+  time; noise here scales as ``1/sqrt(dwell)``;
+* **accelerating voltage** — affects overall brightness;
+* **pixel resolution** — images can be resampled to the Table I pixel
+  sizes.
+
+The input is a material cross-section (from
+:class:`~repro.imaging.voxel.VoxelVolume`), the output a float image in
+[0, 1] with Gaussian shot-noise — the input the §IV-C post-processing has
+to clean up.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.voxel import CODE_TO_MATERIAL, MATERIAL_CODES
+from repro.layout.elements import Material
+
+
+class Detector(enum.Enum):
+    """Secondary-electron vs backscatter-electron detection."""
+
+    SE = "SE"
+    BSE = "BSE"
+
+
+#: Detector response per material, arbitrary units in [0, 1].
+#: BSE tracks mean atomic number (W ≫ Cu > Si); SE tracks topology/
+#: conductivity and separates materials less cleanly.
+_CONTRAST: dict[Detector, dict[Material, float]] = {
+    Detector.BSE: {
+        Material.DIELECTRIC: 0.08,
+        Material.SILICON: 0.30,
+        Material.POLY: 0.42,
+        Material.COPPER: 0.72,
+        Material.TUNGSTEN: 0.95,
+        Material.CAPACITOR_STACK: 0.60,
+    },
+    Detector.SE: {
+        Material.DIELECTRIC: 0.15,
+        Material.SILICON: 0.40,
+        Material.POLY: 0.50,
+        Material.COPPER: 0.80,
+        Material.TUNGSTEN: 0.85,
+        Material.CAPACITOR_STACK: 0.65,
+    },
+}
+
+#: Per-vendor process modifier: vendors B and C give poor SE contrast
+#: (§IV-B: "SE does not provide a good contrast, likely due to
+#: manufacturing processes, so we use BSE instead").
+SE_CONTRAST_COLLAPSE = 0.35
+
+
+@dataclass(frozen=True)
+class SemParameters:
+    """Acquisition parameters (a subset of the real machine's space)."""
+
+    detector: Detector = Detector.BSE
+    dwell_time_us: float = 3.0
+    accelerating_kv: float = 2.0
+    pixel_nm: float = 5.0
+    noise_floor: float = 0.05  #: noise sigma at 1 µs dwell
+    se_friendly_process: bool = True  #: False for vendor B/C style processes
+
+    def __post_init__(self) -> None:
+        if self.dwell_time_us <= 0:
+            raise ImagingError("dwell time must be positive")
+        if self.pixel_nm <= 0:
+            raise ImagingError("pixel size must be positive")
+
+    @property
+    def noise_sigma(self) -> float:
+        """Gaussian noise level: shot-noise-like 1/sqrt(dwell) scaling."""
+        return self.noise_floor / np.sqrt(self.dwell_time_us)
+
+    @property
+    def brightness(self) -> float:
+        """Beam-voltage brightness factor (saturating)."""
+        return min(1.2, 0.6 + 0.25 * self.accelerating_kv)
+
+    def acquisition_cost_us(self, pixels: int) -> float:
+        """Beam time for an image: pixels × dwell (the paper's cost lever)."""
+        return pixels * self.dwell_time_us
+
+
+def contrast_lookup(params: SemParameters) -> np.ndarray:
+    """Material-code → intensity lookup table for these parameters."""
+    table = np.zeros(max(MATERIAL_CODES.values()) + 1)
+    for code, material in CODE_TO_MATERIAL.items():
+        value = _CONTRAST[params.detector][material]
+        if params.detector is Detector.SE and not params.se_friendly_process:
+            # Collapse contrast toward the dielectric level.
+            base = _CONTRAST[Detector.SE][Material.DIELECTRIC]
+            value = base + (value - base) * SE_CONTRAST_COLLAPSE
+        table[code] = value * params.brightness
+    return np.clip(table, 0.0, 1.0)
+
+
+def image_cross_section(
+    material_image: np.ndarray,
+    params: SemParameters,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Form a noisy SEM image from a material-code cross-section.
+
+    The result is float32 in [0, 1]: contrast lookup + Gaussian noise with
+    the dwell-time-dependent sigma.
+    """
+    if material_image.dtype != np.uint8:
+        raise ImagingError("material image must be uint8 codes")
+    table = contrast_lookup(params)
+    clean = table[material_image]
+    noisy = clean + rng.normal(0.0, params.noise_sigma, size=clean.shape)
+    return np.clip(noisy, 0.0, 1.0).astype(np.float32)
+
+
+def snr_estimate(clean: np.ndarray, noisy: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB between a clean and a noisy image."""
+    signal = float(np.var(clean))
+    noise = float(np.var(noisy - clean))
+    if noise == 0:
+        return float("inf")
+    return 10.0 * float(np.log10(signal / noise))
+
+
+def contrast_separation(params: SemParameters) -> float:
+    """Minimum inter-material contrast gap, in noise sigmas.
+
+    The quantity that decides whether segmentation can classify materials:
+    the paper's detector switch for vendors B/C is exactly a move to keep
+    this above a usable level.
+    """
+    table = sorted(set(np.round(contrast_lookup(params), 6)))
+    gaps = [b - a for a, b in zip(table, table[1:])]
+    if not gaps:
+        return 0.0
+    return min(gaps) / params.noise_sigma

@@ -1,0 +1,170 @@
+"""Voxelization: layout cells → 3-D material volumes.
+
+An IC is a vertical stack of layers (Fig 4).  The voxelizer assigns each
+:class:`~repro.layout.elements.Layer` a physical z-range and rasterises the
+cell's rectangles into a dense ``uint8`` volume of material codes; the SEM
+model then maps materials to detector contrast.
+
+Axes convention throughout the imaging/pipeline code:
+
+* axis 0 — **x** (nm / ``voxel_nm``): the bitline direction;
+* axis 1 — **y**: the along-the-SA-region direction (FIB slices cut
+  perpendicular to y, i.e. each slice is an x–z image);
+* axis 2 — **z**: depth, substrate at z=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import LAYER_MATERIAL, Layer, Material
+
+#: Physical z-extent of each layer (nm), bottom to top of the stack.
+LAYER_Z_RANGES: dict[Layer, tuple[float, float]] = {
+    Layer.ACTIVE: (0.0, 40.0),
+    Layer.GATE: (40.0, 75.0),
+    Layer.CONTACT: (40.0, 120.0),
+    Layer.METAL1: (120.0, 160.0),
+    Layer.VIA1: (160.0, 200.0),
+    Layer.METAL2: (200.0, 260.0),
+    Layer.CAPACITOR: (260.0, 380.0),
+}
+
+#: Total stack height in nm.
+STACK_HEIGHT_NM = max(z1 for _z0, z1 in LAYER_Z_RANGES.values())
+
+#: Material code for each material (0 = dielectric background).
+MATERIAL_CODES: dict[Material, int] = {
+    Material.DIELECTRIC: 0,
+    Material.SILICON: 1,
+    Material.POLY: 2,
+    Material.TUNGSTEN: 3,
+    Material.COPPER: 4,
+    Material.CAPACITOR_STACK: 5,
+}
+CODE_TO_MATERIAL = {code: mat for mat, code in MATERIAL_CODES.items()}
+
+
+@dataclass
+class VoxelVolume:
+    """A dense material volume plus its coordinate metadata."""
+
+    data: np.ndarray  # uint8, shape (nx, ny, nz)
+    voxel_nm: float
+    origin_x_nm: float
+    origin_y_nm: float
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """(nx, ny, nz)."""
+        return tuple(self.data.shape)  # type: ignore[return-value]
+
+    def x_to_index(self, x_nm: float) -> int:
+        """Nearest voxel index along x."""
+        return int((x_nm - self.origin_x_nm) / self.voxel_nm)
+
+    def y_to_index(self, y_nm: float) -> int:
+        """Nearest voxel index along y."""
+        return int((y_nm - self.origin_y_nm) / self.voxel_nm)
+
+    def index_to_x(self, i: int) -> float:
+        """Centre x (nm) of voxel column *i*."""
+        return self.origin_x_nm + (i + 0.5) * self.voxel_nm
+
+    def index_to_y(self, j: int) -> float:
+        """Centre y (nm) of voxel row *j*."""
+        return self.origin_y_nm + (j + 0.5) * self.voxel_nm
+
+    def cross_section(self, y_index: int) -> np.ndarray:
+        """The x–z material image at slice *y_index* (what FIB exposes)."""
+        if not 0 <= y_index < self.data.shape[1]:
+            raise ImagingError(f"slice index {y_index} out of range")
+        return self.data[:, y_index, :]
+
+    def planar_view(self, layer: Layer) -> np.ndarray:
+        """Max-projection material image of *layer*'s z-range (x, y).
+
+        This is the "selected planar slice" of Fig 7d: everything the layer
+        contains, ignoring what is above/below it.
+        """
+        z0, z1 = LAYER_Z_RANGES[layer]
+        k0 = int(z0 / self.voxel_nm / self._z_scale())
+        k1 = max(k0 + 1, int(np.ceil(z1 / self.voxel_nm / self._z_scale())))
+        return self.data[:, :, k0:k1].max(axis=2)
+
+    def layer_mask(self, layer: Layer) -> np.ndarray:
+        """Boolean (x, y) mask of *layer*'s own material within its z-range.
+
+        Unlike :meth:`planar_view` this filters by the material the layer is
+        made of, so e.g. CONTACT tungsten does not leak into the GATE mask
+        even though their z-ranges overlap.
+        """
+        view = self.planar_view(layer)
+        code = MATERIAL_CODES[LAYER_MATERIAL[layer]]
+        return view == code
+
+    def _z_scale(self) -> float:
+        # z voxels use the same pitch as x/y.
+        return 1.0
+
+
+def voxelize(
+    cell: LayoutCell,
+    voxel_nm: float = 6.0,
+    margin_nm: float = 40.0,
+) -> VoxelVolume:
+    """Rasterise *cell* into a material volume.
+
+    Layers are rasterised bottom-up so that, where z-ranges overlap (GATE
+    and CONTACT), the later layer wins inside its own shapes — matching how
+    a contact plug displaces the dielectric above a gate.
+    """
+    if voxel_nm <= 0:
+        raise ImagingError("voxel size must be positive")
+    box = cell.bounding_box()
+    origin_x = box.x0 - margin_nm
+    origin_y = box.y0 - margin_nm
+    nx = int(np.ceil((box.width + 2 * margin_nm) / voxel_nm))
+    ny = int(np.ceil((box.height + 2 * margin_nm) / voxel_nm))
+    nz = int(np.ceil(STACK_HEIGHT_NM / voxel_nm))
+    data = np.zeros((nx, ny, nz), dtype=np.uint8)
+
+    for layer in Layer:
+        z0, z1 = LAYER_Z_RANGES[layer]
+        k0 = int(z0 / voxel_nm)
+        k1 = max(k0 + 1, int(np.ceil(z1 / voxel_nm)))
+        code = MATERIAL_CODES[LAYER_MATERIAL[layer]]
+        for rect in cell.shapes_on(layer):
+            i0 = max(0, int((rect.x0 - origin_x) / voxel_nm))
+            i1 = min(nx, max(i0 + 1, int(np.ceil((rect.x1 - origin_x) / voxel_nm))))
+            j0 = max(0, int((rect.y0 - origin_y) / voxel_nm))
+            j1 = min(ny, max(j0 + 1, int(np.ceil((rect.y1 - origin_y) / voxel_nm))))
+            data[i0:i1, j0:j1, k0:k1] = code
+
+    return VoxelVolume(data=data, voxel_nm=voxel_nm, origin_x_nm=origin_x, origin_y_nm=origin_y)
+
+
+def rasterize_layer(cell: LayoutCell, layer: Layer, voxel_nm: float = 6.0, margin_nm: float = 40.0) -> np.ndarray:
+    """Clean 2-D boolean mask of one layer (the noise-free ground truth).
+
+    The reverse-engineering stage can run either on these ideal masks (fast
+    unit tests) or on masks recovered through the imaging + post-processing
+    pipeline (the end-to-end reproduction).
+    """
+    box = cell.bounding_box()
+    origin_x = box.x0 - margin_nm
+    origin_y = box.y0 - margin_nm
+    nx = int(np.ceil((box.width + 2 * margin_nm) / voxel_nm))
+    ny = int(np.ceil((box.height + 2 * margin_nm) / voxel_nm))
+    mask = np.zeros((nx, ny), dtype=bool)
+    for rect in cell.shapes_on(layer):
+        i0 = max(0, int((rect.x0 - origin_x) / voxel_nm))
+        i1 = min(nx, max(i0 + 1, int(np.ceil((rect.x1 - origin_x) / voxel_nm))))
+        j0 = max(0, int((rect.y0 - origin_y) / voxel_nm))
+        j1 = min(ny, max(j0 + 1, int(np.ceil((rect.y1 - origin_y) / voxel_nm))))
+        mask[i0:i1, j0:j1] = True
+    return mask

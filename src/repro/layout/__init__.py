@@ -1,0 +1,59 @@
+"""Physical-layout substrate.
+
+This package models the physical organisation HiFi-DRAM reverse engineers:
+MAT edges, bitlines, the sense-amplifier region with its transistor rows,
+common-gate rails, vias and wires, down to a minimal GDSII writer (the paper
+open-sources its reverse-engineered layouts in GDSII).
+
+The :mod:`repro.layout.generator` module produces *ground-truth* layouts for
+synthetic chips; the imaging and reverse-engineering packages consume them.
+"""
+
+from repro.layout.geometry import Point, Rect
+from repro.layout.elements import (
+    Layer,
+    Material,
+    Orientation,
+    Transistor,
+    TransistorKind,
+    Wire,
+    Via,
+    ActiveRegion,
+    CapacitorCell,
+)
+from repro.layout.cell import LayoutCell
+from repro.layout.design_rules import DesignRules, check_cell, free_track_count
+from repro.layout.generator import (
+    SaRegionSpec,
+    generate_sa_region,
+    generate_mat_edge,
+    generate_chip_layout,
+)
+from repro.layout.gds import write_gds, read_gds
+from repro.layout.svg import render_svg, write_svg
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Layer",
+    "Material",
+    "Orientation",
+    "Transistor",
+    "TransistorKind",
+    "Wire",
+    "Via",
+    "ActiveRegion",
+    "CapacitorCell",
+    "LayoutCell",
+    "DesignRules",
+    "check_cell",
+    "free_track_count",
+    "SaRegionSpec",
+    "generate_sa_region",
+    "generate_mat_edge",
+    "generate_chip_layout",
+    "write_gds",
+    "read_gds",
+    "render_svg",
+    "write_svg",
+]

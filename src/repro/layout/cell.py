@@ -1,0 +1,197 @@
+"""Layout cell: the container the generator produces and the RE validates.
+
+A :class:`LayoutCell` is a flat collection of placed elements with query
+helpers.  It intentionally does not implement hierarchy (the SA region the
+paper images is a single flat tile repeated along the MAT edge); the GDSII
+writer emits it as one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import LayoutError
+from repro.layout.elements import (
+    ActiveRegion,
+    CapacitorCell,
+    Layer,
+    Transistor,
+    TransistorKind,
+    Via,
+    Wire,
+)
+from repro.layout.geometry import Rect
+
+
+@dataclass
+class LayoutCell:
+    """A flat layout cell holding transistors, wires, vias and actives."""
+
+    name: str
+    transistors: list[Transistor] = field(default_factory=list)
+    wires: list[Wire] = field(default_factory=list)
+    vias: list[Via] = field(default_factory=list)
+    actives: list[ActiveRegion] = field(default_factory=list)
+    capacitors: list[CapacitorCell] = field(default_factory=list)
+    #: free-form annotations (e.g. ground-truth topology name)
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_transistor(self, t: Transistor) -> None:
+        """Add a transistor, enforcing unique names."""
+        if any(existing.name == t.name for existing in self.transistors):
+            raise LayoutError(f"duplicate transistor name {t.name!r}")
+        self.transistors.append(t)
+
+    def add_wire(self, w: Wire) -> None:
+        """Add a wire segment."""
+        self.wires.append(w)
+
+    def add_via(self, v: Via) -> None:
+        """Add a via."""
+        self.vias.append(v)
+
+    def add_active(self, a: ActiveRegion) -> None:
+        """Add an active region."""
+        self.actives.append(a)
+
+    def add_capacitor(self, c: CapacitorCell) -> None:
+        """Add a MAT capacitor footprint."""
+        self.capacitors.append(c)
+
+    def merge(self, other: "LayoutCell", dx: float = 0.0, dy: float = 0.0) -> None:
+        """Merge *other* into self, translating it by ``(dx, dy)``.
+
+        Element names from *other* are prefixed with its cell name to keep
+        uniqueness (mirroring how repeated SA tiles are instantiated).
+        """
+        prefix = f"{other.name}/"
+        for t in other.transistors:
+            moved = Transistor(
+                name=prefix + t.name,
+                kind=t.kind,
+                channel=t.channel,
+                width=t.width,
+                length=t.length,
+                gate=t.gate.translated(dx, dy),
+                active=t.active.translated(dx, dy),
+                orientation=t.orientation,
+                effective_width=t.effective_width,
+                effective_length=t.effective_length,
+            )
+            self.add_transistor(moved)
+        for w in other.wires:
+            self.add_wire(
+                Wire(prefix + w.name, w.layer, w.shape.translated(dx, dy), w.net)
+            )
+        for v in other.vias:
+            self.add_via(Via(prefix + v.name, v.layer, v.shape.translated(dx, dy), v.net))
+        for a in other.actives:
+            self.add_active(ActiveRegion(prefix + a.name, a.shape.translated(dx, dy)))
+        for c in other.capacitors:
+            self.add_capacitor(
+                CapacitorCell(prefix + c.name, c.shape.translated(dx, dy), c.row, c.col)
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def bounding_box(self) -> Rect:
+        """Bounding box over every element in the cell."""
+        shapes = list(self._all_shapes())
+        if not shapes:
+            raise LayoutError(f"cell {self.name!r} is empty")
+        return Rect.bounding(shapes)
+
+    def _all_shapes(self) -> Iterator[Rect]:
+        for t in self.transistors:
+            yield t.gate
+            yield t.active
+        for w in self.wires:
+            yield w.shape
+        for v in self.vias:
+            yield v.shape
+        for a in self.actives:
+            yield a.shape
+        for c in self.capacitors:
+            yield c.shape
+
+    def shapes_on(self, layer: Layer) -> list[Rect]:
+        """All rectangles drawn on *layer*."""
+        shapes: list[Rect] = []
+        if layer is Layer.GATE:
+            shapes.extend(t.gate for t in self.transistors)
+        if layer is Layer.ACTIVE:
+            shapes.extend(t.active for t in self.transistors)
+            shapes.extend(a.shape for a in self.actives)
+        if layer is Layer.CAPACITOR:
+            shapes.extend(c.shape for c in self.capacitors)
+        shapes.extend(w.shape for w in self.wires if w.layer is layer)
+        shapes.extend(v.shape for v in self.vias if v.layer is layer)
+        return shapes
+
+    def transistors_of_kind(self, kind: TransistorKind) -> list[Transistor]:
+        """All transistors of functional class *kind*."""
+        return [t for t in self.transistors if t.kind is kind]
+
+    def kinds_present(self) -> set[TransistorKind]:
+        """The set of transistor classes placed in this cell."""
+        return {t.kind for t in self.transistors}
+
+    def wires_of_net(self, net: str) -> list[Wire]:
+        """All wire segments annotated with *net*."""
+        return [w for w in self.wires if w.net == net]
+
+    def nets(self) -> set[str]:
+        """All non-empty net annotations used by wires and vias."""
+        names = {w.net for w in self.wires if w.net}
+        names |= {v.net for v in self.vias if v.net}
+        return names
+
+    def element_count(self) -> int:
+        """Total placed elements."""
+        return (
+            len(self.transistors)
+            + len(self.wires)
+            + len(self.vias)
+            + len(self.actives)
+            + len(self.capacitors)
+        )
+
+    def area_on(self, layer: Layer) -> float:
+        """Sum of rectangle areas on *layer* (overlaps counted twice)."""
+        return sum(r.area for r in self.shapes_on(layer))
+
+    def occupancy(self, layer: Layer, window: Rect) -> float:
+        """Fraction of *window* covered by shapes on *layer*.
+
+        Used by the free-space analysis behind I1/I2 (Fig 13): an occupancy
+        close to the theoretical maximum for the layer's pitch means there is
+        no room for additional bitlines.  Overlapping shapes are clipped to
+        the window but not de-overlapped; generator output has disjoint
+        shapes per layer, so this is exact for ground truth.
+        """
+        if window.area == 0:
+            raise LayoutError("occupancy window has zero area")
+        covered = 0.0
+        for shape in self.shapes_on(layer):
+            clip = shape.intersection(window)
+            if clip is not None:
+                covered += clip.area
+        return covered / window.area
+
+
+def stack_cells(name: str, cells: Iterable[LayoutCell], gap: float = 0.0) -> LayoutCell:
+    """Stack cells along X (the SA-height direction) into one cell.
+
+    Mirrors the physical arrangement of Fig 10 where SA1 and SA2 sit side by
+    side between two MATs.
+    """
+    combined = LayoutCell(name)
+    cursor = 0.0
+    for cell in cells:
+        box = cell.bounding_box()
+        combined.merge(cell, dx=cursor - box.x0, dy=0.0)
+        cursor += box.width + gap
+    return combined

@@ -1,0 +1,161 @@
+"""Design rules and free-space probing.
+
+Appendix A of the paper discusses why new bitlines cannot be squeezed into
+the MAT or SA regions: bitlines are the narrowest wires on M1, their width
+is roughly twice the safety distance (``Bw ≈ 2d``), and both shrinking them
+and packing them closer violates manufacturability.  This module encodes
+those rules and provides the occupancy/free-track probes used to demonstrate
+inaccuracies **I1** (no free space for bitlines in the MAT) and **I2** (no
+free space for bitlines in the SA region) — Fig 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DesignRuleViolation
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import Layer
+from repro.layout.geometry import Rect
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimal rule set for a DRAM process node.
+
+    ``min_width`` / ``min_spacing`` are per-layer, in nm.  The defaults
+    follow the Appendix A relation ``Bw ≈ 2 d`` for metal 1 at a generic
+    modern node; :mod:`repro.core.chips` instantiates per-chip rule sets.
+    """
+
+    name: str
+    min_width: dict[Layer, float]
+    min_spacing: dict[Layer, float]
+
+    @classmethod
+    def for_feature_size(cls, name: str, feature_nm: float) -> "DesignRules":
+        """Derive a rule set from the process feature size F.
+
+        Bitlines sit at 1F width / 1F space — the 6F² open-bitline cell has
+        a 2F bitline pitch.  Upper metal relaxes by ~4x, matching the
+        paper's observation that M2 wires are around 8x bigger than M1
+        bitlines and not packed closely (Appendix A).
+        """
+        return cls(
+            name=name,
+            min_width={
+                Layer.ACTIVE: feature_nm,
+                Layer.GATE: feature_nm,
+                Layer.CONTACT: feature_nm,
+                Layer.METAL1: feature_nm,
+                Layer.VIA1: feature_nm * 1.5,
+                Layer.METAL2: feature_nm * 4.0,
+                Layer.CAPACITOR: feature_nm,
+            },
+            min_spacing={
+                Layer.ACTIVE: feature_nm,
+                Layer.GATE: feature_nm,
+                Layer.CONTACT: feature_nm,
+                Layer.METAL1: feature_nm,
+                Layer.VIA1: feature_nm * 1.5,
+                Layer.METAL2: feature_nm * 4.0,
+                Layer.CAPACITOR: feature_nm / 2.0,
+            },
+        )
+
+    def track_pitch(self, layer: Layer) -> float:
+        """Minimum wire pitch on *layer* (width + spacing)."""
+        return self.min_width[layer] + self.min_spacing[layer]
+
+
+def check_cell(cell: LayoutCell, rules: DesignRules, layers: tuple[Layer, ...] | None = None) -> list[str]:
+    """Run width and spacing checks; return a list of violation strings.
+
+    Raises nothing: callers that want hard failures can inspect the list and
+    raise :class:`~repro.errors.DesignRuleViolation` themselves via
+    :func:`enforce_cell`.
+    """
+    if layers is None:
+        layers = (Layer.METAL1, Layer.METAL2, Layer.GATE)
+    violations: list[str] = []
+    for layer in layers:
+        shapes = cell.shapes_on(layer)
+        wmin = rules.min_width[layer]
+        smin = rules.min_spacing[layer]
+        for i, shape in enumerate(shapes):
+            narrow = min(shape.width, shape.height)
+            if narrow + 1e-9 < wmin:
+                violations.append(
+                    f"{layer.name}: shape {i} width {narrow:.1f} < min {wmin:.1f}"
+                )
+        # O(n²) pairwise spacing; cells are region-sized (hundreds of
+        # shapes), so this stays cheap and keeps the check obviously correct.
+        for i, a in enumerate(shapes):
+            for j in range(i + 1, len(shapes)):
+                b = shapes[j]
+                if a.intersects(b):
+                    continue  # same-net abutment is legal
+                gap = a.gap_to(b)
+                if gap + 1e-9 < smin:
+                    violations.append(
+                        f"{layer.name}: shapes {i},{j} spacing {gap:.1f} < min {smin:.1f}"
+                    )
+    return violations
+
+
+def enforce_cell(cell: LayoutCell, rules: DesignRules) -> None:
+    """Like :func:`check_cell` but raises on the first violation."""
+    violations = check_cell(cell, rules)
+    if violations:
+        raise DesignRuleViolation(violations[0], f"{len(violations)} total in {cell.name}")
+
+
+def free_track_count(
+    cell: LayoutCell, rules: DesignRules, layer: Layer, window: Rect
+) -> int:
+    """Number of *additional* minimum-pitch Y-running tracks that fit.
+
+    This is the quantitative core of I1/I2: scan the window along X in
+    track-pitch steps and count columns in which no existing shape on
+    *layer* would violate spacing against a new minimum-width wire.  For the
+    generator's MAT and SA regions the answer is 0 — there is no free space
+    for new bitlines (Fig 13) — while the M2 layer of A4/A5 style chips does
+    report slack (Appendix A).
+    """
+    pitch = rules.track_pitch(layer)
+    wmin = rules.min_width[layer]
+    smin = rules.min_spacing[layer]
+    shapes = [s for s in cell.shapes_on(layer) if s.intersects(window)]
+    free = 0
+    x = window.x0 + smin
+    while x + wmin <= window.x1 - smin + 1e-9:
+        candidate = Rect(x, window.y0, x + wmin, window.y1)
+        blocked = any(
+            s.intersects(candidate) or s.gap_to(candidate) < smin - 1e-9
+            for s in shapes
+        )
+        if not blocked:
+            free += 1
+            x += pitch
+        else:
+            x += pitch / 4.0  # finer scan past obstructions
+    return free
+
+
+def occupancy_report(
+    cell: LayoutCell, rules: DesignRules, layer: Layer, window: Rect
+) -> dict[str, float]:
+    """Summary used by the Fig 13 bench: occupancy, free tracks, pitch.
+
+    ``theoretical_max`` is the occupancy of a fully packed minimum-pitch
+    layer (width / pitch); ``utilisation`` is occupancy relative to it.
+    """
+    occ = cell.occupancy(layer, window)
+    theoretical = rules.min_width[layer] / rules.track_pitch(layer)
+    return {
+        "occupancy": occ,
+        "theoretical_max": theoretical,
+        "utilisation": occ / theoretical if theoretical else 0.0,
+        "free_tracks": float(free_track_count(cell, rules, layer, window)),
+        "track_pitch_nm": rules.track_pitch(layer),
+    }

@@ -1,0 +1,255 @@
+"""Layout elements: layers, materials, transistors, wires, vias.
+
+The element vocabulary follows what the paper's imaging actually resolves
+(§IV-D, Fig 7): bitlines on metal 1, wider routing on metal 2, vias between
+layers, polysilicon gates, active regions, and the stacked capacitors above
+the bitlines in the MAT.  Each element lives on exactly one :class:`Layer`
+and is made of one :class:`Material`; the voxelizer maps materials to SEM
+contrast classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Rect
+
+
+class Layer(enum.Enum):
+    """Vertical IC layers, bottom (substrate) to top (capacitors).
+
+    The stack is deliberately shallow: the paper stresses that the number of
+    IC layers in DRAM MATs and SA regions is limited (§VI-B, refs [49], [87],
+    [98]) — that limitation is what makes inaccuracies I1/I2 unavoidable.
+    """
+
+    ACTIVE = 0  #: transistor active regions (doped silicon)
+    GATE = 1  #: polysilicon gates, including region-spanning common gates
+    CONTACT = 2  #: contacts from active/gate up to metal 1
+    METAL1 = 3  #: bitlines and local SA wiring
+    VIA1 = 4  #: vias between metal 1 and metal 2
+    METAL2 = 5  #: wider routing (LIO, power rails, A4/A5 bitline transfer)
+    CAPACITOR = 6  #: MAT stacked capacitors (honeycomb arrangement)
+
+    @property
+    def is_metal(self) -> bool:
+        """True for the two routing layers."""
+        return self in (Layer.METAL1, Layer.METAL2)
+
+    @property
+    def is_via(self) -> bool:
+        """True for inter-layer connection layers."""
+        return self in (Layer.CONTACT, Layer.VIA1)
+
+
+#: Layers that vias on a given via-layer connect.  A CONTACT reaches down to
+#: whichever of ACTIVE/GATE it lands on (never place one touching both) and
+#: up to METAL1; a VIA1 joins the two metals.
+VIA_CONNECTS: dict[Layer, tuple[tuple[Layer, ...], Layer]] = {
+    Layer.CONTACT: ((Layer.ACTIVE, Layer.GATE), Layer.METAL1),
+    Layer.VIA1: ((Layer.METAL1,), Layer.METAL2),
+}
+
+
+class Material(enum.Enum):
+    """Material classes, the unit the SEM contrast model distinguishes."""
+
+    SILICON = enum.auto()  #: bulk / active silicon
+    POLY = enum.auto()  #: polysilicon gate material
+    TUNGSTEN = enum.auto()  #: contacts and vias
+    COPPER = enum.auto()  #: metal wires
+    DIELECTRIC = enum.auto()  #: inter-layer dielectric (background)
+    CAPACITOR_STACK = enum.auto()  #: high-k capacitor stack
+
+
+#: Default material of each layer.
+LAYER_MATERIAL: dict[Layer, Material] = {
+    Layer.ACTIVE: Material.SILICON,
+    Layer.GATE: Material.POLY,
+    Layer.CONTACT: Material.TUNGSTEN,
+    Layer.METAL1: Material.COPPER,
+    Layer.VIA1: Material.TUNGSTEN,
+    Layer.METAL2: Material.COPPER,
+    Layer.CAPACITOR: Material.CAPACITOR_STACK,
+}
+
+
+class Orientation(enum.Enum):
+    """Which axis a transistor's *width* runs along (§V-C).
+
+    Latching transistors have their width along X (parallel to the SA
+    height), so adding one widens the SA by its **W**.  Common-gate elements
+    (precharge, isolation, offset-cancellation) span the region along Y, so
+    adding one widens the SA by its **L** instead — the single most
+    consequential layout fact the paper reports for overhead estimation.
+    """
+
+    WIDTH_ALONG_X = enum.auto()
+    WIDTH_ALONG_Y = enum.auto()
+
+
+class TransistorKind(enum.Enum):
+    """Functional classes of SA-region transistors (§V-A step iv-viii)."""
+
+    NSA = "nSA"  #: NMOS latch pair
+    PSA = "pSA"  #: PMOS latch pair (narrower than nSA)
+    PRECHARGE = "precharge"  #: connects a bitline to Vpre (common gate)
+    EQUALIZER = "equalizer"  #: shorts BL and BLB (classic SA only)
+    COLUMN = "column"  #: Yi column multiplexer, first element after MAT
+    ISOLATION = "isolation"  #: OCSA ISO device (common gate)
+    OFFSET_CANCEL = "offset_cancel"  #: OCSA OC device (common gate)
+    LSA = "LSA"  #: LIO second-stage latch (in region, not part of SA)
+    MAT_ACCESS = "mat_access"  #: BCAT cell access transistor (in the MAT)
+
+    @property
+    def is_common_gate(self) -> bool:
+        """Classes whose gate spans the whole SA region along Y."""
+        return self in (
+            TransistorKind.PRECHARGE,
+            TransistorKind.EQUALIZER,
+            TransistorKind.ISOLATION,
+            TransistorKind.OFFSET_CANCEL,
+        )
+
+    @property
+    def is_latch(self) -> bool:
+        """The cross-coupled latch classes."""
+        return self in (TransistorKind.NSA, TransistorKind.PSA)
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A placed transistor.
+
+    ``width`` and ``length`` are the electrical W and L in nm; the placed
+    footprint (gate rectangle) is derived from them plus the orientation.
+    ``effective_width`` / ``effective_length`` are the *effective spacing
+    sizes* of §V-B: the room the element actually needs, including safety
+    margins — the quantity the overhead formulas of Appendix B consume.
+    """
+
+    name: str
+    kind: TransistorKind
+    channel: str  # "nmos" or "pmos"
+    width: float
+    length: float
+    gate: Rect
+    active: Rect
+    orientation: Orientation
+    effective_width: float = 0.0
+    effective_length: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channel not in ("nmos", "pmos"):
+            raise LayoutError(f"bad channel {self.channel!r} for {self.name}")
+        if self.width <= 0 or self.length <= 0:
+            raise LayoutError(f"non-positive W/L for {self.name}")
+        if not self.effective_width:
+            object.__setattr__(self, "effective_width", self.width * 1.4)
+        if not self.effective_length:
+            object.__setattr__(self, "effective_length", self.length * 2.0)
+
+    @property
+    def wl_ratio(self) -> float:
+        """W/L, the figure of merit §VI-A compares across models."""
+        return self.width / self.length
+
+    @property
+    def x_footprint(self) -> float:
+        """SA-height (X) cost of this device per §V-C.
+
+        Latch-class devices cost their effective *width* along X; common-gate
+        devices cost their effective *length* along X.
+        """
+        if self.orientation is Orientation.WIDTH_ALONG_X:
+            return self.effective_width
+        return self.effective_length
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A straight wire segment on a metal layer."""
+
+    name: str
+    layer: Layer
+    shape: Rect
+    net: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layer.is_metal and self.layer is not Layer.GATE:
+            raise LayoutError(f"wire {self.name!r} on non-routing layer {self.layer}")
+
+    @property
+    def wire_width(self) -> float:
+        """The narrow dimension of the segment."""
+        return min(self.shape.width, self.shape.height)
+
+    @property
+    def wire_length(self) -> float:
+        """The long dimension of the segment."""
+        return max(self.shape.width, self.shape.height)
+
+
+@dataclass(frozen=True)
+class Via:
+    """A via or contact connecting two adjacent layers."""
+
+    name: str
+    layer: Layer
+    shape: Rect
+    net: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layer.is_via:
+            raise LayoutError(f"via {self.name!r} on non-via layer {self.layer}")
+
+    @property
+    def connects(self) -> tuple[tuple[Layer, ...], Layer]:
+        """The (lower-candidates, upper) layers this via joins."""
+        return VIA_CONNECTS[self.layer]
+
+
+@dataclass(frozen=True)
+class ActiveRegion:
+    """A contiguous active-silicon region; may host several transistors.
+
+    Fig 7c shows two transistors sharing source/drain and active region —
+    the classifier uses shared actives to find the coupled latch pairs.
+    """
+
+    name: str
+    shape: Rect
+
+
+@dataclass(frozen=True)
+class CapacitorCell:
+    """One MAT storage capacitor (plan-view footprint, honeycomb packed)."""
+
+    name: str
+    shape: Rect
+    row: int = 0
+    col: int = 0
+
+
+@dataclass
+class MatRegion:
+    """Summary geometry of a MAT adjacent to the SA region.
+
+    ``transition_nm`` is the §V-C bitline MAT→planar-logic transition
+    overhead (318 nm DDR4 / 275 nm DDR5 on average).
+    """
+
+    bounds: Rect
+    rows: int
+    cols: int
+    bitline_pitch: float
+    wordline_pitch: float
+    transition_nm: float
+    capacitors: list[CapacitorCell] = field(default_factory=list)
+
+    @property
+    def cells(self) -> int:
+        """Number of storage cells."""
+        return self.rows * self.cols

@@ -1,0 +1,211 @@
+"""Minimal GDSII stream writer/reader.
+
+HiFi-DRAM open-sources its reverse-engineered layouts "in the standard
+GDSII format" (§V-C).  This module provides the same capability for the
+layouts this library generates or recovers: every rectangle of a
+:class:`~repro.layout.cell.LayoutCell` is emitted as a ``BOUNDARY`` element
+on a numeric layer, and a reader parses such files back into per-layer
+rectangle lists.
+
+Only the subset of GDSII needed for rectilinear single-structure layouts is
+implemented: HEADER, BGNLIB/ENDLIB, LIBNAME, UNITS, BGNSTR/ENDSTR, STRNAME,
+BOUNDARY, LAYER, DATATYPE, XY, ENDEL.  Coordinates are stored in database
+units of 1 nm.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import GdsFormatError
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import Layer
+from repro.layout.geometry import Rect
+
+# GDSII record types.
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_ENDLIB = 0x0400
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+
+#: GDS layer numbers for the IC layers (loosely following common DRAM PDK
+#: numbering; the mapping round-trips through :func:`read_gds`).
+GDS_LAYER_NUMBERS: dict[Layer, int] = {
+    Layer.ACTIVE: 1,
+    Layer.GATE: 5,
+    Layer.CONTACT: 10,
+    Layer.METAL1: 20,
+    Layer.VIA1: 25,
+    Layer.METAL2: 30,
+    Layer.CAPACITOR: 40,
+}
+_NUMBER_TO_LAYER = {num: layer for layer, num in GDS_LAYER_NUMBERS.items()}
+
+_DUMMY_TIMESTAMP = (2024, 1, 1, 0, 0, 0)
+
+
+def _record(rtype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        raise GdsFormatError("odd-length GDS record payload")
+    return struct.pack(">HH", length, rtype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii", errors="replace")
+    if len(data) % 2:
+        data += b"\x00"
+    return data
+
+
+def _real8(value: float) -> bytes:
+    """Encode an IEEE double as GDSII 8-byte excess-64 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    mantissa = value
+    while mantissa >= 1.0:
+        mantissa /= 16.0
+        exponent += 1
+    while mantissa < 1.0 / 16.0:
+        mantissa *= 16.0
+        exponent -= 1
+    mant_int = int(mantissa * (1 << 56))
+    data = struct.pack(">Q", mant_int)
+    return bytes([sign | exponent]) + data[1:]
+
+
+def _parse_real8(data: bytes) -> float:
+    if len(data) != 8:
+        raise GdsFormatError("bad REAL8 length")
+    first = data[0]
+    sign = -1.0 if first & 0x80 else 1.0
+    exponent = (first & 0x7F) - 64
+    mant_int = int.from_bytes(b"\x00" + data[1:], "big")
+    mantissa = mant_int / float(1 << 56)
+    return sign * mantissa * (16.0 ** exponent)
+
+
+@dataclass
+class GdsLibrary:
+    """Parsed GDS content: structure name plus per-layer rectangles (nm)."""
+
+    name: str
+    structure: str
+    shapes: dict[Layer, list[Rect]] = field(default_factory=dict)
+    #: shapes on GDS layer numbers without a known mapping
+    unknown: dict[int, list[Rect]] = field(default_factory=dict)
+
+    def count(self) -> int:
+        """Total rectangles parsed."""
+        return sum(len(v) for v in self.shapes.values()) + sum(
+            len(v) for v in self.unknown.values()
+        )
+
+
+def write_gds(cell: LayoutCell, path: str | Path, lib_name: str = "HIFIDRAM") -> int:
+    """Write *cell* to a GDSII file; returns the number of shapes emitted.
+
+    Every layout element is flattened to boundary rectangles on its layer;
+    element semantics (nets, transistor classes) are a property of the
+    library's in-memory model, exactly as for real reverse-engineered GDS.
+    """
+    path = Path(path)
+    chunks: list[bytes] = [
+        _record(_HEADER, struct.pack(">h", 600)),
+        _record(_BGNLIB, struct.pack(">12h", *(_DUMMY_TIMESTAMP * 2))),
+        _record(_LIBNAME, _ascii(lib_name)),
+        # 1 db unit = 1e-3 user units (µm), 1e-9 m.
+        _record(_UNITS, _real8(1e-3) + _real8(1e-9)),
+        _record(_BGNSTR, struct.pack(">12h", *(_DUMMY_TIMESTAMP * 2))),
+        _record(_STRNAME, _ascii(cell.name)),
+    ]
+
+    count = 0
+    for layer in Layer:
+        number = GDS_LAYER_NUMBERS[layer]
+        for rect in cell.shapes_on(layer):
+            x0, y0 = int(round(rect.x0)), int(round(rect.y0))
+            x1, y1 = int(round(rect.x1)), int(round(rect.y1))
+            xy = struct.pack(
+                ">10i", x0, y0, x1, y0, x1, y1, x0, y1, x0, y0
+            )
+            chunks += [
+                _record(_BOUNDARY),
+                _record(_LAYER, struct.pack(">h", number)),
+                _record(_DATATYPE, struct.pack(">h", 0)),
+                _record(_XY, xy),
+                _record(_ENDEL),
+            ]
+            count += 1
+
+    chunks += [_record(_ENDSTR), _record(_ENDLIB)]
+    path.write_bytes(b"".join(chunks))
+    return count
+
+
+def read_gds(path: str | Path) -> GdsLibrary:
+    """Parse a GDSII file written by :func:`write_gds` (or compatible)."""
+    data = Path(path).read_bytes()
+    pos = 0
+    lib = GdsLibrary(name="", structure="")
+    current_layer: int | None = None
+    in_boundary = False
+    pending_xy: list[Rect] = []
+
+    while pos + 4 <= len(data):
+        length, rtype = struct.unpack_from(">HH", data, pos)
+        if length < 4:
+            raise GdsFormatError(f"bad record length {length} at offset {pos}")
+        payload = data[pos + 4 : pos + length]
+        pos += length
+
+        if rtype == _LIBNAME:
+            lib.name = payload.rstrip(b"\x00").decode("ascii", errors="replace")
+        elif rtype == _STRNAME:
+            lib.structure = payload.rstrip(b"\x00").decode("ascii", errors="replace")
+        elif rtype == _UNITS:
+            # Validate the db unit is 1 nm (what write_gds emits).
+            db_in_meters = _parse_real8(payload[8:16])
+            if not (0.5e-9 < db_in_meters < 2e-9):
+                raise GdsFormatError(f"unsupported database unit {db_in_meters} m")
+        elif rtype == _BOUNDARY:
+            in_boundary = True
+            current_layer = None
+        elif rtype == _LAYER and in_boundary:
+            (current_layer,) = struct.unpack(">h", payload)
+        elif rtype == _XY and in_boundary:
+            count = len(payload) // 8
+            coords = struct.unpack(f">{count * 2}i", payload)
+            xs = coords[0::2]
+            ys = coords[1::2]
+            pending_xy.append(Rect(min(xs), min(ys), max(xs), max(ys)))
+        elif rtype == _ENDEL:
+            if in_boundary and pending_xy:
+                rect = pending_xy.pop()
+                if current_layer in _NUMBER_TO_LAYER:
+                    lib.shapes.setdefault(_NUMBER_TO_LAYER[current_layer], []).append(rect)
+                elif current_layer is not None:
+                    lib.unknown.setdefault(current_layer, []).append(rect)
+            in_boundary = False
+        elif rtype == _ENDLIB:
+            break
+
+    if not lib.structure:
+        raise GdsFormatError("no structure found in GDS stream")
+    return lib

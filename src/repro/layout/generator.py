@@ -1,0 +1,875 @@
+"""Ground-truth generator for sense-amplifier region layouts.
+
+This module plays the role of the DRAM fab: it produces the physical layout
+the imaging + reverse-engineering pipeline has to recover.  The generated
+regions follow every organisational fact §V-C reports:
+
+* **open bitline** — BL enters from the left MAT, BLB from the right MAT;
+* **two stacked SAs** between each MAT pair ("SA1"/"SA2" along X, Fig 10),
+  serving alternating bitline pairs, with mirrored element placement;
+* **column transistors first** — the first devices a MAT bitline meets;
+* **common gates spanning the region along Y** for precharge, equalizer,
+  isolation and offset-cancellation elements (their *length* is what costs
+  SA height), while latch transistors have their width along X;
+* a **MAT→SA transition** overhead in the bitline direction (318 nm DDR4 /
+  275 nm DDR5 on average);
+* an **LSA** second-stage latch inside the region (not part of the SA);
+* a MAT edge with honeycomb stacked capacitors above the bitlines.
+
+Routing discipline (what makes extraction well-posed):
+
+* METAL1 carries only *horizontal* rails and short pads, on a fixed set of
+  sub-rows inside each 8-pitch lane;
+* METAL2 carries only *vertical* segments: region-spanning rails (LIO,
+  LIOB, VPRE, LA, LAB) and local jumpers between sub-rows;
+* GATE (poly) carries vertical region-spanning control rails (PEQ parts,
+  ISO, OC, PRE) plus per-lane column gate bars and horizontal latch gates;
+* CONTACT joins ACTIVE/GATE to METAL1; VIA1 joins the metals; touching
+  same-layer shapes are the same net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import (
+    ActiveRegion,
+    CapacitorCell,
+    Layer,
+    Orientation,
+    Transistor,
+    TransistorKind,
+    Via,
+    Wire,
+)
+from repro.layout.geometry import Rect
+
+
+@dataclass(frozen=True)
+class DeviceDims:
+    """Electrical and effective dimensions of one transistor class (nm)."""
+
+    w: float
+    l: float  # noqa: E741 - SPICE convention
+    eff_w: float = 0.0
+    eff_l: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.l <= 0:
+            raise LayoutError("device dims must be positive")
+        if not self.eff_w:
+            object.__setattr__(self, "eff_w", self.w * 1.4)
+        if not self.eff_l:
+            object.__setattr__(self, "eff_l", self.l * 2.0)
+
+
+def default_dims(topology: str) -> dict[TransistorKind, DeviceDims]:
+    """Generic dimensions used by tests and demos."""
+    dims = {
+        TransistorKind.NSA: DeviceDims(100.0, 40.0),
+        TransistorKind.PSA: DeviceDims(70.0, 40.0),
+        TransistorKind.PRECHARGE: DeviceDims(60.0, 45.0),
+        TransistorKind.COLUMN: DeviceDims(80.0, 45.0),
+        TransistorKind.LSA: DeviceDims(90.0, 45.0),
+    }
+    if topology == "classic":
+        dims[TransistorKind.EQUALIZER] = DeviceDims(60.0, 45.0)
+    else:
+        dims[TransistorKind.ISOLATION] = DeviceDims(70.0, 50.0)
+        dims[TransistorKind.OFFSET_CANCEL] = DeviceDims(60.0, 50.0)
+    return dims
+
+
+@dataclass(frozen=True)
+class SaRegionSpec:
+    """Parameters of one SA region (the tile between two MATs)."""
+
+    name: str = "sa_region"
+    topology: str = "classic"  # "classic" | "ocsa"
+    n_pairs: int = 4  #: bitline pairs (lanes); even → balanced SA1/SA2
+    feature_nm: float = 18.0
+    transition_nm: float = 318.0
+    dims: dict[TransistorKind, DeviceDims] = field(default_factory=dict)
+    include_lsa: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("classic", "ocsa"):
+            raise LayoutError(f"unknown topology {self.topology!r}")
+        if self.n_pairs < 1:
+            raise LayoutError("need at least one bitline pair")
+        if not self.dims:
+            object.__setattr__(self, "dims", default_dims(self.topology))
+
+    @property
+    def bitline_pitch(self) -> float:
+        """M1 bitline pitch: width F + space F."""
+        return 2.0 * self.feature_nm
+
+    @property
+    def lane_height(self) -> float:
+        """One bitline-pair lane: 8 M1 sub-rows at one pitch each."""
+        return 8.0 * self.bitline_pitch
+
+    def dim(self, kind: TransistorKind) -> DeviceDims:
+        """Dimensions for a transistor class."""
+        try:
+            return self.dims[kind]
+        except KeyError:
+            raise LayoutError(f"no dimensions for {kind.value} in {self.name}") from None
+
+
+# Sub-row indices inside a lane (multiples of the bitline pitch, +0.5).
+ROW_BL = 0.5  # BL rail / SABL drain rail
+ROW_TAP_BL = 1.5  # tap actives on the BL side (column, precharge, OC2)
+ROW_GF_BL = 2.5  # gate-feed rail carrying the BL net to latch gates
+ROW_NTAIL = 3.5  # NMOS latch tail rail (LAB)
+ROW_EQ = 4.0  # classic equalizer active row
+ROW_PTAIL = 4.5  # PMOS latch tail rail (LA)
+ROW_GF_BLB = 5.5  # gate-feed rail for BLB
+ROW_TAP_BLB = 6.5  # tap actives on the BLB side
+ROW_BLB = 7.5  # BLB rail / SABLB drain rail
+
+
+class _RegionBuilder:
+    """Stateful builder for one SA region; produces a LayoutCell."""
+
+    def __init__(self, spec: SaRegionSpec) -> None:
+        self.spec = spec
+        self.cell = LayoutCell(spec.name)
+        self.f = spec.feature_nm
+        self.p = spec.bitline_pitch
+        self._uid = 0
+
+        # --- X budget of one SA tile -------------------------------------
+        f = self.f
+        slots: list[tuple[str, float]] = []
+
+        def add(name: str, width: float) -> None:
+            slots.append((name, width))
+
+        add("gf", 4 * f)  # bitline gate-feed jumper
+        add("col", self._tap_slot_width(TransistorKind.COLUMN))
+        add("lio", 6 * f)  # LIO M2 rail
+        add("liob", 6 * f)  # LIOB M2 rail
+        if spec.topology == "ocsa":
+            add("iso", self._rail_slot_width(TransistorKind.ISOLATION))
+        for dev in ("n1", "n2"):
+            add(dev, self._latch_slot_width(TransistorKind.NSA))
+        add("lab", 6 * f)  # LAB M2 rail
+        for dev in ("p1", "p2"):
+            add(dev, self._latch_slot_width(TransistorKind.PSA))
+        add("la", 6 * f)  # LA M2 rail
+        add("gfb", 4 * f)  # BLB gate-feed jumper
+        if spec.topology == "ocsa":
+            # Extra room for the sideways-shifted second OC jumper.
+            add("oc", self._rail_slot_width(TransistorKind.OFFSET_CANCEL) + 7 * f)
+        if spec.topology == "classic":
+            add("eq", self._rail_slot_width(TransistorKind.EQUALIZER))
+        add("pre", self._rail_slot_width(TransistorKind.PRECHARGE))
+        add("vpre", 6 * f)  # VPRE M2 rail
+        if spec.topology == "ocsa":
+            add("blbe", 4 * f)  # BLB entry jumper down to its gate-feed row
+        if spec.include_lsa:
+            add("lsa", self._latch_slot_width(TransistorKind.LSA) * 2 + 6 * f)
+
+        self.slot_x: dict[str, float] = {}
+        self.slot_w: dict[str, float] = {}
+        cursor = spec.transition_nm
+        for name, width in slots:
+            self.slot_x[name] = cursor
+            self.slot_w[name] = width
+            cursor += width + 2 * f
+        self.tile_width = cursor
+        self.region_width = 2 * self.tile_width + spec.transition_nm
+
+        # Y extents.
+        self.lanes_height = spec.n_pairs * spec.lane_height
+        self.lsa_strip_h = 8 * self.p if spec.include_lsa else 0.0
+        self.bridge_strip_h = 2 * self.p
+        self.region_height = self.lanes_height + self.lsa_strip_h + self.bridge_strip_h
+
+    # -- slot widths --------------------------------------------------------
+
+    def _tap_slot_width(self, kind: TransistorKind) -> float:
+        d = self.spec.dim(kind)
+        return d.l + 6 * self.f
+
+    def _rail_slot_width(self, kind: TransistorKind) -> float:
+        d = self.spec.dim(kind)
+        return d.l + 8 * self.f
+
+    def _latch_slot_width(self, kind: TransistorKind) -> float:
+        d = self.spec.dim(kind)
+        return d.w + 6 * self.f
+
+    # -- coordinate helpers ---------------------------------------------------
+
+    def _x(self, lane: int, slot: str, offset: float = 0.0) -> float:
+        """Centre X of *slot* for the tile that owns *lane* (SA2 mirrored)."""
+        base = self.slot_x[slot] + self.slot_w[slot] / 2 + offset
+        if lane % 2 == 0:
+            return base
+        return self.region_width - base
+
+    def row_y(self, lane: int, row: float) -> float:
+        """Y of a sub-row in *lane*."""
+        return lane * self.spec.lane_height + row * self.p
+
+    def _name(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}_{self._uid}"
+
+    # -- drawing primitives ---------------------------------------------------
+
+    def hwire(self, net: str, y: float, x0: float, x1: float, layer: Layer = Layer.METAL1, width: float | None = None) -> None:
+        """Horizontal wire centred on *y*."""
+        w = width if width is not None else self.f
+        self.cell.add_wire(
+            Wire(self._name(f"h_{net}"), layer, Rect(min(x0, x1), y - w / 2, max(x0, x1), y + w / 2), net)
+        )
+
+    def vwire(self, net: str, x: float, y0: float, y1: float, layer: Layer = Layer.METAL2, width: float | None = None) -> None:
+        """Vertical wire centred on *x*."""
+        w = width if width is not None else (4 * self.f if layer is Layer.METAL2 else self.f)
+        self.cell.add_wire(
+            Wire(self._name(f"v_{net}"), layer, Rect(x - w / 2, min(y0, y1), x + w / 2, max(y0, y1)), net)
+        )
+
+    def contact(self, net: str, x: float, y: float) -> None:
+        """ACTIVE/GATE → M1 contact with its M1 landing pad."""
+        s = self.f
+        self.cell.add_via(Via(self._name(f"ct_{net}"), Layer.CONTACT, Rect.from_center(x, y, s, s), net))
+        self.cell.add_wire(
+            Wire(self._name(f"pad_{net}"), Layer.METAL1, Rect.from_center(x, y, 2 * s, s), net)
+        )
+
+    def via1(self, net: str, x: float, y: float) -> None:
+        """M1 → M2 via with its M1 landing pad."""
+        s = 1.5 * self.f
+        self.cell.add_via(Via(self._name(f"v1_{net}"), Layer.VIA1, Rect.from_center(x, y, s, s), net))
+        self.cell.add_wire(
+            Wire(self._name(f"pad_{net}"), Layer.METAL1, Rect.from_center(x, y, 2 * s, self.f), net)
+        )
+
+    def jumper(self, net: str, x: float, y0: float, y1: float) -> None:
+        """M2 vertical jumper with VIA1 landings at both rows."""
+        self.via1(net, x, y0)
+        self.via1(net, x, y1)
+        self.vwire(net, x, y0, y1, Layer.METAL2, width=2 * self.f)
+
+    # -- device primitives -----------------------------------------------------
+
+    def tap_device(
+        self,
+        name: str,
+        kind: TransistorKind,
+        channel: str,
+        lane: int,
+        x_gate: float,
+        tap_row: float,
+        rail_row: float,
+        rail_net: str,
+        other_net: str,
+        gate_net: str,
+        connect_other: str = "none",  # "none" | "via_to_m2_at" | "jumper_to_row"
+        other_x: float | None = None,
+        other_row: float | None = None,
+        jump_dx: float = 0.0,
+    ) -> Transistor:
+        """A tap transistor: horizontal active crossing a vertical gate.
+
+        The *inner* terminal (toward the gate-feed side) jumps to the rail
+        at *rail_row*; the *outer* terminal carries *other_net* and is
+        optionally linked by an M1 row wire to a VIA1 at ``other_x``.
+        """
+        d = self.spec.dim(kind)
+        y = self.row_y(lane, tap_row)
+        half = d.l / 2 + 2 * self.f
+        mirrored = lane % 2 == 1
+        # The *outer* terminal faces the downstream M2 rail (LIO/VPRE sit
+        # after this slot in the tile order), i.e. away from the MAT; the
+        # *inner* terminal faces the MAT and jumps down to the rail row.
+        inner_x = x_gate - half if not mirrored else x_gate + half
+        outer_x = x_gate + half if not mirrored else x_gate - half
+
+        active = Rect.from_center(x_gate, y, 2 * half + self.f, d.w)
+        self.cell.add_active(ActiveRegion(self._name(f"act_{name}"), active))
+        gate = Rect.from_center(x_gate, y, d.l, d.w + 2 * self.f)
+
+        self.contact(rail_net, inner_x, y)
+        self.jumper(rail_net, inner_x, y, self.row_y(lane, rail_row))
+        self.contact(other_net, outer_x, y)
+        if connect_other == "via_to_m2_at":
+            assert other_x is not None
+            self.hwire(other_net, y, outer_x, other_x)
+            self.via1(other_net, other_x, y)
+        elif connect_other == "jumper_to_row":
+            assert other_row is not None
+            # jump_dx moves the vertical jumper sideways (mirrored with the
+            # lane) so that two jumpers of one slot never share an X.
+            jx = outer_x + (jump_dx if not mirrored else -jump_dx)
+            if jump_dx:
+                self.hwire(other_net, y, outer_x, jx)
+            self.jumper(other_net, jx, y, self.row_y(lane, other_row))
+
+        t = Transistor(
+            name=name,
+            kind=kind,
+            channel=channel,
+            width=d.w,
+            length=d.l,
+            gate=gate,
+            active=active,
+            orientation=Orientation.WIDTH_ALONG_Y,
+            effective_width=d.eff_w,
+            effective_length=d.eff_l,
+        )
+        self.cell.add_transistor(t)
+        return t
+
+    def inline_device(
+        self,
+        name: str,
+        kind: TransistorKind,
+        channel: str,
+        lane: int,
+        x_gate: float,
+        row: float,
+        left_net: str,
+        right_net: str,
+        gate_net: str,
+    ) -> Transistor:
+        """An inline transistor splitting a rail (the OCSA ISO devices)."""
+        d = self.spec.dim(kind)
+        y = self.row_y(lane, row)
+        half = d.l / 2 + 2 * self.f
+        active = Rect.from_center(x_gate, y, 2 * half + self.f, d.w)
+        self.cell.add_active(ActiveRegion(self._name(f"act_{name}"), active))
+        gate = Rect.from_center(x_gate, y, d.l, d.w + 2 * self.f)
+        mirrored = lane % 2 == 1
+        lx, rx = (x_gate - half, x_gate + half) if not mirrored else (x_gate + half, x_gate - half)
+        self.contact(left_net, lx, y)
+        self.contact(right_net, rx, y)
+        t = Transistor(
+            name=name,
+            kind=kind,
+            channel=channel,
+            width=d.w,
+            length=d.l,
+            gate=gate,
+            active=active,
+            orientation=Orientation.WIDTH_ALONG_Y,
+            effective_width=d.eff_w,
+            effective_length=d.eff_l,
+        )
+        self.cell.add_transistor(t)
+        return t
+
+    def latch_device(
+        self,
+        name: str,
+        kind: TransistorKind,
+        channel: str,
+        lane: int,
+        x_dev: float,
+        drain_row: float,
+        tail_row: float,
+        drain_net: str,
+        tail_net: str,
+        gate_net: str,
+        gate_feed_row: float,
+    ) -> Transistor:
+        """A latch transistor: vertical active, horizontal gate bar.
+
+        Drain contacts the drain rail, source the tail rail; the gate bar
+        extends sideways to a contact from which an M2 jumper reaches the
+        gate-feed rail of the *opposite* bitline.
+        """
+        d = self.spec.dim(kind)
+        y_drain = self.row_y(lane, drain_row)
+        y_tail = self.row_y(lane, tail_row)
+        active = Rect(
+            x_dev - d.w / 2, min(y_drain, y_tail) - self.f, x_dev + d.w / 2, max(y_drain, y_tail) + self.f
+        )
+        self.cell.add_active(ActiveRegion(self._name(f"act_{name}"), active))
+
+        # Gate bar one pitch from the drain row: that lands on the tap rows
+        # (1.5/6.5), which are vacant within the latch slots, and keeps a
+        # full pixel-safe pitch of clearance to the gate-feed rails
+        # (rows 2.5/5.5) and to both contact pads.
+        y_gate = y_drain + self.p if y_drain < y_tail else y_drain - self.p
+        mirrored = lane % 2 == 1
+        ext = d.w / 2 + 2.5 * self.f
+        x_gc = x_dev - ext if not mirrored else x_dev + ext
+        # The bar must cross the whole active and extend to the contact.
+        if not mirrored:
+            gate = Rect(x_gc - self.f, y_gate - d.l / 2, x_dev + d.w / 2 + self.f, y_gate + d.l / 2)
+        else:
+            gate = Rect(x_dev - d.w / 2 - self.f, y_gate - d.l / 2, x_gc + self.f, y_gate + d.l / 2)
+
+        self.contact(drain_net, x_dev, y_drain)
+        self.contact(tail_net, x_dev, y_tail)
+        self.contact(gate_net, x_gc, y_gate)
+        self.jumper(gate_net, x_gc, y_gate, self.row_y(lane, gate_feed_row))
+
+        t = Transistor(
+            name=name,
+            kind=kind,
+            channel=channel,
+            width=d.w,
+            length=d.l,
+            gate=gate,
+            active=active,
+            orientation=Orientation.WIDTH_ALONG_X,
+            effective_width=d.eff_w,
+            effective_length=d.eff_l,
+        )
+        self.cell.add_transistor(t)
+        return t
+
+    # -- region assembly ---------------------------------------------------------
+
+    def build(self) -> LayoutCell:
+        """Assemble rails, control lines and every lane's devices."""
+        spec = self.spec
+        for rail in ("lio", "liob", "vpre", "lab", "la"):
+            net = {"lio": "LIO", "liob": "LIOB", "vpre": "VPRE", "lab": "LAB", "la": "LA"}[rail]
+            for tile in (0, 1):
+                x = self._x(tile, rail)
+                self.vwire(net, x, 0.0, self.lanes_height + self.lsa_strip_h, Layer.METAL2)
+
+        # Control poly rails (vertical, region-spanning along Y).
+        control_rails: list[tuple[str, str]] = []
+        if spec.topology == "ocsa":
+            control_rails += [("iso", "ISO"), ("oc", "OC"), ("pre", "PRE")]
+        else:
+            control_rails += [("eq", "EQ_RAIL"), ("pre", "PRE_RAIL")]
+        rail_top = self.lanes_height + self.lsa_strip_h
+        for slot, net in control_rails:
+            for tile in (0, 1):
+                x = self._x(tile, slot)
+                self.vwire(net, x, 0.0, rail_top, Layer.GATE, width=self.spec.dim(self._rail_kind(slot)).l)
+
+        # Classic: bridge the precharge and equalizer rails into one PEQ net
+        # (their gates are shared across the whole region — inaccuracy I3's
+        # physical basis).
+        if spec.topology == "classic":
+            y_bridge = rail_top + self.p
+            for tile in (0, 1):
+                x_eq = self._x(tile, "eq")
+                x_pre = self._x(tile, "pre")
+                self.hwire("PEQ", y_bridge, x_eq, x_pre, Layer.GATE, width=self.f)
+                self.vwire("EQ_RAIL", x_eq, rail_top, y_bridge, Layer.GATE, width=self.f)
+                self.vwire("PRE_RAIL", x_pre, rail_top, y_bridge, Layer.GATE, width=self.f)
+
+        for lane in range(spec.n_pairs):
+            self._build_lane(lane)
+
+        if spec.include_lsa:
+            for tile in (0, 1):
+                self._build_lsa(tile)
+
+        self.cell.annotations["topology"] = spec.topology
+        self.cell.annotations["n_pairs"] = str(spec.n_pairs)
+        self.cell.annotations["tile_width_nm"] = f"{self.tile_width:.1f}"
+        return self.cell
+
+    def _rail_kind(self, slot: str) -> TransistorKind:
+        return {
+            "iso": TransistorKind.ISOLATION,
+            "oc": TransistorKind.OFFSET_CANCEL,
+            "pre": TransistorKind.PRECHARGE,
+            "eq": TransistorKind.EQUALIZER,
+        }[slot]
+
+    def _build_lane(self, lane: int) -> None:
+        spec = self.spec
+        f = self.f
+        bl, blb = f"BL{lane}", f"BLB{lane}"
+        mirrored = lane % 2 == 1
+        ocsa = spec.topology == "ocsa"
+        # Internal (post-ISO) drain nets.
+        dbl = f"SABL{lane}" if ocsa else bl
+        dblb = f"SABLB{lane}" if ocsa else blb
+
+        y_bl = self.row_y(lane, ROW_BL)
+        y_blb = self.row_y(lane, ROW_BLB)
+
+        # MAT side of this lane's BL (and the opposite side for BLB) —
+        # the open-bitline scheme: BL enters from one MAT, BLB from the
+        # other.  Offsets passed to _x are mirrored together with the base
+        # position, so "toward this lane's MAT" is a negative offset for
+        # every lane parity.
+        x_mat_bl = 0.0 if not mirrored else self.region_width
+        x_mat_blb = self.region_width if not mirrored else 0.0
+        pre_edge = self.slot_w["pre"] / 2 + 2 * f
+        col_edge = self.slot_w["col"] / 2 + 2 * f
+        x_gf = self._x(lane, "gf")
+        x_gfb = self._x(lane, "gfb")
+        y_gf = self.row_y(lane, ROW_GF_BL)
+        y_gfb = self.row_y(lane, ROW_GF_BLB)
+
+        if ocsa:
+            x_iso = self._x(lane, "iso")
+            gap = spec.dim(TransistorKind.ISOLATION).l / 2 + 2 * f
+            oc_edge = self.slot_w["oc"] / 2 + 2 * f
+            # BL: from its MAT up to the isolation device.
+            self.hwire(bl, y_bl, x_mat_bl, self._x(lane, "iso", -gap))
+            # Internal nodes: from the isolation device across the latch
+            # drains to the offset-cancellation slot.
+            self.hwire(dbl, y_bl, self._x(lane, "iso", gap), self._x(lane, "oc", oc_edge))
+            self.hwire(dblb, y_blb, self._x(lane, "iso", gap), self._x(lane, "oc", oc_edge))
+            # BLB: from the opposite MAT to the entry jumper, then down to
+            # its gate-feed row, which carries it across the latch zone (the
+            # drain row there belongs to SABLB).
+            x_entry = self._x(lane, "blbe")
+            self.hwire(blb, y_blb, x_mat_blb, x_entry)
+            self.jumper(blb, x_entry, y_blb, y_gfb)
+            self.inline_device(
+                f"iso1_l{lane}", TransistorKind.ISOLATION, "nmos", lane,
+                x_iso, ROW_BL, bl, dbl, "ISO",
+            )
+            self.inline_device(
+                f"iso2_l{lane}", TransistorKind.ISOLATION, "nmos", lane,
+                x_iso, ROW_BLB, blb, dblb, "ISO",
+            )
+            # iso2's bitline-side terminal reaches BLB via its gate-feed row.
+            self.jumper(blb, self._x(lane, "iso", -gap), y_blb, y_gfb)
+        else:
+            # Classic: plain rails; BLB spans from its MAT all the way to
+            # the column slot (its first consumer from that side).
+            self.hwire(bl, y_bl, x_mat_bl, self._x(lane, "pre", pre_edge))
+            self.hwire(blb, y_blb, x_mat_blb, self._x(lane, "col", -col_edge))
+
+        # Gate-feed rails: horizontal branches of the true bitline nets that
+        # carry them to the latch gates (and, on OCSA chips, to the OC outer
+        # terminals, the precharge taps, the column tap and the BLB entry).
+        latch_lo = self._x(lane, "n1", -(self.slot_w["n1"] / 2 + 2 * f))
+        latch_hi = self._x(lane, "p2", +(self.slot_w["p2"] / 2 + 2 * f))
+        gf_bl_ends = [x_gf, latch_lo, latch_hi]
+        gf_blb_ends = [x_gfb, latch_lo, latch_hi]
+        if ocsa:
+            oc_lo = self._x(lane, "oc", -(self.slot_w["oc"] / 2 + 2 * f))
+            oc_hi = self._x(lane, "oc", +(self.slot_w["oc"] / 2 + 2 * f))
+            pre_lo = self._x(lane, "pre", -pre_edge)
+            pre_hi = self._x(lane, "pre", +pre_edge)
+            gf_bl_ends += [oc_lo, oc_hi, pre_lo, pre_hi]
+            gf_blb_ends += [
+                oc_lo, oc_hi, pre_lo, pre_hi,
+                self._x(lane, "col", -col_edge),
+                self._x(lane, "iso", 0.0),
+                self._x(lane, "blbe", 2 * f),
+            ]
+        self.jumper(bl, x_gf, y_bl, y_gf)
+        self.hwire(bl, y_gf, min(gf_bl_ends), max(gf_bl_ends))
+        if not ocsa:
+            self.jumper(blb, x_gfb, y_blb, y_gfb)
+        self.hwire(blb, y_gfb, min(gf_blb_ends), max(gf_blb_ends))
+
+        # Column transistors: the first elements after the MAT (§V-C).
+        x_col = self._x(lane, "col")
+        y_net = f"Y{lane // 4 * 4}"  # groups of 4 adjacent pairs share a select
+        self.tap_device(
+            f"col1_l{lane}", TransistorKind.COLUMN, "nmos", lane,
+            x_col, ROW_TAP_BL, ROW_BL, bl, "LIO", y_net,
+            connect_other="via_to_m2_at", other_x=self._x(lane, "lio"),
+        )
+        self.tap_device(
+            f"col2_l{lane}", TransistorKind.COLUMN, "nmos", lane,
+            x_col, ROW_TAP_BLB, ROW_GF_BLB if ocsa else ROW_BLB, blb, "LIOB", y_net,
+            connect_other="via_to_m2_at", other_x=self._x(lane, "liob"),
+        )
+        # Per-lane column gate bar crossing both tap actives.
+        d_col = spec.dim(TransistorKind.COLUMN)
+        self.vwire(
+            y_net, x_col,
+            self.row_y(lane, ROW_TAP_BL) - d_col.w / 2 - 2 * f,
+            self.row_y(lane, ROW_TAP_BLB) + d_col.w / 2 + 2 * f,
+            Layer.GATE, width=d_col.l,
+        )
+
+        # Latch devices.
+        for dev, kind, channel, drain_row, tail_row, drain_net, tail_net, gate_net, gf_row in (
+            ("n1", TransistorKind.NSA, "nmos", ROW_BL, ROW_NTAIL, dbl, "LAB", blb, ROW_GF_BLB),
+            ("n2", TransistorKind.NSA, "nmos", ROW_BLB, ROW_NTAIL, dblb, "LAB", bl, ROW_GF_BL),
+            ("p1", TransistorKind.PSA, "pmos", ROW_BL, ROW_PTAIL, dbl, "LA", blb, ROW_GF_BLB),
+            ("p2", TransistorKind.PSA, "pmos", ROW_BLB, ROW_PTAIL, dblb, "LA", bl, ROW_GF_BL),
+        ):
+            self.latch_device(
+                f"{dev}_l{lane}", kind, channel, lane, self._x(lane, dev),
+                drain_row, tail_row, drain_net, tail_net, gate_net, gf_row,
+            )
+        # Latch drain rails for the internal nodes run on the drain rows and
+        # already exist (ocsa: SABL/SABLB; classic: BL/BLB rails).
+        # Tail rails with a via to the LA/LAB M2 rails.
+        y_ntail = self.row_y(lane, ROW_NTAIL)
+        y_ptail = self.row_y(lane, ROW_PTAIL)
+        x_lab = self._x(lane, "lab")
+        x_la = self._x(lane, "la")
+        self.hwire("LAB", y_ntail, min(self._x(lane, "n1"), x_lab), max(self._x(lane, "n1"), x_lab))
+        self.hwire("LAB", y_ntail, min(self._x(lane, "n2"), x_lab), max(self._x(lane, "n2"), x_lab))
+        self.via1("LAB", x_lab, y_ntail)
+        self.hwire("LA", y_ptail, min(self._x(lane, "p1"), x_la), max(self._x(lane, "p1"), x_la))
+        self.hwire("LA", y_ptail, min(self._x(lane, "p2"), x_la), max(self._x(lane, "p2"), x_la))
+        self.via1("LA", x_la, y_ptail)
+
+        if spec.topology == "ocsa":
+            # Offset-cancellation devices: cross connections BL↔SABLB and
+            # BLB↔SABL (ISO∧OC = the equalisation path).  The outer terminal
+            # jumps to the *true* bitline rail on the gate-feed row, which
+            # carries the pre-ISO bitline net through the latch zone.
+            x_oc = self._x(lane, "oc")
+            self.tap_device(
+                f"oc1_l{lane}", TransistorKind.OFFSET_CANCEL, "nmos", lane,
+                x_oc, ROW_TAP_BLB, ROW_BLB, dblb, bl, "OC",
+                connect_other="jumper_to_row", other_row=ROW_GF_BL,
+            )
+            # oc2's outer jumper is shifted sideways: both OC jumpers would
+            # otherwise share an X and overlap on METAL2 (shorting BL/BLB).
+            self.tap_device(
+                f"oc2_l{lane}", TransistorKind.OFFSET_CANCEL, "nmos", lane,
+                x_oc, ROW_TAP_BL, ROW_BL, dbl, blb, "OC",
+                connect_other="jumper_to_row", other_row=ROW_GF_BLB, jump_dx=5 * f,
+            )
+        else:
+            # Equalizer: BL↔BLB through the EQ rail's channel.
+            x_eq = self._x(lane, "eq")
+            d_eq = spec.dim(TransistorKind.EQUALIZER)
+            y_eq = self.row_y(lane, ROW_EQ)
+            half = d_eq.l / 2 + 2 * f
+            active = Rect.from_center(x_eq, y_eq, 2 * half + f, d_eq.w)
+            self.cell.add_active(ActiveRegion(self._name("act_eq"), active))
+            gate = Rect.from_center(x_eq, y_eq, d_eq.l, d_eq.w + 2 * f)
+            lx, rx = x_eq - half, x_eq + half
+            self.contact(bl, lx, y_eq)
+            self.jumper(bl, lx, y_eq, y_bl)
+            self.contact(blb, rx, y_eq)
+            self.jumper(blb, rx, y_eq, y_blb)
+            self.cell.add_transistor(
+                Transistor(
+                    name=f"eq_l{lane}",
+                    kind=TransistorKind.EQUALIZER,
+                    channel="nmos",
+                    width=d_eq.w,
+                    length=d_eq.l,
+                    gate=gate,
+                    active=active,
+                    orientation=Orientation.WIDTH_ALONG_Y,
+                    effective_width=d_eq.eff_w,
+                    effective_length=d_eq.eff_l,
+                )
+            )
+
+        # Precharge devices: taps from the true bitlines to VPRE.  On OCSA
+        # chips the true bitline past the ISO devices lives on the gate-feed
+        # rows, so the precharge tap reaches it there.
+        x_pre = self._x(lane, "pre")
+        pre_gate = "PRE" if spec.topology == "ocsa" else "PRE_RAIL"
+        bl_row = ROW_GF_BL if spec.topology == "ocsa" else ROW_BL
+        blb_row = ROW_GF_BLB if spec.topology == "ocsa" else ROW_BLB
+        self.tap_device(
+            f"pre1_l{lane}", TransistorKind.PRECHARGE, "nmos", lane,
+            x_pre, ROW_TAP_BL, bl_row, bl, "VPRE", pre_gate,
+            connect_other="via_to_m2_at", other_x=self._x(lane, "vpre"),
+        )
+        self.tap_device(
+            f"pre2_l{lane}", TransistorKind.PRECHARGE, "nmos", lane,
+            x_pre, ROW_TAP_BLB, blb_row, blb, "VPRE", pre_gate,
+            connect_other="via_to_m2_at", other_x=self._x(lane, "vpre"),
+        )
+
+    def _build_lsa(self, tile: int) -> None:
+        """Second-stage LIO latch (in the region, not part of the SA)."""
+        spec = self.spec
+        f = self.f
+        d = spec.dim(TransistorKind.LSA)
+        # Rows are kept ≥1.5 pitches apart: a via pad plus reconstruction
+        # blur reaches about one pitch, so anything tighter risks bridging
+        # adjacent link rows in the recovered views.
+        y0 = self.lanes_height
+        y_tail = y0 + 1.0 * self.p
+        y_gate1 = y0 + 2.5 * self.p
+        y_gate2 = y0 + 4.0 * self.p
+        y_drain1 = y0 + 5.5 * self.p
+        y_drain2 = y0 + 7.0 * self.p
+        x_lio = self._x(tile, "lio")
+        x_liob = self._x(tile, "liob")
+        x_base = self._x(tile, "lsa")
+        off = d.w / 2 + 3 * f
+        x1, x2 = x_base - off, x_base + off
+
+        self.hwire("LAB", y_tail, min(x1, x2) - 4 * f, max(x1, x2) + 4 * f)
+        self.via1("LAB", x_base, y_tail)
+
+        # The two drain links run on different rows so the LIO/LIOB nets
+        # never touch on METAL1.
+        for name, x_dev, y_gate, y_drain, gate_rail_x, drain_rail_x in (
+            ("lsa1", x1, y_gate1, y_drain1, x_liob, x_lio),
+            ("lsa2", x2, y_gate2, y_drain2, x_lio, x_liob),
+        ):
+            drain_net = "LIO" if drain_rail_x == x_lio else "LIOB"
+            gate_net = "LIO" if gate_rail_x == x_lio else "LIOB"
+            active = Rect(x_dev - d.w / 2, y_tail - f, x_dev + d.w / 2, y_drain + f)
+            self.cell.add_active(ActiveRegion(self._name(f"act_{name}"), active))
+            gate = Rect(x_dev - d.w / 2 - 3 * f, y_gate - d.l / 2, x_dev + d.w / 2 + f, y_gate + d.l / 2)
+            x_gc = x_dev - d.w / 2 - 2.5 * f
+            self.contact(drain_net, x_dev, y_drain)
+            self.hwire(drain_net, y_drain, x_dev, drain_rail_x)
+            self.via1(drain_net, drain_rail_x, y_drain)
+            self.contact("LAB", x_dev, y_tail)
+            self.contact(gate_net, x_gc, y_gate)
+            self.hwire(gate_net, y_gate, x_gc, gate_rail_x)
+            self.via1(gate_net, gate_rail_x, y_gate)
+            self.cell.add_transistor(
+                Transistor(
+                    name=f"{name}_t{tile}",
+                    kind=TransistorKind.LSA,
+                    channel="nmos",
+                    width=d.w,
+                    length=d.l,
+                    gate=gate,
+                    active=active,
+                    orientation=Orientation.WIDTH_ALONG_X,
+                    effective_width=d.eff_w,
+                    effective_length=d.eff_l,
+                )
+            )
+
+
+def generate_sa_region(spec: SaRegionSpec | None = None) -> LayoutCell:
+    """Generate the ground-truth SA region described by *spec*."""
+    builder = _RegionBuilder(spec or SaRegionSpec())
+    return builder.build()
+
+
+def generate_mat_edge(
+    name: str = "mat_edge",
+    n_bitlines: int = 8,
+    n_rows: int = 12,
+    feature_nm: float = 18.0,
+    side: str = "left",
+) -> LayoutCell:
+    """Generate a MAT edge: bitlines below honeycomb stacked capacitors.
+
+    The honeycomb (hexagonal) packing — capacitors in odd rows offset by
+    half a pitch — is what Fig 7a shows for C5 and what the ROI search uses
+    to tell MAT from logic (capacitor texture vs transistor texture).
+    """
+    cell = LayoutCell(name)
+    p = 2.0 * feature_nm
+    cap = 1.6 * feature_nm
+    row_pitch = 3.0 * feature_nm
+    width = n_rows * row_pitch + 2 * feature_nm
+    for i in range(n_bitlines):
+        y = (i + 0.5) * p
+        cell.add_wire(
+            Wire(f"bl_{i}", Layer.METAL1, Rect(0.0, y - feature_nm / 2, width, y + feature_nm / 2), f"MATBL{i}")
+        )
+    for row in range(n_rows):
+        x = (row + 0.5) * row_pitch
+        offset = p / 2 if row % 2 else 0.0
+        for i in range(n_bitlines):
+            y = (i + 0.5) * p + offset
+            if y > n_bitlines * p:
+                continue
+            cell.add_capacitor(
+                CapacitorCell(f"cap_{row}_{i}", Rect.from_center(x, y, cap, cap), row, i)
+            )
+    cell.annotations["kind"] = "mat"
+    cell.annotations["side"] = side
+    return cell
+
+
+def generate_row_driver_strip(
+    name: str = "row_drivers",
+    n_drivers: int = 8,
+    feature_nm: float = 18.0,
+    height_nm: float | None = None,
+) -> LayoutCell:
+    """A row-driver strip: the *narrower* logic region flanking a MAT.
+
+    §IV-A uses the width asymmetry to identify the SA side: "typically row
+    drivers are smaller than SA", so the blind search labels the wider
+    logic span as the sense amplifiers (W2 > W1, Fig 6).  The strip is a
+    simple column of wordline drivers: one driver transistor per wordline
+    with its gate bar and output stub.
+    """
+    cell = LayoutCell(name)
+    f = feature_nm
+    pitch = 8.0 * f
+    width = height_nm if height_nm is not None else 16.0 * f
+    for i in range(n_drivers):
+        y = (i + 0.5) * pitch
+        active = Rect.from_center(width / 2, y, 8 * f, 3 * f)
+        gate = Rect.from_center(width / 2, y, 2 * f, 5 * f)
+        cell.add_active(ActiveRegion(f"rd_act_{i}", active))
+        cell.add_transistor(
+            Transistor(
+                name=f"rd_{i}",
+                kind=TransistorKind.MAT_ACCESS,
+                channel="nmos",
+                width=3 * f,
+                length=2 * f,
+                gate=gate,
+                active=active,
+                orientation=Orientation.WIDTH_ALONG_Y,
+            )
+        )
+        # Wordline output stub toward the MAT.
+        cell.add_wire(
+            Wire(f"rd_wl_{i}", Layer.GATE, Rect(width / 2 + 4 * f, y - f / 2, width, y + f / 2), f"WL{i}")
+        )
+    cell.annotations["kind"] = "row_drivers"
+    return cell
+
+
+def generate_chip_layout(
+    spec: SaRegionSpec | None = None,
+    mat_rows: int = 10,
+    include_row_drivers: bool = False,
+) -> LayoutCell:
+    """A full imaging target: [RD] MAT | SA region | MAT [RD] along x.
+
+    This is what the blind ROI identification of Fig 6 scans across: logic
+    (transistor morphology) bounded by capacitor texture.  With
+    ``include_row_drivers`` the outer edges carry narrow row-driver strips,
+    so the search sees two logic widths and must pick the wider one (the
+    SA region) — the W1/W2 decision of Fig 6.
+    """
+    spec = spec or SaRegionSpec()
+    region = generate_sa_region(spec)
+    region_box = region.bounding_box()
+    n_bl = max(4, spec.n_pairs * 4)
+    left = generate_mat_edge("mat_left", n_bitlines=n_bl, n_rows=mat_rows, feature_nm=spec.feature_nm, side="left")
+    right = generate_mat_edge("mat_right", n_bitlines=n_bl, n_rows=mat_rows, feature_nm=spec.feature_nm, side="right")
+    left_box = left.bounding_box()
+
+    chip = LayoutCell(f"{spec.name}_with_mats")
+    cursor = 0.0
+    rd_width = 0.0
+    if include_row_drivers:
+        strip_h = left_box.height
+        n_drv = max(2, int(strip_h / (8.0 * spec.feature_nm)))
+        rd_left = generate_row_driver_strip(
+            "rd_left", n_drivers=n_drv, feature_nm=spec.feature_nm
+        )
+        rd_width = rd_left.bounding_box().width
+        chip.merge(rd_left, dx=0.0, dy=0.0)
+        cursor = rd_width + 2 * spec.feature_nm
+    chip.merge(left, dx=cursor, dy=0.0)
+    chip.merge(region, dx=cursor + left_box.width - region_box.x0, dy=0.0)
+    chip.merge(right, dx=cursor + left_box.width + region_box.width, dy=0.0)
+    if include_row_drivers:
+        rd_right = generate_row_driver_strip(
+            "rd_right", n_drivers=max(2, int(left_box.height / (8.0 * spec.feature_nm))),
+            feature_nm=spec.feature_nm,
+        )
+        chip.merge(rd_right, dx=cursor + 2 * left_box.width + region_box.width + 2 * spec.feature_nm, dy=0.0)
+    chip.annotations.update(region.annotations)
+    chip.annotations["mat_width_nm"] = f"{left_box.width:.1f}"
+    chip.annotations["region_offset_nm"] = f"{cursor + left_box.width:.1f}"
+    chip.annotations["region_width_nm"] = f"{region_box.width:.1f}"
+    chip.annotations["row_driver_width_nm"] = f"{rd_width:.1f}"
+    return chip

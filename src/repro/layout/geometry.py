@@ -1,0 +1,198 @@
+"""2-D geometry primitives used by the layout substrate.
+
+Coordinates follow the paper's Fig 10 convention:
+
+* **X** is the *SA height* direction (bitlines run along X; stacking of SA1
+  and SA2 between two MATs happens along X).
+* **Y** is the direction *along* the SA region (common gates of precharge,
+  isolation and offset-cancellation transistors span the region along Y).
+
+All lengths are nanometres (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point (nm)."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (nm), stored as its min/max corners.
+
+    The constructor normalises corner order, so ``Rect(10, 10, 0, 0)`` is the
+    same rectangle as ``Rect(0, 0, 10, 10)``.  Degenerate (zero-area)
+    rectangles are allowed — vias are sometimes modelled as near-points —
+    but negative extents are impossible by construction.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        # Normalise corner order on both axes (frozen dataclass, so use
+        # object.__setattr__).
+        x0, x1 = min(self.x0, self.x1), max(self.x0, self.x1)
+        y0, y1 = min(self.y0, self.y1), max(self.y0, self.y1)
+        object.__setattr__(self, "x0", x0)
+        object.__setattr__(self, "x1", x1)
+        object.__setattr__(self, "y0", y0)
+        object.__setattr__(self, "y1", y1)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its centre and extents.
+
+        *width* is the X extent and *height* the Y extent; both must be
+        non-negative.
+        """
+        if width < 0 or height < 0:
+            raise LayoutError(f"negative extent: width={width}, height={height}")
+        return cls(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Return the bounding box of a non-empty collection of rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise LayoutError("bounding box of an empty collection")
+        return cls(
+            min(r.x0 for r in rects),
+            min(r.y0 for r in rects),
+            max(r.x1 for r in rects),
+            max(r.y1 for r in rects),
+        )
+
+    # -- measures ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Extent along X (the SA-height direction)."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        """Extent along Y (the along-the-region direction)."""
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        """Area in nm²."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point."""
+        return Point((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True if *p* lies inside or on the boundary."""
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if *other* lies fully inside (or on the boundary of) self."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and self.x1 >= other.x1
+            and self.y1 >= other.y1
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share any area or boundary."""
+        return not (
+            other.x0 > self.x1
+            or other.x1 < self.x0
+            or other.y0 > self.y1
+            or other.y1 < self.y0
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def gap_to(self, other: "Rect") -> float:
+        """Minimum edge-to-edge distance to *other* (0 if touching/overlapping)."""
+        dx = max(0.0, max(other.x0 - self.x1, self.x0 - other.x1))
+        dy = max(0.0, max(other.y0 - self.y1, self.y0 - other.y1))
+        return math.hypot(dx, dy)
+
+    # -- transforms ----------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def inflated(self, margin_x: float, margin_y: float | None = None) -> "Rect":
+        """Return a copy grown by a margin on every side.
+
+        A single argument grows both axes by the same margin; negative
+        margins shrink (and raise if the rectangle would invert).
+        """
+        if margin_y is None:
+            margin_y = margin_x
+        if self.width + 2 * margin_x < 0 or self.height + 2 * margin_y < 0:
+            raise LayoutError("inflation margin would invert the rectangle")
+        return Rect(
+            self.x0 - margin_x, self.y0 - margin_y, self.x1 + margin_x, self.y1 + margin_y
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corners counter-clockwise from (x0, y0)."""
+        yield Point(self.x0, self.y0)
+        yield Point(self.x1, self.y0)
+        yield Point(self.x1, self.y1)
+        yield Point(self.x0, self.y1)
+
+
+def pitch_of(positions: Iterable[float]) -> float:
+    """Return the median spacing of a sorted sequence of coordinates.
+
+    The RE measurement code uses this to estimate bitline pitch from the
+    recovered wire centrelines; the median makes it robust to a missed or
+    merged wire.
+    """
+    xs = sorted(positions)
+    if len(xs) < 2:
+        raise LayoutError("pitch needs at least two positions")
+    gaps = sorted(b - a for a, b in zip(xs, xs[1:]))
+    mid = len(gaps) // 2
+    if len(gaps) % 2 == 1:
+        return gaps[mid]
+    return (gaps[mid - 1] + gaps[mid]) / 2

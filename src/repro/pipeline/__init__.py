@@ -1,0 +1,35 @@
+"""Image post-processing pipeline (§IV-C).
+
+The paper's Dragonfly workflow, reimplemented from the primary sources it
+cites: total-variation denoising by Chambolle's projection algorithm [11]
+and by the split-Bregman method [27], mutual-information slice-to-slice
+alignment, and the cross-section → planar point-of-view change.  This is
+the part of HiFi-DRAM that is fully reproducible in software; everything
+upstream of it is simulated (see DESIGN.md).
+"""
+
+from repro.pipeline.denoise import chambolle_tv, split_bregman_tv, denoise_stack
+from repro.pipeline.register import (
+    mutual_information,
+    align_pair,
+    align_stack,
+    AlignmentReport,
+)
+from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
+from repro.pipeline.segment import otsu_threshold, multi_otsu, segment_materials
+
+__all__ = [
+    "chambolle_tv",
+    "split_bregman_tv",
+    "denoise_stack",
+    "mutual_information",
+    "align_pair",
+    "align_stack",
+    "AlignmentReport",
+    "AlignedVolume",
+    "assemble_volume",
+    "planar_views",
+    "otsu_threshold",
+    "multi_otsu",
+    "segment_materials",
+]

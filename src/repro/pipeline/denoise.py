@@ -1,0 +1,142 @@
+"""Edge-preserving denoising: total-variation minimisation.
+
+§IV-C: "we filter the images to reduce noise with edge preserving
+algorithms (split-Bregman or Chambolle for a total-variation denoising)".
+Both are implemented here from their primary publications:
+
+* :func:`chambolle_tv` — A. Chambolle, *An algorithm for total variation
+  minimization and applications*, JMIV 20, 2004: dual projection iteration
+  for the ROF model ``min_u ‖u − f‖²/(2λ) + TV(u)``.
+* :func:`split_bregman_tv` — Goldstein & Osher, *The split Bregman method
+  for L1-regularized problems*, SIAM J. Imaging Sci. 2(2), 2009:
+  variable-splitting with Bregman updates, Gauss–Seidel inner solve and
+  anisotropic shrinkage.
+
+Both operate on float images in [0, 1] and preserve material edges far
+better than linear smoothing — which is the property the reverse
+engineering needs (wire boundaries survive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+
+def _gradient(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Forward differences with Neumann boundary."""
+    gx = np.zeros_like(u)
+    gy = np.zeros_like(u)
+    gx[:-1, :] = u[1:, :] - u[:-1, :]
+    gy[:, :-1] = u[:, 1:] - u[:, :-1]
+    return gx, gy
+
+
+def _divergence(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """Backward-difference divergence, adjoint of :func:`_gradient`."""
+    div = np.zeros_like(px)
+    div[0, :] += px[0, :]
+    div[1:-1, :] += px[1:-1, :] - px[:-2, :]
+    div[-1, :] += -px[-2, :]
+    div[:, 0] += py[:, 0]
+    div[:, 1:-1] += py[:, 1:-1] - py[:, :-2]
+    div[:, -1] += -py[:, -2]
+    return div
+
+
+def chambolle_tv(
+    image: np.ndarray,
+    weight: float = 0.08,
+    iterations: int = 60,
+    tau: float = 0.248,
+) -> np.ndarray:
+    """Chambolle (2004) dual projection TV denoising.
+
+    ``weight`` is the ROF fidelity weight λ (larger → smoother); ``tau`` the
+    dual step (stable for τ ≤ 1/4 in 2-D).
+    """
+    if image.ndim != 2:
+        raise PipelineError("chambolle_tv expects a 2-D image")
+    f = image.astype(np.float64)
+    px = np.zeros_like(f)
+    py = np.zeros_like(f)
+    for _ in range(iterations):
+        div_p = _divergence(px, py)
+        gx, gy = _gradient(div_p - f / weight)
+        norm = np.sqrt(gx * gx + gy * gy)
+        denom = 1.0 + tau * norm
+        px = (px + tau * gx) / denom
+        py = (py + tau * gy) / denom
+    return (f - weight * _divergence(px, py)).astype(image.dtype)
+
+
+def _shrink(x: np.ndarray, gamma: float) -> np.ndarray:
+    """Soft-thresholding (the Bregman shrink operator)."""
+    return np.sign(x) * np.maximum(np.abs(x) - gamma, 0.0)
+
+
+def split_bregman_tv(
+    image: np.ndarray,
+    weight: float = 0.08,
+    iterations: int = 12,
+    inner_iterations: int = 2,
+    bregman_mu: float | None = None,
+) -> np.ndarray:
+    """Goldstein–Osher (2009) split-Bregman anisotropic TV denoising.
+
+    Solves ``min_u μ/2 ‖u − f‖² + |∇u|₁`` by splitting ``d = ∇u`` with
+    Bregman variables ``b`` and alternating: a Gauss–Seidel (Jacobi-swept)
+    solve for ``u``, shrinkage for ``d``, and the Bregman update.
+    ``weight`` plays the role of 1/μ so the API matches
+    :func:`chambolle_tv`.
+    """
+    if image.ndim != 2:
+        raise PipelineError("split_bregman_tv expects a 2-D image")
+    f = image.astype(np.float64)
+    mu = bregman_mu if bregman_mu is not None else 1.0 / max(weight, 1e-6)
+    lam = mu / 2.0  # splitting weight (λ ∝ μ keeps the subproblems balanced)
+
+    u = f.copy()
+    dx = np.zeros_like(f)
+    dy = np.zeros_like(f)
+    bx = np.zeros_like(f)
+    by = np.zeros_like(f)
+
+    for _ in range(iterations):
+        for _ in range(inner_iterations):
+            # Jacobi sweep of (μ + λ ∇ᵀ∇) u = μ f + λ ∇ᵀ(d − b), where the
+            # adjoint of the forward-difference gradient is ∇ᵀ = −div.
+            rhs = mu * f - lam * _divergence(dx - bx, dy - by)
+            neighbours = (
+                np.roll(u, 1, axis=0)
+                + np.roll(u, -1, axis=0)
+                + np.roll(u, 1, axis=1)
+                + np.roll(u, -1, axis=1)
+            )
+            u = (rhs + lam * neighbours) / (mu + 4.0 * lam)
+        gx, gy = _gradient(u)
+        dx = _shrink(gx + bx, 1.0 / lam)
+        dy = _shrink(gy + by, 1.0 / lam)
+        bx = bx + gx - dx
+        by = by + gy - dy
+    return u.astype(image.dtype)
+
+
+def denoise_stack(
+    images: list[np.ndarray],
+    method: str = "chambolle",
+    weight: float = 0.08,
+    **kwargs,
+) -> list[np.ndarray]:
+    """Denoise every slice of a stack with the chosen algorithm."""
+    if method == "chambolle":
+        return [chambolle_tv(img, weight=weight, **kwargs) for img in images]
+    if method == "split_bregman":
+        return [split_bregman_tv(img, weight=weight, **kwargs) for img in images]
+    raise PipelineError(f"unknown denoising method {method!r}")
+
+
+def residual_noise(clean: np.ndarray, denoised: np.ndarray) -> float:
+    """RMS error against a known clean image (for scoring the denoisers)."""
+    return float(np.sqrt(np.mean((clean.astype(np.float64) - denoised) ** 2)))

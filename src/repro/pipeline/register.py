@@ -1,0 +1,182 @@
+"""Slice-to-slice alignment by mutual information.
+
+§IV-C: "we align the slices using the mutual-information algorithm of
+Dragonfly.  In particular, each slide is aligned with respect to the
+previous one."  The same approach here: for each consecutive pair, find
+the integer translation maximising the mutual information of the overlap,
+then accumulate the per-pair shifts into absolute corrections.
+
+The paper's sensitivity argument is reproduced by
+:class:`AlignmentReport`: the residual alignment noise must stay below the
+wire-height / cross-section-height budget (0.77 % for their B5 stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlignmentBudgetExceeded, PipelineError
+
+
+def mutual_information(a: np.ndarray, b: np.ndarray, bins: int = 32) -> float:
+    """Mutual information (nats) between two equally-shaped images."""
+    if a.shape != b.shape:
+        raise PipelineError("mutual information needs equal shapes")
+    hist, _, _ = np.histogram2d(a.ravel(), b.ravel(), bins=bins, range=((0, 1), (0, 1)))
+    pxy = hist / hist.sum()
+    px = pxy.sum(axis=1, keepdims=True)
+    py = pxy.sum(axis=0, keepdims=True)
+    mask = pxy > 0
+    return float(np.sum(pxy[mask] * np.log(pxy[mask] / (px @ py)[mask])))
+
+
+def _shifted_overlap(a: np.ndarray, b: np.ndarray, dx: int, dz: int) -> tuple[np.ndarray, np.ndarray]:
+    """Overlapping crops of *a* and *b* when *b* is shifted by (dx, dz)."""
+    nx, nz = a.shape
+    ax0, ax1 = max(0, dx), min(nx, nx + dx)
+    bx0, bx1 = max(0, -dx), min(nx, nx - dx)
+    az0, az1 = max(0, dz), min(nz, nz + dz)
+    bz0, bz1 = max(0, -dz), min(nz, nz - dz)
+    return a[ax0:ax1, az0:az1], b[bx0:bx1, bz0:bz1]
+
+
+def align_pair(
+    reference: np.ndarray,
+    moving: np.ndarray,
+    search_px: int = 4,
+    bins: int = 32,
+    shift_penalty: float = 0.01,
+) -> tuple[int, int]:
+    """Translation (dx, dz) that best aligns *moving* onto *reference*.
+
+    Exhaustive integer search over ±``search_px``, scoring mutual
+    information of the overlap — small search windows suffice because
+    consecutive slices drift by at most a pixel or two.
+
+    ``shift_penalty`` (nats per pixel of shift) regularises the search:
+    cross-sections of the SA region are nearly translation-invariant along
+    the bitline direction (long parallel rails), so without a mild
+    preference for small shifts the MI surface is flat along that axis and
+    noise drives the estimate — the per-scan tuning §IV-C alludes to.
+    """
+    best = (0, 0)
+    best_score = -np.inf
+    for dx in range(-search_px, search_px + 1):
+        for dz in range(-search_px, search_px + 1):
+            ca, cb = _shifted_overlap(reference, moving, dx, dz)
+            if ca.size == 0:
+                continue
+            score = mutual_information(ca, cb, bins=bins) - shift_penalty * (abs(dx) + abs(dz))
+            if score > best_score:
+                best_score = score
+                best = (dx, dz)
+    return best
+
+
+@dataclass
+class AlignmentReport:
+    """Outcome of stack alignment.
+
+    ``corrections`` are the absolute per-slice shifts applied (px).  When
+    ground-truth drift is available (simulated stacks), ``residual_px`` is
+    the per-slice error of correction vs truth and the budget check of
+    §IV-C can be evaluated exactly.
+    """
+
+    corrections: list[tuple[int, int]]
+    residual_px: list[tuple[int, int]] = field(default_factory=list)
+
+    def max_residual_px(self) -> int:
+        """Worst absolute residual component across the stack."""
+        if not self.residual_px:
+            return 0
+        return max(max(abs(dx), abs(dz)) for dx, dz in self.residual_px)
+
+    def residual_fraction(self, extent_px: int) -> float:
+        """Worst residual as a fraction of the cross-section extent."""
+        if extent_px <= 0:
+            raise PipelineError("extent must be positive")
+        return self.max_residual_px() / extent_px
+
+    def check_budget(self, extent_px: int, budget_fraction: float) -> None:
+        """Raise :class:`AlignmentBudgetExceeded` when out of budget."""
+        frac = self.residual_fraction(extent_px)
+        if frac > budget_fraction:
+            raise AlignmentBudgetExceeded(frac, budget_fraction)
+
+
+def apply_shift(image: np.ndarray, dx: int, dz: int) -> np.ndarray:
+    """Shift an image by whole pixels with edge replication."""
+    out = image
+    if dx:
+        out = np.roll(out, dx, axis=0)
+        if dx > 0:
+            out[:dx, :] = out[dx, :]
+        else:
+            out[dx:, :] = out[dx - 1, :]
+    if dz:
+        out = np.roll(out, dz, axis=1)
+        if dz > 0:
+            out[:, :dz] = out[:, dz][:, None]
+        else:
+            out[:, dz:] = out[:, dz - 1][:, None]
+    return out.copy() if out is image else out
+
+
+def align_stack(
+    images: list[np.ndarray],
+    search_px: int = 4,
+    bins: int = 32,
+    true_drift_px: list[tuple[int, int]] | None = None,
+    baselines: tuple[int, ...] = (1, 2, 3),
+) -> tuple[list[np.ndarray], AlignmentReport]:
+    """Align a slice stack and return the corrected images plus the report.
+
+    Estimation is raw-vs-raw (aligning against already-shifted neighbours
+    would feed the edge-replication bands of earlier corrections back into
+    the similarity metric and let errors run away) and *multi-baseline*:
+    each slice is registered against several predecessors (offsets in
+    *baselines*) and the absolute position is the rounded average of the
+    individual predictions.  Single-baseline chaining accumulates the ±1 px
+    quantisation error of every pair as a random walk; fusing independent
+    baselines keeps the accumulated error within a pixel over hundreds of
+    slices — which is what the §IV-C noise budget demands.
+
+    With *true_drift_px* (from a simulated acquisition) the report carries
+    exact residuals for the 0.77 %-style budget check.
+    """
+    if not images:
+        raise PipelineError("empty stack")
+
+    absolute: list[tuple[int, int]] = [(0, 0)]
+    ax_f: list[tuple[float, float]] = [(0.0, 0.0)]
+    for i in range(1, len(images)):
+        predictions_x: list[float] = []
+        predictions_z: list[float] = []
+        for k in baselines:
+            if i - k < 0:
+                continue
+            dx, dz = align_pair(images[i - k], images[i], search_px=search_px, bins=bins)
+            predictions_x.append(ax_f[i - k][0] + dx)
+            predictions_z.append(ax_f[i - k][1] + dz)
+        fx = float(np.mean(predictions_x))
+        fz = float(np.mean(predictions_z))
+        ax_f.append((fx, fz))
+        absolute.append((int(round(fx)), int(round(fz))))
+
+    aligned = [apply_shift(img, dx, dz) for img, (dx, dz) in zip(images, absolute)]
+
+    residuals: list[tuple[int, int]] = []
+    if true_drift_px is not None:
+        if len(true_drift_px) != len(images):
+            raise PipelineError("true drift length mismatch")
+        # Perfect correction would be -drift (up to a global offset fixed by
+        # the first slice, whose drift is never observable).
+        ref_dx, ref_dz = true_drift_px[0]
+        for (cx, cz), (tx, tz) in zip(absolute, true_drift_px):
+            residuals.append((cx + (tx - ref_dx), cz + (tz - ref_dz)))
+
+    report = AlignmentReport(corrections=absolute, residual_px=residuals)
+    return aligned, report

@@ -1,0 +1,137 @@
+"""Material segmentation of planar views.
+
+§V-A step (i): "we determine color intensities that correspond to gates,
+wires and vias".  Concretely: threshold each layer's planar view into a
+foreground mask.  Otsu's criterion picks the threshold; a multi-level
+variant separates several materials sharing a view (e.g. the tungsten
+contacts against poly in the GATE z-range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import PipelineError
+
+
+def otsu_threshold(image: np.ndarray, bins: int = 128) -> float:
+    """Otsu's threshold: maximise inter-class variance of the histogram."""
+    if image.size == 0:
+        raise PipelineError("empty image")
+    hist, edges = np.histogram(image.ravel(), bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2
+    total = hist.sum()
+    if total == 0:
+        raise PipelineError("degenerate histogram")
+
+    weight_bg = np.cumsum(hist)
+    weight_fg = total - weight_bg
+    cum_mean = np.cumsum(hist * centers)
+    grand_mean = cum_mean[-1]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_bg = cum_mean / weight_bg
+        mean_fg = (grand_mean - cum_mean) / weight_fg
+        between = weight_bg * weight_fg * (mean_bg - mean_fg) ** 2
+    between = np.nan_to_num(between)
+    # For well-separated modes the criterion plateaus across the whole gap;
+    # take the middle of the plateau (the conventional tie-break).
+    best = np.flatnonzero(between >= between.max() * (1 - 1e-9))
+    return float(centers[int(best[(len(best) - 1) // 2])])
+
+
+def multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -> list[float]:
+    """Multi-level Otsu via exhaustive search (small class counts only).
+
+    Returns ``classes − 1`` thresholds in increasing order.
+    """
+    if classes < 2:
+        raise PipelineError("need at least two classes")
+    if classes > 4:
+        raise PipelineError("multi_otsu supports up to 4 classes")
+    hist, edges = np.histogram(image.ravel(), bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2
+    prob = hist / max(hist.sum(), 1)
+
+    # Precompute zeroth and first cumulative moments.
+    p = np.concatenate(([0.0], np.cumsum(prob)))
+    m = np.concatenate(([0.0], np.cumsum(prob * centers)))
+
+    def class_var(i: int, j: int) -> float:
+        w = p[j] - p[i]
+        if w <= 0:
+            return -np.inf
+        mu = (m[j] - m[i]) / w
+        return w * mu * mu
+
+    best: tuple[float, tuple[int, ...]] = (-np.inf, ())
+    if classes == 2:
+        for t1 in range(1, bins):
+            score = class_var(0, t1) + class_var(t1, bins)
+            if score > best[0]:
+                best = (score, (t1,))
+    elif classes == 3:
+        for t1 in range(1, bins - 1):
+            v1 = class_var(0, t1)
+            for t2 in range(t1 + 1, bins):
+                score = v1 + class_var(t1, t2) + class_var(t2, bins)
+                if score > best[0]:
+                    best = (score, (t1, t2))
+    else:
+        for t1 in range(1, bins - 2):
+            v1 = class_var(0, t1)
+            for t2 in range(t1 + 1, bins - 1):
+                v2 = v1 + class_var(t1, t2)
+                for t3 in range(t2 + 1, bins):
+                    score = v2 + class_var(t2, t3) + class_var(t3, bins)
+                    if score > best[0]:
+                        best = (score, (t1, t2, t3))
+    return [float(centers[t]) for t in best[1]]
+
+
+def foreground_mask(
+    image: np.ndarray,
+    threshold: float | None = None,
+    min_area_px: int = 4,
+) -> np.ndarray:
+    """Boolean foreground mask: Otsu threshold + speckle removal.
+
+    Specks smaller than *min_area_px* are removed (residual noise after TV
+    denoising); holes of one pixel are closed so thin wires stay connected.
+    """
+    t = otsu_threshold(image) if threshold is None else threshold
+    mask = image > t
+    mask = ndimage.binary_closing(mask, structure=np.ones((2, 2), dtype=bool))
+    labels, count = ndimage.label(mask)
+    if count:
+        areas = ndimage.sum_labels(mask, labels, index=np.arange(1, count + 1))
+        small = np.flatnonzero(areas < min_area_px) + 1
+        if small.size:
+            mask[np.isin(labels, small)] = False
+    return mask
+
+
+def segment_materials(
+    views: dict,
+    min_area_px: int = 4,
+) -> dict:
+    """Segment every layer's planar view into a foreground mask.
+
+    Input/output keyed by :class:`~repro.layout.elements.Layer`.  Layers
+    whose view shows no bimodal structure (empty regions) come back as
+    all-False masks rather than noise.
+    """
+    masks = {}
+    for layer, view in views.items():
+        t = otsu_threshold(view)
+        mask = foreground_mask(view, threshold=t, min_area_px=min_area_px)
+        # Sanity: a threshold in a unimodal (empty) view marks huge areas of
+        # background as foreground; reject masks with implausible coverage
+        # or negligible contrast across the threshold.
+        fg = view[mask]
+        bg = view[~mask]
+        if fg.size == 0 or bg.size == 0 or float(fg.mean() - bg.mean()) < 0.05:
+            mask = np.zeros_like(mask)
+        masks[layer] = mask
+    return masks

@@ -1,0 +1,49 @@
+"""Circuit reverse engineering from planar views (§V).
+
+The pipeline steps mirror §V-A:
+
+(i)   material/intensity classification → :mod:`repro.reveng.features`
+(ii)  bitline anchoring                 → :mod:`repro.reveng.classify`
+(iii) component + connection mapping    → :mod:`repro.reveng.connectivity`
+(iv)  transistor class identification   → :mod:`repro.reveng.classify`
+(v–vii) functional assignment           → :mod:`repro.reveng.classify`
+(viii) PMOS/NMOS width heuristic        → :mod:`repro.reveng.classify`
+plus the §V-B measurements              → :mod:`repro.reveng.measure`
+and the end-to-end orchestration        → :mod:`repro.reveng.workflow`
+"""
+
+from repro.reveng.features import PlanarFeatures
+from repro.reveng.connectivity import ExtractedCircuit, ExtractedDevice, extract_circuit
+from repro.reveng.classify import (
+    TransistorClass,
+    classify_devices,
+    lane_subcircuits,
+    assign_channels,
+)
+from repro.reveng.measure import MeasurementTable, measure_devices, validation_errors
+from repro.reveng.workflow import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
+from repro.reveng.export import export_recovered_gds, features_to_cell, mask_to_rects
+from repro.reveng.narrative import Narrative, NarrativeStep, build_narrative
+
+__all__ = [
+    "PlanarFeatures",
+    "ExtractedCircuit",
+    "ExtractedDevice",
+    "extract_circuit",
+    "TransistorClass",
+    "classify_devices",
+    "lane_subcircuits",
+    "assign_channels",
+    "MeasurementTable",
+    "measure_devices",
+    "validation_errors",
+    "ReversedChip",
+    "reverse_engineer_cell",
+    "reverse_engineer_stack",
+    "export_recovered_gds",
+    "features_to_cell",
+    "mask_to_rects",
+    "Narrative",
+    "NarrativeStep",
+    "build_narrative",
+]

@@ -1,0 +1,345 @@
+"""Transistor classification and per-lane subcircuit assembly.
+
+§V-A steps (iv)–(viii):
+
+(iv)  three transistor classes: *multiplexer* (short individual gates),
+      *common-gate* (gate spanning the entire region along Y), and
+      *coupled* (shared source among devices gated by opposite bitlines);
+(v)   multiplexer transistors connect bitlines to region-spanning wires →
+      column devices;
+(vi)  coupled transistors with an all-shared source → the latch;
+(vii) common-gate devices shorting bitlines to a global value →
+      precharge/equalizer; the extra common-gate devices of OCSA chips →
+      isolation and offset cancellation;
+(viii) PMOS latch transistors are the narrower pair.
+
+Bitline anchoring (step ii) uses geometry: bitline nets are METAL1
+components entering the region from a MAT side of the field of view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.circuits.netlist import Circuit, Device, DeviceType
+from repro.errors import ReverseEngineeringError
+from repro.layout.elements import Layer
+from repro.reveng.connectivity import ExtractedCircuit, ExtractedDevice
+
+#: Gate-span fraction above which a gate counts as region-spanning.
+COMMON_GATE_SPAN = 0.6
+#: ...and below which it counts as an individual (multiplexer/latch) gate.
+SHORT_GATE_SPAN = 0.3
+
+
+class TransistorClass(enum.Enum):
+    """The §V-A classes plus the functional refinements."""
+
+    MULTIPLEXER = "multiplexer"
+    COMMON_GATE = "common_gate"
+    COUPLED = "coupled"
+    # Functional refinements:
+    COLUMN = "column"
+    PRECHARGE = "precharge"
+    EQUALIZER = "equalizer"
+    ISOLATION = "isolation"
+    OFFSET_CANCEL = "offset_cancel"
+    NSA = "nSA"
+    PSA = "pSA"
+    LSA = "LSA"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Classification:
+    """Outcome of device classification over a whole extracted region."""
+
+    structural: dict[str, TransistorClass]  #: step-iv class per device
+    functional: dict[str, TransistorClass]  #: refined role per device
+    bitline_nets: list[str]  #: bitline net names, sorted by Y
+    lane_pairs: list[tuple[str, str]]  #: (BL, BLB) per lane
+    notes: list[str] = field(default_factory=list)
+
+
+def identify_bitline_nets(extracted: ExtractedCircuit, edge_margin_px: int = 14) -> list[str]:
+    """Bitline nets: METAL1 components that reach a MAT edge of the view.
+
+    The MATs flank the SA region along x, so any long M1 rail touching the
+    left or right margin of the field of view came from a MAT — exactly how
+    the analyst anchors the analysis (the bitlines are traced in from the
+    MAT, Fig 7a).
+    """
+    features = extracted.features
+    labels, _count = features.components(Layer.METAL1)
+    nx, _ny = features.shape
+    left = np.unique(labels[:edge_margin_px, :])
+    right = np.unique(labels[nx - edge_margin_px :, :])
+    edge_comps = {int(c) for c in np.concatenate([left, right]) if c != 0}
+
+    # Only nets that actually reach devices are sense-amplifier bitlines —
+    # MAT bitlines that pass the field of view without entering the SA
+    # region (the interleaved other-side lines) are excluded.
+    used_nets: set[str] = set()
+    for dev in extracted.devices.values():
+        used_nets.add(dev.gate_net)
+        used_nets.update(dev.terminal_nets)
+
+    nets: dict[str, float] = {}
+    for comp in edge_comps:
+        net = extracted.net_of_component.get((Layer.METAL1, comp))
+        if net is None or net not in used_nets:
+            continue
+        _cx, cy = features.component_centroid_nm(Layer.METAL1, comp)
+        nets.setdefault(net, cy)
+    return [net for net, _cy in sorted(nets.items(), key=lambda kv: kv[1])]
+
+
+def classify_devices(extracted: ExtractedCircuit) -> Classification:
+    """Run the full §V-A classification over an extracted circuit."""
+    devices = extracted.devices
+    circuit = extracted.circuit
+    if not devices:
+        raise ReverseEngineeringError("no transistors were extracted")
+
+    bitlines = identify_bitline_nets(extracted)
+    bitline_set = set(bitlines)
+    notes: list[str] = []
+
+    # --- step iv: structural classes -----------------------------------
+    structural: dict[str, TransistorClass] = {}
+    gate_fanout: dict[str, int] = {}
+    for dev in devices.values():
+        gate_fanout[dev.gate_net] = gate_fanout.get(dev.gate_net, 0) + 1
+
+    # Coupled candidates: gate on a bitline, source shared with another
+    # device gated by a *different* bitline.
+    by_source: dict[str, list[ExtractedDevice]] = {}
+    for dev in devices.values():
+        for term in dev.terminal_nets:
+            by_source.setdefault(term, []).append(dev)
+
+    def is_coupled(dev: ExtractedDevice) -> bool:
+        if dev.gate_net not in bitline_set:
+            return False
+        for term in dev.terminal_nets:
+            for other in by_source.get(term, []):
+                if other.name == dev.name:
+                    continue
+                if other.gate_net in bitline_set and other.gate_net != dev.gate_net:
+                    return True
+        return False
+
+    for name, dev in devices.items():
+        if dev.gate_span_fraction >= COMMON_GATE_SPAN:
+            structural[name] = TransistorClass.COMMON_GATE
+        elif is_coupled(dev):
+            structural[name] = TransistorClass.COUPLED
+        else:
+            # Any remaining individual gate is a multiplexer-class device
+            # ("each of these transistors has a different gate control").
+            structural[name] = TransistorClass.MULTIPLEXER
+
+    # --- steps v-vii: functional refinement ------------------------------
+    functional: dict[str, TransistorClass] = {}
+
+    # Latch devices: coupled; the nSA/pSA split happens in assign_channels.
+    latch_names = [n for n, c in structural.items() if c is TransistorClass.COUPLED]
+
+    # Column: multiplexer-class devices with one terminal on a bitline.
+    # Everything multiplexer-class *not* touching a bitline is second-stage
+    # logic (LSA latches on the LIO wires).
+    for name, dev in devices.items():
+        cls = structural[name]
+        if cls is TransistorClass.MULTIPLEXER:
+            on_bitline = any(t in bitline_set for t in dev.terminal_nets)
+            functional[name] = TransistorClass.COLUMN if on_bitline else TransistorClass.LSA
+        elif cls is TransistorClass.COUPLED:
+            functional[name] = TransistorClass.NSA  # refined later
+        elif cls is TransistorClass.UNKNOWN:
+            functional[name] = TransistorClass.UNKNOWN
+
+    # Common-gate devices: group by gate net and inspect what they connect.
+    internal_nets = _latch_internal_nets(devices, structural, bitline_set)
+    common_groups: dict[str, list[str]] = {}
+    for name, cls in structural.items():
+        if cls is TransistorClass.COMMON_GATE:
+            common_groups.setdefault(devices[name].gate_net, []).append(name)
+
+    for gate_net, members in common_groups.items():
+        # Net shared by ALL members on one side = the global value (VPRE).
+        terminal_sets = [set(devices[m].terminal_nets) for m in members]
+        shared = set.intersection(*terminal_sets) if terminal_sets else set()
+        bridges_bitlines = any(
+            len(set(devices[m].terminal_nets) & bitline_set) == 2 for m in members
+        )
+        touches_internal = any(
+            set(devices[m].terminal_nets) & internal_nets for m in members
+        )
+        for m in members:
+            dev = devices[m]
+            terms = set(dev.terminal_nets)
+            if len(terms & bitline_set) == 2:
+                functional[m] = TransistorClass.EQUALIZER
+            elif shared and (terms & shared) and (terms & bitline_set):
+                functional[m] = TransistorClass.PRECHARGE
+            elif terms & internal_nets and terms & bitline_set:
+                # Bitline ↔ internal node: ISO connects a bitline to the
+                # node its own gate-side latch drains to; OC crosses.  The
+                # distinction needs the lane pairing and is resolved below.
+                functional[m] = TransistorClass.ISOLATION
+            elif terms & internal_nets:
+                functional[m] = TransistorClass.ISOLATION
+            else:
+                functional[m] = TransistorClass.PRECHARGE
+        if bridges_bitlines:
+            notes.append(f"common gate {gate_net}: equalizer group")
+        if touches_internal:
+            notes.append(f"common gate {gate_net}: isolation/offset-cancel group")
+
+    # --- lane pairing ------------------------------------------------------
+    lane_pairs = _pair_bitlines(extracted, bitlines)
+
+    # Resolve ISO vs OC per lane: ISO connects BL to the internal node that
+    # the *other* bitline's latch gates drive... concretely, in each lane the
+    # device joining BL to internal node N is ISOLATION when the latch
+    # transistor draining into N has its gate on the *other* bitline (the
+    # classic cross-coupling via isolation), and OFFSET_CANCEL when the
+    # latch draining into N is gated by BL itself (the diode connection).
+    latch_drain_gate: dict[str, set[str]] = {}
+    for name in latch_names:
+        dev = devices[name]
+        for term in dev.terminal_nets:
+            if term not in bitline_set:
+                latch_drain_gate.setdefault(term, set()).add(dev.gate_net)
+    for name, cls in list(functional.items()):
+        if cls is not TransistorClass.ISOLATION:
+            continue
+        dev = devices[name]
+        bl_terms = [t for t in dev.terminal_nets if t in bitline_set]
+        int_terms = [t for t in dev.terminal_nets if t in internal_nets]
+        if not bl_terms or not int_terms:
+            continue
+        gates_at_node = latch_drain_gate.get(int_terms[0], set())
+        if bl_terms[0] in gates_at_node:
+            functional[name] = TransistorClass.OFFSET_CANCEL
+
+    return Classification(
+        structural=structural,
+        functional=functional,
+        bitline_nets=bitlines,
+        lane_pairs=lane_pairs,
+        notes=notes,
+    )
+
+
+def _latch_internal_nets(
+    devices: dict[str, ExtractedDevice],
+    structural: dict[str, TransistorClass],
+    bitline_set: set[str],
+) -> set[str]:
+    """Nets touched by coupled (latch) devices that are not bitlines.
+
+    Includes both the latch tails (LA/LAB) and, on OCSA chips, the internal
+    SABL/SABLB nodes.
+    """
+    nets: set[str] = set()
+    for name, cls in structural.items():
+        if cls is not TransistorClass.COUPLED:
+            continue
+        for term in devices[name].terminal_nets:
+            if term not in bitline_set:
+                nets.add(term)
+    return nets
+
+
+def _pair_bitlines(extracted: ExtractedCircuit, bitlines: list[str]) -> list[tuple[str, str]]:
+    """Pair bitline nets into lanes by Y adjacency.
+
+    Bitlines come sorted by Y; each lane contributes two rails (BL from one
+    MAT, BLB from the other) that are adjacent in Y, so consecutive pairs
+    are lanes.
+    """
+    pairs: list[tuple[str, str]] = []
+    for i in range(0, len(bitlines) - 1, 2):
+        pairs.append((bitlines[i], bitlines[i + 1]))
+    return pairs
+
+
+def lane_subcircuit(
+    extracted: ExtractedCircuit,
+    classification: Classification,
+    lane: int,
+    rename: bool = True,
+) -> Circuit:
+    """Single-pair circuit for *lane*: the unit the topology matcher takes.
+
+    The subcircuit contains every device with a terminal or gate on the
+    lane's bitlines, plus the latch devices draining into its internal
+    nodes.  With ``rename=True`` the bitline nets become ``BL``/``BLB``.
+    """
+    if lane >= len(classification.lane_pairs):
+        raise ReverseEngineeringError(f"lane {lane} out of range")
+    bl, blb = classification.lane_pairs[lane]
+    members: list[str] = []
+    for name, dev in extracted.devices.items():
+        nets = set(dev.terminal_nets) | {dev.gate_net}
+        if bl in nets or blb in nets:
+            members.append(name)
+
+    mapping = {bl: "BL", blb: "BLB"} if rename else {}
+    sub = Circuit(f"{extracted.circuit.name}_lane{lane}")
+    for name in members:
+        dev = extracted.circuit.device(name)
+        nets = {pin: mapping.get(net, net) for pin, net in dev.nets.items()}
+        sub.add(Device(name, dev.dtype, nets, dict(dev.params), dev.role))
+    return sub
+
+
+def lane_subcircuits(extracted: ExtractedCircuit, classification: Classification) -> list[Circuit]:
+    """All per-lane subcircuits."""
+    return [
+        lane_subcircuit(extracted, classification, lane)
+        for lane in range(len(classification.lane_pairs))
+    ]
+
+
+def assign_channels(
+    extracted: ExtractedCircuit,
+    classification: Classification,
+) -> None:
+    """§V-A step viii: the narrower coupled pair is PMOS; the rest NMOS.
+
+    Mutates the extracted circuit in place: latch devices are split into
+    nSA (wide, NMOS) and pSA (narrow, PMOS) by measured width, per lane.
+    """
+    devices = extracted.devices
+    by_lane: dict[int, list[str]] = {}
+    lane_of_net = {}
+    for lane, (bl, blb) in enumerate(classification.lane_pairs):
+        lane_of_net[bl] = lane
+        lane_of_net[blb] = lane
+
+    for name, cls in classification.structural.items():
+        if cls is not TransistorClass.COUPLED:
+            continue
+        gate = devices[name].gate_net
+        if gate in lane_of_net:
+            by_lane.setdefault(lane_of_net[gate], []).append(name)
+
+    for lane, members in by_lane.items():
+        if len(members) < 4:
+            continue
+        members.sort(key=lambda n: devices[n].width_nm)
+        narrow = members[: len(members) // 2]
+        for name in members:
+            dev = extracted.circuit.device(name)
+            if name in narrow:
+                dev.dtype = DeviceType.PMOS
+                classification.functional[name] = TransistorClass.PSA
+            else:
+                dev.dtype = DeviceType.NMOS
+                classification.functional[name] = TransistorClass.NSA

@@ -1,0 +1,344 @@
+"""Connectivity tracing: from feature masks to an extracted netlist.
+
+§V-A steps (ii)–(iii): map components and their connections across layers.
+The electrical rules are the ones the layouts obey by construction:
+
+* touching shapes on the same conducting layer (METAL1, METAL2, GATE) are
+  one node — handled by connected-component labelling;
+* a CONTACT joins the METAL1 component above it to the GATE component (or
+  ACTIVE terminal segment) below it;
+* a VIA1 joins METAL1 and METAL2 components;
+* an ACTIVE component is *not* a node: every GATE crossing splits it into
+  terminal segments, and each (gate, active) crossing is a transistor whose
+  source/drain are the segments adjacent to the channel.
+
+The result is an :class:`ExtractedCircuit`: a standard
+:class:`~repro.circuits.netlist.Circuit` (all devices provisionally NMOS —
+channel types come later from the width heuristic, §V-A step viii) plus
+per-device geometry (measured W/L in nm, channel position, gate span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.circuits.netlist import Circuit
+from repro.errors import ReverseEngineeringError
+from repro.layout.elements import Layer
+from repro.reveng.features import PlanarFeatures
+
+_CONDUCTOR_LAYERS = (Layer.METAL1, Layer.METAL2, Layer.GATE)
+
+
+class _Dsu:
+    """Disjoint-set union over hashable keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, key):
+        parent = self._parent.setdefault(key, key)
+        if parent == key:
+            return key
+        root = self.find(parent)
+        self._parent[key] = root
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+@dataclass
+class ExtractedDevice:
+    """Geometry record of one recovered transistor."""
+
+    name: str
+    gate_net: str
+    terminal_nets: tuple[str, str]  #: (side A, side B) — orientation unknown
+    width_nm: float
+    length_nm: float
+    centroid_nm: tuple[float, float]
+    gate_span_fraction: float  #: gate component Y-span / region Y-extent
+    gate_component: int
+    active_component: int
+    current_axis: str  #: "x" or "y"
+
+    @property
+    def wl_ratio(self) -> float:
+        """Measured W/L."""
+        return self.width_nm / self.length_nm
+
+
+@dataclass
+class ExtractedCircuit:
+    """A recovered netlist plus extraction geometry."""
+
+    circuit: Circuit
+    devices: dict[str, ExtractedDevice]
+    features: PlanarFeatures
+    #: net name of each conductor component, keyed by (layer, comp_id)
+    net_of_component: dict[tuple[Layer, int], str] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def nets_on_layer(self, layer: Layer) -> set[str]:
+        """All net names with at least one component on *layer*."""
+        return {
+            net for (lay, _cid), net in self.net_of_component.items() if lay is layer
+        }
+
+    def components_of_net(self, net: str) -> list[tuple[Layer, int]]:
+        """All (layer, component) pieces of a net."""
+        return [key for key, name in self.net_of_component.items() if name == net]
+
+
+#: How far (px) via/contact footprints are grown when testing overlap.
+#: On reconstructed views a plug *displaces* the material it lands on (its
+#: z-range overlaps the neighbour layer's), punching a hole exactly where
+#: the overlap should be; growing the plug by one pixel recovers that
+#: adjacency (the hole boundary is by construction one pixel away) while
+#: staying below the minimum same-layer spacing the layouts obey.
+VIA_DILATION_PX = 1
+
+
+def _expanded(slc: tuple[slice, slice], shape: tuple[int, int], grow: int) -> tuple[slice, slice]:
+    return (
+        slice(max(0, slc[0].start - grow), min(shape[0], slc[0].stop + grow)),
+        slice(max(0, slc[1].start - grow), min(shape[1], slc[1].stop + grow)),
+    )
+
+
+def _overlapping_components(
+    features: PlanarFeatures,
+    source_layer: Layer,
+    source_id: int,
+    source_slice: tuple[slice, slice],
+    target_layer: Layer,
+    dilate_px: int = 0,
+) -> set[int]:
+    """Target-layer component ids overlapping one source component.
+
+    ``dilate_px`` grows the source footprint before testing (see
+    :data:`VIA_DILATION_PX`).
+    """
+    labels_src, _ = features.components(source_layer)
+    labels_tgt, _ = features.components(target_layer)
+    window = _expanded(source_slice, labels_src.shape, dilate_px) if dilate_px else source_slice
+    window_src = labels_src[window] == source_id
+    if dilate_px:
+        window_src = ndimage.binary_dilation(window_src, iterations=dilate_px)
+    window_tgt = labels_tgt[window]
+    hits = np.unique(window_tgt[window_src])
+    return {int(h) for h in hits if h != 0}
+
+
+def extract_circuit(features: PlanarFeatures, name: str = "extracted") -> ExtractedCircuit:
+    """Trace connectivity and recover the netlist from *features*."""
+    dsu = _Dsu()
+    warnings: list[str] = []
+
+    # 1. Same-layer conduction is already component labelling; register all.
+    for layer in _CONDUCTOR_LAYERS:
+        _, count = features.components(layer)
+        for cid in range(1, count + 1):
+            dsu.find((layer, cid))
+
+    # 2. VIA1 joins METAL1 and METAL2.
+    for via_id, slc in features.component_slices(Layer.VIA1):
+        m1 = _overlapping_components(
+            features, Layer.VIA1, via_id, slc, Layer.METAL1, dilate_px=VIA_DILATION_PX
+        )
+        m2 = _overlapping_components(
+            features, Layer.VIA1, via_id, slc, Layer.METAL2, dilate_px=VIA_DILATION_PX
+        )
+        if not m1 or not m2:
+            warnings.append(f"via1 component {via_id} is dangling")
+        nodes = [(Layer.METAL1, cid) for cid in m1] + [(Layer.METAL2, cid) for cid in m2]
+        for a, b in zip(nodes, nodes[1:]):
+            dsu.union(a, b)
+
+    # 3. CONTACT joins METAL1 with GATE (gate contacts) — active contacts
+    #    are resolved per-terminal during transistor recovery.
+    contact_m1: dict[int, set[int]] = {}
+    contact_gate: dict[int, set[int]] = {}
+    contact_active: dict[int, set[int]] = {}
+    for ct_id, slc in features.component_slices(Layer.CONTACT):
+        m1 = _overlapping_components(
+            features, Layer.CONTACT, ct_id, slc, Layer.METAL1, dilate_px=VIA_DILATION_PX
+        )
+        # Poly is displaced over the contact's whole z-extent plus a blur
+        # margin, so the hole can exceed the plug footprint by more than a
+        # pixel; a wider growth is safe here because contacts that land on
+        # active silicon are barred from gate unions below.
+        gates = _overlapping_components(
+            features, Layer.CONTACT, ct_id, slc, Layer.GATE, dilate_px=2 * VIA_DILATION_PX
+        )
+        actives = _overlapping_components(
+            features, Layer.CONTACT, ct_id, slc, Layer.ACTIVE, dilate_px=VIA_DILATION_PX
+        )
+        contact_m1[ct_id] = m1
+        contact_gate[ct_id] = gates
+        contact_active[ct_id] = actives
+        # A plug landing on active silicon is a source/drain contact: it
+        # must never union with a gate, however close the gate bar runs
+        # (latch drain contacts sit a pixel away from their gate bars).
+        if actives:
+            gates = set()
+            contact_gate[ct_id] = gates
+        nodes = [(Layer.METAL1, cid) for cid in m1]
+        if gates:
+            nodes += [(Layer.GATE, cid) for cid in gates]
+        for a, b in zip(nodes, nodes[1:]):
+            dsu.union(a, b)
+        if not m1:
+            warnings.append(f"contact {ct_id} reaches no metal1")
+
+    # 4. Net naming: one name per DSU root.
+    net_names: dict = {}
+
+    def net_name(node) -> str:
+        root = dsu.find(node)
+        if root not in net_names:
+            net_names[root] = f"n{len(net_names)}"
+        return net_names[root]
+
+    # 5. Transistor recovery.
+    circuit = Circuit(name)
+    devices: dict[str, ExtractedDevice] = {}
+    gate_labels, _ = features.components(Layer.GATE)
+    active_labels, active_count = features.components(Layer.ACTIVE)
+    _, region_ny = features.shape
+    dev_index = 0
+
+    for active_id, slc in features.component_slices(Layer.ACTIVE):
+        active_mask = active_labels[slc] == active_id
+        gates_here = np.unique(gate_labels[slc][active_mask])
+        gates_here = [int(g) for g in gates_here if g != 0]
+        if not gates_here:
+            continue
+
+        # Split the active into terminal segments (active minus all gates).
+        gate_any = np.isin(gate_labels[slc], gates_here) & active_mask
+        segments_mask = active_mask & ~gate_any
+        seg_labels, seg_count = ndimage.label(segments_mask)
+
+        # Map contacts to segments.
+        contact_of_segment: dict[int, list[int]] = {}
+        for ct_id, ct_slc in features.component_slices(Layer.CONTACT):
+            if active_id not in contact_active.get(ct_id, set()):
+                continue
+            ct_labels, _ = features.components(Layer.CONTACT)
+            # Work in the active's window; grow the plug footprint so it
+            # reaches the segment around the hole it punched (see
+            # VIA_DILATION_PX).
+            ct_mask_w = _window_mask(ct_labels, ct_id, slc)
+            if ct_mask_w is not None:
+                ct_mask_w = ndimage.binary_dilation(ct_mask_w, iterations=VIA_DILATION_PX)
+            hits = np.unique(seg_labels[ct_mask_w]) if ct_mask_w is not None else []
+            for h in hits:
+                if h != 0:
+                    contact_of_segment.setdefault(int(h), []).append(ct_id)
+
+        for gate_id in gates_here:
+            channel = (gate_labels[slc] == gate_id) & active_mask
+            if not channel.any():
+                continue
+            # Terminal segments adjacent to this channel.
+            grown = ndimage.binary_dilation(channel, iterations=1)
+            adjacent = np.unique(seg_labels[grown & (seg_labels > 0)])
+            adjacent = [int(s) for s in adjacent]
+            if len(adjacent) != 2:
+                warnings.append(
+                    f"gate {gate_id} x active {active_id}: "
+                    f"{len(adjacent)} terminal segments (expected 2)"
+                )
+                if len(adjacent) < 2:
+                    continue
+                adjacent = adjacent[:2]
+
+            term_nets = []
+            for seg in adjacent:
+                contacts = contact_of_segment.get(seg, [])
+                if not contacts:
+                    warnings.append(
+                        f"gate {gate_id} x active {active_id}: terminal segment "
+                        f"without contact"
+                    )
+                    term_nets.append(f"float{active_id}_{seg}")
+                    continue
+                m1_comps = set()
+                for ct in contacts:
+                    m1_comps |= contact_m1.get(ct, set())
+                if not m1_comps:
+                    term_nets.append(f"float{active_id}_{seg}")
+                    continue
+                # Every terminal has a single contact/pad by construction;
+                # with several M1 hits they are one physical net, so any
+                # representative works.
+                term_nets.append(net_name((Layer.METAL1, min(m1_comps))))
+
+            gate_net = net_name((Layer.GATE, gate_id))
+
+            # Geometry: current axis from the terminal-segment centroids.
+            cents = [ndimage.center_of_mass(seg_labels == seg) for seg in adjacent]
+            dx = abs(cents[0][0] - cents[1][0])
+            dy = abs(cents[0][1] - cents[1][1])
+            axis = "x" if dx >= dy else "y"
+            xs, ys = np.nonzero(channel)
+            ext_x = (xs.max() - xs.min() + 1) * features.pixel_nm
+            ext_y = (ys.max() - ys.min() + 1) * features.pixel_nm
+            length_nm, width_nm = (ext_x, ext_y) if axis == "x" else (ext_y, ext_x)
+            ci = xs.mean() + (slc[0].start or 0)
+            cj = ys.mean() + (slc[1].start or 0)
+            centroid = features.to_nm(float(ci), float(cj))
+
+            # Gate span fraction (region-spanning common gates ≈ 1).
+            g_slices = ndimage.find_objects(gate_labels, max_label=gate_id)
+            g_slc = g_slices[gate_id - 1]
+            span = (g_slc[1].stop - g_slc[1].start) / region_ny
+
+            dev_index += 1
+            dname = f"t{dev_index}"
+            circuit.add_mos(
+                dname, "nmos", d=term_nets[0], g=gate_net, s=term_nets[1],
+                w=width_nm, l=length_nm,
+            )
+            devices[dname] = ExtractedDevice(
+                name=dname,
+                gate_net=gate_net,
+                terminal_nets=(term_nets[0], term_nets[1]),
+                width_nm=width_nm,
+                length_nm=length_nm,
+                centroid_nm=centroid,
+                gate_span_fraction=float(span),
+                gate_component=gate_id,
+                active_component=active_id,
+                current_axis=axis,
+            )
+
+    # 6. Record component → net mapping for all conductor components.
+    net_of_component: dict[tuple[Layer, int], str] = {}
+    for layer in _CONDUCTOR_LAYERS:
+        _, count = features.components(layer)
+        for cid in range(1, count + 1):
+            net_of_component[(layer, cid)] = net_name((layer, cid))
+
+    return ExtractedCircuit(
+        circuit=circuit,
+        devices=devices,
+        features=features,
+        net_of_component=net_of_component,
+        warnings=warnings,
+    )
+
+
+def _window_mask(labels: np.ndarray, comp_id: int, window: tuple[slice, slice]):
+    """Mask of component *comp_id* restricted to *window* (or None if empty)."""
+    sub = labels[window] == comp_id
+    if not sub.any():
+        return None
+    return sub

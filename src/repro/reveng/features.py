@@ -1,0 +1,202 @@
+"""Per-layer feature masks: the analyst's "color intensity" step.
+
+§V-A step (i): determine the intensities corresponding to gates, wires and
+vias, then turn each layer's planar view into a boolean feature mask.  Two
+constructors exist:
+
+* :meth:`PlanarFeatures.from_cell` — rasterise the ground-truth layout
+  directly (the noise-free fast path used by unit tests and by the
+  validation baseline);
+* :meth:`PlanarFeatures.from_views` — classify real (simulated) planar
+  views by intensity, which must untangle z-overlapping layers: a contact
+  plug shares the GATE z-range, so the GATE mask keeps only poly-intensity
+  pixels and the CONTACT mask only tungsten-intensity pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import ReverseEngineeringError
+from repro.imaging.sem import SemParameters, contrast_lookup
+from repro.imaging.voxel import MATERIAL_CODES, rasterize_layer
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import LAYER_MATERIAL, Layer
+
+#: Minimum plausible component area (px) per layer: anything smaller is a
+#: misclassified speck — e.g. the faint silicon-like shadow a contact
+#: bottom casts into the ACTIVE view.  Real actives are tens of pixels;
+#: real contacts/vias only a handful.
+_MIN_AREA_PX: dict[Layer, int] = {
+    Layer.ACTIVE: 25,
+    Layer.GATE: 8,
+    Layer.CONTACT: 4,
+    Layer.METAL1: 6,
+    Layer.VIA1: 4,
+    Layer.METAL2: 8,
+    Layer.CAPACITOR: 4,
+}
+
+
+def _drop_specks(mask, min_area_px: int):
+    """Remove connected components smaller than *min_area_px*."""
+    if min_area_px <= 1 or not mask.any():
+        return mask
+    labels, count = ndimage.label(mask)
+    if not count:
+        return mask
+    areas = ndimage.sum_labels(mask, labels, index=np.arange(1, count + 1))
+    small = np.flatnonzero(areas < min_area_px) + 1
+    if small.size:
+        mask = mask.copy()
+        mask[np.isin(labels, small)] = False
+    return mask
+
+
+#: Layers the extraction consumes.
+FEATURE_LAYERS: tuple[Layer, ...] = (
+    Layer.ACTIVE,
+    Layer.GATE,
+    Layer.CONTACT,
+    Layer.METAL1,
+    Layer.VIA1,
+    Layer.METAL2,
+    Layer.CAPACITOR,
+)
+
+
+@dataclass
+class PlanarFeatures:
+    """Boolean masks per layer, plus coordinate metadata and label caches."""
+
+    masks: dict[Layer, np.ndarray]
+    pixel_nm: float
+    origin_x_nm: float = 0.0
+    origin_y_nm: float = 0.0
+    _labels: dict[Layer, tuple[np.ndarray, int]] = field(default_factory=dict, repr=False)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_cell(cls, cell: LayoutCell, pixel_nm: float = 6.0, margin_nm: float = 40.0) -> "PlanarFeatures":
+        """Ideal masks straight from a layout (ground-truth fast path)."""
+        box = cell.bounding_box()
+        masks = {
+            layer: rasterize_layer(cell, layer, voxel_nm=pixel_nm, margin_nm=margin_nm)
+            for layer in FEATURE_LAYERS
+        }
+        return cls(
+            masks=masks,
+            pixel_nm=pixel_nm,
+            origin_x_nm=box.x0 - margin_nm,
+            origin_y_nm=box.y0 - margin_nm,
+        )
+
+    @classmethod
+    def from_views(
+        cls,
+        views: dict[Layer, np.ndarray],
+        pixel_nm: float,
+        sem: SemParameters | None = None,
+        origin_x_nm: float = 0.0,
+        origin_y_nm: float = 0.0,
+        tolerance: float = 0.5,
+    ) -> "PlanarFeatures":
+        """Intensity-classified masks from reconstructed planar views.
+
+        For each layer, a pixel belongs to the mask when its intensity is
+        closer to the layer's own material intensity than to the background
+        (dielectric), within *tolerance* of the material/dielectric gap.
+        Using the layer's *material* (not a generic foreground test)
+        separates contact plugs from poly in the shared z-range.
+        """
+        sem = sem or SemParameters()
+        table = contrast_lookup(sem)
+        bg = table[0]
+        masks: dict[Layer, np.ndarray] = {}
+        for layer in FEATURE_LAYERS:
+            if layer not in views:
+                continue
+            view = views[layer]
+            target = table[MATERIAL_CODES[LAYER_MATERIAL[layer]]]
+            gap = target - bg
+            if abs(gap) < 1e-6:
+                raise ReverseEngineeringError(
+                    f"material of {layer.name} indistinguishable from background "
+                    f"with these SEM parameters"
+                )
+            # Pixel accepted when closer to the target intensity than
+            # (1 - tolerance) of the way back to the background, AND closer
+            # to the target than to any brighter material (separates poly
+            # from tungsten).  ACTIVE gets no upper bound: contact plugs
+            # share the top of its z-range and brighten the pixels they sit
+            # on — without this the plugs would punch holes into the active
+            # regions exactly where the terminals must connect.
+            lo = target - abs(gap) * tolerance
+            brighter = [v for v in table if v > target + 1e-9]
+            hi = (target + min(brighter)) / 2 if brighter else np.inf
+            if layer is Layer.ACTIVE:
+                hi = np.inf
+            mask = (view >= lo) & (view < hi)
+            masks[layer] = _drop_specks(mask, _MIN_AREA_PX.get(layer, 4))
+        missing = [layer for layer in FEATURE_LAYERS if layer not in masks]
+        if missing:
+            raise ReverseEngineeringError(f"missing planar views for {missing}")
+        return cls(
+            masks=masks,
+            pixel_nm=pixel_nm,
+            origin_x_nm=origin_x_nm,
+            origin_y_nm=origin_y_nm,
+        )
+
+    # -- geometry helpers --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(nx, ny) of the masks."""
+        mask = next(iter(self.masks.values()))
+        return tuple(mask.shape)  # type: ignore[return-value]
+
+    def to_nm(self, i: float, j: float) -> tuple[float, float]:
+        """Pixel indices → nm coordinates."""
+        return (
+            self.origin_x_nm + (i + 0.5) * self.pixel_nm,
+            self.origin_y_nm + (j + 0.5) * self.pixel_nm,
+        )
+
+    def extent_nm(self) -> tuple[float, float]:
+        """(x, y) physical extents of the field of view."""
+        nx, ny = self.shape
+        return nx * self.pixel_nm, ny * self.pixel_nm
+
+    # -- component labelling ---------------------------------------------------
+
+    def components(self, layer: Layer) -> tuple[np.ndarray, int]:
+        """Connected components (4-connectivity) of a layer mask, cached."""
+        if layer not in self._labels:
+            if layer not in self.masks:
+                raise ReverseEngineeringError(f"no mask for layer {layer.name}")
+            structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+            labels, count = ndimage.label(self.masks[layer], structure=structure)
+            self._labels[layer] = (labels, count)
+        return self._labels[layer]
+
+    def component_mask(self, layer: Layer, comp_id: int) -> np.ndarray:
+        """Boolean mask of one component."""
+        labels, _count = self.components(layer)
+        return labels == comp_id
+
+    def component_slices(self, layer: Layer) -> list[tuple[int, tuple[slice, slice]]]:
+        """(component id, bounding slices) for every component of *layer*."""
+        labels, count = self.components(layer)
+        found = ndimage.find_objects(labels)
+        return [(idx + 1, slc) for idx, slc in enumerate(found) if slc is not None]
+
+    def component_centroid_nm(self, layer: Layer, comp_id: int) -> tuple[float, float]:
+        """Centroid of a component in nm."""
+        labels, _ = self.components(layer)
+        ci, cj = ndimage.center_of_mass(labels == comp_id)
+        return self.to_nm(float(ci), float(cj))

@@ -1,0 +1,182 @@
+"""§V-B measurements: transistor dimensions and region features.
+
+The paper makes 835 distinct size measurements with Dragonfly: per
+transistor, the length is the gate pitch between source and drain and the
+width the gate/active overlap.  The extraction already measures both per
+device (:class:`~repro.reveng.connectivity.ExtractedDevice`); this module
+aggregates them per functional class, measures region-level quantities
+(bitline pitch, region extents), and scores everything against ground
+truth when one is available.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.errors import ReverseEngineeringError
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import TransistorKind
+from repro.layout.geometry import pitch_of
+from repro.reveng.classify import Classification, TransistorClass
+from repro.reveng.connectivity import ExtractedCircuit
+
+#: Extracted functional class ↔ ground-truth transistor kind.
+CLASS_TO_KIND: dict[TransistorClass, TransistorKind] = {
+    TransistorClass.COLUMN: TransistorKind.COLUMN,
+    TransistorClass.PRECHARGE: TransistorKind.PRECHARGE,
+    TransistorClass.EQUALIZER: TransistorKind.EQUALIZER,
+    TransistorClass.ISOLATION: TransistorKind.ISOLATION,
+    TransistorClass.OFFSET_CANCEL: TransistorKind.OFFSET_CANCEL,
+    TransistorClass.NSA: TransistorKind.NSA,
+    TransistorClass.PSA: TransistorKind.PSA,
+    TransistorClass.LSA: TransistorKind.LSA,
+}
+
+
+@dataclass
+class ClassStats:
+    """Aggregated W/L statistics for one transistor class."""
+
+    count: int
+    mean_w_nm: float
+    mean_l_nm: float
+    std_w_nm: float
+    std_l_nm: float
+
+    @property
+    def wl_ratio(self) -> float:
+        """Mean W / mean L."""
+        return self.mean_w_nm / self.mean_l_nm
+
+
+@dataclass
+class MeasurementTable:
+    """All §V-B measurements of one reverse-engineered region."""
+
+    per_class: dict[TransistorClass, ClassStats]
+    bitline_pitch_nm: float | None
+    region_extent_nm: tuple[float, float]
+    total_measurements: int
+    notes: list[str] = field(default_factory=list)
+
+    def stats(self, cls: TransistorClass) -> ClassStats:
+        """Stats for one class (raising when the class was not observed)."""
+        try:
+            return self.per_class[cls]
+        except KeyError:
+            raise ReverseEngineeringError(f"no measurements for class {cls.value}") from None
+
+
+def measure_devices(
+    extracted: ExtractedCircuit,
+    classification: Classification,
+) -> MeasurementTable:
+    """Aggregate per-device W/L into per-class statistics."""
+    groups: dict[TransistorClass, list[tuple[float, float]]] = {}
+    for name, dev in extracted.devices.items():
+        cls = classification.functional.get(name, TransistorClass.UNKNOWN)
+        groups.setdefault(cls, []).append((dev.width_nm, dev.length_nm))
+
+    per_class: dict[TransistorClass, ClassStats] = {}
+    total = 0
+    for cls, dims in groups.items():
+        ws = [w for w, _l in dims]
+        ls = [l for _w, l in dims]
+        per_class[cls] = ClassStats(
+            count=len(dims),
+            mean_w_nm=statistics.fmean(ws),
+            mean_l_nm=statistics.fmean(ls),
+            std_w_nm=statistics.pstdev(ws) if len(ws) > 1 else 0.0,
+            std_l_nm=statistics.pstdev(ls) if len(ls) > 1 else 0.0,
+        )
+        # W and L are each a distinct measurement per device (§V-B).
+        total += 2 * len(dims)
+
+    # Bitline pitch from the lane rails' Y positions.
+    pitch = None
+    ys: list[float] = []
+    features = extracted.features
+    from repro.layout.elements import Layer  # local import to avoid cycles
+
+    labels, count = features.components(Layer.METAL1)
+    bitline_nets = set(classification.bitline_nets)
+    for (layer, comp), net in extracted.net_of_component.items():
+        if layer is Layer.METAL1 and net in bitline_nets:
+            _cx, cy = features.component_centroid_nm(Layer.METAL1, comp)
+            ys.append(cy)
+    unique_ys = sorted(set(round(y, 1) for y in ys))
+    if len(unique_ys) >= 2:
+        pitch = pitch_of(unique_ys)
+        total += len(unique_ys)
+
+    return MeasurementTable(
+        per_class=per_class,
+        bitline_pitch_nm=pitch,
+        region_extent_nm=features.extent_nm(),
+        total_measurements=total,
+    )
+
+
+@dataclass
+class ValidationReport:
+    """Per-class W/L recovery error against the generating layout."""
+
+    width_error: dict[TransistorClass, float]
+    length_error: dict[TransistorClass, float]
+    missing_classes: list[TransistorClass]
+    spurious_classes: list[TransistorClass]
+    device_count_expected: int
+    device_count_found: int
+
+    def max_relative_error(self) -> float:
+        """Worst W or L relative error across classes."""
+        errors = list(self.width_error.values()) + list(self.length_error.values())
+        return max(errors) if errors else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every ground-truth class was recovered."""
+        return not self.missing_classes
+
+
+def validation_errors(
+    table: MeasurementTable,
+    truth: LayoutCell,
+) -> ValidationReport:
+    """Score measured per-class means against the generating layout."""
+    truth_dims: dict[TransistorKind, list[tuple[float, float]]] = {}
+    for t in truth.transistors:
+        truth_dims.setdefault(t.kind, []).append((t.width, t.length))
+
+    width_error: dict[TransistorClass, float] = {}
+    length_error: dict[TransistorClass, float] = {}
+    missing: list[TransistorClass] = []
+    spurious: list[TransistorClass] = []
+
+    for cls, kind in CLASS_TO_KIND.items():
+        have = cls in table.per_class
+        expect = kind in truth_dims
+        if expect and not have:
+            missing.append(cls)
+            continue
+        if have and not expect:
+            spurious.append(cls)
+            continue
+        if not have:
+            continue
+        stats = table.per_class[cls]
+        true_w = statistics.fmean(w for w, _l in truth_dims[kind])
+        true_l = statistics.fmean(l for _w, l in truth_dims[kind])
+        width_error[cls] = abs(stats.mean_w_nm - true_w) / true_w
+        length_error[cls] = abs(stats.mean_l_nm - true_l) / true_l
+
+    found = sum(s.count for c, s in table.per_class.items() if c in CLASS_TO_KIND)
+    return ValidationReport(
+        width_error=width_error,
+        length_error=length_error,
+        missing_classes=missing,
+        spurious_classes=spurious,
+        device_count_expected=len(truth.transistors),
+        device_count_found=found,
+    )

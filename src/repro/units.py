@@ -1,0 +1,136 @@
+"""Length, area and time units used throughout the library.
+
+The canonical length unit is the **nanometre** (nm): it is the natural unit
+for the features HiFi-DRAM measures (gate lengths of tens of nm, bitline
+pitches below 100 nm) and lets every geometric quantity stay an ``int`` or a
+small ``float`` without exponent noise.  Areas are therefore nm², and we
+provide converters for the µm² and mm² figures the paper quotes (region
+areas, die sizes).
+
+The canonical time unit for the analog solver is the **nanosecond** and the
+canonical electrical units are volts, amperes and farads (SI); see
+:mod:`repro.analog.solver` for the integration conventions.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+NM: float = 1.0
+UM: float = 1_000.0
+MM: float = 1_000_000.0
+
+#: Number of nm² in one µm².
+UM2: float = UM * UM
+#: Number of nm² in one mm².
+MM2: float = MM * MM
+
+
+def nm(value: float) -> float:
+    """Return *value* nanometres expressed in canonical units (identity)."""
+    return value * NM
+
+
+def um(value: float) -> float:
+    """Return *value* micrometres expressed in nanometres."""
+    return value * UM
+
+
+def mm(value: float) -> float:
+    """Return *value* millimetres expressed in nanometres."""
+    return value * MM
+
+
+def to_um(value_nm: float) -> float:
+    """Convert a length in nanometres to micrometres."""
+    return value_nm / UM
+
+
+def to_mm(value_nm: float) -> float:
+    """Convert a length in nanometres to millimetres."""
+    return value_nm / MM
+
+
+def um2(value: float) -> float:
+    """Return *value* µm² expressed in nm²."""
+    return value * UM2
+
+
+def mm2(value: float) -> float:
+    """Return *value* mm² expressed in nm²."""
+    return value * MM2
+
+
+def to_um2(value_nm2: float) -> float:
+    """Convert an area in nm² to µm²."""
+    return value_nm2 / UM2
+
+
+def to_mm2(value_nm2: float) -> float:
+    """Convert an area in nm² to mm²."""
+    return value_nm2 / MM2
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers
+# ---------------------------------------------------------------------------
+
+
+def fmt_nm(value_nm: float, digits: int = 1) -> str:
+    """Format a length with an adaptive unit (nm / µm / mm).
+
+    >>> fmt_nm(42.0)
+    '42.0 nm'
+    >>> fmt_nm(2500.0)
+    '2.5 um'
+    """
+    if abs(value_nm) >= MM:
+        return f"{value_nm / MM:.{digits}f} mm"
+    if abs(value_nm) >= UM:
+        return f"{value_nm / UM:.{digits}f} um"
+    return f"{value_nm:.{digits}f} nm"
+
+
+def fmt_area(value_nm2: float, digits: int = 2) -> str:
+    """Format an area with an adaptive unit (nm² / µm² / mm²)."""
+    if abs(value_nm2) >= MM2:
+        return f"{value_nm2 / MM2:.{digits}f} mm^2"
+    if abs(value_nm2) >= UM2:
+        return f"{value_nm2 / UM2:.{digits}f} um^2"
+    return f"{value_nm2:.{digits}f} nm^2"
+
+
+def fmt_ratio(value: float, digits: int = 2) -> str:
+    """Format a multiplicative factor the way the paper does (``175x``)."""
+    return f"{value:.{digits}f}x"
+
+
+def fmt_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.57`` → ``'57.0%'``)."""
+    return f"{value * 100.0:.{digits}f}%"
+
+
+# ---------------------------------------------------------------------------
+# Time (analog simulation)
+# ---------------------------------------------------------------------------
+
+NS: float = 1.0
+US: float = 1_000.0
+PS: float = 0.001
+
+
+def ns(value: float) -> float:
+    """Return *value* nanoseconds in canonical time units (identity)."""
+    return value * NS
+
+
+def us_time(value: float) -> float:
+    """Return *value* microseconds in nanoseconds."""
+    return value * US
+
+
+def ps(value: float) -> float:
+    """Return *value* picoseconds in nanoseconds."""
+    return value * PS

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Expensive artefacts (generated layouts, reverse-engineering runs, transient
+simulations) are session-scoped: they are deterministic, read-only in the
+tests, and dominate the suite's runtime otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.layout import LayoutCell, SaRegionSpec, generate_sa_region
+
+
+@pytest.fixture(scope="session")
+def classic_cell() -> LayoutCell:
+    """A small classic-SA region (2 bitline pairs)."""
+    return generate_sa_region(SaRegionSpec(name="classic2", topology="classic", n_pairs=2))
+
+
+@pytest.fixture(scope="session")
+def ocsa_cell() -> LayoutCell:
+    """A small OCSA region (2 bitline pairs)."""
+    return generate_sa_region(SaRegionSpec(name="ocsa2", topology="ocsa", n_pairs=2))
+
+
+@pytest.fixture(scope="session")
+def classic_cell_4() -> LayoutCell:
+    """A classic-SA region with 4 pairs (column groups exercised)."""
+    return generate_sa_region(SaRegionSpec(name="classic4", topology="classic", n_pairs=4))
+
+
+@pytest.fixture(scope="session")
+def classic_re(classic_cell):
+    """Reverse-engineered classic region (ground-truth fast path)."""
+    from repro.reveng import reverse_engineer_cell
+
+    return reverse_engineer_cell(classic_cell)
+
+
+@pytest.fixture(scope="session")
+def ocsa_re(ocsa_cell):
+    """Reverse-engineered OCSA region (ground-truth fast path)."""
+    from repro.reveng import reverse_engineer_cell
+
+    return reverse_engineer_cell(ocsa_cell)
+
+
+@pytest.fixture(scope="session")
+def classic_activation():
+    """A simulated classic-SA activation with data=1."""
+    from repro.analog import simulate_activation
+
+    return simulate_activation(SaTopology.CLASSIC, data=1)
+
+
+@pytest.fixture(scope="session")
+def ocsa_activation():
+    """A simulated OCSA activation with data=1."""
+    from repro.analog import simulate_activation
+
+    return simulate_activation(SaTopology.OCSA, data=1)

@@ -1,0 +1,80 @@
+"""Appendix A electrical-impact model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog.bitline_parasitics import (
+    BitlineGeometry,
+    coupling_capacitance_f,
+    crosstalk_ratio,
+    ground_capacitance_f,
+    resistance_ohm,
+    settling_time_ns,
+    shrink_report,
+    transfer_ratio,
+)
+from repro.errors import AnalogError
+
+
+class TestGeometry:
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalogError):
+            BitlineGeometry(width_nm=0)
+
+    def test_shrunk(self):
+        g = BitlineGeometry(width_nm=18.0, spacing_nm=18.0)
+        s = g.shrunk(0.5)
+        assert s.width_nm == 9.0
+        assert s.spacing_nm == 18.0  # distance kept by default
+
+
+class TestElectricals:
+    def test_resistance_order_of_magnitude(self):
+        """A ~40 µm DRAM bitline runs tens of kΩ — the dominant RC term."""
+        r = resistance_ohm(BitlineGeometry())
+        assert 1e3 < r < 1e5
+
+    def test_capacitance_order_of_magnitude(self):
+        """Total bitline capacitance lands in the tens of fF the SA
+        literature (and our testbench) assumes."""
+        from repro.analog.bitline_parasitics import total_capacitance_f
+
+        assert 10e-15 < total_capacitance_f(BitlineGeometry()) < 200e-15
+
+    def test_halving_width_doubles_resistance(self):
+        g = BitlineGeometry()
+        assert resistance_ohm(g.shrunk(0.5)) == pytest.approx(2 * resistance_ohm(g))
+
+    def test_closer_spacing_raises_crosstalk(self):
+        """Appendix A: 'making wires closer increases crosstalk'."""
+        wide = BitlineGeometry(spacing_nm=36.0)
+        tight = BitlineGeometry(spacing_nm=12.0)
+        assert crosstalk_ratio(tight) > crosstalk_ratio(wide)
+
+    def test_settling_time_sub_nanosecond_at_nominal(self):
+        assert 0.01 < settling_time_ns(BitlineGeometry()) < 5.0
+
+    def test_transfer_ratio_in_range(self):
+        assert 0.05 < transfer_ratio(BitlineGeometry()) < 0.5
+
+    @given(st.floats(min_value=6.0, max_value=60.0))
+    def test_narrower_is_always_slower(self, width):
+        base = BitlineGeometry()
+        narrowed = BitlineGeometry(width_nm=width)
+        if width < base.width_nm:
+            assert settling_time_ns(narrowed) > settling_time_ns(base) * 0.99
+
+
+class TestShrinkReport:
+    def test_halving_report(self):
+        report = shrink_report()
+        assert report["resistance_factor"] == pytest.approx(2.0)
+        # Settling slows: R doubles while C shrinks less than half.
+        assert report["settling_factor"] > 1.2
+        # The charge-sharing signal improves slightly (less C) — the one
+        # upside, which does not rescue the speed loss.
+        assert report["transfer_after"] > report["transfer_before"]
+
+    def test_packing_closer_worsens_crosstalk(self):
+        report = shrink_report(width_factor=0.5, spacing_factor=0.5)
+        assert report["crosstalk_after"] > report["crosstalk_before"]

@@ -1,0 +1,94 @@
+"""Square-law MOSFET model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog.devices import (
+    GLEAK,
+    MosModel,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    mos_current,
+    mos_ids,
+    mos_operating_region,
+)
+
+volt = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+class TestModel:
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ValueError):
+            MosModel("cmos", 1e-4, 0.4)
+
+    def test_vt_shift(self):
+        shifted = NMOS_DEFAULT.with_vt_shift(0.05)
+        assert shifted.vt == pytest.approx(NMOS_DEFAULT.vt + 0.05)
+        assert shifted.kp == NMOS_DEFAULT.kp
+
+
+class TestRegions:
+    def test_cutoff(self):
+        assert mos_operating_region(NMOS_DEFAULT, vg=0.2, vd=1.0, vs=0.0) == "cutoff"
+
+    def test_triode(self):
+        assert mos_operating_region(NMOS_DEFAULT, vg=1.1, vd=0.1, vs=0.0) == "triode"
+
+    def test_saturation(self):
+        assert mos_operating_region(NMOS_DEFAULT, vg=0.8, vd=1.0, vs=0.0) == "saturation"
+
+    def test_pmos_mirrored(self):
+        assert mos_operating_region(PMOS_DEFAULT, vg=0.0, vd=0.0, vs=1.1) == "saturation"
+
+
+class TestCurrent:
+    def test_cutoff_leak_only(self):
+        i = mos_current(NMOS_DEFAULT, 2.0, vg=0.0, vd=1.0, vs=0.0)
+        assert abs(i) <= GLEAK * 1.0 * 1.001
+
+    def test_saturation_positive(self):
+        i = mos_current(NMOS_DEFAULT, 2.0, vg=1.1, vd=1.1, vs=0.0)
+        assert i > 1e-5  # tens of µA
+
+    def test_current_scales_with_wl(self):
+        i1 = mos_current(NMOS_DEFAULT, 1.0, vg=1.1, vd=1.1, vs=0.0)
+        i2 = mos_current(NMOS_DEFAULT, 3.0, vg=1.1, vd=1.1, vs=0.0)
+        assert i2 == pytest.approx(3 * i1, rel=1e-3)
+
+    def test_symmetric_swap(self):
+        """Drain and source swap antisymmetrically (pass transistors)."""
+        fwd = mos_current(NMOS_DEFAULT, 2.0, vg=1.5, vd=0.8, vs=0.2)
+        rev = mos_current(NMOS_DEFAULT, 2.0, vg=1.5, vd=0.2, vs=0.8)
+        assert rev == pytest.approx(-fwd, rel=1e-9)
+
+    def test_pmos_conducts_downward(self):
+        i = mos_current(PMOS_DEFAULT, 2.0, vg=0.0, vd=0.0, vs=1.1)
+        assert i < -1e-6  # current flows source→drain (negative d→s)
+
+    def test_zero_vds_zero_current(self):
+        i = mos_current(NMOS_DEFAULT, 2.0, vg=1.1, vd=0.5, vs=0.5)
+        assert i == pytest.approx(0.0, abs=1e-15)
+
+    @given(volt, volt, volt)
+    def test_antisymmetry_property(self, vg, vd, vs):
+        fwd = mos_current(NMOS_DEFAULT, 2.0, vg, vd, vs)
+        rev = mos_current(NMOS_DEFAULT, 2.0, vg, vs, vd)
+        assert fwd == pytest.approx(-rev, rel=1e-9, abs=1e-18)
+
+    @given(volt, st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    def test_current_monotone_in_vgs(self, vd, vg):
+        """More gate drive never reduces forward current."""
+        lo = mos_current(NMOS_DEFAULT, 2.0, vg, abs(vd), 0.0)
+        hi = mos_current(NMOS_DEFAULT, 2.0, vg + 0.2, abs(vd), 0.0)
+        assert hi >= lo - 1e-15
+
+
+class TestIds:
+    def test_gm_positive_in_saturation(self):
+        _i, gm, gds = mos_ids(NMOS_DEFAULT, 2.0, vg=0.9, vd=1.1, vs=0.0)
+        assert gm > 0
+        assert gds > 0
+
+    def test_gm_zero_in_cutoff(self):
+        _i, gm, _gds = mos_ids(NMOS_DEFAULT, 2.0, vg=0.1, vd=1.1, vs=0.0)
+        assert gm == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,106 @@
+"""Activation event timelines (Fig 2c, Fig 9b)."""
+
+import pytest
+
+from repro.analog.events import (
+    EventTimeline,
+    classic_activation_timeline,
+    ocsa_activation_timeline,
+    timeline_for,
+)
+from repro.circuits.topologies import SaTopology
+
+
+class TestClassic:
+    def test_event_names(self):
+        t = classic_activation_timeline()
+        names = [e.name for e in t.events]
+        assert names == ["charge_sharing", "latch_restore", "precharge_equalize"]
+
+    def test_no_ocsa_events(self):
+        t = classic_activation_timeline()
+        assert not t.has_event("offset_cancellation")
+        assert not t.has_event("pre_sensing")
+
+    def test_control_waveforms_present(self):
+        t = classic_activation_timeline()
+        assert set(t.waveforms) == {"WL", "PEQ", "LA", "LAB", "VPRE"}
+
+    def test_wl_rises_at_charge_sharing(self):
+        t = classic_activation_timeline()
+        cs = t.event("charge_sharing")
+        wl = t.waveforms["WL"]
+        assert wl.value(cs.start_ns - 0.5) == pytest.approx(0.0)
+        assert wl.value(cs.start_ns + 1.0) == pytest.approx(t.vpp)
+
+    def test_peq_low_during_activation(self):
+        t = classic_activation_timeline()
+        assert t.waveforms["PEQ"].value(t.event("latch_restore").start_ns) == pytest.approx(0.0)
+
+    def test_la_lab_split_at_latch(self):
+        t = classic_activation_timeline()
+        mid = t.event("latch_restore").start_ns + 2.0
+        assert t.waveforms["LA"].value(mid) == pytest.approx(t.vdd)
+        assert t.waveforms["LAB"].value(mid) == pytest.approx(0.0)
+
+    def test_vpre_is_half_vdd(self):
+        t = classic_activation_timeline(vdd=1.2)
+        assert t.vpre == pytest.approx(0.6)
+
+
+class TestOcsa:
+    def test_extra_events_present(self):
+        t = ocsa_activation_timeline()
+        assert t.has_event("offset_cancellation")
+        assert t.has_event("pre_sensing")
+
+    def test_event_order(self):
+        """OC before charge sharing, pre-sensing before restore (Fig 9b)."""
+        t = ocsa_activation_timeline()
+        oc = t.event("offset_cancellation")
+        cs = t.event("charge_sharing")
+        ps = t.event("pre_sensing")
+        restore = t.event("latch_restore")
+        assert oc.end_ns <= cs.start_ns
+        assert cs.end_ns <= ps.start_ns
+        assert ps.end_ns <= restore.start_ns
+
+    def test_charge_sharing_delayed_vs_classic(self):
+        """§VI-D: charge sharing waits for the offset cancellation."""
+        classic = classic_activation_timeline()
+        ocsa = ocsa_activation_timeline()
+        assert ocsa.charge_sharing_start() > classic.charge_sharing_start()
+
+    def test_iso_off_until_restore(self):
+        t = ocsa_activation_timeline()
+        ps = t.event("pre_sensing")
+        assert t.waveforms["ISO"].value(ps.start_ns + 0.5) == pytest.approx(0.0)
+        restore = t.event("latch_restore")
+        assert t.waveforms["ISO"].value(restore.start_ns + 1.0) == pytest.approx(t.vpp)
+
+    def test_oc_pulses_before_wordline(self):
+        t = ocsa_activation_timeline()
+        oc = t.event("offset_cancellation")
+        mid = (oc.start_ns + oc.end_ns) / 2
+        assert t.waveforms["OC"].value(mid) == pytest.approx(t.vpp)
+        assert t.waveforms["WL"].value(mid) == pytest.approx(0.0)
+
+    def test_lab_dips_during_oc(self):
+        t = ocsa_activation_timeline(oc_bias=0.12)
+        oc = t.event("offset_cancellation")
+        mid = (oc.start_ns + oc.end_ns) / 2
+        assert t.waveforms["LAB"].value(mid) == pytest.approx(t.vpre - 0.12, abs=1e-6)
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            ocsa_activation_timeline().event("refresh")
+
+
+class TestDispatch:
+    def test_timeline_for(self):
+        assert timeline_for(SaTopology.CLASSIC).topology is SaTopology.CLASSIC
+        assert timeline_for(SaTopology.OCSA).topology is SaTopology.OCSA
+
+    def test_duration(self):
+        e = classic_activation_timeline().event("latch_restore")
+        assert e.duration_ns == pytest.approx(e.end_ns - e.start_ns)

@@ -1,0 +1,55 @@
+"""Timing/energy metrics (the I5 quantities)."""
+
+import pytest
+
+from repro.analog.metrics import (
+    activation_comparison,
+    restore_latency_ns,
+    sensing_latency_ns,
+    switched_energy_fj,
+)
+from repro.errors import AnalogError
+
+
+class TestSensingLatency:
+    def test_positive_and_bounded(self, classic_activation):
+        latency = sensing_latency_ns(classic_activation)
+        assert 0.5 < latency < 15.0
+
+    def test_monotone_in_fraction(self, classic_activation):
+        assert sensing_latency_ns(classic_activation, 0.5) <= sensing_latency_ns(
+            classic_activation, 0.9
+        )
+
+    def test_bad_fraction(self, classic_activation):
+        with pytest.raises(AnalogError):
+            sensing_latency_ns(classic_activation, 1.5)
+
+    def test_ocsa_senses_slower(self, classic_activation, ocsa_activation):
+        """I5: OCSA adds events before sensing; assuming classic timing
+        underestimates the activation latency."""
+        assert sensing_latency_ns(ocsa_activation) > sensing_latency_ns(classic_activation)
+
+
+class TestRestoreLatency:
+    def test_restore_after_sensing(self, classic_activation):
+        assert restore_latency_ns(classic_activation) >= sensing_latency_ns(classic_activation)
+
+    def test_data_zero(self):
+        from repro.analog import simulate_activation
+        from repro.circuits.topologies import SaTopology
+
+        out = simulate_activation(SaTopology.CLASSIC, data=0)
+        assert restore_latency_ns(out) > 0
+
+
+class TestEnergy:
+    def test_energy_positive_femtojoules(self, classic_activation):
+        e = switched_energy_fj(classic_activation)
+        # Two ~90 fF bitlines swinging ~1.1 V: order of a hundred fJ.
+        assert 10.0 < e < 1000.0
+
+    def test_ocsa_counts_internal_nodes(self, classic_activation, ocsa_activation):
+        comparison = activation_comparison(classic_activation, ocsa_activation)
+        assert comparison["energy_ocsa_fj"] > 0
+        assert comparison["sensing_latency_ocsa_ns"] > comparison["sensing_latency_classic_ns"]

@@ -1,0 +1,76 @@
+"""Monte Carlo sensing-yield analysis (§VI-A optimism)."""
+
+import pytest
+
+from repro.analog.montecarlo import (
+    model_optimism,
+    nominal_sensing_latency,
+    sensing_yield,
+    yield_curve,
+)
+from repro.circuits.topologies import SaSizes, SaTopology
+from repro.core.hifi import sa_sizes_for
+from repro.errors import AnalogError
+
+CROW_SIZES = SaSizes(
+    nsa_w=170, nsa_l=50, psa_w=125, psa_l=50,
+    precharge_w=498, precharge_l=75, equalizer_w=250, equalizer_l=55,
+)
+
+
+class TestYield:
+    def test_zero_sigma_full_yield(self):
+        result = sensing_yield(SaTopology.CLASSIC, sigma_mv=0.0, samples=3)
+        assert result.yield_fraction == 1.0
+
+    def test_huge_sigma_fails_sometimes(self):
+        result = sensing_yield(SaTopology.CLASSIC, sigma_mv=400.0, samples=12)
+        assert result.failures > 0
+        assert result.failure_rate == pytest.approx(result.failures / 12)
+
+    def test_deterministic(self):
+        a = sensing_yield(SaTopology.CLASSIC, sigma_mv=150.0, samples=8, seed=3)
+        b = sensing_yield(SaTopology.CLASSIC, sigma_mv=150.0, samples=8, seed=3)
+        assert a.failures == b.failures
+
+    def test_bad_parameters(self):
+        with pytest.raises(AnalogError):
+            sensing_yield(SaTopology.CLASSIC, samples=0)
+        with pytest.raises(AnalogError):
+            sensing_yield(SaTopology.CLASSIC, sigma_mv=-1.0)
+
+    def test_deadline_fails_slow_senses(self):
+        fast_enough = sensing_yield(
+            SaTopology.CLASSIC, sigma_mv=0.0, samples=2, deadline_ns=30.0
+        )
+        too_tight = sensing_yield(
+            SaTopology.CLASSIC, sigma_mv=0.0, samples=2, deadline_ns=1.0
+        )
+        assert fast_enough.yield_fraction == 1.0
+        assert too_tight.yield_fraction == 0.0
+
+
+class TestYieldCurve:
+    def test_monotone_in_sigma(self):
+        curve = yield_curve(
+            SaTopology.CLASSIC, sigmas_mv=(50.0, 300.0), samples=10
+        )
+        assert curve[0].yield_fraction >= curve[-1].yield_fraction
+
+
+class TestOptimism:
+    def test_crow_senses_faster_than_silicon(self):
+        """Inflated W/L → faster simulated sensing (§VI-A's mechanism)."""
+        crow = nominal_sensing_latency(SaTopology.CLASSIC, CROW_SIZES)
+        c4 = nominal_sensing_latency(SaTopology.CLASSIC, sa_sizes_for("C4"))
+        assert crow < c4
+
+    def test_crow_budget_fails_on_measured_silicon(self):
+        """A deadline derived from CROW's latency cannot be met by the
+        measured C4 dimensions — the model is optimistic."""
+        report = model_optimism(
+            CROW_SIZES, sa_sizes_for("C4"), sigma_mv=40.0, samples=6
+        )
+        assert report["model_latency_ns"] < report["measured_latency_ns"]
+        assert report["model_yield"] > report["measured_yield"]
+        assert report["optimism"] > 0.3

@@ -1,0 +1,137 @@
+"""Sense-amplifier activation simulations and margin analyses."""
+
+import pytest
+
+from repro.analog import (
+    SenseAmpBench,
+    SenseAmpConfig,
+    charge_sharing_onset,
+    offset_tolerance,
+    simulate_activation,
+)
+from repro.circuits.topologies import SaTopology
+from repro.errors import AnalogError
+
+
+class TestConfig:
+    def test_vpre_half_vdd(self):
+        assert SenseAmpConfig(vdd=1.2).vpre == pytest.approx(0.6)
+
+    def test_transfer_ratio(self):
+        cfg = SenseAmpConfig(cell_cap_f=20e-15, bitline_cap_f=80e-15)
+        assert cfg.transfer_ratio == pytest.approx(0.2)
+
+    def test_expected_signal_signs(self):
+        cfg = SenseAmpConfig()
+        assert cfg.expected_signal(1) > 0
+        assert cfg.expected_signal(0) < 0
+
+
+class TestClassicActivation:
+    def test_senses_one(self, classic_activation):
+        assert classic_activation.data_sensed == 1
+        assert classic_activation.correct
+
+    def test_full_rail_separation(self, classic_activation):
+        assert classic_activation.bl_final > 0.9 * classic_activation.config.vdd
+        assert classic_activation.blb_final < 0.1 * classic_activation.config.vdd
+
+    def test_cell_restored(self, classic_activation):
+        """Latching also restores the capacitor charge (§II-A)."""
+        assert classic_activation.restored
+        assert classic_activation.cell_final > 0.9 * classic_activation.config.vdd
+
+    def test_senses_zero(self):
+        out = simulate_activation(SaTopology.CLASSIC, data=0)
+        assert out.correct
+        assert out.bl_final < out.blb_final
+
+    def test_bad_data_rejected(self):
+        with pytest.raises(AnalogError):
+            simulate_activation(SaTopology.CLASSIC, data=2)
+
+
+class TestOcsaActivation:
+    def test_senses_one(self, ocsa_activation):
+        assert ocsa_activation.correct
+        assert ocsa_activation.restored
+
+    def test_senses_zero(self):
+        out = simulate_activation(SaTopology.OCSA, data=0)
+        assert out.correct
+
+    def test_internal_nodes_recorded(self, ocsa_activation):
+        assert "SABL" in ocsa_activation.result.voltages
+        assert "SABLB" in ocsa_activation.result.voltages
+
+    def test_presense_separates_internal_nodes_correctly(self, ocsa_activation):
+        """§V-A: pre-sensing latches the capacitor value onto the internal
+        nodes (SABL > SABLB for data=1) without the bitline load."""
+        timeline = ocsa_activation.timeline
+        ps_end = timeline.event("pre_sensing").end_ns - 0.2
+        res = ocsa_activation.result
+        assert res.at("SABL", ps_end) > res.at("SABLB", ps_end)
+
+    def test_presense_does_not_recharge_cell(self, ocsa_activation):
+        """§V-A: pre-sensing happens "without recharging the capacitor" —
+        the cell only restores after ISO turns on."""
+        timeline = ocsa_activation.timeline
+        res = ocsa_activation.result
+        ps_end = timeline.event("pre_sensing").end_ns - 0.2
+        vdd = ocsa_activation.config.vdd
+        assert res.at("CELL", ps_end) < 0.8 * vdd
+        assert res.at("CELL", timeline.event("latch_restore").end_ns - 0.2) > 0.9 * vdd
+
+
+class TestMismatchBehaviour:
+    def test_small_mismatch_tolerated(self):
+        out = simulate_activation(SaTopology.CLASSIC, data=1, vt_mismatch=0.05)
+        assert out.correct
+
+    def test_large_mismatch_flips_classic(self):
+        out = simulate_activation(SaTopology.CLASSIC, data=1, vt_mismatch=0.35)
+        assert not out.correct
+
+
+class TestOffsetTolerance:
+    def test_ocsa_tolerates_more_offset(self):
+        """The reason vendors deploy OCSAs (§V-A)."""
+        classic = offset_tolerance(SaTopology.CLASSIC, data=1, resolution=0.02)
+        ocsa = offset_tolerance(SaTopology.OCSA, data=1, resolution=0.02)
+        assert ocsa > classic
+
+    def test_tolerance_positive(self):
+        assert offset_tolerance(SaTopology.CLASSIC, data=1, resolution=0.05) > 0.05
+
+
+class TestChargeSharing:
+    def test_onset_delayed_on_ocsa(self):
+        """§VI-D: out-of-spec experiments see delayed charge sharing."""
+        classic = charge_sharing_onset(SaTopology.CLASSIC)
+        ocsa = charge_sharing_onset(SaTopology.OCSA)
+        assert ocsa > classic + 1.0
+
+    def test_onset_matches_wordline(self):
+        t = charge_sharing_onset(SaTopology.CLASSIC)
+        from repro.analog.events import classic_activation_timeline
+
+        wl_rise = classic_activation_timeline().event("charge_sharing").start_ns
+        assert t == pytest.approx(wl_rise, abs=1.0)
+
+
+class TestWorstCaseTolerance:
+    def test_ocsa_beats_classic_worst_case(self):
+        """The honest margin figure: minimised over the stored value, the
+        OCSA still tolerates ~30% more latch mismatch."""
+        from repro.analog import worst_case_offset_tolerance
+
+        classic = worst_case_offset_tolerance(SaTopology.CLASSIC, resolution=0.03)
+        ocsa = worst_case_offset_tolerance(SaTopology.OCSA, resolution=0.03)
+        assert ocsa > classic * 1.1
+
+    def test_worst_case_not_above_single_data(self):
+        from repro.analog import worst_case_offset_tolerance
+
+        worst = worst_case_offset_tolerance(SaTopology.CLASSIC, resolution=0.05, hi=0.5)
+        single = offset_tolerance(SaTopology.CLASSIC, data=1, resolution=0.05, hi=0.5)
+        assert worst <= single + 1e-9

@@ -1,0 +1,179 @@
+"""MNA transient solver: linear sanity, RC dynamics, MOS circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog.solver import TransientSolver, Waveform, dc_operating_point
+from repro.circuits.netlist import Circuit
+from repro.errors import AnalogError
+
+
+class TestWaveform:
+    def test_constant(self):
+        w = Waveform.constant(1.1)
+        assert w.value(0.0) == 1.1
+        assert w.value(100.0) == 1.1
+
+    def test_step_interpolates(self):
+        w = Waveform.step(5.0, 0.0, 1.0, rise_ns=1.0)
+        assert w.value(4.0) == 0.0
+        assert w.value(5.5) == pytest.approx(0.5)
+        assert w.value(7.0) == 1.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(AnalogError):
+            Waveform(((1.0, 0.0), (0.5, 1.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalogError):
+            Waveform(())
+
+    def test_shifted(self):
+        w = Waveform.step(5.0, 0.0, 1.0).shifted(2.0)
+        assert w.value(6.9) == 0.0
+        assert w.value(7.3) > 0.0
+
+    @given(st.floats(min_value=0, max_value=20, allow_nan=False))
+    def test_interpolation_bounded(self, t):
+        w = Waveform(((2.0, 0.2), (4.0, 0.9), (9.0, 0.1)))
+        assert 0.1 <= w.value(t) <= 0.9 + 1e-12
+
+
+class TestLinear:
+    def test_resistor_divider(self):
+        c = Circuit("div")
+        c.add_vsource("v", "IN", "0", 1.0)
+        c.add_resistor("r1", "IN", "MID", 1000.0)
+        c.add_resistor("r2", "MID", "0", 1000.0)
+        op = dc_operating_point(c)
+        assert op["MID"] == pytest.approx(0.5, abs=1e-3)
+        assert op["IN"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_rc_charge_time_constant(self):
+        c = Circuit("rc")
+        c.add_vsource("v", "IN", "0", 1.0)
+        c.add_resistor("r", "IN", "OUT", 1e3)  # 1 kΩ
+        c.add_capacitor("cl", "OUT", "0", 1e-12)  # 1 pF → τ = 1 ns
+        solver = TransientSolver(c)
+        res = solver.run(t_stop_ns=5.0, dt_ns=0.01)
+        # After one τ the capacitor is at 1 - 1/e.
+        assert res.at("OUT", 1.0) == pytest.approx(1 - np.exp(-1), abs=0.02)
+        assert res.final("OUT") == pytest.approx(1.0, abs=0.01)
+
+    def test_driven_source_follows_waveform(self):
+        c = Circuit("drv")
+        c.add_vsource("v", "A", "0", 0.0)
+        c.add_resistor("r", "A", "0", 1e6)
+        solver = TransientSolver(c, stimuli={"v": Waveform.step(2.0, 0.2, 0.8, rise_ns=0.2)})
+        res = solver.run(t_stop_ns=4.0, dt_ns=0.05)
+        assert res.at("A", 1.0) == pytest.approx(0.2, abs=1e-6)
+        assert res.at("A", 3.0) == pytest.approx(0.8, abs=1e-6)
+
+    def test_unknown_stimulus_rejected(self):
+        c = Circuit("c")
+        c.add_vsource("v", "A", "0", 1.0)
+        with pytest.raises(AnalogError):
+            TransientSolver(c, stimuli={"nope": Waveform.constant(1.0)})
+
+    def test_bad_time_rejected(self):
+        c = Circuit("c")
+        c.add_vsource("v", "A", "0", 1.0)
+        with pytest.raises(AnalogError):
+            TransientSolver(c).run(t_stop_ns=-1.0)
+
+    def test_record_unknown_net_rejected(self):
+        c = Circuit("c")
+        c.add_vsource("v", "A", "0", 1.0)
+        with pytest.raises(AnalogError):
+            TransientSolver(c).run(t_stop_ns=1.0, record=["Z"])
+
+
+class TestMos:
+    def test_nmos_inverter(self):
+        c = Circuit("inv")
+        c.add_vsource("vdd", "VDD", "0", 1.1)
+        c.add_vsource("vin", "IN", "0", 0.0)
+        c.add_resistor("rl", "VDD", "OUT", 20e3)
+        c.add_mos("m", "nmos", d="OUT", g="IN", s="0", w=200, l=40)
+        solver_lo = TransientSolver(c, stimuli={"vin": Waveform.constant(0.0)})
+        out_hi = solver_lo.run(t_stop_ns=50, dt_ns=0.5).final("OUT")
+        solver_hi = TransientSolver(c, stimuli={"vin": Waveform.constant(1.1)})
+        out_lo = solver_hi.run(t_stop_ns=50, dt_ns=0.5).final("OUT")
+        assert out_hi > 1.0
+        assert out_lo < 0.3
+
+    def test_source_follower_level_shift(self):
+        c = Circuit("sf")
+        c.add_vsource("vdd", "VDD", "0", 2.0)
+        c.add_vsource("vin", "IN", "0", 1.5)
+        c.add_mos("m", "nmos", d="VDD", g="IN", s="OUT", w=400, l=40)
+        c.add_resistor("rl", "OUT", "0", 50e3)
+        out = dc_operating_point(c)["OUT"]
+        # The output settles roughly Vt below the gate.
+        assert 0.7 < out < 1.2
+
+    def test_capacitive_charge_conservation(self):
+        """A pass transistor sharing charge between two capacitors."""
+        c = Circuit("share")
+        c.add_capacitor("c1", "A", "0", 10e-15)
+        c.add_capacitor("c2", "B", "0", 10e-15)
+        c.add_vsource("vg", "G", "0", 0.0)
+        c.add_mos("m", "nmos", d="A", g="G", s="B", w=100, l=40)
+        solver = TransientSolver(c, stimuli={"vg": Waveform.step(1.0, 0.0, 2.5)})
+        res = solver.run(t_stop_ns=30.0, dt_ns=0.05, ic={"A": 1.0, "B": 0.0})
+        # Equal caps end at the average.
+        assert res.final("A") == pytest.approx(0.5, abs=0.03)
+        assert res.final("B") == pytest.approx(0.5, abs=0.03)
+
+
+class TestResult:
+    def test_crossing_time(self):
+        c = Circuit("rc")
+        c.add_vsource("v", "IN", "0", 1.0)
+        c.add_resistor("r", "IN", "OUT", 1e3)
+        c.add_capacitor("cl", "OUT", "0", 1e-12)
+        res = TransientSolver(c).run(t_stop_ns=5.0, dt_ns=0.01)
+        t50 = res.crossing_time("OUT", 0.5)
+        assert t50 == pytest.approx(0.693, abs=0.03)  # τ·ln2
+
+    def test_crossing_none_when_never(self):
+        c = Circuit("flat")
+        c.add_vsource("v", "A", "0", 0.2)
+        c.add_resistor("r", "A", "0", 1e3)
+        res = TransientSolver(c).run(t_stop_ns=1.0, dt_ns=0.1)
+        assert res.crossing_time("A", 0.9) is None
+
+    def test_separation(self):
+        c = Circuit("two")
+        c.add_vsource("v1", "A", "0", 1.0)
+        c.add_vsource("v2", "B", "0", 0.25)
+        c.add_resistor("r1", "A", "0", 1e3)
+        c.add_resistor("r2", "B", "0", 1e3)
+        res = TransientSolver(c).run(t_stop_ns=1.0, dt_ns=0.1)
+        assert res.separation("A", "B")[-1] == pytest.approx(0.75, abs=1e-6)
+
+
+class TestConvergence:
+    def test_convergence_error_when_iterations_exhausted(self):
+        from repro.errors import ConvergenceError
+
+        c = Circuit("hard")
+        c.add_vsource("vdd", "VDD", "0", 1.1)
+        c.add_mos("m1", "nmos", d="VDD", g="X", s="Y", w=500, l=40)
+        c.add_mos("m2", "nmos", d="Y", g="VDD", s="0", w=500, l=40)
+        c.add_capacitor("cx", "X", "0", 1e-15)
+        c.add_capacitor("cy", "Y", "0", 1e-15)
+        solver = TransientSolver(c, max_newton=1, tol=1e-12)
+        with pytest.raises(ConvergenceError) as err:
+            solver.run(t_stop_ns=1.0, dt_ns=0.5, ic={"X": 1.0})
+        assert err.value.iterations == 1
+
+    def test_default_settings_converge_on_the_same_circuit(self):
+        c = Circuit("hard")
+        c.add_vsource("vdd", "VDD", "0", 1.1)
+        c.add_mos("m1", "nmos", d="VDD", g="X", s="Y", w=500, l=40)
+        c.add_mos("m2", "nmos", d="Y", g="VDD", s="0", w=500, l=40)
+        c.add_capacitor("cx", "X", "0", 1e-15)
+        c.add_capacitor("cy", "Y", "0", 1e-15)
+        TransientSolver(c).run(t_stop_ns=1.0, dt_ns=0.5, ic={"X": 1.0})

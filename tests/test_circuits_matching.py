@@ -1,0 +1,94 @@
+"""Topology identification (§V-A's pin-pointing step)."""
+
+import pytest
+
+from repro.circuits.matching import (
+    identify_topology,
+    is_isomorphic_to,
+    topology_signature,
+)
+from repro.circuits.netlist import Circuit, Device, DeviceType
+from repro.circuits.topologies import SaTopology, build_classic_sa, build_ocsa
+from repro.errors import TopologyError
+
+
+class TestSignature:
+    def test_classic_signature(self):
+        sig = topology_signature(build_classic_sa())
+        assert sig.mos_count == 9
+        assert sig.has_bitline_bridge  # the equalizer
+        assert sig.internal_node_count == 0
+        assert sig.latch_gates_on_bitlines
+
+    def test_ocsa_signature(self):
+        sig = topology_signature(build_ocsa())
+        assert sig.mos_count == 12
+        assert not sig.has_bitline_bridge
+        assert sig.internal_node_count == 2  # SABL, SABLB
+        assert sig.latch_gates_on_bitlines
+
+    def test_empty_circuit_rejected(self):
+        c = Circuit("empty")
+        c.add_capacitor("c", "BL", "0", 1e-15)
+        with pytest.raises(TopologyError):
+            topology_signature(c)
+
+    def test_describe_is_readable(self):
+        text = topology_signature(build_ocsa()).describe()
+        assert "12 MOS" in text
+
+
+class TestIdentify:
+    def test_classic_identified_exactly(self):
+        result = identify_topology(build_classic_sa())
+        assert result.topology is SaTopology.CLASSIC
+        assert result.exact
+
+    def test_ocsa_identified_exactly(self):
+        result = identify_topology(build_ocsa())
+        assert result.topology is SaTopology.OCSA
+        assert result.exact
+
+    def test_terminal_swap_does_not_matter(self):
+        """Extraction has no d/s orientation; matching must not care."""
+        c = build_classic_sa()
+        swapped = Circuit("swapped")
+        for dev in c:
+            nets = dict(dev.nets)
+            if dev.dtype.is_mos:
+                nets["d"], nets["s"] = nets["s"], nets["d"]
+            swapped.add(Device(dev.name, dev.dtype, nets, dict(dev.params)))
+        result = identify_topology(swapped)
+        assert result.topology is SaTopology.CLASSIC
+        assert result.exact
+
+    def test_unknown_topology_rejected(self):
+        """A bare latch with no precharge matches neither reference —
+        the situation before the paper widened its search to the
+        offset-cancellation corpus."""
+        c = Circuit("bare")
+        c.add_mos("n1", "nmos", d="X1", g="BLB", s="LAB", w=100, l=40)
+        c.add_mos("n2", "nmos", d="X2", g="BL", s="LAB", w=100, l=40)
+        c.add_mos("e", "nmos", d="BL", g="PEQ", s="BLB", w=50, l=40)
+        with pytest.raises(TopologyError):
+            identify_topology(c)
+
+    def test_extra_device_breaks_exactness_not_identification(self):
+        c = build_classic_sa()
+        c.add_mos("spy", "nmos", d="BL", g="EXTRA", s="VPRE", w=50, l=50)
+        result = identify_topology(c)
+        assert result.topology is SaTopology.CLASSIC
+        assert not result.exact
+        assert any("isomorphism failed" in n for n in result.notes)
+
+    def test_loose_matching_ignores_channel_types(self):
+        """NMOS/PMOS are visually indistinguishable pre-heuristic."""
+        c = build_classic_sa()
+        all_nmos = Circuit("all_nmos")
+        for dev in c:
+            all_nmos.add(Device(dev.name, DeviceType.NMOS, dict(dev.nets), dict(dev.params)))
+        assert not is_isomorphic_to(all_nmos, build_classic_sa(), loose=False)
+        assert is_isomorphic_to(all_nmos, build_classic_sa(), loose=True)
+
+    def test_cross_topology_not_isomorphic(self):
+        assert not is_isomorphic_to(build_classic_sa(), build_ocsa(), loose=True)

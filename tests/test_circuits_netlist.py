@@ -1,0 +1,116 @@
+"""Netlist representation: devices, nets, graph view."""
+
+import pytest
+
+from repro.circuits.netlist import Circuit, Device, DeviceType, renamed_nets
+from repro.errors import NetlistError
+
+
+def _latch() -> Circuit:
+    c = Circuit("latch")
+    c.add_mos("n1", "nmos", d="Q", g="QB", s="GND", w=100, l=40)
+    c.add_mos("n2", "nmos", d="QB", g="Q", s="GND", w=100, l=40)
+    return c
+
+
+class TestDevice:
+    def test_missing_pin_rejected(self):
+        with pytest.raises(NetlistError):
+            Device("d", DeviceType.NMOS, {"d": "a", "g": "b"})
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(NetlistError):
+            Device("d", DeviceType.RESISTOR, {"p": "a", "n": "b", "x": "c"})
+
+    def test_terminal_order_canonical(self):
+        dev = Device("d", DeviceType.NMOS, {"s": "3", "d": "1", "g": "2"})
+        assert [pin for pin, _n in dev.terminal_nets()] == ["d", "g", "s"]
+
+    def test_is_mos(self):
+        assert DeviceType.NMOS.is_mos and DeviceType.PMOS.is_mos
+        assert not DeviceType.CAPACITOR.is_mos
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        c = _latch()
+        with pytest.raises(NetlistError):
+            c.add_mos("n1", "nmos", d="x", g="y", s="z", w=1, l=1)
+
+    def test_convenience_constructors(self):
+        c = Circuit("c")
+        c.add_capacitor("cs", "A", "0", 10e-15)
+        c.add_resistor("r", "A", "B", 100.0)
+        c.add_vsource("v", "B", "0", 1.1)
+        assert c.count(DeviceType.CAPACITOR) == 1
+        assert c.count(DeviceType.RESISTOR) == 1
+        assert c.count(DeviceType.VSOURCE) == 1
+
+    def test_nets(self):
+        assert _latch().nets() == {"Q", "QB", "GND"}
+
+    def test_devices_on(self):
+        c = _latch()
+        on_q = c.devices_on("Q")
+        pins = {(dev.name, pin) for dev, pin in on_q}
+        assert pins == {("n1", "d"), ("n2", "g")}
+
+    def test_device_lookup_error(self):
+        with pytest.raises(NetlistError):
+            _latch().device("missing")
+
+    def test_mos_count_and_len(self):
+        c = _latch()
+        assert c.mos_count() == 2
+        assert len(c) == 2
+
+
+class TestAliases:
+    def test_alias_resolution(self):
+        c = _latch()
+        c.alias_net("PEQ_A", "PEQ")
+        c.alias_net("PEQ", "PEQ_MAIN")
+        assert c.resolve("PEQ_A") == "PEQ_MAIN"
+
+    def test_alias_cycle_detected(self):
+        c = Circuit("c")
+        c.alias_net("a", "b")
+        c.alias_net("b", "a")
+        with pytest.raises(NetlistError):
+            c.resolve("a")
+
+    def test_aliased_nets_merge_in_queries(self):
+        c = _latch()
+        c.alias_net("Q", "QB")
+        assert len(c.devices_on("QB")) == 4
+
+
+class TestGraph:
+    def test_bipartite_structure(self):
+        g = _latch().to_graph()
+        net_nodes = [n for n, d in g.nodes(data=True) if d["kind"] == "net"]
+        dev_nodes = [n for n, d in g.nodes(data=True) if d["kind"] == "dev"]
+        assert len(net_nodes) == 3
+        assert len(dev_nodes) == 2
+        # Every edge joins a device to a net.
+        for a, b in g.edges():
+            kinds = {g.nodes[a]["kind"], g.nodes[b]["kind"]}
+            assert kinds == {"net", "dev"}
+
+    def test_edge_count_is_total_pins(self):
+        g = _latch().to_graph()
+        assert g.number_of_edges() == 6  # 2 devices x 3 pins
+
+
+class TestMergeRename:
+    def test_merged_shares_nets(self):
+        a = _latch()
+        b = _latch()
+        combined = a.merged(b, prefix="x_")
+        assert len(combined) == 4
+        assert combined.nets() == {"Q", "QB", "GND"}
+
+    def test_renamed_nets(self):
+        r = renamed_nets(_latch(), {"Q": "BL", "QB": "BLB"})
+        assert r.nets() == {"BL", "BLB", "GND"}
+        assert r.device("n1").nets["d"] == "BL"

@@ -1,0 +1,120 @@
+"""Reference SA topologies (Fig 2b, Fig 9a)."""
+
+import pytest
+
+from repro.circuits.netlist import DeviceType
+from repro.circuits.topologies import (
+    CONTROL_NETS,
+    DEVICE_COUNT,
+    SaSizes,
+    SaTopology,
+    build_classic_sa,
+    build_ocsa,
+    reference_corpus,
+)
+
+
+class TestClassic:
+    def test_device_count(self):
+        c = build_classic_sa()
+        assert c.mos_count() == DEVICE_COUNT[SaTopology.CLASSIC] == 9
+
+    def test_latch_cross_coupling(self):
+        c = build_classic_sa()
+        n1, n2 = c.device("n1"), c.device("n2")
+        assert n1.nets["g"] == "BLB" and n1.nets["d"] == "BL"
+        assert n2.nets["g"] == "BL" and n2.nets["d"] == "BLB"
+
+    def test_latch_drains_on_bitlines(self):
+        """Classic: no internal nodes — drains are the bitlines."""
+        c = build_classic_sa()
+        for name in ("n1", "p1"):
+            assert c.device(name).nets["d"] == "BL"
+
+    def test_peq_drives_three_devices(self):
+        c = build_classic_sa()
+        peq_devices = {dev.name for dev, pin in c.devices_on("PEQ") if pin == "g"}
+        assert peq_devices == {"pre1", "pre2", "eq"}
+
+    def test_equalizer_bridges_bitlines(self):
+        c = build_classic_sa()
+        eq = c.device("eq")
+        assert {eq.nets["d"], eq.nets["s"]} == {"BL", "BLB"}
+
+    def test_pmos_channels(self):
+        c = build_classic_sa()
+        assert c.device("p1").dtype is DeviceType.PMOS
+        assert c.device("pre1").dtype is DeviceType.NMOS
+
+    def test_psa_narrower_than_nsa(self):
+        """§V-A step viii relies on pSA < nSA widths."""
+        sizes = SaSizes()
+        assert sizes.psa_w < sizes.nsa_w
+
+
+class TestOcsa:
+    def test_device_count(self):
+        c = build_ocsa()
+        assert c.mos_count() == DEVICE_COUNT[SaTopology.OCSA] == 12
+
+    def test_adds_four_transistors_and_two_controls(self):
+        """§V-A: OCSA adds 4 transistors and 2 control signals."""
+        classic, ocsa = build_classic_sa(), build_ocsa()
+        # Classic has an equalizer the OCSA lacks, so +4 devices means
+        # 12 = 9 - 1 + 4.
+        assert ocsa.mos_count() - (classic.mos_count() - 1) == 4
+        extra_controls = set(CONTROL_NETS[SaTopology.OCSA]) - set(CONTROL_NETS[SaTopology.CLASSIC])
+        assert extra_controls == {"ISO", "OC", "PRE"}
+
+    def test_latch_gates_on_bitlines_drains_isolated(self):
+        """§V-A: decoupled from latch drains but not from the gates."""
+        c = build_ocsa()
+        n1 = c.device("n1")
+        assert n1.nets["g"] == "BLB"
+        assert n1.nets["d"] == "SABL"
+
+    def test_iso_connects_own_node(self):
+        c = build_ocsa()
+        assert c.device("iso1").nets["s"] == "BL"
+        assert c.device("iso1").nets["d"] == "SABL"
+
+    def test_oc_crosses(self):
+        c = build_ocsa()
+        assert c.device("oc1").nets["s"] == "BL"
+        assert c.device("oc1").nets["d"] == "SABLB"
+
+    def test_no_equalizer(self):
+        c = build_ocsa()
+        names = set(c.devices)
+        assert "eq" not in names
+
+    def test_equalization_path_via_iso_and_oc(self):
+        """ISO∧OC on must connect BL to BLB (the emergent equalizer)."""
+        import networkx as nx
+
+        c = build_ocsa()
+        g = nx.Graph()
+        for dev in c:
+            if dev.dtype.is_mos and dev.nets["g"] in ("ISO", "OC"):
+                g.add_edge(dev.nets["d"], dev.nets["s"])
+        assert nx.has_path(g, "BL", "BLB")
+
+    def test_precharge_standalone(self):
+        c = build_ocsa()
+        pre_gates = {dev.nets["g"] for dev in c if dev.role == "precharge"}
+        assert pre_gates == {"PRE"}
+
+
+class TestCorpus:
+    def test_reference_corpus_complete(self):
+        corpus = reference_corpus()
+        assert set(corpus) == {SaTopology.CLASSIC, SaTopology.OCSA}
+
+    def test_extra_events(self):
+        assert SaTopology.CLASSIC.extra_events == ()
+        assert SaTopology.OCSA.extra_events == ("offset_cancellation", "pre_sensing")
+
+    def test_custom_sizes_respected(self):
+        sizes = SaSizes(nsa_w=123.0)
+        c = build_classic_sa(sizes)
+        assert c.device("n1").params["w"] == 123.0

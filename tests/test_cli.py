@@ -1,0 +1,53 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Studied chips" in out
+        assert "Research audit" in out
+        assert "CoolDRAM" in out
+
+    def test_default_is_summary(self, capsys):
+        assert main([]) == 0
+        assert "Studied chips" in capsys.readouterr().out
+
+    def test_chips(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        assert "B5" in out and "ocsa" in out
+
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "I1,I2,I3,I5" in out  # CoolDRAM's row
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "CROW" in out and "REM" in out
+
+    def test_spice(self, capsys):
+        assert main(["spice", "b5"]) == 0
+        out = capsys.readouterr().out
+        assert ".SUBCKT SA_B5" in out
+
+    def test_spice_missing_arg(self, capsys):
+        assert main(["spice"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["bogus"]) == 2
+
+    def test_bundle(self, capsys, tmp_path):
+        assert main(["bundle", str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "bundle written: 6 chips" in out
+        assert (tmp_path / "b" / "MANIFEST.json").exists()
+
+    def test_bundle_missing_arg(self):
+        assert main(["bundle"]) == 2

@@ -1,0 +1,72 @@
+"""The open-source data bundle writer."""
+
+import json
+
+import pytest
+
+from repro.core.bundle import write_bundle
+from repro.core.chips import CHIPS
+from repro.layout import read_gds
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    target = tmp_path_factory.mktemp("bundle")
+    manifest = write_bundle(target, n_pairs=2)
+    return target, manifest
+
+
+class TestBundle:
+    def test_manifest_covers_all_chips(self, bundle):
+        _target, manifest = bundle
+        assert set(manifest["chips"]) == set(CHIPS)
+
+    def test_files_exist(self, bundle):
+        target, manifest = bundle
+        for chip_files in manifest["chips"].values():
+            for rel in chip_files["files"]:
+                assert (target / rel).exists(), rel
+        for rel in manifest["tables"]:
+            assert (target / rel).exists(), rel
+        assert (target / "MANIFEST.json").exists()
+
+    def test_chip_json_round_trips(self, bundle):
+        target, _manifest = bundle
+        record = json.loads((target / "chips" / "B5" / "B5.json").read_text())
+        assert record["topology"] == "ocsa"
+        assert record["transistors"]["isolation"]["w_nm"] == pytest.approx(
+            CHIPS["B5"].transistors[next(
+                k for k in CHIPS["B5"].transistors if k.value == "isolation"
+            )].w
+        )
+
+    def test_gds_files_readable(self, bundle):
+        target, manifest = bundle
+        lib = read_gds(target / "chips" / "C4" / "C4.gds")
+        assert lib.count() == manifest["chips"]["C4"]["gds_shapes"]
+
+    def test_spice_cards_match_topology(self, bundle):
+        target, _manifest = bundle
+        classic = (target / "chips" / "C4" / "C4.sp").read_text()
+        ocsa = (target / "chips" / "A4" / "A4.sp").read_text()
+        assert "PEQ" in classic and "ISO" not in classic
+        assert "ISO" in ocsa and "OC" in ocsa
+
+    def test_measurement_samples_present(self, bundle):
+        target, _manifest = bundle
+        record = json.loads(
+            (target / "chips" / "A5" / "A5_measurements.json").read_text()
+        )
+        assert record["count"] > 100
+        assert "nSA" in record["samples"]
+
+    def test_tables_mention_headlines(self, bundle):
+        target, _manifest = bundle
+        table2 = (target / "tables" / "table2_audit.txt").read_text()
+        assert "CoolDRAM" in table2
+        fig12 = (target / "tables" / "fig12_models.txt").read_text()
+        assert "CROW" in fig12
+
+    def test_provenance_disclosed(self, bundle):
+        _target, manifest = bundle
+        assert "synthetic" in manifest["provenance"]

@@ -1,0 +1,108 @@
+"""The six-chip dataset (Table I + §V facts)."""
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.core.chips import CHIPS, chip, chips_by_generation, chips_by_vendor, total_measurement_count
+from repro.errors import UnknownChipError
+from repro.layout.elements import TransistorKind
+
+
+class TestTableI:
+    def test_six_chips(self):
+        assert len(CHIPS) == 6
+        assert set(CHIPS) == {"A4", "B4", "C4", "A5", "B5", "C5"}
+
+    @pytest.mark.parametrize(
+        "chip_id,vendor,gen,gbit,year,area,detector,visible,res",
+        [
+            ("A4", "A", "DDR4", 8, 2017, 34.0, "SE", True, 10.4),
+            ("B4", "B", "DDR4", 4, 2022, 48.0, "BSE", False, 3.4),
+            ("C4", "C", "DDR4", 8, 2018, 42.0, "BSE", True, 5.0),
+            ("A5", "A", "DDR5", 16, 2021, 75.0, "SE", False, 5.2),
+            ("B5", "B", "DDR5", 16, 2022, 68.0, "BSE", False, 4.2),
+            ("C5", "C", "DDR5", 16, 2022, 66.0, "BSE", True, 5.0),
+        ],
+    )
+    def test_rows_match_the_paper(self, chip_id, vendor, gen, gbit, year, area, detector, visible, res):
+        c = chip(chip_id)
+        assert c.vendor == vendor
+        assert c.generation == gen
+        assert c.storage_gbit == gbit
+        assert c.year == year
+        assert c.die_area_mm2 == area
+        assert c.detector == detector
+        assert c.mats_visible == visible
+        assert c.pixel_resolution_nm == res
+
+    def test_unknown_chip(self):
+        with pytest.raises(UnknownChipError):
+            chip("D4")
+
+
+class TestTopologies:
+    def test_half_the_chips_deploy_ocsa(self):
+        """The paper's central finding (§V-A)."""
+        ocsa = [c.chip_id for c in CHIPS.values() if c.topology is SaTopology.OCSA]
+        assert sorted(ocsa) == ["A4", "A5", "B5"]
+
+    def test_classic_chips_have_equalizers(self):
+        for c in CHIPS.values():
+            if c.topology is SaTopology.CLASSIC:
+                assert c.has(TransistorKind.EQUALIZER)
+                assert not c.has(TransistorKind.ISOLATION)
+            else:
+                assert not c.has(TransistorKind.EQUALIZER)
+                assert c.has(TransistorKind.ISOLATION)
+                assert c.has(TransistorKind.OFFSET_CANCEL)
+
+    def test_missing_class_raises(self):
+        with pytest.raises(UnknownChipError):
+            chip("A4").transistor(TransistorKind.EQUALIZER)
+
+
+class TestGeometry:
+    def test_cells_per_mat_in_paper_range(self):
+        """MATs contain 'between half to a million' capacitors (§II-A)."""
+        for c in CHIPS.values():
+            assert 400_000 <= c.geometry.cells_per_mat <= 1_050_000
+
+    def test_mat_fraction_realistic(self):
+        for c in CHIPS.values():
+            assert 0.3 < c.mat_area_fraction < 0.75, c.chip_id
+
+    def test_ddr4_mat_fraction_average(self):
+        """I1 papers pay ~57 % chip overhead for the MAT extension."""
+        ddr4 = chips_by_generation("DDR4")
+        avg = sum(c.mat_area_fraction for c in ddr4) / len(ddr4)
+        assert avg == pytest.approx(0.57, abs=0.02)
+
+    def test_sa_fraction_much_smaller_than_mat(self):
+        for c in CHIPS.values():
+            assert c.sa_area_fraction < 0.15
+            assert c.sa_area_fraction < c.mat_area_fraction
+
+    def test_sa_height_few_microns(self):
+        for c in CHIPS.values():
+            assert 2.0 < c.sa_height_um() < 6.0
+
+    def test_ocsa_region_taller_than_classic_for_same_vendor(self):
+        """ISO+OC cost more SA height than the single equalizer."""
+        a5, c5 = chip("A5"), chip("C5")
+        assert a5.sa_height_nm > c5.sa_height_nm
+
+    def test_mats_count_scales_with_density(self):
+        assert chip("A5").mats > chip("A4").mats / 2
+
+
+class TestLookups:
+    def test_by_generation(self):
+        assert [c.chip_id for c in chips_by_generation("DDR4")] == ["A4", "B4", "C4"]
+        assert [c.chip_id for c in chips_by_generation("DDR5")] == ["A5", "B5", "C5"]
+
+    def test_by_vendor(self):
+        assert {c.chip_id for c in chips_by_vendor("B")} == {"B4", "B5"}
+
+    def test_measurement_total_near_835(self):
+        """The paper reports 835 distinct measurements."""
+        assert total_measurement_count() == pytest.approx(835, rel=0.05)

@@ -1,0 +1,108 @@
+"""HiFi per-chip models (the paper's enabling deliverable)."""
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.core.chips import CHIPS, chip
+from repro.core.hifi import (
+    analog_model_for,
+    netlist_for,
+    region_spec_for,
+    sa_sizes_for,
+    spice_card,
+)
+from repro.core.model_accuracy import element_inaccuracy
+from repro.layout.elements import TransistorKind
+
+
+class TestSizes:
+    def test_sizes_match_dataset(self):
+        sizes = sa_sizes_for("C4")
+        rec = chip("C4").transistor(TransistorKind.NSA)
+        assert sizes.nsa_w == rec.w and sizes.nsa_l == rec.l
+
+    def test_ocsa_chip_has_iso_oc(self):
+        sizes = sa_sizes_for("B5")
+        b5 = chip("B5")
+        assert sizes.isolation_w == b5.transistor(TransistorKind.ISOLATION).w
+        assert sizes.offset_cancel_l == b5.transistor(TransistorKind.OFFSET_CANCEL).l
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("chip_id", list(CHIPS))
+    def test_topology_matches_chip(self, chip_id):
+        from repro.circuits.matching import identify_topology
+
+        circuit = netlist_for(chip_id)
+        match = identify_topology(circuit)
+        assert match.topology is CHIPS[chip_id].topology
+        assert match.exact
+
+    def test_dimensions_flow_into_devices(self):
+        circuit = netlist_for("A5")
+        n1 = circuit.device("n1")
+        assert n1.params["w"] == chip("A5").transistor(TransistorKind.NSA).w
+
+    def test_netlists_simulate(self):
+        """A HiFi netlist drops straight into the analog bench."""
+        from repro.analog import SenseAmpBench, SenseAmpConfig
+
+        for chip_id in ("C4", "B5"):
+            c = CHIPS[chip_id]
+            bench = SenseAmpBench(
+                SenseAmpConfig(topology=c.topology, sizes=sa_sizes_for(chip_id))
+            )
+            out = bench.run(data=1)
+            assert out.correct, chip_id
+
+
+class TestAnalogModel:
+    def test_self_inaccuracy_zero(self):
+        """Unlike CROW/REM, the HiFi model of a chip matches it exactly."""
+        model = analog_model_for("C4")
+        for kind in chip("C4").transistors:
+            cmp = element_inaccuracy(model, chip("C4"), kind)
+            assert cmp.wl_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_ocsa_flag(self):
+        assert analog_model_for("B5").includes_ocsa
+        assert not analog_model_for("C5").includes_ocsa
+
+    def test_a_ddr5_model_finally_exists(self):
+        """§VI-A: 'no DDR5 model exists' — now one does per DDR5 chip."""
+        model = analog_model_for("A5")
+        assert model.technology == "DDR5"
+        assert model.has(TransistorKind.NSA)
+
+
+class TestRegionSpec:
+    def test_spec_round_trips_through_re(self):
+        from repro.layout import generate_sa_region
+        from repro.reveng import reverse_engineer_cell
+
+        spec = region_spec_for("B5", n_pairs=2)
+        cell = generate_sa_region(spec)
+        result = reverse_engineer_cell(cell)
+        assert result.topology is SaTopology.OCSA
+        assert result.all_exact
+
+    def test_feature_size_carried(self):
+        assert region_spec_for("B4").feature_nm == chip("B4").geometry.feature_nm
+
+
+class TestSpiceCard:
+    def test_classic_card(self):
+        card = spice_card("C4")
+        assert ".SUBCKT SA_C4" in card
+        assert "PEQ" in card and "ISO" not in card
+        assert card.count("\nM") == 9
+
+    def test_ocsa_card(self):
+        card = spice_card("A4")
+        assert "ISO" in card and "OC" in card
+        assert card.count("\nM") == 12
+
+    def test_dimensions_in_nanometres(self):
+        card = spice_card("C4")
+        nsa = chip("C4").transistor(TransistorKind.NSA)
+        assert f"W={nsa.w:.0f}n" in card

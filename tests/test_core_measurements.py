@@ -1,0 +1,80 @@
+"""Measurement records and sample synthesis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.measurements import (
+    MeasurementSet,
+    TransistorRecord,
+    synthesize_measurements,
+)
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+class TestRecord:
+    def test_wl_ratio(self):
+        rec = TransistorRecord(w=100, l=40, eff_w=145, eff_l=88)
+        assert rec.wl_ratio == pytest.approx(2.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(EvaluationError):
+            TransistorRecord(w=0, l=40, eff_w=10, eff_l=80)
+
+    def test_effective_must_cover_drawn(self):
+        with pytest.raises(EvaluationError):
+            TransistorRecord(w=100, l=40, eff_w=90, eff_l=80)
+
+    @given(
+        st.floats(min_value=1, max_value=1000),
+        st.floats(min_value=1, max_value=1000),
+    )
+    def test_ratio_property(self, w, l):  # noqa: E741
+        rec = TransistorRecord(w=w, l=l, eff_w=w * 2, eff_l=l * 2)
+        assert rec.wl_ratio == pytest.approx(w / l)
+
+
+class TestSynthesis:
+    RECORDS = {
+        TransistorKind.NSA: TransistorRecord(w=100, l=40, eff_w=145, eff_l=88),
+        TransistorKind.PSA: TransistorRecord(w=70, l=40, eff_w=102, eff_l=88),
+    }
+
+    def test_deterministic(self):
+        a = synthesize_measurements("X1", self.RECORDS)
+        b = synthesize_measurements("X1", self.RECORDS)
+        assert a.samples == b.samples
+
+    def test_different_chips_different_samples(self):
+        a = synthesize_measurements("X1", self.RECORDS)
+        b = synthesize_measurements("X2", self.RECORDS)
+        assert a.samples != b.samples
+
+    def test_sample_count(self):
+        ms = synthesize_measurements("X1", self.RECORDS, samples_per_dim=7)
+        assert ms.count() == 2 * 2 * 7
+
+    def test_means_close_to_records(self):
+        ms = synthesize_measurements("X1", self.RECORDS, samples_per_dim=30)
+        assert ms.mean(TransistorKind.NSA, "w") == pytest.approx(100, rel=0.1)
+        assert ms.mean(TransistorKind.PSA, "l") == pytest.approx(40, rel=0.1)
+
+    def test_spread_contains_mean(self):
+        ms = synthesize_measurements("X1", self.RECORDS)
+        lo, hi = ms.spread(TransistorKind.NSA, "w")
+        assert lo <= ms.mean(TransistorKind.NSA, "w") <= hi
+
+    def test_stdev_positive(self):
+        ms = synthesize_measurements("X1", self.RECORDS)
+        assert ms.stdev(TransistorKind.NSA, "w") > 0
+
+    def test_missing_dimension_raises(self):
+        ms = MeasurementSet(chip_id="empty")
+        with pytest.raises(EvaluationError):
+            ms.mean(TransistorKind.NSA, "w")
+
+    def test_samples_positive(self):
+        ms = synthesize_measurements("X1", self.RECORDS, sigma=0.4)
+        for dims in ms.samples.values():
+            for values in dims.values():
+                assert all(v > 0 for v in values)

@@ -1,0 +1,107 @@
+"""§VI-A model inaccuracy analysis (Fig 11, Fig 12)."""
+
+import pytest
+
+from repro.core.chips import chip
+from repro.core.model_accuracy import (
+    all_reports,
+    element_inaccuracy,
+    fig11_series,
+    model_accuracy_report,
+    worst_case_factor,
+)
+from repro.core.models import CROW, REM
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+class TestElementInaccuracy:
+    def test_errors_are_relative(self):
+        cmp = element_inaccuracy(CROW, chip("C4"), TransistorKind.PRECHARGE)
+        m = CROW.transistor(TransistorKind.PRECHARGE)
+        c = chip("C4").transistor(TransistorKind.PRECHARGE)
+        assert cmp.width_error == pytest.approx(abs(m.w / c.w - 1))
+        assert cmp.wl_error == pytest.approx(abs(m.wl_ratio / c.wl_ratio - 1))
+
+
+class TestFig12Headlines:
+    def test_crow_average_wl(self):
+        """CROW has the higher inaccuracy between the two models (≈236 %)."""
+        crow = model_accuracy_report(CROW, "DDR4")
+        rem = model_accuracy_report(REM, "DDR4")
+        assert crow.average("wl_error") > rem.average("wl_error")
+        assert crow.average("wl_error") == pytest.approx(2.36, abs=0.35)
+
+    def test_crow_precharge_is_worst_wl(self):
+        """CROW's precharge has the highest W/L inaccuracy (≈562 % vs C4)."""
+        crow = model_accuracy_report(CROW, "DDR4")
+        value, who = crow.maximum("wl_error")
+        assert who.kind is TransistorKind.PRECHARGE
+        assert who.chip_id == "C4"
+        assert value == pytest.approx(5.62, abs=0.3)
+
+    def test_crow_width_max(self):
+        """CROW widths: ≈938 % against C4's precharge transistors."""
+        crow = model_accuracy_report(CROW, "DDR4")
+        value, who = crow.maximum("width_error")
+        assert who.kind is TransistorKind.PRECHARGE and who.chip_id == "C4"
+        assert value == pytest.approx(9.38, abs=0.3)
+
+    def test_rem_length_stats(self):
+        """REM has the most inaccurate lengths (≈31 % avg, ≈101 % max
+        against C4's equalizer)."""
+        rem = model_accuracy_report(REM, "DDR4")
+        assert rem.average("length_error") == pytest.approx(0.31, abs=0.08)
+        value, who = rem.maximum("length_error")
+        assert who.kind is TransistorKind.EQUALIZER and who.chip_id == "C4"
+        assert value == pytest.approx(1.01, abs=0.1)
+
+    def test_worst_case_factor_is_about_9x(self):
+        """Abstract: 'public DRAM models are up to 9x inaccurate'."""
+        assert worst_case_factor() == pytest.approx(9.4, abs=0.5)
+
+    def test_ddr5_trend_similar(self):
+        """'The models follow a similar trend when considering DDR5.'"""
+        for model in (CROW, REM):
+            d4 = model_accuracy_report(model, "DDR4").average("wl_error")
+            d5 = model_accuracy_report(model, "DDR5").average("wl_error")
+            assert d5 > 0.5 * d4
+
+    def test_all_reports_cover_both_generations(self):
+        reports = all_reports()
+        assert len(reports) == 4
+        assert {(r.model, r.generation) for r in reports} == {
+            ("CROW", "DDR4"), ("CROW", "DDR5"), ("REM", "DDR4"), ("REM", "DDR5"),
+        }
+
+
+class TestFig11:
+    def test_series_cover_chips_and_rem(self):
+        series = fig11_series()
+        assert set(series) == {"A4", "B4", "C4", "A5", "B5", "C5", "REM"}
+
+    def test_each_entry_has_nsa_and_psa(self):
+        for name, entry in fig11_series().items():
+            assert set(entry) == {"nSA", "pSA"}
+
+    def test_rem_has_no_spread(self):
+        """REM is a single model value — no measurement whiskers."""
+        entry = fig11_series()["REM"]
+        assert entry["nSA"][1] == 0.0 and entry["nSA"][3] == 0.0
+
+    def test_chips_have_spread(self):
+        entry = fig11_series()["B5"]
+        assert entry["nSA"][1] > 0.0
+
+    def test_crow_omitted(self):
+        """Fig 11: 'CROW values are omitted as severely out the range'."""
+        assert "CROW" not in fig11_series()
+
+
+class TestEdgeCases:
+    def test_empty_report_raises(self):
+        from repro.core.model_accuracy import ModelAccuracyReport
+
+        empty = ModelAccuracyReport(model="X", generation="DDR4")
+        with pytest.raises(EvaluationError):
+            empty.average()

@@ -1,0 +1,68 @@
+"""Public analog models CROW and REM (§VI-A)."""
+
+import pytest
+
+from repro.core.models import CROW, REM, AnalogModel, public_models
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+class TestCorpus:
+    def test_only_two_public_models(self):
+        """§VI-A: no DDR5 model exists; only CROW and REM for DDR4."""
+        assert set(public_models()) == {"CROW", "REM"}
+
+    def test_years(self):
+        assert CROW.year == 2019
+        assert REM.year == 2022
+
+
+class TestCrow:
+    def test_no_column_transistors(self):
+        """§VI-A: CROW does not include column transistors."""
+        assert not CROW.includes_column
+        assert not CROW.has(TransistorKind.COLUMN)
+
+    def test_best_guess_basis(self):
+        assert "guess" in CROW.basis
+
+    def test_vastly_out_of_range(self):
+        """Fig 11 omits CROW 'as severely out of range': its widths dwarf
+        every measured chip's."""
+        from repro.core.chips import CHIPS
+
+        crow_nsa = CROW.transistor(TransistorKind.NSA).w
+        for chip in CHIPS.values():
+            assert crow_nsa > 1.4 * chip.transistor(TransistorKind.NSA).w
+
+    def test_missing_element_raises(self):
+        with pytest.raises(EvaluationError):
+            CROW.transistor(TransistorKind.COLUMN)
+
+
+class TestRem:
+    def test_includes_column(self):
+        assert REM.includes_column
+        assert REM.has(TransistorKind.COLUMN)
+
+    def test_zentel_basis(self):
+        assert "Zentel" in REM.basis
+        assert "25" in REM.technology
+
+    def test_closer_to_silicon_than_crow(self):
+        from repro.core.chips import chip
+
+        c4 = chip("C4")
+        for kind in (TransistorKind.NSA, TransistorKind.PSA, TransistorKind.PRECHARGE):
+            rem_err = abs(REM.transistor(kind).w - c4.transistor(kind).w)
+            crow_err = abs(CROW.transistor(kind).w - c4.transistor(kind).w)
+            assert rem_err < crow_err
+
+
+class TestNeither:
+    def test_no_ocsa_support(self):
+        """§VI-A: neither model includes the OCSA design."""
+        for model in public_models().values():
+            assert not model.includes_ocsa
+            assert not model.has(TransistorKind.ISOLATION)
+            assert not model.has(TransistorKind.OFFSET_CANCEL)

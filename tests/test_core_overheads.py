@@ -1,0 +1,154 @@
+"""Appendix B overhead calculator (Table II, Fig 14, Observations 1–2)."""
+
+import pytest
+
+from repro.core.chips import CHIPS, chip
+from repro.core.overheads import (
+    audit,
+    fig14_breakdown,
+    isolation_eff_length,
+    overhead_error,
+    paper_overhead_fraction,
+    porting_cost,
+    table2_rows,
+    observation1_charm_vendor_spread,
+    observation2_biggest_port_gain,
+)
+from repro.core.papers import PAPERS, paper
+from repro.layout.elements import TransistorKind
+
+#: Paper Table II values (error, porting) as x-factors; None = N/A.
+TABLE2_TARGETS = {
+    "charm": (None, 0.29),
+    "rb_dec": (None, -0.25),
+    "ambit": (None, 68.0),
+    "dracc": (35.0, 34.0),
+    "graphide": (54.0, 52.0),
+    "inmem_lowcost": (70.0, 67.0),
+    "elp2im": (None, 90.0),
+    "clr_dram": (22.0, 21.0),
+    "simdram": (70.0, 67.0),
+    "nov_dram": (0.49, 0.001),
+    "pf_dram": (0.35, -0.01),
+    "rega": (8.0, 7.0),
+    "cooldram": (175.0, 168.0),
+}
+
+
+class TestIsolationSizing:
+    def test_ocsa_chips_use_their_own_iso(self):
+        a4 = chip("A4")
+        assert isolation_eff_length(a4) == a4.transistor(TransistorKind.ISOLATION).eff_l
+
+    def test_classic_chips_scale_by_feature(self):
+        """§VI-C: scale the average dimensions to the chip values."""
+        c4 = chip("C4")
+        b4 = chip("B4")
+        ratio = isolation_eff_length(b4) / isolation_eff_length(c4)
+        assert ratio == pytest.approx(
+            b4.geometry.feature_nm / c4.geometry.feature_nm, rel=1e-6
+        )
+
+
+class TestPerChipFractions:
+    def test_i1_papers_cost_most_of_the_chip(self):
+        cool = paper("cooldram")
+        for c in CHIPS.values():
+            frac = paper_overhead_fraction(cool, c)
+            assert 0.3 < frac < 0.9, c.chip_id
+
+    def test_transistor_papers_cost_single_digits(self):
+        rb = paper("rb_dec")
+        for c in CHIPS.values():
+            assert paper_overhead_fraction(rb, c) < 0.02
+
+    def test_rega_vendor_a_exemption(self):
+        """Appendix A: REGA's new wires fit in A-chips' M2 slack."""
+        rega = paper("rega")
+        assert paper_overhead_fraction(rega, chip("A4")) < 0.05
+        assert paper_overhead_fraction(rega, chip("C4")) > 0.1
+
+
+class TestTable2:
+    @pytest.mark.parametrize("key", list(TABLE2_TARGETS))
+    def test_error_matches_paper(self, key):
+        target_err, _target_port = TABLE2_TARGETS[key]
+        err = overhead_error(paper(key))
+        if target_err is None:
+            assert err is None
+        else:
+            assert err == pytest.approx(target_err, rel=0.4), key
+
+    @pytest.mark.parametrize("key", list(TABLE2_TARGETS))
+    def test_porting_direction_matches_paper(self, key):
+        """Porting costs match the paper in sign and order of magnitude
+        (absolute values depend on the synthetic geometry)."""
+        _err, target_port = TABLE2_TARGETS[key]
+        port = porting_cost(paper(key))
+        if abs(target_port) >= 10:
+            assert port == pytest.approx(target_port, rel=0.45), key
+        elif target_port <= 0:
+            assert port < 0.25, key
+        else:
+            assert -0.5 < port < 2 * target_port + 1.0, key
+
+    def test_rows_complete_and_ordered(self):
+        rows = table2_rows()
+        assert [r.paper.key for r in rows] == list(PAPERS)
+        for row in rows:
+            assert row.porting_str.endswith("x")
+            assert set(row.per_chip) == set(CHIPS)
+
+    def test_eight_papers_above_20x(self):
+        """§III: 8 of 13 papers exceed 20x error/porting cost."""
+        rows = table2_rows()
+        big = [
+            r for r in rows
+            if (r.overhead_error or 0) > 20 or r.porting_cost > 20
+        ]
+        assert len(big) == 8
+
+    def test_cooldram_is_the_extreme_case(self):
+        rows = {r.paper.key: r for r in table2_rows()}
+        worst = max(rows.values(), key=lambda r: r.overhead_error or -1)
+        assert worst.paper.key == "cooldram"
+        assert worst.overhead_error == pytest.approx(175, rel=0.1)
+
+
+class TestFig14:
+    def test_huge_papers_omitted(self):
+        breakdown = fig14_breakdown(threshold=10.0)
+        assert "CoolDRAM" not in breakdown
+        assert "SIMDRAM" not in breakdown
+
+    def test_small_papers_present_per_chip(self):
+        breakdown = fig14_breakdown()
+        assert "CHARM" in breakdown
+        assert "R.B. DEC." in breakdown
+        assert set(breakdown["CHARM"]) == set(CHIPS)
+
+    def test_vendor_variation_exists(self):
+        """Observation 1: overheads vary across vendors."""
+        breakdown = fig14_breakdown()
+        for title, per_chip in breakdown.items():
+            values = list(per_chip.values())
+            assert max(values) > min(values)
+
+
+class TestObservations:
+    def test_observation1_spread_positive(self):
+        assert observation1_charm_vendor_spread() > 0
+
+    def test_observation2_rb_dec_on_a5(self):
+        """'The biggest variation is for [87] (-0.47x on A5)'."""
+        title, chip_id, factor = observation2_biggest_port_gain()
+        assert title == "R.B. DEC."
+        assert chip_id == "A5"
+        assert factor == pytest.approx(-0.47, abs=0.05)
+
+
+class TestAudit:
+    def test_audit_result_strings(self):
+        result = audit(paper("charm"))
+        assert result.error_str == "N/A"
+        assert result.porting_str.endswith("x")

@@ -1,0 +1,65 @@
+"""The Table II paper corpus and inaccuracy bookkeeping."""
+
+import pytest
+
+from repro.core.papers import PAPERS, Inaccuracy, OverheadFormula, paper, papers_with
+from repro.errors import UnknownPaperError
+
+
+class TestCorpus:
+    def test_thirteen_papers(self):
+        assert len(PAPERS) == 13
+
+    def test_years_span_a_decade(self):
+        years = [p.venue_year for p in PAPERS.values()]
+        assert min(years) == 2013 and max(years) == 2023
+
+    def test_unknown_paper(self):
+        with pytest.raises(UnknownPaperError):
+            paper("rowhammer")
+
+    @pytest.mark.parametrize(
+        "key,inaccs",
+        [
+            ("charm", {"I5"}),
+            ("rb_dec", {"I4", "I5"}),
+            ("ambit", {"I1", "I2", "I5"}),
+            ("dracc", {"I1", "I2", "I5"}),
+            ("graphide", {"I1", "I2", "I5"}),
+            ("inmem_lowcost", {"I1", "I2", "I5"}),
+            ("elp2im", {"I2", "I3", "I5"}),
+            ("clr_dram", {"I2", "I5"}),
+            ("simdram", {"I1", "I2", "I5"}),
+            ("nov_dram", {"I4", "I5"}),
+            ("pf_dram", {"I5"}),
+            ("rega", {"I2", "I4", "I5"}),
+            ("cooldram", {"I1", "I2", "I3", "I5"}),
+        ],
+    )
+    def test_inaccuracy_columns_match_table2(self, key, inaccs):
+        p = paper(key)
+        assert {i.name for i in p.inaccuracies} == inaccs
+
+    def test_every_paper_misses_ocsa(self):
+        """§VI-B: 'no paper includes the OCSA topology in their studies'."""
+        assert len(papers_with(Inaccuracy.I5)) == 13
+
+    def test_ddr3_papers_have_no_error_column(self):
+        for key in ("charm", "rb_dec", "ambit", "elp2im"):
+            assert paper(key).ddr == 3
+            assert not paper(key).error_applicable
+
+    def test_ddr4_papers_have_error_column(self):
+        for key in ("dracc", "rega", "cooldram", "pf_dram"):
+            assert paper(key).error_applicable
+
+    def test_i1_implies_mat_sa_formula(self):
+        for p in papers_with(Inaccuracy.I1):
+            assert p.formula is OverheadFormula.MAT_SA_DOUBLE
+
+    def test_original_overheads_small(self):
+        """'Such large errors occur due to the (often) very small overheads
+        reported by the papers (e.g., 0.4 % [CoolDRAM])'."""
+        for p in PAPERS.values():
+            assert 0.001 <= p.original_overhead <= 0.05
+        assert paper("cooldram").original_overhead < 0.005

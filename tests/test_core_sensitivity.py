@@ -1,0 +1,67 @@
+"""Audit sensitivity analysis."""
+
+import pytest
+
+from repro.core.chips import chip
+from repro.core.papers import Inaccuracy, paper
+from repro.core.sensitivity import (
+    _scaled_chip,
+    conclusions_robust,
+    sweep_effective_sizes,
+)
+from repro.errors import EvaluationError
+from repro.layout.elements import TransistorKind
+
+
+class TestScaledChip:
+    def test_effective_sizes_scale(self):
+        c4 = chip("C4")
+        scaled = _scaled_chip(c4, 1.2)
+        nsa = c4.transistor(TransistorKind.NSA)
+        assert scaled.transistor(TransistorKind.NSA).eff_w == pytest.approx(nsa.eff_w * 1.2)
+        # Drawn sizes untouched.
+        assert scaled.transistor(TransistorKind.NSA).w == nsa.w
+
+    def test_effective_never_below_drawn(self):
+        scaled = _scaled_chip(chip("C4"), 0.1)
+        for rec in scaled.transistors.values():
+            assert rec.eff_w >= rec.w and rec.eff_l >= rec.l
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(EvaluationError):
+            _scaled_chip(chip("C4"), 0.0)
+
+
+class TestSweep:
+    def test_every_paper_covered(self):
+        results = sweep_effective_sizes()
+        assert len(results) == 13
+
+    def test_na_rows_have_no_range(self):
+        results = {r.paper.key: r for r in sweep_effective_sizes()}
+        assert results["ambit"].nominal is None
+        assert results["ambit"].relative_span == 0.0
+
+    def test_i1_papers_insensitive(self):
+        """I1/I2 errors are area-driven: ±20 % effective sizes barely move
+        them (the audit's big numbers are robust)."""
+        results = {r.paper.key: r for r in sweep_effective_sizes()}
+        for key in ("cooldram", "dracc", "simdram", "clr_dram"):
+            assert paper(key).has(Inaccuracy.I1) or paper(key).has(Inaccuracy.I2)
+            assert results[key].relative_span < 0.10, key
+
+    def test_transistor_papers_sensitive(self):
+        """Transistor-level papers move with the spacing margins."""
+        results = {r.paper.key: r for r in sweep_effective_sizes()}
+        assert results["nov_dram"].relative_span > results["cooldram"].relative_span
+
+    def test_ranges_bracket_nominal(self):
+        for r in sweep_effective_sizes():
+            if r.nominal is None:
+                continue
+            assert r.low <= r.nominal <= r.high
+
+
+class TestRobustness:
+    def test_over_20x_conclusion_survives(self):
+        assert conclusions_robust(threshold=20.0)

@@ -1,0 +1,180 @@
+"""Appendix A, MAT transitions, DCC analysis, recommendations, reports."""
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.core.bitline_scaling import (
+    bitline_halving_extension,
+    m2_slack_factor,
+    sa_extension_eq1,
+)
+from repro.core.dcc import (
+    average_mat_extension_overhead,
+    dcc_area_factor,
+    dcc_chip_overhead,
+    naive_dcc_overhead,
+    underestimation_factor,
+)
+from repro.core.mat_transition import (
+    average_split_overhead,
+    average_transition_nm,
+    transition_overhead_fraction,
+)
+from repro.core.recommendations import (
+    RECOMMENDATIONS,
+    ProposalDescription,
+    audit_proposal,
+)
+from repro.core.report import factor, percent, render_series, render_table
+from repro.errors import EvaluationError
+
+
+class TestBitlineScaling:
+    def test_eq1_canonical_value(self):
+        """Eq. 1: 4/3 − 1 ≈ 33 %."""
+        assert sa_extension_eq1() == pytest.approx(1 / 3)
+
+    def test_eq1_decreases_with_width_ratio(self):
+        # Ext = 1/(1 + Bw/d): relatively wider bitlines gain more from
+        # halving, so the residual extension shrinks.
+        assert sa_extension_eq1(1.0) > sa_extension_eq1(2.0) > sa_extension_eq1(4.0)
+
+    def test_eq1_rejects_bad_ratio(self):
+        with pytest.raises(EvaluationError):
+            sa_extension_eq1(0.0)
+
+    def test_b5_chip_overhead_about_20_percent(self):
+        """Appendix A: ≈21 % chip overhead on B5 even with halved bitlines."""
+        result = bitline_halving_extension("B5")
+        assert result["sa_extension"] == pytest.approx(1 / 3)
+        assert result["chip_overhead"] == pytest.approx(0.21, abs=0.04)
+
+    def test_m2_slack_only_vendor_a(self):
+        assert m2_slack_factor("A4") == 8.0
+        assert m2_slack_factor("A5") == 8.0
+        assert m2_slack_factor("B5") == 0.0
+
+
+class TestMatTransition:
+    def test_average_transitions_match_paper(self):
+        """§V-C: 318 nm (DDR4) and 275 nm (DDR5) on average."""
+        assert average_transition_nm("DDR4") == pytest.approx(318, abs=2)
+        assert average_transition_nm("DDR5") == pytest.approx(275, abs=2)
+
+    def test_split_overheads_match_paper(self):
+        """§V-C: splitting a MAT costs 1.6 % (DDR4) / 1.1 % (DDR5)."""
+        assert average_split_overhead("DDR4") == pytest.approx(0.016, abs=0.002)
+        assert average_split_overhead("DDR5") == pytest.approx(0.011, abs=0.002)
+
+    def test_two_splits_double_the_cost(self):
+        one = transition_overhead_fraction("A4", splits=1)
+        two = transition_overhead_fraction("A4", splits=2)
+        assert two == pytest.approx(2 * one)
+
+
+class TestDcc:
+    def test_area_factor_is_two(self):
+        """6F² → 12F²: implementing a DCC doubles the cell area."""
+        assert dcc_area_factor() == pytest.approx(2.0)
+
+    def test_naive_estimate_is_negligible(self):
+        """The assumed cost: two wordlines, i.e. well under 1 %."""
+        assert naive_dcc_overhead("A4") < 0.005
+
+    def test_real_overhead_is_most_of_the_mats(self):
+        assert dcc_chip_overhead("A4") > 0.5
+
+    def test_underestimation_is_huge(self):
+        assert underestimation_factor("A4") > 100
+
+    def test_average_mat_extension_near_57_percent(self):
+        assert average_mat_extension_overhead() == pytest.approx(0.57, abs=0.02)
+
+    def test_row_drivers_included_by_default(self):
+        with_rd = dcc_chip_overhead("C4", include_row_drivers=True)
+        without = dcc_chip_overhead("C4", include_row_drivers=False)
+        assert with_rd > without
+
+
+class TestRecommendations:
+    def test_four_recommendations(self):
+        assert set(RECOMMENDATIONS) == {"R1", "R2", "R3", "R4"}
+
+    def test_clean_proposal(self):
+        desc = ProposalDescription(
+            name="careful",
+            wiring_overhead_included=True,
+            evaluated_topologies=(SaTopology.CLASSIC, SaTopology.OCSA),
+        )
+        result = audit_proposal(desc)
+        assert result.clean
+        assert not result.inaccuracies
+
+    def test_ambit_style_proposal(self):
+        """A DCC-based proposal trips I1, I2 and I5 — AMBIT's Table II row."""
+        desc = ProposalDescription(
+            name="ambit-like",
+            adds_bitlines_in_mat=True,
+            adds_bitlines_in_sa=True,
+        )
+        result = audit_proposal(desc)
+        names = {i.name for i in result.inaccuracies}
+        assert names == {"I1", "I2", "I5"}
+        assert not result.clean
+
+    def test_elp2im_style_proposal(self):
+        desc = ProposalDescription(
+            name="elp2im-like",
+            adds_bitlines_in_sa=True,
+            assumes_independent_control_gates=True,
+        )
+        result = audit_proposal(desc)
+        assert {i.name for i in result.inaccuracies} == {"I2", "I3", "I5"}
+
+    def test_layout_assumption_trips_r3(self):
+        desc = ProposalDescription(name="reorder", assumes_columns_after_sa=True)
+        result = audit_proposal(desc)
+        assert RECOMMENDATIONS["R3"] in result.violated
+
+    def test_ocsa_evaluation_satisfies_r4(self):
+        desc = ProposalDescription(
+            name="modern",
+            evaluated_topologies=(SaTopology.OCSA,),
+            wiring_overhead_included=True,
+        )
+        result = audit_proposal(desc)
+        assert RECOMMENDATIONS["R4"] not in result.violated
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+        assert "-+-" in lines[2]
+
+    def test_render_series(self):
+        text = render_series("CHARM", {"A4": 0.5, "C4": 1.0}, unit="x")
+        assert "A4=0.50x" in text
+
+    def test_percent_and_factor(self):
+        assert percent(0.57) == "57%"
+        assert factor(175.0, digits=0) == "175x"
+        assert factor(None) == "N/A"
+
+
+class TestChipAcquisitionFields:
+    def test_dwell_matches_section_4b(self):
+        """'dwell times of 3 us (A4-5, B4) and 6 us (B5, C4-5)'."""
+        from repro.core.chips import chip
+
+        assert chip("A4").dwell_time_us == chip("A5").dwell_time_us == chip("B4").dwell_time_us == 3.0
+        assert chip("B5").dwell_time_us == chip("C4").dwell_time_us == chip("C5").dwell_time_us == 6.0
+
+    def test_slice_thickness_in_paper_range(self):
+        """'removing perpendicular slices of 20 nm or 10 nm'."""
+        from repro.core.chips import CHIPS
+
+        for c in CHIPS.values():
+            assert c.slice_thickness_nm in (10.0, 20.0)

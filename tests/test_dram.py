@@ -1,0 +1,240 @@
+"""DRAM command-level substrate (timings, bank, §VI-D experiments)."""
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.dram import (
+    Bank,
+    BankState,
+    CellState,
+    Command,
+    CommandTrace,
+    JEDEC_DDR4,
+    TimingParameters,
+    charge_sharing_window,
+    derive_timings,
+    multi_row_activation_experiment,
+    truncated_activation_experiment,
+)
+from repro.dram.commands import act_pre_act, legal_read, truncated_activation
+from repro.dram.timing import timing_gap
+from repro.errors import EvaluationError
+
+
+class TestTimings:
+    def test_jedec_consistent(self):
+        assert JEDEC_DDR4.t_rcd < JEDEC_DDR4.t_ras
+        assert JEDEC_DDR4.t_rc == JEDEC_DDR4.t_ras + JEDEC_DDR4.t_rp
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(EvaluationError):
+            TimingParameters("bad", t_charge_share=5.0, t_rcd=3.0, t_ras=10.0, t_rp=5.0)
+
+    def test_derived_from_analog(self):
+        t = derive_timings(SaTopology.CLASSIC)
+        assert 0 < t.t_charge_share < t.t_rcd < t.t_ras
+
+    def test_ocsa_milestones_later(self):
+        """The §VI-D core fact: OCSA shifts the activation milestones."""
+        gap = timing_gap()
+        assert gap["charge_share_delta_ns"] > 1.0
+        assert gap["rcd_delta_ns"] > 0
+        assert gap["ras_delta_ns"] > 0
+
+    def test_derivation_cached(self):
+        assert derive_timings(SaTopology.OCSA) is derive_timings(SaTopology.OCSA)
+
+
+class TestTraces:
+    def test_legal_read_order(self):
+        trace = legal_read(5, 3, JEDEC_DDR4)
+        commands = [c.command for c in trace]
+        assert commands == [Command.ACT, Command.RD, Command.PRE]
+
+    def test_act_requires_row(self):
+        with pytest.raises(EvaluationError):
+            CommandTrace("x").at(0.0, Command.ACT)
+
+    def test_rd_requires_col(self):
+        with pytest.raises(EvaluationError):
+            CommandTrace("x").at(0.0, Command.RD, row=1)
+
+    def test_truncated_positive_interval(self):
+        with pytest.raises(EvaluationError):
+            truncated_activation(1, -5.0)
+
+    def test_iteration_is_time_sorted(self):
+        trace = CommandTrace("x")
+        trace.at(10.0, Command.PRE)
+        trace.at(0.0, Command.ACT, row=1)
+        assert [c.command for c in trace] == [Command.ACT, Command.PRE]
+
+
+class TestBankLegal:
+    def test_legal_read_is_clean(self):
+        bank = Bank(topology=SaTopology.CLASSIC)
+        result = bank.execute(legal_read(9, 2, bank.timings))
+        assert result.clean
+        assert result.row_states[9] is CellState.RESTORED
+        assert result.reads == [(pytest.approx(bank.timings.t_rcd), 9, True)]
+
+    def test_enforcing_bank_raises(self):
+        bank = Bank(topology=SaTopology.CLASSIC, enforce=True)
+        with pytest.raises(EvaluationError):
+            bank.execute(truncated_activation(4, 1.0))
+
+    def test_row_range_checked(self):
+        bank = Bank(rows=16)
+        with pytest.raises(EvaluationError):
+            bank.execute(legal_read(99, 0, bank.timings))
+
+    def test_open_row_left_active(self):
+        bank = Bank()
+        trace = CommandTrace("open").at(0.0, Command.ACT, row=1)
+        result = bank.execute(trace)
+        assert result.final_state is BankState.ACTIVE
+        assert result.row_states[1] is CellState.RESTORED  # settled at end
+
+
+class TestBankOutOfSpec:
+    def test_pre_before_charge_share_leaves_cell_untouched(self):
+        bank = Bank(topology=SaTopology.OCSA)
+        early = 0.5 * bank.timings.t_charge_share
+        result = bank.execute(truncated_activation(4, early))
+        assert result.row_states[4] is CellState.UNTOUCHED
+        assert not result.clean  # tRAS violated
+
+    def test_pre_between_share_and_sense_corrupts(self):
+        bank = Bank(topology=SaTopology.CLASSIC)
+        mid = (bank.timings.t_charge_share + bank.timings.t_rcd) / 2
+        result = bank.execute(truncated_activation(4, mid))
+        assert result.row_states[4] is CellState.CORRUPTED
+
+    def test_pre_during_restore_weakens(self):
+        bank = Bank(topology=SaTopology.CLASSIC)
+        mid = (bank.timings.t_rcd + bank.timings.t_ras) / 2
+        result = bank.execute(truncated_activation(4, mid))
+        assert result.row_states[4] is CellState.WEAK
+
+    def test_early_read_flagged_invalid(self):
+        bank = Bank(topology=SaTopology.CLASSIC)
+        trace = CommandTrace("early_rd")
+        trace.at(0.0, Command.ACT, row=2)
+        trace.at(bank.timings.t_rcd * 0.3, Command.RD, row=2, col=0)
+        result = bank.execute(trace)
+        (_t, _row, valid), = result.reads
+        assert not valid
+        assert any(v.parameter == "tRCD" for v in result.violations)
+
+    def test_multi_row_sharing_when_first_act_reached_sharing(self):
+        bank = Bank(topology=SaTopology.CLASSIC)
+        t1 = bank.timings.t_charge_share * 2
+        result = bank.execute(act_pre_act(3, 12, t1, 1.0))
+        assert result.shared_rows == [[3, 12]]
+
+    def test_no_sharing_when_first_act_too_short(self):
+        bank = Bank(topology=SaTopology.OCSA)
+        t1 = bank.timings.t_charge_share * 0.5
+        result = bank.execute(act_pre_act(3, 12, t1, 1.0))
+        assert result.shared_rows == []
+
+
+class TestSectionVID:
+    def test_hazard_window_positive(self):
+        window = charge_sharing_window()
+        assert window["hazard_window_ns"] > 1.0
+
+    def test_divergent_truncation_interval_exists(self):
+        """A t1 that corrupts a classic chip but leaves an OCSA chip
+        untouched — the §VI-D experiment hazard made concrete."""
+        window = charge_sharing_window()
+        t1 = (window["classic_min_t1_ns"] + window["ocsa_min_t1_ns"]) / 2
+        result = truncated_activation_experiment(t1)
+        assert result.diverges
+        assert result.classic_outcome == "corrupted"
+        assert result.ocsa_outcome == "untouched"
+
+    def test_multi_row_trick_diverges_in_the_window(self):
+        window = charge_sharing_window()
+        t1 = (window["classic_min_t1_ns"] + window["ocsa_min_t1_ns"]) / 2
+        result = multi_row_activation_experiment(t1)
+        assert result.classic_outcome == "rows_shared"
+        assert result.ocsa_outcome == "no_sharing"
+        assert result.diverges
+
+    def test_long_t1_works_on_both(self):
+        window = charge_sharing_window()
+        t1 = window["ocsa_min_t1_ns"] * 1.5
+        result = multi_row_activation_experiment(t1)
+        assert result.classic_outcome == result.ocsa_outcome == "rows_shared"
+
+
+class TestInDramCompute:
+    """AMBIT/ComputeDRAM-style majority over shared rows."""
+
+    A = (1, 0, 1, 1, 0, 0, 1, 0)
+    B = (1, 1, 0, 1, 0, 1, 0, 0)
+
+    def test_row_data_round_trip(self):
+        bank = Bank()
+        bank.load_row(5, self.A)
+        assert bank.read_row(5) == self.A
+        assert bank.read_row(6) is None
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(EvaluationError):
+            Bank().load_row(1, (0, 2))
+
+    def test_majority_on_classic(self):
+        from repro.dram.compute import in_dram_majority
+
+        bank = Bank(topology=SaTopology.CLASSIC)
+        result = in_dram_majority(bank, (self.A, self.B, (1,) * 8))
+        assert result.succeeded and result.correct
+
+    def test_and_or_on_classic(self):
+        from repro.dram.compute import in_dram_and, in_dram_or
+
+        r_and = in_dram_and(Bank(topology=SaTopology.CLASSIC), self.A, self.B)
+        assert r_and.correct
+        assert r_and.result_bits == tuple(x & y for x, y in zip(self.A, self.B))
+        r_or = in_dram_or(Bank(topology=SaTopology.CLASSIC), self.A, self.B)
+        assert r_or.correct
+
+    def test_same_calibration_fails_on_ocsa(self):
+        """The §VI-D hazard: classic-calibrated t1 never reaches charge
+        sharing on an OCSA chip, so no operation happens."""
+        from repro.dram.compute import in_dram_and
+
+        result = in_dram_and(Bank(topology=SaTopology.OCSA), self.A, self.B)
+        assert not result.succeeded
+        # ...and the operand rows were not destroyed either.
+        bank = Bank(topology=SaTopology.OCSA)
+        in_dram_and(bank, self.A, self.B)
+        assert bank.read_row(8) == self.A
+
+    def test_recalibrated_t1_works_on_ocsa(self):
+        """With HiFi-DRAM's timing data the trick recalibrates."""
+        from repro.dram.compute import in_dram_and
+
+        bank = Bank(topology=SaTopology.OCSA)
+        t1 = bank.timings.t_charge_share * 1.5
+        result = in_dram_and(bank, self.A, self.B, t1_ns=t1)
+        assert result.correct
+
+    def test_width_mismatch_rejected(self):
+        from repro.dram.compute import in_dram_majority
+
+        with pytest.raises(EvaluationError):
+            in_dram_majority(Bank(), (self.A, self.B, (1, 0)))
+
+    def test_majority_skips_unloaded_rows(self):
+        from repro.dram.compute import triple_row_trace
+
+        bank = Bank(topology=SaTopology.CLASSIC)
+        bank.load_row(8, self.A)  # rows 16/24 never loaded
+        t1 = bank.timings.t_charge_share * 1.5
+        result = bank.execute(triple_row_trace((8, 16, 24), t1, bank.timings.t_ras + 1))
+        assert result.shared_rows  # charges did mix...
+        assert not result.computed_rows  # ...but undefined data never latches
+        assert bank.read_row(8) == self.A

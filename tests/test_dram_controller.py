@@ -1,0 +1,69 @@
+"""Open-page controller and the I5 performance delta."""
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.dram import Bank, JEDEC_DDR4, derive_timings
+from repro.dram.controller import (
+    Controller,
+    Request,
+    row_hit_stream,
+    row_miss_stream,
+    throughput_comparison,
+)
+from repro.errors import EvaluationError
+
+
+class TestScheduling:
+    def test_traces_are_legal(self):
+        """The produced traces execute cleanly on an enforcing bank."""
+        timings = derive_timings(SaTopology.CLASSIC)
+        controller = Controller(timings)
+        for stream in (row_hit_stream(16), row_miss_stream(16)):
+            result = controller.schedule(stream)
+            bank = Bank(topology=SaTopology.CLASSIC, enforce=True, rows=4096)
+            bank.execute(result.trace)  # must not raise
+
+    def test_hit_rate_extremes(self):
+        controller = Controller(JEDEC_DDR4)
+        hits = controller.schedule(row_hit_stream(16))
+        misses = controller.schedule(row_miss_stream(16))
+        assert hits.hit_rate == pytest.approx(15 / 16)
+        assert misses.hit_rate == 0.0
+
+    def test_hits_are_faster_than_misses(self):
+        controller = Controller(JEDEC_DDR4)
+        assert (
+            controller.schedule(row_hit_stream(16)).total_ns
+            < controller.schedule(row_miss_stream(16)).total_ns
+        )
+
+    def test_reads_valid_on_bank(self):
+        timings = derive_timings(SaTopology.OCSA)
+        result = Controller(timings).schedule(row_miss_stream(8))
+        bank = Bank(topology=SaTopology.OCSA, rows=4096)
+        outcome = bank.execute(result.trace)
+        assert outcome.clean
+        assert all(valid for _t, _row, valid in outcome.reads)
+
+    def test_mean_latency_requires_requests(self):
+        result = Controller(JEDEC_DDR4).schedule([])
+        with pytest.raises(EvaluationError):
+            result.mean_latency_ns()
+
+
+class TestI5Performance:
+    def test_ocsa_timings_slow_row_miss_streams(self):
+        """I5's performance impact: the OCSA's longer activation path
+        costs throughput on row-miss-heavy workloads."""
+        classic = derive_timings(SaTopology.CLASSIC)
+        ocsa = derive_timings(SaTopology.OCSA)
+        cmp = throughput_comparison(row_miss_stream(32), classic, ocsa)
+        assert cmp["slowdown"] > 1.15
+
+    def test_row_hits_hide_the_delta(self):
+        """Open rows amortise the activation: hit streams barely differ."""
+        classic = derive_timings(SaTopology.CLASSIC)
+        ocsa = derive_timings(SaTopology.OCSA)
+        cmp = throughput_comparison(row_hit_stream(32), classic, ocsa)
+        assert cmp["slowdown"] < 1.1

@@ -1,0 +1,96 @@
+"""Property-based fuzzing of the bank state machine.
+
+Random (mostly illegal) command traces must never crash the bank, and a
+set of invariants must hold regardless of timing violations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.topologies import SaTopology
+from repro.dram.bank import Bank, CellState
+from repro.dram.commands import Command, CommandTrace
+
+ROWS = 32
+
+command_strategy = st.one_of(
+    st.tuples(st.just(Command.ACT), st.integers(min_value=0, max_value=ROWS - 1)),
+    st.tuples(st.just(Command.PRE), st.none()),
+    st.tuples(st.just(Command.RD), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just(Command.WR), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just(Command.NOP), st.none()),
+)
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        command_strategy,
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _build_trace(raw) -> CommandTrace:
+    trace = CommandTrace("fuzz")
+    open_rowish = 0
+    for time_ns, (command, arg) in sorted(raw, key=lambda item: item[0]):
+        if command is Command.ACT:
+            trace.at(time_ns, Command.ACT, row=arg)
+            open_rowish = arg
+        elif command in (Command.RD, Command.WR):
+            trace.at(time_ns, command, row=open_rowish, col=arg)
+        else:
+            trace.at(time_ns, command)
+    return trace
+
+
+class TestBankFuzz:
+    @given(trace_strategy, st.sampled_from([SaTopology.CLASSIC, SaTopology.OCSA]))
+    @settings(max_examples=60, deadline=None)
+    def test_never_crashes_and_invariants_hold(self, raw, topology):
+        bank = Bank(topology=topology, rows=ROWS, enforce=False)
+        trace = _build_trace(raw)
+        result = bank.execute(trace)
+
+        activated = {
+            cmd.row for cmd in trace if cmd.command is Command.ACT
+        }
+        # Only activated rows can have a resolved cell state.
+        assert set(result.row_states) <= activated
+        # Every state is a known one.
+        assert all(isinstance(s, CellState) for s in result.row_states.values())
+        # Shared groups only contain activated rows, in groups of >= 2.
+        for group in result.shared_rows:
+            assert len(group) >= 2
+            assert set(group) <= activated
+        # Computed groups are a subset of shared groups' membership.
+        for group in result.computed_rows:
+            assert set(group) <= activated
+        # Reads only reference activated rows.
+        for _t, row, _valid in result.reads:
+            assert row in activated
+
+    @given(trace_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_clean_iff_no_violations(self, raw):
+        bank = Bank(rows=ROWS)
+        result = bank.execute(_build_trace(raw))
+        assert result.clean == (len(result.violations) == 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_majority_semantics(self, a, b, c):
+        """MAJ over any bit patterns matches the boolean definition."""
+        from repro.dram.compute import in_dram_majority
+
+        bank = Bank(topology=SaTopology.CLASSIC, rows=ROWS)
+        result = in_dram_majority(bank, (tuple(a), tuple(b), tuple(c)))
+        assert result.succeeded
+        expected = tuple(
+            1 if (a[i] + b[i] + c[i]) >= 2 else 0 for i in range(4)
+        )
+        assert result.result_bits == expected

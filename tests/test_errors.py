@@ -1,0 +1,44 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_design_rule_violation_message():
+    exc = errors.DesignRuleViolation("METAL1 spacing", "2 shapes at 3nm")
+    assert "METAL1 spacing" in str(exc)
+    assert "3nm" in str(exc)
+    assert exc.rule == "METAL1 spacing"
+
+
+def test_convergence_error_fields():
+    exc = errors.ConvergenceError(time_ns=1.25, residual=3e-3, iterations=80)
+    assert exc.time_ns == 1.25
+    assert exc.iterations == 80
+    assert "1.25" in str(exc)
+
+
+def test_alignment_budget_exceeded():
+    exc = errors.AlignmentBudgetExceeded(0.02, 0.0077)
+    assert exc.residual_fraction == 0.02
+    assert exc.budget_fraction == 0.0077
+    assert isinstance(exc, errors.PipelineError)
+
+
+def test_unknown_chip_error():
+    exc = errors.UnknownChipError("Z9")
+    assert "Z9" in str(exc)
+    assert isinstance(exc, errors.EvaluationError)
+
+
+def test_unknown_paper_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.UnknownPaperError("missing")

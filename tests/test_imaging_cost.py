@@ -1,0 +1,52 @@
+"""Acquisition cost model (§IV economics)."""
+
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.cost import campaign_cost, reference_campaigns
+
+
+class TestCampaignCost:
+    def test_reference_full_scan_over_24_hours(self):
+        """'Each acquisition took more than 24 hours of SEM/FIB' (§IV-B)."""
+        cost = reference_campaigns()["full_100um2"]
+        assert cost.total_hours == pytest.approx(24.0, abs=4.0)
+
+    def test_reduced_scan_cheaper(self):
+        campaigns = reference_campaigns()
+        assert campaigns["reduced_30um2"].total_hours < campaigns["full_100um2"].total_hours
+
+    def test_cost_scales_with_area(self):
+        small = campaign_cost(10.0, 5.0, 3.0, 10.0)
+        large = campaign_cost(90.0, 5.0, 3.0, 10.0)
+        assert large.total_hours > 2.5 * small.total_hours
+
+    def test_cost_scales_with_dwell(self):
+        """Higher dwell buys SNR at imaging cost (§IV)."""
+        fast = campaign_cost(30.0, 5.0, 1.0, 10.0)
+        slow = campaign_cost(30.0, 5.0, 6.0, 10.0)
+        assert slow.sem_hours == pytest.approx(6 * fast.sem_hours, rel=1e-6)
+        assert slow.fib_hours == fast.fib_hours
+
+    def test_finer_pixels_cost_quadratically(self):
+        coarse = campaign_cost(30.0, 10.0, 3.0, 10.0)
+        fine = campaign_cost(30.0, 5.0, 3.0, 10.0)
+        assert fine.sem_hours == pytest.approx(4 * coarse.sem_hours, rel=1e-6)
+
+    def test_thinner_slices_cost_more_overall(self):
+        thick = campaign_cost(30.0, 5.0, 3.0, 20.0)
+        thin = campaign_cost(30.0, 5.0, 3.0, 10.0)
+        assert thin.slices == pytest.approx(2 * thick.slices, rel=0.01)
+        assert thin.total_hours > thick.total_hours
+
+    def test_bad_parameters(self):
+        with pytest.raises(ImagingError):
+            campaign_cost(0.0, 5.0, 3.0, 10.0)
+        with pytest.raises(ImagingError):
+            campaign_cost(30.0, 5.0, -1.0, 10.0)
+
+    def test_breakdown_sums(self):
+        cost = campaign_cost(30.0, 5.0, 3.0, 10.0)
+        assert cost.total_hours == pytest.approx(
+            cost.sem_hours + cost.fib_hours + cost.overhead_hours
+        )

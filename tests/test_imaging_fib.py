@@ -1,0 +1,119 @@
+"""FIB slicing campaigns and stack metadata."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.fib import (
+    FibSemCampaign,
+    acquire_stack,
+    alignment_noise_budget,
+    _shift_image,
+)
+from repro.imaging.sem import SemParameters
+from repro.imaging.voxel import voxelize
+
+
+@pytest.fixture(scope="module")
+def small_volume(request):
+    cell = request.getfixturevalue("classic_cell")
+    return voxelize(cell, voxel_nm=8.0)
+
+
+class TestCampaign:
+    def test_bad_thickness_rejected(self):
+        with pytest.raises(ImagingError):
+            FibSemCampaign(slice_thickness_nm=0.0)
+
+    def test_slices_for(self):
+        c = FibSemCampaign(slice_thickness_nm=10.0)
+        assert c.slices_for(1000.0) == 100
+
+
+class TestShift:
+    def test_shift_moves_content(self):
+        img = np.zeros((10, 8), dtype=np.float32)
+        img[4, 3] = 1.0
+        out = _shift_image(img.copy(), 2, -1)
+        assert out[6, 2] == 1.0
+
+    def test_zero_shift_identity(self):
+        img = np.random.default_rng(1).random((6, 6)).astype(np.float32)
+        out = _shift_image(img.copy(), 0, 0)
+        assert np.array_equal(out, img)
+
+
+class TestAcquisition:
+    def test_stack_geometry(self, small_volume):
+        campaign = FibSemCampaign(slice_thickness_nm=16.0, sem=SemParameters())
+        stack = acquire_stack(small_volume, campaign)
+        assert len(stack) == -(-small_volume.shape[1] // 2)  # ceil division
+        assert stack.image_shape == (small_volume.shape[0], small_volume.shape[2])
+        assert stack.slice_thickness_nm == pytest.approx(16.0)
+        assert len(stack.true_drift_px) == len(stack)
+        assert len(stack.slice_y_nm) == len(stack)
+
+    def test_drift_bounded(self, small_volume):
+        campaign = FibSemCampaign(slice_thickness_nm=16.0, max_drift_px=3, drift_step_px=1.5)
+        stack = acquire_stack(small_volume, campaign)
+        for dx, dz in stack.true_drift_px:
+            assert abs(dx) <= 3 and abs(dz) <= 3
+
+    def test_zero_drift_campaign(self, small_volume):
+        campaign = FibSemCampaign(slice_thickness_nm=16.0, drift_step_px=0.0)
+        stack = acquire_stack(small_volume, campaign)
+        assert all(d == (0, 0) for d in stack.true_drift_px)
+
+    def test_deterministic_by_seed(self, small_volume):
+        c = FibSemCampaign(slice_thickness_nm=16.0, seed=5)
+        a = acquire_stack(small_volume, c)
+        b = acquire_stack(small_volume, c)
+        assert np.array_equal(a.images[3], b.images[3])
+
+    def test_y_range_restriction(self, small_volume):
+        campaign = FibSemCampaign(slice_thickness_nm=16.0)
+        full = acquire_stack(small_volume, campaign)
+        y0 = small_volume.origin_y_nm
+        partial = acquire_stack(small_volume, campaign, y_start_nm=y0, y_stop_nm=y0 + 200.0)
+        assert len(partial) < len(full)
+
+    def test_empty_range_rejected(self, small_volume):
+        y0 = small_volume.origin_y_nm
+        with pytest.raises(ImagingError):
+            acquire_stack(small_volume, FibSemCampaign(), y_start_nm=y0 + 100, y_stop_nm=y0 + 100)
+
+    def test_beam_time_positive(self, small_volume):
+        stack = acquire_stack(small_volume, FibSemCampaign(slice_thickness_nm=16.0))
+        assert stack.beam_time_hours() > 0
+
+
+class TestBudget:
+    def test_paper_number(self):
+        """B5: 30 nm wires, cross-section 130x taller → 0.77 %."""
+        assert alignment_noise_budget(30.0, 30.0 * 130.0) == pytest.approx(1 / 130)
+
+    def test_invalid_height(self):
+        with pytest.raises(ImagingError):
+            alignment_noise_budget(30.0, 0.0)
+
+
+class TestFieldOfView:
+    """§IV-B: campaigns image the ROI between MATs, not whole dies."""
+
+    def test_x_crop_narrows_images(self, small_volume):
+        campaign = FibSemCampaign(slice_thickness_nm=16.0)
+        full = acquire_stack(small_volume, campaign)
+        x0 = small_volume.origin_x_nm + 400.0
+        x1 = small_volume.origin_x_nm + 1600.0
+        cropped = acquire_stack(small_volume, campaign, x_start_nm=x0, x_stop_nm=x1)
+        assert cropped.image_shape[0] < full.image_shape[0]
+        assert cropped.x_offset_nm == pytest.approx(400.0, abs=small_volume.voxel_nm)
+
+    def test_empty_x_range_rejected(self, small_volume):
+        x = small_volume.origin_x_nm + 500.0
+        with pytest.raises(ImagingError):
+            acquire_stack(small_volume, FibSemCampaign(), x_start_nm=x, x_stop_nm=x)
+
+    def test_full_view_has_zero_offset(self, small_volume):
+        stack = acquire_stack(small_volume, FibSemCampaign(slice_thickness_nm=16.0))
+        assert stack.x_offset_nm == 0.0

@@ -1,0 +1,53 @@
+"""Per-chip acquisition planning (§IV-B parameter choices)."""
+
+import pytest
+
+from repro.imaging.plan import all_plans, plan_for
+from repro.imaging.sem import Detector, contrast_separation
+
+
+class TestPlans:
+    def test_detectors_follow_table1(self):
+        plans = all_plans()
+        assert plans["A4"].campaign.sem.detector is Detector.SE
+        assert plans["A5"].campaign.sem.detector is Detector.SE
+        for chip_id in ("B4", "C4", "B5", "C5"):
+            assert plans[chip_id].campaign.sem.detector is Detector.BSE
+
+    def test_dwell_times_follow_section4b(self):
+        """'dwell times of 3 us (A4-5, B4) and 6 us (B5, C4-5)'."""
+        plans = all_plans()
+        for chip_id in ("A4", "A5", "B4"):
+            assert plans[chip_id].campaign.sem.dwell_time_us == 3.0
+        for chip_id in ("B5", "C4", "C5"):
+            assert plans[chip_id].campaign.sem.dwell_time_us == 6.0
+
+    def test_pixel_resolution_from_table1(self):
+        assert plan_for("B4").campaign.sem.pixel_nm == pytest.approx(3.4)
+
+    def test_rationale_mentions_detector_choice(self):
+        plan = plan_for("C5")
+        assert any("switched to BSE" in r for r in plan.rationale)
+        plan_a = plan_for("A4")
+        assert any("SE used" in r for r in plan_a.rationale)
+
+    def test_planned_contrast_usable(self):
+        """Every planned campaign keeps the materials separable — the
+        whole point of the §IV-B choices."""
+        for plan in all_plans().values():
+            assert contrast_separation(plan.campaign.sem) > 1.5
+
+    def test_se_on_hostile_process_would_not_be(self):
+        """The counterfactual: keeping SE for vendor C would collapse the
+        contrast the plan preserves."""
+        from repro.imaging.sem import SemParameters
+
+        bad = SemParameters(detector=Detector.SE, se_friendly_process=False, dwell_time_us=6.0)
+        good = plan_for("C4").campaign.sem
+        assert contrast_separation(good) > 1.5 * contrast_separation(bad)
+
+    def test_accepts_chip_objects(self):
+        from repro.core.chips import chip
+
+        plan = plan_for(chip("B5"))
+        assert plan.chip_id == "B5"

@@ -1,0 +1,74 @@
+"""Blind ROI identification (Fig 6)."""
+
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.roi import classify_probe, identify_roi
+from repro.imaging.voxel import voxelize
+from repro.layout import SaRegionSpec, generate_chip_layout
+
+
+@pytest.fixture(scope="module")
+def chip_volume():
+    chip = generate_chip_layout(SaRegionSpec(topology="classic", n_pairs=2), mat_rows=8)
+    vol = voxelize(chip, voxel_nm=8.0)
+    offset = float(chip.annotations["region_offset_nm"])
+    width = float(chip.annotations["region_width_nm"])
+    return vol, offset, width
+
+
+class TestClassify:
+    def test_mat_probe(self, chip_volume):
+        vol, offset, _w = chip_volume
+        probe = classify_probe(vol, offset / 2)
+        assert probe.kind == "mat"
+        assert probe.capacitor_fraction > 0
+
+    def test_logic_probe(self, chip_volume):
+        vol, offset, width = chip_volume
+        probe = classify_probe(vol, offset + width / 4)
+        assert probe.kind == "logic"
+        assert probe.device_fraction > 0
+
+    def test_out_of_volume_rejected(self, chip_volume):
+        vol, _o, _w = chip_volume
+        with pytest.raises(ImagingError):
+            classify_probe(vol, -1e6)
+
+
+class TestSearch:
+    def test_finds_the_sa_region(self, chip_volume):
+        vol, offset, width = chip_volume
+        result = identify_roi(vol, probe_step_nm=300.0)
+        x0, x1 = result.roi
+        # The recovered ROI overlaps the true region substantially.
+        true_mid = offset + width / 2
+        assert x0 < true_mid < x1
+        assert result.roi_width_nm == pytest.approx(width, rel=0.35)
+
+    def test_cost_is_bounded(self, chip_volume):
+        """The identification lasts 'no more than 2 hours per chip'."""
+        vol, _o, _w = chip_volume
+        result = identify_roi(vol, probe_step_nm=300.0)
+        assert result.probe_count < 80
+        assert result.estimated_hours < 2.0
+
+    def test_refinement_tightens_roi(self, chip_volume):
+        vol, offset, width = chip_volume
+        coarse = identify_roi(vol, probe_step_nm=300.0, refine_steps=0)
+        fine = identify_roi(vol, probe_step_nm=300.0, refine_steps=6)
+        err_coarse = abs(coarse.roi_width_nm - width)
+        err_fine = abs(fine.roi_width_nm - width)
+        assert err_fine <= err_coarse + 1.0
+
+    def test_empty_volume_raises(self):
+        import numpy as np
+
+        from repro.imaging.voxel import VoxelVolume
+
+        empty = VoxelVolume(
+            data=np.zeros((200, 20, 20), dtype=np.uint8),
+            voxel_nm=8.0, origin_x_nm=0.0, origin_y_nm=0.0,
+        )
+        with pytest.raises(ImagingError):
+            identify_roi(empty, probe_step_nm=200.0)

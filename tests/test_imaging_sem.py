@@ -1,0 +1,86 @@
+"""SEM image formation: detectors, dwell time, contrast."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.sem import (
+    Detector,
+    SemParameters,
+    contrast_lookup,
+    contrast_separation,
+    image_cross_section,
+    snr_estimate,
+)
+from repro.imaging.voxel import MATERIAL_CODES
+from repro.layout.elements import Material
+
+
+def _material_strip() -> np.ndarray:
+    codes = sorted(MATERIAL_CODES.values())
+    return np.repeat(np.array(codes, dtype=np.uint8)[None, :], 64, axis=0)
+
+
+class TestParameters:
+    def test_noise_scales_with_dwell(self):
+        """§IV: higher dwell time → higher SNR (and higher cost)."""
+        fast = SemParameters(dwell_time_us=1.0)
+        slow = SemParameters(dwell_time_us=9.0)
+        assert slow.noise_sigma == pytest.approx(fast.noise_sigma / 3.0)
+
+    def test_bad_dwell_rejected(self):
+        with pytest.raises(ImagingError):
+            SemParameters(dwell_time_us=0.0)
+
+    def test_acquisition_cost(self):
+        p = SemParameters(dwell_time_us=3.0)
+        assert p.acquisition_cost_us(1000) == pytest.approx(3000.0)
+
+    def test_brightness_saturates(self):
+        assert SemParameters(accelerating_kv=10.0).brightness == pytest.approx(1.2)
+
+
+class TestContrast:
+    def test_bse_orders_by_atomic_number(self):
+        table = contrast_lookup(SemParameters(detector=Detector.BSE))
+        w = table[MATERIAL_CODES[Material.TUNGSTEN]]
+        cu = table[MATERIAL_CODES[Material.COPPER]]
+        si = table[MATERIAL_CODES[Material.SILICON]]
+        bg = table[MATERIAL_CODES[Material.DIELECTRIC]]
+        assert w > cu > si > bg
+
+    def test_se_collapse_for_unfriendly_process(self):
+        """§IV-B: SE lacks contrast on vendor B/C processes."""
+        friendly = contrast_separation(SemParameters(detector=Detector.SE, se_friendly_process=True))
+        hostile = contrast_separation(SemParameters(detector=Detector.SE, se_friendly_process=False))
+        assert hostile < friendly
+
+    def test_bse_immune_to_process(self):
+        a = contrast_lookup(SemParameters(detector=Detector.BSE, se_friendly_process=True))
+        b = contrast_lookup(SemParameters(detector=Detector.BSE, se_friendly_process=False))
+        assert np.allclose(a, b)
+
+
+class TestImaging:
+    def test_image_range_and_dtype(self):
+        img = image_cross_section(_material_strip(), SemParameters(), np.random.default_rng(1))
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_requires_uint8(self):
+        with pytest.raises(ImagingError):
+            image_cross_section(_material_strip().astype(np.int32), SemParameters(), np.random.default_rng(1))
+
+    def test_longer_dwell_improves_snr(self):
+        strip = _material_strip()
+        rng = np.random.default_rng(7)
+        table = contrast_lookup(SemParameters())
+        clean = table[strip]
+        noisy_fast = image_cross_section(strip, SemParameters(dwell_time_us=1.0), rng)
+        noisy_slow = image_cross_section(strip, SemParameters(dwell_time_us=16.0), rng)
+        assert snr_estimate(clean, noisy_slow) > snr_estimate(clean, noisy_fast)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = image_cross_section(_material_strip(), SemParameters(), np.random.default_rng(3))
+        b = image_cross_section(_material_strip(), SemParameters(), np.random.default_rng(3))
+        assert np.array_equal(a, b)

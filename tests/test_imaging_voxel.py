@@ -1,0 +1,102 @@
+"""Voxelization: layout → 3-D material volume."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.voxel import (
+    LAYER_Z_RANGES,
+    MATERIAL_CODES,
+    STACK_HEIGHT_NM,
+    rasterize_layer,
+    voxelize,
+)
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import LAYER_MATERIAL, Layer, Material, Wire
+from repro.layout.geometry import Rect
+
+
+def _wire_cell() -> LayoutCell:
+    cell = LayoutCell("w")
+    cell.add_wire(Wire("bl", Layer.METAL1, Rect(0, 0, 600, 18), "BL"))
+    cell.add_wire(Wire("rail", Layer.METAL2, Rect(100, -60, 172, 300), "LA"))
+    return cell
+
+
+class TestZStack:
+    def test_every_layer_has_a_range(self):
+        for layer in Layer:
+            z0, z1 = LAYER_Z_RANGES[layer]
+            assert 0 <= z0 < z1 <= STACK_HEIGHT_NM
+
+    def test_transistor_layer_at_the_bottom(self):
+        """Fig 4: 'the transistor layer is placed at the bottom of the IC'."""
+        assert LAYER_Z_RANGES[Layer.ACTIVE][0] == 0.0
+
+    def test_capacitors_above_bitlines(self):
+        """§IV-D: stacked capacitors sit above the bitlines."""
+        assert LAYER_Z_RANGES[Layer.CAPACITOR][0] >= LAYER_Z_RANGES[Layer.METAL1][1]
+
+
+class TestVoxelize:
+    def test_shapes_land_in_their_z_range(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        m1_code = MATERIAL_CODES[LAYER_MATERIAL[Layer.METAL1]]
+        i = vol.x_to_index(300.0)
+        j = vol.y_to_index(9.0)
+        z0, z1 = LAYER_Z_RANGES[Layer.METAL1]
+        k = int((z0 + z1) / 2 / 6.0)
+        assert vol.data[i, j, k] == m1_code
+        # Below M1 there is no copper for this cell.
+        assert vol.data[i, j, 0] == 0
+
+    def test_background_is_dielectric(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        assert vol.data[0, 0, 0] == 0
+
+    def test_bad_voxel_size(self):
+        with pytest.raises(ImagingError):
+            voxelize(_wire_cell(), voxel_nm=0.0)
+
+    def test_coordinate_round_trip(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        i = vol.x_to_index(300.0)
+        assert vol.index_to_x(i) == pytest.approx(300.0, abs=6.0)
+
+    def test_cross_section_shape(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        face = vol.cross_section(3)
+        assert face.shape == (vol.shape[0], vol.shape[2])
+
+    def test_cross_section_out_of_range(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        with pytest.raises(ImagingError):
+            vol.cross_section(10_000)
+
+    def test_planar_view_and_mask(self):
+        vol = voxelize(_wire_cell(), voxel_nm=6.0)
+        mask = vol.layer_mask(Layer.METAL1)
+        i, j = vol.x_to_index(300.0), vol.y_to_index(9.0)
+        assert mask[i, j]
+        assert not mask[0, 0]
+
+
+class TestRasterizeLayer:
+    def test_matches_voxel_mask(self, classic_cell):
+        mask = rasterize_layer(classic_cell, Layer.METAL1, voxel_nm=6.0)
+        vol = voxelize(classic_cell, voxel_nm=6.0)
+        vol_mask = vol.layer_mask(Layer.METAL1)
+        assert mask.shape == vol_mask.shape
+        # Contacts/vias displace metal in the volume, so the rasterised
+        # ground truth is a superset.
+        assert (vol_mask & ~mask).sum() == 0
+
+    def test_empty_layer_empty_mask(self):
+        mask = rasterize_layer(_wire_cell(), Layer.CAPACITOR, voxel_nm=6.0)
+        assert not mask.any()
+
+    def test_coverage_scales_with_area(self):
+        mask = rasterize_layer(_wire_cell(), Layer.METAL1, voxel_nm=6.0)
+        expected_px = (600 / 6) * (18 / 6)
+        # Rasterisation rounds outward, so up to one extra row/column.
+        assert mask.sum() == pytest.approx(expected_px, rel=0.45)

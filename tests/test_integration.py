@@ -1,0 +1,141 @@
+"""Cross-module integration tests.
+
+These stitch together subsystems the way downstream users would: dataset →
+layout → imaging → pipeline → RE → evaluation, plus the GDSII and analog
+hand-offs.
+"""
+
+import pytest
+
+from repro.circuits.matching import identify_topology
+from repro.circuits.topologies import SaTopology
+from repro.core.chips import CHIPS, chip
+from repro.core.hifi import netlist_for, region_spec_for, sa_sizes_for
+from repro.layout import generate_sa_region, read_gds, write_gds
+from repro.layout.elements import Layer
+from repro.reveng import reverse_engineer_cell
+
+
+class TestDatasetToLayoutToRe:
+    """A chip record → its layout → reverse engineering recovers it."""
+
+    @pytest.mark.parametrize("chip_id", ["A4", "B4", "C4", "A5", "B5", "C5"])
+    def test_round_trip(self, chip_id):
+        c = chip(chip_id)
+        cell = generate_sa_region(region_spec_for(chip_id, n_pairs=2))
+        result = reverse_engineer_cell(cell)
+        assert result.topology is c.topology
+        assert result.all_exact
+        # The recovered latch dimensions track the chip's records.
+        from repro.reveng.classify import TransistorClass
+        from repro.layout.elements import TransistorKind
+
+        nsa = result.measurements.stats(TransistorClass.NSA)
+        assert nsa.mean_w_nm == pytest.approx(
+            c.transistor(TransistorKind.NSA).w, rel=0.25
+        )
+
+
+class TestLayoutToGdsToMasks:
+    """GDSII round-trip preserves what the imaging pipeline needs."""
+
+    def test_gds_shapes_rebuild_masks(self, tmp_path, ocsa_cell):
+        import numpy as np
+
+        from repro.reveng.features import PlanarFeatures
+
+        path = tmp_path / "region.gds"
+        write_gds(ocsa_cell, path)
+        lib = read_gds(path)
+
+        truth = PlanarFeatures.from_cell(ocsa_cell, pixel_nm=6.0)
+        # Rasterise the GDS shapes and compare coverage per layer.
+        box = ocsa_cell.bounding_box()
+        for layer in (Layer.METAL1, Layer.GATE):
+            mask = np.zeros_like(truth.masks[layer])
+            for rect in lib.shapes[layer]:
+                i0 = max(0, int((rect.x0 - truth.origin_x_nm) / 6.0))
+                i1 = min(mask.shape[0], int(np.ceil((rect.x1 - truth.origin_x_nm) / 6.0)))
+                j0 = max(0, int((rect.y0 - truth.origin_y_nm) / 6.0))
+                j1 = min(mask.shape[1], int(np.ceil((rect.y1 - truth.origin_y_nm) / 6.0)))
+                mask[i0:i1, j0:j1] = True
+            agree = (mask == truth.masks[layer]).mean()
+            assert agree > 0.97, layer
+
+
+class TestDatasetToAnalog:
+    """Chip measurements drive the analog bench directly."""
+
+    def test_every_chip_senses_correctly_with_its_own_sizes(self):
+        from repro.analog import SenseAmpBench, SenseAmpConfig
+
+        for chip_id, c in CHIPS.items():
+            bench = SenseAmpBench(
+                SenseAmpConfig(topology=c.topology, sizes=sa_sizes_for(chip_id))
+            )
+            for data in (0, 1):
+                out = bench.run(data=data)
+                assert out.correct, (chip_id, data)
+
+    def test_netlists_identify_as_their_topology(self):
+        for chip_id, c in CHIPS.items():
+            match = identify_topology(netlist_for(chip_id))
+            assert match.topology is c.topology, chip_id
+
+
+class TestEvaluationConsistency:
+    """The §VI numbers stay internally consistent."""
+
+    def test_overhead_fraction_uses_the_same_areas_as_the_chip(self):
+        from repro.core.overheads import paper_overhead_fraction
+        from repro.core.papers import paper
+
+        cool = paper("cooldram")
+        for c in CHIPS.values():
+            assert paper_overhead_fraction(cool, c) == pytest.approx(
+                c.mat_plus_sa_fraction
+            )
+
+    def test_ocsa_chips_report_isolation_everywhere(self):
+        from repro.core.overheads import isolation_eff_length
+
+        for c in CHIPS.values():
+            assert isolation_eff_length(c) > 0
+
+    def test_audit_matches_paper_corpus_inaccuracies(self):
+        """The recommendation engine reproduces AMBIT's Table II row."""
+        from repro.core.papers import paper
+        from repro.core.recommendations import ProposalDescription, audit_proposal
+
+        desc = ProposalDescription(
+            name="AMBIT", adds_bitlines_in_mat=True, adds_bitlines_in_sa=True
+        )
+        audited = audit_proposal(desc)
+        assert {i.name for i in audited.inaccuracies} == {
+            i.name for i in paper("ambit").inaccuracies
+        }
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.analog
+        import repro.circuits
+        import repro.core
+        import repro.dram
+        import repro.imaging
+        import repro.layout
+        import repro.pipeline
+        import repro.reveng
+
+        for pkg in (
+            repro.analog, repro.circuits, repro.core, repro.dram,
+            repro.imaging, repro.layout, repro.pipeline, repro.reveng,
+        ):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), (pkg.__name__, name)

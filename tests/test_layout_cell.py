@@ -1,0 +1,123 @@
+"""LayoutCell container: queries, merging, occupancy."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.cell import LayoutCell, stack_cells
+from repro.layout.elements import (
+    ActiveRegion,
+    CapacitorCell,
+    Layer,
+    Orientation,
+    Transistor,
+    TransistorKind,
+    Via,
+    Wire,
+)
+from repro.layout.geometry import Rect
+
+
+def _simple_cell(name="c") -> LayoutCell:
+    cell = LayoutCell(name)
+    cell.add_transistor(
+        Transistor(
+            name="n1", kind=TransistorKind.NSA, channel="nmos", width=100, length=40,
+            gate=Rect(0, 0, 10, 50), active=Rect(-5, -5, 15, 55),
+            orientation=Orientation.WIDTH_ALONG_X,
+        )
+    )
+    cell.add_wire(Wire("bl", Layer.METAL1, Rect(0, 100, 500, 118), "BL0"))
+    cell.add_via(Via("v", Layer.VIA1, Rect(20, 100, 47, 118), "BL0"))
+    cell.add_active(ActiveRegion("a", Rect(200, 0, 300, 60)))
+    cell.add_capacitor(CapacitorCell("cap", Rect(400, 0, 430, 30)))
+    return cell
+
+
+class TestMutation:
+    def test_duplicate_transistor_name_rejected(self):
+        cell = _simple_cell()
+        with pytest.raises(LayoutError):
+            cell.add_transistor(
+                Transistor(
+                    name="n1", kind=TransistorKind.NSA, channel="nmos",
+                    width=10, length=10, gate=Rect(0, 0, 1, 1), active=Rect(0, 0, 2, 2),
+                    orientation=Orientation.WIDTH_ALONG_X,
+                )
+            )
+
+    def test_element_count(self):
+        assert _simple_cell().element_count() == 5
+
+
+class TestQueries:
+    def test_bounding_box_covers_everything(self):
+        box = _simple_cell().bounding_box()
+        assert box.contains_rect(Rect(0, 100, 500, 118))
+        assert box.contains_rect(Rect(-5, -5, 15, 55))
+
+    def test_empty_cell_bounding_raises(self):
+        with pytest.raises(LayoutError):
+            LayoutCell("empty").bounding_box()
+
+    def test_shapes_on_layers(self):
+        cell = _simple_cell()
+        assert len(cell.shapes_on(Layer.METAL1)) == 1
+        assert len(cell.shapes_on(Layer.VIA1)) == 1
+        assert len(cell.shapes_on(Layer.GATE)) == 1
+        # ACTIVE collects both transistor actives and explicit regions.
+        assert len(cell.shapes_on(Layer.ACTIVE)) == 2
+        assert len(cell.shapes_on(Layer.CAPACITOR)) == 1
+
+    def test_kind_queries(self):
+        cell = _simple_cell()
+        assert len(cell.transistors_of_kind(TransistorKind.NSA)) == 1
+        assert cell.transistors_of_kind(TransistorKind.PSA) == []
+        assert cell.kinds_present() == {TransistorKind.NSA}
+
+    def test_net_queries(self):
+        cell = _simple_cell()
+        assert cell.nets() == {"BL0"}
+        assert len(cell.wires_of_net("BL0")) == 1
+        assert cell.wires_of_net("missing") == []
+
+    def test_area_on(self):
+        cell = _simple_cell()
+        assert cell.area_on(Layer.METAL1) == pytest.approx(500 * 18)
+
+
+class TestOccupancy:
+    def test_occupancy_of_covered_window(self):
+        cell = _simple_cell()
+        window = Rect(0, 100, 500, 118)
+        assert cell.occupancy(Layer.METAL1, window) == pytest.approx(1.0)
+
+    def test_occupancy_clips_to_window(self):
+        cell = _simple_cell()
+        window = Rect(0, 100, 250, 118)  # half the wire
+        assert cell.occupancy(Layer.METAL1, window) == pytest.approx(1.0)
+        wide = Rect(0, 90, 500, 128)
+        assert cell.occupancy(Layer.METAL1, wide) == pytest.approx(18 / 38, rel=1e-3)
+
+    def test_zero_area_window_rejected(self):
+        with pytest.raises(LayoutError):
+            _simple_cell().occupancy(Layer.METAL1, Rect(0, 0, 0, 10))
+
+
+class TestMerge:
+    def test_merge_translates_and_prefixes(self):
+        a = _simple_cell("a")
+        b = _simple_cell("b")
+        a.merge(b, dx=1000, dy=0)
+        assert a.element_count() == 10
+        names = [t.name for t in a.transistors]
+        assert "n1" in names and "b/n1" in names
+        moved = next(t for t in a.transistors if t.name == "b/n1")
+        assert moved.gate.x0 == pytest.approx(1000.0)
+
+    def test_stack_cells_along_x(self):
+        a = _simple_cell("a")
+        b = _simple_cell("b")
+        stacked = stack_cells("s", [a, b], gap=50)
+        box_a = a.bounding_box()
+        box = stacked.bounding_box()
+        assert box.width == pytest.approx(2 * box_a.width + 50)

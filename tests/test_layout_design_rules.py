@@ -1,0 +1,109 @@
+"""DRC and the free-space probes behind I1/I2 (Fig 13)."""
+
+import pytest
+
+from repro.errors import DesignRuleViolation
+from repro.layout.cell import LayoutCell
+from repro.layout.design_rules import (
+    DesignRules,
+    check_cell,
+    enforce_cell,
+    free_track_count,
+    occupancy_report,
+)
+from repro.layout.elements import Layer, Wire
+from repro.layout.geometry import Rect
+
+RULES = DesignRules.for_feature_size("test", 18.0)
+
+
+def _cell_with_wires(*rects, layer=Layer.METAL1) -> LayoutCell:
+    cell = LayoutCell("drc")
+    for i, r in enumerate(rects):
+        cell.add_wire(Wire(f"w{i}", layer, r, f"n{i}"))
+    return cell
+
+
+class TestRules:
+    def test_track_pitch(self):
+        assert RULES.track_pitch(Layer.METAL1) == pytest.approx(36.0)
+
+    def test_m2_relaxed_vs_m1(self):
+        """Appendix A: M2 wires are much bigger than M1 bitlines."""
+        assert RULES.min_width[Layer.METAL2] > 3 * RULES.min_width[Layer.METAL1]
+
+
+class TestChecks:
+    def test_clean_cell_passes(self):
+        cell = _cell_with_wires(Rect(0, 0, 500, 18), Rect(0, 36, 500, 54))
+        assert check_cell(cell, RULES) == []
+
+    def test_width_violation_detected(self):
+        cell = _cell_with_wires(Rect(0, 0, 500, 10))  # 10 < 18
+        violations = check_cell(cell, RULES)
+        assert violations and "width" in violations[0]
+
+    def test_spacing_violation_detected(self):
+        cell = _cell_with_wires(Rect(0, 0, 500, 18), Rect(0, 22, 500, 40))  # 4nm gap
+        violations = check_cell(cell, RULES)
+        assert any("spacing" in v for v in violations)
+
+    def test_touching_same_net_is_legal(self):
+        cell = _cell_with_wires(Rect(0, 0, 500, 18), Rect(500, 0, 1000, 18))
+        assert check_cell(cell, RULES) == []
+
+    def test_enforce_raises(self):
+        cell = _cell_with_wires(Rect(0, 0, 500, 10))
+        with pytest.raises(DesignRuleViolation):
+            enforce_cell(cell, RULES)
+
+
+class TestFreeTracks:
+    def test_empty_window_has_tracks(self):
+        cell = _cell_with_wires(Rect(1000, 0, 1018, 500))  # far away
+        window = Rect(0, 0, 180, 500)
+        # 180nm window at 36nm pitch: room for several new tracks.
+        assert free_track_count(cell, RULES, Layer.METAL1, window) >= 3
+
+    def test_fully_packed_window_has_none(self):
+        """The I1/I2 situation: bitlines at minimum pitch leave no room."""
+        wires = [Rect(x, 0, x + 18, 500) for x in range(0, 360, 36)]
+        cell = _cell_with_wires(*wires)
+        window = Rect(0, 0, 360, 500)
+        assert free_track_count(cell, RULES, Layer.METAL1, window) == 0
+
+    def test_one_missing_wire_leaves_one_track(self):
+        wires = [Rect(x, 0, x + 18, 500) for x in range(0, 360, 36) if x != 144]
+        cell = _cell_with_wires(*wires)
+        window = Rect(0, 0, 360, 500)
+        assert free_track_count(cell, RULES, Layer.METAL1, window) == 1
+
+
+class TestOccupancyReport:
+    def test_packed_report(self):
+        wires = [Rect(x, 0, x + 18, 500) for x in range(0, 360, 36)]
+        cell = _cell_with_wires(*wires)
+        window = Rect(0, 0, 360, 500)
+        report = occupancy_report(cell, RULES, Layer.METAL1, window)
+        assert report["occupancy"] == pytest.approx(0.5, rel=1e-6)
+        assert report["theoretical_max"] == pytest.approx(0.5)
+        assert report["utilisation"] == pytest.approx(1.0)
+        assert report["free_tracks"] == 0.0
+
+
+class TestGeneratedRegions:
+    def test_generated_mat_has_no_free_bitline_tracks(self):
+        """Fig 13a on the generator's MAT edge: I1."""
+        from repro.layout import generate_mat_edge
+
+        mat = generate_mat_edge(n_bitlines=8, feature_nm=18.0)
+        rules = DesignRules.for_feature_size("mat", 18.0)
+        box = mat.bounding_box()
+        # Probe across the bitlines (they run along X, pitch along Y —
+        # rotate the probe by transposing the window onto Y tracks is not
+        # supported, so probe a Y-slice of the X-running wires instead):
+        # the occupancy utilisation tells the same story.
+        report = occupancy_report(mat, rules, Layer.METAL1, box)
+        assert report["utilisation"] > 0.7
+        # And no new Y-running track fits anywhere across the wires.
+        assert report["free_tracks"] == 0.0

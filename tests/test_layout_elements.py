@@ -1,0 +1,112 @@
+"""Layout elements: layers, transistors, wires, vias."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.elements import (
+    LAYER_MATERIAL,
+    Layer,
+    Material,
+    Orientation,
+    Transistor,
+    TransistorKind,
+    Via,
+    Wire,
+)
+from repro.layout.geometry import Rect
+
+
+def _transistor(kind=TransistorKind.NSA, channel="nmos", w=100.0, l=40.0, orientation=Orientation.WIDTH_ALONG_X):  # noqa: E741
+    return Transistor(
+        name="t", kind=kind, channel=channel, width=w, length=l,
+        gate=Rect(0, 0, 10, 10), active=Rect(0, 0, 20, 20), orientation=orientation,
+    )
+
+
+class TestLayer:
+    def test_every_layer_has_a_material(self):
+        for layer in Layer:
+            assert layer in LAYER_MATERIAL
+
+    def test_metal_and_via_predicates(self):
+        assert Layer.METAL1.is_metal and Layer.METAL2.is_metal
+        assert Layer.CONTACT.is_via and Layer.VIA1.is_via
+        assert not Layer.GATE.is_metal
+        assert not Layer.ACTIVE.is_via
+
+    def test_stack_order_is_bottom_up(self):
+        assert Layer.ACTIVE.value < Layer.GATE.value < Layer.METAL1.value < Layer.METAL2.value < Layer.CAPACITOR.value
+
+
+class TestTransistorKind:
+    def test_common_gate_classes(self):
+        assert TransistorKind.PRECHARGE.is_common_gate
+        assert TransistorKind.EQUALIZER.is_common_gate
+        assert TransistorKind.ISOLATION.is_common_gate
+        assert TransistorKind.OFFSET_CANCEL.is_common_gate
+        assert not TransistorKind.COLUMN.is_common_gate
+        assert not TransistorKind.NSA.is_common_gate
+
+    def test_latch_classes(self):
+        assert TransistorKind.NSA.is_latch
+        assert TransistorKind.PSA.is_latch
+        assert not TransistorKind.PRECHARGE.is_latch
+
+
+class TestTransistor:
+    def test_wl_ratio(self):
+        assert _transistor(w=100, l=40).wl_ratio == pytest.approx(2.5)
+
+    def test_rejects_bad_channel(self):
+        with pytest.raises(LayoutError):
+            _transistor(channel="cmos")
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(LayoutError):
+            _transistor(w=0)
+
+    def test_effective_defaults(self):
+        t = _transistor(w=100, l=40)
+        assert t.effective_width == pytest.approx(140.0)
+        assert t.effective_length == pytest.approx(80.0)
+
+    def test_x_footprint_follows_orientation(self):
+        """§V-C: latch elements cost W along X, common-gate elements L."""
+        latch = _transistor(orientation=Orientation.WIDTH_ALONG_X)
+        assert latch.x_footprint == latch.effective_width
+        common = _transistor(
+            kind=TransistorKind.PRECHARGE, orientation=Orientation.WIDTH_ALONG_Y
+        )
+        assert common.x_footprint == common.effective_length
+
+
+class TestWire:
+    def test_dimensions(self):
+        w = Wire("w", Layer.METAL1, Rect(0, 0, 100, 18), "BL0")
+        assert w.wire_width == 18
+        assert w.wire_length == 100
+
+    def test_rejects_non_routing_layer(self):
+        with pytest.raises(LayoutError):
+            Wire("w", Layer.CONTACT, Rect(0, 0, 10, 10))
+
+    def test_gate_layer_allowed(self):
+        Wire("poly", Layer.GATE, Rect(0, 0, 10, 100), "ISO")
+
+
+class TestVia:
+    def test_connects(self):
+        v = Via("v", Layer.VIA1, Rect(0, 0, 27, 27), "LA")
+        lowers, upper = v.connects
+        assert Layer.METAL1 in lowers
+        assert upper == Layer.METAL2
+
+    def test_contact_reaches_active_and_gate(self):
+        v = Via("c", Layer.CONTACT, Rect(0, 0, 18, 18))
+        lowers, upper = v.connects
+        assert Layer.ACTIVE in lowers and Layer.GATE in lowers
+        assert upper == Layer.METAL1
+
+    def test_rejects_non_via_layer(self):
+        with pytest.raises(LayoutError):
+            Via("v", Layer.METAL1, Rect(0, 0, 10, 10))

@@ -1,0 +1,117 @@
+"""GDSII writer/reader round-trips."""
+
+import struct
+
+import pytest
+
+from repro.errors import GdsFormatError
+from repro.layout import SaRegionSpec, generate_sa_region, read_gds, write_gds
+from repro.layout.cell import LayoutCell
+from repro.layout.elements import Layer, Wire
+from repro.layout.gds import GDS_LAYER_NUMBERS, _parse_real8, _real8
+from repro.layout.geometry import Rect
+
+
+def _tiny_cell() -> LayoutCell:
+    cell = LayoutCell("tiny")
+    cell.add_wire(Wire("a", Layer.METAL1, Rect(0, 0, 100, 18), "BL"))
+    cell.add_wire(Wire("b", Layer.METAL2, Rect(10, -50, 82, 500), "LA"))
+    return cell
+
+
+class TestReal8:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 1e-3, 1e-9, 2.5e-9, 1234.5])
+    def test_round_trip(self, value):
+        assert _parse_real8(_real8(value)) == pytest.approx(value, rel=1e-12)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(GdsFormatError):
+            _parse_real8(b"\x00" * 4)
+
+
+class TestRoundTrip:
+    def test_tiny_cell(self, tmp_path):
+        path = tmp_path / "tiny.gds"
+        count = write_gds(_tiny_cell(), path)
+        assert count == 2
+        lib = read_gds(path)
+        assert lib.structure == "tiny"
+        assert lib.count() == 2
+        assert lib.shapes[Layer.METAL1][0] == Rect(0, 0, 100, 18)
+        assert lib.shapes[Layer.METAL2][0] == Rect(10, -50, 82, 500)
+
+    def test_generated_region(self, tmp_path, ocsa_cell):
+        path = tmp_path / "region.gds"
+        count = write_gds(ocsa_cell, path)
+        lib = read_gds(path)
+        assert lib.count() == count
+        # Per-layer shape counts survive.
+        for layer in Layer:
+            expected = len(ocsa_cell.shapes_on(layer))
+            got = len(lib.shapes.get(layer, []))
+            assert got == expected, layer
+
+    def test_layer_numbers_unique(self):
+        numbers = list(GDS_LAYER_NUMBERS.values())
+        assert len(numbers) == len(set(numbers))
+
+
+class TestErrors:
+    def test_truncated_stream(self, tmp_path):
+        path = tmp_path / "broken.gds"
+        write_gds(_tiny_cell(), path)
+        data = path.read_bytes()
+        # Remove the ENDLIB/ENDSTR and the structure name record.
+        path.write_bytes(data[:20])
+        with pytest.raises(GdsFormatError):
+            read_gds(path)
+
+    def test_bad_units_rejected(self, tmp_path):
+        path = tmp_path / "units.gds"
+        write_gds(_tiny_cell(), path)
+        data = bytearray(path.read_bytes())
+        # UNITS payload starts after HEADER(6)+BGNLIB(28)+LIBNAME records;
+        # find the UNITS record (type 0x0305) and corrupt the meters real.
+        i = 0
+        while i + 4 <= len(data):
+            length, rtype = struct.unpack_from(">HH", data, i)
+            if rtype == 0x0305:
+                data[i + 4 + 8 : i + 4 + 16] = _real8(1e-3)  # 1 mm db unit
+                break
+            i += length
+        path.write_bytes(bytes(data))
+        with pytest.raises(GdsFormatError):
+            read_gds(path)
+
+
+class TestRoundTripProperty:
+    from hypothesis import given, settings, strategies as st
+
+    rect_strategy = st.tuples(
+        st.integers(min_value=-10_000, max_value=10_000),
+        st.integers(min_value=-10_000, max_value=10_000),
+        st.integers(min_value=1, max_value=5_000),
+        st.integers(min_value=1, max_value=5_000),
+    )
+
+    @given(st.lists(rect_strategy, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_rects_round_trip(self, raw):
+        import tempfile
+        from pathlib import Path
+
+        cell = LayoutCell("prop")
+        for i, (x, y, w, h) in enumerate(raw):
+            cell.add_wire(Wire(f"w{i}", Layer.METAL1, Rect(x, y, x + w, y + h), f"n{i}"))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.gds"
+            count = write_gds(cell, path)
+            lib = read_gds(path)
+        assert count == len(raw)
+        got = sorted(
+            (r.x0, r.y0, r.x1, r.y1) for r in lib.shapes[Layer.METAL1]
+        )
+        expected = sorted(
+            (float(x), float(y), float(x + w), float(y + h)) for x, y, w, h in raw
+        )
+        assert got == expected

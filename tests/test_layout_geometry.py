@@ -1,0 +1,144 @@
+"""Geometry primitives: Rect, Point, pitch estimation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Point, Rect, pitch_of
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_translate(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(7, 8).as_tuple() == (7, 8)
+
+
+class TestRect:
+    def test_normalises_corner_order(self):
+        r = Rect(10, 20, 0, 5)
+        assert (r.x0, r.y0, r.x1, r.y1) == (0, 5, 10, 20)
+
+    def test_measures(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.center == Point(2, 1.5)
+
+    def test_from_center(self):
+        r = Rect.from_center(10, 10, 4, 2)
+        assert (r.x0, r.y0, r.x1, r.y1) == (8, 9, 12, 11)
+
+    def test_from_center_rejects_negative(self):
+        with pytest.raises(LayoutError):
+            Rect.from_center(0, 0, -1, 2)
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(5, 5))
+        assert r.contains_point(Point(0, 10))  # boundary included
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 12, 8))
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersects(b)
+        overlap = a.intersection(b)
+        assert overlap == Rect(5, 5, 10, 10)
+
+    def test_touching_counts_as_intersecting(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 0, 20, 10)
+        assert a.intersects(b)
+        assert a.intersection(b).area == 0
+
+    def test_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(5, 5, 6, 6)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_gap_to(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.gap_to(Rect(13, 0, 20, 10)) == pytest.approx(3.0)
+        assert a.gap_to(Rect(13, 14, 20, 20)) == pytest.approx(5.0)  # 3-4-5
+        assert a.gap_to(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_inflated(self):
+        r = Rect(5, 5, 10, 10).inflated(1)
+        assert r == Rect(4, 4, 11, 11)
+        r2 = Rect(0, 0, 10, 10).inflated(1, 2)
+        assert r2 == Rect(-1, -2, 11, 12)
+
+    def test_inflated_rejects_inversion(self):
+        with pytest.raises(LayoutError):
+            Rect(0, 0, 2, 2).inflated(-2)
+
+    def test_bounding(self):
+        box = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)])
+        assert box == Rect(0, -2, 6, 3)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(LayoutError):
+            Rect.bounding([])
+
+    def test_corners_order(self):
+        corners = list(Rect(0, 0, 2, 3).corners())
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3)]
+
+    @given(finite, finite, finite, finite)
+    def test_normalisation_property(self, a, b, c, d):
+        r = Rect(a, b, c, d)
+        assert r.x0 <= r.x1
+        assert r.y0 <= r.y1
+        assert r.area >= 0
+
+    @given(finite, finite, finite, finite, finite, finite, finite, finite)
+    def test_intersection_commutes(self, a, b, c, d, e, f, g, h):
+        r1, r2 = Rect(a, b, c, d), Rect(e, f, g, h)
+        assert r1.intersects(r2) == r2.intersects(r1)
+        i1, i2 = r1.intersection(r2), r2.intersection(r1)
+        assert (i1 is None) == (i2 is None)
+        if i1 is not None:
+            assert i1 == i2
+
+    @given(finite, finite, st.floats(min_value=0.1, max_value=1e3), st.floats(min_value=0.1, max_value=1e3))
+    def test_intersection_within_both(self, x, y, w, h):
+        r1 = Rect.from_center(x, y, w, h)
+        r2 = Rect.from_center(x + w / 4, y, w, h)
+        overlap = r1.intersection(r2)
+        assert overlap is not None
+        assert r1.contains_rect(overlap)
+        assert r2.contains_rect(overlap)
+
+
+class TestPitch:
+    def test_regular_pitch(self):
+        assert pitch_of([0, 36, 72, 108]) == pytest.approx(36.0)
+
+    def test_median_is_robust_to_one_gap(self):
+        # One missing wire doubles a single gap; the median survives.
+        assert pitch_of([0, 36, 72, 144, 180, 216]) == pytest.approx(36.0)
+
+    def test_needs_two_positions(self):
+        with pytest.raises(LayoutError):
+            pitch_of([5.0])
+
+    def test_unsorted_input(self):
+        assert pitch_of([72, 0, 36]) == pytest.approx(36.0)

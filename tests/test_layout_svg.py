@@ -1,0 +1,60 @@
+"""SVG layout rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.cell import LayoutCell
+from repro.layout.svg import render_svg, write_svg
+from repro.layout.elements import Layer
+
+
+class TestRender:
+    def test_valid_xml(self, classic_cell):
+        svg = render_svg(classic_cell)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_rect_count_matches_shapes(self, classic_cell):
+        svg = render_svg(classic_cell, legend=False)
+        total_shapes = sum(
+            len(classic_cell.shapes_on(layer)) for layer in Layer
+        )
+        # +1 for the background rect.
+        assert svg.count("<rect") == total_shapes + 1
+
+    def test_layer_restriction(self, classic_cell):
+        svg = render_svg(classic_cell, layers=(Layer.METAL1,), legend=False)
+        m1 = len(classic_cell.shapes_on(Layer.METAL1))
+        assert svg.count("<rect") == m1 + 1
+
+    def test_labels(self, classic_cell):
+        svg = render_svg(classic_cell, label_transistors=True)
+        assert "n1_l0" in svg
+
+    def test_legend_lists_layers(self, classic_cell):
+        svg = render_svg(classic_cell)
+        for layer in Layer:
+            assert layer.name in svg
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(LayoutError):
+            render_svg(LayoutCell("empty"))
+
+    def test_bad_width_rejected(self, classic_cell):
+        with pytest.raises(LayoutError):
+            render_svg(classic_cell, width_px=0)
+
+    def test_write(self, tmp_path, ocsa_cell):
+        path = write_svg(ocsa_cell, tmp_path / "region.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_recovered_layout_renders(self, ocsa_re):
+        """The RE output's recovered layout renders too."""
+        from repro.reveng import features_to_cell
+
+        cell = features_to_cell(ocsa_re.extracted.features)
+        svg = render_svg(cell, legend=False)
+        assert svg.count("<rect") > 100

@@ -1,0 +1,95 @@
+"""Mutual-information slice alignment (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentBudgetExceeded, PipelineError
+from repro.pipeline.register import (
+    AlignmentReport,
+    align_pair,
+    align_stack,
+    apply_shift,
+    mutual_information,
+)
+
+
+def _texture(seed=0, shape=(96, 48)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = rng.random((shape[0] // 8, shape[1] // 8))
+    img = np.kron(base, np.ones((8, 8)))
+    return np.clip(img, 0, 1)
+
+
+class TestMutualInformation:
+    def test_self_information_is_maximal(self):
+        img = _texture()
+        other = _texture(seed=5)
+        assert mutual_information(img, img) > mutual_information(img, other)
+
+    def test_independent_images_carry_less_information(self):
+        a = _texture(seed=1)
+        b = _texture(seed=2)
+        assert mutual_information(a, b) < 0.7 * mutual_information(a, a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PipelineError):
+            mutual_information(np.zeros((4, 4)), np.zeros((5, 4)))
+
+
+class TestAlignPair:
+    @pytest.mark.parametrize("shift", [(1, 0), (-2, 1), (3, -2), (0, 0)])
+    def test_recovers_known_shift(self, shift):
+        img = _texture(seed=7)
+        moved = apply_shift(img.copy(), *shift)
+        dx, dz = align_pair(img, moved, search_px=4)
+        assert (dx, dz) == (-shift[0], -shift[1])
+
+    def test_penalty_prefers_zero_on_flat_images(self):
+        flat = np.full((64, 32), 0.5)
+        assert align_pair(flat, flat.copy()) == (0, 0)
+
+
+class TestAlignStack:
+    def test_no_drift_stays_put(self):
+        images = [_texture(seed=i) * 0.2 + _texture(seed=99) * 0.8 for i in range(6)]
+        aligned, report = align_stack(images, true_drift_px=[(0, 0)] * 6)
+        assert report.max_residual_px() <= 1
+
+    def test_recovers_linear_drift(self):
+        base = _texture(seed=42)
+        rng = np.random.default_rng(0)
+        images = []
+        drift = []
+        for i in range(8):
+            d = (i // 2, 0)  # slow linear drift in x
+            img = apply_shift(base.copy(), *d) + rng.normal(0, 0.01, base.shape)
+            images.append(np.clip(img, 0, 1))
+            drift.append(d)
+        aligned, report = align_stack(images, true_drift_px=drift)
+        assert report.max_residual_px() <= 1
+        # The corrected images match the first slice.
+        for img in aligned[1:]:
+            assert np.abs(img[8:-8, 8:-8] - aligned[0][8:-8, 8:-8]).mean() < 0.05
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(PipelineError):
+            align_stack([])
+
+    def test_drift_length_mismatch_rejected(self):
+        with pytest.raises(PipelineError):
+            align_stack([_texture()], true_drift_px=[(0, 0), (1, 1)])
+
+
+class TestReport:
+    def test_residual_fraction_and_budget(self):
+        report = AlignmentReport(corrections=[(0, 0)], residual_px=[(2, 1)])
+        assert report.max_residual_px() == 2
+        assert report.residual_fraction(200) == pytest.approx(0.01)
+        report.check_budget(2000, budget_fraction=0.0077)  # 0.1% < 0.77%
+        with pytest.raises(AlignmentBudgetExceeded):
+            report.check_budget(100, budget_fraction=0.0077)  # 2% > 0.77%
+
+    def test_zero_extent_rejected(self):
+        report = AlignmentReport(corrections=[(0, 0)])
+        with pytest.raises(PipelineError):
+            report.residual_fraction(0)

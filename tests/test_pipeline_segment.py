@@ -1,0 +1,85 @@
+"""Otsu thresholding and material segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PipelineError
+from repro.layout.elements import Layer
+from repro.pipeline.segment import (
+    foreground_mask,
+    multi_otsu,
+    otsu_threshold,
+    segment_materials,
+)
+
+
+def _bimodal(lo=0.1, hi=0.8, rng=None) -> np.ndarray:
+    rng = rng or np.random.default_rng(5)
+    img = np.full((64, 64), lo)
+    img[16:48, 16:48] = hi
+    return np.clip(img + rng.normal(0, 0.02, img.shape), 0, 1)
+
+
+class TestOtsu:
+    def test_threshold_separates_modes(self):
+        t = otsu_threshold(_bimodal(0.1, 0.8))
+        assert 0.2 < t < 0.7
+
+    def test_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            otsu_threshold(np.zeros((0,)))
+
+    @given(st.floats(min_value=0.05, max_value=0.35), st.floats(min_value=0.6, max_value=0.95))
+    def test_threshold_between_modes_property(self, lo, hi):
+        t = otsu_threshold(_bimodal(lo, hi, rng=np.random.default_rng(1)))
+        assert lo < t < hi
+
+
+class TestMultiOtsu:
+    def test_three_classes(self):
+        img = np.concatenate([
+            np.full((40, 20), 0.1),
+            np.full((40, 20), 0.5),
+            np.full((40, 20), 0.9),
+        ], axis=1)
+        img = img + np.random.default_rng(2).normal(0, 0.02, img.shape)
+        t1, t2 = multi_otsu(img, classes=3)
+        assert 0.1 < t1 < 0.5 < t2 < 0.9
+
+    def test_bad_class_counts(self):
+        with pytest.raises(PipelineError):
+            multi_otsu(np.zeros((4, 4)), classes=1)
+        with pytest.raises(PipelineError):
+            multi_otsu(np.zeros((4, 4)), classes=5)
+
+    def test_thresholds_sorted(self):
+        img = _bimodal()
+        ts = multi_otsu(img, classes=4, bins=48)
+        assert ts == sorted(ts)
+
+
+class TestForeground:
+    def test_mask_matches_square(self):
+        mask = foreground_mask(_bimodal())
+        assert mask[32, 32]
+        assert not mask[4, 4]
+
+    def test_speck_removal(self):
+        img = np.full((32, 32), 0.1)
+        img[10:20, 10:20] = 0.9
+        img[2, 2] = 0.9  # single-pixel speck
+        mask = foreground_mask(img, min_area_px=4)
+        assert mask[15, 15]
+        assert not mask[2, 2]
+
+
+class TestSegmentMaterials:
+    def test_rejects_flat_views(self):
+        views = {
+            Layer.METAL1: _bimodal(),
+            Layer.CAPACITOR: np.full((64, 64), 0.1),  # empty layer
+        }
+        masks = segment_materials(views)
+        assert masks[Layer.METAL1].any()
+        assert not masks[Layer.CAPACITOR].any()

@@ -1,0 +1,98 @@
+"""Volume assembly and the cross-section → planar point-of-view change."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.imaging.voxel import LAYER_Z_RANGES
+from repro.layout.elements import Layer
+from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
+
+
+def _stack_with_bright_m1(n=10, nx=40, nz=64, pixel=6.0):
+    """Slices with a bright band in METAL1's z-range."""
+    z0, z1 = LAYER_Z_RANGES[Layer.METAL1]
+    k0, k1 = int(z0 / pixel), int(np.ceil(z1 / pixel))
+    images = []
+    for _ in range(n):
+        img = np.full((nx, nz), 0.1, dtype=np.float32)
+        img[10:30, k0:k1] = 0.9
+        images.append(img)
+    return images
+
+
+class TestAssemble:
+    def test_shape_and_repeat(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        assert vol.shape == (40, 20, 64)  # 10 slices repeated 2x
+
+    def test_no_repeat_when_isotropic(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=6.0)
+        assert vol.shape == (40, 10, 64)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            assemble_volume([], pixel_nm=6.0, slice_thickness_nm=6.0)
+
+    def test_inconsistent_shapes_rejected(self):
+        imgs = [np.zeros((4, 4), dtype=np.float32), np.zeros((5, 4), dtype=np.float32)]
+        with pytest.raises(PipelineError):
+            assemble_volume(imgs, pixel_nm=6.0, slice_thickness_nm=6.0)
+
+
+class TestPlanar:
+    def test_planar_view_finds_the_band(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        view = vol.planar_view(Layer.METAL1)
+        assert view.shape == (40, 20)
+        assert view[20, 10] > 0.8
+        assert view[0, 0] < 0.2
+
+    def test_other_layers_dark(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        assert vol.planar_view(Layer.ACTIVE).max() < 0.2
+
+    def test_layer_above_stack_rejected(self):
+        short = [img[:, :10] for img in _stack_with_bright_m1()]
+        vol = assemble_volume(short, pixel_nm=6.0, slice_thickness_nm=6.0)
+        with pytest.raises(PipelineError):
+            vol.planar_view(Layer.CAPACITOR)
+
+    def test_planar_views_helper(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        views = planar_views(vol, (Layer.METAL1, Layer.GATE))
+        assert set(views) == {Layer.METAL1, Layer.GATE}
+
+    def test_cross_section_access(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        face = vol.cross_section(5)
+        assert face.shape == (40, 64)
+
+
+class TestRotation:
+    def test_zero_tilt_on_axis_aligned_volume(self):
+        vol = assemble_volume(_stack_with_bright_m1(), pixel_nm=6.0, slice_thickness_nm=12.0)
+        assert abs(vol.estimated_tilt_deg()) < 2.0
+
+    def test_rotation_round_trip(self):
+        vol = assemble_volume(_stack_with_bright_m1(n=16), pixel_nm=6.0, slice_thickness_nm=12.0)
+        rotated = vol.rotated(5.0)
+        restored = rotated.rotated(-5.0)
+        core = (slice(12, 28), slice(8, 24), slice(20, 26))
+        assert np.abs(restored.data[core] - vol.data[core]).mean() < 0.1
+
+
+class TestTiltEstimation:
+    def test_estimates_an_applied_rotation(self):
+        """The §IV-C final rotation correction: a deliberately tilted
+        volume is detected with the right sign and rough magnitude."""
+        vol = assemble_volume(_stack_with_bright_m1(n=30, nx=60), pixel_nm=6.0, slice_thickness_nm=6.0)
+        tilted = vol.rotated(6.0)
+        estimate = tilted.estimated_tilt_deg()
+        assert 2.0 < abs(estimate) < 12.0
+
+    def test_correction_reduces_tilt(self):
+        vol = assemble_volume(_stack_with_bright_m1(n=30, nx=60), pixel_nm=6.0, slice_thickness_nm=6.0)
+        tilted = vol.rotated(6.0)
+        corrected = tilted.rotated(-tilted.estimated_tilt_deg())
+        assert abs(corrected.estimated_tilt_deg()) <= abs(tilted.estimated_tilt_deg()) + 0.5

