@@ -1,0 +1,90 @@
+"""Campaign runtime — parallel fan-out, determinism, and stage caching.
+
+The paper's §IV campaigns were strictly serial: six chips, each >24 h of
+FIB/SEM plus post-processing, one at a time.  The campaign runtime removes
+the software half of that serialism.  This bench runs a four-chip
+campaign three ways and checks the three headline properties:
+
+* **determinism** — ``workers=4`` produces byte-identical topologies and
+  measurement tables to the serial run;
+* **speedup** — on a multi-core host the parallel run is ≥2× faster
+  (chips share nothing, so fan-out is near-linear; on a single-CPU host
+  the ratio is reported but not asserted);
+* **incrementality** — a warm-cache re-run executes zero stages: every
+  imaging and pipeline stage is satisfied from the content-addressed
+  cache, verified through the ``CampaignReport`` counters.
+"""
+
+import os
+import pickle
+
+from conftest import emit
+
+from repro.core.report import render_table
+from repro.pipeline import PipelineConfig
+from repro.runtime import ChipJob, run_campaign
+
+#: Cheap pipeline settings so the bench exercises orchestration, not TV
+#: iteration counts.  Fidelity at full settings is bench_reveng_end_to_end.
+FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
+
+EXPECTED = {"fab-a": "classic", "fab-b": "ocsa", "fab-c": "classic", "fab-d": "ocsa"}
+
+
+def _jobs():
+    return [
+        ChipJob.synthetic(name, topology, n_pairs=1)
+        for name, topology in EXPECTED.items()
+    ]
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_campaign(benchmark, tmp_path):
+    cache = tmp_path / "stage-cache"
+
+    serial = run_campaign(_jobs(), config=FAST, workers=1, cache_dir=None)
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(_jobs(), config=FAST, workers=4, cache_dir=cache),
+        rounds=1, iterations=1,
+    )
+    warm = run_campaign(_jobs(), config=FAST, workers=4, cache_dir=cache)
+
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    rows = [
+        ["chips / workers", f"{len(EXPECTED)} / 4", ""],
+        ["serial wall", f"{serial.wall_seconds:.1f}s", ""],
+        ["parallel wall", f"{parallel.wall_seconds:.1f}s", ""],
+        ["speedup", f"{speedup:.2f}x", ">= 2x (multi-core)"],
+        ["usable CPUs", str(_usable_cpus()), ""],
+        ["cold cache", f"{parallel.cache_hits} hit / {parallel.cache_misses} miss", "all miss"],
+        ["warm cache", f"{warm.cache_hits} hit / {warm.cache_misses} miss", "all hit"],
+        ["warm stages executed", str(warm.stages_executed), "0"],
+        ["warm wall", f"{warm.wall_seconds:.2f}s", "~0s"],
+    ]
+    emit("campaign runtime: 4-chip parallel fan-out + stage cache",
+         render_table(["metric", "measured", "expected"], rows))
+
+    # Determinism: the parallel results are byte-identical to serial.
+    for name, topology in EXPECTED.items():
+        a, b = serial.result(name), parallel.result(name)
+        assert a.topology.value == topology
+        assert b.topology.value == topology
+        assert pickle.dumps(a.measurements) == pickle.dumps(b.measurements)
+        assert a.pipeline_notes == b.pipeline_notes
+
+    # Incrementality: the warm run loaded the final stage of every chip and
+    # executed nothing.
+    assert warm.cache_misses == 0
+    assert warm.stages_executed == 0
+    assert pickle.dumps(warm.result("fab-b").measurements) == \
+        pickle.dumps(serial.result("fab-b").measurements)
+
+    # Speedup: asserted only where the hardware can provide it.
+    if _usable_cpus() >= 4:
+        assert speedup >= 2.0, f"expected >=2x fan-out speedup, got {speedup:.2f}x"

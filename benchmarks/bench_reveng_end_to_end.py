@@ -3,6 +3,10 @@
 The reproduction's headline: from simulated FIB/SEM stacks, the workflow
 recovers the deployed topology (classic vs OCSA) with exact circuit
 isomorphism, every transistor class, and W/L within rasterisation error.
+
+Runs through the campaign runtime (``repro.runtime.run_campaign``) — the
+same stage chain as ``reverse_engineer_stack``, plus per-stage wall-time
+instrumentation that the bench prints alongside the fidelity table.
 """
 
 import pytest
@@ -10,25 +14,20 @@ from conftest import emit
 
 from repro.circuits.topologies import SaTopology
 from repro.core.report import render_table
-from repro.imaging import FibSemCampaign, SemParameters, acquire_stack, voxelize
-from repro.reveng import reverse_engineer_stack
+from repro.runtime import ChipJob, run_campaign
 
 
-def _run(cell):
-    volume = voxelize(cell, voxel_nm=6.0)
-    stack = acquire_stack(
-        volume,
-        FibSemCampaign(slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0)),
-    )
-    return reverse_engineer_stack(
-        stack, origin_x_nm=volume.origin_x_nm, origin_y_nm=volume.origin_y_nm, truth=cell
-    )
+def _run(topology):
+    job = ChipJob.synthetic(f"bench_{topology}", topology, n_pairs=2)
+    report = run_campaign([job], workers=1)
+    return report
 
 
 @pytest.mark.parametrize("topology", ["classic", "ocsa"])
-def test_end_to_end(benchmark, topology, classic_region_small, ocsa_region_small):
-    cell = classic_region_small if topology == "classic" else ocsa_region_small
-    result = benchmark.pedantic(_run, args=(cell,), rounds=1, iterations=1)
+def test_end_to_end(benchmark, topology):
+    report = benchmark.pedantic(_run, args=(topology,), rounds=1, iterations=1)
+    run = report.chips[f"bench_{topology}"]
+    result = run.result
 
     rows = [
         ["recovered topology", result.topology.value, topology],
@@ -38,6 +37,10 @@ def test_end_to_end(benchmark, topology, classic_region_small, ocsa_region_small
         ["max W/L class error", f"{result.validation.max_relative_error():.1%}", "< 35%"],
         ["alignment residual", f"{result.pipeline_notes['alignment_residual_fraction']:.3%}",
          "< 0.77%"],
+    ]
+    rows += [
+        [f"stage time: {s.stage}", f"{s.seconds:.2f}s", s.disposition]
+        for s in run.stages
     ]
     emit(f"§V end-to-end reverse engineering ({topology})",
          render_table(["metric", "measured", "expected"], rows))

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Uncover a vendor's sense amplifiers, end to end (§IV + §V).
 
-The full HiFi-DRAM methodology on a simulated chip:
+The full HiFi-DRAM methodology on a simulated chip, driven through the
+campaign runtime (`repro.runtime`):
 
 1. build a MAT / SA-region / MAT strip (the fab's secret);
 2. blind ROI identification by cross-section morphology (Fig 6);
@@ -10,6 +11,11 @@ The full HiFi-DRAM methodology on a simulated chip:
 5. connectivity extraction, transistor classification, topology
    identification, W/L measurement (§V);
 6. export the recovered layout masks' provenance as GDSII.
+
+Every stage runs through the content-addressed stage cache, so running
+this example twice skips all imaging and pipeline work the second time —
+the per-stage table printed at the end shows wall time and cache
+disposition for each stage.
 
 Run:  python examples/reverse_engineer_chip.py [classic|ocsa|A4|B4|C4|A5|B5|C5]
 
@@ -25,15 +31,14 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.imaging import FibSemCampaign, SemParameters, acquire_stack, identify_roi, voxelize
 from repro.layout import SaRegionSpec, generate_chip_layout, write_gds
-from repro.reveng import reverse_engineer_stack
+from repro.runtime import ChipJob, run_campaign
 
 
 def main(target: str = "ocsa") -> None:
     from repro.core.chips import CHIPS
     from repro.core.hifi import region_spec_for
-    from repro.imaging import plan_for
+    from repro.imaging import FibSemCampaign, SemParameters, plan_for
 
     if target.upper() in CHIPS:
         chip_id = target.upper()
@@ -43,45 +48,39 @@ def main(target: str = "ocsa") -> None:
         print(f"--- Imaging {chip_id} with its own acquisition plan ---")
         for reason in plan.rationale:
             print(f"  * {reason}")
-        topology = spec.topology
+        name = chip_id
     else:
-        topology = target
-        spec = SaRegionSpec(topology=topology, n_pairs=2)
+        name = target
+        spec = SaRegionSpec(name=target, topology=target, n_pairs=2)
         campaign = FibSemCampaign(slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0))
-        print(f"--- The vendor secretly fabs a {topology} SA region ---")
-    chip = generate_chip_layout(spec, mat_rows=8)
-    volume = voxelize(chip, voxel_nm=6.0)
-    print(f"die strip: {volume.shape[0]}x{volume.shape[1]}x{volume.shape[2]} voxels "
-          f"at {volume.voxel_nm:.0f} nm")
+        print(f"--- The vendor secretly fabs a {target} SA region ---")
 
-    print("\n--- Step 1: blind ROI identification (Fig 6) ---")
-    roi = identify_roi(volume, probe_step_nm=300.0)
-    print(f"probes: {roi.probe_count}, machine time ~{roi.estimated_hours:.2f} h")
-    print(f"identified SA region: x = {roi.roi[0]:.0f}..{roi.roi[1]:.0f} nm "
-          f"({roi.roi_width_nm / 1000:.2f} um wide)")
-
-    print("\n--- Step 2: FIB/SEM acquisition over the ROI ---")
-    # Mill only the identified region (§IV-B scans the area *between* two
-    # MATs, never across them).  The field of view stays strictly inside
-    # the ROI: its outer ~300 nm is the MAT transition zone (wires only),
-    # and excluding the dense MAT bitline stubs keeps the planar nets
-    # cleanly separable.
-    stack = acquire_stack(
-        volume, campaign,
-        x_start_nm=roi.roi[0] + 130.0,
-        x_stop_nm=roi.roi[1] - 130.0,
+    # One work order: full MAT/SA/MAT strip, blind ROI search, then the
+    # §IV-B acquisition restricted to the found region.  The field of view
+    # stays 130 nm inside the ROI: its outer ~300 nm is the MAT transition
+    # zone (wires only), and excluding the dense MAT bitline stubs keeps
+    # the planar nets cleanly separable.
+    job = ChipJob(
+        name=name, spec=spec, campaign=campaign,
+        mat_rows=8, roi_margin_nm=130.0, validate=True,
     )
-    print(f"{len(stack)} slices of {stack.image_shape[0]}x{stack.image_shape[1]} px, "
-          f"beam time ~{stack.beam_time_hours():.2f} h, "
-          f"worst drift {max(max(abs(a), abs(b)) for a, b in stack.true_drift_px)} px")
+    cache_dir = Path(tempfile.gettempdir()) / "hifi_dram_stage_cache"
+    print(f"\n--- Campaign (stage cache: {cache_dir}) ---")
+    report = run_campaign([job], workers=1, cache_dir=cache_dir)
+    result = report.result(name)
+    run = report.chips[name]
 
-    print("\n--- Steps 3-5: post-processing + reverse engineering ---")
-    result = reverse_engineer_stack(
-        stack,
-        origin_x_nm=volume.origin_x_nm + stack.x_offset_nm,
-        origin_y_nm=volume.origin_y_nm,
-        truth=chip,
-    )
+    roi = next((s for s in run.stages if s.stage == "roi"), None)
+    if roi is not None and roi.notes:
+        print(f"ROI search: {roi.notes['probes']:.0f} probes, "
+              f"~{roi.notes['machine_hours']:.2f} h machine time, "
+              f"region {roi.notes['roi_width_nm'] / 1000:.2f} um wide")
+    acquire = next((s for s in run.stages if s.stage == "acquire"), None)
+    if acquire is not None and acquire.notes:
+        print(f"acquisition: {acquire.notes['slices']:.0f} slices, "
+              f"beam time ~{acquire.notes['beam_time_hours']:.2f} h, "
+              f"worst drift {acquire.notes['worst_drift_px']:.0f} px")
+
     notes = result.pipeline_notes
     print(f"alignment residual: {notes['alignment_residual_fraction']:.3%} "
           "(budget 0.77%)")
@@ -106,9 +105,13 @@ def main(target: str = "ocsa") -> None:
         print(build_narrative(result).render())
 
     print("\n--- Step 6: open-source the layout (GDSII) ---")
-    out = Path(tempfile.gettempdir()) / f"hifi_dram_{topology}.gds"
+    chip = generate_chip_layout(spec, mat_rows=8)
+    out = Path(tempfile.gettempdir()) / f"hifi_dram_{name}.gds"
     shapes = write_gds(chip, out)
     print(f"wrote {shapes} shapes to {out}")
+
+    print("\n--- Per-stage instrumentation (rerun to see cache hits) ---")
+    print(report.render())
 
 
 if __name__ == "__main__":

@@ -18,14 +18,24 @@ Research by Uncovering Sense Amplifiers with IC Imaging* (ISCA 2024):
 * :mod:`repro.reveng` — §V reverse engineering: connectivity extraction,
   transistor classification, measurements, end-to-end workflows.
 
+* :mod:`repro.runtime` — multi-chip campaign engine: process-pool
+  fan-out, content-addressed stage caching, per-stage instrumentation.
+
 Quick start::
 
-    from repro import chip, identify_topology, reverse_engineer_cell
-    from repro.layout import generate_sa_region, SaRegionSpec
+    from repro import SaRegionSpec, generate_sa_region, reverse_engineer_cell
 
     cell = generate_sa_region(SaRegionSpec(topology="ocsa"))
     result = reverse_engineer_cell(cell)
     assert result.topology.value == "ocsa"
+
+Multi-chip campaign (parallel, cached)::
+
+    from repro import ChipJob, PipelineConfig, run_campaign
+
+    jobs = [ChipJob.synthetic("fab-a", "classic"), ChipJob.synthetic("fab-b", "ocsa")]
+    report = run_campaign(jobs, workers=2, cache_dir=".stage-cache")
+    assert report.result("fab-b").topology.value == "ocsa"
 """
 
 from repro.circuits import (
@@ -42,9 +52,12 @@ from repro.core import (
     model_accuracy_report,
     table2_rows,
 )
-from repro.reveng import reverse_engineer_cell, reverse_engineer_stack
+from repro.layout import SaRegionSpec, generate_sa_region
+from repro.pipeline import PipelineConfig
+from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
+from repro.runtime import CampaignReport, ChipJob, run_campaign
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SaTopology",
@@ -57,7 +70,14 @@ __all__ = [
     "chip",
     "model_accuracy_report",
     "table2_rows",
+    "SaRegionSpec",
+    "generate_sa_region",
+    "PipelineConfig",
+    "ReversedChip",
     "reverse_engineer_cell",
     "reverse_engineer_stack",
+    "CampaignReport",
+    "ChipJob",
+    "run_campaign",
     "__version__",
 ]

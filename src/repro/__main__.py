@@ -7,7 +7,9 @@ Commands:
 * ``audit`` — Table II (overhead errors and porting costs);
 * ``models`` — Fig 12 model-inaccuracy statistics;
 * ``spice <CHIP>`` — the SPICE card of one chip's reverse-engineered SA;
-* ``bundle <DIR>`` — write the open-source data bundle to a directory.
+* ``bundle <DIR>`` — write the open-source data bundle to a directory;
+* ``campaign [TARGET ...]`` — image + reverse engineer many chips through
+  the parallel, stage-cached campaign runtime (``--help`` for options).
 """
 
 from __future__ import annotations
@@ -78,6 +80,115 @@ def cmd_spice(chip_id: str) -> None:
     print(spice_card(chip_id))
 
 
+_CAMPAIGN_USAGE = """\
+usage: python -m repro campaign [TARGET ...] [options]
+
+TARGET   chip IDs (A4/B4/C4/A5/B5/C5) and/or topologies (classic, ocsa);
+         default: classic ocsa
+options:
+  --workers N   chip-level worker processes (default: one per chip, capped
+                at the CPU count; 1 = serial)
+  --cache DIR   content-addressed stage cache directory (reruns reuse it)
+  --pairs N     bitline pairs per generated region (default 2)
+  --fast        cheaper pipeline settings (fewer TV iterations, smaller
+                MI search) for demos and smoke tests
+  --no-validate skip the ground-truth validation report
+"""
+
+
+def cmd_campaign(args: list[str]) -> int:
+    from repro.pipeline import PipelineConfig
+    from repro.runtime import ChipJob, run_campaign
+
+    class _UsageError(Exception):
+        pass
+
+    def _value(flag: str, i: int) -> str:
+        if i >= len(args):
+            raise _UsageError(f"{flag} requires a value")
+        return args[i]
+
+    def _int_value(flag: str, i: int) -> int:
+        raw = _value(flag, i)
+        try:
+            return int(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires an integer, got {raw!r}") from None
+
+    targets: list[str] = []
+    workers: int | None = None
+    cache_dir: str | None = None
+    n_pairs = 2
+    fast = False
+    validate = True
+    try:
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "--workers":
+                i += 1
+                workers = _int_value(arg, i)
+            elif arg == "--cache":
+                i += 1
+                cache_dir = _value(arg, i)
+            elif arg == "--pairs":
+                i += 1
+                n_pairs = _int_value(arg, i)
+            elif arg == "--fast":
+                fast = True
+            elif arg == "--no-validate":
+                validate = False
+            elif arg in ("--help", "-h"):
+                print(_CAMPAIGN_USAGE)
+                return 0
+            elif arg.startswith("-"):
+                raise _UsageError(f"unknown option {arg!r}")
+            else:
+                targets.append(arg)
+            i += 1
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        print(_CAMPAIGN_USAGE, file=sys.stderr)
+        return 2
+
+    if not targets:
+        targets = ["classic", "ocsa"]
+
+    from repro.errors import ReproError
+
+    try:
+        jobs = []
+        for target in targets:
+            if target.lower() in ("classic", "ocsa"):
+                jobs.append(ChipJob.synthetic(
+                    target.lower(), target.lower(), n_pairs=n_pairs, validate=validate
+                ))
+            elif target.upper() in CHIPS:
+                jobs.append(ChipJob.for_chip(target, n_pairs=n_pairs, validate=validate))
+            else:
+                print(f"unknown campaign target {target!r}", file=sys.stderr)
+                return 2
+
+        config = PipelineConfig()
+        if fast:
+            config = config.replaced(
+                denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+            )
+        report = run_campaign(jobs, config=config, workers=workers, cache_dir=cache_dir)
+    except ReproError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    for name, reversed_chip in report.results().items():
+        topo = reversed_chip.topology.value if reversed_chip.lane_matches else "unidentified"
+        line = f"{name}: topology={topo} lanes={reversed_chip.lanes_matched}"
+        if reversed_chip.validation is not None:
+            line += (f" validated(complete={reversed_chip.validation.complete}, "
+                     f"max W/L err {reversed_chip.validation.max_relative_error():.1%})")
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "summary"
@@ -103,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         manifest = write_bundle(args[1])
         print(f"bundle written: {len(manifest['chips'])} chips, "
               f"{len(manifest['tables'])} tables -> {args[1]}")
+    elif command == "campaign":
+        return cmd_campaign(args[1:])
     else:
         print(__doc__, file=sys.stderr)
         return 2

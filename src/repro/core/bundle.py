@@ -120,12 +120,18 @@ def write_bundle(target: str | Path, n_pairs: int = 2) -> dict:
     target = Path(target)
     (target / "tables").mkdir(parents=True, exist_ok=True)
 
+    from repro.runtime import campaign_config_provenance
+
     manifest: dict = {
         "name": "HiFi-DRAM reproduction data bundle",
         "provenance": (
             "synthetic dataset calibrated to the statistics published in "
             "'HiFi-DRAM' (ISCA 2024); see DESIGN.md in the repository"
         ),
+        # Which pipeline (stage versions + default PipelineConfig) produced
+        # this bundle — the same record the campaign runtime hashes for its
+        # stage cache, so a bundle can be traced to a cache generation.
+        "pipeline": campaign_config_provenance(),
         "chips": {},
         "tables": ["tables/table1_chips.txt", "tables/table2_audit.txt",
                    "tables/fig12_models.txt"],

@@ -82,6 +82,10 @@ class ReverseEngineeringError(ReproError):
     """Feature extraction or connectivity tracing failed."""
 
 
+class CampaignError(ReproError):
+    """The campaign runtime was misconfigured (bad job, unhashable params)."""
+
+
 class EvaluationError(ReproError):
     """The §VI evaluation framework was asked something inconsistent."""
 

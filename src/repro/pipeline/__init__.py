@@ -8,6 +8,15 @@ the part of HiFi-DRAM that is fully reproducible in software; everything
 upstream of it is simulated (see DESIGN.md).
 """
 
+from repro.pipeline.config import (
+    PipelineConfig,
+    Stage,
+    DenoiseStage,
+    AlignStage,
+    AssembleStage,
+    PlanarViewStage,
+    SegmentStage,
+)
 from repro.pipeline.denoise import chambolle_tv, split_bregman_tv, denoise_stack
 from repro.pipeline.register import (
     mutual_information,
@@ -19,6 +28,13 @@ from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
 from repro.pipeline.segment import otsu_threshold, multi_otsu, segment_materials
 
 __all__ = [
+    "PipelineConfig",
+    "Stage",
+    "DenoiseStage",
+    "AlignStage",
+    "AssembleStage",
+    "PlanarViewStage",
+    "SegmentStage",
     "chambolle_tv",
     "split_bregman_tv",
     "denoise_stack",

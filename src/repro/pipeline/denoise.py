@@ -127,14 +127,27 @@ def denoise_stack(
     images: list[np.ndarray],
     method: str = "chambolle",
     weight: float = 0.08,
+    workers: int = 1,
     **kwargs,
 ) -> list[np.ndarray]:
-    """Denoise every slice of a stack with the chosen algorithm."""
+    """Denoise every slice of a stack with the chosen algorithm.
+
+    Slices are independent, so with ``workers > 1`` they are processed by a
+    thread pool (numpy releases the GIL in the inner array ops).  Output
+    order — and every output value — is identical for any worker count.
+    """
     if method == "chambolle":
-        return [chambolle_tv(img, weight=weight, **kwargs) for img in images]
-    if method == "split_bregman":
-        return [split_bregman_tv(img, weight=weight, **kwargs) for img in images]
-    raise PipelineError(f"unknown denoising method {method!r}")
+        fn = chambolle_tv
+    elif method == "split_bregman":
+        fn = split_bregman_tv
+    else:
+        raise PipelineError(f"unknown denoising method {method!r}")
+    if workers > 1 and len(images) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda img: fn(img, weight=weight, **kwargs), images))
+    return [fn(img, weight=weight, **kwargs) for img in images]
 
 
 def residual_noise(clean: np.ndarray, denoised: np.ndarray) -> float:

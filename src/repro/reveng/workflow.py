@@ -13,6 +13,13 @@ topology (classic vs OCSA, per lane and consensus), the per-class
 measurements, and — when ground truth is supplied — a validation report,
 playing the role of the independent DRAM vendor who confirmed the paper's
 analysis.
+
+Stage tuning goes through one :class:`repro.pipeline.PipelineConfig`
+object (the old per-stage keywords still work behind a
+``DeprecationWarning`` shim).  Multi-chip campaigns should not call these
+functions in a loop — :func:`repro.runtime.run_campaign` runs the same
+chain per chip with process-level fan-out and a content-addressed stage
+cache.
 """
 
 from __future__ import annotations
@@ -24,9 +31,14 @@ from repro.circuits.topologies import SaTopology
 from repro.errors import ReverseEngineeringError, TopologyError
 from repro.imaging.fib import SliceStack
 from repro.layout.cell import LayoutCell
-from repro.pipeline.denoise import denoise_stack
-from repro.pipeline.register import align_stack
-from repro.pipeline.stack import assemble_volume, planar_views
+from repro.pipeline.config import (
+    AlignStage,
+    AssembleStage,
+    DenoiseStage,
+    PipelineConfig,
+    PlanarViewStage,
+    SegmentStage,
+)
 from repro.reveng.classify import (
     Classification,
     assign_channels,
@@ -51,13 +63,21 @@ class ReversedChip:
 
     @property
     def topology(self) -> SaTopology:
-        """Consensus topology across the lanes (majority vote)."""
+        """Consensus topology across the lanes (majority vote).
+
+        Ties are broken deterministically: by number of *exact* (VF2)
+        matches among the tied topologies, then alphabetically by topology
+        name — never by dict insertion order.
+        """
         if not self.lane_matches:
             raise ReverseEngineeringError("no lane could be matched")
         votes: dict[SaTopology, int] = {}
+        exact: dict[SaTopology, int] = {}
         for match in self.lane_matches:
             votes[match.topology] = votes.get(match.topology, 0) + 1
-        return max(votes, key=votes.get)  # type: ignore[arg-type]
+            if match.exact:
+                exact[match.topology] = exact.get(match.topology, 0) + 1
+        return min(votes, key=lambda t: (-votes[t], -exact.get(t, 0), t.value))
 
     @property
     def lanes_matched(self) -> int:
@@ -70,11 +90,18 @@ class ReversedChip:
         return bool(self.lane_matches) and all(m.exact for m in self.lane_matches)
 
 
-def _finish(
+def finish_extraction(
     extracted: ExtractedCircuit,
     truth: LayoutCell | None,
     pipeline_notes: dict[str, float],
 ) -> ReversedChip:
+    """Classify, match, measure and (optionally) validate *extracted*.
+
+    Shared tail of both workflow paths and of the campaign engine's
+    ``reveng`` stage.  A few notes are populated for *every* path so
+    :attr:`ReversedChip.pipeline_notes` has a consistent core schema:
+    ``devices_extracted``, ``lanes_matched`` and ``lanes_exact``.
+    """
     classification = classify_devices(extracted)
     assign_channels(extracted, classification)
 
@@ -87,14 +114,22 @@ def _finish(
 
     measurements = measure_devices(extracted, classification)
     validation = validation_errors(measurements, truth) if truth is not None else None
+    notes = dict(pipeline_notes)
+    notes.setdefault("devices_extracted", float(len(extracted.devices)))
+    notes.setdefault("lanes_matched", float(len(matches)))
+    notes.setdefault("lanes_exact", float(sum(1 for m in matches if m.exact)))
     return ReversedChip(
         extracted=extracted,
         classification=classification,
         lane_matches=matches,
         measurements=measurements,
         validation=validation,
-        pipeline_notes=pipeline_notes,
+        pipeline_notes=notes,
     )
+
+
+# Backward-compatible alias for the pre-1.1 private name.
+_finish = finish_extraction
 
 
 def reverse_engineer_cell(
@@ -105,50 +140,56 @@ def reverse_engineer_cell(
     """Reverse engineer a layout through ideal planar masks (fast path)."""
     features = PlanarFeatures.from_cell(cell, pixel_nm=pixel_nm)
     extracted = extract_circuit(features, name=f"{cell.name}_re")
-    return _finish(extracted, cell if validate else None, pipeline_notes={})
+    return finish_extraction(
+        extracted, cell if validate else None, pipeline_notes={"pixel_nm": pixel_nm}
+    )
 
 
 def reverse_engineer_stack(
     stack: SliceStack,
     origin_x_nm: float = 0.0,
     origin_y_nm: float = 0.0,
-    denoise_method: str = "chambolle",
-    denoise_weight: float = 0.08,
-    align_search_px: int = 4,
+    config: PipelineConfig | None = None,
     truth: LayoutCell | None = None,
+    **legacy,
 ) -> ReversedChip:
     """Reverse engineer a simulated FIB/SEM acquisition (full path).
 
     Runs the complete §IV-C + §V chain.  ``pipeline_notes`` on the result
     records the alignment residual so callers can check it against the
     0.77 %-style budget (`max_residual_px`, `residual_fraction`).
+
+    Stage tuning is a single ``config=PipelineConfig(...)``.  The pre-1.1
+    keywords (``denoise_method``, ``denoise_weight``, ``align_search_px``)
+    are still accepted but emit a :class:`DeprecationWarning`.
     """
-    denoised = denoise_stack(stack.images, method=denoise_method, weight=denoise_weight)
-    aligned, report = align_stack(
-        denoised, search_px=align_search_px, true_drift_px=stack.true_drift_px
-    )
-    volume = assemble_volume(
-        aligned,
+    if legacy:
+        config = PipelineConfig.from_legacy_kwargs(config, **legacy)
+    config = config or PipelineConfig()
+
+    denoised, _ = DenoiseStage(config)(stack.images)
+    aligner = AlignStage(config, true_drift_px=stack.true_drift_px)
+    aligned, align_notes = aligner(denoised)
+    volume, _ = AssembleStage(
         pixel_nm=stack.pixel_nm,
         slice_thickness_nm=stack.slice_thickness_nm,
         origin_x_nm=origin_x_nm,
         origin_y_nm=origin_y_nm,
-    )
-    views = planar_views(volume)
-    features = PlanarFeatures.from_views(
-        views,
+    )(aligned)
+    views, _ = PlanarViewStage()(volume)
+    features, _ = SegmentStage(
+        config,
         pixel_nm=stack.pixel_nm,
         sem=stack.sem,
         origin_x_nm=origin_x_nm,
         origin_y_nm=origin_y_nm,
-    )
+    )(views)
     extracted = extract_circuit(features, name="stack_re")
 
-    nx = stack.image_shape[0]
     notes = {
-        "alignment_max_residual_px": float(report.max_residual_px()),
-        "alignment_residual_fraction": report.residual_fraction(nx),
+        "alignment_max_residual_px": align_notes["max_residual_px"],
+        "alignment_residual_fraction": align_notes.get("residual_fraction", 0.0),
         "slices": float(len(stack)),
         "beam_time_hours": stack.beam_time_hours(),
     }
-    return _finish(extracted, truth, pipeline_notes=notes)
+    return finish_extraction(extracted, truth, pipeline_notes=notes)

@@ -1,0 +1,44 @@
+"""Campaign runtime: parallel multi-chip RE with stage caching.
+
+The paper's §IV campaigns are serial and expensive (>24 h per scan, six
+chips one at a time).  This package gives the reproduction a campaign
+engine that is neither:
+
+* :mod:`repro.runtime.campaign` — :class:`ChipJob` work orders,
+  process-pool fan-out (:func:`run_campaign`) and the instrumented
+  :class:`CampaignReport`;
+* :mod:`repro.runtime.engine` — the per-chip stage-graph executor
+  (layout → voxelize → [roi] → acquire → denoise → align → assemble →
+  reveng) with per-stage wall time / cache / bytes metrics;
+* :mod:`repro.runtime.cache` — the content-addressed on-disk stage cache;
+* :mod:`repro.runtime.hashing` — stable parameter hashing behind the
+  cache keys.
+"""
+
+from repro.runtime.cache import StageCache
+from repro.runtime.campaign import (
+    CampaignReport,
+    ChipJob,
+    ChipRun,
+    campaign_config_provenance,
+    default_workers,
+    run_campaign,
+)
+from repro.runtime.engine import STAGE_VERSIONS, StageMetrics, run_chip_stages
+from repro.runtime.hashing import canonicalize, chain_key, stable_hash
+
+__all__ = [
+    "StageCache",
+    "CampaignReport",
+    "ChipJob",
+    "ChipRun",
+    "campaign_config_provenance",
+    "default_workers",
+    "run_campaign",
+    "STAGE_VERSIONS",
+    "StageMetrics",
+    "run_chip_stages",
+    "canonicalize",
+    "chain_key",
+    "stable_hash",
+]

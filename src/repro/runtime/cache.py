@@ -1,0 +1,92 @@
+"""Content-addressed on-disk stage cache.
+
+Every pipeline stage stores ``(payload, notes)`` under the SHA-256 chain
+key of everything that determines its output: the region spec, the
+acquisition parameters, the stage version, the stage's own parameters and
+— transitively, through the parent key — every upstream stage.  Re-running
+a campaign after changing one stage's parameters therefore re-executes
+only that stage and everything downstream of it; a warm re-run touches
+nothing but the final entry.
+
+Entries are pickles written atomically (tmp file + ``os.replace``) so
+concurrent campaign workers can share one cache directory; a corrupt or
+truncated entry reads as a miss, never as an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+class StageCache:
+    """Pickle-per-key store under a root directory.
+
+    ``root=None`` disables the cache entirely (every lookup misses, every
+    store is a no-op) so callers need no conditional wiring.
+    """
+
+    def __init__(self, root: str | Path | None) -> None:
+        self.root = Path(root) if root is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, key: str) -> Path:
+        """Entry path: two-level fan-out to keep directories small."""
+        if self.root is None:
+            raise ValueError("cache is disabled")
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.enabled and self.path_for(key).is_file()
+
+    def entry_bytes(self, key: str) -> int:
+        """Size of the stored entry (0 when absent/disabled)."""
+        if not self.enabled:
+            return 0
+        try:
+            return self.path_for(key).stat().st_size
+        except OSError:
+            return 0
+
+    def load(self, key: str) -> tuple[dict[str, Any], dict[str, float]] | None:
+        """Return ``(payload, notes)`` or ``None`` on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        return entry["payload"], dict(entry.get("notes", {}))
+
+    def store(self, key: str, payload: dict[str, Any], notes: dict[str, float]) -> int:
+        """Persist an entry; returns its size in bytes (0 when disabled)."""
+        if not self.enabled:
+            return 0
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(
+            {"payload": payload, "notes": notes}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(blob)

@@ -1,0 +1,313 @@
+"""The per-chip stage-graph executor.
+
+One chip's imaging → pipeline → reverse-engineering campaign is a linear
+chain of content-addressed stages::
+
+    layout → voxelize → [roi] → acquire → denoise → align → assemble → reveng
+
+Each stage declares a version (bump it when its implementation changes
+behaviour), a parameter token (hashed together with the parent stage's key
+— see :mod:`repro.runtime.hashing`) and a run function that reads earlier
+artefacts from a context dict and returns ``(payload, notes)``.  The
+executor finds the *deepest* stage whose key is already in the
+:class:`~repro.runtime.cache.StageCache`, restores context up to there,
+and executes only the remainder:
+
+* warm re-run (nothing changed): the final ``reveng`` entry hits, the
+  :class:`ReversedChip` is loaded, and every upstream stage is *skipped* —
+  not even its cache entry is read;
+* changed segmentation parameters: everything through ``assemble`` hits,
+  only ``reveng`` re-executes;
+* changed acquisition parameters: the chain re-executes from ``acquire``.
+
+Every stage — executed, loaded or skipped — contributes a
+:class:`StageMetrics` record (wall seconds, cache disposition, payload
+bytes, stage notes) to the chip's run result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import CampaignError
+from repro.imaging.fib import acquire_stack
+from repro.imaging.roi import identify_roi
+from repro.imaging.voxel import voxelize
+from repro.layout.generator import generate_chip_layout, generate_sa_region
+from repro.pipeline.config import (
+    AlignStage,
+    AssembleStage,
+    DenoiseStage,
+    PipelineConfig,
+    PlanarViewStage,
+    SegmentStage,
+)
+from repro.reveng.connectivity import extract_circuit
+from repro.reveng.workflow import ReversedChip, finish_extraction
+from repro.runtime.cache import StageCache
+from repro.runtime.hashing import canonicalize, chain_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.campaign import ChipJob
+
+#: Stage implementation versions.  Bumping one invalidates that stage's
+#: cache entries *and* (through key chaining) everything downstream of it.
+STAGE_VERSIONS: dict[str, str] = {
+    "layout": "1",
+    "voxelize": "1",
+    "roi": "1",
+    "acquire": "1",
+    "denoise": "1",
+    "align": "1",
+    "assemble": "1",
+    "reveng": "1",
+}
+
+
+@dataclass
+class StageMetrics:
+    """Instrumentation for one stage of one chip's run."""
+
+    stage: str
+    seconds: float
+    cache_hit: bool
+    skipped: bool  #: satisfied by a *deeper* cache hit; never even loaded
+    payload_bytes: int
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def disposition(self) -> str:
+        if self.skipped:
+            return "skip"
+        return "hit" if self.cache_hit else "run"
+
+
+@dataclass(frozen=True)
+class _StageDef:
+    name: str
+    params: Any
+    run: Callable[[dict[str, Any]], tuple[dict[str, Any], dict[str, float]]]
+
+    @property
+    def version(self) -> str:
+        return STAGE_VERSIONS[self.name]
+
+
+def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]:
+    """The content-addressed stage chain for one chip job."""
+
+    def run_layout(ctx: dict) -> tuple[dict, dict[str, float]]:
+        if job.mat_rows is not None:
+            cell = generate_chip_layout(job.spec, mat_rows=job.mat_rows)
+        else:
+            cell = generate_sa_region(job.spec)
+        return {"cell": cell}, {"n_pairs": float(job.spec.n_pairs)}
+
+    def run_voxelize(ctx: dict) -> tuple[dict, dict[str, float]]:
+        volume = voxelize(ctx["cell"], voxel_nm=job.voxel_nm, margin_nm=job.margin_nm)
+        return {"volume": volume}, {
+            "voxels": float(volume.data.size),
+            "array_bytes": float(volume.data.nbytes),
+        }
+
+    def run_roi(ctx: dict) -> tuple[dict, dict[str, float]]:
+        roi = identify_roi(ctx["volume"], probe_step_nm=job.roi_probe_step_nm)
+        margin = job.roi_margin_nm or 0.0
+        return (
+            {"x_start_nm": roi.roi[0] + margin, "x_stop_nm": roi.roi[1] - margin},
+            {
+                "probes": float(roi.probe_count),
+                "roi_width_nm": float(roi.roi_width_nm),
+                "machine_hours": float(roi.estimated_hours),
+            },
+        )
+
+    def run_acquire(ctx: dict) -> tuple[dict, dict[str, float]]:
+        stack = acquire_stack(
+            ctx["volume"],
+            job.campaign,
+            y_start_nm=job.y_start_nm,
+            y_stop_nm=job.y_stop_nm,
+            x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
+            x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
+        )
+        worst = max((max(abs(a), abs(b)) for a, b in stack.true_drift_px), default=0)
+        return {"stack": stack}, {
+            "slices": float(len(stack)),
+            "beam_time_hours": stack.beam_time_hours(),
+            "worst_drift_px": float(worst),
+            "array_bytes": float(sum(img.nbytes for img in stack.images)),
+        }
+
+    def run_denoise(ctx: dict) -> tuple[dict, dict[str, float]]:
+        denoised, notes = DenoiseStage(config)(ctx["stack"].images)
+        notes["array_bytes"] = float(sum(img.nbytes for img in denoised))
+        return {"denoised": denoised}, notes
+
+    def run_align(ctx: dict) -> tuple[dict, dict[str, float]]:
+        stage = AlignStage(config, true_drift_px=ctx["stack"].true_drift_px)
+        aligned, notes = stage(ctx["denoised"])
+        return {"aligned": aligned}, notes
+
+    def run_assemble(ctx: dict) -> tuple[dict, dict[str, float]]:
+        stack = ctx["stack"]
+        volume = ctx["volume"]
+        origin_x_nm = volume.origin_x_nm + stack.x_offset_nm
+        origin_y_nm = volume.origin_y_nm
+        assembled, a_notes = AssembleStage(
+            pixel_nm=stack.pixel_nm,
+            slice_thickness_nm=stack.slice_thickness_nm,
+            origin_x_nm=origin_x_nm,
+            origin_y_nm=origin_y_nm,
+        )(ctx["aligned"])
+        views, v_notes = PlanarViewStage()(assembled)
+        # Everything the final stage needs, so a cached `assemble` entry is
+        # self-sufficient even when upstream entries are never loaded.
+        meta = {
+            "pixel_nm": stack.pixel_nm,
+            "sem": stack.sem,
+            "origin_x_nm": origin_x_nm,
+            "origin_y_nm": origin_y_nm,
+        }
+        notes_base = {
+            "alignment_max_residual_px": ctx["align_notes"]["max_residual_px"],
+            "alignment_residual_fraction": ctx["align_notes"].get("residual_fraction", 0.0),
+            "slices": float(len(stack)),
+            "beam_time_hours": stack.beam_time_hours(),
+        }
+        return (
+            {"views": views, "view_meta": meta, "notes_base": notes_base},
+            {**a_notes, "layers": v_notes["layers"]},
+        )
+
+    def run_reveng(ctx: dict) -> tuple[dict, dict[str, float]]:
+        meta = ctx["view_meta"]
+        features, seg_notes = SegmentStage(
+            config,
+            pixel_nm=meta["pixel_nm"],
+            sem=meta["sem"],
+            origin_x_nm=meta["origin_x_nm"],
+            origin_y_nm=meta["origin_y_nm"],
+        )(ctx["views"])
+        extracted = extract_circuit(features, name=f"{job.name}_re")
+        truth = ctx["cell"] if job.validate else None
+        result = finish_extraction(extracted, truth, pipeline_notes=dict(ctx["notes_base"]))
+        notes = dict(seg_notes)
+        notes.update({
+            "devices_extracted": result.pipeline_notes["devices_extracted"],
+            "lanes_matched": result.pipeline_notes["lanes_matched"],
+        })
+        return {"result": result}, notes
+
+    spec_token = canonicalize(job.spec)
+    stages = [
+        _StageDef("layout", {"spec": spec_token, "mat_rows": job.mat_rows}, run_layout),
+        _StageDef("voxelize", {"voxel_nm": job.voxel_nm, "margin_nm": job.margin_nm},
+                  run_voxelize),
+    ]
+    if job.roi_margin_nm is not None:
+        stages.append(_StageDef(
+            "roi",
+            {"probe_step_nm": job.roi_probe_step_nm, "margin_nm": job.roi_margin_nm},
+            run_roi,
+        ))
+    stages.extend([
+        _StageDef("acquire", {
+            "campaign": canonicalize(job.campaign),
+            "x_start_nm": job.x_start_nm, "x_stop_nm": job.x_stop_nm,
+            "y_start_nm": job.y_start_nm, "y_stop_nm": job.y_stop_nm,
+        }, run_acquire),
+        _StageDef("denoise", {
+            "method": config.denoise_method,
+            "weight": config.denoise_weight,
+            "iterations": config.denoise_iterations,
+        }, run_denoise),
+        _StageDef("align", {
+            "search_px": config.align_search_px,
+            "bins": config.align_bins,
+            "baselines": list(config.align_baselines),
+        }, run_align),
+        _StageDef("assemble", {}, run_assemble),
+        _StageDef("reveng", {
+            "segment_tolerance": config.segment_tolerance,
+            "validate": job.validate,
+        }, run_reveng),
+    ])
+    return stages
+
+
+def execute_chain(
+    stages: list[_StageDef],
+    cache: StageCache,
+) -> tuple[dict[str, Any], list[StageMetrics]]:
+    """Run a stage chain against a cache; return (final context, metrics)."""
+    keys: list[str] = []
+    parent: str | None = None
+    for stage in stages:
+        parent = chain_key(parent, stage.name, stage.version, stage.params)
+        keys.append(parent)
+
+    deepest = -1
+    for i in reversed(range(len(stages))):
+        if cache.contains(keys[i]):
+            deepest = i
+            break
+
+    ctx: dict[str, Any] = {}
+    metrics: list[StageMetrics] = []
+    for i, stage in enumerate(stages):
+        t0 = time.perf_counter()
+        if i < deepest and deepest == len(stages) - 1:
+            # The final stage is cached: upstream artefacts are never needed.
+            metrics.append(StageMetrics(
+                stage=stage.name, seconds=0.0, cache_hit=True, skipped=True,
+                payload_bytes=cache.entry_bytes(keys[i]),
+            ))
+            continue
+        if i <= deepest:
+            entry = cache.load(keys[i])
+            if entry is not None:
+                payload, notes = entry
+                ctx.update(payload)
+                if stage.name == "align":
+                    ctx["align_notes"] = notes
+                metrics.append(StageMetrics(
+                    stage=stage.name,
+                    seconds=time.perf_counter() - t0,
+                    cache_hit=True,
+                    skipped=False,
+                    payload_bytes=cache.entry_bytes(keys[i]),
+                    notes=notes,
+                ))
+                continue
+            # Entry vanished between contains() and load(): fall through and
+            # recompute this stage.
+        payload, notes = stage.run(ctx)
+        ctx.update(payload)
+        if stage.name == "align":
+            ctx["align_notes"] = notes
+        nbytes = cache.store(keys[i], payload, notes)
+        metrics.append(StageMetrics(
+            stage=stage.name,
+            seconds=time.perf_counter() - t0,
+            cache_hit=False,
+            skipped=False,
+            payload_bytes=nbytes,
+            notes=notes,
+        ))
+    return ctx, metrics
+
+
+def run_chip_stages(
+    job: "ChipJob",
+    config: PipelineConfig,
+    cache: StageCache,
+) -> tuple[ReversedChip, list[StageMetrics]]:
+    """Execute one chip's full chain and return its recovered circuit."""
+    ctx, metrics = execute_chain(build_stage_chain(job, config), cache)
+    result = ctx.get("result")
+    if not isinstance(result, ReversedChip):
+        raise CampaignError(f"chip job {job.name!r} produced no result")
+    return result, metrics

@@ -1,0 +1,78 @@
+"""Stable content hashing for stage-cache keys.
+
+A cache key must be identical across processes and Python invocations for
+the same logical inputs (``PYTHONHASHSEED`` randomises ``hash()``, so the
+built-in is useless here), and must change whenever any result-affecting
+parameter changes.  The scheme: convert the parameter object to a
+canonical, JSON-serialisable form — dataclasses become ``{class: ...,
+fields: {...}}`` maps, enums their values, dict keys strings in sorted
+order — then SHA-256 the canonical JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+from repro.errors import CampaignError
+
+
+def canonicalize(obj: Any) -> Any:
+    """Recursively convert *obj* into canonical JSON-serialisable data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"class": type(obj).__name__, "fields": fields}
+    if isinstance(obj, Enum):
+        return canonicalize(obj.value)
+    if isinstance(obj, dict):
+        items = [(_key_str(k), canonicalize(v)) for k, v in obj.items()]
+        items.sort(key=lambda kv: kv[0])
+        return dict(items)
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, float):
+        # repr() round-trips doubles exactly; json would too, but be explicit
+        # that 1.0 and 1 must not collide with each other silently.
+        return float(obj)
+    # numpy scalars and other number-likes
+    for cast in (int, float):
+        try:
+            if cast(obj) == obj:
+                return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    raise CampaignError(f"cannot canonicalize {type(obj).__name__!r} for hashing")
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, Enum):
+        key = key.value
+    if isinstance(key, (str, int, float, bool)):
+        return str(key)
+    raise CampaignError(f"cannot use {type(key).__name__!r} as a hashable dict key")
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of *obj*."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def chain_key(parent: str | None, stage: str, version: str, params: Any) -> str:
+    """Key of a stage given its parent's key and its own parameters."""
+    return stable_hash({
+        "parent": parent or "",
+        "stage": stage,
+        "version": version,
+        "params": canonicalize(params),
+    })

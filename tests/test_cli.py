@@ -51,3 +51,40 @@ class TestCommands:
 
     def test_bundle_missing_arg(self):
         assert main(["bundle"]) == 2
+
+
+class TestCampaignCommand:
+    def test_help(self, capsys):
+        assert main(["campaign", "--help"]) == 0
+        assert "--workers" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert main(["campaign", "Z9"]) == 2
+        assert "unknown campaign target" in capsys.readouterr().err
+
+    def test_unknown_option(self, capsys):
+        assert main(["campaign", "--bogus"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_option_missing_value(self, capsys):
+        assert main(["campaign", "classic", "--workers"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_option_non_integer_value(self, capsys):
+        assert main(["campaign", "classic", "--workers", "abc"]) == 2
+        assert "requires an integer" in capsys.readouterr().err
+
+    def test_single_chip_campaign(self, capsys, tmp_path):
+        """A real (fast-preset) campaign through the CLI, cold then warm."""
+        cache = str(tmp_path / "cache")
+        args = ["campaign", "classic", "--pairs", "1", "--fast",
+                "--workers", "1", "--cache", cache]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "classic: topology=classic" in out
+        assert "run" in out  # cold: stages executed
+
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "classic: topology=classic" in warm_out
+        assert "skip" in warm_out  # warm: upstream stages skipped via cache

@@ -1,0 +1,177 @@
+"""PipelineConfig, the Stage protocol, and the deprecation shims."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    AlignStage,
+    AssembleStage,
+    DenoiseStage,
+    PipelineConfig,
+    PlanarViewStage,
+    SegmentStage,
+    Stage,
+    align_stack,
+    denoise_stack,
+)
+
+
+def _texture(seed: int = 7, shape=(24, 16)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = np.zeros(shape)
+    base[::4, :] = 0.8
+    base[:, ::5] = 0.5
+    return np.clip(base + rng.normal(0, 0.08, shape), 0, 1)
+
+
+class TestPipelineConfig:
+    def test_defaults_match_legacy_behaviour(self):
+        cfg = PipelineConfig()
+        assert cfg.denoise_method == "chambolle"
+        assert cfg.denoise_weight == 0.08
+        assert cfg.align_search_px == 4
+        assert cfg.align_baselines == (1, 2, 3)
+        assert cfg.segment_tolerance == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        {"denoise_method": "median"},
+        {"denoise_weight": 0.0},
+        {"denoise_iterations": 0},
+        {"align_search_px": 0},
+        {"align_bins": 1},
+        {"align_baselines": ()},
+        {"align_baselines": (0,)},
+        {"segment_tolerance": 0.0},
+        {"chunk_workers": 0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(PipelineError):
+            PipelineConfig(**bad)
+
+    def test_replaced(self):
+        cfg = PipelineConfig().replaced(denoise_weight=0.1)
+        assert cfg.denoise_weight == 0.1
+        assert cfg.denoise_method == "chambolle"
+
+    def test_cache_token_excludes_execution_knobs(self):
+        a = PipelineConfig(chunk_workers=1).cache_token()
+        b = PipelineConfig(chunk_workers=8).cache_token()
+        assert a == b
+        assert "chunk_workers" not in a
+
+    def test_cache_token_tracks_result_knobs(self):
+        a = PipelineConfig().cache_token()
+        b = PipelineConfig(segment_tolerance=0.4).cache_token()
+        assert a != b
+
+
+class TestLegacyShim:
+    def test_mapping_and_warning(self):
+        with pytest.warns(DeprecationWarning, match="PipelineConfig"):
+            cfg = PipelineConfig.from_legacy_kwargs(
+                denoise_method="split_bregman", denoise_weight=0.1, align_search_px=2
+            )
+        assert cfg.denoise_method == "split_bregman"
+        assert cfg.denoise_weight == 0.1
+        assert cfg.align_search_px == 2
+
+    def test_no_kwargs_no_warning(self, recwarn):
+        cfg = PipelineConfig.from_legacy_kwargs()
+        assert cfg == PipelineConfig()
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError, match="bogus"):
+            PipelineConfig.from_legacy_kwargs(bogus=1)
+
+    def test_reverse_engineer_stack_accepts_legacy_kwargs(self):
+        """The public full-path entry point still takes the old keywords —
+        warning first, then normal validation of the mapped config."""
+        from repro.imaging.fib import SliceStack
+        from repro.reveng import reverse_engineer_stack
+
+        stack = SliceStack(
+            images=[_texture(1), _texture(2)],
+            slice_thickness_nm=12.0,
+            pixel_nm=6.0,
+            true_drift_px=[(0, 0), (0, 0)],
+            slice_y_nm=[0.0, 12.0],
+        )
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PipelineError, match="unknown denoising method"):
+                reverse_engineer_stack(stack, denoise_method="median")
+
+    def test_reverse_engineer_stack_rejects_unknown_kwargs(self):
+        from repro.imaging.fib import SliceStack
+        from repro.reveng import reverse_engineer_stack
+
+        stack = SliceStack(
+            images=[_texture(1)], slice_thickness_nm=12.0, pixel_nm=6.0,
+            true_drift_px=[(0, 0)], slice_y_nm=[0.0],
+        )
+        with pytest.raises(TypeError, match="denoise_wieght"):
+            reverse_engineer_stack(stack, denoise_wieght=0.1)
+
+
+class TestStageProtocol:
+    def test_adapters_satisfy_protocol(self):
+        cfg = PipelineConfig()
+        stages = [
+            DenoiseStage(cfg),
+            AlignStage(cfg),
+            AssembleStage(pixel_nm=6.0, slice_thickness_nm=12.0),
+            PlanarViewStage(),
+            SegmentStage(cfg, pixel_nm=6.0),
+        ]
+        for stage in stages:
+            assert isinstance(stage, Stage)
+            assert stage.name and stage.version
+
+    def test_denoise_stage_matches_function(self):
+        cfg = PipelineConfig(denoise_iterations=5)
+        images = [_texture(1), _texture(2)]
+        out, notes = DenoiseStage(cfg)(images)
+        direct = denoise_stack(images, method="chambolle", weight=0.08, iterations=5)
+        assert notes == {"slices": 2.0}
+        for a, b in zip(out, direct):
+            np.testing.assert_array_equal(a, b)
+
+    def test_align_stage_matches_function_and_keeps_report(self):
+        cfg = PipelineConfig(align_search_px=2, align_baselines=(1,))
+        images = [_texture(3), np.roll(_texture(3), 1, axis=0)]
+        stage = AlignStage(cfg, true_drift_px=[(0, 0), (1, 0)])
+        aligned, notes = stage(images)
+        direct, report = align_stack(
+            images, search_px=2, baselines=(1,), true_drift_px=[(0, 0), (1, 0)]
+        )
+        assert stage.report is not None
+        assert stage.report.corrections == report.corrections
+        assert notes["max_residual_px"] == float(report.max_residual_px())
+        for a, b in zip(aligned, direct):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestChunkWorkers:
+    """Thread-level chunk parallelism is bit-identical to serial."""
+
+    def test_denoise_stack_workers_equivalent(self):
+        images = [_texture(i) for i in range(4)]
+        serial = denoise_stack(images, iterations=5)
+        threaded = denoise_stack(images, iterations=5, workers=3)
+        for a, b in zip(serial, threaded):
+            np.testing.assert_array_equal(a, b)
+
+    def test_align_stack_workers_equivalent(self):
+        rng = np.random.default_rng(11)
+        images = [_texture(0)]
+        for i in range(1, 5):
+            images.append(np.clip(
+                np.roll(images[-1], int(rng.integers(-1, 2)), axis=0)
+                + rng.normal(0, 0.02, images[0].shape), 0, 1,
+            ))
+        serial, rep_a = align_stack(images, search_px=2)
+        threaded, rep_b = align_stack(images, search_px=2, workers=3)
+        assert rep_a.corrections == rep_b.corrections
+        for a, b in zip(serial, threaded):
+            np.testing.assert_array_equal(a, b)

@@ -34,24 +34,25 @@ class TestFastPath:
         assert result.all_exact
 
 
+@pytest.fixture(scope="module")
+def full_path_result(ocsa_cell):
+    """Simulated acquisition → pipeline → RE on the OCSA region."""
+    from repro.imaging import FibSemCampaign, SemParameters, acquire_stack, voxelize
+
+    volume = voxelize(ocsa_cell, voxel_nm=6.0)
+    stack = acquire_stack(
+        volume,
+        FibSemCampaign(slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0)),
+    )
+    return reverse_engineer_stack(
+        stack,
+        origin_x_nm=volume.origin_x_nm,
+        origin_y_nm=volume.origin_y_nm,
+        truth=ocsa_cell,
+    )
+
+
 class TestFullPath:
-    @pytest.fixture(scope="class")
-    def full_path_result(self, ocsa_cell):
-        """Simulated acquisition → pipeline → RE on the OCSA region."""
-        from repro.imaging import FibSemCampaign, SemParameters, acquire_stack, voxelize
-
-        volume = voxelize(ocsa_cell, voxel_nm=6.0)
-        stack = acquire_stack(
-            volume,
-            FibSemCampaign(slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0)),
-        )
-        return reverse_engineer_stack(
-            stack,
-            origin_x_nm=volume.origin_x_nm,
-            origin_y_nm=volume.origin_y_nm,
-            truth=ocsa_cell,
-        )
-
     def test_topology_survives_noise_and_drift(self, full_path_result):
         assert full_path_result.topology is SaTopology.OCSA
         assert full_path_result.lanes_matched == 2
@@ -95,6 +96,43 @@ class TestConsensusVote:
         assert probe.topology is SaTopology.CLASSIC
         assert not probe.all_exact
 
+    def _probe(self, classic_re, matches):
+        from repro.reveng.workflow import ReversedChip
+
+        return ReversedChip(
+            extracted=classic_re.extracted,
+            classification=classic_re.classification,
+            lane_matches=matches,
+            measurements=classic_re.measurements,
+        )
+
+    def test_tie_broken_deterministically(self, classic_re):
+        """A 1-1 vote must not depend on dict insertion order: with equal
+        exact counts the alphabetically-first topology wins, whichever
+        lane was matched first."""
+        from repro.circuits.matching import MatchResult
+
+        sig = classic_re.lane_matches[0].signature
+        ocsa_first = [
+            MatchResult(topology=SaTopology.OCSA, exact=True, signature=sig),
+            MatchResult(topology=SaTopology.CLASSIC, exact=True, signature=sig),
+        ]
+        classic_first = list(reversed(ocsa_first))
+        assert self._probe(classic_re, ocsa_first).topology is SaTopology.CLASSIC
+        assert self._probe(classic_re, classic_first).topology is SaTopology.CLASSIC
+
+    def test_tie_prefers_more_exact_matches(self, classic_re):
+        """Between tied vote counts, the topology with more exact (VF2)
+        matches wins before the alphabetical fallback."""
+        from repro.circuits.matching import MatchResult
+
+        sig = classic_re.lane_matches[0].signature
+        mixed = [
+            MatchResult(topology=SaTopology.OCSA, exact=True, signature=sig),
+            MatchResult(topology=SaTopology.CLASSIC, exact=False, signature=sig),
+        ]
+        assert self._probe(classic_re, mixed).topology is SaTopology.OCSA
+
     def test_no_matches_raises(self, classic_re):
         from repro.errors import ReverseEngineeringError
         from repro.reveng.workflow import ReversedChip
@@ -108,6 +146,22 @@ class TestConsensusVote:
         with pytest.raises(ReverseEngineeringError):
             _ = probe.topology
         assert not probe.all_exact
+
+
+class TestPipelineNotes:
+    """Both paths populate the common pipeline_notes schema."""
+
+    COMMON = ("devices_extracted", "lanes_matched", "lanes_exact")
+
+    def test_cell_path_notes(self, classic_re):
+        for key in self.COMMON:
+            assert key in classic_re.pipeline_notes
+        assert classic_re.pipeline_notes["pixel_nm"] == 6.0
+        assert classic_re.pipeline_notes["lanes_matched"] == 2.0
+
+    def test_stack_path_notes(self, full_path_result):
+        for key in self.COMMON:
+            assert key in full_path_result.pipeline_notes
 
 
 class TestMeasuredPitch:

@@ -1,0 +1,72 @@
+"""Stable hashing and the content-addressed stage cache."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.imaging import FibSemCampaign
+from repro.layout import SaRegionSpec
+from repro.runtime import StageCache, canonicalize, chain_key, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_dict_order(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_sensitivity(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+        assert stable_hash({"a": 1}) != stable_hash({"b": 1})
+
+    def test_dataclass_and_enum_canonicalization(self):
+        spec = SaRegionSpec(name="x", topology="ocsa", n_pairs=2)
+        token = canonicalize(spec)
+        assert token["class"] == "SaRegionSpec"
+        # dims is keyed by TransistorKind enums → canonical string keys
+        assert all(isinstance(k, str) for k in token["fields"]["dims"])
+
+    def test_spec_hash_changes_with_geometry(self):
+        a = SaRegionSpec(name="x", topology="ocsa", n_pairs=2)
+        b = SaRegionSpec(name="x", topology="ocsa", n_pairs=2, feature_nm=16.0)
+        assert stable_hash(a) != stable_hash(b)
+
+    def test_campaign_hash_changes_with_seed(self):
+        assert stable_hash(FibSemCampaign(seed=1)) != stable_hash(FibSemCampaign(seed=2))
+
+    def test_unhashable_object_raises(self):
+        with pytest.raises(CampaignError):
+            stable_hash({"fn": object()})
+
+    def test_chain_key_depends_on_parent_and_version(self):
+        k1 = chain_key(None, "denoise", "1", {"w": 0.08})
+        assert chain_key(None, "denoise", "2", {"w": 0.08}) != k1
+        assert chain_key(k1, "denoise", "1", {"w": 0.08}) != k1
+        assert chain_key(None, "denoise", "1", {"w": 0.09}) != k1
+        assert chain_key(None, "denoise", "1", {"w": 0.08}) == k1
+
+
+class TestStageCache:
+    def test_roundtrip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stable_hash({"stage": "test"})
+        assert not cache.contains(key)
+        nbytes = cache.store(key, {"value": [1, 2, 3]}, {"n": 3.0})
+        assert nbytes > 0
+        assert cache.contains(key)
+        assert cache.entry_bytes(key) == nbytes
+        payload, notes = cache.load(key)
+        assert payload == {"value": [1, 2, 3]}
+        assert notes == {"n": 3.0}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stable_hash("corrupt")
+        cache.store(key, {"v": 1}, {})
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+
+    def test_disabled_cache(self):
+        cache = StageCache(None)
+        assert not cache.enabled
+        assert not cache.contains("ab" * 32)
+        assert cache.load("ab" * 32) is None
+        assert cache.store("ab" * 32, {"v": 1}, {}) == 0
+        assert cache.entry_bytes("ab" * 32) == 0

@@ -1,0 +1,153 @@
+"""The campaign runtime: fan-out determinism and stage caching.
+
+The campaigns here use deliberately cheap pipeline settings (fewer TV
+iterations, a smaller MI search window, 1-pair regions) — orchestration
+behaviour is what is under test; full-fidelity numbers are covered by the
+end-to-end workflow tests and benches.
+"""
+
+import pickle
+
+import pytest
+
+from repro.circuits.topologies import SaTopology
+from repro.errors import CampaignError
+from repro.imaging import FibSemCampaign, SemParameters
+from repro.layout import SaRegionSpec
+from repro.pipeline import PipelineConfig
+from repro.runtime import ChipJob, run_campaign
+
+FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
+
+
+def _jobs() -> list[ChipJob]:
+    campaign = FibSemCampaign(
+        slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0)
+    )
+    return [
+        ChipJob(name="fab-classic",
+                spec=SaRegionSpec(name="rt_classic", topology="classic", n_pairs=1),
+                campaign=campaign),
+        ChipJob(name="fab-ocsa",
+                spec=SaRegionSpec(name="rt_ocsa", topology="ocsa", n_pairs=1),
+                campaign=campaign),
+    ]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("stage-cache")
+
+
+@pytest.fixture(scope="module")
+def serial_report(cache_dir):
+    """Cold serial run of the 2-chip campaign, populating the cache."""
+    return run_campaign(_jobs(), config=FAST, workers=1, cache_dir=cache_dir)
+
+
+class TestCampaignResults:
+    def test_topologies_recovered(self, serial_report):
+        assert serial_report.result("fab-classic").topology is SaTopology.CLASSIC
+        assert serial_report.result("fab-ocsa").topology is SaTopology.OCSA
+
+    def test_validation_attached(self, serial_report):
+        for result in serial_report.results().values():
+            assert result.validation is not None and result.validation.complete
+
+    def test_job_order_preserved(self, serial_report):
+        assert list(serial_report.chips) == ["fab-classic", "fab-ocsa"]
+
+    def test_stage_metrics_present(self, serial_report):
+        run = serial_report.chips["fab-ocsa"]
+        assert [s.stage for s in run.stages] == [
+            "layout", "voxelize", "acquire", "denoise", "align", "assemble", "reveng",
+        ]
+        assert all(s.seconds >= 0 for s in run.stages)
+        assert all(s.payload_bytes > 0 for s in run.stages)
+
+    def test_pipeline_notes_populated(self, serial_report):
+        notes = serial_report.result("fab-ocsa").pipeline_notes
+        for key in ("alignment_residual_fraction", "slices", "beam_time_hours",
+                    "devices_extracted", "lanes_matched"):
+            assert key in notes
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial(self, serial_report):
+        """Process-pool fan-out is bit-identical to the serial path."""
+        parallel = run_campaign(_jobs(), config=FAST, workers=2, cache_dir=None)
+        assert parallel.workers == 2
+        for name in ("fab-classic", "fab-ocsa"):
+            a, b = serial_report.result(name), parallel.result(name)
+            assert a.topology is b.topology
+            assert a.lanes_matched == b.lanes_matched
+            assert a.pipeline_notes == b.pipeline_notes
+            assert pickle.dumps(a.measurements) == pickle.dumps(b.measurements)
+            assert a.validation.max_relative_error() == b.validation.max_relative_error()
+
+
+class TestStageCacheBehaviour:
+    def test_cold_run_misses_everything(self, serial_report):
+        assert serial_report.cache_hits == 0
+        assert serial_report.cache_misses == 14  # 7 stages x 2 chips
+
+    def test_warm_run_executes_nothing(self, serial_report, cache_dir):
+        warm = run_campaign(_jobs(), config=FAST, workers=1, cache_dir=cache_dir)
+        assert warm.cache_misses == 0
+        assert warm.stages_executed == 0
+        # Upstream imaging/pipeline stages were skipped outright: only the
+        # final reveng entry is ever loaded.
+        for run in warm.chips.values():
+            dispositions = {s.stage: s.disposition for s in run.stages}
+            assert dispositions["reveng"] == "hit"
+            for stage in ("layout", "voxelize", "acquire", "denoise", "align", "assemble"):
+                assert dispositions[stage] == "skip"
+        # ... and the cached results equal the originals.
+        for name in ("fab-classic", "fab-ocsa"):
+            assert pickle.dumps(warm.result(name).measurements) == \
+                pickle.dumps(serial_report.result(name).measurements)
+
+    def test_segmentation_change_reruns_only_reveng(self, serial_report, cache_dir):
+        """Changing a final-stage parameter re-executes only that stage."""
+        tweaked = FAST.replaced(segment_tolerance=0.45)
+        report = run_campaign(_jobs(), config=tweaked, workers=1, cache_dir=cache_dir)
+        for run in report.chips.values():
+            assert run.stages_executed == ["reveng"]
+
+    def test_chunk_workers_do_not_change_cache_keys(self, serial_report, cache_dir):
+        """chunk_workers is an execution knob: same results, same cache."""
+        threaded = FAST.replaced(chunk_workers=2)
+        report = run_campaign(_jobs(), config=threaded, workers=1, cache_dir=cache_dir)
+        assert report.cache_misses == 0
+
+
+class TestJobValidation:
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            run_campaign(_jobs() + _jobs())
+
+    def test_unnamed_job_rejected(self):
+        with pytest.raises(CampaignError):
+            ChipJob(name="", spec=SaRegionSpec(topology="classic"))
+
+    def test_roi_requires_mat_context(self):
+        with pytest.raises(CampaignError, match="mat_rows"):
+            ChipJob(name="x", spec=SaRegionSpec(topology="classic"), roi_margin_nm=100.0)
+
+    def test_unknown_result_name(self, serial_report):
+        with pytest.raises(CampaignError):
+            serial_report.result("nope")
+
+    def test_for_chip_builds_table1_job(self):
+        job = ChipJob.for_chip("b5", n_pairs=1)
+        assert job.name == "B5"
+        assert job.spec.topology == "ocsa"
+
+    def test_render_mentions_cache_dispositions(self, serial_report):
+        text = serial_report.render()
+        assert "reveng" in text and "run" in text
+        assert "2 chips" in text
