@@ -1,0 +1,32 @@
+"""Kernel perf trajectory — the fast paths vs their retained references.
+
+Runs the ``repro.perf`` harness on the tiny workload, prints the
+per-kernel ns/pixel table, and asserts the two invariants every perf PR
+must preserve: all rewritten kernels reproduce their reference outputs
+exactly, and the fast paths are not slower than the references on the
+alignment kernels (where the structural win is largest).
+
+The full-scale record lives in ``BENCH_pipeline.json`` at the repo root
+(regenerate with ``python -m repro.perf``).
+"""
+
+from conftest import emit
+
+from repro.perf import render_report, run_benchmarks
+
+
+def _run():
+    return run_benchmarks(scale="tiny", include_campaign=False)
+
+
+def test_perf_kernels(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("pipeline kernel perf (tiny scale)", render_report(report))
+    checked = [k for k in report.kernels if k.outputs_match is not None]
+    assert checked and all(k.outputs_match for k in checked)
+    # The bincount rewrite wins even at toy sizes; the TV pools need the
+    # bench_pipeline_alignment-scale stack to amortise (see the committed
+    # BENCH_pipeline.json for the >=5x / >=1.5x at-scale record).
+    assert report.kernel("align_stack").speedup > 1.0
+    assert report.kernel("align_pair").speedup > 1.0
+    assert report.pipeline["seconds"] > 0

@@ -93,6 +93,14 @@ options:
   --fast        cheaper pipeline settings (fewer TV iterations, smaller
                 MI search) for demos and smoke tests
   --no-validate skip the ground-truth validation report
+  --shift-penalty P
+                MI shift regularisation in nats per pixel of shift
+                (default 0.01)
+  --search-strategy S
+                MI search: "exhaustive" (default) or "pyramid"
+                (coarse-to-fine, ~4x fewer MI evaluations)
+  --tol T       TV denoise early-stop tolerance (default: run the full
+                published iteration counts)
 """
 
 
@@ -115,12 +123,22 @@ def cmd_campaign(args: list[str]) -> int:
         except ValueError:
             raise _UsageError(f"{flag} requires an integer, got {raw!r}") from None
 
+    def _float_value(flag: str, i: int) -> float:
+        raw = _value(flag, i)
+        try:
+            return float(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires a number, got {raw!r}") from None
+
     targets: list[str] = []
     workers: int | None = None
     cache_dir: str | None = None
     n_pairs = 2
     fast = False
     validate = True
+    shift_penalty: float | None = None
+    search_strategy: str | None = None
+    tol: float | None = None
     try:
         i = 0
         while i < len(args):
@@ -138,6 +156,15 @@ def cmd_campaign(args: list[str]) -> int:
                 fast = True
             elif arg == "--no-validate":
                 validate = False
+            elif arg == "--shift-penalty":
+                i += 1
+                shift_penalty = _float_value(arg, i)
+            elif arg == "--search-strategy":
+                i += 1
+                search_strategy = _value(arg, i)
+            elif arg == "--tol":
+                i += 1
+                tol = _float_value(arg, i)
             elif arg in ("--help", "-h"):
                 print(_CAMPAIGN_USAGE)
                 return 0
@@ -174,6 +201,12 @@ def cmd_campaign(args: list[str]) -> int:
             config = config.replaced(
                 denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
             )
+        if shift_penalty is not None:
+            config = config.replaced(align_shift_penalty=shift_penalty)
+        if search_strategy is not None:
+            config = config.replaced(align_search_strategy=search_strategy)
+        if tol is not None:
+            config = config.replaced(denoise_tol=tol)
         report = run_campaign(jobs, config=config, workers=workers, cache_dir=cache_dir)
     except ReproError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -97,8 +98,8 @@ class SemParameters:
         return pixels * self.dwell_time_us
 
 
-def contrast_lookup(params: SemParameters) -> np.ndarray:
-    """Material-code → intensity lookup table for these parameters."""
+def _build_contrast_table(params: SemParameters) -> np.ndarray:
+    """Build the material-code → intensity table (uncached)."""
     table = np.zeros(max(MATERIAL_CODES.values()) + 1)
     for code, material in CODE_TO_MATERIAL.items():
         value = _CONTRAST[params.detector][material]
@@ -108,6 +109,24 @@ def contrast_lookup(params: SemParameters) -> np.ndarray:
             value = base + (value - base) * SE_CONTRAST_COLLAPSE
         table[code] = value * params.brightness
     return np.clip(table, 0.0, 1.0)
+
+
+@lru_cache(maxsize=64)
+def _contrast_lookup_cached(params: SemParameters) -> np.ndarray:
+    table = _build_contrast_table(params)
+    table.flags.writeable = False  # shared across callers — must stay immutable
+    return table
+
+
+def contrast_lookup(params: SemParameters) -> np.ndarray:
+    """Material-code → intensity lookup table for these parameters.
+
+    Memoised per :class:`SemParameters` (the dataclass is frozen, hence
+    hashable): acquisition rebuilds the same few-entry table for every
+    slice of every stack, so repeated calls return one shared, *read-only*
+    array.  Callers that need to mutate it must copy first.
+    """
+    return _contrast_lookup_cached(params)
 
 
 def image_cross_section(

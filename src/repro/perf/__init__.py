@@ -1,0 +1,40 @@
+"""Performance measurement for the §IV-C post-processing kernels.
+
+The campaign runtime fans the pipeline kernels out per chip, so every
+kernel-level speedup multiplies across the fleet — and every perf PR
+needs a recorded trajectory to prove it moved the needle.  This package
+provides that record:
+
+* :func:`repro.perf.bench.run_benchmarks` — ``timeit``-style
+  micro-benchmarks of each hot kernel (MI registration, the two TV
+  denoisers, multi-Otsu, the SEM contrast table) against the retained
+  ``_reference`` implementations, plus an end-to-end pipeline run and a
+  tiny campaign wall-time probe;
+* :func:`repro.perf.bench.write_report` — serialise the results to
+  ``BENCH_pipeline.json`` (per-kernel ns/pixel, speedup vs reference,
+  campaign wall seconds);
+* ``python -m repro.perf`` — the CLI that runs both (``--scale tiny``
+  for CI smoke jobs, the default scale for recorded numbers).
+
+Every benchmark also *verifies* the fast kernel against its reference
+(``outputs_match``), so a perf regression hunt never chases a kernel
+that silently changed semantics.
+"""
+
+from repro.perf.bench import (
+    DEFAULT_REPORT_PATH,
+    BenchReport,
+    KernelBench,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "BenchReport",
+    "KernelBench",
+    "render_report",
+    "run_benchmarks",
+    "write_report",
+]

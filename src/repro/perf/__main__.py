@@ -1,0 +1,78 @@
+"""CLI: ``python -m repro.perf`` — run the kernel perf harness.
+
+Writes ``BENCH_pipeline.json`` (per-kernel ns/pixel, speedup vs the
+retained reference implementations, end-to-end pipeline time, campaign
+wall time) and prints the human-readable table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError
+from repro.perf.bench import (
+    DEFAULT_REPORT_PATH,
+    _SCALES,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+
+_USAGE = f"""\
+usage: python -m repro.perf [options]
+
+options:
+  --scale S      workload scale: {', '.join(sorted(_SCALES))} (default: default)
+  --out PATH     report path (default: {DEFAULT_REPORT_PATH})
+  --no-campaign  skip the one-chip campaign wall-time probe
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    scale = "default"
+    out = DEFAULT_REPORT_PATH
+    include_campaign = True
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--scale":
+            i += 1
+            if i >= len(args):
+                print("--scale requires a value", file=sys.stderr)
+                return 2
+            scale = args[i]
+        elif arg == "--out":
+            i += 1
+            if i >= len(args):
+                print("--out requires a value", file=sys.stderr)
+                return 2
+            out = args[i]
+        elif arg == "--no-campaign":
+            include_campaign = False
+        elif arg in ("--help", "-h"):
+            print(_USAGE)
+            return 0
+        else:
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            print(_USAGE, file=sys.stderr)
+            return 2
+        i += 1
+
+    try:
+        report = run_benchmarks(scale=scale, include_campaign=include_campaign)
+    except ReproError as exc:
+        print(f"perf run failed: {exc}", file=sys.stderr)
+        return 1
+    path = write_report(report, out)
+    print(render_report(report))
+    print(f"\nreport written: {path}")
+    mismatched = [k.name for k in report.kernels if k.outputs_match is False]
+    if mismatched:
+        print(f"OUTPUT MISMATCH in: {', '.join(mismatched)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,338 @@
+"""Micro- and end-to-end benchmarks for the post-processing kernels.
+
+Each hot kernel is timed (best-of-``repeats`` wall time, ``timeit``
+style) against the retained ``_reference`` implementation it replaced,
+on a deterministic synthetic workload.  Results are reported as
+ns/pixel — the scale-free number that survives workload changes — plus
+the speedup factor, and every comparison re-checks that the fast kernel
+reproduces the reference output exactly (``outputs_match``).
+
+The ``"default"`` scale mirrors the ``bench_pipeline_alignment``
+workload (82 slices of 1339×64 float32); ``"tiny"`` is for CI smoke
+jobs and finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Where ``python -m repro.perf`` writes its record by default.
+DEFAULT_REPORT_PATH = "BENCH_pipeline.json"
+
+_SCALES: dict[str, dict[str, Any]] = {
+    # CI smoke: everything in a few seconds.
+    "tiny": {"slices": 5, "shape": (96, 48), "otsu_shape": (96, 96),
+             "stack_repeats": 1, "micro_repeats": 3},
+    # The bench_pipeline_alignment.py-scale workload (§IV-C B5-like stack).
+    "default": {"slices": 82, "shape": (1339, 64), "otsu_shape": (512, 512),
+                "stack_repeats": 1, "micro_repeats": 2},
+}
+
+
+def _synthetic_stack(
+    slices: int, shape: tuple[int, int], seed: int = 1234
+) -> list[np.ndarray]:
+    """A drifting, noisy rail texture resembling an SA cross-section stack.
+
+    Long vertical rails (nearly translation-invariant along one axis, like
+    bitlines) over a blocky background, with per-slice integer drift and
+    shot noise — the same structure that makes the real MI search need its
+    shift penalty.  Deterministic for a given seed.
+    """
+    rng = np.random.default_rng(seed)
+    nx, nz = shape
+    base = np.zeros(shape)
+    base[:, :: max(nz // 8, 2)] = 0.75  # rails
+    blocks = np.kron(
+        rng.random((max(nx // 16, 1), max(nz // 8, 1))),
+        np.ones((16, 8)),
+    )[:nx, :nz]
+    pad_x, pad_z = nx - blocks.shape[0], nz - blocks.shape[1]
+    if pad_x or pad_z:
+        blocks = np.pad(blocks, ((0, pad_x), (0, pad_z)), mode="edge")
+    base = np.clip(0.2 + 0.4 * blocks + base, 0.0, 1.0)
+    stack = []
+    for i in range(slices):
+        drift = int(rng.integers(-1, 2)) * (i % 3 == 0)
+        img = np.roll(base, drift * i, axis=0)
+        img = img + rng.normal(0.0, 0.05, shape)
+        stack.append(np.clip(img, 0.0, 1.0).astype(np.float32))
+    return stack
+
+
+@dataclass
+class KernelBench:
+    """Timing of one kernel against its retained reference."""
+
+    name: str
+    pixels: int
+    fast_seconds: float
+    reference_seconds: float | None = None
+    outputs_match: bool | None = None
+
+    @property
+    def speedup(self) -> float | None:
+        if self.reference_seconds is None or self.fast_seconds <= 0:
+            return None
+        return self.reference_seconds / self.fast_seconds
+
+    @property
+    def ns_per_pixel(self) -> float:
+        return self.fast_seconds / max(self.pixels, 1) * 1e9
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "pixels": self.pixels,
+            "fast_seconds": self.fast_seconds,
+            "reference_seconds": self.reference_seconds,
+            "speedup": self.speedup,
+            "ns_per_pixel": self.ns_per_pixel,
+            "outputs_match": self.outputs_match,
+        }
+
+
+@dataclass
+class BenchReport:
+    """Everything one perf run measured, ready for ``BENCH_pipeline.json``."""
+
+    scale: str
+    workload: dict[str, Any]
+    kernels: list[KernelBench]
+    pipeline: dict[str, Any]
+    campaign: dict[str, Any] | None = None
+    environment: dict[str, str] = field(default_factory=dict)
+
+    def kernel(self, name: str) -> KernelBench:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise ReproError(f"no kernel benchmark named {name!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-perf/1",
+            "created_unix": time.time(),
+            "scale": self.scale,
+            "workload": self.workload,
+            "environment": self.environment,
+            "kernels": [k.as_dict() for k in self.kernels],
+            "pipeline": self.pipeline,
+            "campaign": self.campaign,
+        }
+
+
+def _time(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-*repeats* wall seconds of ``fn()``, plus its last result."""
+    best = float("inf")
+    result: Any = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _stacks_equal(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    return len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def run_benchmarks(
+    scale: str = "default",
+    include_campaign: bool = True,
+    seed: int = 1234,
+) -> BenchReport:
+    """Benchmark every rewritten kernel against its retained reference.
+
+    Covers: bincount-MI ``align_pair``/``align_stack`` vs the
+    ``histogram2d`` brute force, pooled-buffer ``chambolle_tv`` /
+    ``split_bregman_tv`` vs the allocating solvers, vectorised
+    ``multi_otsu`` vs the exhaustive search, the memoised
+    ``contrast_lookup`` vs a fresh table build, an end-to-end pipeline
+    chain, and (optionally) a one-chip fast-mode campaign wall-time probe.
+    """
+    from repro.imaging.sem import SemParameters, _build_contrast_table, contrast_lookup
+    from repro.pipeline.denoise import (
+        _reference_denoise_stack,
+        chambolle_tv,
+        denoise_stack,
+        split_bregman_tv,
+    )
+    from repro.pipeline.register import (
+        _reference_align_pair,
+        _reference_align_stack,
+        align_pair,
+        align_stack,
+    )
+    from repro.pipeline.segment import _reference_multi_otsu, multi_otsu
+    from repro.pipeline.stack import assemble_volume, planar_views
+
+    if scale not in _SCALES:
+        raise ReproError(f"unknown perf scale {scale!r} (expected one of {sorted(_SCALES)})")
+    params = _SCALES[scale]
+    slices, shape = params["slices"], tuple(params["shape"])
+    stack_repeats, micro_repeats = params["stack_repeats"], params["micro_repeats"]
+    stack = _synthetic_stack(slices, shape, seed=seed)
+    slice_px = int(np.prod(shape))
+    stack_px = slice_px * slices
+    kernels: list[KernelBench] = []
+
+    # --- registration -----------------------------------------------------
+    pair_s, pair_out = _time(lambda: align_pair(stack[0], stack[1]), micro_repeats)
+    pair_ref_s, pair_ref_out = _time(
+        lambda: _reference_align_pair(stack[0], stack[1]), micro_repeats
+    )
+    kernels.append(KernelBench(
+        "align_pair", 2 * slice_px, pair_s, pair_ref_s, pair_out == pair_ref_out,
+    ))
+
+    stack_s, (aligned, report) = _time(lambda: align_stack(stack), stack_repeats)
+    stack_ref_s, (aligned_ref, report_ref) = _time(
+        lambda: _reference_align_stack(stack), stack_repeats
+    )
+    kernels.append(KernelBench(
+        "align_stack", stack_px, stack_s, stack_ref_s,
+        report.corrections == report_ref.corrections
+        and _stacks_equal(aligned, aligned_ref),
+    ))
+
+    # --- denoising --------------------------------------------------------
+    ch_s, ch_out = _time(lambda: chambolle_tv(stack[0]), micro_repeats)
+    kernels.append(KernelBench("chambolle_tv", slice_px, ch_s))
+    sb_s, sb_out = _time(lambda: split_bregman_tv(stack[0]), micro_repeats)
+    kernels.append(KernelBench("split_bregman_tv", slice_px, sb_s))
+
+    for method in ("chambolle", "split_bregman"):
+        fast_s, fast_out = _time(
+            lambda m=method: denoise_stack(stack, method=m), stack_repeats
+        )
+        ref_s, ref_out = _time(
+            lambda m=method: _reference_denoise_stack(stack, method=m), stack_repeats
+        )
+        kernels.append(KernelBench(
+            f"denoise_stack[{method}]", stack_px, fast_s, ref_s,
+            _stacks_equal(fast_out, ref_out),
+        ))
+
+    # --- segmentation -----------------------------------------------------
+    rng = np.random.default_rng(seed + 1)
+    otsu_shape = tuple(params["otsu_shape"])
+    levels = rng.choice([0.1, 0.45, 0.8], size=otsu_shape)
+    otsu_img = np.clip(levels + rng.normal(0.0, 0.06, otsu_shape), 0.0, 1.0)
+    mo_s, mo_out = _time(lambda: multi_otsu(otsu_img, classes=3), micro_repeats)
+    mo_ref_s, mo_ref_out = _time(
+        lambda: _reference_multi_otsu(otsu_img, classes=3), micro_repeats
+    )
+    kernels.append(KernelBench(
+        "multi_otsu[3]", int(np.prod(otsu_shape)), mo_s, mo_ref_s, mo_out == mo_ref_out,
+    ))
+
+    # --- SEM contrast table ----------------------------------------------
+    sem = SemParameters()
+    calls = 2000
+    lut_s, lut_out = _time(
+        lambda: [contrast_lookup(sem) for _ in range(calls)][-1], micro_repeats
+    )
+    lut_ref_s, lut_ref_out = _time(
+        lambda: [_build_contrast_table(sem) for _ in range(calls)][-1], micro_repeats
+    )
+    kernels.append(KernelBench(
+        f"contrast_lookup[x{calls}]", calls * lut_out.size, lut_s, lut_ref_s,
+        bool(np.array_equal(lut_out, lut_ref_out)),
+    ))
+
+    # --- end-to-end pipeline chain ---------------------------------------
+    def _pipeline() -> Any:
+        denoised = denoise_stack(stack)
+        aligned, _report = align_stack(denoised)
+        volume = assemble_volume(aligned, pixel_nm=6.0, slice_thickness_nm=12.0)
+        return planar_views(volume)
+
+    pipe_s, views = _time(_pipeline, stack_repeats)
+    pipeline = {
+        "seconds": pipe_s,
+        "pixels": stack_px,
+        "ns_per_pixel": pipe_s / stack_px * 1e9,
+        "layers": len(views),
+    }
+
+    # --- campaign wall time ----------------------------------------------
+    campaign: dict[str, Any] | None = None
+    if include_campaign:
+        from repro.pipeline.config import PipelineConfig
+        from repro.runtime import ChipJob, run_campaign
+
+        job = ChipJob.synthetic("perf_probe", "classic", n_pairs=1, validate=False)
+        config = PipelineConfig(
+            denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+        )
+        t0 = time.perf_counter()
+        run_campaign([job], config=config, workers=1)
+        campaign = {
+            "wall_seconds": time.perf_counter() - t0,
+            "jobs": 1,
+            "preset": "fast",
+        }
+
+    return BenchReport(
+        scale=scale,
+        workload={
+            "slices": slices,
+            "shape": list(shape),
+            "otsu_shape": list(otsu_shape),
+            "stack_repeats": stack_repeats,
+            "micro_repeats": micro_repeats,
+            "seed": seed,
+        },
+        kernels=kernels,
+        pipeline=pipeline,
+        campaign=campaign,
+        environment={
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    )
+
+
+def write_report(report: BenchReport, path: str | Path = DEFAULT_REPORT_PATH) -> Path:
+    """Serialise a perf run to JSON (the recorded trajectory artefact)."""
+    target = Path(path)
+    target.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_report(report: BenchReport) -> str:
+    """Human-readable table of one perf run."""
+    from repro.core.report import render_table
+
+    rows = []
+    for k in report.kernels:
+        rows.append([
+            k.name,
+            f"{k.ns_per_pixel:.1f}",
+            f"{k.reference_seconds / max(k.pixels, 1) * 1e9:.1f}" if k.reference_seconds else "-",
+            f"{k.speedup:.2f}x" if k.speedup else "-",
+            {True: "yes", False: "NO", None: "-"}[k.outputs_match],
+        ])
+    body = render_table(
+        ["kernel", "ns/px", "ref ns/px", "speedup", "match"],
+        rows,
+        title=f"pipeline kernels ({report.scale} scale)",
+    )
+    lines = [body, f"\nend-to-end pipeline: {report.pipeline['seconds']:.3f}s "
+                   f"({report.pipeline['ns_per_pixel']:.1f} ns/px)"]
+    if report.campaign is not None:
+        lines.append(f"campaign probe ({report.campaign['preset']}): "
+                     f"{report.campaign['wall_seconds']:.2f}s wall")
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.pipeline.register import AlignmentReport, align_stack
 from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
 
 _DENOISE_METHODS = ("chambolle", "split_bregman")
+_SEARCH_STRATEGIES = ("exhaustive", "pyramid")
 
 #: Map from the legacy ``reverse_engineer_stack`` keywords to config fields.
 LEGACY_KWARGS = {
@@ -62,12 +63,22 @@ class PipelineConfig:
     denoise_weight: float = 0.08
     #: Iteration override; ``None`` keeps each method's published default.
     denoise_iterations: int | None = None
+    #: Early-stopping tolerance for the TV solvers; ``None`` (default)
+    #: runs the exact published iteration counts (bit-identical outputs).
+    denoise_tol: float | None = None
     #: MI alignment search window (± px).
     align_search_px: int = 4
     #: MI histogram bins.
     align_bins: int = 32
     #: Multi-baseline registration offsets (see :func:`align_stack`).
     align_baselines: tuple[int, ...] = (1, 2, 3)
+    #: MI shift regularisation (nats per pixel of shift) — see
+    #: :func:`~repro.pipeline.register.align_pair`.
+    align_shift_penalty: float = 0.01
+    #: ``"exhaustive"`` scores the full ±window; ``"pyramid"`` is the
+    #: opt-in coarse-to-fine search (faster, may differ on flat MI
+    #: surfaces — result-affecting, so it is part of the cache token).
+    align_search_strategy: str = "exhaustive"
     #: Intensity-classification tolerance of the segmentation step
     #: (see :meth:`repro.reveng.features.PlanarFeatures.from_views`).
     segment_tolerance: float = 0.5
@@ -86,6 +97,15 @@ class PipelineConfig:
             raise PipelineError("denoise weight must be positive")
         if self.denoise_iterations is not None and self.denoise_iterations < 1:
             raise PipelineError("denoise iterations must be >= 1")
+        if self.denoise_tol is not None and self.denoise_tol <= 0:
+            raise PipelineError("denoise tolerance must be positive (or None)")
+        if self.align_shift_penalty < 0:
+            raise PipelineError("shift penalty must be >= 0")
+        if self.align_search_strategy not in _SEARCH_STRATEGIES:
+            raise PipelineError(
+                f"unknown search strategy {self.align_search_strategy!r} "
+                f"(expected one of {_SEARCH_STRATEGIES})"
+            )
         if self.align_search_px < 1:
             raise PipelineError("alignment search window must be >= 1 px")
         if self.align_bins < 2:
@@ -109,21 +129,39 @@ class PipelineConfig:
         }
         if self.denoise_iterations is not None:
             kwargs["iterations"] = self.denoise_iterations
+        if self.denoise_tol is not None:
+            kwargs["tol"] = self.denoise_tol
         return kwargs
+
+    def align_kwargs(self) -> dict[str, Any]:
+        """Keyword arguments for :func:`align_stack`."""
+        return {
+            "search_px": self.align_search_px,
+            "bins": self.align_bins,
+            "baselines": self.align_baselines,
+            "shift_penalty": self.align_shift_penalty,
+            "search_strategy": self.align_search_strategy,
+        }
 
     def cache_token(self) -> dict[str, Any]:
         """The result-affecting parameters, as a canonical plain dict.
 
         ``chunk_workers`` is excluded: it changes how fast a stage runs,
-        never what it produces.
+        never what it produces.  ``denoise_tol``, ``align_shift_penalty``
+        and ``align_search_strategy`` *are* included — early stopping and
+        the pyramid search trade exactness for speed, so their settings
+        affect results and must invalidate cached artefacts.
         """
         return {
             "denoise_method": self.denoise_method,
             "denoise_weight": self.denoise_weight,
             "denoise_iterations": self.denoise_iterations,
+            "denoise_tol": self.denoise_tol,
             "align_search_px": self.align_search_px,
             "align_bins": self.align_bins,
             "align_baselines": list(self.align_baselines),
+            "align_shift_penalty": self.align_shift_penalty,
+            "align_search_strategy": self.align_search_strategy,
             "segment_tolerance": self.segment_tolerance,
         }
 
@@ -205,11 +243,9 @@ class AlignStage:
     def __call__(self, data: list[np.ndarray]) -> tuple[list[np.ndarray], dict[str, float]]:
         aligned, report = align_stack(
             data,
-            search_px=self.config.align_search_px,
-            bins=self.config.align_bins,
-            baselines=self.config.align_baselines,
             true_drift_px=self.true_drift_px,
             workers=self.config.chunk_workers,
+            **self.config.align_kwargs(),
         )
         self.report = report
         notes = {"slices": float(len(aligned)),

@@ -41,22 +41,99 @@ def otsu_threshold(image: np.ndarray, bins: int = 128) -> float:
     return float(centers[int(best[(len(best) - 1) // 2])])
 
 
-def multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -> list[float]:
-    """Multi-level Otsu via exhaustive search (small class counts only).
+def _multi_otsu_moments(
+    image: np.ndarray, bins: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Histogram bin centers plus cumulative zeroth/first moments."""
+    hist, edges = np.histogram(image.ravel(), bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2
+    prob = hist / max(hist.sum(), 1)
+    p = np.concatenate(([0.0], np.cumsum(prob)))
+    m = np.concatenate(([0.0], np.cumsum(prob * centers)))
+    return centers, p, m
 
-    Returns ``classes − 1`` thresholds in increasing order.
+
+def multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -> list[float]:
+    """Multi-level Otsu: exhaustive threshold search, vectorised.
+
+    Returns ``classes − 1`` thresholds in increasing order.  The O(bins³)
+    Python loops of the original search are replaced by broadcast sums
+    over a precomputed ``class_var(i, j)`` table built from the cumulative
+    moments; the additions happen in the loop's exact order and ties still
+    resolve to the lexicographically first threshold tuple, so the result
+    is identical to the retained :func:`_reference_multi_otsu`.
     """
     if classes < 2:
         raise PipelineError("need at least two classes")
     if classes > 4:
         raise PipelineError("multi_otsu supports up to 4 classes")
-    hist, edges = np.histogram(image.ravel(), bins=bins)
-    centers = (edges[:-1] + edges[1:]) / 2
-    prob = hist / max(hist.sum(), 1)
+    centers, p, m = _multi_otsu_moments(image, bins)
 
-    # Precompute zeroth and first cumulative moments.
-    p = np.concatenate(([0.0], np.cumsum(prob)))
-    m = np.concatenate(([0.0], np.cumsum(prob * centers)))
+    # V[i, j] = class_var(i, j): weight * mean², −inf for empty spans.
+    W = p[None, :] - p[:, None]
+    M = m[None, :] - m[:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        MU = M / W
+        V = W * MU
+        V *= MU
+    V[~(W > 0)] = -np.inf
+
+    if classes == 2:
+        t1s = np.arange(1, bins)
+        scores = V[0, t1s] + V[t1s, bins]
+        if scores.size == 0:
+            return []
+        flat = int(np.argmax(scores))
+        if scores.flat[flat] == -np.inf:
+            return []
+        thresholds = (int(t1s[flat]),)
+    elif classes == 3:
+        t1s = np.arange(1, bins - 1)
+        t2s = np.arange(2, bins)
+        scores = (V[0, t1s][:, None] + V[np.ix_(t1s, t2s)]) + V[t2s, bins][None, :]
+        if scores.size == 0:
+            return []
+        scores[t2s[None, :] <= t1s[:, None]] = -np.inf
+        flat = int(np.argmax(scores))
+        if scores.flat[flat] == -np.inf:
+            return []
+        i1, i2 = np.unravel_index(flat, scores.shape)
+        thresholds = (int(t1s[i1]), int(t2s[i2]))
+    else:
+        t1s = np.arange(1, bins - 2)
+        t2s = np.arange(2, bins - 1)
+        t3s = np.arange(3, bins)
+        scores = (
+            (V[0, t1s][:, None, None] + V[np.ix_(t1s, t2s)][:, :, None])
+            + V[np.ix_(t2s, t3s)][None, :, :]
+        ) + V[t3s, bins][None, None, :]
+        if scores.size == 0:
+            return []
+        invalid = (
+            (t2s[None, :, None] <= t1s[:, None, None])
+            | (t3s[None, None, :] <= t2s[None, :, None])
+        )
+        scores[invalid] = -np.inf
+        flat = int(np.argmax(scores))
+        if scores.flat[flat] == -np.inf:
+            return []
+        i1, i2, i3 = np.unravel_index(flat, scores.shape)
+        thresholds = (int(t1s[i1]), int(t2s[i2]), int(t3s[i3]))
+    return [float(centers[t]) for t in thresholds]
+
+
+def _reference_multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -> list[float]:
+    """The original O(bins³) exhaustive multi-Otsu search.
+
+    Retained as ground truth for the vectorised :func:`multi_otsu` —
+    equality tests compare the two threshold for threshold, and the perf
+    harness reports the vectorisation speedup.
+    """
+    if classes < 2:
+        raise PipelineError("need at least two classes")
+    if classes > 4:
+        raise PipelineError("multi_otsu supports up to 4 classes")
+    centers, p, m = _multi_otsu_moments(image, bins)
 
     def class_var(i: int, j: int) -> float:
         w = p[j] - p[i]

@@ -219,15 +219,24 @@ def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]
             "x_start_nm": job.x_start_nm, "x_stop_nm": job.x_stop_nm,
             "y_start_nm": job.y_start_nm, "y_stop_nm": job.y_stop_nm,
         }, run_acquire),
+        # Stage params carry every result-affecting knob and nothing else:
+        # execution-only settings (config.chunk_workers) are deliberately
+        # absent so a re-run with more threads still hits the cache, while
+        # the exactness-trading knobs (denoise_tol, shift penalty, search
+        # strategy) are keyed so flipping them invalidates downstream
+        # artefacts.
         _StageDef("denoise", {
             "method": config.denoise_method,
             "weight": config.denoise_weight,
             "iterations": config.denoise_iterations,
+            "tol": config.denoise_tol,
         }, run_denoise),
         _StageDef("align", {
             "search_px": config.align_search_px,
             "bins": config.align_bins,
             "baselines": list(config.align_baselines),
+            "shift_penalty": config.align_shift_penalty,
+            "search_strategy": config.align_search_strategy,
         }, run_align),
         _StageDef("assemble", {}, run_assemble),
         _StageDef("reveng", {

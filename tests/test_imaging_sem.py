@@ -60,6 +60,20 @@ class TestContrast:
         b = contrast_lookup(SemParameters(detector=Detector.BSE, se_friendly_process=False))
         assert np.allclose(a, b)
 
+    def test_lookup_memoized_per_parameters(self):
+        """Equal frozen SemParameters share one cached, read-only table."""
+        from repro.imaging.sem import _build_contrast_table
+
+        a = contrast_lookup(SemParameters(dwell_time_us=2.5))
+        b = contrast_lookup(SemParameters(dwell_time_us=2.5))
+        c = contrast_lookup(SemParameters(dwell_time_us=3.5))
+        assert a is b
+        assert c is not a
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0.5
+        np.testing.assert_array_equal(a, _build_contrast_table(SemParameters(dwell_time_us=2.5)))
+
 
 class TestImaging:
     def test_image_range_and_dtype(self):

@@ -1,0 +1,106 @@
+"""The kernel perf harness (repro.perf)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.perf import (
+    BenchReport,
+    KernelBench,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # One shared tiny run for the whole module: the harness itself re-checks
+    # fast-vs-reference equality, so this doubles as an integration test.
+    return run_benchmarks(scale="tiny", include_campaign=False)
+
+
+class TestKernelBench:
+    def test_derived_metrics(self):
+        k = KernelBench("k", pixels=1000, fast_seconds=0.001, reference_seconds=0.004)
+        assert k.speedup == pytest.approx(4.0)
+        assert k.ns_per_pixel == pytest.approx(1000.0)
+
+    def test_no_reference(self):
+        k = KernelBench("k", pixels=10, fast_seconds=0.1)
+        assert k.speedup is None
+        assert k.as_dict()["speedup"] is None
+
+
+class TestRunBenchmarks:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError, match="scale"):
+            run_benchmarks(scale="galactic")
+
+    def test_covers_every_rewritten_kernel(self, tiny_report):
+        names = {k.name for k in tiny_report.kernels}
+        assert {"align_pair", "align_stack", "denoise_stack[chambolle]",
+                "denoise_stack[split_bregman]", "multi_otsu[3]"} <= names
+        assert any(n.startswith("contrast_lookup") for n in names)
+
+    def test_fast_kernels_match_references(self, tiny_report):
+        """The headline guarantee: every rewrite is output-identical."""
+        checked = [k for k in tiny_report.kernels if k.outputs_match is not None]
+        assert checked and all(k.outputs_match for k in checked)
+
+    def test_pipeline_and_workload_recorded(self, tiny_report):
+        assert tiny_report.pipeline["pixels"] == \
+            tiny_report.workload["slices"] * int(np.prod(tiny_report.workload["shape"]))
+        assert tiny_report.pipeline["seconds"] > 0
+        assert tiny_report.campaign is None  # include_campaign=False
+
+    def test_kernel_lookup(self, tiny_report):
+        assert tiny_report.kernel("align_stack").pixels > 0
+        with pytest.raises(ReproError):
+            tiny_report.kernel("nonexistent")
+
+
+class TestReportSerialisation:
+    def test_write_report_round_trips(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "BENCH_pipeline.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro-perf/1"
+        assert data["scale"] == "tiny"
+        assert len(data["kernels"]) == len(tiny_report.kernels)
+        by_name = {k["name"]: k for k in data["kernels"]}
+        assert by_name["align_stack"]["speedup"] > 0
+        assert by_name["align_stack"]["outputs_match"] is True
+
+    def test_render_report_mentions_kernels(self, tiny_report):
+        text = render_report(tiny_report)
+        assert "align_stack" in text and "ns/px" in text
+
+    def test_render_flags_mismatches(self):
+        report = BenchReport(
+            scale="tiny", workload={}, kernels=[
+                KernelBench("broken", 10, 0.1, 0.2, outputs_match=False)],
+            pipeline={"seconds": 0.1, "ns_per_pixel": 1.0},
+        )
+        assert "NO" in render_report(report)
+
+
+class TestCli:
+    def test_main_writes_report(self, tmp_path, capsys):
+        from repro.perf.__main__ import main
+
+        out = tmp_path / "bench.json"
+        assert main(["--scale", "tiny", "--no-campaign", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_option(self, capsys):
+        from repro.perf.__main__ import main
+
+        assert main(["--frobnicate"]) == 2
+
+    def test_main_rejects_unknown_scale(self, capsys):
+        from repro.perf.__main__ import main
+
+        assert main(["--scale", "galactic"]) == 1

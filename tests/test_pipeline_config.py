@@ -44,6 +44,10 @@ class TestPipelineConfig:
         {"align_baselines": (0,)},
         {"segment_tolerance": 0.0},
         {"chunk_workers": 0},
+        {"denoise_tol": 0.0},
+        {"denoise_tol": -1e-3},
+        {"align_shift_penalty": -0.1},
+        {"align_search_strategy": "genetic"},
     ])
     def test_validation(self, bad):
         with pytest.raises(PipelineError):
@@ -64,6 +68,25 @@ class TestPipelineConfig:
         a = PipelineConfig().cache_token()
         b = PipelineConfig(segment_tolerance=0.4).cache_token()
         assert a != b
+
+    def test_cache_token_tracks_exactness_trading_knobs(self):
+        """tol / shift penalty / search strategy change results, so each
+        must change the token (unlike chunk_workers)."""
+        base = PipelineConfig().cache_token()
+        assert PipelineConfig(denoise_tol=1e-4).cache_token() != base
+        assert PipelineConfig(align_shift_penalty=0.5).cache_token() != base
+        assert PipelineConfig(align_search_strategy="pyramid").cache_token() != base
+
+    def test_align_and_denoise_kwargs(self):
+        cfg = PipelineConfig(
+            denoise_tol=1e-4, align_shift_penalty=0.2, align_search_strategy="pyramid"
+        )
+        assert cfg.denoise_kwargs()["tol"] == 1e-4
+        assert cfg.align_kwargs() == {
+            "search_px": 4, "bins": 32, "baselines": (1, 2, 3),
+            "shift_penalty": 0.2, "search_strategy": "pyramid",
+        }
+        assert "tol" not in PipelineConfig().denoise_kwargs()
 
 
 class TestLegacyShim:

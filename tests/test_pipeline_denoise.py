@@ -3,14 +3,19 @@
 import numpy as np
 import pytest
 
+from hypothesis import given, settings, strategies as st
+
 from repro.errors import PipelineError
 from repro.pipeline.denoise import (
     chambolle_tv,
+    clear_buffer_pool,
     denoise_stack,
     residual_noise,
     split_bregman_tv,
     _divergence,
     _gradient,
+    _reference_chambolle_tv,
+    _reference_split_bregman_tv,
 )
 
 
@@ -72,6 +77,88 @@ class TestDenoisers:
     def test_rejects_non_2d(self, method):
         with pytest.raises(PipelineError):
             method(np.zeros(10))
+
+
+class TestPooledBuffersBitIdentical:
+    """The in-place, buffer-pooled solvers must reproduce the seed
+    implementations bit for bit at default settings."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nx=st.integers(3, 48),
+        nz=st.integers(3, 48),
+        float32=st.booleans(),
+    )
+    def test_chambolle_bit_identical(self, seed, nx, nz, float32):
+        rng = np.random.default_rng(seed)
+        img = np.clip(rng.random((nx, nz)) + rng.normal(0, 0.1, (nx, nz)), 0, 1)
+        if float32:
+            img = img.astype(np.float32)
+        fast, ref = chambolle_tv(img), _reference_chambolle_tv(img)
+        assert fast.dtype == ref.dtype
+        np.testing.assert_array_equal(fast, ref)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nx=st.integers(3, 48),
+        nz=st.integers(3, 48),
+        float32=st.booleans(),
+    )
+    def test_split_bregman_bit_identical(self, seed, nx, nz, float32):
+        rng = np.random.default_rng(seed)
+        img = np.clip(rng.random((nx, nz)) + rng.normal(0, 0.1, (nx, nz)), 0, 1)
+        if float32:
+            img = img.astype(np.float32)
+        fast, ref = split_bregman_tv(img), _reference_split_bregman_tv(img)
+        assert fast.dtype == ref.dtype
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_non_default_parameters_also_identical(self):
+        _clean, noisy = _piecewise_image()
+        np.testing.assert_array_equal(
+            chambolle_tv(noisy, weight=0.2, iterations=23, tau=0.19),
+            _reference_chambolle_tv(noisy, weight=0.2, iterations=23, tau=0.19),
+        )
+        np.testing.assert_array_equal(
+            split_bregman_tv(noisy, weight=0.15, iterations=9, inner_iterations=3),
+            _reference_split_bregman_tv(noisy, weight=0.15, iterations=9, inner_iterations=3),
+        )
+
+    def test_repeated_calls_reuse_pool_without_contamination(self):
+        """Leased buffers are dirty; a second call must not see the first's
+        state.  (Also exercises clear_buffer_pool.)"""
+        _clean, noisy = _piecewise_image()
+        first = chambolle_tv(noisy)
+        clear_buffer_pool()
+        second = chambolle_tv(noisy)
+        third = chambolle_tv(noisy[:-1, :-1])  # different shape → different pool key
+        np.testing.assert_array_equal(first, second)
+        assert third.shape == (47, 47)
+
+
+class TestEarlyStopping:
+    def test_tol_none_is_default_and_exact(self):
+        _clean, noisy = _piecewise_image()
+        np.testing.assert_array_equal(chambolle_tv(noisy, tol=None), chambolle_tv(noisy))
+
+    def test_tol_stops_early_but_stays_close(self):
+        _clean, noisy = _piecewise_image()
+        full = chambolle_tv(noisy, iterations=400)
+        early = chambolle_tv(noisy, iterations=400, tol=1e-3)
+        assert float(np.abs(full - early).max()) < 0.01
+
+    def test_tol_split_bregman(self):
+        _clean, noisy = _piecewise_image()
+        full = split_bregman_tv(noisy, iterations=60)
+        early = split_bregman_tv(noisy, iterations=60, tol=1e-4)
+        assert float(np.abs(full - early).max()) < 0.01
+
+    def test_tol_through_denoise_stack(self):
+        _clean, noisy = _piecewise_image()
+        out = denoise_stack([noisy], tol=1e-3)
+        assert len(out) == 1 and out[0].shape == noisy.shape
 
 
 class TestStack:

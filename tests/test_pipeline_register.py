@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import AlignmentBudgetExceeded, PipelineError
 from repro.pipeline.register import (
     AlignmentReport,
+    _reference_align_pair,
+    _reference_align_stack,
     align_pair,
     align_stack,
     apply_shift,
@@ -78,6 +81,82 @@ class TestAlignStack:
     def test_drift_length_mismatch_rejected(self):
         with pytest.raises(PipelineError):
             align_stack([_texture()], true_drift_px=[(0, 0), (1, 1)])
+
+
+class TestBincountEqualsBruteForce:
+    """The bincount-MI fast path must reproduce the retained brute force."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nx=st.integers(16, 72),
+        nz=st.integers(16, 72),
+        noise=st.floats(0.0, 0.15),
+        float32=st.booleans(),
+    )
+    def test_align_pair_identical_on_random_noisy_pairs(self, seed, nx, nz, noise, float32):
+        rng = np.random.default_rng(seed)
+        a = np.clip(
+            np.kron(rng.random((-(-nx // 8), -(-nz // 8))), np.ones((8, 8)))[:nx, :nz]
+            + rng.normal(0, noise, (nx, nz)), 0, 1,
+        )
+        shift = (int(rng.integers(-3, 4)), int(rng.integers(-3, 4)))
+        b = np.clip(np.roll(a, shift, (0, 1)) + rng.normal(0, noise, a.shape), 0, 1)
+        if float32:
+            a, b = a.astype(np.float32), b.astype(np.float32)
+        assert align_pair(a, b, search_px=3) == _reference_align_pair(a, b, search_px=3)
+
+    def test_out_of_range_pixels_dropped_like_histogram2d(self):
+        """histogram2d drops samples outside (0, 1); the fused-index path
+        must drop exactly the same pixels."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.5, 0.5, (48, 40))  # plenty of pixels outside [0, 1]
+        b = np.roll(a, (1, -1), (0, 1)) + rng.normal(0, 0.05, a.shape)
+        assert align_pair(a, b, search_px=2) == _reference_align_pair(a, b, search_px=2)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_align_stack_identical_on_random_noisy_stacks(self, seed):
+        rng = np.random.default_rng(seed)
+        base = np.clip(
+            np.kron(rng.random((6, 5)), np.ones((8, 8))) + rng.normal(0, 0.05, (48, 40)), 0, 1
+        )
+        images, drift = [], []
+        for i in range(6):
+            d = (int(rng.integers(-1, 2)) * (i % 2), int(rng.integers(-1, 2)))
+            images.append(np.clip(
+                apply_shift(base.copy(), *d) + rng.normal(0, 0.03, base.shape), 0, 1))
+            drift.append(d)
+        fast, rep_fast = align_stack(images, search_px=2, true_drift_px=drift)
+        ref, rep_ref = _reference_align_stack(images, search_px=2, true_drift_px=drift)
+        assert rep_fast.corrections == rep_ref.corrections
+        assert rep_fast.residual_px == rep_ref.residual_px
+        for f, r in zip(fast, ref):
+            np.testing.assert_array_equal(f, r)
+
+    def test_shift_penalty_forwarded_by_align_stack(self):
+        """A huge penalty pins every correction to (0, 0)."""
+        rng = np.random.default_rng(9)
+        base = np.clip(np.kron(rng.random((6, 5)), np.ones((8, 8))), 0, 1)
+        images = [
+            np.clip(np.roll(base, i, axis=0) + rng.normal(0, 0.02, base.shape), 0, 1)
+            for i in range(4)
+        ]
+        _, report = align_stack(images, search_px=2, shift_penalty=1e6)
+        assert report.corrections == [(0, 0)] * 4
+
+    def test_pyramid_strategy_recovers_known_shift(self):
+        rng = np.random.default_rng(21)
+        img = np.clip(np.kron(rng.random((12, 6)), np.ones((8, 8))), 0, 1)
+        moved = apply_shift(img.copy(), 2, -1)
+        assert align_pair(img, moved, search_px=4, search_strategy="pyramid") == (-2, 1)
+
+    def test_unknown_strategy_rejected(self):
+        img = np.zeros((16, 16))
+        with pytest.raises(PipelineError, match="strategy"):
+            align_pair(img, img, search_strategy="simulated_annealing")
+        with pytest.raises(PipelineError, match="strategy"):
+            align_stack([img, img], search_strategy="simulated_annealing")
 
 
 class TestReport:

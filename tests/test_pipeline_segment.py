@@ -2,11 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import PipelineError
 from repro.layout.elements import Layer
 from repro.pipeline.segment import (
+    _reference_multi_otsu,
     foreground_mask,
     multi_otsu,
     otsu_threshold,
@@ -57,6 +58,27 @@ class TestMultiOtsu:
         img = _bimodal()
         ts = multi_otsu(img, classes=4, bins=48)
         assert ts == sorted(ts)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        classes=st.integers(2, 4),
+        bins=st.sampled_from([16, 48, 96]),
+    )
+    def test_vectorized_equals_exhaustive_search(self, seed, classes, bins):
+        """The broadcast search returns the exact thresholds (and tie-breaks)
+        of the retained O(bins³) loop implementation."""
+        rng = np.random.default_rng(seed)
+        levels = rng.choice([0.1, 0.45, 0.8], size=(32, 32))
+        img = np.clip(levels + rng.normal(0, 0.05, levels.shape), 0, 1)
+        assert multi_otsu(img, classes=classes, bins=bins) == \
+            _reference_multi_otsu(img, classes=classes, bins=bins)
+
+    def test_degenerate_unimodal_matches_reference(self):
+        img = np.full((16, 16), 0.42)
+        for classes in (2, 3, 4):
+            assert multi_otsu(img, classes=classes) == \
+                _reference_multi_otsu(img, classes=classes)
 
 
 class TestForeground:
