@@ -22,7 +22,7 @@ from conftest import emit
 
 from repro.core.report import render_table
 from repro.pipeline import PipelineConfig
-from repro.runtime import ChipJob, run_campaign
+from repro.runtime import CampaignReport, ChipJob, run_campaign
 
 #: Cheap pipeline settings so the bench exercises orchestration, not TV
 #: iteration counts.  Fidelity at full settings is bench_reveng_end_to_end.
@@ -56,16 +56,21 @@ def test_parallel_campaign(benchmark, tmp_path):
     warm = run_campaign(_jobs(), config=FAST, workers=4, cache_dir=cache)
 
     speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    # Read counters off the versioned report dict (the to_json schema)
+    # rather than poking internal attributes — the same surface the CLI
+    # summary printer and any downstream tooling consume.
+    cold, warm_d = parallel.to_dict(), warm.to_dict()
     rows = [
         ["chips / workers", f"{len(EXPECTED)} / 4", ""],
         ["serial wall", f"{serial.wall_seconds:.1f}s", ""],
         ["parallel wall", f"{parallel.wall_seconds:.1f}s", ""],
         ["speedup", f"{speedup:.2f}x", ">= 2x (multi-core)"],
         ["usable CPUs", str(_usable_cpus()), ""],
-        ["cold cache", f"{parallel.cache_hits} hit / {parallel.cache_misses} miss", "all miss"],
-        ["warm cache", f"{warm.cache_hits} hit / {warm.cache_misses} miss", "all hit"],
-        ["warm stages executed", str(warm.stages_executed), "0"],
+        ["cold cache", f"{cold['cache_hits']} hit / {cold['cache_misses']} miss", "all miss"],
+        ["warm cache", f"{warm_d['cache_hits']} hit / {warm_d['cache_misses']} miss", "all hit"],
+        ["warm stages executed", str(warm_d["cache_misses"]), "0"],
         ["warm wall", f"{warm.wall_seconds:.2f}s", "~0s"],
+        ["report schema", warm_d["schema_version"], "round-trips"],
     ]
     emit("campaign runtime: 4-chip parallel fan-out + stage cache",
          render_table(["metric", "measured", "expected"], rows))
@@ -84,6 +89,13 @@ def test_parallel_campaign(benchmark, tmp_path):
     assert warm.stages_executed == 0
     assert pickle.dumps(warm.result("fab-b").measurements) == \
         pickle.dumps(serial.result("fab-b").measurements)
+
+    # The versioned serialization is stable: to_json -> from_json -> to_json
+    # is a fixed point, and the telemetry survives the trip.
+    restored = CampaignReport.from_json(warm.to_json())
+    assert restored.to_json() == warm.to_json()
+    assert list(restored.chips) == list(EXPECTED)
+    assert not restored.degraded and not restored.quarantined
 
     # Speedup: asserted only where the hardware can provide it.
     if _usable_cpus() >= 4:

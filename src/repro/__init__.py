@@ -19,7 +19,11 @@ Research by Uncovering Sense Amplifiers with IC Imaging* (ISCA 2024):
   transistor classification, measurements, end-to-end workflows.
 
 * :mod:`repro.runtime` — multi-chip campaign engine: process-pool
-  fan-out, content-addressed stage caching, per-stage instrumentation.
+  fan-out, content-addressed stage caching, per-stage instrumentation,
+  QC-gated retries, per-chip timeouts and chip quarantine;
+* :mod:`repro.faults` — deterministic seeded acquisition fault injection
+  (dropped slices, saturation/blackout, drift spikes, milling overshoot,
+  blur bursts) behind :class:`FaultPlan`.
 
 Quick start::
 
@@ -52,12 +56,13 @@ from repro.core import (
     model_accuracy_report,
     table2_rows,
 )
+from repro.faults import FaultPlan
 from repro.layout import SaRegionSpec, generate_sa_region
 from repro.pipeline import PipelineConfig
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
-from repro.runtime import CampaignReport, ChipJob, run_campaign
+from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SaTopology",
@@ -79,5 +84,7 @@ __all__ = [
     "CampaignReport",
     "ChipJob",
     "run_campaign",
+    "FaultPlan",
+    "ResiliencePolicy",
     "__version__",
 ]

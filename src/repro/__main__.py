@@ -101,6 +101,23 @@ options:
                 (coarse-to-fine, ~4x fewer MI evaluations)
   --tol T       TV denoise early-stop tolerance (default: run the full
                 published iteration counts)
+  --fault-plan SPEC
+                inject seeded acquisition faults; SPEC is key=value pairs,
+                e.g. "seed=7,drop=0.1,drift=0.08,spike_px=9" (keys: seed,
+                drop, saturate, blackout, drift, spike_px, overshoot,
+                blur, blur_sigma, burst).  Each chip derives its own seed
+                from the plan seed + chip name.
+  --max-retries N
+                QC-failed re-acquisitions per chip before quarantine
+                (default 2)
+  --chip-timeout S
+                per-chip wall-clock budget in seconds; an over-budget
+                chip is quarantined at the next stage boundary
+  --json PATH   also write the versioned campaign report
+                (CampaignReport.to_json) to PATH ("-" = stdout)
+
+A campaign with quarantined chips still exits 0 as long as at least one
+chip completed; it exits 1 only when every chip failed.
 """
 
 
@@ -139,6 +156,10 @@ def cmd_campaign(args: list[str]) -> int:
     shift_penalty: float | None = None
     search_strategy: str | None = None
     tol: float | None = None
+    fault_spec: str | None = None
+    max_retries: int | None = None
+    chip_timeout: float | None = None
+    json_path: str | None = None
     try:
         i = 0
         while i < len(args):
@@ -165,6 +186,18 @@ def cmd_campaign(args: list[str]) -> int:
             elif arg == "--tol":
                 i += 1
                 tol = _float_value(arg, i)
+            elif arg == "--fault-plan":
+                i += 1
+                fault_spec = _value(arg, i)
+            elif arg == "--max-retries":
+                i += 1
+                max_retries = _int_value(arg, i)
+            elif arg == "--chip-timeout":
+                i += 1
+                chip_timeout = _float_value(arg, i)
+            elif arg == "--json":
+                i += 1
+                json_path = _value(arg, i)
             elif arg in ("--help", "-h"):
                 print(_CAMPAIGN_USAGE)
                 return 0
@@ -182,6 +215,17 @@ def cmd_campaign(args: list[str]) -> int:
         targets = ["classic", "ocsa"]
 
     from repro.errors import ReproError
+
+    fault_plan = None
+    if fault_spec is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(fault_spec)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            print(_CAMPAIGN_USAGE, file=sys.stderr)
+            return 2
 
     try:
         jobs = []
@@ -207,18 +251,52 @@ def cmd_campaign(args: list[str]) -> int:
             config = config.replaced(align_search_strategy=search_strategy)
         if tol is not None:
             config = config.replaced(denoise_tol=tol)
-        report = run_campaign(jobs, config=config, workers=workers, cache_dir=cache_dir)
+
+        policy = None
+        if max_retries is not None or chip_timeout is not None:
+            from repro.runtime import ResiliencePolicy
+
+            policy = ResiliencePolicy(
+                max_retries=max_retries if max_retries is not None else 2,
+                chip_timeout_s=chip_timeout,
+            )
+        report = run_campaign(
+            jobs, config=config, workers=workers, cache_dir=cache_dir,
+            policy=policy, fault_plan=fault_plan,
+        )
     except ReproError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
     print(report.render())
-    for name, reversed_chip in report.results().items():
-        topo = reversed_chip.topology.value if reversed_chip.lane_matches else "unidentified"
-        line = f"{name}: topology={topo} lanes={reversed_chip.lanes_matched}"
-        if reversed_chip.validation is not None:
+    # The summary printer reads the versioned report dict — the same shape
+    # to_json() emits — instead of poking at pickled result objects.
+    summary = report.to_dict()
+    for name, chip in summary["chips"].items():
+        head = chip["summary"]
+        topo = head["topology"] or "unidentified"
+        line = f"{name}: topology={topo} lanes={head['lanes_matched']}"
+        if chip["retries"] or chip["fault_events"]:
+            line += (f" degraded(retries={chip['retries']}, "
+                     f"faults={chip['fault_events']})")
+        reversed_chip = report.chips[name].result
+        if reversed_chip is not None and reversed_chip.validation is not None:
             line += (f" validated(complete={reversed_chip.validation.complete}, "
                      f"max W/L err {reversed_chip.validation.max_relative_error():.1%})")
         print(line)
+    for name, record in summary["quarantined"].items():
+        print(f"{name}: QUARANTINED at {record['stage'] or '?'} "
+              f"after {record['retries']} retries: {record['message']}")
+    if json_path is not None:
+        text = report.to_json()
+        if json_path == "-":
+            print(text)
+        else:
+            with open(json_path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"report written: {json_path}")
+    if not summary["chips"]:
+        print("campaign failed: every chip was quarantined", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -4,9 +4,32 @@ Every exception raised intentionally by this package derives from
 :class:`ReproError`, so downstream users can catch a single base class.
 The sub-hierarchy mirrors the package structure: layout, circuits, analog,
 imaging, pipeline, reverse engineering, and the core evaluation framework.
+
+Stage failures (the typed failure API)
+--------------------------------------
+The campaign runtime needs to tell *which chip*, *which stage* and — for
+acquisition defects — *which slice* failed, so it can retry, quarantine
+and report instead of aborting the pool.  :class:`StageError` carries that
+context (``chip_id`` / ``stage`` / ``slice_index`` plus a free-form
+``details`` dict), and one subclass exists per pipeline phase:
+
+* :class:`AcquisitionError` — imaging / FIB-SEM simulation failures;
+* :class:`AlignmentError` — MI registration failures and busted budgets;
+* :class:`SegmentationError` — intensity classification failures;
+* :class:`RevEngError` — connectivity / feature extraction failures;
+* :class:`StageTimeoutError` — a chip exceeded its campaign time budget.
+
+Each subclass also inherits the legacy module-level error it replaces
+(:class:`ImagingError`, :class:`PipelineError`,
+:class:`ReverseEngineeringError`), so existing ``except`` clauses keep
+working for one deprecation cycle.  The legacy names are deprecated as
+catch targets and will stop being ancestors of the stage errors in
+repro 2.0 — catch :class:`StageError` or its subclasses instead.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
@@ -59,27 +82,105 @@ class ConvergenceError(AnalogError):
 
 
 class ImagingError(ReproError):
-    """SEM/FIB simulation failure (bad volume, empty ROI, bad parameters)."""
+    """SEM/FIB simulation failure (bad volume, empty ROI, bad parameters).
+
+    .. deprecated:: 1.2
+        Legacy base kept for one cycle; catch :class:`AcquisitionError`.
+    """
 
 
 class PipelineError(ReproError):
-    """Image post-processing failure (alignment, denoising, reslicing)."""
+    """Image post-processing failure (alignment, denoising, reslicing).
+
+    .. deprecated:: 1.2 as a catch target for stage failures
+        Catch :class:`AlignmentError` / :class:`SegmentationError` (or
+        :class:`StageError`) instead; config-validation failures still
+        raise :class:`PipelineError` directly.
+    """
 
 
-class AlignmentBudgetExceeded(PipelineError):
+class ReverseEngineeringError(ReproError):
+    """Feature extraction or connectivity tracing failed.
+
+    .. deprecated:: 1.2
+        Legacy base kept for one cycle; catch :class:`RevEngError`.
+    """
+
+
+class StageError(ReproError):
+    """A pipeline stage failed while processing one chip.
+
+    The campaign runtime's typed failure surface: carries the failing
+    ``chip_id``, the ``stage`` name, the offending ``slice_index`` (for
+    per-slice acquisition defects) and a ``details`` dict of structured
+    telemetry (retry counts, failed slice lists, fault events) that
+    quarantine records are built from.  All context fields are optional —
+    stages raise with whatever they know.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chip_id: str | None = None,
+        stage: str | None = None,
+        slice_index: int | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        self.chip_id = chip_id
+        self.stage = stage
+        self.slice_index = slice_index
+        self.details = dict(details) if details else {}
+        context = [
+            f"chip={chip_id}" if chip_id is not None else "",
+            f"stage={stage}" if stage is not None else "",
+            f"slice={slice_index}" if slice_index is not None else "",
+        ]
+        context = [c for c in context if c]
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
+class AcquisitionError(StageError, ImagingError):
+    """Acquisition failed: bad imaging parameters, an empty field of view,
+    or slices that still fail quality control after the retry budget."""
+
+
+class AlignmentError(StageError, PipelineError):
+    """Slice registration failed or its residual exceeds the drift budget."""
+
+
+class SegmentationError(StageError, PipelineError):
+    """Intensity classification of the planar views failed."""
+
+
+class RevEngError(StageError, ReverseEngineeringError):
+    """Connectivity extraction or topology identification failed."""
+
+
+class StageTimeoutError(StageError):
+    """A chip's stage chain exceeded the campaign's per-chip time budget."""
+
+
+class AlignmentBudgetExceeded(AlignmentError):
     """Residual slice misalignment exceeds the paper's 0.77 % budget."""
 
-    def __init__(self, residual_fraction: float, budget_fraction: float) -> None:
+    def __init__(
+        self,
+        residual_fraction: float,
+        budget_fraction: float,
+        *,
+        chip_id: str | None = None,
+    ) -> None:
         self.residual_fraction = residual_fraction
         self.budget_fraction = budget_fraction
         super().__init__(
             f"residual alignment noise {residual_fraction:.4%} exceeds "
-            f"budget {budget_fraction:.4%}"
+            f"budget {budget_fraction:.4%}",
+            chip_id=chip_id,
+            stage="align",
         )
-
-
-class ReverseEngineeringError(ReproError):
-    """Feature extraction or connectivity tracing failed."""
 
 
 class CampaignError(ReproError):

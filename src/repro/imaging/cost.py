@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ImagingError
+from repro.errors import AcquisitionError
 
 #: FIB milling rate at the paper's 90 pA Gallium beam: minutes of beam
 #: time per µm³ of removed material (a gentle current mills slowly —
@@ -57,7 +57,7 @@ def campaign_cost(
     ``pixel_nm`` and ``dwell_time_us``.
     """
     if min(area_um2, pixel_nm, dwell_time_us, slice_thickness_nm) <= 0:
-        raise ImagingError("all cost parameters must be positive")
+        raise AcquisitionError("all cost parameters must be positive", stage="acquire")
     side_nm = (area_um2 ** 0.5) * 1000.0
     slices = max(1, int(side_nm / slice_thickness_nm))
     face_pixels = (side_nm / pixel_nm) * (depth_nm / pixel_nm)

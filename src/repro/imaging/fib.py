@@ -14,12 +14,16 @@ the stack metadata so tests and benches can score the alignment stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ImagingError
+from repro.errors import AcquisitionError
 from repro.imaging.sem import SemParameters, image_cross_section
 from repro.imaging.voxel import VoxelVolume
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults import FaultEvent, FaultInjector
 
 
 @dataclass(frozen=True)
@@ -34,7 +38,7 @@ class FibSemCampaign:
 
     def __post_init__(self) -> None:
         if self.slice_thickness_nm <= 0:
-            raise ImagingError("slice thickness must be positive")
+            raise AcquisitionError("slice thickness must be positive", stage="acquire")
 
     def slices_for(self, extent_nm: float) -> int:
         """Number of slices needed to cover *extent_nm* along y."""
@@ -55,6 +59,8 @@ class SliceStack:
     sem: SemParameters = field(default_factory=SemParameters)
     #: x of the field-of-view origin relative to the volume origin (nm)
     x_offset_nm: float = 0.0
+    #: defects injected into this acquisition (empty on a clean run)
+    fault_events: list["FaultEvent"] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.images)
@@ -96,6 +102,7 @@ def acquire_stack(
     y_stop_nm: float | None = None,
     x_start_nm: float | None = None,
     x_stop_nm: float | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> SliceStack:
     """Run a FIB/SEM campaign over *volume* and return the slice stack.
 
@@ -108,6 +115,15 @@ def acquire_stack(
     adjacent MATs*, not across them, so a campaign normally covers just the
     ROI that :func:`repro.imaging.roi.identify_roi` returned.  The returned
     stack's :attr:`SliceStack.x_offset_nm` records the crop origin.
+
+    ``injector`` (a :class:`repro.faults.FaultInjector`) corrupts the
+    acquisition with seeded defects.  It never consumes this function's
+    own RNG: an injector whose plan has every rate at 0 yields output
+    bit-identical to ``injector=None``.  Injected drift spikes move the
+    *accumulated* walk (and show up in ``true_drift_px``), milling
+    overshoot permanently advances the exposed face, and frame-level
+    defects are applied after the drift shift, exactly where a detector
+    would introduce them.
     """
     campaign = campaign or FibSemCampaign()
     rng = np.random.default_rng(campaign.seed)
@@ -117,11 +133,11 @@ def acquire_stack(
     j_start = 0 if y_start_nm is None else max(0, volume.y_to_index(y_start_nm))
     j_stop = ny if y_stop_nm is None else min(ny, volume.y_to_index(y_stop_nm))
     if j_stop <= j_start:
-        raise ImagingError("empty y range for acquisition")
+        raise AcquisitionError("empty y range for acquisition", stage="acquire")
     i_start = 0 if x_start_nm is None else max(0, volume.x_to_index(x_start_nm))
     i_stop = nx if x_stop_nm is None else min(nx, volume.x_to_index(x_stop_nm))
     if i_stop <= i_start:
-        raise ImagingError("empty x range for acquisition")
+        raise AcquisitionError("empty x range for acquisition", stage="acquire")
 
     cols_per_slice = max(1, int(round(campaign.slice_thickness_nm / vox)))
     images: list[np.ndarray] = []
@@ -130,15 +146,36 @@ def acquire_stack(
 
     drift_x = 0.0
     drift_z = 0.0
-    for j in range(j_start, j_stop, cols_per_slice):
-        face = volume.data[i_start:i_stop, j, :]  # freshly exposed face
+    overshoot_cols = 0  # milled-away material never comes back
+    spiked = False
+    for slice_index, j in enumerate(range(j_start, j_stop, cols_per_slice)):
+        if injector is not None:
+            overshoot_cols += injector.overshoot_slices(slice_index) * cols_per_slice
+        j_face = min(j + overshoot_cols, ny - 1)
+        face = volume.data[i_start:i_stop, j_face, :]  # freshly exposed face
         img = image_cross_section(face, campaign.sem, rng)
 
         drift_x += rng.normal(0.0, campaign.drift_step_px)
         drift_z += rng.normal(0.0, campaign.drift_step_px * 0.5)
-        dx = int(np.clip(round(drift_x), -campaign.max_drift_px, campaign.max_drift_px))
-        dz = int(np.clip(round(drift_z), -campaign.max_drift_px, campaign.max_drift_px))
-        images.append(_shift_image(img, dx, dz))
+        if injector is not None:
+            spike = injector.drift_spike(slice_index)
+            if spike is not None:
+                drift_x += spike[0]
+                drift_z += spike[1]
+                spiked = True
+        # Once a spike has fired, the clip window widens to the spike so
+        # the jump stays visible to QC (real stage jumps are exactly the
+        # excursions the controller failed to contain).  Until then the
+        # clean clamp applies, keeping a zero-rate plan bit-identical.
+        max_px = campaign.max_drift_px
+        if spiked:
+            max_px = max(max_px, int(np.ceil(injector.plan.drift_spike_px)))
+        dx = int(np.clip(round(drift_x), -max_px, max_px))
+        dz = int(np.clip(round(drift_z), -max_px, max_px))
+        img = _shift_image(img, dx, dz)
+        if injector is not None:
+            img = injector.apply(img, slice_index)
+        images.append(img)
         drifts.append((dx, dz))
         ys.append(volume.index_to_y(j))
 
@@ -150,6 +187,7 @@ def acquire_stack(
         slice_y_nm=ys,
         sem=campaign.sem,
         x_offset_nm=i_start * vox,
+        fault_events=list(injector.events) if injector is not None else [],
     )
 
 
@@ -161,5 +199,5 @@ def alignment_noise_budget(wire_height_nm: float, cross_section_height_nm: float
     a simulated stack gives the budget its alignment must meet.
     """
     if cross_section_height_nm <= 0:
-        raise ImagingError("cross-section height must be positive")
+        raise AcquisitionError("cross-section height must be positive", stage="acquire")
     return wire_height_nm / cross_section_height_nm

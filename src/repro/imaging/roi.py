@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ImagingError
+from repro.errors import AcquisitionError
 from repro.imaging.voxel import MATERIAL_CODES, VoxelVolume
 from repro.layout.elements import Material
 
@@ -64,7 +64,7 @@ def classify_probe(volume: VoxelVolume, x_nm: float) -> ProbeResult:
     """
     i = volume.x_to_index(x_nm)
     if not 0 <= i < volume.data.shape[0]:
-        raise ImagingError(f"probe x={x_nm} nm outside the volume")
+        raise AcquisitionError(f"probe x={x_nm} nm outside the volume", stage="roi")
     plane = volume.data[i, :, :]
     total = plane.size
     cap = float(np.count_nonzero(plane == MATERIAL_CODES[Material.CAPACITOR_STACK])) / total
@@ -141,7 +141,7 @@ def identify_roi(
     ]
 
     if not spans or "mat" not in kinds:
-        raise ImagingError(
+        raise AcquisitionError(
             "blind search failed: no MAT/logic morphology change found "
             "(is there an SA region in this volume?)"
         )

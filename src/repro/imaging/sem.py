@@ -26,7 +26,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.errors import ImagingError
+from repro.errors import AcquisitionError
 from repro.imaging.voxel import CODE_TO_MATERIAL, MATERIAL_CODES
 from repro.layout.elements import Material
 
@@ -79,9 +79,9 @@ class SemParameters:
 
     def __post_init__(self) -> None:
         if self.dwell_time_us <= 0:
-            raise ImagingError("dwell time must be positive")
+            raise AcquisitionError("dwell time must be positive", stage="acquire")
         if self.pixel_nm <= 0:
-            raise ImagingError("pixel size must be positive")
+            raise AcquisitionError("pixel size must be positive", stage="acquire")
 
     @property
     def noise_sigma(self) -> float:
@@ -140,7 +140,7 @@ def image_cross_section(
     the dwell-time-dependent sigma.
     """
     if material_image.dtype != np.uint8:
-        raise ImagingError("material image must be uint8 codes")
+        raise AcquisitionError("material image must be uint8 codes", stage="acquire")
     table = contrast_lookup(params)
     clean = table[material_image]
     noisy = clean + rng.normal(0.0, params.noise_sigma, size=clean.shape)

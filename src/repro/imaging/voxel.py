@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ImagingError
+from repro.errors import AcquisitionError
 from repro.layout.cell import LayoutCell
 from repro.layout.elements import LAYER_MATERIAL, Layer, Material
 
@@ -82,7 +82,7 @@ class VoxelVolume:
     def cross_section(self, y_index: int) -> np.ndarray:
         """The x–z material image at slice *y_index* (what FIB exposes)."""
         if not 0 <= y_index < self.data.shape[1]:
-            raise ImagingError(f"slice index {y_index} out of range")
+            raise AcquisitionError(f"slice index {y_index} out of range", stage="voxelize")
         return self.data[:, y_index, :]
 
     def planar_view(self, layer: Layer) -> np.ndarray:
@@ -124,7 +124,7 @@ def voxelize(
     a contact plug displaces the dielectric above a gate.
     """
     if voxel_nm <= 0:
-        raise ImagingError("voxel size must be positive")
+        raise AcquisitionError("voxel size must be positive", stage="voxelize")
     box = cell.bounding_box()
     origin_x = box.x0 - margin_nm
     origin_y = box.y0 - margin_nm

@@ -251,6 +251,38 @@ def run_benchmarks(
         bool(np.array_equal(lut_out, lut_ref_out)),
     ))
 
+    # --- fault-injection clean-path overhead ------------------------------
+    # The resilience layer must be free when unused: acquiring through an
+    # inert (all-rates-zero) FaultInjector is timed against the plain
+    # acquisition, and outputs_match re-checks the bit-identity contract.
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.imaging.fib import FibSemCampaign, acquire_stack
+    from repro.imaging.voxel import voxelize
+    from repro.layout.generator import SaRegionSpec, generate_sa_region
+
+    cell = generate_sa_region(SaRegionSpec(name="perf_faults", topology="classic", n_pairs=1))
+    volume = voxelize(cell, voxel_nm=6.0, margin_nm=40.0)
+    fib = FibSemCampaign()
+    y_stop = 300.0 if scale == "tiny" else None
+    inert_s, inert_stack = _time(
+        lambda: acquire_stack(
+            volume, fib, y_stop_nm=y_stop,
+            injector=FaultInjector(FaultPlan(seed=seed)),
+        ),
+        micro_repeats,
+    )
+    clean_s, clean_stack = _time(
+        lambda: acquire_stack(volume, fib, y_stop_nm=y_stop), micro_repeats
+    )
+    kernels.append(KernelBench(
+        "acquire_stack[inert-faults]",
+        sum(img.size for img in clean_stack.images),
+        inert_s,
+        clean_s,
+        _stacks_equal(inert_stack.images, clean_stack.images)
+        and inert_stack.true_drift_px == clean_stack.true_drift_px,
+    ))
+
     # --- end-to-end pipeline chain ---------------------------------------
     def _pipeline() -> Any:
         denoised = denoise_stack(stack)

@@ -173,8 +173,9 @@ class PipelineConfig:
     ) -> "PipelineConfig":
         """Translate pre-1.1 ``reverse_engineer_stack`` keywords.
 
-        Emits one :class:`DeprecationWarning` naming the migration; raises
-        ``TypeError`` on keywords that never existed.
+        Emits one :class:`DeprecationWarning` naming the migration and the
+        removal version; raises ``TypeError`` on keywords that never
+        existed.
         """
         unknown = set(legacy) - set(LEGACY_KWARGS)
         if unknown:
@@ -186,7 +187,7 @@ class PipelineConfig:
             warnings.warn(
                 f"keyword(s) {sorted(legacy)} are deprecated; pass "
                 "config=PipelineConfig(...) instead (they will be removed "
-                "in a future release)",
+                "in repro 2.0)",
                 DeprecationWarning,
                 stacklevel=3,
             )

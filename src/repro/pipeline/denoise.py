@@ -185,11 +185,14 @@ def chambolle_tv(
                 else:
                     np.subtract(px[r0:hi, :], px[r0 - 1 : hi - 1, :], out=d[: hi - r0, :])
                 if r1 == nx:
-                    np.negative(px[-2, :], out=d[-1, :])
+                    d[-1, :] = -px[-2, :]
                 s = scratch[: r1 - r0]
                 s[:, 0] = py[r0:r1, 0]
                 np.subtract(py[r0:r1, 1:-1], py[r0:r1, :-2], out=s[:, 1:-1])
-                np.negative(py[r0:r1, -2], out=s[:, -1])
+                # Plain assignment, not np.negative(..., out=): unary ufuncs
+                # mis-read strided 1-D inputs when writing to a strided out
+                # view on some numpy builds (observed on 2.4.x).
+                s[:, -1] = -py[r0:r1, -2]
                 d += s
                 d -= f_over_w[r0:r1]
             # Phase 2: ∇div, the 1 + τ‖∇‖ denominator, and the dual update.

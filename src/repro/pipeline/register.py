@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import AlignmentBudgetExceeded, PipelineError
+from repro.errors import AlignmentBudgetExceeded, AlignmentError, PipelineError
 
 _SEARCH_STRATEGIES = ("exhaustive", "pyramid")
 
@@ -39,7 +39,7 @@ _SEARCH_STRATEGIES = ("exhaustive", "pyramid")
 def mutual_information(a: np.ndarray, b: np.ndarray, bins: int = 32) -> float:
     """Mutual information (nats) between two equally-shaped images."""
     if a.shape != b.shape:
-        raise PipelineError("mutual information needs equal shapes")
+        raise AlignmentError("mutual information needs equal shapes", stage="align")
     hist, _, _ = np.histogram2d(a.ravel(), b.ravel(), bins=bins, range=((0, 1), (0, 1)))
     return _mi_from_counts(hist)
 
@@ -325,7 +325,7 @@ def align_stack(
     pass.  The result is bit-identical for any worker count.
     """
     if not images:
-        raise PipelineError("empty stack")
+        raise AlignmentError("empty stack", stage="align")
     if search_strategy not in _SEARCH_STRATEGIES:
         raise PipelineError(
             f"unknown search strategy {search_strategy!r} "
@@ -375,7 +375,7 @@ def align_stack(
     residuals: list[tuple[int, int]] = []
     if true_drift_px is not None:
         if len(true_drift_px) != len(images):
-            raise PipelineError("true drift length mismatch")
+            raise AlignmentError("true drift length mismatch", stage="align")
         # Perfect correction would be -drift (up to a global offset fixed by
         # the first slice, whose drift is never observable).
         ref_dx, ref_dz = true_drift_px[0]
@@ -401,7 +401,7 @@ def _reference_align_stack(
     to report the real end-to-end speedup of the bincount rewrite.
     """
     if not images:
-        raise PipelineError("empty stack")
+        raise AlignmentError("empty stack", stage="align")
     shifts = {
         (i, k): _reference_align_pair(
             images[i - k], images[i], search_px=search_px, bins=bins,
@@ -424,7 +424,7 @@ def _reference_align_stack(
     residuals: list[tuple[int, int]] = []
     if true_drift_px is not None:
         if len(true_drift_px) != len(images):
-            raise PipelineError("true drift length mismatch")
+            raise AlignmentError("true drift length mismatch", stage="align")
         ref_dx, ref_dz = true_drift_px[0]
         for (cx, cz), (tx, tz) in zip(absolute, true_drift_px):
             residuals.append((cx + (tx - ref_dx), cz + (tz - ref_dz)))

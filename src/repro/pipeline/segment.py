@@ -12,18 +12,18 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
-from repro.errors import PipelineError
+from repro.errors import SegmentationError
 
 
 def otsu_threshold(image: np.ndarray, bins: int = 128) -> float:
     """Otsu's threshold: maximise inter-class variance of the histogram."""
     if image.size == 0:
-        raise PipelineError("empty image")
+        raise SegmentationError("empty image", stage="reveng")
     hist, edges = np.histogram(image.ravel(), bins=bins)
     centers = (edges[:-1] + edges[1:]) / 2
     total = hist.sum()
     if total == 0:
-        raise PipelineError("degenerate histogram")
+        raise SegmentationError("degenerate histogram", stage="reveng")
 
     weight_bg = np.cumsum(hist)
     weight_fg = total - weight_bg
@@ -64,9 +64,9 @@ def multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -> list[floa
     is identical to the retained :func:`_reference_multi_otsu`.
     """
     if classes < 2:
-        raise PipelineError("need at least two classes")
+        raise SegmentationError("need at least two classes", stage="reveng")
     if classes > 4:
-        raise PipelineError("multi_otsu supports up to 4 classes")
+        raise SegmentationError("multi_otsu supports up to 4 classes", stage="reveng")
     centers, p, m = _multi_otsu_moments(image, bins)
 
     # V[i, j] = class_var(i, j): weight * mean², −inf for empty spans.
@@ -130,9 +130,9 @@ def _reference_multi_otsu(image: np.ndarray, classes: int = 3, bins: int = 96) -
     harness reports the vectorisation speedup.
     """
     if classes < 2:
-        raise PipelineError("need at least two classes")
+        raise SegmentationError("need at least two classes", stage="reveng")
     if classes > 4:
-        raise PipelineError("multi_otsu supports up to 4 classes")
+        raise SegmentationError("multi_otsu supports up to 4 classes", stage="reveng")
     centers, p, m = _multi_otsu_moments(image, bins)
 
     def class_var(i: int, j: int) -> float:

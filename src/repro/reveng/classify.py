@@ -26,7 +26,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.circuits.netlist import Circuit, Device, DeviceType
-from repro.errors import ReverseEngineeringError
+from repro.errors import RevEngError
 from repro.layout.elements import Layer
 from repro.reveng.connectivity import ExtractedCircuit, ExtractedDevice
 
@@ -103,7 +103,7 @@ def classify_devices(extracted: ExtractedCircuit) -> Classification:
     devices = extracted.devices
     circuit = extracted.circuit
     if not devices:
-        raise ReverseEngineeringError("no transistors were extracted")
+        raise RevEngError("no transistors were extracted", stage="reveng")
 
     bitlines = identify_bitline_nets(extracted)
     bitline_set = set(bitlines)
@@ -282,7 +282,7 @@ def lane_subcircuit(
     nodes.  With ``rename=True`` the bitline nets become ``BL``/``BLB``.
     """
     if lane >= len(classification.lane_pairs):
-        raise ReverseEngineeringError(f"lane {lane} out of range")
+        raise RevEngError(f"lane {lane} out of range", stage="reveng")
     bl, blb = classification.lane_pairs[lane]
     members: list[str] = []
     for name, dev in extracted.devices.items():

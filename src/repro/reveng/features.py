@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import ndimage
 
-from repro.errors import ReverseEngineeringError
+from repro.errors import RevEngError
 from repro.imaging.sem import SemParameters, contrast_lookup
 from repro.imaging.voxel import MATERIAL_CODES, rasterize_layer
 from repro.layout.cell import LayoutCell
@@ -124,7 +124,7 @@ class PlanarFeatures:
             target = table[MATERIAL_CODES[LAYER_MATERIAL[layer]]]
             gap = target - bg
             if abs(gap) < 1e-6:
-                raise ReverseEngineeringError(
+                raise RevEngError(
                     f"material of {layer.name} indistinguishable from background "
                     f"with these SEM parameters"
                 )
@@ -144,7 +144,7 @@ class PlanarFeatures:
             masks[layer] = _drop_specks(mask, _MIN_AREA_PX.get(layer, 4))
         missing = [layer for layer in FEATURE_LAYERS if layer not in masks]
         if missing:
-            raise ReverseEngineeringError(f"missing planar views for {missing}")
+            raise RevEngError(f"missing planar views for {missing}")
         return cls(
             masks=masks,
             pixel_nm=pixel_nm,
@@ -178,7 +178,7 @@ class PlanarFeatures:
         """Connected components (4-connectivity) of a layer mask, cached."""
         if layer not in self._labels:
             if layer not in self.masks:
-                raise ReverseEngineeringError(f"no mask for layer {layer.name}")
+                raise RevEngError(f"no mask for layer {layer.name}")
             structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
             labels, count = ndimage.label(self.masks[layer], structure=structure)
             self._labels[layer] = (labels, count)

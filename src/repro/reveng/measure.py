@@ -14,7 +14,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from repro.errors import ReverseEngineeringError
+from repro.errors import RevEngError
 from repro.layout.cell import LayoutCell
 from repro.layout.elements import TransistorKind
 from repro.layout.geometry import pitch_of
@@ -65,7 +65,7 @@ class MeasurementTable:
         try:
             return self.per_class[cls]
         except KeyError:
-            raise ReverseEngineeringError(f"no measurements for class {cls.value}") from None
+            raise RevEngError(f"no measurements for class {cls.value}", stage="reveng") from None
 
 
 def measure_devices(

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.circuits.matching import MatchResult, identify_topology
 from repro.circuits.topologies import SaTopology
-from repro.errors import ReverseEngineeringError, TopologyError
+from repro.errors import RevEngError, TopologyError
 from repro.imaging.fib import SliceStack
 from repro.layout.cell import LayoutCell
 from repro.pipeline.config import (
@@ -70,7 +70,7 @@ class ReversedChip:
         name — never by dict insertion order.
         """
         if not self.lane_matches:
-            raise ReverseEngineeringError("no lane could be matched")
+            raise RevEngError("no lane could be matched", stage="reveng")
         votes: dict[SaTopology, int] = {}
         exact: dict[SaTopology, int] = {}
         for match in self.lane_matches:

@@ -13,18 +13,30 @@ engine that is neither:
 * :mod:`repro.runtime.cache` — the content-addressed on-disk stage cache;
 * :mod:`repro.runtime.hashing` — stable parameter hashing behind the
   cache keys.
+
+Resilience (fault plans, QC gates, retry, quarantine) rides on the same
+surfaces: :class:`ChipJob.fault_plan`, :class:`ResiliencePolicy` on
+:func:`run_campaign`, and :class:`QuarantineRecord` entries on the
+(partial) :class:`CampaignReport`.
 """
 
 from repro.runtime.cache import StageCache
 from repro.runtime.campaign import (
+    REPORT_SCHEMA_VERSION,
     CampaignReport,
     ChipJob,
     ChipRun,
+    QuarantineRecord,
     campaign_config_provenance,
     default_workers,
     run_campaign,
 )
-from repro.runtime.engine import STAGE_VERSIONS, StageMetrics, run_chip_stages
+from repro.runtime.engine import (
+    STAGE_VERSIONS,
+    ResiliencePolicy,
+    StageMetrics,
+    run_chip_stages,
+)
 from repro.runtime.hashing import canonicalize, chain_key, stable_hash
 
 __all__ = [
@@ -32,6 +44,9 @@ __all__ = [
     "CampaignReport",
     "ChipJob",
     "ChipRun",
+    "QuarantineRecord",
+    "REPORT_SCHEMA_VERSION",
+    "ResiliencePolicy",
     "campaign_config_provenance",
     "default_workers",
     "run_campaign",

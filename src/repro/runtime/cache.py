@@ -21,6 +21,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro.errors import CampaignError
+
 
 class StageCache:
     """Pickle-per-key store under a root directory.
@@ -39,7 +41,7 @@ class StageCache:
     def path_for(self, key: str) -> Path:
         """Entry path: two-level fan-out to keep directories small."""
         if self.root is None:
-            raise ValueError("cache is disabled")
+            raise CampaignError("cache is disabled")
         return self.root / key[:2] / f"{key}.pkl"
 
     def contains(self, key: str) -> bool:

@@ -15,29 +15,49 @@ every job's imaging → pipeline → RE chain
   the stages whose parameters (or upstream stages) changed;
 * **observably** — the returned :class:`CampaignReport` carries per-stage
   wall time, cache disposition, payload bytes and stage notes for every
-  chip.
+  chip;
+* **resiliently** — a chip whose chain fails (QC exhaustion under an
+  active :class:`~repro.faults.FaultPlan`, an alignment budget bust, a
+  blown per-chip deadline, any :class:`~repro.errors.StageError`) is
+  **quarantined**: the pool keeps going, the sibling chips finish
+  bit-identically to a fault-free run, and the report records a
+  :class:`QuarantineRecord` with the failing stage, retry counts and the
+  injected fault events.
 
 Results are bit-identical for any ``workers`` value: each chip's chain is
 deterministic given its job (all randomness is seeded by the acquisition
-campaign), and fan-out only changes *where* a chain runs.
+campaign and, for faults, by the job's plan), and fan-out only changes
+*where* a chain runs.
+
+:class:`CampaignReport` serializes through :meth:`CampaignReport.to_json`
+/ :meth:`CampaignReport.from_json` with an explicit ``schema_version``;
+deserialized reports are *summary-only* (telemetry without the pickled
+:class:`~repro.reveng.workflow.ReversedChip` payloads).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.report import render_table
-from repro.errors import CampaignError
+from repro.errors import CampaignError, ReproError, StageError
+from repro.faults import FaultPlan
 from repro.imaging.fib import FibSemCampaign
 from repro.imaging.sem import SemParameters
 from repro.layout.generator import SaRegionSpec
 from repro.pipeline.config import PipelineConfig
 from repro.reveng.workflow import ReversedChip
 from repro.runtime.cache import StageCache
-from repro.runtime.engine import StageMetrics, run_chip_stages
+from repro.runtime.engine import ResiliencePolicy, StageMetrics, run_chip_stages
+
+#: serialization schema of :meth:`CampaignReport.to_dict` — bump on any
+#: breaking shape change ("campaign-report/1" was the ad-hoc dict layout
+#: benchmarks used before the API existed)
+REPORT_SCHEMA_VERSION = "campaign-report/2"
 
 
 @dataclass(frozen=True)
@@ -61,6 +81,8 @@ class ChipJob:
     y_stop_nm: float | None = None
     #: attach a ground-truth validation report to the result
     validate: bool = True
+    #: seeded acquisition defects for this chip (None/inert → clean path)
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -110,12 +132,18 @@ class ChipJob:
 
 @dataclass
 class ChipRun:
-    """One chip's outcome plus per-stage instrumentation."""
+    """One chip's outcome plus per-stage instrumentation.
+
+    ``result`` is ``None`` on a *summary-only* run (deserialized from
+    JSON); ``summary`` then carries the headline numbers the full result
+    would provide.
+    """
 
     name: str
-    result: ReversedChip
+    result: ReversedChip | None
     stages: list[StageMetrics]
     seconds: float
+    summary: dict | None = None
 
     @property
     def cache_hits(self) -> int:
@@ -129,26 +157,132 @@ class ChipRun:
     def stages_executed(self) -> list[str]:
         return [s.stage for s in self.stages if not s.cache_hit]
 
+    @property
+    def retries(self) -> int:
+        """Re-acquisitions the QC gate forced on this chip."""
+        return int(sum(s.notes.get("retries", 0.0) for s in self.stages))
+
+    @property
+    def fault_events(self) -> int:
+        """Injected defects surviving in the final accepted stack."""
+        return int(sum(s.notes.get("fault_events", 0.0) for s in self.stages))
+
+    @property
+    def degraded(self) -> bool:
+        """Completed, but only after retries or with injected defects."""
+        return self.retries > 0 or self.fault_events > 0
+
+    def result_summary(self) -> dict:
+        """Headline numbers, from the live result or the stored summary."""
+        if self.result is not None:
+            matched = self.result.lanes_matched
+            return {
+                "topology": self.result.topology.value if matched else None,
+                "lanes_matched": matched,
+                "exact": self.result.all_exact,
+            }
+        return dict(self.summary or {"topology": None, "lanes_matched": 0, "exact": False})
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Why one chip was pulled from the campaign (picklable, JSON-able)."""
+
+    name: str
+    stage: str | None  #: failing stage, when the error carried it
+    error_type: str  #: exception class name
+    message: str
+    seconds: float  #: wall time spent on the chip before it failed
+    slice_index: int | None = None
+    retries: int = 0
+    #: structured telemetry off the error (failed slices, fault events...)
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "seconds": self.seconds,
+            "slice_index": self.slice_index,
+            "retries": self.retries,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineRecord":
+        return cls(
+            name=str(data["name"]),
+            stage=data.get("stage"),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            seconds=float(data.get("seconds", 0.0)),
+            slice_index=data.get("slice_index"),
+            retries=int(data.get("retries", 0)),
+            details=dict(data.get("details", {})),
+        )
+
+    @classmethod
+    def from_error(cls, name: str, error: ReproError, seconds: float) -> "QuarantineRecord":
+        stage = getattr(error, "stage", None)
+        slice_index = getattr(error, "slice_index", None)
+        details = dict(getattr(error, "details", {}) or {})
+        return cls(
+            name=name,
+            stage=stage,
+            error_type=type(error).__name__,
+            message=str(error),
+            seconds=seconds,
+            slice_index=slice_index,
+            retries=max(0, int(details.get("attempts", 1)) - 1),
+            details=details,
+        )
+
 
 @dataclass
 class CampaignReport:
-    """Everything :func:`run_campaign` observed, per chip and per stage."""
+    """Everything :func:`run_campaign` observed, per chip and per stage.
+
+    ``chips`` holds the completed runs (job order preserved);
+    ``quarantined`` the chips whose chain failed.  A campaign where at
+    least one chip completed is *partial*, not failed — callers check
+    :attr:`degraded` / ``quarantined`` for the bad news.
+    """
 
     chips: dict[str, ChipRun]
     workers: int
     wall_seconds: float
     cache_dir: str | None = None
+    quarantined: dict[str, QuarantineRecord] = field(default_factory=dict)
 
     def result(self, name: str) -> ReversedChip:
         """The recovered circuit of one chip."""
         try:
-            return self.chips[name].result
+            run = self.chips[name]
         except KeyError:
+            if name in self.quarantined:
+                record = self.quarantined[name]
+                raise CampaignError(
+                    f"chip {name!r} was quarantined: {record.message}"
+                ) from None
             raise CampaignError(f"no chip named {name!r} in this campaign") from None
+        if run.result is None:
+            raise CampaignError(
+                f"chip {name!r} has no payload (summary-only report)"
+            )
+        return run.result
 
     def results(self) -> dict[str, ReversedChip]:
-        """All recovered circuits, keyed by job name (job order preserved)."""
-        return {name: run.result for name, run in self.chips.items()}
+        """All recovered circuits, keyed by job name (job order preserved).
+
+        Quarantined chips are absent — that is the partial-report
+        contract, not an error.
+        """
+        return {
+            name: run.result for name, run in self.chips.items()
+            if run.result is not None
+        }
 
     @property
     def cache_hits(self) -> int:
@@ -167,6 +301,13 @@ class CampaignReport:
         """Summed per-chip wall time (= serial cost of this campaign)."""
         return sum(run.seconds for run in self.chips.values())
 
+    @property
+    def degraded(self) -> bool:
+        """Any chip quarantined, retried, or carrying injected defects."""
+        return bool(self.quarantined) or any(
+            run.degraded for run in self.chips.values()
+        )
+
     def render(self) -> str:
         """ASCII stage table (chip × stage: disposition, time, bytes)."""
         rows = []
@@ -180,23 +321,131 @@ class CampaignReport:
                     name, s.stage, s.disposition, f"{s.seconds:7.2f}s",
                     f"{s.payload_bytes / 1e6:8.2f}MB", note[:48],
                 ])
-            topo = run.result.topology.value if run.result.lane_matches else "-"
+            summary = run.result_summary()
+            topo = summary["topology"] or "-"
+            extra = f", retries={run.retries}" if run.degraded else ""
             rows.append([name, "(total)", "", f"{run.seconds:7.2f}s", "",
-                         f"topology={topo}"])
+                         f"topology={topo}{extra}"])
+        for name, record in self.quarantined.items():
+            rows.append([
+                name, record.stage or "?", "FAIL", f"{record.seconds:7.2f}s", "",
+                f"QUARANTINED: {record.error_type}"[:48],
+            ])
         title = (
             f"campaign: {len(self.chips)} chips, workers={self.workers}, "
             f"wall {self.wall_seconds:.2f}s, cache {self.cache_hits} hit / "
             f"{self.cache_misses} miss"
         )
+        if self.quarantined:
+            title += f", {len(self.quarantined)} quarantined"
         return render_table(
             ["chip", "stage", "cache", "time", "payload", "notes"], rows, title=title
         )
 
+    def to_dict(self) -> dict:
+        """The versioned summary payload (no pickled chip results)."""
+        chips = {}
+        for name, run in self.chips.items():
+            chips[name] = {
+                "seconds": run.seconds,
+                "retries": run.retries,
+                "fault_events": run.fault_events,
+                "degraded": run.degraded,
+                "summary": run.result_summary(),
+                "stages": [
+                    {
+                        "stage": s.stage,
+                        "disposition": s.disposition,
+                        "seconds": s.seconds,
+                        "payload_bytes": s.payload_bytes,
+                        "notes": dict(s.notes),
+                    }
+                    for s in run.stages
+                ],
+            }
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cache_dir": self.cache_dir,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "degraded": self.degraded,
+            "chips": chips,
+            "quarantined": {
+                name: record.to_dict() for name, record in self.quarantined.items()
+            },
+        }
 
-def _execute_job(args: tuple[ChipJob, PipelineConfig, str | None]) -> ChipRun:
-    job, config, cache_dir = args
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        """Rebuild a *summary-only* report (``result`` fields are None)."""
+        version = data.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise CampaignError(
+                f"unsupported campaign report schema {version!r} "
+                f"(this build reads {REPORT_SCHEMA_VERSION!r})"
+            )
+        chips: dict[str, ChipRun] = {}
+        for name, chip in data.get("chips", {}).items():
+            stages = [
+                StageMetrics(
+                    stage=s["stage"],
+                    seconds=float(s.get("seconds", 0.0)),
+                    cache_hit=s.get("disposition") in ("hit", "skip"),
+                    skipped=s.get("disposition") == "skip",
+                    payload_bytes=int(s.get("payload_bytes", 0)),
+                    notes=dict(s.get("notes", {})),
+                )
+                for s in chip.get("stages", [])
+            ]
+            chips[name] = ChipRun(
+                name=name,
+                result=None,
+                stages=stages,
+                seconds=float(chip.get("seconds", 0.0)),
+                summary=dict(chip.get("summary", {})),
+            )
+        return cls(
+            chips=chips,
+            workers=int(data.get("workers", 1)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            cache_dir=data.get("cache_dir"),
+            quarantined={
+                name: QuarantineRecord.from_dict(record)
+                for name, record in data.get("quarantined", {}).items()
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"malformed campaign report JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise CampaignError("campaign report JSON must be an object")
+        return cls.from_dict(data)
+
+
+def _execute_job(
+    args: tuple[ChipJob, PipelineConfig, str | None, ResiliencePolicy | None],
+) -> ChipRun | QuarantineRecord:
+    """One chip's chain; a failing chip returns a quarantine record.
+
+    The record — not the exception — crosses the process boundary:
+    exceptions with rich context pickle unreliably, and a worker that
+    raises would poison ``pool.map`` for every chip behind it.
+    """
+    job, config, cache_dir, policy = args
     t0 = time.perf_counter()
-    result, metrics = run_chip_stages(job, config, StageCache(cache_dir))
+    try:
+        result, metrics = run_chip_stages(job, config, StageCache(cache_dir), policy)
+    except StageError as exc:
+        return QuarantineRecord.from_error(job.name, exc, time.perf_counter() - t0)
     return ChipRun(
         name=job.name, result=result, stages=metrics,
         seconds=time.perf_counter() - t0,
@@ -217,6 +466,8 @@ def run_campaign(
     config: PipelineConfig | None = None,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
+    policy: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> CampaignReport:
     """Run every chip job and return the campaign report.
 
@@ -224,6 +475,14 @@ def run_campaign(
     job, capped at the CPU count; ``1`` → run in-process).  ``cache_dir``
     enables the on-disk stage cache.  Results are identical for any
     worker count; the report's chip order always follows the job order.
+
+    ``policy`` sets the resilience knobs (QC thresholds, retry budget,
+    per-chip timeout).  ``fault_plan`` is a campaign-level plan applied to
+    every job that doesn't already carry one, with a per-chip seed
+    derived via :meth:`~repro.faults.FaultPlan.for_chip` so siblings draw
+    independent fault streams.  A chip whose chain raises a
+    :class:`~repro.errors.StageError` is quarantined — the campaign
+    still completes and the report is partial, not absent.
     """
     if not jobs:
         raise CampaignError("campaign needs at least one job")
@@ -234,9 +493,17 @@ def run_campaign(
     cache_dir = str(cache_dir) if cache_dir is not None else None
     if workers is None:
         workers = default_workers(len(jobs))
+    if fault_plan is not None:
+        from dataclasses import replace
+
+        jobs = [
+            job if job.fault_plan is not None
+            else replace(job, fault_plan=fault_plan.for_chip(job.name))
+            for job in jobs
+        ]
 
     t0 = time.perf_counter()
-    payloads = [(job, config, cache_dir) for job in jobs]
+    payloads = [(job, config, cache_dir, policy) for job in jobs]
     if workers <= 1 or len(jobs) == 1:
         runs = [_execute_job(p) for p in payloads]
     else:
@@ -245,10 +512,13 @@ def run_campaign(
         with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
             runs = list(pool.map(_execute_job, payloads))
     return CampaignReport(
-        chips={run.name: run for run in runs},
+        chips={run.name: run for run in runs if isinstance(run, ChipRun)},
         workers=workers,
         wall_seconds=time.perf_counter() - t0,
         cache_dir=cache_dir,
+        quarantined={
+            run.name: run for run in runs if isinstance(run, QuarantineRecord)
+        },
     )
 
 
@@ -271,6 +541,8 @@ __all__ = [
     "ChipJob",
     "ChipRun",
     "CampaignReport",
+    "QuarantineRecord",
+    "REPORT_SCHEMA_VERSION",
     "run_campaign",
     "default_workers",
     "campaign_config_provenance",

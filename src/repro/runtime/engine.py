@@ -31,7 +31,13 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import CampaignError
+from repro.errors import (
+    AcquisitionError,
+    AlignmentBudgetExceeded,
+    CampaignError,
+    StageTimeoutError,
+)
+from repro.faults import FaultInjector
 from repro.imaging.fib import acquire_stack
 from repro.imaging.roi import identify_roi
 from repro.imaging.voxel import voxelize
@@ -44,6 +50,7 @@ from repro.pipeline.config import (
     PlanarViewStage,
     SegmentStage,
 )
+from repro.pipeline.stack import QcThresholds, qc_stack
 from repro.reveng.connectivity import extract_circuit
 from repro.reveng.workflow import ReversedChip, finish_extraction
 from repro.runtime.cache import StageCache
@@ -64,6 +71,39 @@ STAGE_VERSIONS: dict[str, str] = {
     "assemble": "1",
     "reveng": "1",
 }
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Campaign-level resilience knobs.
+
+    ``max_retries`` bounds re-acquisitions for a stack that fails QC
+    (each retry re-runs the whole acquisition with the fault RNG advanced
+    to the next attempt — clean content identical, faults re-rolled).
+    ``chip_timeout_s`` is a cooperative per-chip deadline checked between
+    stages; a chip that blows it raises :class:`StageTimeoutError` and is
+    quarantined by the campaign.  ``qc`` gates acquired slices; QC runs
+    when the chip has an active fault plan or when ``force_qc`` is set,
+    so the clean path's cache keys (and its cost) stay untouched by
+    default.  ``max_residual_fraction`` optionally gates the alignment
+    stage on the §IV-C residual budget.
+    """
+
+    max_retries: int = 2
+    chip_timeout_s: float | None = None
+    qc: QcThresholds = field(default_factory=QcThresholds)
+    force_qc: bool = False
+    max_residual_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise CampaignError("max_retries must be >= 0")
+        if self.chip_timeout_s is not None and self.chip_timeout_s <= 0:
+            raise CampaignError("chip_timeout_s must be positive (or None)")
+
+    def qc_engaged(self, job: "ChipJob") -> bool:
+        """Whether acquisitions of *job* go through the QC/retry gate."""
+        return self.force_qc or (job.fault_plan is not None and job.fault_plan.active)
 
 
 @dataclass
@@ -95,8 +135,19 @@ class _StageDef:
         return STAGE_VERSIONS[self.name]
 
 
-def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]:
-    """The content-addressed stage chain for one chip job."""
+def build_stage_chain(
+    job: "ChipJob",
+    config: PipelineConfig,
+    policy: ResiliencePolicy | None = None,
+) -> list[_StageDef]:
+    """The content-addressed stage chain for one chip job.
+
+    With a fault plan on the job (or ``policy.force_qc``), the acquire
+    stage wraps the acquisition in the QC → retry loop and its cache
+    params grow the fault/QC tokens; without one the chain is exactly the
+    clean chain of earlier releases, so existing caches stay valid.
+    """
+    policy = policy or ResiliencePolicy()
 
     def run_layout(ctx: dict) -> tuple[dict, dict[str, float]]:
         if job.mat_rows is not None:
@@ -125,19 +176,53 @@ def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]
         )
 
     def run_acquire(ctx: dict) -> tuple[dict, dict[str, float]]:
-        stack = acquire_stack(
-            ctx["volume"],
-            job.campaign,
-            y_start_nm=job.y_start_nm,
-            y_stop_nm=job.y_stop_nm,
-            x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
-            x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
-        )
+        plan = job.fault_plan
+        engaged = policy.qc_engaged(job)
+        attempt = 0
+        events = []
+        while True:
+            injector = None
+            if plan is not None and plan.active:
+                injector = FaultInjector(plan, attempt=attempt)
+            stack = acquire_stack(
+                ctx["volume"],
+                job.campaign,
+                y_start_nm=job.y_start_nm,
+                y_stop_nm=job.y_stop_nm,
+                x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
+                x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
+                injector=injector,
+            )
+            events.extend(stack.fault_events)
+            if not engaged:
+                break
+            qc = qc_stack(stack.images, policy.qc, true_drift_px=stack.true_drift_px)
+            if qc.passed:
+                break
+            if attempt >= policy.max_retries:
+                failed = qc.failed_indices
+                raise AcquisitionError(
+                    f"{len(failed)} slice(s) still fail QC "
+                    f"({', '.join(qc.failure_kinds)}) after "
+                    f"{policy.max_retries} re-acquisition(s)",
+                    chip_id=job.name,
+                    stage="acquire",
+                    slice_index=failed[0] if failed else None,
+                    details={
+                        "failed_slices": list(failed),
+                        "failure_kinds": list(qc.failure_kinds),
+                        "attempts": attempt + 1,
+                        "fault_events": [e.to_dict() for e in events],
+                    },
+                )
+            attempt += 1
         worst = max((max(abs(a), abs(b)) for a, b in stack.true_drift_px), default=0)
         return {"stack": stack}, {
             "slices": float(len(stack)),
             "beam_time_hours": stack.beam_time_hours(),
             "worst_drift_px": float(worst),
+            "retries": float(attempt),
+            "fault_events": float(len(stack.fault_events)),
             "array_bytes": float(sum(img.nbytes for img in stack.images)),
         }
 
@@ -149,6 +234,11 @@ def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]
     def run_align(ctx: dict) -> tuple[dict, dict[str, float]]:
         stage = AlignStage(config, true_drift_px=ctx["stack"].true_drift_px)
         aligned, notes = stage(ctx["denoised"])
+        budget = policy.max_residual_fraction
+        if budget is not None and notes.get("residual_fraction", 0.0) > budget:
+            raise AlignmentBudgetExceeded(
+                notes["residual_fraction"], budget, chip_id=job.name
+            )
         return {"aligned": aligned}, notes
 
     def run_assemble(ctx: dict) -> tuple[dict, dict[str, float]]:
@@ -213,12 +303,25 @@ def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]
             {"probe_step_nm": job.roi_probe_step_nm, "margin_nm": job.roi_margin_nm},
             run_roi,
         ))
+    acquire_params: dict[str, Any] = {
+        "campaign": canonicalize(job.campaign),
+        "x_start_nm": job.x_start_nm, "x_stop_nm": job.x_stop_nm,
+        "y_start_nm": job.y_start_nm, "y_stop_nm": job.y_stop_nm,
+    }
+    # Fault/QC knobs join the acquire key only when they can change the
+    # acquired stack: an active plan injects defects, and an engaged QC
+    # gate changes which stack survives (retry count + failure point).
+    # An inert plan (all rates 0, QC off) keys identically to no plan, so
+    # it hits the clean path's cache entries — matching its bit-identical
+    # output.  The *rest* of the policy (timeouts) is execution-only and
+    # never keyed.
+    if job.fault_plan is not None and job.fault_plan.active:
+        acquire_params["fault_plan"] = job.fault_plan.cache_token()
+    if policy.qc_engaged(job):
+        acquire_params["qc"] = canonicalize(policy.qc)
+        acquire_params["max_retries"] = policy.max_retries
     stages.extend([
-        _StageDef("acquire", {
-            "campaign": canonicalize(job.campaign),
-            "x_start_nm": job.x_start_nm, "x_stop_nm": job.x_stop_nm,
-            "y_start_nm": job.y_start_nm, "y_stop_nm": job.y_stop_nm,
-        }, run_acquire),
+        _StageDef("acquire", acquire_params, run_acquire),
         # Stage params carry every result-affecting knob and nothing else:
         # execution-only settings (config.chunk_workers) are deliberately
         # absent so a re-run with more threads still hits the cache, while
@@ -250,8 +353,18 @@ def build_stage_chain(job: "ChipJob", config: PipelineConfig) -> list[_StageDef]
 def execute_chain(
     stages: list[_StageDef],
     cache: StageCache,
+    deadline: float | None = None,
+    chip_id: str | None = None,
 ) -> tuple[dict[str, Any], list[StageMetrics]]:
-    """Run a stage chain against a cache; return (final context, metrics)."""
+    """Run a stage chain against a cache; return (final context, metrics).
+
+    ``deadline`` (a ``time.monotonic()`` instant) makes the executor
+    cooperative about per-chip time budgets: it is checked *between*
+    stages, so an over-budget chip stops at the next stage boundary with
+    a :class:`StageTimeoutError` instead of being killed mid-stage (which
+    would leave a partial cache write — the atomic store makes even that
+    safe, but a typed error with the failing stage beats a dead worker).
+    """
     keys: list[str] = []
     parent: str | None = None
     for stage in stages:
@@ -267,6 +380,13 @@ def execute_chain(
     ctx: dict[str, Any] = {}
     metrics: list[StageMetrics] = []
     for i, stage in enumerate(stages):
+        if deadline is not None and time.monotonic() > deadline:
+            raise StageTimeoutError(
+                "chip exceeded its campaign time budget",
+                chip_id=chip_id,
+                stage=stage.name,
+                details={"completed_stages": [m.stage for m in metrics]},
+            )
         t0 = time.perf_counter()
         if i < deepest and deepest == len(stages) - 1:
             # The final stage is cached: upstream artefacts are never needed.
@@ -313,9 +433,21 @@ def run_chip_stages(
     job: "ChipJob",
     config: PipelineConfig,
     cache: StageCache,
+    policy: ResiliencePolicy | None = None,
 ) -> tuple[ReversedChip, list[StageMetrics]]:
-    """Execute one chip's full chain and return its recovered circuit."""
-    ctx, metrics = execute_chain(build_stage_chain(job, config), cache)
+    """Execute one chip's full chain and return its recovered circuit.
+
+    ``policy`` adds the QC/retry gate, the per-chip deadline and the
+    alignment budget; ``None`` keeps the historical clean-path behaviour.
+    """
+    policy = policy or ResiliencePolicy()
+    deadline = None
+    if policy.chip_timeout_s is not None:
+        deadline = time.monotonic() + policy.chip_timeout_s
+    ctx, metrics = execute_chain(
+        build_stage_chain(job, config, policy), cache,
+        deadline=deadline, chip_id=job.name,
+    )
     result = ctx.get("result")
     if not isinstance(result, ReversedChip):
         raise CampaignError(f"chip job {job.name!r} produced no result")

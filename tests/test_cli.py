@@ -88,3 +88,52 @@ class TestCampaignCommand:
         warm_out = capsys.readouterr().out
         assert "classic: topology=classic" in warm_out
         assert "skip" in warm_out  # warm: upstream stages skipped via cache
+
+
+class TestCampaignFaultFlags:
+    def test_help_lists_resilience_flags(self, capsys):
+        assert main(["campaign", "--help"]) == 0
+        out = capsys.readouterr().out
+        for flag in ("--fault-plan", "--max-retries", "--chip-timeout", "--json"):
+            assert flag in out
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        assert main(["campaign", "classic", "--fault-plan", "gremlins=1"]) == 2
+        assert "unknown fault spec key" in capsys.readouterr().err
+
+    def test_bad_retry_count_is_a_usage_error(self, capsys):
+        assert main(["campaign", "classic", "--max-retries", "two"]) == 2
+        assert "requires an integer" in capsys.readouterr().err
+
+    def test_faulty_campaign_writes_versioned_report(self, capsys, tmp_path):
+        """Heavy faults on the only chip: quarantine, exit 1, JSON report."""
+        import json
+
+        path = tmp_path / "report.json"
+        code = main([
+            "campaign", "classic", "--pairs", "1", "--fast", "--workers", "1",
+            "--fault-plan", "seed=3,drop=0.3,drift=0.2", "--max-retries", "1",
+            "--json", str(path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1  # every chip quarantined → partial report is empty
+        assert "QUARANTINED at acquire after 1 retries" in captured.out
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == "campaign-report/2"
+        assert "classic" in data["quarantined"]
+        assert data["quarantined"]["classic"]["error_type"] == "AcquisitionError"
+
+    def test_json_to_stdout_round_trips(self, capsys, tmp_path):
+        from repro.runtime import CampaignReport
+
+        code = main([
+            "campaign", "classic", "--pairs", "1", "--fast", "--workers", "1",
+            "--fault-plan", "seed=0",  # inert plan: clean run, flags exercised
+            "--json", "-",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        start = out.index('{\n  "')  # the report is the only JSON object
+        report = CampaignReport.from_json(out[start:])
+        assert list(report.chips) == ["classic"]
+        assert not report.degraded

@@ -42,3 +42,54 @@ def test_unknown_chip_error():
 def test_unknown_paper_error():
     with pytest.raises(errors.ReproError):
         raise errors.UnknownPaperError("missing")
+
+
+class TestStageErrors:
+    """Typed per-stage failures carry chip/stage/slice context."""
+
+    def test_context_appended_to_message(self):
+        exc = errors.AcquisitionError(
+            "stack failed QC", chip_id="chip-a", stage="acquire", slice_index=7
+        )
+        assert exc.chip_id == "chip-a"
+        assert exc.stage == "acquire"
+        assert exc.slice_index == 7
+        text = str(exc)
+        assert "chip=chip-a" in text and "stage=acquire" in text and "slice=7" in text
+
+    def test_context_is_optional(self):
+        exc = errors.SegmentationError("no lanes")
+        assert exc.chip_id is None and exc.slice_index is None
+        assert str(exc).startswith("no lanes")
+
+    def test_details_dict_travels(self):
+        exc = errors.AcquisitionError(
+            "boom", stage="acquire", details={"attempts": 3, "failed_slices": [1, 2]}
+        )
+        assert exc.details["attempts"] == 3
+
+    @pytest.mark.parametrize("new,legacy", [
+        (errors.AcquisitionError, errors.ImagingError),
+        (errors.AlignmentError, errors.PipelineError),
+        (errors.SegmentationError, errors.PipelineError),
+        (errors.RevEngError, errors.ReverseEngineeringError),
+    ])
+    def test_subclasses_legacy_types_one_cycle(self, new, legacy):
+        """Old `except ImagingError` etc. keeps catching for one cycle."""
+        assert issubclass(new, errors.StageError)
+        assert issubclass(new, legacy)
+        with pytest.raises(legacy):
+            raise new("compat")
+
+    def test_timeout_is_a_stage_error(self):
+        exc = errors.StageTimeoutError(
+            "chip deadline exceeded", chip_id="x", stage="align",
+            details={"completed_stages": ["layout", "acquire"]},
+        )
+        assert isinstance(exc, errors.StageError)
+        assert exc.details["completed_stages"] == ["layout", "acquire"]
+
+    def test_alignment_budget_is_an_alignment_error(self):
+        exc = errors.AlignmentBudgetExceeded(0.02, 0.01, chip_id="c")
+        assert isinstance(exc, errors.AlignmentError)
+        assert exc.chip_id == "c"

@@ -1,0 +1,200 @@
+"""Seeded fault injection (repro.faults) and the slice QC gates.
+
+The load-bearing contract: faults are bit-reproducible from the plan
+seed, an inert plan is indistinguishable from no plan at all, and every
+injected defect class trips the QC gate that exists to catch it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CampaignError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.imaging import FibSemCampaign, SemParameters
+from repro.imaging.fib import acquire_stack
+from repro.imaging.voxel import voxelize
+from repro.layout import SaRegionSpec, generate_sa_region
+from repro.pipeline.stack import QcThresholds, qc_stack, slice_quality
+
+
+@pytest.fixture(scope="module")
+def volume():
+    cell = generate_sa_region(SaRegionSpec(name="flt", topology="classic", n_pairs=1))
+    return voxelize(cell, voxel_nm=6.0, margin_nm=40.0)
+
+
+CAMPAIGN = FibSemCampaign(sem=SemParameters(dwell_time_us=6.0))
+
+
+def _acquire(volume, plan=None, attempt=0):
+    injector = FaultInjector(plan, attempt=attempt) if plan is not None else None
+    return acquire_stack(volume, CAMPAIGN, y_stop_nm=300.0, injector=injector)
+
+
+class TestInertPlanBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_zero_rate_plan_is_bit_identical(self, volume, seed):
+        """Property: ANY all-rates-zero plan reproduces the clean path."""
+        clean = _acquire(volume)
+        inert = _acquire(volume, FaultPlan(seed=seed))
+        assert len(clean) == len(inert)
+        for a, b in zip(clean.images, inert.images):
+            assert np.array_equal(a, b)
+        assert clean.true_drift_px == inert.true_drift_px
+        assert clean.slice_y_nm == inert.slice_y_nm
+        assert inert.fault_events == []
+
+    def test_active_plan_changes_output(self, volume):
+        clean = _acquire(volume)
+        faulty = _acquire(volume, FaultPlan(seed=0, drop_rate=0.5))
+        assert faulty.fault_events
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(clean.images, faulty.images)
+        )
+
+
+class TestDeterminism:
+    def test_same_plan_same_stack(self, volume):
+        plan = FaultPlan(seed=11, drop_rate=0.2, drift_spike_rate=0.1, blur_rate=0.1)
+        a = _acquire(volume, plan)
+        b = _acquire(volume, plan)
+        assert a.fault_events == b.fault_events
+        for x, y in zip(a.images, b.images):
+            assert np.array_equal(x, y)
+
+    def test_retry_rerolls_faults_not_content(self, volume):
+        """attempt+1 draws a fresh fault stream from the same clean walk."""
+        plan = FaultPlan(seed=11, drop_rate=0.2)
+        a = _acquire(volume, plan, attempt=0)
+        b = _acquire(volume, plan, attempt=1)
+        assert a.fault_events != b.fault_events
+        # Slices untouched by faults in both attempts are identical: the
+        # clean acquisition RNG never sees the injector.
+        dirty = {e.slice_index for e in a.fault_events + b.fault_events}
+        for i, (x, y) in enumerate(zip(a.images, b.images)):
+            if i not in dirty:
+                assert np.array_equal(x, y)
+
+    def test_different_seeds_differ(self, volume):
+        a = _acquire(volume, FaultPlan(seed=1, drop_rate=0.3))
+        b = _acquire(volume, FaultPlan(seed=2, drop_rate=0.3))
+        assert a.fault_events != b.fault_events
+
+
+class TestFaultBehaviours:
+    def test_drop_blacks_out_the_frame(self, volume):
+        stack = _acquire(volume, FaultPlan(seed=0, drop_rate=1.0))
+        assert all(e.kind == "drop" for e in stack.fault_events)
+        for img in stack.images:
+            assert slice_quality(img)["blackout_fraction"] > 0.9
+
+    def test_saturation_pins_the_white_rail(self, volume):
+        stack = _acquire(volume, FaultPlan(seed=0, saturation_rate=1.0))
+        for img in stack.images:
+            assert slice_quality(img)["saturation_fraction"] > 0.55
+
+    def test_blur_burst_covers_consecutive_slices(self, volume):
+        plan = FaultPlan(seed=3, blur_rate=0.1, blur_burst_len=3)
+        stack = _acquire(volume, plan)
+        blurred = sorted(e.slice_index for e in stack.fault_events if e.kind == "blur")
+        assert blurred
+        first = blurred[0]
+        assert {first, first + 1, first + 2} <= set(blurred)
+
+    def test_drift_spike_exceeds_clean_clamp(self, volume):
+        plan = FaultPlan(seed=2, drift_spike_rate=0.2, drift_spike_px=9.0)
+        stack = _acquire(volume, plan)
+        spikes = [e for e in stack.fault_events if e.kind == "drift_spike"]
+        assert spikes
+        worst = max(max(abs(a), abs(b)) for a, b in stack.true_drift_px)
+        assert worst > CAMPAIGN.max_drift_px
+
+    def test_overshoot_recorded(self, volume):
+        stack = _acquire(volume, FaultPlan(seed=0, overshoot_rate=0.3))
+        assert any(e.kind == "overshoot" for e in stack.fault_events)
+        # Same stack length: the slice schedule is fixed, the *material* isn't.
+        assert len(stack) == len(_acquire(volume))
+
+
+class TestQcGates:
+    def test_clean_stack_passes_default_thresholds(self, volume):
+        stack = _acquire(volume)
+        qc = qc_stack(stack.images, true_drift_px=stack.true_drift_px)
+        assert qc.passed
+        assert qc.failed_indices == ()
+
+    @pytest.mark.parametrize("plan_kwargs,expected_kind", [
+        ({"drop_rate": 1.0}, "blackout"),
+        ({"saturation_rate": 1.0}, "saturation"),
+        ({"blur_rate": 1.0}, "sharpness"),
+        ({"drift_spike_rate": 0.2, "drift_spike_px": 9.0}, "drift_step"),
+    ])
+    def test_each_fault_class_is_caught(self, volume, plan_kwargs, expected_kind):
+        stack = _acquire(volume, FaultPlan(seed=2, **plan_kwargs))
+        qc = qc_stack(stack.images, true_drift_px=stack.true_drift_px)
+        assert not qc.passed
+        assert expected_kind in qc.failure_kinds
+
+    def test_disabled_gate_is_skipped(self, volume):
+        stack = _acquire(volume, FaultPlan(seed=0, drop_rate=1.0))
+        lax = QcThresholds(min_intensity_spread=None, max_blackout_fraction=None,
+                           min_sharpness=None)
+        assert qc_stack(stack.images, lax).passed
+
+    def test_slice_quality_rejects_non_2d(self):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            slice_quality(np.zeros(5))
+
+    def test_negative_threshold_rejected(self):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            QcThresholds(min_sharpness=-1.0)
+
+
+class TestFaultPlanApi:
+    def test_rate_validation(self):
+        with pytest.raises(CampaignError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(CampaignError):
+            FaultPlan(blur_burst_len=0)
+
+    def test_active_property(self):
+        assert not FaultPlan(seed=99).active
+        assert FaultPlan(drop_rate=0.01).active
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("seed=7, drop=0.1, drift=0.08, spike_px=9, burst=4")
+        assert plan.seed == 7
+        assert plan.drop_rate == pytest.approx(0.1)
+        assert plan.drift_spike_rate == pytest.approx(0.08)
+        assert plan.drift_spike_px == pytest.approx(9.0)
+        assert plan.blur_burst_len == 4
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(CampaignError, match="unknown fault spec key"):
+            FaultPlan.parse("gremlins=1")
+        with pytest.raises(CampaignError, match="key=value"):
+            FaultPlan.parse("drop")
+
+    def test_for_chip_derives_distinct_seeds(self):
+        plan = FaultPlan(seed=5, drop_rate=0.1)
+        a, b = plan.for_chip("chip-a"), plan.for_chip("chip-b")
+        assert a.seed != b.seed
+        assert a.drop_rate == b.drop_rate == 0.1
+        assert plan.for_chip("chip-a") == a  # stable derivation
+
+    def test_cache_token_covers_every_field(self):
+        import dataclasses
+
+        token = FaultPlan(seed=1, drop_rate=0.2).cache_token()
+        assert set(token) == {f.name for f in dataclasses.fields(FaultPlan)}
+
+    def test_event_dict_round_trip(self):
+        event = FaultEvent("drop", 4, attempt=1, magnitude=1.0)
+        assert FaultEvent.from_dict(event.to_dict()) == event

@@ -6,16 +6,18 @@ behaviour is what is under test; full-fidelity numbers are covered by the
 end-to-end workflow tests and benches.
 """
 
+import dataclasses
 import pickle
 
 import pytest
 
 from repro.circuits.topologies import SaTopology
 from repro.errors import CampaignError
+from repro.faults import FaultPlan
 from repro.imaging import FibSemCampaign, SemParameters
 from repro.layout import SaRegionSpec
 from repro.pipeline import PipelineConfig
-from repro.runtime import ChipJob, run_campaign
+from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
 FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
 
@@ -151,3 +153,204 @@ class TestJobValidation:
         text = serial_report.render()
         assert "reveng" in text and "run" in text
         assert "2 chips" in text
+
+
+def _three_jobs(poison: FaultPlan | None = None) -> list[ChipJob]:
+    """Three short-stack chips; ``poison`` lands on the middle one."""
+    campaign = FibSemCampaign(sem=SemParameters(dwell_time_us=6.0))
+    specs = [("res-a", "classic"), ("res-b", "ocsa"), ("res-c", "classic")]
+    jobs = []
+    for i, (name, topo) in enumerate(specs):
+        jobs.append(ChipJob(
+            name=name,
+            spec=SaRegionSpec(name=name.replace("-", "_"), topology=topo, n_pairs=1),
+            campaign=campaign,
+            y_stop_nm=300.0,
+            fault_plan=poison if i == 1 else None,
+        ))
+    return jobs
+
+
+#: Heavy faults: dropped slices + drift spikes that QC cannot wave through,
+#: so the poisoned chip exhausts its retries and is quarantined.
+POISON = FaultPlan(seed=3, drop_rate=0.3, drift_spike_rate=0.2)
+
+#: Light faults chosen (seed searched offline) so attempt 0 fails QC and
+#: the single re-acquisition comes back clean — the retry-success path.
+RECOVERABLE = FaultPlan(seed=1, drop_rate=0.04)
+
+
+class TestFaultResilience:
+    """The acceptance demo: 1 poisoned chip out of 3, siblings unharmed."""
+
+    @pytest.fixture(scope="class")
+    def clean_report(self):
+        return run_campaign(_three_jobs(), config=FAST, workers=1)
+
+    @pytest.fixture(scope="class")
+    def faulty_report(self):
+        return run_campaign(
+            _three_jobs(POISON), config=FAST, workers=1,
+            policy=ResiliencePolicy(max_retries=1),
+        )
+
+    def test_poisoned_chip_quarantined(self, faulty_report):
+        assert list(faulty_report.chips) == ["res-a", "res-c"]
+        assert list(faulty_report.quarantined) == ["res-b"]
+        record = faulty_report.quarantined["res-b"]
+        assert record.error_type == "AcquisitionError"
+        assert record.stage == "acquire"
+        assert record.retries == 1
+        assert record.details["fault_events"]  # injected defects recorded
+        assert faulty_report.degraded
+
+    def test_siblings_bit_identical_to_fault_free_run(self, clean_report, faulty_report):
+        for name in ("res-a", "res-c"):
+            assert pickle.dumps(clean_report.result(name)) == \
+                pickle.dumps(faulty_report.result(name))
+
+    def test_quarantined_result_raises_with_context(self, faulty_report):
+        with pytest.raises(CampaignError, match="quarantined"):
+            faulty_report.result("res-b")
+        assert "res-b" not in faulty_report.results()
+
+    def test_render_shows_quarantine(self, faulty_report):
+        text = faulty_report.render()
+        assert "QUARANTINED" in text and "1 quarantined" in text
+
+    def test_retry_then_success(self):
+        """A recoverable plan costs one retry and completes degraded."""
+        jobs = [_three_jobs(RECOVERABLE)[1]]
+        report = run_campaign(
+            jobs, config=FAST, workers=1, policy=ResiliencePolicy(max_retries=2)
+        )
+        run = report.chips["res-b"]
+        assert run.retries == 1
+        assert run.degraded
+        assert not report.quarantined
+        assert run.result.topology is SaTopology.OCSA
+
+    def test_parallel_quarantine_matches_serial(self, faulty_report):
+        parallel = run_campaign(
+            _three_jobs(POISON), config=FAST, workers=3,
+            policy=ResiliencePolicy(max_retries=1),
+        )
+        assert list(parallel.quarantined) == ["res-b"]
+        assert parallel.quarantined["res-b"].message == \
+            faulty_report.quarantined["res-b"].message
+        for name in ("res-a", "res-c"):
+            assert pickle.dumps(parallel.result(name)) == \
+                pickle.dumps(faulty_report.result(name))
+
+    def test_campaign_level_plan_derives_per_chip_seeds(self):
+        plan = FaultPlan(seed=9, drop_rate=0.0)  # inert: keeps the test cheap
+        jobs = _three_jobs()[:2]
+        report = run_campaign(jobs, config=FAST, workers=1, fault_plan=plan)
+        assert list(report.chips) == ["res-a", "res-b"]
+
+    def test_timeout_quarantines_chip(self):
+        report = run_campaign(
+            _three_jobs()[:1], config=FAST, workers=1,
+            policy=ResiliencePolicy(chip_timeout_s=1e-6),
+        )
+        assert not report.chips
+        assert report.quarantined["res-a"].error_type == "StageTimeoutError"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(CampaignError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(CampaignError):
+            ResiliencePolicy(chip_timeout_s=0.0)
+
+
+class TestFaultCacheKeys:
+    """Fault knobs that change results must invalidate downstream keys."""
+
+    def test_active_plan_invalidates_acquire_and_downstream(self, tmp_path):
+        job = _three_jobs()[0]
+        run_campaign([job], config=FAST, workers=1, cache_dir=tmp_path)
+        poisoned = dataclasses.replace(job, fault_plan=RECOVERABLE)
+        report = run_campaign(
+            [poisoned], config=FAST, workers=1, cache_dir=tmp_path,
+            policy=ResiliencePolicy(max_retries=2),
+        )
+        run = report.chips["res-a"]
+        dispositions = {s.stage: s.disposition for s in run.stages}
+        # Upstream of acquire is untouched; acquire and everything below
+        # re-executes under the new fault/QC key.
+        assert dispositions["layout"] == "hit"
+        assert dispositions["voxelize"] == "hit"
+        for stage in ("acquire", "denoise", "align", "assemble", "reveng"):
+            assert dispositions[stage] == "run"
+
+    def test_inert_plan_hits_clean_cache(self, tmp_path):
+        """All-rates-zero plan keys identically to no plan at all."""
+        job = _three_jobs()[0]
+        run_campaign([job], config=FAST, workers=1, cache_dir=tmp_path)
+        inert = dataclasses.replace(job, fault_plan=FaultPlan(seed=42))
+        report = run_campaign([inert], config=FAST, workers=1, cache_dir=tmp_path)
+        assert report.cache_misses == 0
+
+    def test_different_seeds_different_keys(self, tmp_path):
+        job = _three_jobs()[0]
+        policy = ResiliencePolicy(max_retries=2)
+        a = dataclasses.replace(job, fault_plan=RECOVERABLE)
+        run_campaign([a], config=FAST, workers=1, cache_dir=tmp_path, policy=policy)
+        b = dataclasses.replace(
+            job, fault_plan=dataclasses.replace(RECOVERABLE, seed=RECOVERABLE.seed + 1)
+        )
+        report = run_campaign(
+            [b], config=FAST, workers=1, cache_dir=tmp_path, policy=policy
+        )
+        run = report.chips["res-a"]
+        assert "acquire" in run.stages_executed
+
+
+class TestReportSerialization:
+    """CampaignReport.to_json/from_json with an explicit schema version."""
+
+    @pytest.fixture(scope="class")
+    def faulty_report(self):
+        return run_campaign(
+            _three_jobs(POISON), config=FAST, workers=1,
+            policy=ResiliencePolicy(max_retries=1),
+        )
+
+    def test_round_trip_preserves_telemetry(self, faulty_report):
+        restored = CampaignReport.from_json(faulty_report.to_json())
+        assert restored.to_json() == faulty_report.to_json()
+        assert list(restored.chips) == list(faulty_report.chips)
+        assert list(restored.quarantined) == ["res-b"]
+        assert restored.quarantined["res-b"].retries == 1
+        assert restored.degraded
+        for name, run in restored.chips.items():
+            assert run.result is None  # summary-only
+            assert run.result_summary() == \
+                faulty_report.chips[name].result_summary()
+            assert [s.stage for s in run.stages] == \
+                [s.stage for s in faulty_report.chips[name].stages]
+
+    def test_schema_version_stamped(self, faulty_report):
+        import json
+
+        data = json.loads(faulty_report.to_json())
+        assert data["schema_version"] == "campaign-report/2"
+
+    def test_unknown_schema_rejected(self, faulty_report):
+        import json
+
+        data = json.loads(faulty_report.to_json())
+        data["schema_version"] = "campaign-report/99"
+        with pytest.raises(CampaignError, match="schema"):
+            CampaignReport.from_dict(data)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CampaignError, match="malformed"):
+            CampaignReport.from_json("{not json")
+        with pytest.raises(CampaignError, match="object"):
+            CampaignReport.from_json("[1, 2]")
+
+    def test_summary_only_result_access_raises(self, faulty_report):
+        restored = CampaignReport.from_json(faulty_report.to_json())
+        with pytest.raises(CampaignError, match="summary-only"):
+            restored.result("res-a")
