@@ -23,7 +23,10 @@ Research by Uncovering Sense Amplifiers with IC Imaging* (ISCA 2024):
   QC-gated retries, per-chip timeouts and chip quarantine;
 * :mod:`repro.faults` — deterministic seeded acquisition fault injection
   (dropped slices, saturation/blackout, drift spikes, milling overshoot,
-  blur bursts) behind :class:`FaultPlan`.
+  blur bursts) behind :class:`FaultPlan`;
+* :mod:`repro.obs` — campaign observability: hierarchical span tracing
+  (Chrome-trace exportable), a metrics registry merged across workers,
+  and JSON-lines structured logging, all off (and free) by default.
 
 Quick start::
 
@@ -58,11 +61,12 @@ from repro.core import (
 )
 from repro.faults import FaultPlan
 from repro.layout import SaRegionSpec, generate_sa_region
+from repro.obs import ObsConfig
 from repro.pipeline import PipelineConfig
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
 from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SaTopology",
@@ -86,5 +90,6 @@ __all__ = [
     "run_campaign",
     "FaultPlan",
     "ResiliencePolicy",
+    "ObsConfig",
     "__version__",
 ]

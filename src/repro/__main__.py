@@ -115,6 +115,20 @@ options:
                 chip is quarantined at the next stage boundary
   --json PATH   also write the versioned campaign report
                 (CampaignReport.to_json) to PATH ("-" = stdout)
+  --chips N     campaign over N synthetic chips (alternating classic/ocsa
+                topologies); mutually exclusive with explicit TARGETs
+  --trace PATH  record a hierarchical span trace of the whole campaign;
+                written as Chrome trace_event JSON (load in
+                chrome://tracing or https://ui.perfetto.dev), or as raw
+                span JSONL when PATH ends in .jsonl
+  --trace-summary
+                print an indented text summary of the span tree
+  --metrics PATH
+                write the merged metrics snapshot (counters, gauges,
+                histograms) as JSON
+  --log-level LEVEL
+                emit JSON-lines structured logs at LEVEL (DEBUG, INFO,
+                WARNING, ...) on stderr, in every worker
 
 A campaign with quarantined chips still exits 0 as long as at least one
 chip completed; it exits 1 only when every chip failed.
@@ -160,6 +174,11 @@ def cmd_campaign(args: list[str]) -> int:
     max_retries: int | None = None
     chip_timeout: float | None = None
     json_path: str | None = None
+    n_chips: int | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
+    log_level: str | None = None
+    trace_summary = False
     try:
         i = 0
         while i < len(args):
@@ -198,6 +217,26 @@ def cmd_campaign(args: list[str]) -> int:
             elif arg == "--json":
                 i += 1
                 json_path = _value(arg, i)
+            elif arg == "--chips":
+                i += 1
+                n_chips = _int_value(arg, i)
+                if n_chips < 1:
+                    raise _UsageError("--chips requires a positive count")
+            elif arg == "--trace":
+                i += 1
+                trace_path = _value(arg, i)
+            elif arg == "--trace-summary":
+                trace_summary = True
+            elif arg == "--metrics":
+                i += 1
+                metrics_path = _value(arg, i)
+            elif arg == "--log-level":
+                i += 1
+                log_level = _value(arg, i).upper()
+                import logging as _logging
+
+                if not isinstance(_logging.getLevelName(log_level), int):
+                    raise _UsageError(f"unknown log level {log_level!r}")
             elif arg in ("--help", "-h"):
                 print(_CAMPAIGN_USAGE)
                 return 0
@@ -211,7 +250,11 @@ def cmd_campaign(args: list[str]) -> int:
         print(_CAMPAIGN_USAGE, file=sys.stderr)
         return 2
 
-    if not targets:
+    if targets and n_chips is not None:
+        print("--chips cannot be combined with explicit targets", file=sys.stderr)
+        print(_CAMPAIGN_USAGE, file=sys.stderr)
+        return 2
+    if not targets and n_chips is None:
         targets = ["classic", "ocsa"]
 
     from repro.errors import ReproError
@@ -229,6 +272,16 @@ def cmd_campaign(args: list[str]) -> int:
 
     try:
         jobs = []
+        if n_chips is not None:
+            # N synthetic chips alternating the two reference topologies:
+            # classic, ocsa, classic-2, ocsa-2, ...
+            for k in range(n_chips):
+                topo = ("classic", "ocsa")[k % 2]
+                idx = k // 2
+                name = topo if idx == 0 else f"{topo}-{idx + 1}"
+                jobs.append(ChipJob.synthetic(
+                    name, topo, n_pairs=n_pairs, validate=validate
+                ))
         for target in targets:
             if target.lower() in ("classic", "ocsa"):
                 jobs.append(ChipJob.synthetic(
@@ -260,9 +313,19 @@ def cmd_campaign(args: list[str]) -> int:
                 max_retries=max_retries if max_retries is not None else 2,
                 chip_timeout_s=chip_timeout,
             )
+        obs = None
+        if (trace_path is not None or trace_summary or metrics_path is not None
+                or log_level is not None):
+            from repro.obs import ObsConfig
+
+            obs = ObsConfig(
+                trace=trace_path is not None or trace_summary,
+                metrics=metrics_path is not None,
+                log_level=log_level,
+            )
         report = run_campaign(
             jobs, config=config, workers=workers, cache_dir=cache_dir,
-            policy=policy, fault_plan=fault_plan,
+            policy=policy, fault_plan=fault_plan, obs=obs,
         )
     except ReproError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
@@ -294,6 +357,14 @@ def cmd_campaign(args: list[str]) -> int:
             with open(json_path, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
             print(f"report written: {json_path}")
+    if trace_summary:
+        print(report.trace_summary())
+    if trace_path is not None:
+        report.save_trace(trace_path)
+        print(f"trace written: {trace_path}")
+    if metrics_path is not None:
+        report.save_metrics(metrics_path)
+        print(f"metrics written: {metrics_path}")
     if not summary["chips"]:
         print("campaign failed: every chip was quarantined", file=sys.stderr)
         return 1

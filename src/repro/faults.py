@@ -52,6 +52,9 @@ import numpy as np
 from scipy import ndimage
 
 from repro.errors import CampaignError
+from repro.obs import current_metrics, get_logger
+
+logger = get_logger("repro.faults")
 
 #: FaultPlan rate fields, in the (fixed) order their RNG draws happen.
 _RATE_FIELDS = (
@@ -234,11 +237,30 @@ class FaultInjector:
         # which rates are zero.
         return self._rng(slice_index).random() < rate
 
+    def _record(self, kind: str, slice_index: int, magnitude: float) -> None:
+        """Append a :class:`FaultEvent` and feed the observability layer.
+
+        The single point where injected faults are counted
+        (``repro_faults_injected_total``) and logged — call sites in the
+        engine must not double count.
+        """
+        self.events.append(FaultEvent(kind, slice_index, self.attempt, magnitude))
+        current_metrics().counter("repro_faults_injected_total", kind=kind).inc()
+        logger.debug(
+            "injected fault",
+            extra={"fields": {
+                "kind": kind,
+                "slice": slice_index,
+                "attempt": self.attempt,
+                "magnitude": magnitude,
+            }},
+        )
+
     def overshoot_slices(self, slice_index: int) -> int:
         """Extra slice thicknesses milled away before imaging this face."""
         if not self._fires(slice_index, self.plan.overshoot_rate):
             return 0
-        self.events.append(FaultEvent("overshoot", slice_index, self.attempt, 1.0))
+        self._record("overshoot", slice_index, 1.0)
         return 1
 
     def drift_spike(self, slice_index: int) -> tuple[float, float] | None:
@@ -247,7 +269,7 @@ class FaultInjector:
             return None
         sign = 1.0 if self._rng(slice_index).random() < 0.5 else -1.0
         spike = sign * self.plan.drift_spike_px
-        self.events.append(FaultEvent("drift_spike", slice_index, self.attempt, spike))
+        self._record("drift_spike", slice_index, spike)
         return spike, spike * 0.5
 
     def apply(self, image: np.ndarray, slice_index: int) -> np.ndarray:
@@ -258,24 +280,22 @@ class FaultInjector:
         # blurs the frame even when no new fault fires on this slice.
         blurring = slice_index < self._blur_until
         if self._fires(slice_index, plan.drop_rate):
-            self.events.append(FaultEvent("drop", slice_index, self.attempt, 1.0))
+            self._record("drop", slice_index, 1.0)
             noise = rng.normal(0.0, 0.01, size=image.shape)
             return np.clip(noise, 0.0, 1.0).astype(np.float32)
         if self._fires(slice_index, plan.saturation_rate):
-            self.events.append(FaultEvent("saturation", slice_index, self.attempt, 1.0))
+            self._record("saturation", slice_index, 1.0)
             # A blown detector gain: everything but the near-black floor
             # pins at the white rail.
             image = np.clip(image * 6.0 + 0.9, 0.0, 1.0).astype(np.float32)
         if self._fires(slice_index, plan.blackout_rate):
-            self.events.append(FaultEvent("blackout", slice_index, self.attempt, 1.0))
+            self._record("blackout", slice_index, 1.0)
             image = np.clip(image * 0.02, 0.0, 1.0).astype(np.float32)
         if not blurring and self._fires(slice_index, plan.blur_rate):
             self._blur_until = slice_index + plan.blur_burst_len
             blurring = True
         if blurring:
-            self.events.append(
-                FaultEvent("blur", slice_index, self.attempt, plan.blur_sigma_px)
-            )
+            self._record("blur", slice_index, plan.blur_sigma_px)
             image = ndimage.gaussian_filter(
                 image.astype(np.float32), sigma=plan.blur_sigma_px, mode="nearest"
             ).astype(np.float32)

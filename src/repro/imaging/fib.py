@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import AcquisitionError
 from repro.imaging.sem import SemParameters, image_cross_section
 from repro.imaging.voxel import VoxelVolume
+from repro.obs import kernel_scope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.faults import FaultEvent, FaultInjector
@@ -140,55 +141,63 @@ def acquire_stack(
         raise AcquisitionError("empty x range for acquisition", stage="acquire")
 
     cols_per_slice = max(1, int(round(campaign.slice_thickness_nm / vox)))
-    images: list[np.ndarray] = []
-    drifts: list[tuple[int, int]] = []
-    ys: list[float] = []
+    with kernel_scope(
+        "acquire_stack", faulted=injector is not None
+    ) as scope:
+        images: list[np.ndarray] = []
+        drifts: list[tuple[int, int]] = []
+        ys: list[float] = []
 
-    drift_x = 0.0
-    drift_z = 0.0
-    overshoot_cols = 0  # milled-away material never comes back
-    spiked = False
-    for slice_index, j in enumerate(range(j_start, j_stop, cols_per_slice)):
-        if injector is not None:
-            overshoot_cols += injector.overshoot_slices(slice_index) * cols_per_slice
-        j_face = min(j + overshoot_cols, ny - 1)
-        face = volume.data[i_start:i_stop, j_face, :]  # freshly exposed face
-        img = image_cross_section(face, campaign.sem, rng)
+        drift_x = 0.0
+        drift_z = 0.0
+        overshoot_cols = 0  # milled-away material never comes back
+        spiked = False
+        for slice_index, j in enumerate(range(j_start, j_stop, cols_per_slice)):
+            if injector is not None:
+                overshoot_cols += injector.overshoot_slices(slice_index) * cols_per_slice
+            j_face = min(j + overshoot_cols, ny - 1)
+            face = volume.data[i_start:i_stop, j_face, :]  # freshly exposed face
+            img = image_cross_section(face, campaign.sem, rng)
 
-        drift_x += rng.normal(0.0, campaign.drift_step_px)
-        drift_z += rng.normal(0.0, campaign.drift_step_px * 0.5)
-        if injector is not None:
-            spike = injector.drift_spike(slice_index)
-            if spike is not None:
-                drift_x += spike[0]
-                drift_z += spike[1]
-                spiked = True
-        # Once a spike has fired, the clip window widens to the spike so
-        # the jump stays visible to QC (real stage jumps are exactly the
-        # excursions the controller failed to contain).  Until then the
-        # clean clamp applies, keeping a zero-rate plan bit-identical.
-        max_px = campaign.max_drift_px
-        if spiked:
-            max_px = max(max_px, int(np.ceil(injector.plan.drift_spike_px)))
-        dx = int(np.clip(round(drift_x), -max_px, max_px))
-        dz = int(np.clip(round(drift_z), -max_px, max_px))
-        img = _shift_image(img, dx, dz)
-        if injector is not None:
-            img = injector.apply(img, slice_index)
-        images.append(img)
-        drifts.append((dx, dz))
-        ys.append(volume.index_to_y(j))
+            drift_x += rng.normal(0.0, campaign.drift_step_px)
+            drift_z += rng.normal(0.0, campaign.drift_step_px * 0.5)
+            if injector is not None:
+                spike = injector.drift_spike(slice_index)
+                if spike is not None:
+                    drift_x += spike[0]
+                    drift_z += spike[1]
+                    spiked = True
+            # Once a spike has fired, the clip window widens to the spike so
+            # the jump stays visible to QC (real stage jumps are exactly the
+            # excursions the controller failed to contain).  Until then the
+            # clean clamp applies, keeping a zero-rate plan bit-identical.
+            max_px = campaign.max_drift_px
+            if spiked:
+                max_px = max(max_px, int(np.ceil(injector.plan.drift_spike_px)))
+            dx = int(np.clip(round(drift_x), -max_px, max_px))
+            dz = int(np.clip(round(drift_z), -max_px, max_px))
+            img = _shift_image(img, dx, dz)
+            if injector is not None:
+                img = injector.apply(img, slice_index)
+            images.append(img)
+            drifts.append((dx, dz))
+            ys.append(volume.index_to_y(j))
 
-    return SliceStack(
-        images=images,
-        slice_thickness_nm=cols_per_slice * vox,
-        pixel_nm=vox,
-        true_drift_px=drifts,
-        slice_y_nm=ys,
-        sem=campaign.sem,
-        x_offset_nm=i_start * vox,
-        fault_events=list(injector.events) if injector is not None else [],
-    )
+        scope.set_pixels(sum(int(img.size) for img in images))
+        scope.set(
+            slices=len(images),
+            faults=len(injector.events) if injector is not None else 0,
+        )
+        return SliceStack(
+            images=images,
+            slice_thickness_nm=cols_per_slice * vox,
+            pixel_nm=vox,
+            true_drift_px=drifts,
+            slice_y_nm=ys,
+            sem=campaign.sem,
+            x_offset_nm=i_start * vox,
+            fault_events=list(injector.events) if injector is not None else [],
+        )
 
 
 def alignment_noise_budget(wire_height_nm: float, cross_section_height_nm: float) -> float:

@@ -1,0 +1,241 @@
+"""Campaign-wide observability: tracing, metrics, structured logging.
+
+``repro.obs`` is the dependency-free (stdlib-only) instrumentation layer
+under the campaign runtime.  Three pillars:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing (campaign → chip →
+  attempt → stage → kernel) with Chrome ``trace_event`` / JSONL export;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms, snapshotted into the campaign report and merged across
+  pool workers;
+* :mod:`repro.obs.logs` — JSON-lines logging with bound
+  ``chip/stage/attempt/slice`` context.
+
+The contract shared by all three: **disabled observability is a no-op**.
+Instrumented code calls ``current_tracer()`` / ``current_metrics()`` /
+module loggers unconditionally; with nothing activated those hit shared
+no-op singletons, read no clock, and allocate nothing — results are
+bit-identical (same cache keys, same arrays) with observability on or
+off, and the ``repro.perf`` ``obs-overhead`` probe holds the disabled
+path under 2 % of the pipeline probe.
+
+Turn it on per campaign::
+
+    from repro import ObsConfig, run_campaign
+
+    report = run_campaign(jobs, obs=ObsConfig(trace=True, metrics=True))
+    report.trace          # merged Span list (chrome trace via save_trace)
+    report.metrics        # merged metrics snapshot (also in to_json())
+
+or ad hoc around any instrumented code::
+
+    from repro.obs import ObsSession
+
+    with ObsSession(ObsConfig(trace=True)) as session:
+        ...
+    spans = session.spans()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.logs import (
+    JsonFormatter,
+    bind,
+    bound_context,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetrics,
+    current_metrics,
+    empty_snapshot,
+    merge_snapshots,
+    metric_key,
+    use_metrics,
+)
+from repro.obs.trace import (
+    SPAN_KINDS,
+    NoopTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    from_jsonl,
+    merge_spans,
+    render_trace_summary,
+    span_tree,
+    to_chrome_trace,
+    to_jsonl,
+    use_tracer,
+)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe during a campaign (picklable; crosses the pool).
+
+    Everything defaults to off, which is exactly the pre-observability
+    behaviour: no tracer, no registry, loggers quiet below WARNING.
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    #: configure JSON logging at this level in every worker ("DEBUG",
+    #: "INFO", ...); ``None`` leaves logging untouched.
+    log_level: str | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics or self.log_level is not None
+
+
+class ObsSession:
+    """Activates (tracer, registry, logging) per an :class:`ObsConfig`.
+
+    Reentrant-safe: the previously active tracer/registry are restored
+    on exit, so the serial campaign path can nest a per-chip session
+    inside the campaign's own.
+    """
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.tracer: Tracer | None = Tracer() if config.trace else None
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self._tracer_cm: use_tracer | None = None
+        self._metrics_cm: use_metrics | None = None
+
+    def __enter__(self) -> "ObsSession":
+        if self.config.log_level is not None:
+            configure_logging(self.config.log_level)
+        if self.tracer is not None:
+            self._tracer_cm = use_tracer(self.tracer)
+            self._tracer_cm.__enter__()
+        if self.registry is not None:
+            self._metrics_cm = use_metrics(self.registry)
+            self._metrics_cm.__enter__()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._metrics_cm is not None:
+            self._metrics_cm.__exit__(*exc)
+            self._metrics_cm = None
+        if self._tracer_cm is not None:
+            self._tracer_cm.__exit__(*exc)
+            self._tracer_cm = None
+        return False
+
+    def spans(self) -> list[Span]:
+        return self.tracer.finished_spans() if self.tracer is not None else []
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        return self.registry.snapshot() if self.registry is not None else empty_snapshot()
+
+
+#: ns-per-pixel histogram bounds for the kernel metrics (``repro.perf``
+#: reports the same unit, so trace numbers line up with bench numbers).
+NS_PER_PX_BUCKETS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0)
+
+
+class kernel_scope:
+    """Span + ns/px metric around one kernel call, free when disabled.
+
+    ::
+
+        with kernel_scope("align_stack", pixels=n_px, slices=n) as scope:
+            ...
+            scope.set(corrections=c)   # extra span attributes
+
+    Opens a ``kind="kernel"`` span on the active tracer and, when a
+    metrics registry is active, observes ``repro_kernel_ns_per_px`` and
+    ``repro_kernel_pixels_total`` on exit.  With neither active the
+    enter/exit path touches no clock and allocates nothing beyond the
+    scope object itself.
+    """
+
+    __slots__ = ("_name", "_pixels", "_attrs", "_span", "_metrics", "_t0")
+
+    def __init__(self, name: str, pixels: int = 0, **attrs: Any) -> None:
+        self._name = name
+        self._pixels = pixels
+        self._attrs = attrs
+
+    def set_pixels(self, pixels: int) -> None:
+        """Set the pixel count when it is only known mid-kernel."""
+        self._pixels = pixels
+
+    def set(self, **attrs: Any) -> None:
+        self._span.set(**attrs)
+
+    def __enter__(self) -> "kernel_scope":
+        self._span = current_tracer().span(self._name, kind="kernel", **self._attrs)
+        self._span.__enter__()
+        self._metrics = current_metrics()
+        if self._metrics.enabled:
+            import time
+
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._metrics.enabled:
+            import time
+
+            seconds = time.perf_counter() - self._t0
+            self._metrics.histogram(
+                "repro_kernel_ns_per_px", bounds=NS_PER_PX_BUCKETS, kernel=self._name
+            ).observe(seconds / max(self._pixels, 1) * 1e9)
+            self._metrics.counter(
+                "repro_kernel_pixels_total", kernel=self._name
+            ).inc(self._pixels)
+        self._span.__exit__(*exc)
+        return False
+
+
+__all__ = [
+    "ObsConfig",
+    "ObsSession",
+    "NS_PER_PX_BUCKETS",
+    "kernel_scope",
+    # trace
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "current_tracer",
+    "use_tracer",
+    "merge_spans",
+    "to_jsonl",
+    "from_jsonl",
+    "to_chrome_trace",
+    "span_tree",
+    "render_trace_summary",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetrics",
+    "current_metrics",
+    "use_metrics",
+    "metric_key",
+    "empty_snapshot",
+    "merge_snapshots",
+    # logs
+    "JsonFormatter",
+    "bind",
+    "bound_context",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+]

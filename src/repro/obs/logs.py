@@ -1,0 +1,129 @@
+"""Structured (JSON-lines) logging with bound campaign context.
+
+Thin sugar over stdlib :mod:`logging` — no new logging framework, just:
+
+* :func:`get_logger` — namespaced ``repro.*`` loggers, so one call to
+  :func:`configure_logging` governs the whole package;
+* :func:`bind` — a context manager attaching ``chip`` / ``stage`` /
+  ``attempt`` / ``slice`` (or any) fields to every record emitted inside
+  it, across nested calls, via a contextvar;
+* :class:`JsonFormatter` — one JSON object per line: timestamp, level,
+  logger, message, the bound context, and any per-call fields passed as
+  ``logger.warning("...", extra={"fields": {...}})``;
+* :func:`configure_logging` — attach (once) a stream handler with the
+  JSON formatter to the ``repro`` logger at a given level.
+
+Without :func:`configure_logging` the package stays quiet below
+WARNING (stdlib's default last-resort handler), so library users see
+failures but no chatter.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from contextvars import ContextVar
+from typing import Any, IO, Iterator
+
+from contextlib import contextmanager
+
+_BOUND: ContextVar[tuple[tuple[str, Any], ...]] = ContextVar(
+    "repro_obs_log_context", default=()
+)
+
+#: Marker attribute so configure_logging stays idempotent.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.runtime.engine``...)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+@contextmanager
+def bind(**fields: Any) -> Iterator[None]:
+    """Bind *fields* onto every log record emitted inside the block."""
+    token = _BOUND.set(_BOUND.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _BOUND.reset(token)
+
+
+def bound_context() -> dict[str, Any]:
+    """The currently bound fields (inner bindings override outer)."""
+    return dict(_BOUND.get())
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: stable keys, bound context inline."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(bound_context())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    stream: IO[str] | None = None,
+) -> logging.Handler:
+    """Attach the JSON handler to the ``repro`` logger (idempotent).
+
+    Returns the handler (new or existing) so callers can detach it or
+    retarget its stream.  Campaign workers call this with the campaign's
+    ``--log-level`` so fresh pool processes log the same way.
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(level)
+            if stream is not None and isinstance(handler, logging.StreamHandler):
+                handler.setStream(stream)  # type: ignore[arg-type]
+            return handler
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return handler
+
+
+def reset_logging() -> None:
+    """Detach handlers installed by :func:`configure_logging` (tests)."""
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    logger.propagate = True
+
+
+__all__ = [
+    "JsonFormatter",
+    "bind",
+    "bound_context",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+]

@@ -1,0 +1,247 @@
+"""Counters, gauges and histograms for campaign instrumentation.
+
+A tiny, dependency-free metrics surface shaped like the Prometheus
+client's, tuned for the campaign runtime's constraints:
+
+* **Disabled must be free** — instrumented code calls
+  ``current_metrics().counter(...).inc()`` unconditionally; when no
+  registry is active those resolve to shared no-op singletons.
+* **Process-pool friendly** — each campaign worker fills its own
+  :class:`MetricsRegistry`; the JSON-able :meth:`~MetricsRegistry.
+  snapshot` crosses the pool boundary and :func:`merge_snapshots` folds
+  worker snapshots into the campaign's (counters and histograms add,
+  gauges keep the last write).
+
+Metric identity is ``name`` plus sorted ``key=value`` labels, encoded as
+``name{k=v,k2=v2}`` in snapshots so merged output stays a flat dict.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Default histogram bucket upper bounds (seconds); the catch-all +inf
+#: bucket is implicit (the final counts entry).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0)
+
+
+def metric_key(name: str, labels: dict[str, Any]) -> str:
+    """The snapshot key: ``name`` or ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; last write wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (cumulative counts not kept:
+    ``counts[i]`` is the number of observations in bucket *i*, with the
+    final entry counting everything above the last bound)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _NoopInstrument:
+    """Shared stand-in for every instrument when metrics are off."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """Stand-in registry when metrics are off."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+    ) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+
+class MetricsRegistry:
+    """One process's (or one chip job's) metric store."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(bounds)
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able, mergeable view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                    }
+                    for k, h in sorted(self._histograms.items())
+                },
+            }
+
+
+def empty_snapshot() -> dict[str, Any]:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(base: dict[str, Any], other: dict[str, Any]) -> dict[str, Any]:
+    """Fold *other* into *base* (in place) and return *base*.
+
+    Counters and histograms add; gauges take *other*'s value (last
+    writer wins — workers finish after the campaign sets its own).
+    """
+    for key, value in other.get("counters", {}).items():
+        base["counters"][key] = base["counters"].get(key, 0.0) + value
+    for key, value in other.get("gauges", {}).items():
+        base["gauges"][key] = value
+    for key, hist in other.get("histograms", {}).items():
+        mine = base["histograms"].get(key)
+        if mine is None or list(mine["bounds"]) != list(hist["bounds"]):
+            base["histograms"][key] = {
+                "bounds": list(hist["bounds"]),
+                "counts": list(hist["counts"]),
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
+        else:
+            mine["counts"] = [a + b for a, b in zip(mine["counts"], hist["counts"])]
+            mine["sum"] += hist["sum"]
+            mine["count"] += hist["count"]
+    return base
+
+
+_NOOP = NoopMetrics()
+#: Process-wide active registry (module global for the same reason as
+#: the tracer's: chunk worker threads must see their chip's registry).
+_ACTIVE: MetricsRegistry | None = None
+
+
+def current_metrics() -> MetricsRegistry | NoopMetrics:
+    """The active registry, or the shared no-op when metrics are off."""
+    return _ACTIVE if _ACTIVE is not None else _NOOP
+
+
+class use_metrics:
+    """Context manager activating *registry*, restoring the previous."""
+
+    def __init__(self, registry: MetricsRegistry | None) -> None:
+        self._registry = registry
+        self._prev: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry | None:
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self._registry
+        return self._registry
+
+    def __exit__(self, *exc: Any) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        return False
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetrics",
+    "current_metrics",
+    "use_metrics",
+    "metric_key",
+    "empty_snapshot",
+    "merge_snapshots",
+]

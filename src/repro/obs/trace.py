@@ -1,0 +1,353 @@
+"""Hierarchical span tracing for campaign runs.
+
+A *span* is one timed unit of work — the whole campaign, one chip's
+chain, one acquisition attempt, one pipeline stage, one kernel call —
+with a parent link, so a campaign run produces a tree::
+
+    campaign
+    └── chip fab-classic
+        ├── stage acquire
+        │   ├── attempt 0
+        │   │   └── kernel acquire_stack
+        │   └── kernel qc_stack
+        ├── stage denoise
+        │   └── kernel denoise_stack
+        └── ...
+
+Design constraints (they shape everything below):
+
+* **Disabled must be free.**  Instrumented code calls
+  ``current_tracer().span(...)`` unconditionally; with no tracer active
+  that returns a shared, stateless null context manager — no timestamp
+  is read, no object allocated, no attribute stored.  Results are
+  bit-identical with tracing on or off because spans only *observe*.
+* **Process-pool friendly.**  Each campaign worker records spans into
+  its own :class:`Tracer`; the finished :class:`Span` list is a plain
+  picklable dataclass list that crosses the pool boundary with the chip
+  result and is merged (re-parented under the campaign root) by
+  :func:`merge_spans`.
+* **Wall-anchored, perf-resolved clocks.**  Span timestamps are
+  ``epoch_wall + (perf_counter() - epoch_perf)``: comparable across
+  processes (wall anchor) with ``perf_counter`` resolution inside one.
+
+Exports: JSONL (one span dict per line) and the Chrome ``trace_event``
+JSON that ``chrome://tracing`` and https://ui.perfetto.dev load
+directly, plus a terminal tree summary (:func:`render_trace_summary`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Span kinds, outermost first.  Purely descriptive — nesting is defined
+#: by parent links, not by kind — but exporters use it for colouring.
+SPAN_KINDS = ("campaign", "chip", "attempt", "stage", "kernel")
+
+
+@dataclass
+class Span:
+    """One finished timed unit of work (picklable, JSON-able)."""
+
+    name: str
+    kind: str
+    start_s: float  #: wall-anchored seconds (see module docstring)
+    duration_s: float
+    span_id: str
+    parent_id: str | None
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"  #: "ok" or "error"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data.get("kind", "stage")),
+            start_s=float(data["start_s"]),
+            duration_s=float(data["duration_s"]),
+            span_id=str(data["span_id"]),
+            parent_id=data.get("parent_id"),
+            pid=int(data.get("pid", 0)),
+            attrs=dict(data.get("attrs", {})),
+            status=str(data.get("status", "ok")),
+        )
+
+
+class _NullSpanHandle:
+    """The do-nothing span: shared, stateless, reentrant."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NoopTracer:
+    """Stand-in when tracing is off; every span is the shared null span."""
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "stage", **attrs: Any) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+
+class _SpanHandle:
+    """A live span; finishes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self._span.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._token = self._tracer._stack.set(
+            self._tracer._stack.get() + (self._span.span_id,)
+        )
+        self._t0 = time.perf_counter()
+        self._span.start_s = self._tracer._wall(self._t0)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self._span.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.attrs.setdefault("error_type", exc_type.__name__)
+        self._tracer._stack.reset(self._token)
+        self._tracer._record(self._span)
+        return False
+
+
+#: Distinguishes tracers created in the same process so span ids never
+#: collide even when every chip job builds a fresh tracer.
+_TRACER_SEQ = 0
+_TRACER_SEQ_LOCK = threading.Lock()
+
+
+class Tracer:
+    """Collects spans for one process (or one chip job).
+
+    ``span()`` is a context manager; nesting follows the call structure
+    through a contextvar stack.  Recording is thread-safe, but a span
+    parents onto the innermost open span *of its own thread* — chunk
+    worker threads inside denoise/align do not open spans, so in
+    practice every span lands under the chip chain that opened it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        global _TRACER_SEQ
+        with _TRACER_SEQ_LOCK:
+            _TRACER_SEQ += 1
+            self._seq = _TRACER_SEQ
+        self.pid = os.getpid()
+        self.spans: list[Span] = []
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._stack: ContextVar[tuple[str, ...]] = ContextVar(
+            f"repro_obs_span_stack_{self._seq}", default=()
+        )
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+
+    def _wall(self, perf_now: float) -> float:
+        return self._epoch_wall + (perf_now - self._epoch_perf)
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{self.pid:x}-{self._seq:x}-{self._counter:x}"
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def span(self, name: str, kind: str = "stage", **attrs: Any) -> _SpanHandle:
+        """Open a span; attributes may be passed now or via ``.set()``."""
+        stack = self._stack.get()
+        span = Span(
+            name=name,
+            kind=kind,
+            start_s=0.0,
+            duration_s=0.0,
+            span_id=self._next_id(),
+            parent_id=stack[-1] if stack else None,
+            pid=self.pid,
+            attrs=dict(attrs),
+        )
+        return _SpanHandle(self, span)
+
+    def finished_spans(self) -> list[Span]:
+        """Spans recorded so far, in completion order."""
+        with self._lock:
+            return list(self.spans)
+
+
+_NOOP = NoopTracer()
+#: The process-wide active tracer.  A module global (not a contextvar):
+#: worker threads inside denoise/align must see the tracer their chip
+#: activated, and one process never runs two chips concurrently.
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer | NoopTracer:
+    """The active tracer, or the shared no-op when tracing is off."""
+    return _ACTIVE if _ACTIVE is not None else _NOOP
+
+
+class use_tracer:
+    """Context manager activating *tracer*, restoring the previous one."""
+
+    def __init__(self, tracer: Tracer | None) -> None:
+        self._tracer = tracer
+        self._prev: Tracer | None = None
+
+    def __enter__(self) -> Tracer | None:
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc: Any) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        return False
+
+
+def merge_spans(root: Span, children: Iterable[Span]) -> list[Span]:
+    """Re-parent orphan spans (``parent_id is None``) under *root*.
+
+    This is how per-process chip traces join the campaign trace: each
+    worker's chip span is a root in its own tracer; the campaign owns the
+    one true root.
+    """
+    merged = [root]
+    for span in children:
+        if span.parent_id is None and span.span_id != root.span_id:
+            span.parent_id = root.span_id
+        merged.append(span)
+    return merged
+
+
+# --- exporters -------------------------------------------------------------
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in the given order."""
+    return "\n".join(json.dumps(s.to_dict(), sort_keys=True) for s in spans)
+
+
+def from_jsonl(text: str) -> list[Span]:
+    return [Span.from_dict(json.loads(line)) for line in text.splitlines() if line.strip()]
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """The Chrome ``trace_event`` JSON object.
+
+    Complete ("ph": "X") events; one lane per worker pid.  Load the file
+    in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events = []
+    for span in spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.kind,
+            "ts": round(span.start_s * 1e6, 3),
+            "dur": max(round(span.duration_s * 1e6, 3), 0.001),
+            "pid": span.pid,
+            "tid": span.pid,
+            "args": {
+                **span.attrs,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "status": span.status,
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_tree(spans: Iterable[Span]) -> dict[str | None, list[Span]]:
+    """Children-by-parent-id index, each child list in start order."""
+    tree: dict[str | None, list[Span]] = {}
+    for span in spans:
+        tree.setdefault(span.parent_id, []).append(span)
+    for children in tree.values():
+        children.sort(key=lambda s: s.start_s)
+    return tree
+
+
+def render_trace_summary(spans: Iterable[Span], max_depth: int = 5) -> str:
+    """A flamegraph-style text tree: name, kind, duration, % of parent."""
+    spans = list(spans)
+    if not spans:
+        return "(empty trace)"
+    tree = span_tree(spans)
+    lines: list[str] = []
+
+    def _walk(span: Span, depth: int, parent_s: float | None) -> None:
+        if depth >= max_depth:
+            return
+        pct = ""
+        if parent_s and parent_s > 0:
+            pct = f"  {span.duration_s / parent_s * 100.0:5.1f}%"
+        flag = "" if span.status == "ok" else "  [ERROR]"
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(28 - 2 * depth, 8)}} "
+            f"[{span.kind}]  {span.duration_s * 1e3:10.2f} ms{pct}{flag}"
+        )
+        for child in tree.get(span.span_id, []):
+            _walk(child, depth + 1, span.duration_s)
+
+    for root in tree.get(None, []):
+        _walk(root, 0, None)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "current_tracer",
+    "use_tracer",
+    "merge_spans",
+    "to_jsonl",
+    "from_jsonl",
+    "to_chrome_trace",
+    "span_tree",
+    "render_trace_summary",
+]

@@ -111,6 +111,7 @@ class BenchReport:
     kernels: list[KernelBench]
     pipeline: dict[str, Any]
     campaign: dict[str, Any] | None = None
+    obs: dict[str, Any] | None = None
     environment: dict[str, str] = field(default_factory=dict)
 
     def kernel(self, name: str) -> KernelBench:
@@ -129,6 +130,7 @@ class BenchReport:
             "kernels": [k.as_dict() for k in self.kernels],
             "pipeline": self.pipeline,
             "campaign": self.campaign,
+            "obs": self.obs,
         }
 
 
@@ -145,6 +147,67 @@ def _time(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
 
 def _stacks_equal(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
     return len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+#: ceiling on the obs disabled-path overhead relative to the pipeline probe
+OBS_OVERHEAD_BUDGET = 0.02
+
+
+def measure_obs_overhead(
+    pipeline_fn: Callable[[], Any],
+    pipeline_seconds: float,
+    noop_calls: int = 20_000,
+) -> dict[str, Any]:
+    """The ``obs-overhead`` probe: what instrumentation costs when off.
+
+    Every instrumented call site pays one ``current_tracer().span(...)``
+    enter/exit plus (at most) one no-op metric touch when observability
+    is disabled — that per-call cost is micro-benchmarked here, scaled by
+    the number of spans one pipeline run actually opens (counted by
+    running the pipeline once under a live tracer), and expressed as a
+    fraction of the pipeline probe's wall time.  The probe **fails** (so
+    CI fails) when that fraction reaches :data:`OBS_OVERHEAD_BUDGET`.
+
+    The enabled-path slowdown is also measured, informationally — it is
+    allowed to cost whatever tracing costs.
+    """
+    from repro.obs import ObsConfig, ObsSession, current_metrics, current_tracer
+
+    # Disabled path: both singletons are no-ops here (nothing activated).
+    tracer = current_tracer()
+    metrics = current_metrics()
+    t0 = time.perf_counter()
+    for _ in range(noop_calls):
+        with tracer.span("noop", kind="kernel"):
+            pass
+        metrics.counter("repro_noop_total").inc()
+    noop_per_call = (time.perf_counter() - t0) / noop_calls
+
+    with ObsSession(ObsConfig(trace=True, metrics=True)) as session:
+        t0 = time.perf_counter()
+        pipeline_fn()
+        enabled_seconds = time.perf_counter() - t0
+    span_count = len(session.spans())
+
+    disabled_fraction = (
+        span_count * noop_per_call / max(pipeline_seconds, 1e-9)
+    )
+    result = {
+        "noop_ns_per_call": noop_per_call * 1e9,
+        "spans_per_pipeline": span_count,
+        "disabled_overhead_fraction": disabled_fraction,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead_fraction": enabled_seconds / max(pipeline_seconds, 1e-9) - 1.0,
+        "budget_fraction": OBS_OVERHEAD_BUDGET,
+    }
+    if disabled_fraction >= OBS_OVERHEAD_BUDGET:
+        raise ReproError(
+            f"obs disabled-path overhead {disabled_fraction:.4%} exceeds "
+            f"the {OBS_OVERHEAD_BUDGET:.0%} budget "
+            f"({span_count} spans x {noop_per_call * 1e9:.0f} ns/call "
+            f"vs {pipeline_seconds:.3f}s pipeline)"
+        )
+    return result
 
 
 def run_benchmarks(
@@ -298,6 +361,9 @@ def run_benchmarks(
         "layers": len(views),
     }
 
+    # --- observability overhead ------------------------------------------
+    obs = measure_obs_overhead(_pipeline, pipe_s)
+
     # --- campaign wall time ----------------------------------------------
     campaign: dict[str, Any] | None = None
     if include_campaign:
@@ -329,6 +395,7 @@ def run_benchmarks(
         kernels=kernels,
         pipeline=pipeline,
         campaign=campaign,
+        obs=obs,
         environment={
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -364,6 +431,15 @@ def render_report(report: BenchReport) -> str:
     )
     lines = [body, f"\nend-to-end pipeline: {report.pipeline['seconds']:.3f}s "
                    f"({report.pipeline['ns_per_pixel']:.1f} ns/px)"]
+    if report.obs is not None:
+        lines.append(
+            f"obs overhead: disabled "
+            f"{report.obs['disabled_overhead_fraction']:.5%} of pipeline "
+            f"(budget {report.obs['budget_fraction']:.0%}; "
+            f"{report.obs['spans_per_pipeline']} spans at "
+            f"{report.obs['noop_ns_per_call']:.0f} ns no-op), enabled "
+            f"{report.obs['enabled_overhead_fraction']:+.2%}"
+        )
     if report.campaign is not None:
         lines.append(f"campaign probe ({report.campaign['preset']}): "
                      f"{report.campaign['wall_seconds']:.2f}s wall")

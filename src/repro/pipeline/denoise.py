@@ -43,6 +43,7 @@ import threading
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.obs import kernel_scope
 
 
 def _gradient(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -411,12 +412,21 @@ def denoise_stack(
         fn = split_bregman_tv
     else:
         raise PipelineError(f"unknown denoising method {method!r}")
-    if workers > 1 and len(images) > 1:
-        from concurrent.futures import ThreadPoolExecutor
+    with kernel_scope(
+        "denoise_stack",
+        pixels=sum(int(img.size) for img in images),
+        method=method,
+        slices=len(images),
+        workers=workers,
+    ):
+        if workers > 1 and len(images) > 1:
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda img: fn(img, weight=weight, **kwargs), images))
-    return [fn(img, weight=weight, **kwargs) for img in images]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda img: fn(img, weight=weight, **kwargs), images)
+                )
+        return [fn(img, weight=weight, **kwargs) for img in images]
 
 
 def _reference_denoise_stack(

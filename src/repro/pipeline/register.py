@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import AlignmentBudgetExceeded, AlignmentError, PipelineError
+from repro.obs import kernel_scope
 
 _SEARCH_STRATEGIES = ("exhaustive", "pyramid")
 
@@ -332,58 +333,67 @@ def align_stack(
             f"(expected one of {_SEARCH_STRATEGIES})"
         )
 
-    indexed = [_index_image(img, bins) for img in images]
-    pairs = [
-        (i, k)
-        for i in range(1, len(images))
-        for k in baselines
-        if i - k >= 0
-    ]
+    with kernel_scope(
+        "align_stack",
+        pixels=sum(int(img.size) for img in images),
+        slices=len(images),
+        strategy=search_strategy,
+        workers=workers,
+    ) as scope:
+        indexed = [_index_image(img, bins) for img in images]
+        pairs = [
+            (i, k)
+            for i in range(1, len(images))
+            for k in baselines
+            if i - k >= 0
+        ]
+        scope.set(pairs=len(pairs))
 
-    def _pair_shift(pair: tuple[int, int]) -> tuple[int, int]:
-        i, k = pair
-        return _align_pair_indexed(
-            indexed[i - k], indexed[i], search_px, bins, shift_penalty, search_strategy
-        )
+        def _pair_shift(pair: tuple[int, int]) -> tuple[int, int]:
+            i, k = pair
+            return _align_pair_indexed(
+                indexed[i - k], indexed[i], search_px, bins, shift_penalty,
+                search_strategy,
+            )
 
-    if workers > 1 and len(pairs) > 1:
-        from concurrent.futures import ThreadPoolExecutor
+        if workers > 1 and len(pairs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            shifts = dict(zip(pairs, pool.map(_pair_shift, pairs)))
-    else:
-        shifts = {pair: _pair_shift(pair) for pair in pairs}
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                shifts = dict(zip(pairs, pool.map(_pair_shift, pairs)))
+        else:
+            shifts = {pair: _pair_shift(pair) for pair in pairs}
 
-    absolute: list[tuple[int, int]] = [(0, 0)]
-    ax_f: list[tuple[float, float]] = [(0.0, 0.0)]
-    for i in range(1, len(images)):
-        predictions_x: list[float] = []
-        predictions_z: list[float] = []
-        for k in baselines:
-            if i - k < 0:
-                continue
-            dx, dz = shifts[(i, k)]
-            predictions_x.append(ax_f[i - k][0] + dx)
-            predictions_z.append(ax_f[i - k][1] + dz)
-        fx = float(np.mean(predictions_x))
-        fz = float(np.mean(predictions_z))
-        ax_f.append((fx, fz))
-        absolute.append((int(round(fx)), int(round(fz))))
+        absolute: list[tuple[int, int]] = [(0, 0)]
+        ax_f: list[tuple[float, float]] = [(0.0, 0.0)]
+        for i in range(1, len(images)):
+            predictions_x: list[float] = []
+            predictions_z: list[float] = []
+            for k in baselines:
+                if i - k < 0:
+                    continue
+                dx, dz = shifts[(i, k)]
+                predictions_x.append(ax_f[i - k][0] + dx)
+                predictions_z.append(ax_f[i - k][1] + dz)
+            fx = float(np.mean(predictions_x))
+            fz = float(np.mean(predictions_z))
+            ax_f.append((fx, fz))
+            absolute.append((int(round(fx)), int(round(fz))))
 
-    aligned = [apply_shift(img, dx, dz) for img, (dx, dz) in zip(images, absolute)]
+        aligned = [apply_shift(img, dx, dz) for img, (dx, dz) in zip(images, absolute)]
 
-    residuals: list[tuple[int, int]] = []
-    if true_drift_px is not None:
-        if len(true_drift_px) != len(images):
-            raise AlignmentError("true drift length mismatch", stage="align")
-        # Perfect correction would be -drift (up to a global offset fixed by
-        # the first slice, whose drift is never observable).
-        ref_dx, ref_dz = true_drift_px[0]
-        for (cx, cz), (tx, tz) in zip(absolute, true_drift_px):
-            residuals.append((cx + (tx - ref_dx), cz + (tz - ref_dz)))
+        residuals: list[tuple[int, int]] = []
+        if true_drift_px is not None:
+            if len(true_drift_px) != len(images):
+                raise AlignmentError("true drift length mismatch", stage="align")
+            # Perfect correction would be -drift (up to a global offset fixed by
+            # the first slice, whose drift is never observable).
+            ref_dx, ref_dz = true_drift_px[0]
+            for (cx, cz), (tx, tz) in zip(absolute, true_drift_px):
+                residuals.append((cx + (tx - ref_dx), cz + (tz - ref_dz)))
 
-    report = AlignmentReport(corrections=absolute, residual_px=residuals)
-    return aligned, report
+        report = AlignmentReport(corrections=absolute, residual_px=residuals)
+        return aligned, report
 
 
 def _reference_align_stack(

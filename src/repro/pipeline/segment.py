@@ -13,6 +13,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.errors import SegmentationError
+from repro.obs import kernel_scope
 
 
 def otsu_threshold(image: np.ndarray, bins: int = 128) -> float:
@@ -199,16 +200,21 @@ def segment_materials(
     whose view shows no bimodal structure (empty regions) come back as
     all-False masks rather than noise.
     """
-    masks = {}
-    for layer, view in views.items():
-        t = otsu_threshold(view)
-        mask = foreground_mask(view, threshold=t, min_area_px=min_area_px)
-        # Sanity: a threshold in a unimodal (empty) view marks huge areas of
-        # background as foreground; reject masks with implausible coverage
-        # or negligible contrast across the threshold.
-        fg = view[mask]
-        bg = view[~mask]
-        if fg.size == 0 or bg.size == 0 or float(fg.mean() - bg.mean()) < 0.05:
-            mask = np.zeros_like(mask)
-        masks[layer] = mask
-    return masks
+    with kernel_scope(
+        "segment_materials",
+        pixels=sum(int(v.size) for v in views.values()),
+        layers=len(views),
+    ):
+        masks = {}
+        for layer, view in views.items():
+            t = otsu_threshold(view)
+            mask = foreground_mask(view, threshold=t, min_area_px=min_area_px)
+            # Sanity: a threshold in a unimodal (empty) view marks huge areas of
+            # background as foreground; reject masks with implausible coverage
+            # or negligible contrast across the threshold.
+            fg = view[mask]
+            bg = view[~mask]
+            if fg.size == 0 or bg.size == 0 or float(fg.mean() - bg.mean()) < 0.05:
+                mask = np.zeros_like(mask)
+            masks[layer] = mask
+        return masks

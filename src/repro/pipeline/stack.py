@@ -28,6 +28,9 @@ from scipy import ndimage
 from repro.errors import PipelineError
 from repro.imaging.voxel import LAYER_Z_RANGES
 from repro.layout.elements import Layer
+from repro.obs import get_logger, kernel_scope
+
+logger = get_logger("repro.pipeline.stack")
 
 
 @dataclass
@@ -123,17 +126,22 @@ def assemble_volume(
     shapes = {img.shape for img in images}
     if len(shapes) != 1:
         raise PipelineError(f"inconsistent slice shapes: {shapes}")
-    repeat = max(1, int(round(slice_thickness_nm / pixel_nm)))
-    stack = np.stack(images, axis=1).astype(np.float32)
-    if repeat > 1:
-        stack = np.repeat(stack, repeat, axis=1)
-    return AlignedVolume(
-        data=stack,
-        pixel_nm=pixel_nm,
-        slice_thickness_nm=slice_thickness_nm,
-        origin_x_nm=origin_x_nm,
-        origin_y_nm=origin_y_nm,
-    )
+    with kernel_scope(
+        "assemble_volume",
+        pixels=sum(int(img.size) for img in images),
+        slices=len(images),
+    ):
+        repeat = max(1, int(round(slice_thickness_nm / pixel_nm)))
+        stack = np.stack(images, axis=1).astype(np.float32)
+        if repeat > 1:
+            stack = np.repeat(stack, repeat, axis=1)
+        return AlignedVolume(
+            data=stack,
+            pixel_nm=pixel_nm,
+            slice_thickness_nm=slice_thickness_nm,
+            origin_x_nm=origin_x_nm,
+            origin_y_nm=origin_y_nm,
+        )
 
 
 def planar_views(volume: AlignedVolume, layers: tuple[Layer, ...] | None = None) -> dict[Layer, np.ndarray]:
@@ -258,27 +266,39 @@ def qc_stack(
     alignment with a bounded search window cannot recover from.
     """
     t = thresholds or QcThresholds()
-    verdicts: list[SliceQc] = []
-    prev = (0, 0)
-    for i, img in enumerate(images):
-        metrics = slice_quality(img)
-        failures: list[str] = []
-        if t.min_sharpness is not None and metrics["sharpness"] < t.min_sharpness:
-            failures.append("sharpness")
-        if t.min_intensity_spread is not None and metrics["spread"] < t.min_intensity_spread:
-            failures.append("spread")
-        if (t.max_saturation_fraction is not None
-                and metrics["saturation_fraction"] > t.max_saturation_fraction):
-            failures.append("saturation")
-        if (t.max_blackout_fraction is not None
-                and metrics["blackout_fraction"] > t.max_blackout_fraction):
-            failures.append("blackout")
-        if true_drift_px is not None and t.max_drift_step_px is not None and i < len(true_drift_px):
-            dx, dz = true_drift_px[i]
-            step = max(abs(dx - prev[0]), abs(dz - prev[1]))
-            metrics["drift_step_px"] = float(step)
-            if step > t.max_drift_step_px:
-                failures.append("drift_step")
-            prev = (dx, dz)
-        verdicts.append(SliceQc(index=i, metrics=metrics, failures=tuple(failures)))
-    return StackQc(slices=tuple(verdicts))
+    with kernel_scope(
+        "qc_stack",
+        pixels=sum(int(img.size) for img in images),
+        slices=len(images),
+    ) as scope:
+        verdicts: list[SliceQc] = []
+        prev = (0, 0)
+        for i, img in enumerate(images):
+            metrics = slice_quality(img)
+            failures: list[str] = []
+            if t.min_sharpness is not None and metrics["sharpness"] < t.min_sharpness:
+                failures.append("sharpness")
+            if t.min_intensity_spread is not None and metrics["spread"] < t.min_intensity_spread:
+                failures.append("spread")
+            if (t.max_saturation_fraction is not None
+                    and metrics["saturation_fraction"] > t.max_saturation_fraction):
+                failures.append("saturation")
+            if (t.max_blackout_fraction is not None
+                    and metrics["blackout_fraction"] > t.max_blackout_fraction):
+                failures.append("blackout")
+            if true_drift_px is not None and t.max_drift_step_px is not None and i < len(true_drift_px):
+                dx, dz = true_drift_px[i]
+                step = max(abs(dx - prev[0]), abs(dz - prev[1]))
+                metrics["drift_step_px"] = float(step)
+                if step > t.max_drift_step_px:
+                    failures.append("drift_step")
+                prev = (dx, dz)
+            if failures:
+                logger.debug(
+                    "slice failed QC",
+                    extra={"fields": {"slice": i, "failures": failures}},
+                )
+            verdicts.append(SliceQc(index=i, metrics=metrics, failures=tuple(failures)))
+        result = StackQc(slices=tuple(verdicts))
+        scope.set(failed_slices=len(result.failed_indices))
+        return result

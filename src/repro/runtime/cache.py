@@ -22,6 +22,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import CampaignError
+from repro.obs import current_metrics, get_logger
+
+logger = get_logger("repro.runtime.cache")
 
 
 class StageCache:
@@ -57,19 +60,37 @@ class StageCache:
             return 0
 
     def load(self, key: str) -> tuple[dict[str, Any], dict[str, float]] | None:
-        """Return ``(payload, notes)`` or ``None`` on miss/corruption."""
+        """Return ``(payload, notes)`` or ``None`` on miss/corruption.
+
+        A plain missing file is a silent miss; a file that *exists* but
+        will not unpickle (or has the wrong shape) is corruption — still
+        returned as a miss, but logged and counted, because silent
+        corruption turns into unexplained recomputation storms.
+        """
         if not self.enabled:
             return None
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
                 entry = pickle.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError) as exc:
+            self._note_corrupt(key, type(exc).__name__)
             return None
         if not isinstance(entry, dict) or "payload" not in entry:
+            self._note_corrupt(key, "bad-entry-shape")
             return None
         return entry["payload"], dict(entry.get("notes", {}))
+
+    @staticmethod
+    def _note_corrupt(key: str, reason: str) -> None:
+        logger.warning(
+            "corrupt stage-cache entry read as a miss",
+            extra={"fields": {"key": key, "reason": reason}},
+        )
+        current_metrics().counter("repro_cache_corrupt_total").inc()
 
     def store(self, key: str, payload: dict[str, Any], notes: dict[str, float]) -> int:
         """Persist an entry; returns its size in bytes (0 when disabled)."""

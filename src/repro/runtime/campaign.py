@@ -40,6 +40,8 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback as traceback_module
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -49,15 +51,39 @@ from repro.faults import FaultPlan
 from repro.imaging.fib import FibSemCampaign
 from repro.imaging.sem import SemParameters
 from repro.layout.generator import SaRegionSpec
+from repro.obs import (
+    MetricsRegistry,
+    ObsConfig,
+    ObsSession,
+    Span,
+    Tracer,
+    bind,
+    configure_logging,
+    current_tracer,
+    get_logger,
+    merge_snapshots,
+    merge_spans,
+    render_trace_summary,
+    to_chrome_trace,
+    to_jsonl,
+)
 from repro.pipeline.config import PipelineConfig
 from repro.reveng.workflow import ReversedChip
 from repro.runtime.cache import StageCache
 from repro.runtime.engine import ResiliencePolicy, StageMetrics, run_chip_stages
 
+logger = get_logger("repro.runtime.campaign")
+
 #: serialization schema of :meth:`CampaignReport.to_dict` — bump on any
 #: breaking shape change ("campaign-report/1" was the ad-hoc dict layout
-#: benchmarks used before the API existed)
-REPORT_SCHEMA_VERSION = "campaign-report/2"
+#: benchmarks used before the API existed; "/2" added quarantine and
+#: fault telemetry; "/3" adds the embedded metrics snapshot and the
+#: quarantine traceback)
+REPORT_SCHEMA_VERSION = "campaign-report/3"
+
+#: schema versions :meth:`CampaignReport.from_dict` can still read
+#: ("/2" reports simply have no metrics snapshot and no tracebacks)
+_READABLE_SCHEMA_VERSIONS = ("campaign-report/2", REPORT_SCHEMA_VERSION)
 
 
 @dataclass(frozen=True)
@@ -197,6 +223,9 @@ class QuarantineRecord:
     retries: int = 0
     #: structured telemetry off the error (failed slices, fault events...)
     details: dict = field(default_factory=dict)
+    #: the full formatted traceback at the point of failure ("" when the
+    #: record was built without one, e.g. deserialized from a v2 report)
+    traceback: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -208,6 +237,7 @@ class QuarantineRecord:
             "slice_index": self.slice_index,
             "retries": self.retries,
             "details": self.details,
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -221,10 +251,24 @@ class QuarantineRecord:
             slice_index=data.get("slice_index"),
             retries=int(data.get("retries", 0)),
             details=dict(data.get("details", {})),
+            traceback=str(data.get("traceback", "")),
         )
 
     @classmethod
-    def from_error(cls, name: str, error: ReproError, seconds: float) -> "QuarantineRecord":
+    def from_error(
+        cls,
+        name: str,
+        error: ReproError,
+        seconds: float,
+        tb: str | None = None,
+    ) -> "QuarantineRecord":
+        """Build a record from a caught error.
+
+        ``tb`` is the formatted traceback (``traceback.format_exc()``)
+        captured at the ``except`` site — pass it explicitly because by
+        the time the record crosses the process pool the exception's
+        ``__traceback__`` is gone.
+        """
         stage = getattr(error, "stage", None)
         slice_index = getattr(error, "slice_index", None)
         details = dict(getattr(error, "details", {}) or {})
@@ -237,6 +281,7 @@ class QuarantineRecord:
             slice_index=slice_index,
             retries=max(0, int(details.get("attempts", 1)) - 1),
             details=details,
+            traceback=tb or "",
         )
 
 
@@ -255,6 +300,11 @@ class CampaignReport:
     wall_seconds: float
     cache_dir: str | None = None
     quarantined: dict[str, QuarantineRecord] = field(default_factory=dict)
+    #: merged span tree of the whole campaign (``obs=ObsConfig(trace=True)``)
+    trace: list[Span] | None = None
+    #: merged metrics snapshot (``obs=ObsConfig(metrics=True)``); embedded
+    #: in :meth:`to_dict` under ``"metrics"``
+    metrics: dict | None = None
 
     def result(self, name: str) -> ReversedChip:
         """The recovered circuit of one chip."""
@@ -375,6 +425,7 @@ class CampaignReport:
             "quarantined": {
                 name: record.to_dict() for name, record in self.quarantined.items()
             },
+            "metrics": self.metrics,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -384,10 +435,10 @@ class CampaignReport:
     def from_dict(cls, data: dict) -> "CampaignReport":
         """Rebuild a *summary-only* report (``result`` fields are None)."""
         version = data.get("schema_version")
-        if version != REPORT_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise CampaignError(
                 f"unsupported campaign report schema {version!r} "
-                f"(this build reads {REPORT_SCHEMA_VERSION!r})"
+                f"(this build reads {', '.join(map(repr, _READABLE_SCHEMA_VERSIONS))})"
             )
         chips: dict[str, ChipRun] = {}
         for name, chip in data.get("chips", {}).items():
@@ -418,6 +469,7 @@ class CampaignReport:
                 name: QuarantineRecord.from_dict(record)
                 for name, record in data.get("quarantined", {}).items()
             },
+            metrics=data.get("metrics"),
         )
 
     @classmethod
@@ -430,25 +482,122 @@ class CampaignReport:
             raise CampaignError("campaign report JSON must be an object")
         return cls.from_dict(data)
 
+    # --- observability artefacts ------------------------------------------
 
-def _execute_job(
-    args: tuple[ChipJob, PipelineConfig, str | None, ResiliencePolicy | None],
+    def _require_trace(self) -> list[Span]:
+        if self.trace is None:
+            raise CampaignError(
+                "campaign was run without tracing "
+                "(pass obs=ObsConfig(trace=True) to run_campaign)"
+            )
+        return self.trace
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Write the campaign trace to *path*.
+
+        ``*.jsonl`` paths get one span JSON object per line; anything
+        else gets Chrome ``trace_event`` JSON, loadable directly in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        spans = self._require_trace()
+        target = Path(path)
+        if target.suffix == ".jsonl":
+            target.write_text(to_jsonl(spans) + "\n")
+        else:
+            target.write_text(json.dumps(to_chrome_trace(spans)) + "\n")
+        return target
+
+    def trace_summary(self, max_depth: int = 5) -> str:
+        """Flamegraph-style text tree of the campaign trace."""
+        return render_trace_summary(self._require_trace(), max_depth=max_depth)
+
+    def save_metrics(self, path: str | Path) -> Path:
+        """Write the merged metrics snapshot to *path* as JSON."""
+        if self.metrics is None:
+            raise CampaignError(
+                "campaign was run without metrics "
+                "(pass obs=ObsConfig(metrics=True) to run_campaign)"
+            )
+        target = Path(path)
+        target.write_text(json.dumps(self.metrics, indent=2, sort_keys=True) + "\n")
+        return target
+
+
+@dataclass
+class _JobOutcome:
+    """What one worker sends back: the chip outcome plus its telemetry."""
+
+    outcome: ChipRun | QuarantineRecord
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict | None = None
+
+
+def _run_one(
+    job: ChipJob,
+    config: PipelineConfig,
+    cache_dir: str | None,
+    policy: ResiliencePolicy | None,
 ) -> ChipRun | QuarantineRecord:
     """One chip's chain; a failing chip returns a quarantine record.
 
     The record — not the exception — crosses the process boundary:
     exceptions with rich context pickle unreliably, and a worker that
-    raises would poison ``pool.map`` for every chip behind it.
+    raises would poison ``pool.map`` for every chip behind it.  The
+    formatted traceback is captured here, at the ``except`` site, because
+    it cannot be rebuilt later.
     """
-    job, config, cache_dir, policy = args
     t0 = time.perf_counter()
     try:
         result, metrics = run_chip_stages(job, config, StageCache(cache_dir), policy)
     except StageError as exc:
-        return QuarantineRecord.from_error(job.name, exc, time.perf_counter() - t0)
+        logger.error(
+            "chip quarantined",
+            extra={"fields": {
+                "chip": job.name,
+                "stage": getattr(exc, "stage", None),
+                "error_type": type(exc).__name__,
+            }},
+        )
+        return QuarantineRecord.from_error(
+            job.name, exc, time.perf_counter() - t0,
+            tb=traceback_module.format_exc(),
+        )
     return ChipRun(
         name=job.name, result=result, stages=metrics,
         seconds=time.perf_counter() - t0,
+    )
+
+
+def _execute_job(
+    args: tuple[
+        ChipJob, PipelineConfig, str | None, ResiliencePolicy | None, ObsConfig | None
+    ],
+) -> _JobOutcome:
+    """Pool entry point: run one chip under its own observability session.
+
+    Each job gets a fresh tracer / registry (even on the serial path —
+    :class:`~repro.obs.ObsSession` saves and restores whatever was
+    active), so the chip's spans and metrics travel back to the campaign
+    as plain picklable data regardless of which process ran them.
+    """
+    job, config, cache_dir, policy, obs = args
+    if obs is None or not obs.enabled:
+        return _JobOutcome(_run_one(job, config, cache_dir, policy))
+    with ObsSession(obs) as session:
+        with current_tracer().span(
+            f"chip {job.name}", kind="chip", chip=job.name
+        ) as span, bind(chip=job.name):
+            outcome = _run_one(job, config, cache_dir, policy)
+            if isinstance(outcome, QuarantineRecord):
+                span.set(outcome="quarantined", error_type=outcome.error_type,
+                         stage=outcome.stage)
+            else:
+                span.set(outcome="completed", cache_hits=outcome.cache_hits,
+                         cache_misses=outcome.cache_misses)
+    return _JobOutcome(
+        outcome,
+        spans=session.spans(),
+        metrics=session.metrics_snapshot() if obs.metrics else None,
     )
 
 
@@ -468,6 +617,7 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     policy: ResiliencePolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    obs: ObsConfig | None = None,
 ) -> CampaignReport:
     """Run every chip job and return the campaign report.
 
@@ -483,6 +633,16 @@ def run_campaign(
     independent fault streams.  A chip whose chain raises a
     :class:`~repro.errors.StageError` is quarantined — the campaign
     still completes and the report is partial, not absent.
+
+    ``obs`` turns on the observability layer
+    (:class:`~repro.obs.ObsConfig`): with ``trace=True`` the report
+    carries the merged campaign → chip → attempt → stage → kernel span
+    tree (:attr:`CampaignReport.trace`, exportable via
+    :meth:`CampaignReport.save_trace`); with ``metrics=True`` the merged
+    counter/histogram snapshot (:attr:`CampaignReport.metrics`, embedded
+    in the report JSON); ``log_level`` configures JSON-lines logging in
+    the parent and every worker.  Observability never changes results or
+    cache keys — it only watches.
     """
     if not jobs:
         raise CampaignError("campaign needs at least one job")
@@ -501,24 +661,62 @@ def run_campaign(
             else replace(job, fault_plan=fault_plan.for_chip(job.name))
             for job in jobs
         ]
+    if obs is not None and obs.log_level is not None:
+        configure_logging(obs.log_level)
 
+    campaign_tracer = Tracer() if obs is not None and obs.trace else None
     t0 = time.perf_counter()
-    payloads = [(job, config, cache_dir, policy) for job in jobs]
-    if workers <= 1 or len(jobs) == 1:
-        runs = [_execute_job(p) for p in payloads]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    payloads = [(job, config, cache_dir, policy, obs) for job in jobs]
+    with ExitStack() as scope:
+        if campaign_tracer is not None:
+            scope.enter_context(campaign_tracer.span(
+                "campaign", kind="campaign", jobs=len(jobs), workers=workers,
+            ))
+        if workers <= 1 or len(jobs) == 1:
+            outcomes = [_execute_job(p) for p in payloads]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-            runs = list(pool.map(_execute_job, payloads))
+            with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+                outcomes = list(pool.map(_execute_job, payloads))
+    wall_seconds = time.perf_counter() - t0
+    runs = [o.outcome for o in outcomes]
+
+    trace: list[Span] | None = None
+    if campaign_tracer is not None:
+        # The campaign root closed when the ExitStack unwound; hang every
+        # worker's chip tree under it.
+        root = campaign_tracer.finished_spans()[-1]
+        trace = merge_spans(root, [s for o in outcomes for s in o.spans])
+
+    metrics: dict | None = None
+    if obs is not None and obs.metrics:
+        registry = MetricsRegistry()
+        for run in runs:
+            if isinstance(run, ChipRun):
+                registry.counter("repro_chips_total", outcome="completed").inc()
+            else:
+                registry.counter("repro_chips_total", outcome="quarantined").inc()
+                registry.counter(
+                    "repro_quarantine_total", stage=run.stage or "unknown"
+                ).inc()
+        registry.gauge("repro_campaign_wall_seconds").set(wall_seconds)
+        registry.gauge("repro_campaign_workers").set(workers)
+        metrics = registry.snapshot()
+        for outcome in outcomes:
+            if outcome.metrics is not None:
+                merge_snapshots(metrics, outcome.metrics)
+
     return CampaignReport(
         chips={run.name: run for run in runs if isinstance(run, ChipRun)},
         workers=workers,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall_seconds,
         cache_dir=cache_dir,
         quarantined={
             run.name: run for run in runs if isinstance(run, QuarantineRecord)
         },
+        trace=trace,
+        metrics=metrics,
     )
 
 

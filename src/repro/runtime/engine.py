@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.faults import FaultInjector
 from repro.imaging.fib import acquire_stack
+from repro.obs import bind, current_metrics, current_tracer, get_logger
 from repro.imaging.roi import identify_roi
 from repro.imaging.voxel import voxelize
 from repro.layout.generator import generate_chip_layout, generate_sa_region
@@ -58,6 +59,8 @@ from repro.runtime.hashing import canonicalize, chain_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.runtime.campaign import ChipJob
+
+logger = get_logger("repro.runtime.engine")
 
 #: Stage implementation versions.  Bumping one invalidates that stage's
 #: cache entries *and* (through key chaining) everything downstream of it.
@@ -180,41 +183,75 @@ def build_stage_chain(
         engaged = policy.qc_engaged(job)
         attempt = 0
         events = []
+        tracer = current_tracer()
+        metrics = current_metrics()
         while True:
-            injector = None
-            if plan is not None and plan.active:
-                injector = FaultInjector(plan, attempt=attempt)
-            stack = acquire_stack(
-                ctx["volume"],
-                job.campaign,
-                y_start_nm=job.y_start_nm,
-                y_stop_nm=job.y_stop_nm,
-                x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
-                x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
-                injector=injector,
-            )
-            events.extend(stack.fault_events)
-            if not engaged:
-                break
-            qc = qc_stack(stack.images, policy.qc, true_drift_px=stack.true_drift_px)
-            if qc.passed:
-                break
-            if attempt >= policy.max_retries:
+            with tracer.span(
+                f"attempt {attempt}", kind="attempt", attempt=attempt
+            ) as att_span, bind(attempt=attempt):
+                injector = None
+                if plan is not None and plan.active:
+                    injector = FaultInjector(plan, attempt=attempt)
+                stack = acquire_stack(
+                    ctx["volume"],
+                    job.campaign,
+                    y_start_nm=job.y_start_nm,
+                    y_stop_nm=job.y_stop_nm,
+                    x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
+                    x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
+                    injector=injector,
+                )
+                events.extend(stack.fault_events)
+                att_span.set(slices=len(stack), faults=len(stack.fault_events))
+                if not engaged:
+                    break
+                qc = qc_stack(stack.images, policy.qc, true_drift_px=stack.true_drift_px)
                 failed = qc.failed_indices
-                raise AcquisitionError(
-                    f"{len(failed)} slice(s) still fail QC "
-                    f"({', '.join(qc.failure_kinds)}) after "
-                    f"{policy.max_retries} re-acquisition(s)",
-                    chip_id=job.name,
-                    stage="acquire",
-                    slice_index=failed[0] if failed else None,
-                    details={
+                att_span.set(qc_passed=qc.passed, qc_failed_slices=len(failed))
+                if metrics.enabled:
+                    metrics.counter("repro_qc_slices_total", result="pass").inc(
+                        len(stack) - len(failed)
+                    )
+                    metrics.counter("repro_qc_slices_total", result="fail").inc(
+                        len(failed)
+                    )
+                    for verdict in qc.slices:
+                        for check in verdict.failures:
+                            metrics.counter("repro_qc_failures_total", check=check).inc()
+                if qc.passed:
+                    break
+                if attempt >= policy.max_retries:
+                    logger.error(
+                        "QC retry budget exhausted; quarantining chip",
+                        extra={"fields": {
+                            "failed_slices": list(failed),
+                            "failure_kinds": list(qc.failure_kinds),
+                            "attempts": attempt + 1,
+                        }},
+                    )
+                    raise AcquisitionError(
+                        f"{len(failed)} slice(s) still fail QC "
+                        f"({', '.join(qc.failure_kinds)}) after "
+                        f"{policy.max_retries} re-acquisition(s)",
+                        chip_id=job.name,
+                        stage="acquire",
+                        slice_index=failed[0] if failed else None,
+                        details={
+                            "failed_slices": list(failed),
+                            "failure_kinds": list(qc.failure_kinds),
+                            "attempts": attempt + 1,
+                            "fault_events": [e.to_dict() for e in events],
+                        },
+                    )
+                logger.warning(
+                    "acquired stack failed QC; re-acquiring",
+                    extra={"fields": {
                         "failed_slices": list(failed),
                         "failure_kinds": list(qc.failure_kinds),
-                        "attempts": attempt + 1,
-                        "fault_events": [e.to_dict() for e in events],
-                    },
+                        "attempt": attempt,
+                    }},
                 )
+                metrics.counter("repro_acquire_retries_total").inc()
             attempt += 1
         worst = max((max(abs(a), abs(b)) for a, b in stack.true_drift_px), default=0)
         return {"stack": stack}, {
@@ -355,6 +392,7 @@ def execute_chain(
     cache: StageCache,
     deadline: float | None = None,
     chip_id: str | None = None,
+    budget_s: float | None = None,
 ) -> tuple[dict[str, Any], list[StageMetrics]]:
     """Run a stage chain against a cache; return (final context, metrics).
 
@@ -364,6 +402,15 @@ def execute_chain(
     a :class:`StageTimeoutError` instead of being killed mid-stage (which
     would leave a partial cache write — the atomic store makes even that
     safe, but a typed error with the failing stage beats a dead worker).
+    With a deadline set, every :class:`StageMetrics` records the
+    ``deadline_remaining_s`` left *after* the stage, so timeout proximity
+    is observable before it becomes a quarantine; ``budget_s`` (the full
+    chip budget behind the deadline) additionally triggers a warning log
+    when a single stage consumes more than 80 % of it.
+
+    Every loop iteration emits exactly one stage span on the active
+    tracer — skipped, loaded and executed stages alike — so a trace's
+    stage spans match the metrics list one-to-one.
     """
     keys: list[str] = []
     parent: str | None = None
@@ -377,55 +424,95 @@ def execute_chain(
             deepest = i
             break
 
+    tracer = current_tracer()
+    obs_metrics = current_metrics()
     ctx: dict[str, Any] = {}
     metrics: list[StageMetrics] = []
+
+    def _push(m: StageMetrics) -> None:
+        if deadline is not None:
+            m.notes["deadline_remaining_s"] = deadline - time.monotonic()
+        if budget_s is not None and m.seconds > 0.8 * budget_s:
+            logger.warning(
+                "stage consumed over 80% of the chip time budget",
+                extra={"fields": {
+                    "stage": m.stage, "seconds": m.seconds, "budget_s": budget_s,
+                }},
+            )
+        obs_metrics.counter(
+            "repro_cache_lookups_total", stage=m.stage, disposition=m.disposition
+        ).inc()
+        obs_metrics.histogram("repro_stage_seconds", stage=m.stage).observe(m.seconds)
+        metrics.append(m)
+
     for i, stage in enumerate(stages):
         if deadline is not None and time.monotonic() > deadline:
+            logger.error(
+                "chip blew its time budget; stopping at stage boundary",
+                extra={"fields": {
+                    "stage": stage.name,
+                    "completed_stages": [m.stage for m in metrics],
+                }},
+            )
             raise StageTimeoutError(
                 "chip exceeded its campaign time budget",
                 chip_id=chip_id,
                 stage=stage.name,
                 details={"completed_stages": [m.stage for m in metrics]},
             )
-        t0 = time.perf_counter()
-        if i < deepest and deepest == len(stages) - 1:
-            # The final stage is cached: upstream artefacts are never needed.
-            metrics.append(StageMetrics(
-                stage=stage.name, seconds=0.0, cache_hit=True, skipped=True,
-                payload_bytes=cache.entry_bytes(keys[i]),
-            ))
-            continue
-        if i <= deepest:
-            entry = cache.load(keys[i])
-            if entry is not None:
-                payload, notes = entry
-                ctx.update(payload)
-                if stage.name == "align":
-                    ctx["align_notes"] = notes
-                metrics.append(StageMetrics(
-                    stage=stage.name,
-                    seconds=time.perf_counter() - t0,
-                    cache_hit=True,
-                    skipped=False,
+        with tracer.span(stage.name, kind="stage") as span, bind(stage=stage.name):
+            t0 = time.perf_counter()
+            if i < deepest and deepest == len(stages) - 1:
+                # The final stage is cached: upstream artefacts are never
+                # needed.
+                span.set(disposition="skip")
+                _push(StageMetrics(
+                    stage=stage.name, seconds=0.0, cache_hit=True, skipped=True,
                     payload_bytes=cache.entry_bytes(keys[i]),
-                    notes=notes,
                 ))
                 continue
-            # Entry vanished between contains() and load(): fall through and
-            # recompute this stage.
-        payload, notes = stage.run(ctx)
-        ctx.update(payload)
-        if stage.name == "align":
-            ctx["align_notes"] = notes
-        nbytes = cache.store(keys[i], payload, notes)
-        metrics.append(StageMetrics(
-            stage=stage.name,
-            seconds=time.perf_counter() - t0,
-            cache_hit=False,
-            skipped=False,
-            payload_bytes=nbytes,
-            notes=notes,
-        ))
+            if i <= deepest:
+                entry = cache.load(keys[i])
+                if entry is not None:
+                    payload, notes = entry
+                    ctx.update(payload)
+                    if stage.name == "align":
+                        ctx["align_notes"] = notes
+                    span.set(disposition="hit", payload_bytes=cache.entry_bytes(keys[i]))
+                    _push(StageMetrics(
+                        stage=stage.name,
+                        seconds=time.perf_counter() - t0,
+                        cache_hit=True,
+                        skipped=False,
+                        payload_bytes=cache.entry_bytes(keys[i]),
+                        notes=notes,
+                    ))
+                    continue
+                # Entry vanished between contains() and load(): fall through
+                # and recompute this stage.
+                logger.warning(
+                    "cache entry vanished between contains() and load(); "
+                    "recomputing stage",
+                    extra={"fields": {"stage": stage.name, "key": keys[i]}},
+                )
+            payload, notes = stage.run(ctx)
+            ctx.update(payload)
+            if stage.name == "align":
+                ctx["align_notes"] = notes
+            nbytes = cache.store(keys[i], payload, notes)
+            if nbytes:
+                obs_metrics.counter(
+                    "repro_cache_stored_bytes_total", stage=stage.name
+                ).inc(nbytes)
+            span.set(disposition="run", payload_bytes=nbytes)
+            _push(StageMetrics(
+                stage=stage.name,
+                seconds=time.perf_counter() - t0,
+                cache_hit=False,
+                skipped=False,
+                payload_bytes=nbytes,
+                notes=notes,
+            ))
     return ctx, metrics
 
 
@@ -444,10 +531,12 @@ def run_chip_stages(
     deadline = None
     if policy.chip_timeout_s is not None:
         deadline = time.monotonic() + policy.chip_timeout_s
-    ctx, metrics = execute_chain(
-        build_stage_chain(job, config, policy), cache,
-        deadline=deadline, chip_id=job.name,
-    )
+    with bind(chip=job.name):
+        ctx, metrics = execute_chain(
+            build_stage_chain(job, config, policy), cache,
+            deadline=deadline, chip_id=job.name,
+            budget_s=policy.chip_timeout_s,
+        )
     result = ctx.get("result")
     if not isinstance(result, ReversedChip):
         raise CampaignError(f"chip job {job.name!r} produced no result")

@@ -63,9 +63,18 @@ def _key_str(key: Any) -> str:
 
 
 def stable_hash(obj: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON form of *obj*."""
+    """SHA-256 hex digest of the canonical JSON form of *obj*.
+
+    The byte count feeds the ``repro_hash_bytes_total`` counter (a no-op
+    unless a metrics registry is active); the digest itself never
+    depends on observability state.
+    """
+    from repro.obs import current_metrics
+
     payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    data = payload.encode("utf-8")
+    current_metrics().counter("repro_hash_bytes_total").inc(len(data))
+    return hashlib.sha256(data).hexdigest()
 
 
 def chain_key(parent: str | None, stage: str, version: str, params: Any) -> str:

@@ -119,9 +119,13 @@ class TestCampaignFaultFlags:
         assert code == 1  # every chip quarantined → partial report is empty
         assert "QUARANTINED at acquire after 1 retries" in captured.out
         data = json.loads(path.read_text())
-        assert data["schema_version"] == "campaign-report/2"
+        assert data["schema_version"] == "campaign-report/3"
         assert "classic" in data["quarantined"]
         assert data["quarantined"]["classic"]["error_type"] == "AcquisitionError"
+        # The captured worker traceback survives into the JSON artefact.
+        assert "Traceback (most recent call last)" in (
+            data["quarantined"]["classic"]["traceback"]
+        )
 
     def test_json_to_stdout_round_trips(self, capsys, tmp_path):
         from repro.runtime import CampaignReport
@@ -137,3 +141,53 @@ class TestCampaignFaultFlags:
         report = CampaignReport.from_json(out[start:])
         assert list(report.chips) == ["classic"]
         assert not report.degraded
+
+
+class TestCampaignObsFlags:
+    def test_help_lists_obs_flags(self, capsys):
+        assert main(["campaign", "--help"]) == 0
+        out = capsys.readouterr().out
+        for flag in ("--chips", "--trace", "--trace-summary", "--metrics",
+                     "--log-level"):
+            assert flag in out
+
+    def test_chips_zero_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--chips", "0"]) == 2
+        assert "--chips" in capsys.readouterr().err
+
+    def test_chips_with_explicit_targets_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--chips", "2", "classic"]) == 2
+        assert "--chips" in capsys.readouterr().err
+
+    def test_bad_log_level_is_a_usage_error(self, capsys):
+        assert main(["campaign", "classic", "--log-level", "CHATTY"]) == 2
+        assert "log level" in capsys.readouterr().err.lower()
+
+    def test_traced_campaign_writes_artefacts(self, capsys, tmp_path):
+        """One --chips campaign with every obs flag on: trace + metrics land."""
+        import json
+
+        from repro.obs import reset_logging
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        try:
+            code = main([
+                "campaign", "--chips", "1", "--pairs", "1", "--fast",
+                "--workers", "1",
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+                "--trace-summary", "--log-level", "WARNING",
+            ])
+        finally:
+            reset_logging()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chip classic" in out  # the summary tree names the chip span
+        assert f"trace written: {trace_path}" in out
+        assert f"metrics written: {metrics_path}" in out
+
+        doc = json.loads(trace_path.read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert "campaign" in names and "chip classic" in names
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["repro_chips_total{outcome=completed}"] == 1

@@ -1,0 +1,532 @@
+"""The observability layer: spans, metrics, logs, and their campaign wiring.
+
+Unit-level coverage of ``repro.obs`` plus the two contracts the campaign
+runtime stakes on it: observability-off is bit-identical to
+observability-on (results *and* cache keys), and a traced parallel
+campaign produces one well-formed Chrome trace whose stage spans match
+the per-chip :class:`StageMetrics` one-to-one.
+"""
+
+import io
+import json
+import logging
+import pickle
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CampaignError
+from repro.faults import FaultPlan
+from repro.imaging import FibSemCampaign, SemParameters
+from repro.layout import SaRegionSpec
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    JsonFormatter,
+    MetricsRegistry,
+    NoopMetrics,
+    NoopTracer,
+    ObsConfig,
+    Tracer,
+    bind,
+    configure_logging,
+    current_metrics,
+    current_tracer,
+    empty_snapshot,
+    from_jsonl,
+    kernel_scope,
+    merge_snapshots,
+    merge_spans,
+    metric_key,
+    render_trace_summary,
+    reset_logging,
+    span_tree,
+    to_chrome_trace,
+    to_jsonl,
+    use_metrics,
+    use_tracer,
+)
+from repro.pipeline import PipelineConfig
+from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
+
+FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
+
+STAGE_ORDER = ["layout", "voxelize", "acquire", "denoise", "align", "assemble", "reveng"]
+
+
+def _job(name: str, topo: str, fault_plan: FaultPlan | None = None) -> ChipJob:
+    """A short-stack chip job (cheap enough to run many times)."""
+    return ChipJob(
+        name=name,
+        spec=SaRegionSpec(name=name.replace("-", "_"), topology=topo, n_pairs=1),
+        campaign=FibSemCampaign(sem=SemParameters(dwell_time_us=6.0)),
+        y_stop_nm=300.0,
+        fault_plan=fault_plan,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+
+
+class TestTracer:
+    def test_nesting_follows_call_structure(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with current_tracer().span("outer", kind="chip"):
+                with current_tracer().span("inner", kind="stage"):
+                    pass
+        inner, outer = tracer.finished_spans()  # completion order
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.start_s >= outer.start_s
+        assert inner.duration_s <= outer.duration_s
+
+    def test_attrs_now_and_later(self):
+        tracer = Tracer()
+        with tracer.span("s", kind="stage", early=1) as span:
+            span.set(late=2)
+        (recorded,) = tracer.finished_spans()
+        assert recorded.attrs == {"early": 1, "late": 2}
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom", kind="stage"):
+                raise ValueError("nope")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error"
+        assert span.attrs["error_type"] == "ValueError"
+
+    def test_disabled_tracer_is_shared_noop(self):
+        tracer = current_tracer()  # nothing activated by default
+        assert isinstance(tracer, NoopTracer)
+        assert not tracer.enabled
+        # The null span is one shared object: nothing allocated per call.
+        assert tracer.span("a", kind="stage") is tracer.span("b", kind="kernel")
+
+    def test_span_ids_unique_across_fresh_tracers(self):
+        ids = set()
+        for _ in range(3):
+            tracer = Tracer()
+            with tracer.span("s"):
+                pass
+            ids.add(tracer.finished_spans()[0].span_id)
+        assert len(ids) == 3
+
+    def test_jsonl_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", kind="chip", chip="x"):
+            with tracer.span("b", kind="stage"):
+                pass
+        spans = tracer.finished_spans()
+        restored = from_jsonl(to_jsonl(spans))
+        assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+    def test_merge_spans_reparents_orphans(self):
+        campaign = Tracer()
+        with campaign.span("campaign", kind="campaign"):
+            pass
+        root = campaign.finished_spans()[0]
+        worker = Tracer()
+        with worker.span("chip w", kind="chip"):
+            with worker.span("stage s", kind="stage"):
+                pass
+        merged = merge_spans(root, worker.finished_spans())
+        tree = span_tree(merged)
+        assert [s.name for s in tree[None]] == ["campaign"]
+        assert [s.name for s in tree[root.span_id]] == ["chip w"]
+        chip = tree[root.span_id][0]
+        assert [s.name for s in tree[chip.span_id]] == ["stage s"]
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer()
+        with tracer.span("a", kind="stage", n=3):
+            pass
+        doc = to_chrome_trace(tracer.finished_spans())
+        assert doc["displayTimeUnit"] == "ms"
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "stage"
+        assert event["dur"] > 0
+        assert event["args"]["n"] == 3
+        assert event["args"]["status"] == "ok"
+        json.dumps(doc)  # serialisable as-is
+
+    def test_render_summary_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="chip"):
+            with tracer.span("inner", kind="stage"):
+                pass
+        text = render_trace_summary(tracer.finished_spans())
+        outer_line, = [l for l in text.splitlines() if "outer" in l]
+        inner_line, = [l for l in text.splitlines() if "inner" in l]
+        assert "[chip]" in outer_line and "[stage]" in inner_line
+        assert inner_line.startswith("  ")  # indented under its parent
+        assert "%" in inner_line  # share of parent
+        assert render_trace_summary([]) == "(empty trace)"
+
+    def test_summary_depth_cap(self):
+        tracer = Tracer()
+        with tracer.span("d0"):
+            with tracer.span("d1"):
+                with tracer.span("d2"):
+                    pass
+        text = render_trace_summary(tracer.finished_spans(), max_depth=2)
+        assert "d1" in text and "d2" not in text
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+class TestMetrics:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("m", {}) == "m"
+        assert metric_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_counter_gauge_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", stage="align").inc()
+        reg.counter("hits", stage="align").inc(2)
+        reg.gauge("workers").set(4)
+        reg.gauge("workers").set(2)
+        reg.histogram("lat").observe(0.003)
+        reg.histogram("lat").observe(999.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits{stage=align}": 3.0}
+        assert snap["gauges"] == {"workers": 2.0}
+        hist = snap["histograms"]["lat"]
+        assert hist["bounds"] == list(DEFAULT_BUCKETS)
+        assert sum(hist["counts"]) == 2
+        assert hist["counts"][-1] == 1  # the +inf bucket caught 999
+        assert hist["count"] == 2
+
+    def test_merge_snapshots(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        a.gauge("g").set(1)
+        a.histogram("h").observe(0.002)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        b.counter("only_b").inc()
+        b.gauge("g").set(5)
+        b.histogram("h").observe(0.002)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["c"] == 3.0
+        assert merged["counters"]["only_b"] == 1.0
+        assert merged["gauges"]["g"] == 5.0  # last write wins
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merge_snapshots(empty_snapshot(), merged) == merged
+
+    def test_disabled_registry_is_noop(self):
+        metrics = current_metrics()
+        assert isinstance(metrics, NoopMetrics)
+        assert not metrics.enabled
+        # Shared no-op instruments: no state, no allocation to speak of.
+        assert metrics.counter("a") is metrics.histogram("b")
+        metrics.counter("a").inc()  # does not blow up, records nothing
+
+    def test_use_metrics_restores_previous(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            assert current_metrics() is reg
+            inner = MetricsRegistry()
+            with use_metrics(inner):
+                assert current_metrics() is inner
+            assert current_metrics() is reg
+        assert isinstance(current_metrics(), NoopMetrics)
+
+
+# ---------------------------------------------------------------------------
+# Logs
+
+
+@pytest.fixture
+def log_stream():
+    stream = io.StringIO()
+    configure_logging("DEBUG", stream=stream)
+    yield stream
+    reset_logging()
+
+
+class TestLogs:
+    def test_json_lines_with_bound_context(self, log_stream):
+        logger = logging.getLogger("repro.test_obs")
+        with bind(chip="fab-a", stage="align"):
+            logger.warning("drift", extra={"fields": {"slice": 7}})
+        record = json.loads(log_stream.getvalue().strip())
+        assert record["msg"] == "drift"
+        assert record["level"] == "WARNING"
+        assert record["chip"] == "fab-a"
+        assert record["stage"] == "align"
+        assert record["slice"] == 7
+        assert record["logger"] == "repro.test_obs"
+        assert isinstance(record["ts"], float)
+
+    def test_bind_nests_and_unwinds(self):
+        from repro.obs import bound_context
+
+        with bind(chip="a"):
+            with bind(stage="s", chip="b"):
+                assert bound_context() == {"chip": "b", "stage": "s"}
+            assert bound_context() == {"chip": "a"}
+        assert bound_context() == {}
+
+    def test_configure_logging_idempotent(self, log_stream):
+        repro_logger = logging.getLogger("repro")
+        before = list(repro_logger.handlers)
+        configure_logging("INFO")
+        assert list(repro_logger.handlers) == before  # reused, not duplicated
+
+    def test_exception_fields(self, log_stream):
+        logger = logging.getLogger("repro.test_obs")
+        try:
+            raise RuntimeError("bad")
+        except RuntimeError:
+            logger.error("failed", exc_info=True)
+        record = json.loads(log_stream.getvalue().strip())
+        assert record["exc_type"] == "RuntimeError"
+        assert "Traceback" in record["exc"]
+
+    def test_formatter_standalone(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "hello", None, None
+        )
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload["msg"] == "hello" and payload["level"] == "INFO"
+
+
+# ---------------------------------------------------------------------------
+# kernel_scope
+
+
+class TestKernelScope:
+    def test_records_span_and_ns_per_px(self):
+        tracer = Tracer()
+        reg = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(reg):
+            with kernel_scope("my_kernel", pixels=1000, method="x") as scope:
+                scope.set(extra=1)
+                time.sleep(0.001)
+        (span,) = tracer.finished_spans()
+        assert span.name == "my_kernel" and span.kind == "kernel"
+        assert span.attrs["method"] == "x" and span.attrs["extra"] == 1
+        snap = reg.snapshot()
+        assert snap["counters"]["repro_kernel_pixels_total{kernel=my_kernel}"] == 1000
+        hist = snap["histograms"]["repro_kernel_ns_per_px{kernel=my_kernel}"]
+        assert hist["count"] == 1 and hist["sum"] > 0
+
+    def test_set_pixels_late(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            with kernel_scope("k") as scope:
+                scope.set_pixels(50)
+        assert reg.snapshot()["counters"]["repro_kernel_pixels_total{kernel=k}"] == 50
+
+    def test_disabled_is_silent(self):
+        with kernel_scope("k", pixels=10) as scope:
+            scope.set(a=1)  # all swallowed by the shared null span
+        assert isinstance(current_tracer(), NoopTracer)
+
+
+# ---------------------------------------------------------------------------
+# Traced parallel campaign
+
+
+@pytest.fixture(scope="module")
+def obs_report():
+    """A 2-chip, 2-worker campaign with full observability on."""
+    jobs = [_job("obs-classic", "classic"), _job("obs-ocsa", "ocsa")]
+    return run_campaign(
+        jobs, config=FAST, workers=2, obs=ObsConfig(trace=True, metrics=True)
+    )
+
+
+class TestCampaignTrace:
+    def test_chrome_trace_loads(self, obs_report, tmp_path):
+        path = obs_report.save_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events, "empty trace"
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["dur"] > 0
+
+    def test_campaign_chip_stage_nesting(self, obs_report):
+        tree = span_tree(obs_report.trace)
+        (root,) = tree[None]
+        assert root.kind == "campaign"
+        chips = tree[root.span_id]
+        assert sorted(s.name for s in chips) == ["chip obs-classic", "chip obs-ocsa"]
+        assert all(s.kind == "chip" for s in chips)
+        for chip in chips:
+            stage_spans = [s for s in tree[chip.span_id] if s.kind == "stage"]
+            assert [s.name for s in stage_spans] == STAGE_ORDER
+
+    def test_stage_spans_match_stage_metrics(self, obs_report):
+        tree = span_tree(obs_report.trace)
+        (root,) = tree[None]
+        for chip in tree[root.span_id]:
+            name = chip.attrs["chip"]
+            stage_spans = [s for s in tree[chip.span_id] if s.kind == "stage"]
+            run = obs_report.chips[name]
+            assert [s.name for s in stage_spans] == [m.stage for m in run.stages]
+            for span, metric in zip(stage_spans, run.stages):
+                assert span.attrs["disposition"] == metric.disposition
+
+    def test_attempt_and_kernel_spans_present(self, obs_report):
+        kinds = {s.kind for s in obs_report.trace}
+        assert {"campaign", "chip", "attempt", "stage", "kernel"} <= kinds
+        kernels = {s.name for s in obs_report.trace if s.kind == "kernel"}
+        assert {"acquire_stack", "denoise_stack", "align_stack",
+                "assemble_volume"} <= kernels
+
+    def test_jsonl_export_round_trips(self, obs_report, tmp_path):
+        path = obs_report.save_trace(tmp_path / "trace.jsonl")
+        restored = from_jsonl(path.read_text())
+        assert [s.to_dict() for s in restored] == \
+            [s.to_dict() for s in obs_report.trace]
+
+    def test_trace_summary_text(self, obs_report):
+        text = obs_report.trace_summary()
+        assert "campaign" in text
+        assert "chip obs-classic" in text
+        assert "denoise_stack" in text
+
+    def test_metrics_merged_and_embedded(self, obs_report):
+        counters = obs_report.metrics["counters"]
+        assert counters["repro_chips_total{outcome=completed}"] == 2
+        # Worker-side counters crossed the pool and were merged.
+        assert counters["repro_cache_lookups_total{disposition=run,stage=align}"] == 2
+        assert counters["repro_hash_bytes_total"] > 0
+        hists = obs_report.metrics["histograms"]
+        assert hists["repro_stage_seconds{stage=denoise}"]["count"] == 2
+        assert hists["repro_kernel_ns_per_px{kernel=align_stack}"]["count"] == 2
+        gauges = obs_report.metrics["gauges"]
+        assert gauges["repro_campaign_workers"] == 2
+
+    def test_metrics_survive_json_round_trip(self, obs_report):
+        data = json.loads(obs_report.to_json())
+        assert data["schema_version"] == "campaign-report/3"
+        restored = CampaignReport.from_json(obs_report.to_json())
+        assert restored.metrics == obs_report.metrics
+
+    def test_save_metrics(self, obs_report, tmp_path):
+        path = obs_report.save_metrics(tmp_path / "metrics.json")
+        assert json.loads(path.read_text()) == obs_report.metrics
+
+    def test_unobserved_report_refuses_obs_artefacts(self, tmp_path):
+        report = CampaignReport(chips={}, workers=1, wall_seconds=0.0)
+        with pytest.raises(CampaignError, match="without tracing"):
+            report.save_trace(tmp_path / "t.json")
+        with pytest.raises(CampaignError, match="without metrics"):
+            report.save_metrics(tmp_path / "m.json")
+
+
+# ---------------------------------------------------------------------------
+# Observability must not change results
+
+
+class TestBitIdentity:
+    @settings(
+        max_examples=2,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        topo=st.sampled_from(["classic", "ocsa"]),
+    )
+    def test_obs_on_off_bit_identical(self, tmp_path_factory, seed, topo):
+        """Same chip, obs off vs fully on: identical result, identical keys."""
+        plan = FaultPlan(seed=seed)  # inert (all rates zero) but hashed
+        cache_off = tmp_path_factory.mktemp("cache-off")
+        cache_on = tmp_path_factory.mktemp("cache-on")
+        off = run_campaign(
+            [_job("bit", topo, plan)], config=FAST, workers=1, cache_dir=cache_off
+        )
+        on = run_campaign(
+            [_job("bit", topo, plan)], config=FAST, workers=1, cache_dir=cache_on,
+            obs=ObsConfig(trace=True, metrics=True, log_level="DEBUG"),
+        )
+        reset_logging()
+        assert pickle.dumps(off.result("bit")) == pickle.dumps(on.result("bit"))
+        keys_off = sorted(p.name for p in cache_off.rglob("*.pkl"))
+        keys_on = sorted(p.name for p in cache_on.rglob("*.pkl"))
+        assert keys_off and keys_off == keys_on
+
+
+# ---------------------------------------------------------------------------
+# Quarantine tracebacks (satellite)
+
+
+class TestQuarantineTraceback:
+    @pytest.fixture(scope="class")
+    def quarantined(self):
+        poison = FaultPlan(seed=3, drop_rate=0.6, drift_spike_rate=0.3)
+        return run_campaign(
+            [_job("poisoned", "classic", poison)], config=FAST, workers=1,
+            policy=ResiliencePolicy(max_retries=0),
+        )
+
+    def test_traceback_captured(self, quarantined):
+        record = quarantined.quarantined["poisoned"]
+        assert record.error_type == "AcquisitionError"
+        assert "Traceback (most recent call last)" in record.traceback
+        assert "AcquisitionError" in record.traceback
+
+    def test_traceback_in_json_report(self, quarantined):
+        data = json.loads(quarantined.to_json())
+        tb = data["quarantined"]["poisoned"]["traceback"]
+        assert "AcquisitionError" in tb
+        restored = CampaignReport.from_json(quarantined.to_json())
+        assert restored.quarantined["poisoned"].traceback == tb
+
+
+# ---------------------------------------------------------------------------
+# Deadline telemetry (satellite)
+
+
+class TestDeadlineTelemetry:
+    def test_stage_notes_record_deadline_remaining(self):
+        report = run_campaign(
+            [_job("deadline", "classic")], config=FAST, workers=1,
+            policy=ResiliencePolicy(chip_timeout_s=3600.0),
+        )
+        remaining = [
+            m.notes["deadline_remaining_s"]
+            for m in report.chips["deadline"].stages
+        ]
+        assert len(remaining) == len(STAGE_ORDER)
+        assert all(0 < r < 3600.0 for r in remaining)
+        # Later stages have less budget left.
+        assert remaining == sorted(remaining, reverse=True)
+
+    def test_no_deadline_no_note(self, obs_report):
+        for run in obs_report.chips.values():
+            for metric in run.stages:
+                assert "deadline_remaining_s" not in metric.notes
+
+    def test_warns_when_stage_eats_most_of_budget(self, caplog):
+        from repro.runtime.cache import StageCache
+        from repro.runtime.engine import _StageDef, execute_chain
+
+        def slow(ctx):
+            time.sleep(0.05)
+            return {"cell": None}, {}
+
+        stages = [_StageDef("layout", {}, slow)]
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.engine"):
+            execute_chain(
+                stages, StageCache(None),
+                deadline=time.monotonic() + 60.0, chip_id="warn",
+                budget_s=0.06,
+            )
+        assert any(
+            "80%" in record.getMessage() for record in caplog.records
+        ), caplog.records

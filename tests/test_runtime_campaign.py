@@ -334,7 +334,7 @@ class TestReportSerialization:
         import json
 
         data = json.loads(faulty_report.to_json())
-        assert data["schema_version"] == "campaign-report/2"
+        assert data["schema_version"] == "campaign-report/3"
 
     def test_unknown_schema_rejected(self, faulty_report):
         import json
