@@ -62,7 +62,7 @@ from repro.core import (
 from repro.faults import FaultPlan
 from repro.layout import SaRegionSpec, generate_sa_region
 from repro.obs import ObsConfig
-from repro.pipeline import PipelineConfig
+from repro.pipeline import PipelineConfig, ShardPlan
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
 from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
@@ -82,6 +82,7 @@ __all__ = [
     "SaRegionSpec",
     "generate_sa_region",
     "PipelineConfig",
+    "ShardPlan",
     "ReversedChip",
     "reverse_engineer_cell",
     "reverse_engineer_stack",

@@ -86,9 +86,18 @@ usage: python -m repro campaign [TARGET ...] [options]
 TARGET   chip IDs (A4/B4/C4/A5/B5/C5) and/or topologies (classic, ocsa);
          default: classic ocsa
 options:
-  --workers N   chip-level worker processes (default: one per chip, capped
-                at the CPU count; 1 = serial)
+  --workers N   worker-process budget (default: one per chip, capped at
+                the CPU count — or the full CPU count with --shard-slices;
+                1 = serial)
   --cache DIR   content-addressed stage cache directory (reruns reuse it)
+  --shard-slices
+                also shard per-slice stage work (acquire imaging, TV
+                denoise, slice QC) into batches over the worker budget, so
+                few-chip campaigns saturate all cores; results are
+                bit-identical to --workers 1
+  --shard-batch N
+                slices per shard batch (default: auto, ~2 batches per
+                shard worker); implies --shard-slices
   --pairs N     bitline pairs per generated region (default 2)
   --fast        cheaper pipeline settings (fewer TV iterations, smaller
                 MI search) for demos and smoke tests
@@ -164,6 +173,8 @@ def cmd_campaign(args: list[str]) -> int:
     targets: list[str] = []
     workers: int | None = None
     cache_dir: str | None = None
+    shard_slices = False
+    shard_batch: int | None = None
     n_pairs = 2
     fast = False
     validate = True
@@ -189,6 +200,13 @@ def cmd_campaign(args: list[str]) -> int:
             elif arg == "--cache":
                 i += 1
                 cache_dir = _value(arg, i)
+            elif arg == "--shard-slices":
+                shard_slices = True
+            elif arg == "--shard-batch":
+                i += 1
+                shard_batch = _int_value(arg, i)
+                if shard_batch < 1:
+                    raise _UsageError("--shard-batch requires a positive count")
             elif arg == "--pairs":
                 i += 1
                 n_pairs = _int_value(arg, i)
@@ -304,6 +322,12 @@ def cmd_campaign(args: list[str]) -> int:
             config = config.replaced(align_search_strategy=search_strategy)
         if tol is not None:
             config = config.replaced(denoise_tol=tol)
+        if shard_slices or shard_batch is not None:
+            from repro.pipeline import ShardPlan
+
+            config = config.replaced(
+                shard=ShardPlan(slices=True, batch=shard_batch)
+            )
 
         policy = None
         if max_retries is not None or chip_timeout is not None:

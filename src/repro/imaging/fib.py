@@ -9,11 +9,25 @@ Drift is modelled as a per-slice random walk in the image plane (x and z),
 quantised to whole pixels — stage drift and milling-position error over the
 >24 h acquisitions the paper reports.  The ground-truth drift is kept in
 the stack metadata so tests and benches can score the alignment stage.
+
+RNG scheme (v2)
+---------------
+Acquisition randomness is split into independent counter-based streams
+derived from the campaign seed: the drift walk draws from one serial
+stream (``(seed, 0)``), and every slice's SEM shot noise from its own
+stream (``(seed, 1, slice_index)``) — the same per-slice-stream idiom
+:mod:`repro.faults` already uses.  Slices are therefore independent
+given the (cheap, serial) drift/milling plan, which is what lets
+:func:`acquire_stack` shard the expensive imaging across worker
+processes with output bit-identical to the serial path for any batch
+configuration.  The scheme replaced a single interleaved stream; the
+``acquire`` stage version was bumped with it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -25,6 +39,11 @@ from repro.obs import kernel_scope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.faults import FaultEvent, FaultInjector
+    from repro.pipeline.config import ShardPlan
+
+#: sub-stream tags under the campaign seed (see module docstring)
+_DRIFT_STREAM = 0
+_NOISE_STREAM = 1
 
 
 @dataclass(frozen=True)
@@ -96,6 +115,31 @@ def _shift_image(image: np.ndarray, dx: int, dz: int) -> np.ndarray:
     return out
 
 
+@dataclass(frozen=True)
+class _SliceShot:
+    """One slice's imaging order — the picklable unit shipped to shard workers.
+
+    Produced by the serial planning pass of :func:`acquire_stack`; carries
+    everything the imaging phase needs so a worker process can form the
+    slice without the volume, the injector, or any shared RNG state.
+    """
+
+    face: np.ndarray  #: exposed material face, (nx, nz) uint8 codes
+    noise_seed: tuple[int, int, int]  #: ``(seed, _NOISE_STREAM, slice_index)``
+    dx: int  #: accumulated drift for this slice, px
+    dz: int
+
+
+def _image_shots(shots: list[_SliceShot], sem: SemParameters) -> list[np.ndarray]:
+    """Image a batch of planned shots (runs in shard workers; pure per shot)."""
+    out: list[np.ndarray] = []
+    for shot in shots:
+        rng = np.random.default_rng(shot.noise_seed)
+        img = image_cross_section(shot.face, sem, rng)
+        out.append(_shift_image(img, shot.dx, shot.dz))
+    return out
+
+
 def acquire_stack(
     volume: VoxelVolume,
     campaign: FibSemCampaign | None = None,
@@ -104,6 +148,7 @@ def acquire_stack(
     x_start_nm: float | None = None,
     x_stop_nm: float | None = None,
     injector: "FaultInjector | None" = None,
+    shard: "ShardPlan | None" = None,
 ) -> SliceStack:
     """Run a FIB/SEM campaign over *volume* and return the slice stack.
 
@@ -125,9 +170,19 @@ def acquire_stack(
     overshoot permanently advances the exposed face, and frame-level
     defects are applied after the drift shift, exactly where a detector
     would introduce them.
+
+    ``shard`` (a :class:`repro.pipeline.config.ShardPlan`) parallelises
+    the imaging phase across slice batches.  The acquisition runs in two
+    phases: a cheap serial pass walks the drift/milling state (inherently
+    sequential) into per-slice :class:`_SliceShot` orders, then the
+    expensive SEM imaging — independent per slice thanks to the
+    counter-based noise streams — is dispatched through
+    :func:`repro.runtime.shard.shard_map`.  Output is bit-identical to
+    the serial path for every shard configuration.  An *active* fault
+    plan forces the serial path (frame defects such as blur bursts carry
+    sequential cross-slice state) and is counted as a shard fallback.
     """
     campaign = campaign or FibSemCampaign()
-    rng = np.random.default_rng(campaign.seed)
     vox = volume.voxel_nm
     ny = volume.data.shape[1]
     nx = volume.data.shape[0]
@@ -144,7 +199,11 @@ def acquire_stack(
     with kernel_scope(
         "acquire_stack", faulted=injector is not None
     ) as scope:
-        images: list[np.ndarray] = []
+        # Phase 1 (serial, cheap): drift walk + milling plan.  Drift and
+        # spikes accumulate across slices, so this pass cannot shard — but
+        # it draws two scalars per slice, a vanishing fraction of the cost.
+        drift_rng = np.random.default_rng((campaign.seed, _DRIFT_STREAM))
+        shots: list[_SliceShot] = []
         drifts: list[tuple[int, int]] = []
         ys: list[float] = []
 
@@ -156,11 +215,9 @@ def acquire_stack(
             if injector is not None:
                 overshoot_cols += injector.overshoot_slices(slice_index) * cols_per_slice
             j_face = min(j + overshoot_cols, ny - 1)
-            face = volume.data[i_start:i_stop, j_face, :]  # freshly exposed face
-            img = image_cross_section(face, campaign.sem, rng)
 
-            drift_x += rng.normal(0.0, campaign.drift_step_px)
-            drift_z += rng.normal(0.0, campaign.drift_step_px * 0.5)
+            drift_x += drift_rng.normal(0.0, campaign.drift_step_px)
+            drift_z += drift_rng.normal(0.0, campaign.drift_step_px * 0.5)
             if injector is not None:
                 spike = injector.drift_spike(slice_index)
                 if spike is not None:
@@ -176,12 +233,38 @@ def acquire_stack(
                 max_px = max(max_px, int(np.ceil(injector.plan.drift_spike_px)))
             dx = int(np.clip(round(drift_x), -max_px, max_px))
             dz = int(np.clip(round(drift_z), -max_px, max_px))
-            img = _shift_image(img, dx, dz)
-            if injector is not None:
-                img = injector.apply(img, slice_index)
-            images.append(img)
+            shots.append(_SliceShot(
+                # copy: the view pins the whole volume when pickled to workers
+                face=np.ascontiguousarray(volume.data[i_start:i_stop, j_face, :]),
+                noise_seed=(campaign.seed, _NOISE_STREAM, slice_index),
+                dx=dx,
+                dz=dz,
+            ))
             drifts.append((dx, dz))
             ys.append(volume.index_to_y(j))
+
+        # Phase 2: SEM imaging — the expensive part, pure per shot.
+        faulted = injector is not None and injector.plan.active
+        if shard is not None and shard.engaged(len(shots)) and not faulted:
+            from repro.runtime.shard import shard_map
+
+            images = shard_map(
+                "acquire", partial(_image_shots, sem=campaign.sem), shots, shard
+            )
+        else:
+            if shard is not None and shard.engaged(len(shots)) and faulted:
+                from repro.runtime.shard import note_shard_fallback
+
+                note_shard_fallback("acquire", "active-fault-plan")
+            images = _image_shots(shots, campaign.sem)
+
+        # Phase 3 (serial): frame-level defects, in slice order — blur
+        # bursts persist across slices, so this pass stays sequential.
+        if injector is not None and injector.plan.active:
+            images = [
+                injector.apply(img, slice_index)
+                for slice_index, img in enumerate(images)
+            ]
 
         scope.set_pixels(sum(int(img.size) for img in images))
         scope.set(

@@ -47,7 +47,7 @@ from typing import Any, Iterable
 
 #: Span kinds, outermost first.  Purely descriptive — nesting is defined
 #: by parent links, not by kind — but exporters use it for colouring.
-SPAN_KINDS = ("campaign", "chip", "attempt", "stage", "kernel")
+SPAN_KINDS = ("campaign", "chip", "attempt", "stage", "shard", "kernel")
 
 
 @dataclass

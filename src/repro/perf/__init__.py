@@ -25,6 +25,7 @@ from repro.perf.bench import (
     DEFAULT_REPORT_PATH,
     BenchReport,
     KernelBench,
+    measure_shard_speedup,
     render_report,
     run_benchmarks,
     write_report,
@@ -34,6 +35,7 @@ __all__ = [
     "DEFAULT_REPORT_PATH",
     "BenchReport",
     "KernelBench",
+    "measure_shard_speedup",
     "render_report",
     "run_benchmarks",
     "write_report",

@@ -68,6 +68,8 @@ def main(argv: list[str] | None = None) -> int:
     print(render_report(report))
     print(f"\nreport written: {path}")
     mismatched = [k.name for k in report.kernels if k.outputs_match is False]
+    if report.shard is not None and not report.shard["outputs_match"]:
+        mismatched.append("shard[campaign]")
     if mismatched:
         print(f"OUTPUT MISMATCH in: {', '.join(mismatched)}", file=sys.stderr)
         return 1

@@ -112,6 +112,7 @@ class BenchReport:
     pipeline: dict[str, Any]
     campaign: dict[str, Any] | None = None
     obs: dict[str, Any] | None = None
+    shard: dict[str, Any] | None = None
     environment: dict[str, str] = field(default_factory=dict)
 
     def kernel(self, name: str) -> KernelBench:
@@ -131,6 +132,7 @@ class BenchReport:
             "pipeline": self.pipeline,
             "campaign": self.campaign,
             "obs": self.obs,
+            "shard": self.shard,
         }
 
 
@@ -208,6 +210,46 @@ def measure_obs_overhead(
             f"vs {pipeline_seconds:.3f}s pipeline)"
         )
     return result
+
+
+def measure_shard_speedup(seed: int = 1234) -> dict[str, Any]:
+    """The ``shard`` probe: one chip, serial vs slice-sharded wall time.
+
+    Runs the same fast-preset single-chip campaign twice — ``workers=1``
+    and then with ``ShardPlan(slices=True)`` over every usable core — and
+    reports the wall-time ratio.  ``outputs_match`` re-checks the shard
+    determinism contract at the byte level (``pickle.dumps`` equality of
+    the recovered chips); ``speedup`` approaches the core count on wide
+    machines and ~1.0 on a single-core box (the serial fallback).
+    """
+    import pickle
+
+    from repro.pipeline.config import PipelineConfig, ShardPlan
+    from repro.runtime import ChipJob, run_campaign, usable_cpus
+    from repro.runtime.shard import shutdown_shard_pools
+
+    cores = usable_cpus()
+    job = ChipJob.synthetic("perf_shard", "classic", n_pairs=1, validate=False)
+    config = PipelineConfig(
+        denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+    )
+    t0 = time.perf_counter()
+    serial = run_campaign([job], config=config, workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = run_campaign(
+        [job], config=config.replaced(shard=ShardPlan(slices=True)), workers=cores
+    )
+    sharded_s = time.perf_counter() - t0
+    shutdown_shard_pools()
+    return {
+        "serial_seconds": serial_s,
+        "sharded_seconds": sharded_s,
+        "speedup": serial_s / max(sharded_s, 1e-9),
+        "cores": cores,
+        "shard_workers": cores,
+        "outputs_match": pickle.dumps(serial.results()) == pickle.dumps(sharded.results()),
+    }
 
 
 def run_benchmarks(
@@ -366,6 +408,7 @@ def run_benchmarks(
 
     # --- campaign wall time ----------------------------------------------
     campaign: dict[str, Any] | None = None
+    shard_probe: dict[str, Any] | None = None
     if include_campaign:
         from repro.pipeline.config import PipelineConfig
         from repro.runtime import ChipJob, run_campaign
@@ -381,6 +424,7 @@ def run_benchmarks(
             "jobs": 1,
             "preset": "fast",
         }
+        shard_probe = measure_shard_speedup(seed=seed)
 
     return BenchReport(
         scale=scale,
@@ -396,6 +440,7 @@ def run_benchmarks(
         pipeline=pipeline,
         campaign=campaign,
         obs=obs,
+        shard=shard_probe,
         environment={
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -443,4 +488,12 @@ def render_report(report: BenchReport) -> str:
     if report.campaign is not None:
         lines.append(f"campaign probe ({report.campaign['preset']}): "
                      f"{report.campaign['wall_seconds']:.2f}s wall")
+    if report.shard is not None:
+        match = "yes" if report.shard["outputs_match"] else "NO"
+        lines.append(
+            f"shard probe: {report.shard['serial_seconds']:.2f}s serial -> "
+            f"{report.shard['sharded_seconds']:.2f}s sharded "
+            f"({report.shard['speedup']:.2f}x on {report.shard['cores']} "
+            f"cores), outputs match: {match}"
+        )
     return "\n".join(lines)

@@ -10,6 +10,7 @@ upstream of it is simulated (see DESIGN.md).
 
 from repro.pipeline.config import (
     PipelineConfig,
+    ShardPlan,
     Stage,
     DenoiseStage,
     AlignStage,
@@ -29,6 +30,7 @@ from repro.pipeline.segment import otsu_threshold, multi_otsu, segment_materials
 
 __all__ = [
     "PipelineConfig",
+    "ShardPlan",
     "Stage",
     "DenoiseStage",
     "AlignStage",

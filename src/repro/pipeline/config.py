@@ -40,6 +40,93 @@ from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
 
 _DENOISE_METHODS = ("chambolle", "split_bregman")
 _SEARCH_STRATEGIES = ("exhaustive", "pyramid")
+_SHARD_ORDERINGS = ("contiguous", "striped")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How per-slice stage work is sharded over the shard worker pool.
+
+    The per-slice stages (acquire imaging, TV denoise, slice QC) are
+    embarrassingly parallel across slices; a :class:`ShardPlan` with
+    ``slices=True`` lets the campaign runtime batch their slices and fan
+    the batches out to worker *processes* — the second scheduling level
+    under the chip-level pool, which is what lets a single-chip campaign
+    saturate a multi-core machine.
+
+    Everything here is **execution-only**: per-slice work is pure per
+    slice and the shard merge is index-ordered, so results are
+    bit-identical to ``workers=1`` for every batch size, ordering and
+    worker count — which is why the plan is excluded from
+    :meth:`PipelineConfig.cache_token`.
+    """
+
+    #: enable slice-level sharding of the per-slice stages
+    slices: bool = False
+    #: slices per shard batch; ``None`` → auto (~2 batches per worker)
+    batch: int | None = None
+    #: ``"contiguous"`` batches runs of adjacent slices (best payload
+    #: locality); ``"striped"`` deals slices round-robin so a cost
+    #: gradient along the stack load-balances evenly.  Merge order is
+    #: by slice index either way — the choice never affects results.
+    ordering: str = "contiguous"
+    #: ceiling on the bytes of shard payloads in flight at once; the
+    #: submitter blocks on the oldest outstanding batch when exceeded
+    #: (backpressure so a huge stack cannot queue itself entirely into
+    #: pool pickle buffers)
+    max_inflight_bytes: int = 256 * 1024 * 1024
+    #: shard worker processes; ``None`` → the campaign assigns the
+    #: workers left over after chip-level fan-out
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch is not None and self.batch < 1:
+            raise PipelineError("shard batch must be >= 1 (or None for auto)")
+        if self.ordering not in _SHARD_ORDERINGS:
+            raise PipelineError(
+                f"unknown shard ordering {self.ordering!r} "
+                f"(expected one of {_SHARD_ORDERINGS})"
+            )
+        if self.max_inflight_bytes < 1:
+            raise PipelineError("max_inflight_bytes must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise PipelineError("shard workers must be >= 1 (or None for auto)")
+
+    @property
+    def resolved_workers(self) -> int:
+        """The worker count to schedule with (1 until the campaign resolves)."""
+        return self.workers if self.workers is not None else 1
+
+    def engaged(self, n_items: int) -> bool:
+        """Whether sharding *n_items* would actually fan out."""
+        return self.slices and self.resolved_workers > 1 and n_items > 1
+
+    def batch_size(self, n_items: int) -> int:
+        """Slices per batch for an *n_items* stack (explicit or auto)."""
+        if self.batch is not None:
+            return self.batch
+        # ~2 batches per worker: enough slack to load-balance uneven
+        # batch costs without drowning in per-batch pickle overhead.
+        return max(1, -(-n_items // (2 * max(self.resolved_workers, 1))))
+
+    def batches(self, n_items: int) -> list[tuple[int, ...]]:
+        """Deterministic slice-index batches for an *n_items* stack.
+
+        A pure function of ``(n_items, batch, ordering, workers)`` — the
+        submitter and any replayer always agree on the partition.
+        """
+        if n_items <= 0:
+            return []
+        size = self.batch_size(n_items)
+        n_batches = -(-n_items // size)
+        if self.ordering == "striped":
+            return [
+                tuple(range(k, n_items, n_batches)) for k in range(n_batches)
+            ]
+        return [
+            tuple(range(lo, min(lo + size, n_items)))
+            for lo in range(0, n_items, size)
+        ]
 
 #: Map from the legacy ``reverse_engineer_stack`` keywords to config fields.
 LEGACY_KWARGS = {
@@ -86,6 +173,10 @@ class PipelineConfig:
     #: only: results are bit-identical for any value, so it is excluded
     #: from :meth:`cache_token`.
     chunk_workers: int = 1
+    #: Slice-level sharding of the per-slice stages (acquire imaging,
+    #: denoise, QC) over worker processes.  Execution detail only —
+    #: excluded from :meth:`cache_token` like ``chunk_workers``.
+    shard: ShardPlan = field(default_factory=ShardPlan)
 
     def __post_init__(self) -> None:
         if self.denoise_method not in _DENOISE_METHODS:
@@ -146,8 +237,9 @@ class PipelineConfig:
     def cache_token(self) -> dict[str, Any]:
         """The result-affecting parameters, as a canonical plain dict.
 
-        ``chunk_workers`` is excluded: it changes how fast a stage runs,
-        never what it produces.  ``denoise_tol``, ``align_shift_penalty``
+        ``chunk_workers`` and ``shard`` are excluded: they change how
+        fast (and where) a stage runs, never what it produces.
+        ``denoise_tol``, ``align_shift_penalty``
         and ``align_search_strategy`` *are* included — early stopping and
         the pyramid search trade exactness for speed, so their settings
         affect results and must invalidate cached artefacts.
@@ -222,7 +314,10 @@ class DenoiseStage:
 
     def __call__(self, data: list[np.ndarray]) -> tuple[list[np.ndarray], dict[str, float]]:
         out = denoise_stack(
-            data, workers=self.config.chunk_workers, **self.config.denoise_kwargs()
+            data,
+            workers=self.config.chunk_workers,
+            shard=self.config.shard,
+            **self.config.denoise_kwargs(),
         )
         return out, {"slices": float(len(out))}
 

@@ -39,11 +39,15 @@ count.
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import PipelineError
 from repro.obs import kernel_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.pipeline.config import ShardPlan
 
 
 def _gradient(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -391,27 +395,43 @@ def _reference_split_bregman_tv(
     return u.astype(image.dtype)
 
 
+def _solver_for(method: str):
+    if method == "chambolle":
+        return chambolle_tv
+    if method == "split_bregman":
+        return split_bregman_tv
+    raise PipelineError(f"unknown denoising method {method!r}")
+
+
+def _denoise_shard(
+    images: list[np.ndarray], method: str, weight: float, kwargs: dict
+) -> list[np.ndarray]:
+    """Denoise one slice batch (runs in shard workers; pure per slice)."""
+    fn = _solver_for(method)
+    return [fn(img, weight=weight, **kwargs) for img in images]
+
+
 def denoise_stack(
     images: list[np.ndarray],
     method: str = "chambolle",
     weight: float = 0.08,
     workers: int = 1,
+    shard: "ShardPlan | None" = None,
     **kwargs,
 ) -> list[np.ndarray]:
     """Denoise every slice of a stack with the chosen algorithm.
 
     Slices are independent, so with ``workers > 1`` they are processed by a
     thread pool (numpy releases the GIL in the inner array ops; the scratch
-    buffer pool is thread-local, so workers never contend).  Output order —
-    and every output value — is identical for any worker count.  Extra
-    keywords (``iterations=``, ``tol=``, …) pass through to the solver.
+    buffer pool is thread-local, so workers never contend).  With ``shard``
+    (a :class:`repro.pipeline.config.ShardPlan`) engaged, slice batches go
+    to the campaign's shared shard *process* pool instead — the scheduling
+    level that lets a single-chip campaign use every core.  Output order —
+    and every output value — is identical for any worker count, shard
+    batch size and ordering.  Extra keywords (``iterations=``, ``tol=``,
+    …) pass through to the solver.
     """
-    if method == "chambolle":
-        fn = chambolle_tv
-    elif method == "split_bregman":
-        fn = split_bregman_tv
-    else:
-        raise PipelineError(f"unknown denoising method {method!r}")
+    fn = _solver_for(method)
     with kernel_scope(
         "denoise_stack",
         pixels=sum(int(img.size) for img in images),
@@ -419,6 +439,17 @@ def denoise_stack(
         slices=len(images),
         workers=workers,
     ):
+        if shard is not None and shard.engaged(len(images)):
+            from functools import partial
+
+            from repro.runtime.shard import shard_map
+
+            return shard_map(
+                "denoise",
+                partial(_denoise_shard, method=method, weight=weight, kwargs=kwargs),
+                images,
+                shard,
+            )
         if workers > 1 and len(images) > 1:
             from concurrent.futures import ThreadPoolExecutor
 

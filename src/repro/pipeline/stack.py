@@ -21,6 +21,7 @@ feeding it to the (much more expensive) downstream stages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy import ndimage
@@ -29,6 +30,9 @@ from repro.errors import PipelineError
 from repro.imaging.voxel import LAYER_Z_RANGES
 from repro.layout.elements import Layer
 from repro.obs import get_logger, kernel_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.pipeline.config import ShardPlan
 
 logger = get_logger("repro.pipeline.stack")
 
@@ -252,10 +256,16 @@ class StackQc:
         return tuple(kinds)
 
 
+def _quality_shard(images: list[np.ndarray]) -> list[dict[str, float]]:
+    """Metrics for one slice batch (runs in shard workers; pure per slice)."""
+    return [slice_quality(img) for img in images]
+
+
 def qc_stack(
     images: list[np.ndarray],
     thresholds: QcThresholds | None = None,
     true_drift_px: list[tuple[int, int]] | None = None,
+    shard: "ShardPlan | None" = None,
 ) -> StackQc:
     """Gate every slice of an acquired stack against *thresholds*.
 
@@ -264,6 +274,12 @@ def qc_stack(
     the drift *increment* from its predecessor exceeds
     ``max_drift_step_px`` — the signature of a stage jump, which MI
     alignment with a bounded search window cannot recover from.
+
+    ``shard`` (a :class:`repro.pipeline.config.ShardPlan`) parallelises
+    the metric computation (the :func:`slice_quality` filter pass, the
+    expensive part) across slice batches; the threshold gating — which
+    carries the sequential drift-step state — stays in this process.
+    Verdicts are identical for every shard configuration.
     """
     t = thresholds or QcThresholds()
     with kernel_scope(
@@ -271,10 +287,15 @@ def qc_stack(
         pixels=sum(int(img.size) for img in images),
         slices=len(images),
     ) as scope:
+        if shard is not None and shard.engaged(len(images)):
+            from repro.runtime.shard import shard_map
+
+            metrics_list = shard_map("qc", _quality_shard, images, shard)
+        else:
+            metrics_list = _quality_shard(images)
         verdicts: list[SliceQc] = []
         prev = (0, 0)
-        for i, img in enumerate(images):
-            metrics = slice_quality(img)
+        for i, metrics in enumerate(metrics_list):
             failures: list[str] = []
             if t.min_sharpness is not None and metrics["sharpness"] < t.min_sharpness:
                 failures.append("sharpness")

@@ -12,7 +12,11 @@ engine that is neither:
   reveng) with per-stage wall time / cache / bytes metrics;
 * :mod:`repro.runtime.cache` — the content-addressed on-disk stage cache;
 * :mod:`repro.runtime.hashing` — stable parameter hashing behind the
-  cache keys.
+  cache keys;
+* :mod:`repro.runtime.shard` — the slice-shard executor: the second
+  scheduling level that fans per-slice stage work (acquire imaging,
+  denoise, QC) out over a shared process pool, bit-identical to the
+  serial path (enable via ``PipelineConfig.shard``).
 
 Resilience (fault plans, QC gates, retry, quarantine) rides on the same
 surfaces: :class:`ChipJob.fault_plan`, :class:`ResiliencePolicy` on
@@ -30,14 +34,17 @@ from repro.runtime.campaign import (
     campaign_config_provenance,
     default_workers,
     run_campaign,
+    usable_cpus,
 )
 from repro.runtime.engine import (
     STAGE_VERSIONS,
     ResiliencePolicy,
     StageMetrics,
+    cached_depth,
     run_chip_stages,
 )
 from repro.runtime.hashing import canonicalize, chain_key, stable_hash
+from repro.runtime.shard import payload_nbytes, shard_map, shutdown_shard_pools
 
 __all__ = [
     "StageCache",
@@ -49,11 +56,16 @@ __all__ = [
     "ResiliencePolicy",
     "campaign_config_provenance",
     "default_workers",
+    "usable_cpus",
     "run_campaign",
     "STAGE_VERSIONS",
     "StageMetrics",
+    "cached_depth",
     "run_chip_stages",
     "canonicalize",
     "chain_key",
     "stable_hash",
+    "payload_nbytes",
+    "shard_map",
+    "shutdown_shard_pools",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -76,7 +77,14 @@ class StageCache:
         except FileNotFoundError:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError) as exc:
+                ImportError, IndexError, TypeError, KeyError,
+                UnicodeDecodeError) as exc:
+            # The extra-wide net is deliberate: a truncated or hostile
+            # pickle raises whatever its mangled opcodes happen to hit
+            # (TypeError from bad constructor args, KeyError from a
+            # missing memo slot, UnicodeDecodeError from a torn string),
+            # and every one of those must read as a logged miss, not a
+            # crash that takes the campaign worker with it.
             self._note_corrupt(key, type(exc).__name__)
             return None
         if not isinstance(entry, dict) or "payload" not in entry:
@@ -91,6 +99,40 @@ class StageCache:
             extra={"fields": {"key": key, "reason": reason}},
         )
         current_metrics().counter("repro_cache_corrupt_total").inc()
+
+    def sweep_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Remove abandoned ``*.tmp`` files; returns how many were removed.
+
+        :meth:`store` writes through ``mkstemp`` + ``os.replace``; a
+        worker killed between the two (OOM, SIGKILL, power loss) leaves
+        its tmp file behind forever — invisible to lookups but leaking
+        disk on every crash.  Campaigns call this once at start-up.
+
+        ``max_age_s`` guards live writers: a *concurrent* campaign
+        sharing the cache directory may have in-flight tmp files, so only
+        files older than the threshold are removed.  Races with a writer
+        finishing (``os.replace`` already consumed the tmp) or another
+        sweeper are benign — a vanished file is skipped silently.
+        """
+        if not self.enabled:
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            logger.warning(
+                "swept stale stage-cache tmp files",
+                extra={"fields": {"removed": removed, "root": str(self.root)}},
+            )
+            current_metrics().counter("repro_cache_tmp_swept_total").inc(removed)
+        return removed
 
     def store(self, key: str, payload: dict[str, Any], notes: dict[str, float]) -> int:
         """Persist an entry; returns its size in bytes (0 when disabled)."""

@@ -42,7 +42,7 @@ import os
 import time
 import traceback as traceback_module
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.report import render_table
@@ -70,7 +70,12 @@ from repro.obs import (
 from repro.pipeline.config import PipelineConfig
 from repro.reveng.workflow import ReversedChip
 from repro.runtime.cache import StageCache
-from repro.runtime.engine import ResiliencePolicy, StageMetrics, run_chip_stages
+from repro.runtime.engine import (
+    ResiliencePolicy,
+    StageMetrics,
+    cached_depth,
+    run_chip_stages,
+)
 
 logger = get_logger("repro.runtime.campaign")
 
@@ -601,13 +606,17 @@ def _execute_job(
     )
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
 def default_workers(jobs_count: int) -> int:
     """One worker per chip, capped by the usable CPU count."""
-    try:
-        cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        cpus = os.cpu_count() or 1
-    return max(1, min(jobs_count, cpus))
+    return max(1, min(jobs_count, usable_cpus()))
 
 
 def run_campaign(
@@ -621,10 +630,24 @@ def run_campaign(
 ) -> CampaignReport:
     """Run every chip job and return the campaign report.
 
-    ``workers`` is the number of chip-level processes (``None`` → one per
-    job, capped at the CPU count; ``1`` → run in-process).  ``cache_dir``
-    enables the on-disk stage cache.  Results are identical for any
-    worker count; the report's chip order always follows the job order.
+    ``workers`` is the total worker-process budget.  ``None`` resolves to
+    one chip worker per job, capped at the usable CPU count — unless
+    ``config.shard.slices`` is on, in which case it resolves to the full
+    CPU count so slice shards can use the cores the chip fan-out leaves
+    idle.  At most ``len(jobs)`` processes run chip chains; with slice
+    sharding enabled the *surplus* (``workers // chip_workers``) becomes
+    each chip's shard worker count (unless ``config.shard.workers`` was
+    pinned explicitly), so a single-chip campaign on an 8-core machine
+    runs one chip process feeding 8 shard workers.  ``1`` runs in-process.
+    ``cache_dir`` enables the on-disk stage cache; stale ``*.tmp`` files
+    abandoned by crashed writers are swept at start-up.  Results are
+    identical for any worker/shard configuration; the report's chip order
+    always follows the job order.
+
+    When several chips compete for pool slots and the cache is enabled,
+    jobs are *scheduled* deepest-cache-hit-first (near-warm chips free
+    their slot quickly, overlapping the cold chips with the long tail) —
+    an execution-order detail that never leaks into the report.
 
     ``policy`` sets the resilience knobs (QC thresholds, retry budget,
     per-chip timeout).  ``fault_plan`` is a campaign-level plan applied to
@@ -652,10 +675,10 @@ def run_campaign(
     config = config or PipelineConfig()
     cache_dir = str(cache_dir) if cache_dir is not None else None
     if workers is None:
-        workers = default_workers(len(jobs))
+        # With slice sharding on, the budget is the machine, not the job
+        # count: the surplus over the chip fan-out goes to shard workers.
+        workers = usable_cpus() if config.shard.slices else default_workers(len(jobs))
     if fault_plan is not None:
-        from dataclasses import replace
-
         jobs = [
             job if job.fault_plan is not None
             else replace(job, fault_plan=fault_plan.for_chip(job.name))
@@ -664,22 +687,52 @@ def run_campaign(
     if obs is not None and obs.log_level is not None:
         configure_logging(obs.log_level)
 
+    chip_workers = max(1, min(workers, len(jobs)))
+    if config.shard.slices and config.shard.workers is None:
+        config = config.replaced(
+            shard=replace(config.shard, workers=max(1, workers // chip_workers))
+        )
+    if cache_dir is not None:
+        StageCache(cache_dir).sweep_stale_tmp()
+
     campaign_tracer = Tracer() if obs is not None and obs.trace else None
     t0 = time.perf_counter()
-    payloads = [(job, config, cache_dir, policy, obs) for job in jobs]
+    # Submission order: with contended pool slots and a live cache, run
+    # the chips with the deepest cache hit first.  Results are reassembled
+    # in job order below, so this is invisible outside the schedule.
+    order = list(range(len(jobs)))
+    if chip_workers > 1 and cache_dir is not None:
+        cache = StageCache(cache_dir)
+        depths = [cached_depth(job, config, cache, policy) for job in jobs]
+        if any(d >= 0 for d in depths):
+            order.sort(key=lambda i: (-depths[i], i))
+            logger.debug(
+                "cache-aware job ordering engaged",
+                extra={"fields": {
+                    "order": [jobs[i].name for i in order],
+                    "depths": depths,
+                }},
+            )
+    payloads = [(jobs[i], config, cache_dir, policy, obs) for i in order]
     with ExitStack() as scope:
         if campaign_tracer is not None:
             scope.enter_context(campaign_tracer.span(
                 "campaign", kind="campaign", jobs=len(jobs), workers=workers,
+                shard_workers=config.shard.resolved_workers if config.shard.slices else 0,
             ))
         if workers <= 1 or len(jobs) == 1:
             outcomes = [_execute_job(p) for p in payloads]
         else:
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            with ProcessPoolExecutor(max_workers=chip_workers) as pool:
                 outcomes = list(pool.map(_execute_job, payloads))
     wall_seconds = time.perf_counter() - t0
+    # Back to job order (outcomes arrive in submission order).
+    by_job: list[_JobOutcome | None] = [None] * len(outcomes)
+    for position, job_index in enumerate(order):
+        by_job[job_index] = outcomes[position]
+    outcomes = [o for o in by_job if o is not None]
     runs = [o.outcome for o in outcomes]
 
     trace: list[Span] | None = None
@@ -702,6 +755,10 @@ def run_campaign(
                 ).inc()
         registry.gauge("repro_campaign_wall_seconds").set(wall_seconds)
         registry.gauge("repro_campaign_workers").set(workers)
+        if config.shard.slices:
+            registry.gauge("repro_campaign_shard_workers").set(
+                config.shard.resolved_workers
+            )
         metrics = registry.snapshot()
         for outcome in outcomes:
             if outcome.metrics is not None:

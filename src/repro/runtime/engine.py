@@ -64,15 +64,20 @@ logger = get_logger("repro.runtime.engine")
 
 #: Stage implementation versions.  Bumping one invalidates that stage's
 #: cache entries *and* (through key chaining) everything downstream of it.
+#: All bumped 1 → 2 together with the type-prefixed cache-key encoding
+#: (see :mod:`repro.runtime.hashing`) so entries written under the old,
+#: collision-prone key scheme miss cleanly instead of aliasing; acquire's
+#: bump also covers its counter-based per-slice RNG rework
+#: (:mod:`repro.imaging.fib`), which changes the acquired bits.
 STAGE_VERSIONS: dict[str, str] = {
-    "layout": "1",
-    "voxelize": "1",
-    "roi": "1",
-    "acquire": "1",
-    "denoise": "1",
-    "align": "1",
-    "assemble": "1",
-    "reveng": "1",
+    "layout": "2",
+    "voxelize": "2",
+    "roi": "2",
+    "acquire": "2",
+    "denoise": "2",
+    "align": "2",
+    "assemble": "2",
+    "reveng": "2",
 }
 
 
@@ -200,12 +205,14 @@ def build_stage_chain(
                     x_start_nm=ctx.get("x_start_nm", job.x_start_nm),
                     x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
                     injector=injector,
+                    shard=config.shard,
                 )
                 events.extend(stack.fault_events)
                 att_span.set(slices=len(stack), faults=len(stack.fault_events))
                 if not engaged:
                     break
-                qc = qc_stack(stack.images, policy.qc, true_drift_px=stack.true_drift_px)
+                qc = qc_stack(stack.images, policy.qc,
+                              true_drift_px=stack.true_drift_px, shard=config.shard)
                 failed = qc.failed_indices
                 att_span.set(qc_passed=qc.passed, qc_failed_slices=len(failed))
                 if metrics.enabled:
@@ -387,6 +394,38 @@ def build_stage_chain(
     return stages
 
 
+def chain_keys(stages: list[_StageDef]) -> list[str]:
+    """The content-addressed cache key of every stage in the chain."""
+    keys: list[str] = []
+    parent: str | None = None
+    for stage in stages:
+        parent = chain_key(parent, stage.name, stage.version, stage.params)
+        keys.append(parent)
+    return keys
+
+
+def cached_depth(
+    job: "ChipJob",
+    config: PipelineConfig,
+    cache: StageCache,
+    policy: ResiliencePolicy | None = None,
+) -> int:
+    """Index of the deepest cached stage for *job* (−1 when none).
+
+    Key computation only — no entry is loaded.  The campaign scheduler
+    uses this to order chip jobs deepest-hit-first: near-warm chips
+    finish (and free their pool slot) fastest, so cold chips overlap the
+    widest stretch of the campaign wall clock.
+    """
+    if not cache.enabled:
+        return -1
+    keys = chain_keys(build_stage_chain(job, config, policy))
+    for i in reversed(range(len(keys))):
+        if cache.contains(keys[i]):
+            return i
+    return -1
+
+
 def execute_chain(
     stages: list[_StageDef],
     cache: StageCache,
@@ -412,11 +451,7 @@ def execute_chain(
     tracer — skipped, loaded and executed stages alike — so a trace's
     stage spans match the metrics list one-to-one.
     """
-    keys: list[str] = []
-    parent: str | None = None
-    for stage in stages:
-        parent = chain_key(parent, stage.name, stage.version, stage.params)
-        keys.append(parent)
+    keys = chain_keys(stages)
 
     deepest = -1
     for i in reversed(range(len(stages))):

@@ -5,8 +5,27 @@ the same logical inputs (``PYTHONHASHSEED`` randomises ``hash()``, so the
 built-in is useless here), and must change whenever any result-affecting
 parameter changes.  The scheme: convert the parameter object to a
 canonical, JSON-serialisable form — dataclasses become ``{class: ...,
-fields: {...}}`` maps, enums their values, dict keys strings in sorted
-order — then SHA-256 the canonical JSON.
+fields: {...}}`` maps, enums their values, dict keys *type-prefixed*
+strings in sorted order — then SHA-256 the canonical JSON.
+
+Guarantees the canonical form upholds (the cache-key contract):
+
+* **injective over key types** — dict keys carry their Python type in the
+  canonical string (``"int:1"`` vs ``"str:1"`` vs ``"bool:True"``), so
+  ``{1: x}`` and ``{"1": x}`` never collide.  Historically both collapsed
+  to ``"1"`` and two different parameter dicts could silently share a
+  digest — a stale cache entry served as a hit.
+* **total over floats** — non-finite floats canonicalize to explicit
+  string sentinels (``"float:nan"``, ``"float:inf"``, ``"float:-inf"``)
+  instead of leaking into ``json.dumps`` as the non-standard
+  ``NaN``/``Infinity`` tokens.  NaN-valued numpy scalars used to fall
+  through the ``cast(obj) == obj`` check (NaN != NaN) and raise; infinite
+  ones raised ``OverflowError`` out of the ``int()`` cast.  Both now
+  canonicalize like their builtin-float counterparts.
+
+Changing the canonical form changes every digest, so the stage versions
+in :data:`repro.runtime.engine.STAGE_VERSIONS` were bumped with it: old
+cache entries miss cleanly instead of ever being misread.
 """
 
 from __future__ import annotations
@@ -14,10 +33,22 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from enum import Enum
 from typing import Any
 
 from repro.errors import CampaignError
+
+
+def _canonical_float(value: float) -> float | str:
+    """A float's canonical form: itself, or a sentinel when non-finite."""
+    if math.isnan(value):
+        return "float:nan"
+    if value == math.inf:
+        return "float:inf"
+    if value == -math.inf:
+        return "float:-inf"
+    return float(value)
 
 
 def canonicalize(obj: Any) -> Any:
@@ -41,24 +72,42 @@ def canonicalize(obj: Any) -> Any:
     if isinstance(obj, int):
         return int(obj)
     if isinstance(obj, float):
-        # repr() round-trips doubles exactly; json would too, but be explicit
-        # that 1.0 and 1 must not collide with each other silently.
-        return float(obj)
-    # numpy scalars and other number-likes
+        return _canonical_float(obj)
+    # numpy scalars and other number-likes.  NaN-likes fail the
+    # ``cast(obj) == obj`` round-trip below (NaN != NaN), so catch them
+    # first; the casts themselves may raise OverflowError on infinities.
+    try:
+        if obj != obj:
+            return "float:nan"
+    except (TypeError, ValueError):
+        pass
     for cast in (int, float):
         try:
             if cast(obj) == obj:
-                return cast(obj)
-        except (TypeError, ValueError):
+                return int(obj) if cast is int else _canonical_float(float(obj))
+        except (TypeError, ValueError, OverflowError):
             continue
     raise CampaignError(f"cannot canonicalize {type(obj).__name__!r} for hashing")
 
 
 def _key_str(key: Any) -> str:
+    """Canonical dict-key string, with the key's type encoded.
+
+    ``bool`` is checked before ``int`` (it is a subclass) and enums
+    canonicalize through their value, so ``Color.RED`` with ``value=1``
+    keys exactly like the int ``1``.
+    """
     if isinstance(key, Enum):
         key = key.value
-    if isinstance(key, (str, int, float, bool)):
-        return str(key)
+    if isinstance(key, str):
+        return f"str:{key}"
+    if isinstance(key, bool):
+        return f"bool:{key}"
+    if isinstance(key, int):
+        return f"int:{key}"
+    if isinstance(key, float):
+        canonical = _canonical_float(key)
+        return canonical if isinstance(canonical, str) else f"float:{canonical!r}"
     raise CampaignError(f"cannot use {type(key).__name__!r} as a hashable dict key")
 
 
@@ -67,11 +116,15 @@ def stable_hash(obj: Any) -> str:
 
     The byte count feeds the ``repro_hash_bytes_total`` counter (a no-op
     unless a metrics registry is active); the digest itself never
-    depends on observability state.
+    depends on observability state.  ``allow_nan=False`` makes any
+    non-finite float that escapes canonicalization a loud error rather
+    than a silently non-standard JSON token.
     """
     from repro.obs import current_metrics
 
-    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    payload = json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
     data = payload.encode("utf-8")
     current_metrics().counter("repro_hash_bytes_total").inc(len(data))
     return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,242 @@
+"""Slice-shard executor: the second scheduling level of the campaign runtime.
+
+The chip-level pool in :mod:`repro.runtime.campaign` parallelises across
+chips; this module parallelises *within* a chip.  The per-slice stages
+(acquire imaging, TV denoise, slice QC) are embarrassingly parallel
+across slices, so a :class:`~repro.pipeline.config.ShardPlan` partitions
+their slices into deterministic batches and :func:`shard_map` fans the
+batches out to a process pool shared by every stage running in this
+process.  The two levels compose: a six-chip campaign on a 32-core
+machine runs six chip workers with five shard workers each, and a
+single-chip campaign gives all its workers to shards — either way the
+machine is saturated.
+
+Determinism contract
+--------------------
+Per-slice work is pure per slice (the acquire RNG is a counter-based
+per-slice stream, denoise and QC read only their own slice), batches are
+a pure function of ``(n_items, plan)``, and the merge reassembles
+results by slice index.  Output is therefore bit-identical to the serial
+path for **every** batch size, ordering and worker count — the property
+the ``parallel-determinism`` CI job and the hypothesis tests in
+``tests/test_runtime_shard.py`` pin down.
+
+Backpressure
+------------
+Submitting a whole stack at once would pickle every slice into the
+pool's call queue up front.  ``plan.max_inflight_bytes`` bounds the
+payload bytes outstanding at any moment: the submitter blocks on the
+*oldest* incomplete batch (completion order is irrelevant — the merge is
+by index) before pushing more work.
+
+Observability
+-------------
+Each batch is wrapped in a ``kind="shard"`` span on the submitting
+process's tracer, so shard spans nest under whatever span issued them —
+in the pipeline, the stage's ``kernel_scope`` span (``acquire_stack``,
+``denoise_stack``, ``qc_stack``), which itself nests under the stage
+span.  The batch runs remotely; the span measures the submitter's wait,
+which is the schedulable quantity.  Counters:
+
+=====================================  ====================================
+``repro_shard_batches_total{stage}``   batches dispatched
+``repro_shard_slices_total{stage}``    slices dispatched
+``repro_shard_bytes_total{stage}``     estimated payload bytes shipped
+``repro_shard_backpressure_total{stage}``  submissions that had to wait
+``repro_shard_fallback_total{stage,reason}``  sharding declined (callers
+                                       increment, e.g. active fault plan)
+=====================================  ====================================
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.obs import current_metrics, current_tracer, get_logger
+from repro.pipeline.config import ShardPlan
+
+logger = get_logger("repro.runtime.shard")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# One pool per (process, worker count).  Shared across stages and chips
+# running in this process so pool start-up (fork + import) is paid once,
+# not once per stage invocation.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_shard_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide shard pool for *workers* (created lazily)."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_shard_pools() -> None:
+    """Shut down every shard pool this process created (tests, atexit)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shard_pools)
+
+
+def payload_nbytes(item: Any) -> int:
+    """Estimate the pickled payload size of one shard item.
+
+    Array-bearing items dominate shard traffic, so the estimate walks
+    ``nbytes`` over arrays, tuples/lists and dataclass-like objects with
+    an ``__dict__``; everything else is charged a nominal 256 bytes.
+    """
+    if isinstance(item, np.ndarray):
+        return int(item.nbytes)
+    nbytes = getattr(item, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(item, (tuple, list)):
+        return sum(payload_nbytes(v) for v in item) + 64
+    state = getattr(item, "__dict__", None)
+    if state:
+        return sum(payload_nbytes(v) for v in state.values()) + 64
+    return 256
+
+
+def _canonical_result(value: Any) -> Any:
+    """Re-intern shared objects on results that crossed the pool boundary.
+
+    An unpickled array carries a fresh ``dtype`` instance instead of the
+    process-wide singleton, and unpickled dict keys are fresh string
+    objects instead of the interned literals the serial path shares
+    across every slice.  Values compare equal either way, but
+    ``pickle.dumps`` of a result *list* then differs from the serial
+    run's bytes (a shared object is memo-referenced once, a fresh
+    instance is re-serialized per occurrence) — breaking the
+    bit-identity contract at the byte level.  A zero-copy ``view`` with
+    the canonical dtype and ``sys.intern`` on string keys restore both.
+    """
+    if isinstance(value, np.ndarray):
+        return value.view(np.dtype(value.dtype.str))
+    if isinstance(value, tuple):
+        return tuple(_canonical_result(v) for v in value)
+    if isinstance(value, list):
+        return [_canonical_result(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            sys.intern(k) if isinstance(k, str) else k: _canonical_result(v)
+            for k, v in value.items()
+        }
+    return value
+
+
+def shard_map(
+    stage: str,
+    fn: Callable[[list[T]], list[R]],
+    items: Sequence[T],
+    plan: ShardPlan,
+    bytes_of: Callable[[T], int] = payload_nbytes,
+) -> list[R]:
+    """Apply batch function *fn* to *items*, sharded per *plan*.
+
+    *fn* must be a picklable top-level callable mapping a list of items
+    to the list of their results (same length, same order) with each
+    result depending only on its own item — that per-item purity is what
+    makes the batching invisible in the output.  Results come back in
+    item order regardless of batch completion order.
+
+    With the plan not engaged (sharding off, one worker, or a single
+    item) the batches run in-process in index order — the same ``fn`` on
+    the same batches, so the output is identical by construction.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    batches = plan.batches(n)
+    tracer = current_tracer()
+    metrics = current_metrics()
+    out: list[R | None] = [None] * n
+
+    def _merge(index_batch: tuple[int, ...], results: list[R]) -> None:
+        if len(results) != len(index_batch):
+            raise RuntimeError(
+                f"shard batch for stage {stage!r} returned {len(results)} "
+                f"results for {len(index_batch)} items"
+            )
+        for i, result in zip(index_batch, results):
+            out[i] = result
+
+    if not plan.engaged(n):
+        for k, idx in enumerate(batches):
+            with tracer.span(
+                f"shard[{k}]", kind="shard", stage=stage, slices=len(idx),
+                inline=True,
+            ):
+                _merge(idx, fn([items[i] for i in idx]))
+        return out  # type: ignore[return-value]
+
+    pool = shared_shard_pool(plan.resolved_workers)
+    if metrics.enabled:
+        metrics.counter("repro_shard_batches_total", stage=stage).inc(len(batches))
+        metrics.counter("repro_shard_slices_total", stage=stage).inc(n)
+
+    # Submit with backpressure: block on the oldest outstanding batch
+    # once the estimated in-flight payload exceeds the plan's ceiling.
+    inflight: list[tuple[int, tuple[int, ...], Any, int]] = []  # (k, idx, future, bytes)
+    inflight_bytes = 0
+    pending: list[tuple[int, tuple[int, ...], Any]] = []
+
+    def _retire_oldest() -> None:
+        nonlocal inflight_bytes
+        k, idx, future, nbytes = inflight.pop(0)
+        with tracer.span(
+            f"shard[{k}]", kind="shard", stage=stage, slices=len(idx),
+            payload_bytes=nbytes,
+        ):
+            results = _canonical_result(future.result())
+        inflight_bytes -= nbytes
+        pending.append((k, idx, results))
+
+    for k, idx in enumerate(batches):
+        payload = [items[i] for i in idx]
+        nbytes = sum(bytes_of(item) for item in payload)
+        while inflight and inflight_bytes + nbytes > plan.max_inflight_bytes:
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_shard_backpressure_total", stage=stage
+                ).inc()
+            _retire_oldest()
+        inflight.append((k, idx, pool.submit(fn, payload), nbytes))
+        inflight_bytes += nbytes
+        if metrics.enabled:
+            metrics.counter("repro_shard_bytes_total", stage=stage).inc(nbytes)
+    while inflight:
+        _retire_oldest()
+    for _, idx, results in pending:
+        _merge(idx, results)
+    return out  # type: ignore[return-value]
+
+
+def note_shard_fallback(stage: str, reason: str) -> None:
+    """Record that a stage declined to shard (serial fallback)."""
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_shard_fallback_total", stage=stage, reason=reason
+        ).inc()
+    logger.debug(
+        "slice sharding fell back to serial",
+        extra={"fields": {"stage": stage, "reason": reason}},
+    )

@@ -90,6 +90,40 @@ class TestCampaignCommand:
         assert "skip" in warm_out  # warm: upstream stages skipped via cache
 
 
+class TestCampaignShardFlags:
+    def test_help_lists_shard_flags(self, capsys):
+        assert main(["campaign", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--shard-slices" in out
+        assert "--shard-batch" in out
+
+    def test_shard_batch_zero_is_a_usage_error(self, capsys):
+        assert main(["campaign", "classic", "--shard-batch", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_shard_batch_non_integer_is_a_usage_error(self, capsys):
+        assert main(["campaign", "classic", "--shard-batch", "abc"]) == 2
+        assert "requires an integer" in capsys.readouterr().err
+
+    def test_shard_batch_missing_value(self, capsys):
+        assert main(["campaign", "classic", "--shard-batch"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_sharded_campaign_smoke(self, capsys):
+        """--shard-slices runs end to end (sharding degrades to serial
+        when only one worker is available — same results either way)."""
+        args = ["campaign", "classic", "--pairs", "1", "--fast",
+                "--workers", "1", "--shard-slices"]
+        assert main(args) == 0
+        assert "classic: topology=classic" in capsys.readouterr().out
+
+    def test_shard_batch_implies_shard_slices(self, capsys):
+        args = ["campaign", "classic", "--pairs", "1", "--fast",
+                "--workers", "1", "--shard-batch", "4"]
+        assert main(args) == 0
+        assert "classic: topology=classic" in capsys.readouterr().out
+
+
 class TestCampaignFaultFlags:
     def test_help_lists_resilience_flags(self, capsys):
         assert main(["campaign", "--help"]) == 0

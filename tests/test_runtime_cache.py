@@ -1,6 +1,13 @@
 """Stable hashing and the content-addressed stage cache."""
 
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import CampaignError
 from repro.imaging import FibSemCampaign
@@ -35,12 +42,96 @@ class TestStableHash:
         with pytest.raises(CampaignError):
             stable_hash({"fn": object()})
 
+    def test_int_and_str_keys_never_collide(self):
+        """Regression: ``{1: x}`` and ``{"1": x}`` used to share a digest
+        (both keys collapsed to the bare string ``"1"``), so two different
+        parameter dicts could serve each other's cache entries."""
+        assert stable_hash({1: "a"}) != stable_hash({"1": "a"})
+        assert stable_hash({True: "a"}) != stable_hash({1: "a"})
+        assert stable_hash({1.0: "a"}) != stable_hash({1: "a"})
+        assert canonicalize({1: "a"}) == {"int:1": "a"}
+        assert canonicalize({"1": "a"}) == {"str:1": "a"}
+
+    def test_non_finite_floats_hash_as_sentinels(self):
+        """Regression: NaN/±inf raised (numpy scalars) or leaked the
+        non-standard ``NaN``/``Infinity`` JSON tokens."""
+        assert canonicalize(float("nan")) == "float:nan"
+        assert canonicalize(float("inf")) == "float:inf"
+        assert canonicalize(float("-inf")) == "float:-inf"
+        digests = {stable_hash(v) for v in
+                   (float("nan"), float("inf"), float("-inf"), 0.0)}
+        assert len(digests) == 4
+
+    def test_numpy_non_finite_scalars_hash_like_builtins(self):
+        assert stable_hash(np.float32("nan")) == stable_hash(float("nan"))
+        assert stable_hash(np.float64("inf")) == stable_hash(float("inf"))
+        assert stable_hash(np.float64("-inf")) == stable_hash(float("-inf"))
+        assert stable_hash({"w": np.float64("nan")}) == stable_hash({"w": float("nan")})
+
+    def test_canonical_json_is_strict(self):
+        """The canonical form always survives strict JSON round-tripping."""
+        obj = {"a": float("inf"), 3: [float("nan"), np.float32(2.0)]}
+        payload = json.dumps(canonicalize(obj), allow_nan=False, sort_keys=True)
+        assert json.loads(payload) == canonicalize(obj)
+
     def test_chain_key_depends_on_parent_and_version(self):
         k1 = chain_key(None, "denoise", "1", {"w": 0.08})
         assert chain_key(None, "denoise", "2", {"w": 0.08}) != k1
         assert chain_key(k1, "denoise", "1", {"w": 0.08}) != k1
         assert chain_key(None, "denoise", "1", {"w": 0.09}) != k1
         assert chain_key(None, "denoise", "1", {"w": 0.08}) == k1
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.text(max_size=12),
+)
+_key = st.one_of(
+    st.text(max_size=8),
+    st.booleans(),
+    st.integers(min_value=-100, max_value=100),
+)
+_tree = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_key, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _comparable(canonical):
+    """A type-tagged view of a canonical form under which equality means
+    exactly "same canonical JSON text": ``1``/``1.0``/``True`` compare
+    equal in Python but encode differently, and ``repr`` separates
+    ``-0.0`` from ``0.0`` the same way ``json.dumps`` does."""
+    if isinstance(canonical, list):
+        return ("list", tuple(_comparable(v) for v in canonical))
+    if isinstance(canonical, dict):
+        return ("dict", tuple(sorted(
+            (k, _comparable(v)) for k, v in canonical.items()
+        )))
+    if isinstance(canonical, float):
+        return ("float", repr(canonical))
+    return (type(canonical).__name__, canonical)
+
+
+class TestDigestInjectivity:
+    @given(a=_tree, b=_tree)
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_canonical_inputs_never_share_a_digest(self, a, b):
+        """``stable_hash`` collides iff the canonical forms are identical
+        (so ``{1: x}`` vs ``{"1": x}``, NaN vs inf, 0 vs False all stay
+        distinct) — the injectivity the cache-key contract promises."""
+        ca, cb = _comparable(canonicalize(a)), _comparable(canonicalize(b))
+        if ca == cb:
+            assert stable_hash(a) == stable_hash(b)
+        else:
+            assert stable_hash(a) != stable_hash(b)
 
 
 class TestStageCache:
@@ -70,3 +161,50 @@ class TestStageCache:
         assert cache.load("ab" * 32) is None
         assert cache.store("ab" * 32, {"v": 1}, {}) == 0
         assert cache.entry_bytes("ab" * 32) == 0
+
+    def test_concurrent_writers_share_a_directory(self, tmp_path):
+        """Many writers racing on the same keys (the multi-chip campaign
+        shape: one shared cache dir, one StageCache per worker) never
+        corrupt an entry — every load returns a complete payload."""
+        keys = [stable_hash({"stage": "race", "k": k}) for k in range(4)]
+
+        def hammer(worker: int) -> None:
+            cache = StageCache(tmp_path)
+            for round_ in range(8):
+                for k, key in enumerate(keys):
+                    cache.store(key, {"k": k, "blob": b"x" * 4096}, {"n": 1.0})
+                    loaded = cache.load(key)
+                    assert loaded is not None
+                    payload, notes = loaded
+                    assert payload["k"] == k and len(payload["blob"]) == 4096
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for f in [pool.submit(hammer, w) for w in range(6)]:
+                f.result()  # re-raises any assertion from the workers
+
+        cache = StageCache(tmp_path)
+        for k, key in enumerate(keys):
+            payload, _ = cache.load(key)
+            assert payload["k"] == k
+        assert not list(tmp_path.glob("*/*.tmp"))  # no leaked tmp files
+
+    def test_sweep_removes_only_stale_tmp_files(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stable_hash("sweep")
+        cache.store(key, {"v": 1}, {})
+        entry_dir = cache.path_for(key).parent
+        stale = entry_dir / "dead-writer.tmp"
+        stale.write_bytes(b"partial")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = entry_dir / "live-writer.tmp"
+        fresh.write_bytes(b"in flight")
+
+        assert cache.sweep_stale_tmp(max_age_s=3600.0) == 1
+        assert not stale.exists()
+        assert fresh.exists()          # live writer is left alone
+        assert cache.contains(key)     # finished entries untouched
+        assert cache.sweep_stale_tmp(max_age_s=3600.0) == 0
+
+    def test_sweep_on_disabled_cache_is_a_noop(self):
+        assert StageCache(None).sweep_stale_tmp() == 0
