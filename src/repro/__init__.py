@@ -9,8 +9,11 @@ Research by Uncovering Sense Amplifiers with IC Imaging* (ISCA 2024):
   generator + GDSII I/O;
 * :mod:`repro.circuits` — netlists, the classic-SA and OCSA reference
   topologies, topology identification;
-* :mod:`repro.analog` — MNA transient solver and sense-amplifier
-  testbenches (Fig 2c / Fig 9b event sequences, offset tolerance);
+* :mod:`repro.analog` — MNA transient solver (scalar and Monte-Carlo
+  batched), sense-amplifier testbenches (Fig 2c / Fig 9b event
+  sequences, offset tolerance) and the corner × topology × bitline
+  characterization engine behind :class:`CharacterizationSpec` /
+  :func:`characterize`;
 * :mod:`repro.imaging` — simulated SEM/FIB acquisition (the hardware-gated
   part of the paper, substituted per DESIGN.md);
 * :mod:`repro.pipeline` — §IV-C post-processing: TV denoising, mutual
@@ -43,8 +46,23 @@ Multi-chip campaign (parallel, cached)::
     jobs = [ChipJob.synthetic("fab-a", "classic"), ChipJob.synthetic("fab-b", "ocsa")]
     report = run_campaign(jobs, workers=2, cache_dir=".stage-cache")
     assert report.result("fab-b").topology.value == "ocsa"
+
+Analog characterization sweep (batched solver, campaign-cached)::
+
+    from repro import CharacterizationSpec, characterize
+
+    spec = CharacterizationSpec(corners=("TT", "SS"), trials=64)
+    report = characterize(spec, cache_dir=".stage-cache")
+    print(report.render())
 """
 
+from repro.analog import (
+    BatchedTransientSolver,
+    CharacterizationReport,
+    CharacterizationSpec,
+    DeviceCorner,
+    characterize,
+)
 from repro.circuits import (
     SaTopology,
     build_classic_sa,
@@ -66,9 +84,14 @@ from repro.pipeline import PipelineConfig, ShardPlan
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
 from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "BatchedTransientSolver",
+    "CharacterizationReport",
+    "CharacterizationSpec",
+    "DeviceCorner",
+    "characterize",
     "SaTopology",
     "build_classic_sa",
     "build_ocsa",

@@ -9,7 +9,10 @@ Commands:
 * ``spice <CHIP>`` — the SPICE card of one chip's reverse-engineered SA;
 * ``bundle <DIR>`` — write the open-source data bundle to a directory;
 * ``campaign [TARGET ...]`` — image + reverse engineer many chips through
-  the parallel, stage-cached campaign runtime (``--help`` for options).
+  the parallel, stage-cached campaign runtime (``--help`` for options);
+* ``characterize`` — sweep sense-amp figures of merit (offset, latency,
+  energy, Monte-Carlo yield) across corners × topologies on the batched
+  analog solver, through the same campaign runtime (``--help``).
 """
 
 from __future__ import annotations
@@ -395,6 +398,149 @@ def cmd_campaign(args: list[str]) -> int:
     return 0
 
 
+_CHARACTERIZE_USAGE = """\
+usage: python -m repro characterize [options]
+
+Sweep sense-amp figures of merit (nominal sensing/restore latency,
+switched energy, offset tolerance, Monte-Carlo yield) over a
+topology x corner x bitline-capacitance grid.  Every sweep cell runs as
+a campaign job on the batched MNA solver, so sweeps are parallel,
+stage-cached and quarantine failing cells instead of aborting.
+
+options:
+  --topologies LIST  comma-separated topologies (default: classic,ocsa)
+  --corners LIST     comma-separated corner names TT/FF/SS/FS/SF
+                     (default: TT)
+  --caps LIST        comma-separated bitline capacitances in fF
+                     (default: 90)
+  --trials N         Monte-Carlo trials per cell (default 40)
+  --sigma MV         latch Vt mismatch sigma in mV (default 60)
+  --seed N           mismatch RNG seed (default 7)
+  --data {0,1}       stored data value the yield trials sense (default 1)
+  --deadline NS      sensing deadline in ns (default: none — only wrong
+                     senses count as failures)
+  --workers N        worker-process budget (default: one per cell,
+                     capped at the CPU count; 1 = serial)
+  --cache DIR        content-addressed stage cache directory
+  --json PATH        also write the characterization-report/1 JSON to
+                     PATH ("-" = stdout)
+
+A sweep with quarantined cells still exits 0 as long as at least one
+cell completed; it exits 1 only when every cell failed.
+"""
+
+
+def cmd_characterize(args: list[str]) -> int:
+    from repro.analog import CharacterizationSpec, characterize
+    from repro.errors import ReproError
+
+    class _UsageError(Exception):
+        pass
+
+    def _value(flag: str, i: int) -> str:
+        if i >= len(args):
+            raise _UsageError(f"{flag} requires a value")
+        return args[i]
+
+    def _int_value(flag: str, i: int) -> int:
+        raw = _value(flag, i)
+        try:
+            return int(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires an integer, got {raw!r}") from None
+
+    def _float_value(flag: str, i: int) -> float:
+        raw = _value(flag, i)
+        try:
+            return float(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires a number, got {raw!r}") from None
+
+    spec_kwargs: dict = {}
+    workers: int | None = None
+    cache_dir: str | None = None
+    json_path: str | None = None
+    try:
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "--topologies":
+                i += 1
+                spec_kwargs["topologies"] = tuple(
+                    t.strip() for t in _value(arg, i).split(",") if t.strip()
+                )
+            elif arg == "--corners":
+                i += 1
+                spec_kwargs["corners"] = tuple(
+                    c.strip() for c in _value(arg, i).split(",") if c.strip()
+                )
+            elif arg == "--caps":
+                i += 1
+                try:
+                    spec_kwargs["bitline_caps_f"] = tuple(
+                        float(c) * 1e-15 for c in _value(arg, i).split(",") if c.strip()
+                    )
+                except ValueError:
+                    raise _UsageError(
+                        "--caps requires comma-separated numbers (fF)"
+                    ) from None
+            elif arg == "--trials":
+                i += 1
+                spec_kwargs["trials"] = _int_value(arg, i)
+            elif arg == "--sigma":
+                i += 1
+                spec_kwargs["sigma_mv"] = _float_value(arg, i)
+            elif arg == "--seed":
+                i += 1
+                spec_kwargs["seed"] = _int_value(arg, i)
+            elif arg == "--data":
+                i += 1
+                spec_kwargs["data"] = _int_value(arg, i)
+            elif arg == "--deadline":
+                i += 1
+                spec_kwargs["deadline_ns"] = _float_value(arg, i)
+            elif arg == "--workers":
+                i += 1
+                workers = _int_value(arg, i)
+            elif arg == "--cache":
+                i += 1
+                cache_dir = _value(arg, i)
+            elif arg == "--json":
+                i += 1
+                json_path = _value(arg, i)
+            elif arg in ("--help", "-h"):
+                print(_CHARACTERIZE_USAGE)
+                return 0
+            else:
+                raise _UsageError(f"unknown option {arg!r}")
+            i += 1
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        print(_CHARACTERIZE_USAGE, file=sys.stderr)
+        return 2
+
+    try:
+        spec = CharacterizationSpec(**spec_kwargs)
+        report = characterize(spec, workers=workers, cache_dir=cache_dir)
+    except ReproError as exc:
+        print(f"characterization failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if json_path is not None:
+        text = report.to_json()
+        if json_path == "-":
+            print(text)
+        else:
+            with open(json_path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"report written: {json_path}")
+    if not report.cells:
+        print("characterization failed: every cell was quarantined",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "summary"
@@ -422,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
               f"{len(manifest['tables'])} tables -> {args[1]}")
     elif command == "campaign":
         return cmd_campaign(args[1:])
+    elif command == "characterize":
+        return cmd_characterize(args[1:])
     else:
         print(__doc__, file=sys.stderr)
         return 2

@@ -10,11 +10,21 @@ provides the simulator those arguments need:
 * :mod:`repro.analog.events` — DDR activation/precharge control sequences
   for the classic SA (Fig 2c) and the OCSA (Fig 9b);
 * :mod:`repro.analog.sense_amp` — end-to-end testbenches: charge sharing,
-  offset cancellation, pre-sensing, latch & restore, sense-margin sweeps.
+  offset cancellation, pre-sensing, latch & restore, sense-margin sweeps;
+* :mod:`repro.analog.spec` — the :class:`CharacterizationSpec` config
+  object fronting the whole characterization surface;
+* :mod:`repro.analog.characterizer` — corner × topology × bitline sweeps
+  run as campaign jobs on the batched solver.
 """
 
 from repro.analog.devices import MosModel, NMOS_DEFAULT, PMOS_DEFAULT
-from repro.analog.solver import TransientResult, TransientSolver, Waveform
+from repro.analog.solver import (
+    BatchTransientResult,
+    BatchedTransientSolver,
+    TransientResult,
+    TransientSolver,
+    Waveform,
+)
 from repro.analog.events import (
     EventTimeline,
     classic_activation_timeline,
@@ -47,8 +57,28 @@ from repro.analog.sense_amp import (
     worst_case_offset_tolerance,
     charge_sharing_onset,
 )
+from repro.analog.spec import CORNERS, CharacterizationSpec, DeviceCorner
+from repro.analog.characterizer import (
+    CellResult,
+    CharacterizationJob,
+    CharacterizationReport,
+    SweepCell,
+    characterize,
+    sweep_cells,
+)
 
 __all__ = [
+    "BatchTransientResult",
+    "BatchedTransientSolver",
+    "CORNERS",
+    "CharacterizationSpec",
+    "DeviceCorner",
+    "CellResult",
+    "CharacterizationJob",
+    "CharacterizationReport",
+    "SweepCell",
+    "characterize",
+    "sweep_cells",
     "MosModel",
     "NMOS_DEFAULT",
     "PMOS_DEFAULT",

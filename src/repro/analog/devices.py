@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 #: Sub-threshold leak conductance (S): keeps cut-off devices numerically
 #: visible so Newton never sees a floating node through a stack of
 #: cut-off transistors.
@@ -89,6 +91,54 @@ def mos_current(model: MosModel, w_over_l: float, vg: float, vd: float, vs: floa
         return _nmos_forward(model.kp, model.vt, model.lam, w_over_l, vg - vs, vd - vs)
     # Swapped frame: terminal at vd acts as source.
     return -_nmos_forward(model.kp, model.vt, model.lam, w_over_l, vg - vd, vs - vd)
+
+
+def _nmos_forward_vec(
+    kp: float | np.ndarray,
+    vt: float | np.ndarray,
+    lam: float | np.ndarray,
+    wl: float,
+    vgs: np.ndarray,
+    vds: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`_nmos_forward` over instance arrays.
+
+    Every branch evaluates the *same* IEEE expression, in the same
+    operation order, as the scalar path; ``np.where`` only selects which
+    branch's value survives.  That is what makes the batched solver
+    bit-identical to the scalar one per instance.
+    """
+    vov = vgs - vt
+    leak = GLEAK * vds
+    triode = kp * wl * (vov * vds - 0.5 * vds * vds) * (1.0 + lam * vds) + GLEAK * vds
+    sat = 0.5 * kp * wl * vov * vov * (1.0 + lam * vds) + GLEAK * vds
+    conducting = np.where(vds < vov, triode, sat)
+    return np.where(vov <= 0.0, leak, conducting)
+
+
+def mos_current_vec(
+    channel: str,
+    kp: float | np.ndarray,
+    vt: float | np.ndarray,
+    lam: float | np.ndarray,
+    w_over_l: float,
+    vg: np.ndarray,
+    vd: np.ndarray,
+    vs: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`mos_current`: model params and voltages per instance.
+
+    ``kp``/``vt``/``lam`` may be scalars (one model shared by the batch)
+    or ``(N,)`` arrays (per-instance corners/mismatch); the terminal
+    voltages are ``(N,)`` arrays.  Elementwise bit-identical to the
+    scalar :func:`mos_current` — the pmos mirror and the drain/source
+    swap reuse the exact scalar formulation.
+    """
+    if channel == "pmos":
+        return -mos_current_vec("nmos", kp, vt, lam, w_over_l, -vg, -vd, -vs)
+    forward = _nmos_forward_vec(kp, vt, lam, w_over_l, vg - vs, vd - vs)
+    swapped = -_nmos_forward_vec(kp, vt, lam, w_over_l, vg - vd, vs - vd)
+    return np.where(vd >= vs, forward, swapped)
 
 
 def mos_ids(

@@ -14,6 +14,9 @@ affected operations".  These helpers quantify exactly that, on top of
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 from repro.analog.sense_amp import ActivationOutcome
 from repro.circuits.netlist import DeviceType
 from repro.errors import AnalogError
@@ -72,6 +75,31 @@ def switched_energy_fj(outcome: ActivationOutcome) -> float:
         swing = float(trace.max() - trace.min())
         total_j += c * swing * swing
     return total_j * 1e15
+
+
+def latency_stats(latencies_ns: Sequence[float]) -> dict[str, float]:
+    """Summary statistics over a Monte-Carlo latency vector.
+
+    NaN entries mark failed trials (wrong latch value or bitlines that
+    never separated — see :class:`~repro.analog.montecarlo.YieldResult`);
+    they are excluded from the mean/percentiles but counted in
+    ``failed``.  With no valid samples, the statistics themselves are
+    NaN.
+    """
+    valid = sorted(v for v in latencies_ns if not math.isnan(v))
+    failed = len(latencies_ns) - len(valid)
+    if not valid:
+        nan = float("nan")
+        return {"mean_ns": nan, "p95_ns": nan, "worst_ns": nan,
+                "valid": 0.0, "failed": float(failed)}
+    p95_index = min(len(valid) - 1, math.ceil(0.95 * len(valid)) - 1)
+    return {
+        "mean_ns": sum(valid) / len(valid),
+        "p95_ns": valid[p95_index],
+        "worst_ns": valid[-1],
+        "valid": float(len(valid)),
+        "failed": float(failed),
+    }
 
 
 def activation_comparison(

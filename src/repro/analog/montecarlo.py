@@ -13,29 +13,59 @@ This module measures both: sample latch Vt mismatches from a process
 distribution, run the activation per sample, and count samples that sense
 *correctly and in time* — for any topology and any set of transistor sizes
 (a public model's or a chip's measured ones).
+
+Since 1.5 the public entry points are configured through one
+:class:`~repro.analog.spec.CharacterizationSpec` (``spec=``) and execute
+all trials in a single :meth:`SenseAmpBench.run_batch` call — the batched
+solver is bit-identical per instance to the scalar one, so results match
+the pre-1.5 scalar loop exactly (same RNG stream, same failure
+semantics).  The scalar loop survives as
+:func:`_reference_sensing_yield` for equivalence tests and the perf
+probe.  The old per-function keywords still work for one deprecation
+cycle (removed in repro 2.0) via ``CharacterizationSpec.from_legacy_kwargs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any
 
 import numpy as np
 
 from repro.analog.metrics import sensing_latency_ns
 from repro.analog.sense_amp import SenseAmpBench, SenseAmpConfig
+from repro.analog.spec import CharacterizationSpec
 from repro.circuits.topologies import SaSizes, SaTopology
 from repro.errors import AnalogError
+
+#: Sentinel distinguishing "not passed" from any real value, so the
+#: deprecated keywords can keep their positional slots while routing
+#: through the spec.
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
 class YieldResult:
-    """Outcome of a yield run."""
+    """Outcome of a yield run.
+
+    ``latencies_ns`` holds one sensing latency per trial, in draw order,
+    with ``nan`` marking trials that latched the wrong value or whose
+    bitlines never separated.  It is a plain tuple of floats so the
+    result pickles across the campaign pool boundary and canonicalizes
+    under :func:`repro.runtime.hashing.canonicalize` (NaN becomes the
+    ``"float:nan"`` sentinel there).  Empty for results produced by the
+    scalar reference path, which never measures latency without a
+    deadline.
+    """
 
     topology: SaTopology
     sigma_mv: float
     samples: int
     failures: int
     deadline_ns: float | None = None
+    latencies_ns: tuple[float, ...] = ()
 
     @property
     def yield_fraction(self) -> float:
@@ -48,72 +78,182 @@ class YieldResult:
         return self.failures / self.samples
 
 
-def _bench_for(topology: SaTopology, sizes: SaSizes | None, config: SenseAmpConfig | None) -> SenseAmpBench:
+def _bench_for(
+    topology: SaTopology,
+    sizes: SaSizes | None,
+    config: SenseAmpConfig | None,
+    spec: CharacterizationSpec | None = None,
+) -> SenseAmpBench:
+    if config is None and spec is not None:
+        return SenseAmpBench(spec.bench_config(topology, sizes=sizes))
     cfg = config or SenseAmpConfig(topology=topology, sizes=sizes or SaSizes())
     if sizes is not None and cfg.sizes is not sizes:
         cfg = SenseAmpConfig(topology=topology, sizes=sizes)
     return SenseAmpBench(cfg)
 
 
-def sensing_yield(
+def _yield_for(
+    bench: SenseAmpBench, spec: CharacterizationSpec, topology: SaTopology
+) -> YieldResult:
+    """One batched Monte-Carlo yield run on an already-built bench.
+
+    Draws the mismatches exactly as the scalar path always has (one
+    ``default_rng(seed)`` normal vector), runs them as a single solver
+    batch, and applies the same failure rules: a trial fails when it
+    latches the wrong value, or — with a deadline set — when the
+    bitlines never separate or separate too late.
+    """
+    rng = np.random.default_rng(spec.seed)
+    mismatches = rng.normal(0.0, spec.sigma_mv / 1000.0, size=spec.trials)
+    outcomes = bench.run_batch(
+        spec.data,
+        [float(m) for m in mismatches],
+        dt_ns=spec.dt_ns,
+        max_newton=spec.max_newton,
+    )
+    failures = 0
+    latencies: list[float] = []
+    for outcome in outcomes:
+        if not outcome.correct:
+            failures += 1
+            latencies.append(float("nan"))
+            continue
+        try:
+            latency = sensing_latency_ns(outcome)
+        except AnalogError:
+            latency = float("nan")
+        latencies.append(latency)
+        if spec.deadline_ns is not None and (
+            math.isnan(latency) or latency > spec.deadline_ns
+        ):
+            failures += 1
+    return YieldResult(
+        topology=topology,
+        sigma_mv=spec.sigma_mv,
+        samples=spec.trials,
+        failures=failures,
+        deadline_ns=spec.deadline_ns,
+        latencies_ns=tuple(latencies),
+    )
+
+
+def _reference_sensing_yield(
     topology: SaTopology,
     sizes: SaSizes | None = None,
-    sigma_mv: float = 60.0,
-    samples: int = 40,
-    data: int = 1,
-    seed: int = 7,
-    deadline_ns: float | None = None,
+    spec: CharacterizationSpec | None = None,
     config: SenseAmpConfig | None = None,
 ) -> YieldResult:
-    """Monte Carlo sensing yield under N(0, sigma) latch Vt mismatch.
+    """The retained pre-1.5 scalar loop: one solver run per trial.
 
-    Each sample draws one mismatch value (the dominant offset term) and
-    simulates a full activation.  A sample fails when the latched value is
-    wrong, or — with *deadline_ns* set — when the bitlines take longer
-    than the deadline to separate.  Deterministic for a given *seed*.
+    Kept verbatim (modulo spec plumbing) as the ground truth the batched
+    engine must match bit-for-bit — the equivalence tests and the
+    ``repro.perf`` analog probe compare against this.
     """
-    if samples < 1:
-        raise AnalogError("need at least one sample")
-    if sigma_mv < 0:
-        raise AnalogError("sigma must be non-negative")
-    bench = _bench_for(topology, sizes, config)
-    rng = np.random.default_rng(seed)
-    mismatches = rng.normal(0.0, sigma_mv / 1000.0, size=samples)
+    spec = spec or CharacterizationSpec()
+    bench = _bench_for(topology, sizes, config, spec)
+    rng = np.random.default_rng(spec.seed)
+    mismatches = rng.normal(0.0, spec.sigma_mv / 1000.0, size=spec.trials)
     failures = 0
     for mismatch in mismatches:
-        outcome = bench.run(data=data, vt_mismatch=float(mismatch))
+        outcome = bench.run(data=spec.data, vt_mismatch=float(mismatch), dt_ns=spec.dt_ns)
         if not outcome.correct:
             failures += 1
             continue
-        if deadline_ns is not None:
+        if spec.deadline_ns is not None:
             try:
                 latency = sensing_latency_ns(outcome)
             except AnalogError:
                 failures += 1
                 continue
-            if latency > deadline_ns:
+            if latency > spec.deadline_ns:
                 failures += 1
     return YieldResult(
-        topology=topology, sigma_mv=sigma_mv, samples=samples,
-        failures=failures, deadline_ns=deadline_ns,
+        topology=topology, sigma_mv=spec.sigma_mv, samples=spec.trials,
+        failures=failures, deadline_ns=spec.deadline_ns,
     )
 
 
+def _spec_from_legacy(
+    spec: CharacterizationSpec | None,
+    base: CharacterizationSpec | None,
+    legacy: dict[str, Any],
+) -> CharacterizationSpec:
+    present = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if present:
+        return CharacterizationSpec.from_legacy_kwargs(base=spec or base, **present)
+    return spec or base or CharacterizationSpec()
+
+
+def sensing_yield(
+    topology: SaTopology,
+    sizes: SaSizes | None = None,
+    sigma_mv: float = _UNSET,
+    samples: int = _UNSET,
+    data: int = _UNSET,
+    seed: int = _UNSET,
+    deadline_ns: float | None = _UNSET,
+    config: SenseAmpConfig | None = _UNSET,
+    *,
+    spec: CharacterizationSpec | None = None,
+) -> YieldResult:
+    """Monte Carlo sensing yield under N(0, sigma) latch Vt mismatch.
+
+    Each trial draws one mismatch value (the dominant offset term) and
+    simulates a full activation; all trials run as one batched solver
+    call.  A trial fails when the latched value is wrong, or — with a
+    deadline set — when the bitlines take longer than the deadline to
+    separate.  Deterministic for a given seed.
+
+    Configure with ``spec=CharacterizationSpec(...)``; the per-call
+    ``sigma_mv``/``samples``/``data``/``seed``/``deadline_ns``/``config``
+    keywords are deprecated and will be removed in repro 2.0.
+    """
+    if config is not _UNSET and config is not None:
+        warnings.warn(
+            "config= is deprecated; set the electrical fields on a "
+            "CharacterizationSpec and pass spec= instead (it will be "
+            "removed in repro 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    bench_config = None if config is _UNSET else config
+    spec = _spec_from_legacy(spec, None, {
+        "sigma_mv": sigma_mv,
+        "samples": samples,
+        "data": data,
+        "seed": seed,
+        "deadline_ns": deadline_ns,
+    })
+    bench = _bench_for(topology, sizes, bench_config, spec)
+    return _yield_for(bench, spec, topology)
+
+
 def nominal_sensing_latency(
-    topology: SaTopology, sizes: SaSizes | None = None
+    topology: SaTopology, sizes: SaSizes | None = None,
+    spec: CharacterizationSpec | None = None,
 ) -> float:
     """Mismatch-free sensing latency for a set of sizes (ns)."""
-    outcome = _bench_for(topology, sizes, None).run(data=1)
+    spec = spec or CharacterizationSpec()
+    outcome = _bench_for(topology, sizes, None, spec).run(data=1, dt_ns=spec.dt_ns)
     return sensing_latency_ns(outcome)
+
+
+#: Historical defaults of :func:`model_optimism` / :func:`yield_curve`,
+#: preserved so calls without explicit keywords keep returning the same
+#: numbers across the 1.5 redesign.
+_OPTIMISM_BASE = CharacterizationSpec(sigma_mv=80.0, trials=20)
+_CURVE_BASE = CharacterizationSpec(trials=25)
 
 
 def model_optimism(
     model_sizes: SaSizes,
     measured_sizes: SaSizes,
     topology: SaTopology = SaTopology.CLASSIC,
-    sigma_mv: float = 80.0,
-    samples: int = 20,
-    deadline_margin: float = 1.05,
+    sigma_mv: float = _UNSET,
+    samples: int = _UNSET,
+    deadline_margin: float = _UNSET,
+    *,
+    spec: CharacterizationSpec | None = None,
 ) -> dict[str, float]:
     """Quantify how optimistic a public model's dimensions are.
 
@@ -121,15 +261,26 @@ def model_optimism(
     model's latency (plus a small margin); the measured dimensions then
     have to live with that budget.  Returns the two latencies, the
     resulting deadline, the two yields under it, and the optimism gap.
+
+    Configure with ``spec=`` (note the historical defaults here were
+    ``sigma_mv=80, samples=20``, which this function keeps when neither
+    spec nor keywords are given); the per-call keywords are deprecated
+    and will be removed in repro 2.0.
     """
-    latency_model = nominal_sensing_latency(topology, model_sizes)
-    latency_measured = nominal_sensing_latency(topology, measured_sizes)
-    deadline = latency_model * deadline_margin
-    model_run = sensing_yield(
-        topology, model_sizes, sigma_mv, samples, deadline_ns=deadline
+    spec = _spec_from_legacy(spec, _OPTIMISM_BASE, {
+        "sigma_mv": sigma_mv,
+        "samples": samples,
+        "deadline_margin": deadline_margin,
+    })
+    latency_model = nominal_sensing_latency(topology, model_sizes, spec)
+    latency_measured = nominal_sensing_latency(topology, measured_sizes, spec)
+    deadline = latency_model * spec.deadline_margin
+    run_spec = replace(spec, deadline_ns=deadline)
+    model_run = _yield_for(
+        _bench_for(topology, model_sizes, None, spec), run_spec, topology
     )
-    silicon_run = sensing_yield(
-        topology, measured_sizes, sigma_mv, samples, deadline_ns=deadline
+    silicon_run = _yield_for(
+        _bench_for(topology, measured_sizes, None, spec), run_spec, topology
     )
     return {
         "model_latency_ns": latency_model,
@@ -144,12 +295,26 @@ def model_optimism(
 def yield_curve(
     topology: SaTopology,
     sizes: SaSizes | None = None,
-    sigmas_mv: tuple[float, ...] = (20.0, 60.0, 100.0, 140.0),
-    samples: int = 25,
-    deadline_ns: float | None = None,
+    sigmas_mv: tuple[float, ...] = _UNSET,
+    samples: int = _UNSET,
+    deadline_ns: float | None = _UNSET,
+    *,
+    spec: CharacterizationSpec | None = None,
 ) -> list[YieldResult]:
-    """Yield as a function of the mismatch sigma (a shmoo along offset)."""
+    """Yield as a function of the mismatch sigma (a shmoo along offset).
+
+    Configure with ``spec=`` (``spec.sigmas_mv`` is the sweep axis; the
+    historical ``samples=25`` default is kept when neither spec nor
+    keywords are given); the per-call keywords are deprecated and will
+    be removed in repro 2.0.
+    """
+    spec = _spec_from_legacy(spec, _CURVE_BASE, {
+        "sigmas_mv": sigmas_mv,
+        "samples": samples,
+        "deadline_ns": deadline_ns,
+    })
+    bench = _bench_for(topology, sizes, None, spec)
     return [
-        sensing_yield(topology, sizes, sigma_mv=s, samples=samples, deadline_ns=deadline_ns)
-        for s in sigmas_mv
+        _yield_for(bench, replace(spec, sigma_mv=s), topology)
+        for s in spec.sigmas_mv
     ]

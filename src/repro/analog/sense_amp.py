@@ -22,10 +22,16 @@ On top of the raw transient, two analyses the paper's arguments rest on:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.analog.devices import MosModel, NMOS_DEFAULT, PMOS_DEFAULT
 from repro.analog.events import EventTimeline, timeline_for
-from repro.analog.solver import TransientResult, TransientSolver, Waveform
+from repro.analog.solver import (
+    BatchedTransientSolver,
+    TransientResult,
+    TransientSolver,
+    Waveform,
+)
 from repro.circuits.netlist import Circuit
 from repro.circuits.topologies import SaSizes, SaTopology, build_classic_sa, build_ocsa
 from repro.errors import AnalogError
@@ -209,6 +215,86 @@ class SenseAmpBench:
             blb_final=blb,
             cell_final=result.at("CELL", t_eval),
         )
+
+    def run_batch(
+        self,
+        data: int,
+        vt_mismatches: Sequence[float],
+        timeline: EventTimeline | None = None,
+        dt_ns: float = 0.05,
+        stop_after_restore: bool = True,
+        max_newton: int = 80,
+    ) -> list[ActivationOutcome]:
+        """Simulate one activation per mismatch value, as a single batch.
+
+        All instances share the circuit and stimuli and differ only in
+        the latch Vt mismatch, so the whole set is stamped into one
+        stacked ``(N, nodes, nodes)`` MNA system and integrated in a
+        single time loop (see :class:`BatchedTransientSolver`).  Each
+        returned outcome is bit-identical to a scalar :meth:`run` with
+        the same mismatch — including mismatch 0.0, since shifting a
+        threshold by ``+0.0/2`` is a bit-exact no-op.
+        """
+        if data not in (0, 1):
+            raise AnalogError("data must be 0 or 1")
+        mismatches = [float(m) for m in vt_mismatches]
+        if not mismatches:
+            raise AnalogError("need at least one mismatch value")
+        cfg = self.config
+        timeline = timeline or timeline_for(cfg.topology, vdd=cfg.vdd, vpp=cfg.vpp)
+        circuit = self.build_circuit()
+
+        stimuli: dict[str, Waveform] = {}
+        for net, wave in timeline.waveforms.items():
+            stimuli[f"v{net.lower()}"] = wave
+        stimuli["vy"] = Waveform.constant(0.0)
+
+        halves = [m / 2 for m in mismatches]
+        device_models: dict[str, list[MosModel]] = {
+            "n2": [cfg.nmos.with_vt_shift(+h) for h in halves],
+            "n1": [cfg.nmos.with_vt_shift(-h) for h in halves],
+            "p2": [cfg.pmos.with_vt_shift(+h) for h in halves],
+            "p1": [cfg.pmos.with_vt_shift(-h) for h in halves],
+        }
+        solver = BatchedTransientSolver(
+            circuit,
+            stimuli,
+            nmos=cfg.nmos,
+            pmos=cfg.pmos,
+            device_models=device_models,
+            batch=len(mismatches),
+            max_newton=max_newton,
+        )
+        t_stop = timeline.event("latch_restore").end_ns if stop_after_restore else timeline.t_end_ns
+        record = ["BL", "BLB", "CELL", "LA", "LAB"]
+        if cfg.topology is SaTopology.OCSA:
+            record += ["SABL", "SABLB"]
+        batch = solver.run(
+            t_stop_ns=t_stop,
+            dt_ns=dt_ns,
+            ic=self.initial_conditions(data),
+            record=record,
+        )
+
+        t_eval = timeline.event("latch_restore").end_ns - 0.2
+        outcomes: list[ActivationOutcome] = []
+        for i in range(batch.batch):
+            result = batch.instance(i)
+            bl = result.at("BL", t_eval)
+            blb = result.at("BLB", t_eval)
+            outcomes.append(
+                ActivationOutcome(
+                    config=cfg,
+                    timeline=timeline,
+                    result=result,
+                    data_written=data,
+                    data_sensed=1 if bl > blb else 0,
+                    bl_final=bl,
+                    blb_final=blb,
+                    cell_final=result.at("CELL", t_eval),
+                )
+            )
+        return outcomes
 
 
 def replace_device(dev):

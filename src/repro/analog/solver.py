@@ -26,7 +26,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analog.devices import FD_STEP, MosModel, NMOS_DEFAULT, PMOS_DEFAULT, mos_current
+from typing import Any, Sequence
+
+from repro.analog.devices import (
+    FD_STEP,
+    MosModel,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    mos_current,
+    mos_current_vec,
+)
 from repro.circuits.netlist import Circuit, Device, DeviceType
 from repro.errors import AnalogError, ConvergenceError
 
@@ -351,6 +360,355 @@ class TransientSolver:
             if residual < self.tol:
                 return x
         raise ConvergenceError(t_ns, residual, self.max_newton)
+
+
+@dataclass
+class BatchTransientResult:
+    """Batched simulation output: one time axis, ``(N, T)`` voltage traces.
+
+    Instance *i* of the batch is exactly the trace the scalar
+    :class:`TransientSolver` would have produced for that instance's
+    device models — :meth:`instance` materialises it as a plain
+    :class:`TransientResult` for the per-instance analysis helpers.
+    """
+
+    time_ns: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    @property
+    def batch(self) -> int:
+        for trace in self.voltages.values():
+            return int(trace.shape[0])
+        return 0
+
+    def instance(self, i: int) -> TransientResult:
+        """The scalar-shaped result of batch instance *i* (a view)."""
+        return TransientResult(
+            time_ns=self.time_ns,
+            voltages={net: trace[i] for net, trace in self.voltages.items()},
+        )
+
+    def final(self, net: str) -> np.ndarray:
+        """Per-instance voltage of *net* at the last sample, shape ``(N,)``."""
+        return self.voltages[net][:, -1]
+
+
+class BatchedTransientSolver(TransientSolver):
+    """N lock-step instances of one circuit, solved as stacked MNA systems.
+
+    The Monte-Carlo and corner sweeps vary only *device models* between
+    instances (Vt mismatch, kp corners); topology, passives and stimuli
+    are shared.  That makes every instance's conductance matrix the same
+    shape with different entries, so the whole batch assembles into one
+    ``(N, nodes, nodes)`` stack and one batched ``numpy.linalg.solve``
+    per Newton iteration — amortising the per-device Python overhead
+    that dominates the scalar solver over the batch.
+
+    Bit-identity contract: instance *i* of a batched run is bit-identical
+    to a scalar :class:`TransientSolver` run with that instance's device
+    models.  Three things uphold it: the vectorized device evaluation
+    computes the same IEEE expressions in the same order
+    (:func:`~repro.analog.devices.mos_current_vec`), assembly walks the
+    circuit's devices in the same order (float accumulation order is
+    preserved per matrix entry), and Newton damps/converges *per
+    instance* — a converged instance freezes while stragglers iterate,
+    exactly like the scalar early return.  LAPACK's batched ``solve``
+    factors each matrix independently, so the solve step is bit-identical
+    too.  The scalar :class:`TransientSolver` is the retained reference
+    implementation the perf harness and the property tests compare
+    against.
+
+    ``device_models`` accepts per-instance sequences: ``{"n2": [m0, m1,
+    ...]}`` gives instance *i* model ``m_i`` for device ``n2``.  Scalar
+    entries (a single :class:`MosModel`) are shared by the whole batch.
+    ``batch`` may be omitted when at least one sequence fixes it.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        stimuli: dict[str, Waveform] | None = None,
+        nmos: MosModel = NMOS_DEFAULT,
+        pmos: MosModel = PMOS_DEFAULT,
+        device_models: dict[str, MosModel | Sequence[MosModel]] | None = None,
+        batch: int | None = None,
+        gmin: float = 1e-10,
+        max_newton: int = 80,
+        tol: float = 1e-6,
+    ) -> None:
+        super().__init__(
+            circuit, stimuli, nmos=nmos, pmos=pmos, device_models=None,
+            gmin=gmin, max_newton=max_newton, tol=tol,
+        )
+        self._raw_device_models = dict(device_models or {})
+        inferred: int | None = None
+        for name, entry in self._raw_device_models.items():
+            if isinstance(entry, MosModel):
+                continue
+            n = len(entry)
+            if n < 1:
+                raise AnalogError(f"empty model sequence for device {name!r}")
+            if inferred is None:
+                inferred = n
+            elif inferred != n:
+                raise AnalogError(
+                    f"inconsistent batch sizes in device_models "
+                    f"({inferred} vs {n} for {name!r})"
+                )
+        if batch is None:
+            batch = inferred
+        if batch is None:
+            raise AnalogError(
+                "batch size is ambiguous: pass batch= or at least one "
+                "per-instance model sequence"
+            )
+        if batch < 1:
+            raise AnalogError("batch must be >= 1")
+        if inferred is not None and inferred != batch:
+            raise AnalogError(
+                f"batch={batch} conflicts with model sequences of length {inferred}"
+            )
+        self.batch = batch
+
+        # Per-MOS-device model parameters: floats when shared, (N,) arrays
+        # when per-instance.  Channel cannot vary across a batch (it would
+        # change the circuit, not a parameter).
+        self._mos_params: dict[str, tuple[str, Any, Any, Any]] = {}
+        for dev in circuit:
+            if not dev.dtype.is_mos:
+                continue
+            entry = self._raw_device_models.get(dev.name)
+            if entry is None:
+                base = self.nmos if dev.dtype is DeviceType.NMOS else self.pmos
+                self._mos_params[dev.name] = (base.channel, base.kp, base.vt, base.lam)
+            elif isinstance(entry, MosModel):
+                self._mos_params[dev.name] = (entry.channel, entry.kp, entry.vt, entry.lam)
+            else:
+                models = list(entry)
+                channels = {m.channel for m in models}
+                if len(channels) != 1:
+                    raise AnalogError(
+                        f"device {dev.name!r} mixes channels across the batch"
+                    )
+                self._mos_params[dev.name] = (
+                    models[0].channel,
+                    np.array([m.kp for m in models]),
+                    np.array([m.vt for m in models]),
+                    np.array([m.lam for m in models]),
+                )
+
+    def instance_models(self, i: int) -> dict[str, MosModel]:
+        """The ``device_models`` dict reproducing batch instance *i*."""
+        out: dict[str, MosModel] = {}
+        for name, entry in self._raw_device_models.items():
+            out[name] = entry if isinstance(entry, MosModel) else entry[i]
+        return out
+
+    def reference_solver(self, i: int) -> TransientSolver:
+        """A scalar :class:`TransientSolver` equivalent to instance *i*."""
+        return TransientSolver(
+            self.circuit, self.stimuli, nmos=self.nmos, pmos=self.pmos,
+            device_models=self.instance_models(i),
+            gmin=self.gmin, max_newton=self.max_newton, tol=self.tol,
+        )
+
+    # -- batched helpers -----------------------------------------------------
+
+    def _v_of_batch(self, x: np.ndarray, net: str) -> np.ndarray:
+        net = self.circuit.resolve(net)
+        if net in GROUND_NAMES:
+            return np.zeros(self.batch)
+        return x[:, self._node_index[net]]
+
+    def _stamp_conductance(self, g_mat: np.ndarray, a: int | None, b: int | None, g) -> None:
+        if a is not None:
+            g_mat[:, a, a] += g
+        if b is not None:
+            g_mat[:, b, b] += g
+        if a is not None and b is not None:
+            g_mat[:, a, b] -= g
+            g_mat[:, b, a] -= g
+
+    def _stamp_current(self, rhs: np.ndarray, into: int | None, out_of: int | None, i) -> None:
+        if into is not None:
+            rhs[:, into] += i
+        if out_of is not None:
+            rhs[:, out_of] -= i
+
+    # -- batched assembly ----------------------------------------------------
+
+    def _assemble(
+        self, x: np.ndarray, v_prev: np.ndarray, h_s: float, t_ns: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked MNA assembly: ``(N, n, n)`` conductances, ``(N, n)`` RHS.
+
+        Mirrors the scalar ``TransientSolver._assemble`` device walk
+        exactly (same device order, same stamp order) so every matrix
+        entry accumulates its float terms in the scalar order.
+        """
+        n = self._n_unknowns
+        g_mat = np.zeros((self.batch, n, n))
+        rhs = np.zeros((self.batch, n))
+
+        for i in range(self._n_nodes):
+            g_mat[:, i, i] += self.gmin
+
+        branch = self._n_nodes
+        for dev in self.circuit:
+            if dev.dtype is DeviceType.RESISTOR:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                self._stamp_conductance(g_mat, a, b, 1.0 / dev.params["r"])
+
+            elif dev.dtype is DeviceType.CAPACITOR:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                c = dev.params["c"]
+                geq = c / h_s
+                self._stamp_conductance(g_mat, a, b, geq)
+                vp_prev = v_prev[:, a] if a is not None else 0.0
+                vn_prev = v_prev[:, b] if b is not None else 0.0
+                ieq = geq * (vp_prev - vn_prev)
+                self._stamp_current(rhs, a, b, ieq)
+
+            elif dev.dtype is DeviceType.VSOURCE:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                wave = self.stimuli.get(dev.name)
+                v_val = wave.value(t_ns) if wave is not None else dev.params.get("v", 0.0)
+                k = branch
+                if a is not None:
+                    g_mat[:, a, k] += 1.0
+                    g_mat[:, k, a] += 1.0
+                if b is not None:
+                    g_mat[:, b, k] -= 1.0
+                    g_mat[:, k, b] -= 1.0
+                rhs[:, k] += v_val
+                branch += 1
+
+            elif dev.dtype.is_mos:
+                channel, kp, vt, lam = self._mos_params[dev.name]
+                wl = dev.params["w"] / dev.params["l"]
+                d_i, g_i, s_i = (
+                    self._idx(dev.nets["d"]),
+                    self._idx(dev.nets["g"]),
+                    self._idx(dev.nets["s"]),
+                )
+                vd = self._v_of_batch(x, dev.nets["d"])
+                vg = self._v_of_batch(x, dev.nets["g"])
+                vs = self._v_of_batch(x, dev.nets["s"])
+                ids = mos_current_vec(channel, kp, vt, lam, wl, vg, vd, vs)
+                gdd = (mos_current_vec(channel, kp, vt, lam, wl, vg, vd + FD_STEP, vs)
+                       - ids) / FD_STEP
+                gdg = (mos_current_vec(channel, kp, vt, lam, wl, vg + FD_STEP, vd, vs)
+                       - ids) / FD_STEP
+                gds_ = (mos_current_vec(channel, kp, vt, lam, wl, vg, vd, vs + FD_STEP)
+                        - ids) / FD_STEP
+                i0 = ids - gdd * vd - gdg * vg - gds_ * vs
+                for node_idx, gval in ((d_i, gdd), (g_i, gdg), (s_i, gds_)):
+                    if node_idx is None:
+                        continue
+                    if d_i is not None:
+                        g_mat[:, d_i, node_idx] += gval
+                    if s_i is not None:
+                        g_mat[:, s_i, node_idx] -= gval
+                self._stamp_current(rhs, s_i, d_i, i0)
+
+            elif dev.dtype is DeviceType.SWITCH:
+                a, b = self._idx(dev.nets["p"]), self._idx(dev.nets["n"])
+                ron = dev.params.get("ron", 1e3)
+                self._stamp_conductance(g_mat, a, b, 1.0 / ron)
+
+        return g_mat, rhs
+
+    # -- batched Newton / time stepping --------------------------------------
+
+    def _newton(self, x0: np.ndarray, v_prev: np.ndarray, h_s: float, t_ns: float) -> np.ndarray:
+        x = x0.copy()
+        n_nodes = self._n_nodes
+        active = np.arange(self.batch)
+        residual = np.full(self.batch, float("inf"))
+        for _iteration in range(self.max_newton):
+            g_mat, rhs = self._assemble(x, v_prev, h_s, t_ns)
+            try:
+                x_new = np.linalg.solve(g_mat[active], rhs[active][..., None])[..., 0]
+            except np.linalg.LinAlgError as exc:
+                raise AnalogError(
+                    f"singular MNA matrix at t={t_ns:.3f} ns (batched)"
+                ) from exc
+            delta = x_new - x[active]
+            max_step = 0.5
+            if n_nodes:
+                biggest = np.max(np.abs(delta[:, :n_nodes]), axis=1)
+            else:
+                biggest = np.zeros(active.size)
+            # Per-instance damping: only over-stepping instances get
+            # scaled (scaling by exactly 1.0 would also be bit-exact, but
+            # mirroring the scalar control flow keeps the intent obvious).
+            damped = biggest > max_step
+            if np.any(damped):
+                scale = np.ones(active.size)
+                scale[damped] = max_step / biggest[damped]
+                delta = delta * scale[:, None]
+            x[active] = x[active] + delta
+            if n_nodes:
+                res = np.max(np.abs(delta[:, :n_nodes]), axis=1)
+            else:
+                res = np.zeros(active.size)
+            residual[active] = res
+            # Per-instance convergence freezing — the batched analogue of
+            # the scalar early return.
+            still = res >= self.tol
+            active = active[still]
+            if active.size == 0:
+                return x
+        error = ConvergenceError(
+            t_ns, float(np.max(residual[active])), self.max_newton
+        )
+        error.instances = [int(i) for i in active]
+        raise error
+
+    def run(
+        self,
+        t_stop_ns: float,
+        dt_ns: float = 0.05,
+        ic: dict[str, float | np.ndarray] | None = None,
+        record: list[str] | None = None,
+    ) -> BatchTransientResult:
+        """Run the batch from 0 to *t_stop_ns* in lock-step.
+
+        ``ic`` values may be floats (shared) or ``(N,)`` arrays
+        (per-instance initial conditions).
+        """
+        if t_stop_ns <= 0 or dt_ns <= 0:
+            raise AnalogError("t_stop and dt must be positive")
+        h_s = dt_ns * 1e-9
+        steps = int(round(t_stop_ns / dt_ns))
+        record = record or list(self._nodes)
+        for net in record:
+            if self.circuit.resolve(net) not in self._node_index:
+                raise AnalogError(f"cannot record unknown net {net!r}")
+
+        x = np.zeros((self.batch, self._n_unknowns))
+        for net, v0 in (ic or {}).items():
+            idx = self._idx(net)
+            if idx is None:
+                continue
+            x[:, idx] = v0
+
+        times = np.empty(steps + 1)
+        traces = {net: np.empty((self.batch, steps + 1)) for net in record}
+        times[0] = 0.0
+        for net in record:
+            traces[net][:, 0] = self._v_of_batch(x, net)
+
+        v_prev = x[:, : self._n_nodes].copy()
+        for step in range(1, steps + 1):
+            t_ns = step * dt_ns
+            x = self._newton(x, v_prev, h_s, t_ns)
+            v_prev = x[:, : self._n_nodes].copy()
+            times[step] = t_ns
+            for net in record:
+                traces[net][:, step] = self._v_of_batch(x, net)
+
+        return BatchTransientResult(time_ns=times, voltages=traces)
 
 
 def dc_operating_point(

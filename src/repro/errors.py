@@ -163,6 +163,16 @@ class StageTimeoutError(StageError):
     """A chip's stage chain exceeded the campaign's per-chip time budget."""
 
 
+class CharacterizationError(StageError, AnalogError):
+    """An analog characterization sweep cell failed.
+
+    Raised when a cell's solver run does not converge (e.g. a too-small
+    ``max_newton`` in the spec) or the cell was configured inconsistently;
+    inherits :class:`StageError` so the campaign runtime quarantines the
+    cell instead of aborting the sweep, and :class:`AnalogError` so
+    analog-side callers keep one catch target."""
+
+
 class AlignmentBudgetExceeded(AlignmentError):
     """Residual slice misalignment exceeds the paper's 0.77 % budget."""
 

@@ -13,8 +13,14 @@ provides that record:
 * :func:`repro.perf.bench.write_report` — serialise the results to
   ``BENCH_pipeline.json`` (per-kernel ns/pixel, speedup vs reference,
   campaign wall seconds);
+* :func:`repro.perf.bench.run_analog_benchmarks` — the analog suite:
+  batched :class:`BatchedTransientSolver` vs the scalar loop (with a
+  bit-identity gate and a >=5x speedup floor at N=256), batched vs
+  reference ``sensing_yield`` parity, and a ``characterize`` sweep's
+  cold-vs-cached wall time, recorded to ``BENCH_analog.json``;
 * ``python -m repro.perf`` — the CLI that runs both (``--scale tiny``
-  for CI smoke jobs, the default scale for recorded numbers).
+  for CI smoke jobs, the default scale for recorded numbers;
+  ``--analog`` for the analog suite).
 
 Every benchmark also *verifies* the fast kernel against its reference
 (``outputs_match``), so a perf regression hunt never chases a kernel
@@ -22,21 +28,33 @@ that silently changed semantics.
 """
 
 from repro.perf.bench import (
+    ANALOG_REPORT_PATH,
     DEFAULT_REPORT_PATH,
+    MIN_BATCHED_SPEEDUP,
     BenchReport,
     KernelBench,
+    analog_gate_failures,
     measure_shard_speedup,
+    render_analog_report,
     render_report,
+    run_analog_benchmarks,
     run_benchmarks,
+    write_analog_report,
     write_report,
 )
 
 __all__ = [
+    "ANALOG_REPORT_PATH",
     "DEFAULT_REPORT_PATH",
+    "MIN_BATCHED_SPEEDUP",
     "BenchReport",
     "KernelBench",
+    "analog_gate_failures",
     "measure_shard_speedup",
+    "render_analog_report",
     "render_report",
+    "run_analog_benchmarks",
     "run_benchmarks",
+    "write_analog_report",
     "write_report",
 ]

@@ -11,10 +11,15 @@ import sys
 
 from repro.errors import ReproError
 from repro.perf.bench import (
+    ANALOG_REPORT_PATH,
     DEFAULT_REPORT_PATH,
     _SCALES,
+    analog_gate_failures,
+    render_analog_report,
     render_report,
+    run_analog_benchmarks,
     run_benchmarks,
+    write_analog_report,
     write_report,
 )
 
@@ -23,16 +28,36 @@ usage: python -m repro.perf [options]
 
 options:
   --scale S      workload scale: {', '.join(sorted(_SCALES))} (default: default)
-  --out PATH     report path (default: {DEFAULT_REPORT_PATH})
+  --out PATH     report path (default: {DEFAULT_REPORT_PATH},
+                 or {ANALOG_REPORT_PATH} with --analog)
   --no-campaign  skip the one-chip campaign wall-time probe
+  --analog       run the analog suite instead (batched solver vs scalar,
+                 sensing_yield parity, characterize cache re-run)
 """
+
+
+def _run_analog(scale: str, out: str | None) -> int:
+    try:
+        data = run_analog_benchmarks(scale=scale)
+    except ReproError as exc:
+        print(f"analog perf run failed: {exc}", file=sys.stderr)
+        return 1
+    path = write_analog_report(data, out or ANALOG_REPORT_PATH)
+    print(render_analog_report(data))
+    print(f"\nreport written: {path}")
+    failures = analog_gate_failures(data)
+    if failures:
+        print(f"ANALOG GATE FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     scale = "default"
-    out = DEFAULT_REPORT_PATH
+    out: str | None = None
     include_campaign = True
+    analog = False
     i = 0
     while i < len(args):
         arg = args[i]
@@ -50,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
             out = args[i]
         elif arg == "--no-campaign":
             include_campaign = False
+        elif arg == "--analog":
+            analog = True
         elif arg in ("--help", "-h"):
             print(_USAGE)
             return 0
@@ -59,6 +86,10 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         i += 1
 
+    if analog:
+        return _run_analog(scale, out)
+
+    out = out or DEFAULT_REPORT_PATH
     try:
         report = run_benchmarks(scale=scale, include_campaign=include_campaign)
     except ReproError as exc:

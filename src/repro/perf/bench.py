@@ -449,6 +449,212 @@ def run_benchmarks(
     )
 
 
+# --- analog characterization probes --------------------------------------
+
+#: Where ``python -m repro.perf --analog`` writes its record by default.
+ANALOG_REPORT_PATH = "BENCH_analog.json"
+
+#: acceptance floor on the batched-vs-scalar solver speedup at the
+#: default scale (N=256 Monte-Carlo trials)
+MIN_BATCHED_SPEEDUP = 5.0
+
+_ANALOG_SCALES: dict[str, dict[str, Any]] = {
+    # CI smoke: a handful of trials; the batched path is *slower* here
+    # (numpy per-op overhead dominates at small N), so tiny runs check
+    # only bit-identity, not the speedup floor.
+    "tiny": {"trials": 8, "yield_trials": 4, "sweep_trials": 3},
+    # The recorded scale: the acceptance gate's N=256 batch.
+    "default": {"trials": 256, "yield_trials": 12, "sweep_trials": 6},
+}
+
+
+def measure_batched_solver(scale: str = "default", seed: int = 1234) -> KernelBench:
+    """The ``batched_transient`` probe: N activations in one stacked solve.
+
+    Times :meth:`SenseAmpBench.run_batch` over N random latch mismatches
+    against the retained scalar path (one :meth:`SenseAmpBench.run` per
+    mismatch) and re-checks bit-identity of every recorded trace and
+    every latched value (``outputs_match``).  ``pixels`` counts solver
+    instance-timesteps, so ns/pixel stays comparable across N.
+    """
+    from repro.analog.sense_amp import SenseAmpBench
+
+    params = _ANALOG_SCALES[scale]
+    trials = params["trials"]
+    rng = np.random.default_rng(seed)
+    mismatches = [float(m) for m in rng.normal(0.0, 0.08, size=trials)]
+    bench = SenseAmpBench()
+    fast_s, fast_out = _time(lambda: bench.run_batch(1, mismatches), 1)
+    ref_s, ref_out = _time(
+        lambda: [bench.run(1, vt_mismatch=m) for m in mismatches], 1
+    )
+    match = all(
+        f.data_sensed == r.data_sensed
+        and np.array_equal(f.result.time_ns, r.result.time_ns)
+        and all(
+            np.array_equal(f.result.voltages[net], r.result.voltages[net])
+            for net in f.result.voltages
+        )
+        for f, r in zip(fast_out, ref_out)
+    )
+    steps = len(fast_out[0].result.time_ns)
+    return KernelBench(
+        f"batched_transient[N={trials}]", trials * steps, fast_s, ref_s, match
+    )
+
+
+def measure_batched_yield(scale: str = "default", seed: int = 7) -> dict[str, Any]:
+    """The ``sensing_yield`` probe: batched engine vs the scalar reference.
+
+    Runs the same :class:`CharacterizationSpec` through the batched
+    :func:`sensing_yield` and the retained
+    :func:`_reference_sensing_yield` loop; the failure counts must agree
+    exactly (the batched solver is bit-identical per instance, so any
+    divergence is a real defect, not tolerance noise).
+    """
+    from repro.analog.montecarlo import _reference_sensing_yield, sensing_yield
+    from repro.analog.spec import CharacterizationSpec
+    from repro.circuits.topologies import SaTopology
+
+    trials = _ANALOG_SCALES[scale]["yield_trials"]
+    spec = CharacterizationSpec(trials=trials, sigma_mv=120.0, seed=seed)
+    batched_s, batched = _time(
+        lambda: sensing_yield(SaTopology.CLASSIC, spec=spec), 1
+    )
+    ref_s, reference = _time(
+        lambda: _reference_sensing_yield(SaTopology.CLASSIC, spec=spec), 1
+    )
+    return {
+        "trials": trials,
+        "sigma_mv": spec.sigma_mv,
+        "batched_seconds": batched_s,
+        "reference_seconds": ref_s,
+        "speedup": ref_s / max(batched_s, 1e-9),
+        "batched_failures": batched.failures,
+        "reference_failures": reference.failures,
+        "failures_match": batched.failures == reference.failures,
+    }
+
+
+def measure_characterize_cache(scale: str = "default") -> dict[str, Any]:
+    """The ``characterize`` probe: sweep wall time, cold vs stage-cached.
+
+    Runs a classic+OCSA TT sweep twice against a throwaway cache
+    directory; the warm re-run must satisfy every stage from the cache
+    (``all_cached_on_rerun`` — the acceptance criterion that sweeps ride
+    the campaign cache).
+    """
+    import tempfile
+
+    from repro.analog.characterizer import characterize
+    from repro.analog.spec import CharacterizationSpec
+
+    spec = CharacterizationSpec(
+        topologies=("classic", "ocsa"),
+        corners=("TT",),
+        trials=_ANALOG_SCALES[scale]["sweep_trials"],
+        offset_scan_mv=(0.0, 100.0),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-perf-char-") as cache_dir:
+        t0 = time.perf_counter()
+        cold = characterize(spec, cache_dir=cache_dir, workers=1)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = characterize(spec, cache_dir=cache_dir, workers=1)
+        warm_s = time.perf_counter() - t0
+    return {
+        "cells": len(cold.cells),
+        "trials": spec.trials,
+        "cold_wall_seconds": cold_s,
+        "warm_wall_seconds": warm_s,
+        "warm_cache_hits": warm.cache_hits,
+        "warm_cache_misses": warm.cache_misses,
+        "all_cached_on_rerun": (
+            warm.cache_misses == 0 and warm.cache_hits > 0 and not warm.degraded
+        ),
+    }
+
+
+def run_analog_benchmarks(scale: str = "default", seed: int = 1234) -> dict[str, Any]:
+    """The analog perf suite, ready for ``BENCH_analog.json``."""
+    if scale not in _ANALOG_SCALES:
+        raise ReproError(
+            f"unknown analog perf scale {scale!r} "
+            f"(expected one of {sorted(_ANALOG_SCALES)})"
+        )
+    solver = measure_batched_solver(scale=scale, seed=seed)
+    return {
+        "schema": "repro-perf-analog/1",
+        "created_unix": time.time(),
+        "scale": scale,
+        "solver": solver.as_dict(),
+        "yield": measure_batched_yield(scale=scale),
+        "sweep": measure_characterize_cache(scale=scale),
+        "min_speedup_gate": MIN_BATCHED_SPEEDUP if scale == "default" else None,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def analog_gate_failures(data: dict[str, Any]) -> list[str]:
+    """The gates a recorded analog perf run must pass (empty = green).
+
+    The speedup floor applies only at the default scale — at tiny N the
+    batched path is legitimately slower (numpy per-op overhead), which is
+    why the recorded number is the N=256 one.
+    """
+    failures: list[str] = []
+    if data["solver"]["outputs_match"] is not True:
+        failures.append("solver outputs_match")
+    if not data["yield"]["failures_match"]:
+        failures.append("yield failures_match")
+    if not data["sweep"]["all_cached_on_rerun"]:
+        failures.append("sweep cache-hit re-run")
+    gate = data.get("min_speedup_gate")
+    if gate is not None and (data["solver"]["speedup"] or 0.0) < gate:
+        failures.append(
+            f"solver speedup {data['solver']['speedup']:.2f}x < {gate:.0f}x"
+        )
+    return failures
+
+
+def write_analog_report(
+    data: dict[str, Any], path: str | Path = ANALOG_REPORT_PATH
+) -> Path:
+    """Serialise an analog perf run to JSON (the recorded artefact)."""
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_analog_report(data: dict[str, Any]) -> str:
+    """Human-readable summary of one analog perf run."""
+    solver = data["solver"]
+    yld = data["yield"]
+    sweep = data["sweep"]
+    match = {True: "yes", False: "NO", None: "-"}
+    lines = [
+        f"analog perf ({data['scale']} scale)",
+        f"  {solver['name']}: {solver['fast_seconds']:.2f}s batched vs "
+        f"{solver['reference_seconds']:.2f}s scalar "
+        f"({solver['speedup']:.2f}x), bit-identical: "
+        f"{match[solver['outputs_match']]}",
+        f"  sensing_yield[N={yld['trials']}]: {yld['batched_seconds']:.2f}s vs "
+        f"{yld['reference_seconds']:.2f}s ({yld['speedup']:.2f}x), failures "
+        f"{yld['batched_failures']} == {yld['reference_failures']}: "
+        f"{match[yld['failures_match']]}",
+        f"  characterize[{sweep['cells']} cells]: cold "
+        f"{sweep['cold_wall_seconds']:.2f}s -> warm "
+        f"{sweep['warm_wall_seconds']:.2f}s, re-run cache "
+        f"{sweep['warm_cache_hits']} hit / {sweep['warm_cache_misses']} miss, "
+        f"fully cached: {match[sweep['all_cached_on_rerun']]}",
+    ]
+    return "\n".join(lines)
+
+
 def write_report(report: BenchReport, path: str | Path = DEFAULT_REPORT_PATH) -> Path:
     """Serialise a perf run to JSON (the recorded trajectory artefact)."""
     target = Path(path)

@@ -204,8 +204,17 @@ class ChipRun:
         return self.retries > 0 or self.fault_events > 0
 
     def result_summary(self) -> dict:
-        """Headline numbers, from the live result or the stored summary."""
+        """Headline numbers, from the live result or the stored summary.
+
+        Results that provide their own ``campaign_summary()`` (e.g. the
+        analog characterizer's :class:`~repro.analog.characterizer.CellResult`)
+        are asked for it; otherwise the imaging ``ReversedChip`` shape is
+        assumed.  Every summary carries at least a ``"topology"`` key.
+        """
         if self.result is not None:
+            summarize = getattr(self.result, "campaign_summary", None)
+            if callable(summarize):
+                return summarize()
             matched = self.result.lanes_matched
             return {
                 "topology": self.result.topology.value if matched else None,

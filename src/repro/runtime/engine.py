@@ -81,6 +81,25 @@ STAGE_VERSIONS: dict[str, str] = {
 }
 
 
+def register_stage_versions(versions: dict[str, str]) -> None:
+    """Register stage versions contributed by another subsystem.
+
+    Job families outside the imaging chain (e.g. the analog
+    characterizer) bring their own stages; registering at import time
+    keeps every version in the one table the cache keys read, and makes
+    conflicting registrations (same stage, different version) a hard
+    error instead of a silent cache split.
+    """
+    for name, version in versions.items():
+        existing = STAGE_VERSIONS.get(name)
+        if existing is not None and existing != version:
+            raise CampaignError(
+                f"stage {name!r} already registered at version {existing!r} "
+                f"(attempted re-registration at {version!r})"
+            )
+        STAGE_VERSIONS[name] = version
+
+
 @dataclass(frozen=True)
 class ResiliencePolicy:
     """Campaign-level resilience knobs.
@@ -154,8 +173,16 @@ def build_stage_chain(
     stage wraps the acquisition in the QC → retry loop and its cache
     params grow the fault/QC tokens; without one the chain is exactly the
     clean chain of earlier releases, so existing caches stay valid.
+
+    Jobs that define their own ``build_stages(config, policy)`` (e.g.
+    :class:`repro.analog.characterizer.CharacterizationJob`) supply their
+    chain directly; the imaging chain below is the default for plain
+    :class:`~repro.runtime.campaign.ChipJob` instances.
     """
     policy = policy or ResiliencePolicy()
+    builder = getattr(job, "build_stages", None)
+    if builder is not None:
+        return builder(config, policy)
 
     def run_layout(ctx: dict) -> tuple[dict, dict[str, float]]:
         if job.mat_rows is not None:
@@ -556,11 +583,14 @@ def run_chip_stages(
     config: PipelineConfig,
     cache: StageCache,
     policy: ResiliencePolicy | None = None,
-) -> tuple[ReversedChip, list[StageMetrics]]:
-    """Execute one chip's full chain and return its recovered circuit.
+) -> tuple[Any, list[StageMetrics]]:
+    """Execute one job's full chain and return its final ``result``.
 
-    ``policy`` adds the QC/retry gate, the per-chip deadline and the
-    alignment budget; ``None`` keeps the historical clean-path behaviour.
+    For imaging :class:`~repro.runtime.campaign.ChipJob` chains that is a
+    :class:`ReversedChip`; jobs with their own ``build_stages`` return
+    whatever their final stage stores under ``"result"``.  ``policy``
+    adds the QC/retry gate, the per-chip deadline and the alignment
+    budget; ``None`` keeps the historical clean-path behaviour.
     """
     policy = policy or ResiliencePolicy()
     deadline = None
@@ -573,6 +603,6 @@ def run_chip_stages(
             budget_s=policy.chip_timeout_s,
         )
     result = ctx.get("result")
-    if not isinstance(result, ReversedChip):
+    if result is None:
         raise CampaignError(f"chip job {job.name!r} produced no result")
     return result, metrics

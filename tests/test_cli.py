@@ -225,3 +225,47 @@ class TestCampaignObsFlags:
         assert "campaign" in names and "chip classic" in names
         metrics = json.loads(metrics_path.read_text())
         assert metrics["counters"]["repro_chips_total{outcome=completed}"] == 1
+
+
+class TestCharacterizeCommand:
+    def test_help(self, capsys):
+        assert main(["characterize", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--corners" in out and "--trials" in out
+
+    def test_unknown_option(self, capsys):
+        assert main(["characterize", "--bogus"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_option_missing_value(self, capsys):
+        assert main(["characterize", "--trials"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_non_integer_trials(self, capsys):
+        assert main(["characterize", "--trials", "lots"]) == 2
+        assert "requires an integer" in capsys.readouterr().err
+
+    def test_non_numeric_caps(self, capsys):
+        assert main(["characterize", "--caps", "90,huge"]) == 2
+        assert "comma-separated numbers" in capsys.readouterr().err
+
+    def test_unknown_corner_fails_cleanly(self, capsys):
+        assert main(["characterize", "--corners", "XX"]) == 1
+        assert "characterization failed" in capsys.readouterr().err
+
+    def test_sweep_writes_versioned_report(self, capsys, tmp_path):
+        """A real one-cell sweep through the CLI, JSON report included."""
+        import json
+
+        report_path = tmp_path / "char.json"
+        code = main([
+            "characterize", "--topologies", "classic", "--corners", "TT",
+            "--trials", "2", "--workers", "1", "--json", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classic-TT" in out
+        assert f"report written: {report_path}" in out
+        data = json.loads(report_path.read_text())
+        assert data["schema_version"] == "characterization-report/1"
+        assert "classic-TT" in data["cells"]

@@ -104,3 +104,78 @@ class TestCli:
         from repro.perf.__main__ import main
 
         assert main(["--scale", "galactic"]) == 1
+
+
+class TestAnalogSuite:
+    def test_unknown_scale_rejected(self):
+        from repro.perf import run_analog_benchmarks
+
+        with pytest.raises(ReproError, match="scale"):
+            run_analog_benchmarks(scale="galactic")
+
+    def test_gate_failures_catch_every_regression(self):
+        from repro.perf import analog_gate_failures
+
+        green = {
+            "solver": {"outputs_match": True, "speedup": 9.0},
+            "yield": {"failures_match": True},
+            "sweep": {"all_cached_on_rerun": True},
+            "min_speedup_gate": 5.0,
+        }
+        assert analog_gate_failures(green) == []
+
+        slow = dict(green, solver={"outputs_match": True, "speedup": 2.0})
+        assert any("speedup" in f for f in analog_gate_failures(slow))
+
+        mismatched = dict(green, solver={"outputs_match": False, "speedup": 9.0})
+        assert "solver outputs_match" in analog_gate_failures(mismatched)
+
+        uncached = dict(green, sweep={"all_cached_on_rerun": False})
+        assert "sweep cache-hit re-run" in analog_gate_failures(uncached)
+
+    def test_tiny_scale_skips_speedup_gate(self):
+        """At tiny N the batched path is legitimately slower; only the
+        default scale enforces the >=5x floor."""
+        from repro.perf import analog_gate_failures
+
+        tiny = {
+            "solver": {"outputs_match": True, "speedup": 0.4},
+            "yield": {"failures_match": True},
+            "sweep": {"all_cached_on_rerun": True},
+            "min_speedup_gate": None,
+        }
+        assert analog_gate_failures(tiny) == []
+
+    def test_batched_solver_probe_is_bit_identical(self):
+        """The real probe at a micro batch: outputs_match must hold even
+        where the speedup does not."""
+        from repro.perf.bench import measure_batched_solver
+
+        bench = measure_batched_solver(scale="tiny", seed=5)
+        assert bench.outputs_match is True
+        assert bench.name == "batched_transient[N=8]"
+        assert bench.pixels > 0
+
+    def test_analog_report_render_and_write(self, tmp_path):
+        from repro.perf import render_analog_report, write_analog_report
+
+        data = {
+            "schema": "repro-perf-analog/1",
+            "created_unix": 0.0,
+            "scale": "tiny",
+            "solver": {"name": "batched_transient[N=8]", "fast_seconds": 1.0,
+                       "reference_seconds": 0.5, "speedup": 0.5,
+                       "outputs_match": True},
+            "yield": {"trials": 4, "batched_seconds": 1.0,
+                      "reference_seconds": 1.0, "speedup": 1.0,
+                      "batched_failures": 0, "reference_failures": 0,
+                      "failures_match": True},
+            "sweep": {"cells": 2, "cold_wall_seconds": 3.0,
+                      "warm_wall_seconds": 0.1, "warm_cache_hits": 4,
+                      "warm_cache_misses": 0, "all_cached_on_rerun": True},
+            "min_speedup_gate": None,
+        }
+        text = render_analog_report(data)
+        assert "batched_transient" in text and "characterize" in text
+        path = write_analog_report(data, tmp_path / "BENCH_analog.json")
+        assert json.loads(path.read_text())["schema"] == "repro-perf-analog/1"
