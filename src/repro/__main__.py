@@ -101,6 +101,11 @@ options:
   --shard-batch N
                 slices per shard batch (default: auto, ~2 batches per
                 shard worker); implies --shard-slices
+  --data-plane P
+                shard payload transport: "shm" (default; zero-copy
+                shared-memory segments, falls back to pickle when
+                /dev/shm is unavailable) or "pickle" (classic in-band
+                serialization); results are bit-identical either way
   --pairs N     bitline pairs per generated region (default 2)
   --fast        cheaper pipeline settings (fewer TV iterations, smaller
                 MI search) for demos and smoke tests
@@ -178,6 +183,7 @@ def cmd_campaign(args: list[str]) -> int:
     cache_dir: str | None = None
     shard_slices = False
     shard_batch: int | None = None
+    data_plane: str | None = None
     n_pairs = 2
     fast = False
     validate = True
@@ -210,6 +216,13 @@ def cmd_campaign(args: list[str]) -> int:
                 shard_batch = _int_value(arg, i)
                 if shard_batch < 1:
                     raise _UsageError("--shard-batch requires a positive count")
+            elif arg == "--data-plane":
+                i += 1
+                data_plane = _value(arg, i)
+                if data_plane not in ("pickle", "shm"):
+                    raise _UsageError(
+                        f"--data-plane must be 'pickle' or 'shm', got {data_plane!r}"
+                    )
             elif arg == "--pairs":
                 i += 1
                 n_pairs = _int_value(arg, i)
@@ -331,6 +344,12 @@ def cmd_campaign(args: list[str]) -> int:
             config = config.replaced(
                 shard=ShardPlan(slices=True, batch=shard_batch)
             )
+        if data_plane is not None:
+            from dataclasses import replace as _dc_replace
+
+            config = config.replaced(
+                shard=_dc_replace(config.shard, data_plane=data_plane)
+            )
 
         policy = None
         if max_retries is not None or chip_timeout is not None:
@@ -421,6 +440,8 @@ options:
                      senses count as failures)
   --workers N        worker-process budget (default: one per cell,
                      capped at the CPU count; 1 = serial)
+  --data-plane P     shard payload transport when slice sharding is on:
+                     "shm" (default, zero-copy) or "pickle"
   --cache DIR        content-addressed stage cache directory
   --json PATH        also write the characterization-report/1 JSON to
                      PATH ("-" = stdout)
@@ -460,6 +481,7 @@ def cmd_characterize(args: list[str]) -> int:
     workers: int | None = None
     cache_dir: str | None = None
     json_path: str | None = None
+    data_plane: str | None = None
     try:
         i = 0
         while i < len(args):
@@ -502,6 +524,13 @@ def cmd_characterize(args: list[str]) -> int:
             elif arg == "--workers":
                 i += 1
                 workers = _int_value(arg, i)
+            elif arg == "--data-plane":
+                i += 1
+                data_plane = _value(arg, i)
+                if data_plane not in ("pickle", "shm"):
+                    raise _UsageError(
+                        f"--data-plane must be 'pickle' or 'shm', got {data_plane!r}"
+                    )
             elif arg == "--cache":
                 i += 1
                 cache_dir = _value(arg, i)
@@ -521,7 +550,19 @@ def cmd_characterize(args: list[str]) -> int:
 
     try:
         spec = CharacterizationSpec(**spec_kwargs)
-        report = characterize(spec, workers=workers, cache_dir=cache_dir)
+        config = None
+        if data_plane is not None:
+            from dataclasses import replace as _dc_replace
+
+            from repro.pipeline import PipelineConfig
+
+            base = PipelineConfig()
+            config = base.replaced(
+                shard=_dc_replace(base.shard, data_plane=data_plane)
+            )
+        report = characterize(
+            spec, workers=workers, cache_dir=cache_dir, config=config
+        )
     except ReproError as exc:
         print(f"characterization failed: {exc}", file=sys.stderr)
         return 1

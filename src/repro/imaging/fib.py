@@ -140,6 +140,71 @@ def _image_shots(shots: list[_SliceShot], sem: SemParameters) -> list[np.ndarray
     return out
 
 
+@dataclass
+class FusedSliceWork:
+    """Downstream per-slice work piggybacked on the acquire pool trip.
+
+    Sharded acquisition already ships every slice to a worker; with the
+    denoise stage (and, when the QC gate is engaged, the QC metric
+    filter pass) fused into the same trip, each slice crosses the pool
+    boundary **once** instead of once per stage.  The fused kernels are
+    the exact per-slice functions the standalone stages run
+    (:func:`repro.pipeline.denoise.denoise_one`,
+    :func:`repro.pipeline.stack.slice_quality`), so outputs are
+    bit-identical.
+
+    The requester fills ``denoise``/``qc``; :func:`acquire_stack` fills
+    the output fields when (and only when) the fused sharded path ran —
+    callers must fall back to the standalone stages when they are still
+    ``None`` (serial path, active fault plan, fusion disabled).  The
+    fused results ride this side channel rather than the acquire stage
+    payload so they are **never stored under the acquire cache key**,
+    whose parameters know nothing about denoise settings.
+    """
+
+    #: ``{"method": ..., "weight": ..., "kwargs": {...}}`` or ``None``
+    denoise: dict | None = None
+    #: also compute :func:`slice_quality` metrics per slice
+    qc: bool = False
+    #: filled by :func:`acquire_stack`: denoised slices, in slice order
+    denoised: list[np.ndarray] | None = None
+    #: filled by :func:`acquire_stack`: per-slice QC metric dicts
+    qc_metrics: list[dict[str, float]] | None = None
+
+
+def _image_shots_fused(
+    shots: list[_SliceShot],
+    sem: SemParameters,
+    denoise: dict | None,
+    qc: bool,
+) -> list[tuple[np.ndarray, np.ndarray | None, dict[str, float] | None]]:
+    """Image + fused downstream kernels for one batch (runs in workers).
+
+    Returns ``(image, denoised | None, qc_metrics | None)`` per shot.
+    Pure per shot, like :func:`_image_shots`; the denoise/QC kernels are
+    imported lazily to keep :mod:`repro.imaging` free of a hard pipeline
+    dependency.
+    """
+    out: list[tuple[np.ndarray, np.ndarray | None, dict[str, float] | None]] = []
+    for shot in shots:
+        rng = np.random.default_rng(shot.noise_seed)
+        img = _shift_image(image_cross_section(shot.face, sem, rng), shot.dx, shot.dz)
+        den = None
+        if denoise is not None:
+            from repro.pipeline.denoise import denoise_one
+
+            den = denoise_one(
+                img, denoise["method"], denoise["weight"], denoise["kwargs"]
+            )
+        met = None
+        if qc:
+            from repro.pipeline.stack import slice_quality
+
+            met = slice_quality(img)
+        out.append((img, den, met))
+    return out
+
+
 def acquire_stack(
     volume: VoxelVolume,
     campaign: FibSemCampaign | None = None,
@@ -149,6 +214,7 @@ def acquire_stack(
     x_stop_nm: float | None = None,
     injector: "FaultInjector | None" = None,
     shard: "ShardPlan | None" = None,
+    fuse: FusedSliceWork | None = None,
 ) -> SliceStack:
     """Run a FIB/SEM campaign over *volume* and return the slice stack.
 
@@ -181,6 +247,13 @@ def acquire_stack(
     the serial path for every shard configuration.  An *active* fault
     plan forces the serial path (frame defects such as blur bursts carry
     sequential cross-slice state) and is counted as a shard fallback.
+
+    ``fuse`` (a :class:`FusedSliceWork`) additionally runs the requested
+    downstream per-slice kernels (denoise, QC metrics) inside the same
+    sharded pool trip and returns their results on the ``fuse`` object —
+    only when the sharded, unfaulted imaging path actually ran, so
+    callers must treat ``fuse.denoised is None`` as "run the standalone
+    stage".  Fused or not, every produced value is bit-identical.
     """
     campaign = campaign or FibSemCampaign()
     vox = volume.voxel_nm
@@ -248,9 +321,28 @@ def acquire_stack(
         if shard is not None and shard.engaged(len(shots)) and not faulted:
             from repro.runtime.shard import shard_map
 
-            images = shard_map(
-                "acquire", partial(_image_shots, sem=campaign.sem), shots, shard
-            )
+            fused = fuse is not None and (fuse.denoise is not None or fuse.qc)
+            if fused:
+                triples = shard_map(
+                    "acquire",
+                    partial(
+                        _image_shots_fused,
+                        sem=campaign.sem,
+                        denoise=fuse.denoise,
+                        qc=fuse.qc,
+                    ),
+                    shots,
+                    shard,
+                )
+                images = [t[0] for t in triples]
+                if fuse.denoise is not None:
+                    fuse.denoised = [t[1] for t in triples]
+                if fuse.qc:
+                    fuse.qc_metrics = [t[2] for t in triples]
+            else:
+                images = shard_map(
+                    "acquire", partial(_image_shots, sem=campaign.sem), shots, shard
+                )
         else:
             if shard is not None and shard.engaged(len(shots)) and faulted:
                 from repro.runtime.shard import note_shard_fallback

@@ -18,9 +18,15 @@ provides that record:
   bit-identity gate and a >=5x speedup floor at N=256), batched vs
   reference ``sensing_yield`` parity, and a ``characterize`` sweep's
   cold-vs-cached wall time, recorded to ``BENCH_analog.json``;
-* ``python -m repro.perf`` — the CLI that runs both (``--scale tiny``
+* :func:`repro.perf.bench.measure_dataplane` — the zero-copy data-plane
+  suite: shm vs pickle shard transport at equal worker counts (byte-level
+  ``outputs_match`` across planes), peak process-tree RSS via
+  :class:`repro.perf.rss.RssSampler`, warm cache-hit latency of
+  mmap-backed ``.npy`` sidecars vs classic pickles, and a
+  ``/dev/shm`` leak count — recorded to ``BENCH_dataplane.json``;
+* ``python -m repro.perf`` — the CLI that runs them (``--scale tiny``
   for CI smoke jobs, the default scale for recorded numbers;
-  ``--analog`` for the analog suite).
+  ``--analog`` / ``--dataplane`` for the other suites).
 
 Every benchmark also *verifies* the fast kernel against its reference
 (``outputs_match``), so a perf regression hunt never chases a kernel
@@ -29,32 +35,45 @@ that silently changed semantics.
 
 from repro.perf.bench import (
     ANALOG_REPORT_PATH,
+    DATAPLANE_REPORT_PATH,
     DEFAULT_REPORT_PATH,
     MIN_BATCHED_SPEEDUP,
     BenchReport,
     KernelBench,
     analog_gate_failures,
+    dataplane_gate_failures,
+    measure_dataplane,
     measure_shard_speedup,
     render_analog_report,
+    render_dataplane_report,
     render_report,
     run_analog_benchmarks,
     run_benchmarks,
     write_analog_report,
+    write_dataplane_report,
     write_report,
 )
+from repro.perf.rss import RssSampler, tree_rss_bytes
 
 __all__ = [
     "ANALOG_REPORT_PATH",
+    "DATAPLANE_REPORT_PATH",
     "DEFAULT_REPORT_PATH",
     "MIN_BATCHED_SPEEDUP",
     "BenchReport",
     "KernelBench",
+    "RssSampler",
     "analog_gate_failures",
+    "dataplane_gate_failures",
+    "measure_dataplane",
     "measure_shard_speedup",
     "render_analog_report",
+    "render_dataplane_report",
     "render_report",
     "run_analog_benchmarks",
     "run_benchmarks",
+    "tree_rss_bytes",
     "write_analog_report",
+    "write_dataplane_report",
     "write_report",
 ]

@@ -2,7 +2,9 @@
 
 Writes ``BENCH_pipeline.json`` (per-kernel ns/pixel, speedup vs the
 retained reference implementations, end-to-end pipeline time, campaign
-wall time) and prints the human-readable table.
+wall time) and prints the human-readable table.  ``--analog`` and
+``--dataplane`` run the analog and zero-copy data-plane suites instead
+(``BENCH_analog.json`` / ``BENCH_dataplane.json``).
 """
 
 from __future__ import annotations
@@ -12,14 +14,19 @@ import sys
 from repro.errors import ReproError
 from repro.perf.bench import (
     ANALOG_REPORT_PATH,
+    DATAPLANE_REPORT_PATH,
     DEFAULT_REPORT_PATH,
     _SCALES,
     analog_gate_failures,
+    dataplane_gate_failures,
+    measure_dataplane,
     render_analog_report,
+    render_dataplane_report,
     render_report,
     run_analog_benchmarks,
     run_benchmarks,
     write_analog_report,
+    write_dataplane_report,
     write_report,
 )
 
@@ -27,12 +34,18 @@ _USAGE = f"""\
 usage: python -m repro.perf [options]
 
 options:
-  --scale S      workload scale: {', '.join(sorted(_SCALES))} (default: default)
-  --out PATH     report path (default: {DEFAULT_REPORT_PATH},
-                 or {ANALOG_REPORT_PATH} with --analog)
-  --no-campaign  skip the one-chip campaign wall-time probe
-  --analog       run the analog suite instead (batched solver vs scalar,
-                 sensing_yield parity, characterize cache re-run)
+  --scale S          workload scale: {', '.join(sorted(_SCALES))} (default: default)
+  --out PATH         report path (default: {DEFAULT_REPORT_PATH},
+                     {ANALOG_REPORT_PATH} with --analog,
+                     {DATAPLANE_REPORT_PATH} with --dataplane)
+  --no-campaign      skip the one-chip campaign wall-time probe
+  --analog           run the analog suite instead (batched solver vs scalar,
+                     sensing_yield parity, characterize cache re-run)
+  --dataplane        run the zero-copy data-plane suite instead (shm vs
+                     pickle shard transport, peak RSS, cache mmap hits)
+  --workers N        shard workers for --dataplane (default: 4)
+  --rss-ceiling-mb M with --dataplane: fail if the shm-plane peak RSS
+                     exceeds M MiB (default: record only, no ceiling)
 """
 
 
@@ -52,12 +65,33 @@ def _run_analog(scale: str, out: str | None) -> int:
     return 0
 
 
+def _run_dataplane(
+    scale: str, out: str | None, workers: int, rss_ceiling_mb: float | None
+) -> int:
+    try:
+        data = measure_dataplane(scale=scale, shard_workers=workers)
+    except ReproError as exc:
+        print(f"dataplane perf run failed: {exc}", file=sys.stderr)
+        return 1
+    path = write_dataplane_report(data, out or DATAPLANE_REPORT_PATH)
+    print(render_dataplane_report(data))
+    print(f"\nreport written: {path}")
+    failures = dataplane_gate_failures(data, rss_ceiling_mb=rss_ceiling_mb)
+    if failures:
+        print(f"DATAPLANE GATE FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     scale = "default"
     out: str | None = None
     include_campaign = True
     analog = False
+    dataplane = False
+    workers = 4
+    rss_ceiling_mb: float | None = None
     i = 0
     while i < len(args):
         arg = args[i]
@@ -73,10 +107,35 @@ def main(argv: list[str] | None = None) -> int:
                 print("--out requires a value", file=sys.stderr)
                 return 2
             out = args[i]
+        elif arg == "--workers":
+            i += 1
+            if i >= len(args):
+                print("--workers requires a value", file=sys.stderr)
+                return 2
+            try:
+                workers = int(args[i])
+            except ValueError:
+                print(f"--workers expects an integer, got {args[i]!r}", file=sys.stderr)
+                return 2
+        elif arg == "--rss-ceiling-mb":
+            i += 1
+            if i >= len(args):
+                print("--rss-ceiling-mb requires a value", file=sys.stderr)
+                return 2
+            try:
+                rss_ceiling_mb = float(args[i])
+            except ValueError:
+                print(
+                    f"--rss-ceiling-mb expects a number, got {args[i]!r}",
+                    file=sys.stderr,
+                )
+                return 2
         elif arg == "--no-campaign":
             include_campaign = False
         elif arg == "--analog":
             analog = True
+        elif arg == "--dataplane":
+            dataplane = True
         elif arg in ("--help", "-h"):
             print(_USAGE)
             return 0
@@ -86,8 +145,13 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         i += 1
 
+    if analog and dataplane:
+        print("--analog and --dataplane are mutually exclusive", file=sys.stderr)
+        return 2
     if analog:
         return _run_analog(scale, out)
+    if dataplane:
+        return _run_dataplane(scale, out, workers, rss_ceiling_mb)
 
     out = out or DEFAULT_REPORT_PATH
     try:

@@ -15,6 +15,7 @@ jobs and finishes in seconds.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -651,6 +652,254 @@ def render_analog_report(data: dict[str, Any]) -> str:
         f"{sweep['warm_wall_seconds']:.2f}s, re-run cache "
         f"{sweep['warm_cache_hits']} hit / {sweep['warm_cache_misses']} miss, "
         f"fully cached: {match[sweep['all_cached_on_rerun']]}",
+    ]
+    return "\n".join(lines)
+
+
+# --- zero-copy data-plane probes ------------------------------------------
+
+#: Where ``python -m repro.perf --dataplane`` writes its record by default.
+DATAPLANE_REPORT_PATH = "BENCH_dataplane.json"
+
+_DATAPLANE_SCALES: dict[str, dict[str, Any]] = {
+    # CI smoke: the fast preset, still large enough that per-slice
+    # payloads clear the 16 KiB shared-memory threshold.
+    "tiny": {"n_pairs": 1, "denoise_iterations": 10, "cache_slices": 6,
+             "cache_shape": (256, 128)},
+    # The recorded scale: heavier denoise so serialization is a visible
+    # fraction of the pool round-trip.
+    "default": {"n_pairs": 1, "denoise_iterations": 25, "cache_slices": 24,
+                "cache_shape": (512, 256)},
+}
+
+
+def _leaked_segments() -> int:
+    """Count ``repro_dp_*`` segments still present under ``/dev/shm``."""
+    from repro.runtime.dataplane import SEGMENT_PREFIX
+
+    try:
+        return sum(
+            1 for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:
+        return 0
+
+
+def _measure_cache_hit(scale: str, seed: int) -> dict[str, Any]:
+    """Warm-hit latency: mmap-backed sidecar entries vs classic pickles.
+
+    Stores the same stack-of-arrays payload in two throwaway caches —
+    one with ``.npy`` sidecars (``blob_min_bytes`` at its default), one
+    with the classic single-pickle format (``blob_min_bytes=None``) —
+    and times the warm ``load`` best-of-5.  ``outputs_match`` re-checks
+    that the mmap-backed payload pickles byte-identically to the
+    classic one (the cache's bit-identity contract).
+    """
+    import pickle
+    import tempfile
+
+    from repro.runtime.cache import StageCache
+
+    params = _DATAPLANE_SCALES[scale]
+    stack = _synthetic_stack(
+        params["cache_slices"], tuple(params["cache_shape"]), seed=seed
+    )
+    payload = {"images": stack}
+    notes = {"slices": float(len(stack))}
+    payload_bytes = sum(img.nbytes for img in stack)
+    key = "d" * 64
+    with tempfile.TemporaryDirectory(prefix="repro-perf-dp-") as root:
+        mmap_cache = StageCache(Path(root) / "mmap")
+        plain_cache = StageCache(Path(root) / "plain", blob_min_bytes=None)
+        mmap_cache.store(key, payload, notes)
+        plain_cache.store(key, payload, notes)
+        mmap_s, mmap_out = _time(lambda: mmap_cache.load(key), 5)
+        plain_s, plain_out = _time(lambda: plain_cache.load(key), 5)
+        outputs_match = pickle.dumps(mmap_out) == pickle.dumps(plain_out)
+    return {
+        "payload_bytes": payload_bytes,
+        "slices": len(stack),
+        "mmap_hit_seconds": mmap_s,
+        "pickle_hit_seconds": plain_s,
+        "speedup": plain_s / max(mmap_s, 1e-9),
+        "outputs_match": outputs_match,
+    }
+
+
+def measure_dataplane(
+    scale: str = "default", seed: int = 1234, shard_workers: int = 4
+) -> dict[str, Any]:
+    """The ``dataplane`` probe: shm vs pickle shard transport, plus RSS.
+
+    Runs the same fast-preset single-chip campaign three times — serial
+    (``workers=1``, no shard), slice-sharded over *shard_workers* on the
+    **pickle** plane, and again on the **shm** plane — under
+    :class:`repro.perf.rss.RssSampler`, then adds the warm cache-hit
+    comparison from :func:`_measure_cache_hit`.
+
+    The planes are compared at *equal* worker counts, so the shm-plane
+    speedup isolates serialization cost, not parallel scaling (on a
+    single-core box the pool itself may lose to serial; the plane-vs-
+    plane ratio is still meaningful).  Gates
+    (:func:`dataplane_gate_failures`) are correctness-only: byte-level
+    ``outputs_match`` across all three runs, the cache round-trip, and
+    zero leaked ``/dev/shm`` segments.  The speedup and RSS numbers are
+    the recorded trajectory.
+    """
+    import pickle
+    from dataclasses import replace as dc_replace
+
+    from repro.pipeline.config import PipelineConfig, ShardPlan
+    from repro.runtime import ChipJob, run_campaign
+    from repro.runtime.dataplane import DEFAULT_MIN_BYTES, available
+    from repro.runtime.shard import shutdown_shard_pools
+
+    if scale not in _DATAPLANE_SCALES:
+        raise ReproError(
+            f"unknown dataplane perf scale {scale!r} "
+            f"(expected one of {sorted(_DATAPLANE_SCALES)})"
+        )
+    from repro.perf.rss import RssSampler
+
+    params = _DATAPLANE_SCALES[scale]
+    job = ChipJob.synthetic(
+        "perf_dataplane", "classic", n_pairs=params["n_pairs"], validate=False
+    )
+    config = PipelineConfig(
+        denoise_iterations=params["denoise_iterations"],
+        align_search_px=2,
+        align_baselines=(1, 2),
+    )
+    shard = ShardPlan(slices=True, workers=shard_workers)
+
+    def _run(plan_config: PipelineConfig, workers: int) -> dict[str, Any]:
+        shutdown_shard_pools()
+        with RssSampler() as rss:
+            t0 = time.perf_counter()
+            report = run_campaign([job], config=plan_config, workers=workers)
+            wall = time.perf_counter() - t0
+        shutdown_shard_pools()
+        return {
+            "wall_seconds": wall,
+            "peak_rss_bytes": rss.peak_bytes,
+            "blob": pickle.dumps(report.results()),
+        }
+
+    serial = _run(config, workers=1)
+    pickle_plane = _run(
+        config.replaced(shard=dc_replace(shard, data_plane="pickle")),
+        workers=shard_workers,
+    )
+    shm_plane = _run(
+        config.replaced(shard=dc_replace(shard, data_plane="shm")),
+        workers=shard_workers,
+    )
+
+    def _record(run: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "wall_seconds": run["wall_seconds"],
+            "peak_rss_bytes": run["peak_rss_bytes"],
+            "speedup_vs_serial": serial["wall_seconds"] / max(run["wall_seconds"], 1e-9),
+        }
+
+    shm_record = _record(shm_plane)
+    shm_record["speedup_vs_pickle_plane"] = (
+        pickle_plane["wall_seconds"] / max(shm_plane["wall_seconds"], 1e-9)
+    )
+    shm_record["peak_rss_delta_bytes"] = (
+        shm_plane["peak_rss_bytes"] - pickle_plane["peak_rss_bytes"]
+    )
+    return {
+        "schema": "repro-perf-dataplane/1",
+        "created_unix": time.time(),
+        "scale": scale,
+        "shard_workers": shard_workers,
+        "shm_available": available(),
+        "shm_min_bytes": DEFAULT_MIN_BYTES,
+        "serial": {
+            "wall_seconds": serial["wall_seconds"],
+            "peak_rss_bytes": serial["peak_rss_bytes"],
+        },
+        "pickle_plane": _record(pickle_plane),
+        "shm_plane": shm_record,
+        "cache": _measure_cache_hit(scale, seed),
+        "outputs_match": (
+            serial["blob"] == pickle_plane["blob"]
+            and serial["blob"] == shm_plane["blob"]
+        ),
+        "leaked_segments": _leaked_segments(),
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def dataplane_gate_failures(
+    data: dict[str, Any], rss_ceiling_mb: float | None = None
+) -> list[str]:
+    """The gates a recorded dataplane run must pass (empty = green).
+
+    Correctness gates only — bit-identity across planes, the cache
+    round-trip, and segment hygiene.  Wall-time and RSS are recorded,
+    not gated (the probe runs on whatever box CI gives it); CI may pass
+    an explicit *rss_ceiling_mb* to also bound the shm-plane footprint.
+    """
+    failures: list[str] = []
+    if data["outputs_match"] is not True:
+        failures.append("campaign outputs_match across planes")
+    if data["cache"]["outputs_match"] is not True:
+        failures.append("cache mmap-vs-pickle outputs_match")
+    if data["leaked_segments"]:
+        failures.append(f"{data['leaked_segments']} leaked /dev/shm segments")
+    if rss_ceiling_mb is not None:
+        peak_mb = data["shm_plane"]["peak_rss_bytes"] / (1024 * 1024)
+        if peak_mb > rss_ceiling_mb:
+            failures.append(
+                f"shm-plane peak RSS {peak_mb:.0f} MiB > {rss_ceiling_mb:.0f} MiB ceiling"
+            )
+    return failures
+
+
+def write_dataplane_report(
+    data: dict[str, Any], path: str | Path = DATAPLANE_REPORT_PATH
+) -> Path:
+    """Serialise a dataplane perf run to JSON (the recorded artefact)."""
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_dataplane_report(data: dict[str, Any]) -> str:
+    """Human-readable summary of one dataplane perf run."""
+    match = {True: "yes", False: "NO", None: "-"}
+    mib = 1024 * 1024
+    shm = data["shm_plane"]
+    pkl = data["pickle_plane"]
+    cache = data["cache"]
+    lines = [
+        f"dataplane perf ({data['scale']} scale, "
+        f"{data['shard_workers']} shard workers, shm available: "
+        f"{match[data['shm_available']]})",
+        f"  serial:       {data['serial']['wall_seconds']:.2f}s, peak RSS "
+        f"{data['serial']['peak_rss_bytes'] / mib:.0f} MiB",
+        f"  pickle plane: {pkl['wall_seconds']:.2f}s "
+        f"({pkl['speedup_vs_serial']:.2f}x vs serial), peak RSS "
+        f"{pkl['peak_rss_bytes'] / mib:.0f} MiB",
+        f"  shm plane:    {shm['wall_seconds']:.2f}s "
+        f"({shm['speedup_vs_serial']:.2f}x vs serial, "
+        f"{shm['speedup_vs_pickle_plane']:.2f}x vs pickle plane), peak RSS "
+        f"{shm['peak_rss_bytes'] / mib:.0f} MiB "
+        f"({shm['peak_rss_delta_bytes'] / mib:+.0f} MiB vs pickle plane)",
+        f"  cache hit [{cache['payload_bytes'] / mib:.1f} MiB]: mmap "
+        f"{cache['mmap_hit_seconds'] * 1e3:.1f} ms vs pickle "
+        f"{cache['pickle_hit_seconds'] * 1e3:.1f} ms "
+        f"({cache['speedup']:.2f}x), bit-identical: "
+        f"{match[cache['outputs_match']]}",
+        f"  outputs match across planes: {match[data['outputs_match']]}, "
+        f"leaked segments: {data['leaked_segments']}",
     ]
     return "\n".join(lines)
 

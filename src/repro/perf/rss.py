@@ -1,0 +1,153 @@
+"""Lightweight peak-RSS sampling for the perf probes.
+
+The zero-copy data plane's whole point is that shard payloads stop
+being duplicated through pickle buffers, so its acceptance evidence is
+a *memory* number, not just a wall-time one.  :class:`RssSampler` is a
+daemon thread that walks the process tree under ``/proc`` every few
+milliseconds and records the peak resident footprint across the
+sampled interval:
+
+* ``Pss`` from ``/proc/<pid>/smaps_rollup`` when the kernel provides
+  it — proportional set size splits shared pages (including the
+  ``/dev/shm`` segments themselves) fairly across the processes that
+  map them, so a segment mapped by four shard workers is counted once,
+  not four times;
+* ``VmRSS`` from ``/proc/<pid>/status`` otherwise;
+* ``resource.getrusage`` max-RSS as a last resort on hosts without
+  ``/proc`` (that path cannot see live children, so it is a floor, not
+  a tree total).
+
+Sampling is best-effort by design: a child that exits between the
+tree walk and the read is silently skipped, and the sampler never
+raises out of its thread.  Peaks are therefore lower bounds with a
+resolution of one ``interval`` — plenty for the BENCH record's
+megabyte-scale deltas.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["RssSampler", "tree_rss_bytes"]
+
+
+def _children(pid: int) -> list[int]:
+    """Direct children of *pid*, via every task's ``children`` file."""
+    kids: list[int] = []
+    task_dir = f"/proc/{pid}/task"
+    try:
+        tids = os.listdir(task_dir)
+    except OSError:
+        return kids
+    for tid in tids:
+        try:
+            with open(f"{task_dir}/{tid}/children") as fh:
+                kids.extend(int(tok) for tok in fh.read().split())
+        except (OSError, ValueError):
+            continue
+    return kids
+
+
+def _tree_pids(root: int) -> list[int]:
+    """*root* plus every live descendant, breadth-first."""
+    pids = [root]
+    seen = {root}
+    index = 0
+    while index < len(pids):
+        for kid in _children(pids[index]):
+            if kid not in seen:
+                seen.add(kid)
+                pids.append(kid)
+        index += 1
+    return pids
+
+
+def _pid_rss_bytes(pid: int) -> int:
+    """Resident bytes of one process: smaps_rollup Pss, else VmRSS."""
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        with open(f"/proc/{pid}/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def _rusage_rss_bytes() -> int:
+    """getrusage max-RSS (self + reaped children), for /proc-less hosts."""
+    try:
+        import resource
+    except ImportError:
+        return 0
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    # ru_maxrss is KiB on Linux (bytes on macOS, where /proc sampling is
+    # unavailable anyway; the factor error there only inflates the floor).
+    return (self_kb + child_kb) * 1024
+
+
+def tree_rss_bytes(root: int | None = None) -> int:
+    """One instantaneous sample: resident bytes of *root* and descendants."""
+    root = os.getpid() if root is None else root
+    total = sum(_pid_rss_bytes(pid) for pid in _tree_pids(root))
+    if total <= 0:
+        total = _rusage_rss_bytes()
+    return total
+
+
+class RssSampler:
+    """Context manager recording the peak process-tree RSS while open.
+
+    >>> with RssSampler() as rss:
+    ...     run_campaign(...)          # doctest: +SKIP
+    >>> rss.peak_bytes                 # doctest: +SKIP
+    """
+
+    def __init__(self, interval: float = 0.05, root: int | None = None):
+        self.interval = max(float(interval), 0.001)
+        self.root = os.getpid() if root is None else root
+        self.peak_bytes = 0
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _sample_once(self) -> None:
+        self.peak_bytes = max(self.peak_bytes, tree_rss_bytes(self.root))
+        self.samples += 1
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._sample_once()
+            except Exception:
+                pass  # best-effort: never let sampling kill the probe
+            self._stop.wait(self.interval)
+
+    def __enter__(self) -> RssSampler:
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-rss-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Guarantee at least one sample even for sub-interval bodies.
+        try:
+            self._sample_once()
+        except Exception:
+            pass

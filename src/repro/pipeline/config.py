@@ -41,6 +41,7 @@ from repro.pipeline.stack import AlignedVolume, assemble_volume, planar_views
 _DENOISE_METHODS = ("chambolle", "split_bregman")
 _SEARCH_STRATEGIES = ("exhaustive", "pyramid")
 _SHARD_ORDERINGS = ("contiguous", "striped")
+_DATA_PLANES = ("pickle", "shm")
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,21 @@ class ShardPlan:
     #: shard worker processes; ``None`` → the campaign assigns the
     #: workers left over after chip-level fan-out
     workers: int | None = None
+    #: how batch payloads cross the pool boundary: ``"shm"`` publishes
+    #: large ndarrays into shared-memory segments and ships tiny headers
+    #: (see :mod:`repro.runtime.dataplane`; falls back to pickle when
+    #: shared memory is unavailable), ``"pickle"`` is the classic
+    #: serialize-through-the-pipe path.  Execution-only: results are
+    #: bit-identical either way.
+    data_plane: str = "shm"
+    #: arrays below this byte count stay inline in the batch pickle even
+    #: on the shm plane (segment setup costs more than it saves)
+    shm_min_bytes: int = 16 * 1024
+    #: fuse the downstream per-slice stages (denoise, QC metrics) into
+    #: the acquire imaging pool trip so each slice crosses the pool
+    #: boundary once instead of once per stage.  Execution-only: the
+    #: fused kernels are the same per-slice functions.
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if self.batch is not None and self.batch < 1:
@@ -91,6 +107,13 @@ class ShardPlan:
             raise PipelineError("max_inflight_bytes must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise PipelineError("shard workers must be >= 1 (or None for auto)")
+        if self.data_plane not in _DATA_PLANES:
+            raise PipelineError(
+                f"unknown data plane {self.data_plane!r} "
+                f"(expected one of {_DATA_PLANES})"
+            )
+        if self.shm_min_bytes < 1:
+            raise PipelineError("shm_min_bytes must be >= 1")
 
     @property
     def resolved_workers(self) -> int:

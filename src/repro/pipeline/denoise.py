@@ -411,6 +411,19 @@ def _denoise_shard(
     return [fn(img, weight=weight, **kwargs) for img in images]
 
 
+def denoise_one(
+    image: np.ndarray, method: str, weight: float, kwargs: dict
+) -> np.ndarray:
+    """Denoise a single slice — the unit the fused acquire trip applies.
+
+    Exactly the per-slice kernel :func:`denoise_stack` runs, so a stack
+    denoised slice-by-slice inside the fused imaging pool trip
+    (:func:`repro.imaging.fib.acquire_stack` with ``fuse=``) is
+    bit-identical to a separate ``denoise`` stage pass.
+    """
+    return _denoise_shard([image], method, weight, kwargs)[0]
+
+
 def denoise_stack(
     images: list[np.ndarray],
     method: str = "chambolle",

@@ -266,6 +266,7 @@ def qc_stack(
     thresholds: QcThresholds | None = None,
     true_drift_px: list[tuple[int, int]] | None = None,
     shard: "ShardPlan | None" = None,
+    precomputed: list[dict[str, float]] | None = None,
 ) -> StackQc:
     """Gate every slice of an acquired stack against *thresholds*.
 
@@ -280,6 +281,13 @@ def qc_stack(
     expensive part) across slice batches; the threshold gating — which
     carries the sequential drift-step state — stays in this process.
     Verdicts are identical for every shard configuration.
+
+    ``precomputed`` supplies per-slice metric dicts computed elsewhere —
+    the fused acquire pool trip (see
+    :class:`repro.imaging.fib.FusedSliceWork`) runs :func:`slice_quality`
+    next to the imaging so the filter pass here can be skipped entirely.
+    Ignored unless it covers every slice; the metrics come from the same
+    function either way, so verdicts are identical.
     """
     t = thresholds or QcThresholds()
     with kernel_scope(
@@ -287,7 +295,9 @@ def qc_stack(
         pixels=sum(int(img.size) for img in images),
         slices=len(images),
     ) as scope:
-        if shard is not None and shard.engaged(len(images)):
+        if precomputed is not None and len(precomputed) == len(images):
+            metrics_list = precomputed
+        elif shard is not None and shard.engaged(len(images)):
             from repro.runtime.shard import shard_map
 
             metrics_list = shard_map("qc", _quality_shard, images, shard)

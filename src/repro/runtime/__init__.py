@@ -16,7 +16,13 @@ engine that is neither:
 * :mod:`repro.runtime.shard` — the slice-shard executor: the second
   scheduling level that fans per-slice stage work (acquire imaging,
   denoise, QC) out over a shared process pool, bit-identical to the
-  serial path (enable via ``PipelineConfig.shard``).
+  serial path (enable via ``PipelineConfig.shard``);
+* :mod:`repro.runtime.dataplane` — the zero-copy data plane under the
+  shard executor: ndarray payloads cross the pool boundary as
+  ``multiprocessing.shared_memory`` segments described by
+  :class:`ShmHeader` records, ref-counted per process and unlinked on
+  every exit path (select via ``ShardPlan.data_plane``; falls back to
+  in-band pickle when shared memory is unavailable).
 
 Resilience (fault plans, QC gates, retry, quarantine) rides on the same
 surfaces: :class:`ChipJob.fault_plan`, :class:`ResiliencePolicy` on
@@ -24,7 +30,15 @@ surfaces: :class:`ChipJob.fault_plan`, :class:`ResiliencePolicy` on
 (partial) :class:`CampaignReport`.
 """
 
-from repro.runtime.cache import StageCache
+from repro.runtime.cache import DEFAULT_BLOB_MIN_BYTES, StageCache
+from repro.runtime.dataplane import (
+    DataPlaneError,
+    SegmentRegistry,
+    ShmHeader,
+    process_registry,
+    reap_leaked,
+)
+from repro.runtime.dataplane import available as dataplane_available
 from repro.runtime.campaign import (
     REPORT_SCHEMA_VERSION,
     CampaignReport,
@@ -47,7 +61,14 @@ from repro.runtime.hashing import canonicalize, chain_key, stable_hash
 from repro.runtime.shard import payload_nbytes, shard_map, shutdown_shard_pools
 
 __all__ = [
+    "DEFAULT_BLOB_MIN_BYTES",
+    "DataPlaneError",
+    "SegmentRegistry",
+    "ShmHeader",
     "StageCache",
+    "dataplane_available",
+    "process_registry",
+    "reap_leaked",
     "CampaignReport",
     "ChipJob",
     "ChipRun",

@@ -69,6 +69,7 @@ from repro.obs import (
 )
 from repro.pipeline.config import PipelineConfig
 from repro.reveng.workflow import ReversedChip
+from repro.runtime import dataplane
 from repro.runtime.cache import StageCache
 from repro.runtime.engine import (
     ResiliencePolicy,
@@ -595,6 +596,24 @@ def _execute_job(
     as plain picklable data regardless of which process ran them.
     """
     job, config, cache_dir, policy, obs = args
+    try:
+        return _execute_job_inner(job, config, cache_dir, policy, obs)
+    finally:
+        # Zero-copy data-plane backstop: shard_map releases its segments
+        # on every path it controls, but a chip that quarantined or
+        # timed out between publish and release must not leave /dev/shm
+        # segments behind in this (long-lived pool) process.  Normally a
+        # no-op; anything reaped is counted as repro_dataplane_reaped.
+        dataplane.reap_leaked("job-teardown")
+
+
+def _execute_job_inner(
+    job: ChipJob,
+    config: PipelineConfig,
+    cache_dir: str | None,
+    policy: ResiliencePolicy | None,
+    obs: ObsConfig | None,
+) -> _JobOutcome:
     if obs is None or not obs.enabled:
         return _JobOutcome(_run_one(job, config, cache_dir, policy))
     with ObsSession(obs) as session:
@@ -736,6 +755,9 @@ def run_campaign(
 
             with ProcessPoolExecutor(max_workers=chip_workers) as pool:
                 outcomes = list(pool.map(_execute_job, payloads))
+    # Campaign-level data-plane backstop for segments published from this
+    # process (serial path, or shard submitters that died mid-flight).
+    dataplane.reap_leaked("campaign-teardown")
     wall_seconds = time.perf_counter() - t0
     # Back to job order (outcomes arrive in submission order).
     by_job: list[_JobOutcome | None] = [None] * len(outcomes)

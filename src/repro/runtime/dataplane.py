@@ -1,0 +1,591 @@
+"""Zero-copy data plane: shared-memory transport for shard payloads.
+
+:func:`repro.runtime.shard.shard_map` historically shipped every slice
+batch through the pool's pickle pipe — each ndarray serialized on
+submit, copied through a socket, deserialized in the worker, and the
+whole dance repeated in reverse for the results.  For the imaging →
+denoise → QC chain the arrays *are* the payload, so the pickle bytes
+dominate the pool round-trip.  This module moves the array bytes out of
+band:
+
+* the submitter publishes each large ndarray into a POSIX shared-memory
+  segment (:func:`publish`) and pickles only a tiny :class:`ShmHeader`
+  (segment name, dtype, shape, order, nbytes, optional digest) in its
+  place — the rest of the payload (dataclasses, tuples, scalars) pickles
+  exactly as before, which is what makes the fallback for non-array
+  payloads automatic;
+* the worker attaches the segments and reconstructs **zero-copy
+  read-only views** (:func:`loads` with ``materialize=False``) — no
+  byte ever crosses the pool pipe twice;
+* results flow back the same way: the worker publishes its output
+  arrays into fresh segments and transfers their ownership to the
+  submitter, which materializes them into ordinary process-local arrays
+  (``materialize=True``) and unlinks the segments.
+
+Bit-identity
+------------
+Materialized arrays are constructed to pickle byte-identically to
+arrays that took the in-band pickle path: C-contiguous and
+non-contiguous inputs come back C-contiguous (numpy's own pickle
+reduction serializes non-contiguous arrays contiguously), Fortran-order
+inputs come back Fortran-order, and dtypes are re-interned through
+``np.dtype(str)`` singletons by the shard merge's canonicalization.
+The ``tests/test_runtime_dataplane.py`` property tests pin this down,
+zero-size and non-contiguous arrays included.
+
+Segment lifecycle
+-----------------
+Every segment is owned by exactly one process at any time and tracked
+in that process's :class:`SegmentRegistry`:
+
+1. submitter :func:`publish` → submitter owns the input segments;
+2. worker attaches (never owns) and closes after the batch function ran;
+3. worker publishes result segments, then *transfers* them (closes its
+   mapping, keeps the file) — the returned headers carry ownership back
+   with the future;
+4. submitter materializes results, then closes **and unlinks** both the
+   result segments and the input segments of the completed batch.
+
+``shard_map`` wraps steps 1–4 in ``try/finally`` so quarantined chips,
+timed-out campaigns and worker crashes still release everything they
+created, and an ``atexit`` hook unlinks whatever a hard teardown left
+behind.  Python's own :mod:`multiprocessing.resource_tracker` is
+deliberately opted out per segment (see :func:`_untrack`): on POSIX it
+registers every attach and unlinks on the *first* registering process's
+exit — exactly wrong for segments whose lifetime spans the submitter
+and a long-lived pool worker.
+
+Fallback matrix
+---------------
+==============================  ============================================
+payload has no (large) arrays   headers list is empty; plain pickle rides
+                                the same code path at the same cost
+``SharedMemory`` unavailable    :func:`available` probes once per process;
+(no /dev/shm, sealed sandbox)   ``shard_map`` falls back to the pickle
+                                plane and counts
+                                ``repro_dataplane_fallback_total``
+``plan.data_plane="pickle"``    zero-copy plane off by configuration
+plan not engaged                serial in-process execution, no transport
+==============================  ============================================
+
+Metrics (``repro_dataplane_*``)
+-------------------------------
+==========================================  ================================
+``repro_dataplane_segments_total{dir}``     segments published (``out`` =
+                                            submitter→worker, ``back`` =
+                                            worker→submitter)
+``repro_dataplane_bytes_total{dir}``        array bytes moved out of band
+``repro_dataplane_fallback_total{reason}``  zero-copy declined at runtime
+``repro_dataplane_reaped_total{where}``     segments reclaimed by a
+                                            teardown backstop (should stay
+                                            0; nonzero means a finally
+                                            path was skipped)
+``repro_dataplane_fused_total{stage}``      stages satisfied by a fused
+                                            acquire pool trip
+==========================================  ================================
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import io
+import os
+import pickle
+import secrets
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.obs import current_metrics, get_logger
+
+logger = get_logger("repro.runtime.dataplane")
+
+#: arrays smaller than this stay inline in the pickle stream — below a
+#: few pages the segment setup costs more than the copy it saves
+DEFAULT_MIN_BYTES = 16 * 1024
+
+#: /dev/shm name prefix; leak checks glob for it
+SEGMENT_PREFIX = "repro_dp_"
+
+
+class DataPlaneError(CampaignError):
+    """A shared-memory transport invariant was violated (e.g. digest
+    mismatch, truncated segment).  Never raised by the fallback paths."""
+
+
+def _untrack(shm: Any) -> None:
+    """Opt *shm* out of :mod:`multiprocessing.resource_tracker`.
+
+    On POSIX the tracker registers every ``SharedMemory`` — created *or*
+    attached — and unlinks whatever is still registered when the first
+    registering process exits.  Our segments outlive single processes by
+    design (submitter creates, worker attaches, submitter unlinks), so
+    tracker ownership would both unlink live segments under the
+    submitter and spam "leaked shared_memory" warnings for segments the
+    registry below cleans up itself.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift / non-POSIX
+        pass
+
+
+def _unlink_quiet(shm: Any) -> None:
+    """Unlink the segment file without touching the resource tracker.
+
+    ``SharedMemory.unlink()`` sends its *own* unregister message to the
+    tracker — a second one after :func:`_untrack`, which makes the
+    tracker process log a ``KeyError`` per segment.  Going through
+    ``shm_unlink`` directly skips the duplicate; already-gone segments
+    are fine (teardown paths overlap by design).
+    """
+    try:
+        from multiprocessing.shared_memory import _posixshmem
+
+        _posixshmem.shm_unlink(shm._name)
+    except FileNotFoundError:
+        pass
+    except (ImportError, AttributeError, OSError):  # pragma: no cover - non-POSIX
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+_AVAILABLE: bool | None = None
+
+
+def available() -> bool:
+    """Whether POSIX shared memory works here (probed once per process)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            _untrack(probe)
+            probe.close()
+            _unlink_quiet(probe)
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+@dataclass(frozen=True)
+class ShmHeader:
+    """Out-of-band array descriptor — the bytes live in a shm segment.
+
+    The header is what actually crosses the pool pipe; it must carry
+    everything needed to reconstruct the array exactly.  ``dtype`` is
+    the canonical ``np.dtype.str`` (endianness-explicit), ``order`` is
+    ``"C"`` or ``"F"`` matching numpy's own pickle reduction (Fortran
+    flag preserved, non-contiguous flattened to C), and ``digest`` is an
+    optional blake2b-128 of the raw bytes — off on the hot path, on in
+    the property tests and anywhere transport integrity is suspect.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+    order: str
+    nbytes: int
+    digest: str | None = None
+
+
+def _digest(raw: bytes | memoryview) -> str:
+    return hashlib.blake2b(raw, digest_size=16).hexdigest()
+
+
+class SegmentRegistry:
+    """Ref-counted ledger of the shm segments this process must unlink.
+
+    ``create``/``adopt`` register ownership; ``release`` closes and
+    unlinks; ``transfer`` closes the local mapping but keeps the file
+    (ownership moves to another process); ``release_all`` is the atexit
+    / teardown backstop.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owned: dict[str, Any] = {}
+
+    def _remember(self, shm: Any) -> None:
+        with self._lock:
+            self._owned[shm.name] = shm
+            n = len(self._owned)
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.gauge("repro_dataplane_active_segments").set(float(n))
+
+    def create(self, size: int) -> Any:
+        """A fresh owned segment of at least *size* bytes (min 1)."""
+        from multiprocessing import shared_memory
+
+        last: Exception | None = None
+        for _ in range(8):
+            name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, size)
+                )
+            except FileExistsError as exc:  # pragma: no cover - token clash
+                last = exc
+                continue
+            _untrack(shm)
+            self._remember(shm)
+            return shm
+        raise DataPlaneError(f"could not allocate shm segment: {last}")
+
+    def attach(self, name: str) -> Any:
+        """Attach to an existing segment *without* taking ownership."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return shm
+
+    def adopt(self, name: str) -> Any:
+        """Attach *and* take ownership (the transfer handshake's far end)."""
+        shm = self.attach(name)
+        self._remember(shm)
+        return shm
+
+    def transfer(self, name: str) -> None:
+        """Hand ownership away: close our mapping, keep the file alive."""
+        with self._lock:
+            shm = self._owned.pop(name, None)
+        if shm is not None:
+            _close_quiet(shm)
+
+    def release(self, name: str) -> None:
+        """Close and unlink an owned (or adopted-by-name) segment.
+
+        Tolerant of double release and of segments someone else already
+        unlinked — teardown paths overlap by design (finally + atexit).
+        """
+        with self._lock:
+            shm = self._owned.pop(name, None)
+        if shm is None:
+            try:
+                shm = self.attach(name)
+            except (FileNotFoundError, OSError):
+                return
+        _close_quiet(shm)
+        _unlink_quiet(shm)
+
+    def active(self) -> list[str]:
+        with self._lock:
+            return sorted(self._owned)
+
+    def release_all(self) -> int:
+        """Release every owned segment; returns how many there were."""
+        with self._lock:
+            leaked = list(self._owned.items())
+            self._owned.clear()
+        for _, shm in leaked:
+            _close_quiet(shm)
+            _unlink_quiet(shm)
+        return len(leaked)
+
+
+def _close_quiet(shm: Any) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # A live array still views the mapping (e.g. a worker result
+        # aliasing its zero-copy input).  CPython closes the mmap when
+        # the last array drops; unlink below works regardless.
+        pass
+    except OSError:  # pragma: no cover - already closed
+        pass
+
+
+#: the process-wide registry every transport call goes through
+_registry = SegmentRegistry()
+
+
+def process_registry() -> SegmentRegistry:
+    return _registry
+
+
+def reap_leaked(where: str) -> int:
+    """Teardown backstop: release anything still owned by this process.
+
+    Called at campaign/job boundaries and registered atexit.  A nonzero
+    return means some ``finally`` path was skipped (hard kill mid-batch)
+    — counted so leaks are observable, not silent.
+    """
+    leaked = _registry.release_all()
+    if leaked:
+        logger.warning(
+            "reaped leaked shm segments",
+            extra={"fields": {"where": where, "segments": leaked}},
+        )
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.counter("repro_dataplane_reaped_total", where=where).inc(leaked)
+    return leaked
+
+
+atexit.register(reap_leaked, "atexit")
+
+
+def publish(
+    arr: np.ndarray,
+    registry: SegmentRegistry | None = None,
+    digest: bool = False,
+) -> ShmHeader:
+    """Copy *arr*'s bytes into a fresh owned segment; return its header.
+
+    The byte layout mirrors numpy's pickle reduction so
+    :func:`fetch` + canonicalization reproduces the in-band pickle
+    result exactly: Fortran-contiguous arrays are stored column-major,
+    everything else row-major.
+    """
+    registry = registry or _registry
+    order = "F" if (arr.flags.f_contiguous and not arr.flags.c_contiguous) else "C"
+    raw = arr.tobytes(order=order)
+    shm = registry.create(len(raw))
+    shm.buf[: len(raw)] = raw
+    return ShmHeader(
+        segment=shm.name,
+        dtype=arr.dtype.str,
+        shape=tuple(int(n) for n in arr.shape),
+        order=order,
+        nbytes=len(raw),
+        digest=_digest(raw) if digest else None,
+    )
+
+
+def _view_segment(header: ShmHeader, shm: Any) -> np.ndarray:
+    if len(shm.buf) < header.nbytes:
+        raise DataPlaneError(
+            f"segment {header.segment} holds {len(shm.buf)} bytes, "
+            f"header promises {header.nbytes}"
+        )
+    arr = np.ndarray(
+        header.shape,
+        dtype=np.dtype(header.dtype),
+        buffer=shm.buf,
+        order=header.order,
+    )
+    if header.digest is not None:
+        got = _digest(arr.tobytes(order=header.order))
+        if got != header.digest:
+            raise DataPlaneError(
+                f"segment {header.segment} digest mismatch "
+                f"(expected {header.digest}, got {got})"
+            )
+    arr.flags.writeable = False
+    return arr
+
+
+def fetch_view(
+    header: ShmHeader, registry: SegmentRegistry | None = None
+) -> tuple[np.ndarray, Any]:
+    """Zero-copy read-only view of a published array.
+
+    Returns ``(array, segment)``; the caller must keep the segment
+    handle alive as long as the array (and close it afterwards).
+    """
+    registry = registry or _registry
+    shm = registry.attach(header.segment)
+    try:
+        return _view_segment(header, shm), shm
+    except Exception:
+        _close_quiet(shm)
+        raise
+
+
+def fetch(
+    header: ShmHeader,
+    registry: SegmentRegistry | None = None,
+    unlink: bool = False,
+) -> np.ndarray:
+    """Materialize a published array into ordinary process-local memory.
+
+    With ``unlink=True`` the segment is consumed: closed and unlinked
+    after the copy (the submitter-side handshake for transferred result
+    segments).
+    """
+    registry = registry or _registry
+    shm = registry.attach(header.segment)
+    try:
+        view = _view_segment(header, shm)
+        out = np.empty(header.shape, dtype=np.dtype(header.dtype), order=header.order)
+        out[...] = view
+        del view
+    finally:
+        _close_quiet(shm)
+        if unlink:
+            registry.release(header.segment)
+    return out
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that publishes large plain ndarrays out of band."""
+
+    def __init__(
+        self,
+        file: io.BytesIO,
+        registry: SegmentRegistry,
+        min_bytes: int,
+        digest: bool,
+    ) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._registry = registry
+        self._min_bytes = min_bytes
+        self._digest = digest
+        self.headers: list[ShmHeader] = []
+
+    def persistent_id(self, obj: Any) -> Any:
+        # Exactly plain ndarrays: subclasses (np.memmap, masked arrays)
+        # and object dtypes keep their own pickle semantics in band.
+        if (
+            type(obj) is np.ndarray
+            and not obj.dtype.hasobject
+            and obj.nbytes >= self._min_bytes
+        ):
+            header = publish(obj, self._registry, digest=self._digest)
+            self.headers.append(header)
+            return ("repro-shm", header)
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler resolving out-of-band headers back into arrays."""
+
+    def __init__(
+        self,
+        file: io.BytesIO,
+        registry: SegmentRegistry,
+        materialize: bool,
+        unlink: bool,
+    ) -> None:
+        super().__init__(file)
+        self._registry = registry
+        self._materialize = materialize
+        self._unlink = unlink
+        self.headers: list[ShmHeader] = []
+        self.segments: list[Any] = []  # attached handles backing views
+
+    def persistent_load(self, pid: Any) -> Any:
+        if not (isinstance(pid, tuple) and len(pid) == 2 and pid[0] == "repro-shm"):
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        header: ShmHeader = pid[1]
+        self.headers.append(header)
+        if self._materialize:
+            return fetch(header, self._registry, unlink=self._unlink)
+        arr, shm = fetch_view(header, self._registry)
+        self.segments.append(shm)
+        return arr
+
+
+def dumps(
+    obj: Any,
+    min_bytes: int = DEFAULT_MIN_BYTES,
+    digest: bool = False,
+    transfer: bool = False,
+    registry: SegmentRegistry | None = None,
+) -> tuple[bytes, list[ShmHeader]]:
+    """Pickle *obj* with large arrays published out of band.
+
+    Returns ``(blob, headers)``.  On any failure mid-serialization every
+    segment published so far is released — a half-encoded batch never
+    leaks.  ``transfer=True`` hands segment ownership to whoever decodes
+    the blob (the worker→submitter result direction).
+    """
+    registry = registry or _registry
+    buf = io.BytesIO()
+    pickler = _ShmPickler(buf, registry, min_bytes, digest)
+    try:
+        pickler.dump(obj)
+    except Exception:
+        for header in pickler.headers:
+            registry.release(header.segment)
+        raise
+    if transfer:
+        for header in pickler.headers:
+            registry.transfer(header.segment)
+    return buf.getvalue(), pickler.headers
+
+
+def loads(
+    blob: bytes,
+    materialize: bool = True,
+    unlink: bool = False,
+    registry: SegmentRegistry | None = None,
+) -> tuple[Any, list[Any]]:
+    """Decode a :func:`dumps` blob.
+
+    ``materialize=True`` copies arrays into process-local memory
+    (``unlink=True`` additionally consumes the segments — the submitter
+    side); ``materialize=False`` returns zero-copy read-only views plus
+    the attached segment handles the caller must close (the worker
+    side).
+    """
+    registry = registry or _registry
+    unpickler = _ShmUnpickler(io.BytesIO(blob), registry, materialize, unlink)
+    try:
+        obj = unpickler.load()
+    except Exception:
+        for shm in unpickler.segments:
+            _close_quiet(shm)
+        raise
+    return obj, unpickler.segments
+
+
+def release_headers(
+    headers: list[ShmHeader], registry: SegmentRegistry | None = None
+) -> None:
+    """Unlink every segment named by *headers* (idempotent, tolerant)."""
+    registry = registry or _registry
+    for header in headers:
+        registry.release(header.segment)
+
+
+def close_segments(segments: list[Any]) -> None:
+    """Close attached (non-owned) segment handles; never unlinks."""
+    for shm in segments:
+        _close_quiet(shm)
+
+
+def _count_transport(direction: str, headers: list[ShmHeader]) -> None:
+    if not headers:
+        return
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.counter("repro_dataplane_segments_total", dir=direction).inc(
+            len(headers)
+        )
+        metrics.counter("repro_dataplane_bytes_total", dir=direction).inc(
+            sum(h.nbytes for h in headers)
+        )
+
+
+def shm_batch_call(
+    fn: Any, blob: bytes, min_bytes: int
+) -> tuple[bytes, list[ShmHeader]]:
+    """Pool entry point for a zero-copy shard batch (runs in workers).
+
+    Decodes the submitter's blob into zero-copy views, applies the batch
+    function, publishes the results into fresh segments and transfers
+    them back with the returned headers.  Input segments are only ever
+    closed here — the submitter owns and unlinks them.
+    """
+    items, attached = loads(blob, materialize=False)
+    try:
+        results = fn(items)
+        del items
+        out_blob, headers = dumps(results, min_bytes=min_bytes, transfer=True)
+        del results
+        return out_blob, headers
+    finally:
+        close_segments(attached)

@@ -38,7 +38,7 @@ from repro.errors import (
     StageTimeoutError,
 )
 from repro.faults import FaultInjector
-from repro.imaging.fib import acquire_stack
+from repro.imaging.fib import FusedSliceWork, acquire_stack
 from repro.obs import bind, current_metrics, current_tracer, get_logger
 from repro.imaging.roi import identify_roi
 from repro.imaging.voxel import voxelize
@@ -217,6 +217,21 @@ def build_stage_chain(
         events = []
         tracer = current_tracer()
         metrics = current_metrics()
+        # Stage fusion: when the sharded imaging path will run anyway
+        # (shard engaged, no active fault plan forcing serial), the same
+        # pool trip also computes the denoised slices — and the QC
+        # metric filter pass when the gate is engaged — so each slice
+        # crosses the pool boundary once.  The fused results ride the
+        # FusedSliceWork side channel and the ctx (never the acquire
+        # cache entry: acquire's key knows nothing about denoise
+        # parameters, so caching them there would poison the cache).
+        fuse_wanted = (
+            config.shard.slices
+            and config.shard.fuse
+            and config.shard.resolved_workers > 1
+            and (plan is None or not plan.active)
+        )
+        fuse = None
         while True:
             with tracer.span(
                 f"attempt {attempt}", kind="attempt", attempt=attempt
@@ -224,6 +239,17 @@ def build_stage_chain(
                 injector = None
                 if plan is not None and plan.active:
                     injector = FaultInjector(plan, attempt=attempt)
+                fuse = None
+                if fuse_wanted:
+                    dk = config.denoise_kwargs()
+                    fuse = FusedSliceWork(
+                        denoise={
+                            "method": dk.pop("method"),
+                            "weight": dk.pop("weight"),
+                            "kwargs": dk,
+                        },
+                        qc=engaged,
+                    )
                 stack = acquire_stack(
                     ctx["volume"],
                     job.campaign,
@@ -233,13 +259,17 @@ def build_stage_chain(
                     x_stop_nm=ctx.get("x_stop_nm", job.x_stop_nm),
                     injector=injector,
                     shard=config.shard,
+                    fuse=fuse,
                 )
                 events.extend(stack.fault_events)
                 att_span.set(slices=len(stack), faults=len(stack.fault_events))
                 if not engaged:
                     break
                 qc = qc_stack(stack.images, policy.qc,
-                              true_drift_px=stack.true_drift_px, shard=config.shard)
+                              true_drift_px=stack.true_drift_px, shard=config.shard,
+                              precomputed=fuse.qc_metrics if fuse is not None else None)
+                if fuse is not None and fuse.qc_metrics is not None:
+                    metrics.counter("repro_dataplane_fused_total", stage="qc").inc()
                 failed = qc.failed_indices
                 att_span.set(qc_passed=qc.passed, qc_failed_slices=len(failed))
                 if metrics.enabled:
@@ -288,6 +318,10 @@ def build_stage_chain(
                 metrics.counter("repro_acquire_retries_total").inc()
             attempt += 1
         worst = max((max(abs(a), abs(b)) for a, b in stack.true_drift_px), default=0)
+        if fuse is not None and fuse.denoised is not None:
+            # Side channel for the accepted attempt only — consumed (and
+            # cached under the *denoise* key) by run_denoise.
+            ctx["_fused_denoised"] = fuse.denoised
         return {"stack": stack}, {
             "slices": float(len(stack)),
             "beam_time_hours": stack.beam_time_hours(),
@@ -298,7 +332,18 @@ def build_stage_chain(
         }
 
     def run_denoise(ctx: dict) -> tuple[dict, dict[str, float]]:
-        denoised, notes = DenoiseStage(config)(ctx["stack"].images)
+        fused = ctx.pop("_fused_denoised", None)
+        if fused is not None:
+            # Computed by the fused acquire pool trip with the exact
+            # per-slice kernel DenoiseStage runs — bit-identical, one
+            # fewer trip across the pool boundary per slice.
+            denoised = fused
+            notes: dict[str, float] = {"slices": float(len(denoised))}
+            current_metrics().counter(
+                "repro_dataplane_fused_total", stage="denoise"
+            ).inc()
+        else:
+            denoised, notes = DenoiseStage(config)(ctx["stack"].images)
         notes["array_bytes"] = float(sum(img.nbytes for img in denoised))
         return {"denoised": denoised}, notes
 

@@ -29,6 +29,19 @@ payload bytes outstanding at any moment: the submitter blocks on the
 *oldest* incomplete batch (completion order is irrelevant — the merge is
 by index) before pushing more work.
 
+Data plane
+----------
+With ``plan.data_plane == "shm"`` (the default) batch payloads cross the
+pool boundary through :mod:`repro.runtime.dataplane`: large ndarrays are
+published into shared-memory segments and only tiny headers ride the
+pickle pipe, in both directions.  The submitter owns the input segments
+of every in-flight batch and the (transferred) result segments of every
+completed one; the ``try/finally`` around the submit loop releases all
+of them on any exit — normal completion, a worker exception, or a
+quarantine/timeout propagating through this frame.  When shared memory
+is unavailable the call transparently degrades to the pickle plane and
+counts ``repro_dataplane_fallback_total``.
+
 Observability
 -------------
 Each batch is wrapped in a ``kind="shard"`` span on the submitting
@@ -51,6 +64,7 @@ which is the schedulable quantity.  Counters:
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor
@@ -60,6 +74,7 @@ import numpy as np
 
 from repro.obs import current_metrics, current_tracer, get_logger
 from repro.pipeline.config import ShardPlan
+from repro.runtime import dataplane
 
 logger = get_logger("repro.runtime.shard")
 
@@ -96,22 +111,37 @@ atexit.register(shutdown_shard_pools)
 
 
 def payload_nbytes(item: Any) -> int:
-    """Estimate the pickled payload size of one shard item.
+    """Estimate the payload size of one shard item **without serializing**.
 
-    Array-bearing items dominate shard traffic, so the estimate walks
-    ``nbytes`` over arrays, tuples/lists and dataclass-like objects with
-    an ``__dict__``; everything else is charged a nominal 256 bytes.
+    This runs per item on the submit hot path purely to drive
+    backpressure, so it must never fall back to ``pickle.dumps`` (a
+    serialization per item would cost as much as the transport it is
+    budgeting — ``tests/test_runtime_shard.py`` pins the no-serialize
+    contract with an object whose ``__reduce__`` raises).  Array-bearing
+    items dominate shard traffic, so the estimate walks ``nbytes`` over
+    arrays, buffers, tuples/lists, dicts and dataclass-like objects;
+    everything else is charged a nominal 256 bytes.
     """
     if isinstance(item, np.ndarray):
         return int(item.nbytes)
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        return len(item)
     nbytes = getattr(item, "nbytes", None)
-    if nbytes is not None:
+    if isinstance(nbytes, (int, np.integer)):
         return int(nbytes)
     if isinstance(item, (tuple, list)):
         return sum(payload_nbytes(v) for v in item) + 64
+    if isinstance(item, dict):
+        return sum(payload_nbytes(v) for v in item.values()) + 64
     state = getattr(item, "__dict__", None)
     if state:
         return sum(payload_nbytes(v) for v in state.values()) + 64
+    if dataclasses.is_dataclass(item) and not isinstance(item, type):
+        # frozen/slotted dataclasses (e.g. _SliceShot) have no __dict__
+        return sum(
+            payload_nbytes(getattr(item, f.name, None))
+            for f in dataclasses.fields(item)
+        ) + 64
     return 256
 
 
@@ -192,38 +222,96 @@ def shard_map(
         metrics.counter("repro_shard_batches_total", stage=stage).inc(len(batches))
         metrics.counter("repro_shard_slices_total", stage=stage).inc(n)
 
+    use_shm = plan.data_plane == "shm"
+    if use_shm and not dataplane.available():
+        use_shm = False
+        if metrics.enabled:
+            metrics.counter(
+                "repro_dataplane_fallback_total", reason="shm-unavailable"
+            ).inc()
+
     # Submit with backpressure: block on the oldest outstanding batch
     # once the estimated in-flight payload exceeds the plan's ceiling.
-    inflight: list[tuple[int, tuple[int, ...], Any, int]] = []  # (k, idx, future, bytes)
+    # Each inflight record carries the headers of the input segments the
+    # submitter published for that batch (empty on the pickle plane).
+    inflight: list[tuple[int, tuple[int, ...], Any, int, list]] = []
     inflight_bytes = 0
     pending: list[tuple[int, tuple[int, ...], Any]] = []
 
+    def _decode(raw: Any) -> Any:
+        if not use_shm:
+            return _canonical_result(raw)
+        out_blob, out_headers = raw
+        try:
+            results, _ = dataplane.loads(out_blob, materialize=True, unlink=True)
+        except BaseException:
+            dataplane.release_headers(out_headers)
+            raise
+        dataplane._count_transport("back", out_headers)
+        return _canonical_result(results)
+
     def _retire_oldest() -> None:
         nonlocal inflight_bytes
-        k, idx, future, nbytes = inflight.pop(0)
+        k, idx, future, nbytes, in_headers = inflight.pop(0)
         with tracer.span(
             f"shard[{k}]", kind="shard", stage=stage, slices=len(idx),
             payload_bytes=nbytes,
         ):
-            results = _canonical_result(future.result())
+            try:
+                raw = future.result()
+            finally:
+                # The worker is done with the inputs either way.
+                dataplane.release_headers(in_headers)
+            results = _decode(raw)
         inflight_bytes -= nbytes
         pending.append((k, idx, results))
 
-    for k, idx in enumerate(batches):
-        payload = [items[i] for i in idx]
-        nbytes = sum(bytes_of(item) for item in payload)
-        while inflight and inflight_bytes + nbytes > plan.max_inflight_bytes:
+    def _abandon_inflight() -> None:
+        # Error teardown: every outstanding batch's segments — the
+        # inputs the submitter owns and any results a finished worker
+        # already transferred — must be unlinked before the exception
+        # (quarantine, timeout, worker crash) propagates past us.
+        for _, _, future, _, in_headers in inflight:
+            raw = None
+            try:
+                raw = future.result()
+            except BaseException:
+                pass
+            dataplane.release_headers(in_headers)
+            if use_shm and isinstance(raw, tuple) and len(raw) == 2:
+                dataplane.release_headers(raw[1])
+        inflight.clear()
+
+    try:
+        for k, idx in enumerate(batches):
+            payload = [items[i] for i in idx]
+            nbytes = sum(bytes_of(item) for item in payload)
+            while inflight and inflight_bytes + nbytes > plan.max_inflight_bytes:
+                if metrics.enabled:
+                    metrics.counter(
+                        "repro_shard_backpressure_total", stage=stage
+                    ).inc()
+                _retire_oldest()
+            if use_shm:
+                blob, in_headers = dataplane.dumps(
+                    payload, min_bytes=plan.shm_min_bytes
+                )
+                dataplane._count_transport("out", in_headers)
+                future = pool.submit(
+                    dataplane.shm_batch_call, fn, blob, plan.shm_min_bytes
+                )
+            else:
+                in_headers = []
+                future = pool.submit(fn, payload)
+            inflight.append((k, idx, future, nbytes, in_headers))
+            inflight_bytes += nbytes
             if metrics.enabled:
-                metrics.counter(
-                    "repro_shard_backpressure_total", stage=stage
-                ).inc()
+                metrics.counter("repro_shard_bytes_total", stage=stage).inc(nbytes)
+        while inflight:
             _retire_oldest()
-        inflight.append((k, idx, pool.submit(fn, payload), nbytes))
-        inflight_bytes += nbytes
-        if metrics.enabled:
-            metrics.counter("repro_shard_bytes_total", stage=stage).inc(nbytes)
-    while inflight:
-        _retire_oldest()
+    except BaseException:
+        _abandon_inflight()
+        raise
     for _, idx, results in pending:
         _merge(idx, results)
     return out  # type: ignore[return-value]

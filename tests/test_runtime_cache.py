@@ -208,3 +208,142 @@ class TestStageCache:
 
     def test_sweep_on_disabled_cache_is_a_noop(self):
         assert StageCache(None).sweep_stale_tmp() == 0
+
+
+class TestBlobSidecars:
+    """The mmap-backed ``.npy`` sidecar format and its corruption paths."""
+
+    def _array_payload(self, seed=11):
+        rng = np.random.default_rng(seed)
+        return {
+            "images": [rng.random((64, 48)) for _ in range(3)],
+            "drift": [0, 1, -1],
+        }
+
+    def test_large_arrays_become_sidecars(self, tmp_path):
+        import pickle as _pickle
+
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("sidecars")
+        payload = self._array_payload()
+        cache.store(key, payload, {"n": 3.0})
+        sidecars = sorted(cache.path_for(key).parent.glob(f"{key}.b*.npy"))
+        assert len(sidecars) == 3
+        loaded, notes = cache.load(key)
+        assert notes == {"n": 3.0}
+        # mmap-backed arrays must pickle byte-identically to the originals
+        assert _pickle.dumps(loaded) == _pickle.dumps(payload)
+        assert loaded["images"][0].base is not None  # actually mapped
+
+    def test_small_arrays_stay_inline(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=10**9)
+        key = stable_hash("inline")
+        cache.store(key, self._array_payload(), {})
+        assert not list(cache.path_for(key).parent.glob(f"{key}.b*.npy"))
+        loaded, _ = cache.load(key)
+        assert np.array_equal(
+            loaded["images"][1], self._array_payload()["images"][1]
+        )
+
+    def test_disabled_sidecars_match_classic_format(self, tmp_path):
+        import pickle as _pickle
+
+        classic = StageCache(tmp_path / "classic", blob_min_bytes=None)
+        key = stable_hash("classic")
+        payload = self._array_payload()
+        classic.store(key, payload, {})
+        assert not list(classic.path_for(key).parent.glob(f"{key}.b*.npy"))
+        loaded, _ = classic.load(key)
+        assert _pickle.dumps(loaded) == _pickle.dumps(payload)
+
+    def test_zero_blob_min_bytes_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            StageCache(tmp_path, blob_min_bytes=0)
+
+    def test_legacy_plain_pickle_entry_still_loads(self, tmp_path):
+        """Entries written before the sidecar format must keep loading."""
+        writer = StageCache(tmp_path, blob_min_bytes=None)
+        key = stable_hash("legacy")
+        payload = self._array_payload()
+        writer.store(key, payload, {"n": 1.0})
+        reader = StageCache(tmp_path)  # sidecar-aware reader
+        loaded = reader.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded[0]["images"][2], payload["images"][2])
+
+    def test_truncated_sidecar_evicts_and_misses(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("truncated")
+        cache.store(key, self._array_payload(), {})
+        blob = cache.blob_path(key, 0)
+        blob.write_bytes(blob.read_bytes()[: blob.stat().st_size // 2])
+        assert cache.load(key) is None
+        assert not cache.contains(key)        # evicted, not just missed
+        assert not blob.exists()
+        assert cache.load(key) is None        # stable after eviction
+
+    def test_zero_length_sidecar_evicts_and_misses(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("zero-blob")
+        cache.store(key, self._array_payload(), {})
+        cache.blob_path(key, 1).write_bytes(b"")
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+
+    def test_missing_sidecar_evicts_and_misses(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("missing-blob")
+        cache.store(key, self._array_payload(), {})
+        cache.blob_path(key, 2).unlink()
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+
+    def test_zero_length_pickle_evicts_and_misses(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("zero-pkl")
+        cache.store(key, self._array_payload(), {})
+        cache.path_for(key).write_bytes(b"")
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+        # the dangling sidecars were evicted along with the pickle
+        assert not list(cache.path_for(key).parent.glob(f"{key}.b*.npy"))
+
+    def test_corruption_recompute_cycle(self, tmp_path):
+        """Evict-on-corruption lets a plain re-store repair the entry."""
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("recompute")
+        payload = self._array_payload()
+        cache.store(key, payload, {"n": 3.0})
+        cache.blob_path(key, 0).write_bytes(b"garbage")
+        assert cache.load(key) is None
+        cache.store(key, payload, {"n": 3.0})  # the recompute
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded[0]["images"][0], payload["images"][0])
+
+    def test_entry_bytes_counts_sidecars(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("sizes")
+        stored = cache.store(key, self._array_payload(), {})
+        assert cache.entry_bytes(key) == stored
+        assert stored > cache.path_for(key).stat().st_size  # pkl alone is smaller
+
+    def test_sweep_removes_orphaned_sidecars(self, tmp_path):
+        cache = StageCache(tmp_path, blob_min_bytes=1024)
+        key = stable_hash("orphans")
+        cache.store(key, self._array_payload(), {})
+        # an orphan: sidecar with no pickle (writer died before the pkl)
+        orphan_key = stable_hash("dead-writer")
+        orphan_dir = cache.path_for(orphan_key).parent
+        orphan_dir.mkdir(parents=True, exist_ok=True)
+        orphan = orphan_dir / f"{orphan_key}.b0.npy"
+        orphan.write_bytes(b"partial")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        fresh_orphan = orphan_dir / f"{orphan_key}.b1.npy"
+        fresh_orphan.write_bytes(b"in flight")
+
+        assert cache.sweep_stale_tmp(max_age_s=3600.0) == 1
+        assert not orphan.exists()
+        assert fresh_orphan.exists()   # young enough to be a live writer
+        assert cache.load(key) is not None  # complete entries untouched

@@ -1,0 +1,417 @@
+"""Zero-copy data plane: shm transport, bit-identity, segment hygiene.
+
+The contracts under test are the ones ``shard_map`` and the campaign
+teardown paths rely on: a published array always round-trips to
+byte-identical pickle output (non-contiguous, Fortran-order and
+zero-size arrays included), and no code path — success, worker
+exception, decode failure — leaves a ``repro_dp_*`` segment behind in
+``/dev/shm``.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PipelineError
+from repro.imaging import FibSemCampaign, SemParameters
+from repro.layout import SaRegionSpec
+from repro.obs import MetricsRegistry, use_metrics
+from repro.pipeline import PipelineConfig, ShardPlan
+from repro.runtime import ChipJob, run_campaign, shard_map, shutdown_shard_pools
+from repro.runtime import dataplane
+from repro.runtime.dataplane import (
+    SEGMENT_PREFIX,
+    DataPlaneError,
+    ShmHeader,
+    close_segments,
+    fetch,
+    fetch_view,
+    process_registry,
+    publish,
+    release_headers,
+)
+
+
+def _leaked() -> list[str]:
+    """``repro_dp_*`` segments currently present in /dev/shm."""
+    try:
+        return sorted(
+            n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:  # pragma: no cover - /dev/shm-less host
+        return []
+
+
+def _plan(**kwargs) -> ShardPlan:
+    kwargs.setdefault("slices", True)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shm_min_bytes", 1)
+    return ShardPlan(**kwargs)
+
+
+def _scale(batch: list[np.ndarray]) -> list[np.ndarray]:
+    return [a * 2.0 + 1.0 for a in batch]
+
+
+def _boom(batch):
+    raise ValueError("worker exploded")
+
+
+pytestmark = pytest.mark.skipif(
+    not dataplane.available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_shard_pools()
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = _leaked()
+    yield
+    assert _leaked() == before
+
+
+class TestShardPlanDataPlaneFields:
+    def test_defaults(self):
+        plan = ShardPlan()
+        assert plan.data_plane == "shm"
+        assert plan.shm_min_bytes == 16 * 1024
+        assert plan.fuse is True
+
+    def test_unknown_data_plane_rejected(self):
+        with pytest.raises(PipelineError):
+            ShardPlan(data_plane="carrier-pigeon")
+
+    def test_zero_shm_min_bytes_rejected(self):
+        with pytest.raises(PipelineError):
+            ShardPlan(shm_min_bytes=0)
+
+    def test_data_plane_not_in_cache_token(self):
+        """Transport choice must never repartition the cache."""
+        a = PipelineConfig(shard=ShardPlan(slices=True, data_plane="shm"))
+        b = PipelineConfig(shard=ShardPlan(slices=True, data_plane="pickle"))
+        assert a.cache_token() == b.cache_token()
+
+
+_DTYPES = ["<f4", "<f8", "<i4", "<i8", "<u1", "<c8", "|b1"]
+_SHAPES = st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=3)
+
+
+class TestHeaderRoundTrip:
+    """publish → fetch is pickle-byte-identical to the in-band path."""
+
+    @given(
+        dtype=st.sampled_from(_DTYPES),
+        shape=_SHAPES,
+        order=st.sampled_from(["C", "F"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_bit_identical(self, dtype, shape, order, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.asarray(
+            rng.integers(0, 100, size=tuple(shape)), dtype=np.dtype(dtype), order=order
+        )
+        header = publish(arr, digest=True)
+        try:
+            out = fetch(header)
+        finally:
+            release_headers([header])
+        # The transported array must pickle exactly like the array the
+        # classic pickle plane would have produced.
+        assert pickle.dumps(out) == pickle.dumps(pickle.loads(pickle.dumps(arr)))
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_non_contiguous_matches_pickle_semantics(self):
+        base = np.arange(120, dtype=np.float64).reshape(10, 12)
+        arr = base[::2, ::3]  # non-contiguous view
+        assert not arr.flags.c_contiguous and not arr.flags.f_contiguous
+        header = publish(arr)
+        try:
+            out = fetch(header)
+        finally:
+            release_headers([header])
+        # numpy's own reduction flattens non-contiguous arrays to C.
+        assert pickle.dumps(out) == pickle.dumps(pickle.loads(pickle.dumps(arr)))
+
+    def test_fortran_order_preserved(self):
+        arr = np.asfortranarray(np.arange(24, dtype=np.float32).reshape(4, 6))
+        header = publish(arr)
+        try:
+            out = fetch(header)
+        finally:
+            release_headers([header])
+        assert out.flags.f_contiguous
+        assert pickle.dumps(out) == pickle.dumps(arr)
+
+    def test_digest_mismatch_raises(self):
+        arr = np.arange(32, dtype=np.float64)
+        header = publish(arr, digest=True)
+        try:
+            reg = process_registry()
+            shm = reg.attach(header.segment)
+            try:
+                shm.buf[0] = (shm.buf[0] + 1) % 256  # corrupt in place
+            finally:
+                shm.close()
+            with pytest.raises(DataPlaneError):
+                fetch(header)
+        finally:
+            release_headers([header])
+
+    def test_truncated_segment_raises(self):
+        arr = np.arange(16, dtype=np.float64)
+        header = publish(arr)
+        lying = ShmHeader(
+            segment=header.segment,
+            dtype=header.dtype,
+            shape=(1024, 1024),
+            order="C",
+            nbytes=1024 * 1024 * 8,
+        )
+        try:
+            with pytest.raises(DataPlaneError):
+                fetch(lying)
+        finally:
+            release_headers([header])
+
+
+class TestDumpsLoads:
+    def test_nested_payload_round_trip(self):
+        rng = np.random.default_rng(5)
+        payload = {
+            "images": [rng.random((8, 8)) for _ in range(3)],
+            "meta": ("tag", 42, None),
+            "small": np.arange(3),
+        }
+        blob, headers = dataplane.dumps(payload, min_bytes=1)
+        assert len(headers) == 4  # three images + the small array
+        out, segments = dataplane.loads(blob, materialize=True, unlink=True)
+        assert segments == []
+        assert pickle.dumps(out) == pickle.dumps(pickle.loads(pickle.dumps(payload)))
+
+    def test_small_arrays_stay_inline(self):
+        payload = [np.arange(4, dtype=np.uint8)]
+        blob, headers = dataplane.dumps(payload, min_bytes=1024)
+        assert headers == []
+        out, segments = dataplane.loads(blob)
+        assert segments == []
+        assert np.array_equal(out[0], payload[0])
+
+    def test_views_are_zero_copy_and_read_only(self):
+        arr = np.arange(64, dtype=np.float64)
+        blob, headers = dataplane.dumps([arr], min_bytes=1)
+        try:
+            out, segments = dataplane.loads(blob, materialize=False)
+            assert len(segments) == 1
+            view = out[0]
+            assert not view.flags.writeable
+            assert not view.flags.owndata  # backed by the segment, not a copy
+            with pytest.raises((ValueError, RuntimeError)):
+                view[0] = 1.0
+            assert np.array_equal(view, arr)
+            del out, view
+            close_segments(segments)
+        finally:
+            release_headers(headers)
+
+    def test_fetch_view_round_trip(self):
+        arr = np.arange(50, dtype=np.int32).reshape(5, 10)
+        header = publish(arr, digest=True)
+        try:
+            view, shm = fetch_view(header)
+            assert np.array_equal(view, arr)
+            del view
+            close_segments([shm])
+        finally:
+            release_headers([header])
+
+    def test_release_is_idempotent(self):
+        arr = np.arange(8, dtype=np.float64)
+        header = publish(arr)
+        release_headers([header])
+        release_headers([header])  # double release must be harmless
+
+    def test_reap_leaked_cleans_owned_segments(self):
+        arr = np.arange(256, dtype=np.float64)
+        publish(arr)
+        publish(arr)
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            assert dataplane.reap_leaked("test") == 2
+        assert (
+            reg.counter("repro_dataplane_reaped_total", where="test").value == 2
+        )
+        assert dataplane.reap_leaked("test") == 0
+
+
+class TestShardMapZeroCopy:
+    def _items(self, n=7, seed=3):
+        rng = np.random.default_rng(seed)
+        return [rng.random((13, 11)).astype(np.float32) for _ in range(n)]
+
+    def test_shm_plane_bit_identical_to_serial(self):
+        items = self._items()
+        out = shard_map("t", _scale, items, _plan(data_plane="shm"))
+        assert pickle.dumps(out) == pickle.dumps(_scale(items))
+
+    def test_shm_plane_matches_pickle_plane(self):
+        items = self._items()
+        shm_out = shard_map("t", _scale, items, _plan(data_plane="shm"))
+        pkl_out = shard_map("t", _scale, items, _plan(data_plane="pickle"))
+        assert pickle.dumps(shm_out) == pickle.dumps(pkl_out)
+
+    def test_awkward_arrays_bit_identical(self):
+        """Non-contiguous, Fortran-order and zero-size payloads all take
+        the zero-copy plane and still match the serial bytes."""
+        base = np.arange(720, dtype=np.float64).reshape(24, 30)
+        items = [
+            base[::2, ::3],                      # non-contiguous view
+            np.asfortranarray(base[:6, :5]),     # Fortran-contiguous
+            np.empty((0, 4), dtype=np.float32),  # zero-size
+            base.copy(),                         # plain C-contiguous
+        ]
+        out = shard_map("t", _scale, items, _plan(batch=1))
+        assert pickle.dumps(out) == pickle.dumps(_scale(items))
+
+    def test_transport_metrics_counted(self):
+        items = self._items(n=4)
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            shard_map("t", _scale, items, _plan(batch=2))
+        assert reg.counter("repro_dataplane_segments_total", dir="out").value > 0
+        assert reg.counter("repro_dataplane_segments_total", dir="back").value > 0
+        assert reg.counter("repro_dataplane_bytes_total", dir="out").value >= sum(
+            i.nbytes for i in items
+        )
+
+    def test_unavailable_falls_back_to_pickle_plane(self, monkeypatch):
+        monkeypatch.setattr(dataplane, "_AVAILABLE", False)
+        items = self._items(n=4)
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            out = shard_map("t", _scale, items, _plan(batch=2))
+        monkeypatch.setattr(dataplane, "_AVAILABLE", True)
+        assert pickle.dumps(out) == pickle.dumps(_scale(items))
+        assert (
+            reg.counter(
+                "repro_dataplane_fallback_total", reason="shm-unavailable"
+            ).value
+            > 0
+        )
+
+    def test_worker_exception_releases_segments(self):
+        items = self._items(n=6)
+        with pytest.raises(ValueError, match="worker exploded"):
+            shard_map("t", _boom, items, _plan(batch=2))
+        # the autouse fixture asserts /dev/shm is clean afterwards
+
+
+FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
+
+
+class TestFusedCampaign:
+    """Stage fusion rides the shard pool without changing a single byte."""
+
+    @pytest.fixture(scope="class")
+    def job(self):
+        return ChipJob(
+            name="fused",
+            spec=SaRegionSpec(name="dp_classic", topology="classic", n_pairs=1),
+            campaign=FibSemCampaign(
+                slice_thickness_nm=12.0, sem=SemParameters(dwell_time_us=6.0)
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_bytes(self, job):
+        report = run_campaign([job], config=FAST, workers=1)
+        return pickle.dumps(report.results())
+
+    def test_fused_shm_campaign_matches_serial(self, job, serial_bytes):
+        sharded = run_campaign(
+            [job],
+            config=FAST.replaced(shard=ShardPlan(slices=True, workers=2)),
+            workers=1,
+        )
+        assert pickle.dumps(sharded.results()) == serial_bytes
+
+    def test_unfused_pickle_plane_matches_serial(self, job, serial_bytes):
+        sharded = run_campaign(
+            [job],
+            config=FAST.replaced(shard=ShardPlan(
+                slices=True, workers=2, fuse=False, data_plane="pickle"
+            )),
+            workers=1,
+        )
+        assert pickle.dumps(sharded.results()) == serial_bytes
+
+    def test_fusion_skips_denoise_and_qc_pool_trips(self, job):
+        from repro.runtime import ResiliencePolicy
+
+        # force_qc engages the QC gate without a fault plan (an *active*
+        # plan would disable fusion), so both fused stages fire.
+        policy = ResiliencePolicy(force_qc=True)
+        serial = run_campaign([job], config=FAST, workers=1, policy=policy)
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            fused = run_campaign(
+                [job],
+                config=FAST.replaced(shard=ShardPlan(slices=True, workers=2)),
+                workers=1,
+                policy=policy,
+            )
+        assert (
+            reg.counter("repro_dataplane_fused_total", stage="denoise").value >= 1
+        )
+        assert reg.counter("repro_dataplane_fused_total", stage="qc").value >= 1
+        assert pickle.dumps(fused.results()) == pickle.dumps(serial.results())
+
+
+class TestCampaignSegmentHygiene:
+    """Quarantined and timed-out campaigns leave /dev/shm spotless (the
+    autouse fixture asserts it after every test here)."""
+
+    def _job(self, fault_plan=None):
+        return ChipJob(
+            name="hygiene",
+            spec=SaRegionSpec(name="dp_hygiene", topology="classic", n_pairs=1),
+            campaign=FibSemCampaign(
+                slice_thickness_nm=16.0, sem=SemParameters(dwell_time_us=6.0)
+            ),
+            y_stop_nm=300.0,
+            fault_plan=fault_plan,
+        )
+
+    def test_quarantined_campaign_leaves_no_segments(self):
+        from repro.faults import FaultPlan
+        from repro.runtime import ResiliencePolicy
+
+        poison = FaultPlan(seed=3, drop_rate=0.3, drift_spike_rate=0.2)
+        report = run_campaign(
+            [self._job(poison)],
+            config=FAST.replaced(shard=ShardPlan(slices=True, workers=2)),
+            workers=1,
+            policy=ResiliencePolicy(max_retries=0),
+        )
+        assert report.quarantined  # the chip really did fail
+
+    def test_timed_out_campaign_leaves_no_segments(self):
+        from repro.runtime import ResiliencePolicy
+
+        report = run_campaign(
+            [self._job()],
+            config=FAST.replaced(shard=ShardPlan(slices=True, workers=2)),
+            workers=1,
+            policy=ResiliencePolicy(chip_timeout_s=1e-6),
+        )
+        assert report.quarantined

@@ -185,6 +185,62 @@ def _drop_one(batch: list[np.ndarray]) -> list[np.ndarray]:
     return [a * 2.0 for a in batch[1:]]
 
 
+class _Unpicklable:
+    """Sentinel whose serialization paths all raise — if payload_nbytes
+    ever touches pickle (or repr/str), the estimate blows up."""
+
+    def __reduce__(self):
+        raise RuntimeError("payload_nbytes must not serialize items")
+
+    def __repr__(self):  # pragma: no cover - only hit on a regression
+        raise RuntimeError("payload_nbytes must not render items")
+
+
+class TestPayloadNbytes:
+    def test_arrays_report_nbytes_exactly(self):
+        arr = np.zeros((7, 9), dtype=np.float64)
+        assert payload_nbytes(arr) == arr.nbytes
+
+    def test_buffers_report_length(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(10)) == 10
+        assert payload_nbytes(memoryview(b"xyz")) == 3
+
+    def test_containers_sum_recursively(self):
+        arr = np.zeros(16, dtype=np.float32)
+        assert payload_nbytes([arr, arr]) == 2 * arr.nbytes + 64
+        assert payload_nbytes({"a": arr}) == arr.nbytes + 64
+        assert payload_nbytes((arr,)) == arr.nbytes + 64
+
+    def test_dataclass_fields_are_walked(self):
+        import dataclasses as dc
+
+        @dc.dataclass(frozen=True)
+        class Shot:
+            image: np.ndarray
+            index: int
+
+        arr = np.zeros((4, 4), dtype=np.float64)
+        assert payload_nbytes(Shot(arr, 3)) >= arr.nbytes
+
+    def test_never_serializes_the_item(self):
+        """Regression: the estimate must stay pickle-free on the hot
+        path — an object whose ``__reduce__`` raises still gets a
+        nominal size instead of an exception."""
+        assert payload_nbytes(_Unpicklable()) == 256
+        assert payload_nbytes([_Unpicklable(), _Unpicklable()]) == 2 * 256 + 64
+        assert payload_nbytes({"bad": _Unpicklable()}) == 256 + 64
+
+    def test_fake_nbytes_attribute_is_type_checked(self):
+        """A stray non-integer ``nbytes`` attribute must not poison the
+        sum (regression for duck-typed objects with nbytes properties)."""
+
+        class Odd:
+            nbytes = "not a number"
+
+        assert payload_nbytes(Odd()) == 256
+
+
 class TestShardedStages:
     """The three per-slice stages, sharded vs serial, byte for byte."""
 
