@@ -29,7 +29,13 @@ Research by Uncovering Sense Amplifiers with IC Imaging* (ISCA 2024):
   blur bursts) behind :class:`FaultPlan`;
 * :mod:`repro.obs` — campaign observability: hierarchical span tracing
   (Chrome-trace exportable), a metrics registry merged across workers,
-  and JSON-lines structured logging, all off (and free) by default.
+  and JSON-lines structured logging, all off (and free) by default;
+* :mod:`repro.catalog` — parametric chip catalog: an options-driven
+  variant registry (vendor profile x process generation x topology x
+  word size x column mux x body taps x noise regime) that lowers
+  :class:`ChipVariantSpec` axes to layout specs, enumerates or samples
+  deterministic variant populations and scores hundred-chip fuzz
+  campaigns into versioned ``catalog-report/1`` JSON.
 
 Quick start::
 
@@ -54,6 +60,14 @@ Analog characterization sweep (batched solver, campaign-cached)::
     spec = CharacterizationSpec(corners=("TT", "SS"), trials=64)
     report = characterize(spec, cache_dir=".stage-cache")
     print(report.render())
+
+Chip-catalog fuzz campaign (deterministic population, scored)::
+
+    from repro import CatalogSpec, run_catalog_campaign, sample
+
+    variants = sample(CatalogSpec(), 100, seed=0)
+    report = run_catalog_campaign(variants, workers=4, cache_dir=".stage-cache")
+    print(report.render())
 """
 
 from repro.analog import (
@@ -62,6 +76,16 @@ from repro.analog import (
     CharacterizationSpec,
     DeviceCorner,
     characterize,
+)
+from repro.catalog import (
+    CatalogReport,
+    CatalogSpec,
+    ChipVariantSpec,
+    build_region_spec,
+    expand_grid,
+    register_variant,
+    run_catalog_campaign,
+    sample,
 )
 from repro.circuits import (
     SaTopology,
@@ -84,10 +108,18 @@ from repro.pipeline import PipelineConfig, ShardPlan
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
 from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BatchedTransientSolver",
+    "CatalogReport",
+    "CatalogSpec",
+    "ChipVariantSpec",
+    "build_region_spec",
+    "expand_grid",
+    "register_variant",
+    "run_catalog_campaign",
+    "sample",
     "CharacterizationReport",
     "CharacterizationSpec",
     "DeviceCorner",

@@ -12,7 +12,10 @@ Commands:
   the parallel, stage-cached campaign runtime (``--help`` for options);
 * ``characterize`` — sweep sense-amp figures of merit (offset, latency,
   energy, Monte-Carlo yield) across corners × topologies on the batched
-  analog solver, through the same campaign runtime (``--help``).
+  analog solver, through the same campaign runtime (``--help``);
+* ``catalog`` — enumerate or sample a parametric chip-variant population
+  from the catalog registry, fuzz the full imaging + RE pipeline over it
+  and score population identification accuracy (``--help``).
 """
 
 from __future__ import annotations
@@ -582,6 +585,208 @@ def cmd_characterize(args: list[str]) -> int:
     return 0
 
 
+_CATALOG_USAGE = """\
+usage: python -m repro catalog [options]
+
+Enumerate a parametric chip population (vendor profile x process
+generation x SA topology x word size x column mux x body taps x noise
+regime), image + reverse engineer every variant through the campaign
+runtime, and score population-level identification accuracy
+(catalog-report/1).
+
+options:
+  --variants N  sample N variants from the axis grid with a seeded RNG
+                (names s000..., each with its own acquisition seed);
+                default: enumerate the full axis grid (g000...)
+  --seed N      sampling seed for --variants (default 0)
+  --builders LIST
+                comma list of variant builders to enumerate (registered
+                names or module:attr refs; default classic,ocsa)
+  --vendors LIST
+                vendor profiles (default fab-a,fab-b,fab-c)
+  --generations LIST
+                process generations (default ddr4,ddr5)
+  --word-sizes LIST
+                bitline pairs per region (default 1,2)
+  --column-muxes LIST
+                column-select mux ratios (default 4)
+  --body-taps LIST
+                substrate tap placements: none, lane, edge (default
+                none,edge)
+  --noises LIST
+                drift/noise regimes: quiet, nominal, noisy (default
+                nominal)
+  --fault-plan SPEC
+                inject seeded acquisition faults in every variant; same
+                key=value SPEC as `campaign --fault-plan`
+  --full-pipeline
+                run the published pipeline settings instead of the fast
+                population preset
+  --workers N   worker-process budget (default: one per variant, capped
+                at the CPU count; 1 = serial)
+  --cache DIR   content-addressed stage cache directory (reruns reuse it)
+  --json PATH   write the versioned catalog-report/1 JSON to PATH
+                ("-" = stdout)
+
+A campaign with quarantined variants still exits 0 as long as at least
+one variant completed; it exits 1 only when every variant failed.
+"""
+
+
+def cmd_catalog(args: list[str]) -> int:
+    from repro.errors import CatalogError, ReproError
+
+    class _UsageError(Exception):
+        pass
+
+    def _value(flag: str, i: int) -> str:
+        if i >= len(args):
+            raise _UsageError(f"{flag} requires a value")
+        return args[i]
+
+    def _int_value(flag: str, i: int) -> int:
+        raw = _value(flag, i)
+        try:
+            return int(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires an integer, got {raw!r}") from None
+
+    def _list_value(flag: str, i: int) -> tuple[str, ...]:
+        items = tuple(t.strip() for t in _value(flag, i).split(",") if t.strip())
+        if not items:
+            raise _UsageError(f"{flag} requires a non-empty comma list")
+        return items
+
+    def _int_list_value(flag: str, i: int) -> tuple[int, ...]:
+        try:
+            return tuple(int(t) for t in _list_value(flag, i))
+        except ValueError:
+            raise _UsageError(f"{flag} requires comma-separated integers") from None
+
+    n_variants: int | None = None
+    seed = 0
+    axes: dict[str, tuple] = {}
+    fault_spec: str | None = None
+    full_pipeline = False
+    workers: int | None = None
+    cache_dir: str | None = None
+    json_path: str | None = None
+
+    i = 0
+    try:
+        while i < len(args):
+            arg = args[i]
+            if arg == "--variants":
+                i += 1
+                n_variants = _int_value(arg, i)
+            elif arg == "--seed":
+                i += 1
+                seed = _int_value(arg, i)
+            elif arg == "--builders":
+                i += 1
+                axes["variants"] = _list_value(arg, i)
+            elif arg == "--vendors":
+                i += 1
+                axes["vendors"] = _list_value(arg, i)
+            elif arg == "--generations":
+                i += 1
+                axes["generations"] = _list_value(arg, i)
+            elif arg == "--word-sizes":
+                i += 1
+                axes["word_sizes"] = _int_list_value(arg, i)
+            elif arg == "--column-muxes":
+                i += 1
+                axes["column_muxes"] = _int_list_value(arg, i)
+            elif arg == "--body-taps":
+                i += 1
+                axes["body_taps"] = _list_value(arg, i)
+            elif arg == "--noises":
+                i += 1
+                axes["noises"] = _list_value(arg, i)
+            elif arg == "--fault-plan":
+                i += 1
+                fault_spec = _value(arg, i)
+            elif arg == "--full-pipeline":
+                full_pipeline = True
+            elif arg == "--workers":
+                i += 1
+                workers = _int_value(arg, i)
+            elif arg == "--cache":
+                i += 1
+                cache_dir = _value(arg, i)
+            elif arg == "--json":
+                i += 1
+                json_path = _value(arg, i)
+            elif arg in ("--help", "-h"):
+                print(_CATALOG_USAGE)
+                return 0
+            else:
+                raise _UsageError(f"unknown option {arg!r}")
+            i += 1
+
+        if fault_spec is not None:
+            from repro.faults import FaultPlan
+
+            try:
+                axes["fault_plans"] = (FaultPlan.parse(fault_spec),)
+            except ReproError as exc:
+                raise _UsageError(str(exc)) from None
+        if n_variants is not None and n_variants < 1:
+            raise _UsageError("--variants must be at least 1")
+
+        from repro.catalog import CatalogSpec, expand_grid, sample
+
+        try:
+            spec = CatalogSpec(**axes)
+        except CatalogError as exc:
+            raise _UsageError(str(exc)) from None
+        variants = (
+            sample(spec, n_variants, seed=seed)
+            if n_variants is not None
+            else expand_grid(spec)
+        )
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        print(_CATALOG_USAGE, file=sys.stderr)
+        return 2
+
+    from repro.catalog import run_catalog_campaign
+    from repro.errors import ReproError as _ReproError
+
+    try:
+        config = None
+        if full_pipeline:
+            from repro.pipeline import PipelineConfig
+
+            config = PipelineConfig()
+        report = run_catalog_campaign(
+            variants,
+            config=config,
+            workers=workers,
+            cache_dir=cache_dir,
+            seed=seed if n_variants is not None else None,
+        )
+    except _ReproError as exc:
+        print(f"catalog campaign failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(report.render())
+    print(f"results digest: {report.results_digest()}")
+    if json_path is not None:
+        text = report.to_json()
+        if json_path == "-":
+            print(text)
+        else:
+            with open(json_path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"report written: {json_path}")
+    if not report.scores:
+        print("catalog campaign failed: every variant was quarantined",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "summary"
@@ -611,6 +816,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_campaign(args[1:])
     elif command == "characterize":
         return cmd_characterize(args[1:])
+    elif command == "catalog":
+        return cmd_catalog(args[1:])
     else:
         print(__doc__, file=sys.stderr)
         return 2

@@ -1,0 +1,71 @@
+"""Parametric chip catalog: variant registry + enumerator + population runs.
+
+The catalog turns the single-chip substrate into a *population* tool
+(§V studies six real chips; fuzz campaigns want hundreds of synthetic
+ones):
+
+* :class:`ChipVariantSpec` names one synthetic chip along the population
+  axes (vendor profile, DDR4/DDR5 process preset, topology family, word
+  size, column-mux ratio, body-tap placement, noise regime, fault plan);
+* :func:`register_variant` / :func:`variant_builder` are the named
+  builder registry lowering variants to
+  :class:`~repro.layout.generator.SaRegionSpec` ground truth;
+* :class:`CatalogSpec` + :func:`expand_grid` / :func:`sample` enumerate
+  deterministic variant populations;
+* :func:`run_catalog_campaign` runs them through the unchanged campaign
+  substrate and scores the population into a ``catalog-report/1``
+  :class:`CatalogReport`.
+
+CLI: ``python -m repro catalog``; perf probe: ``python -m repro.perf
+--catalog``.
+"""
+
+from repro.catalog.variants import (
+    NOISE_REGIMES,
+    PROCESS_PRESETS,
+    VENDOR_PROFILES,
+    ChipVariantSpec,
+    ProcessPreset,
+    VendorProfile,
+    build_region_spec,
+    chip_variant,
+    register_variant,
+    registered_variants,
+    variant_builder,
+)
+from repro.catalog.grid import CatalogSpec, expand_grid, sample
+from repro.catalog.campaign import (
+    REPORT_SCHEMA_VERSION,
+    CatalogReport,
+    VariantScore,
+    build_job,
+    catalog_pipeline_config,
+    population_summary,
+    run_catalog_campaign,
+    score_variant,
+)
+
+__all__ = [
+    "NOISE_REGIMES",
+    "PROCESS_PRESETS",
+    "VENDOR_PROFILES",
+    "ChipVariantSpec",
+    "ProcessPreset",
+    "VendorProfile",
+    "build_region_spec",
+    "chip_variant",
+    "register_variant",
+    "registered_variants",
+    "variant_builder",
+    "CatalogSpec",
+    "expand_grid",
+    "sample",
+    "REPORT_SCHEMA_VERSION",
+    "CatalogReport",
+    "VariantScore",
+    "build_job",
+    "catalog_pipeline_config",
+    "population_summary",
+    "run_catalog_campaign",
+    "score_variant",
+]

@@ -1,0 +1,468 @@
+"""Population campaigns: catalog → ``ChipJob``\\ s → scorer → report.
+
+:func:`run_catalog_campaign` lowers every catalog variant to a
+:class:`~repro.runtime.campaign.ChipJob` and runs them through the
+unchanged pool/shard/cache/dataplane/quarantine substrate of
+:func:`~repro.runtime.campaign.run_campaign`.  The population scorer then
+compares each recovered chip against its own ground truth and aggregates
+the per-variant topology-identification rate and the W/L error
+distributions into a versioned ``catalog-report/1`` JSON
+(:class:`CatalogReport`).
+
+Results are bit-identical for any ``workers`` value — the substrate's
+guarantee — and :meth:`CatalogReport.results_digest` surfaces that as a
+single comparable token.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.catalog.grid import CatalogSpec, expand_grid
+from repro.catalog.variants import (
+    NOISE_REGIMES,
+    VENDOR_PROFILES,
+    ChipVariantSpec,
+    build_region_spec,
+)
+from repro.core.report import render_table
+from repro.errors import CatalogError
+from repro.imaging.fib import FibSemCampaign
+from repro.imaging.sem import SemParameters
+from repro.obs import ObsConfig
+from repro.pipeline.config import PipelineConfig
+from repro.runtime.campaign import ChipJob, ChipRun, run_campaign
+from repro.runtime.engine import ResiliencePolicy
+from repro.runtime.hashing import stable_hash
+
+#: serialization schema of :meth:`CatalogReport.to_dict`
+REPORT_SCHEMA_VERSION = "catalog-report/1"
+
+_READABLE_SCHEMA_VERSIONS = (REPORT_SCHEMA_VERSION,)
+
+
+def build_job(spec: ChipVariantSpec, *, validate: bool = True, **job_kwargs) -> ChipJob:
+    """Lower one catalog variant to a campaign job.
+
+    The acquisition seed derives from the variant's name and ``seed``
+    field, so every catalog entry images a distinct but reproducible
+    volume; the drift/noise regime picks the SEM dwell time and the FIB
+    drift walk, and the vendor profile decides SE friendliness (§IV-B).
+    The sampling grid tracks the process: SEM pixel and reconstruction
+    voxel scale with the variant's feature size relative to the 18 nm
+    baseline — the same per-chip resolution choice the paper made
+    (§IV-B), and what keeps minimum-pitch gaps resolvable at any feature
+    size.  Extra ``job_kwargs`` pass through to :class:`ChipJob` (e.g. a
+    ``y_stop_nm`` crop for smoke tests).
+    """
+    region = build_region_spec(spec)
+    regime = NOISE_REGIMES[spec.noise]
+    profile = VENDOR_PROFILES[spec.vendor]
+    acq_seed = int(
+        stable_hash({"catalog_acquisition": (spec.name, spec.seed)})[:12], 16
+    )
+    scale = region.feature_nm / 18.0
+    campaign = FibSemCampaign(
+        slice_thickness_nm=12.0,
+        sem=SemParameters(
+            dwell_time_us=float(regime["dwell_time_us"]),
+            pixel_nm=5.0 * scale,
+            se_friendly_process=profile.se_friendly,
+        ),
+        drift_step_px=float(regime["drift_step_px"]),
+        max_drift_px=int(regime["max_drift_px"]),
+        seed=acq_seed,
+    )
+    job_kwargs.setdefault("voxel_nm", 6.0 * scale)
+    return ChipJob(
+        name=spec.name,
+        spec=region,
+        campaign=campaign,
+        validate=validate,
+        fault_plan=spec.fault_plan,
+        **job_kwargs,
+    )
+
+
+def catalog_pipeline_config() -> PipelineConfig:
+    """The catalog's default pipeline: the demo-grade fast settings.
+
+    Population campaigns trade per-chip polish for coverage — hundreds of
+    variants at the published iteration counts would take hours.  Pass an
+    explicit ``config`` to :func:`run_catalog_campaign` for the
+    full-fidelity pipeline.
+    """
+    return PipelineConfig().replaced(
+        denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+    )
+
+
+@dataclass(frozen=True)
+class VariantScore:
+    """One variant's ground-truth comparison (a row of the population)."""
+
+    name: str
+    axes: dict
+    expected_topology: str
+    recovered_topology: str | None
+    identified: bool  #: recovered topology == the generating topology
+    lanes_matched: int
+    exact: bool  #: every matched lane passed the VF2 isomorphism check
+    complete: bool | None  #: all truth classes recovered (None: unvalidated)
+    max_wl_error: float | None
+    #: per-class relative W/L recovery error, keyed "<class>.w"/"<class>.l"
+    wl_errors: dict[str, float]
+    retries: int
+    fault_events: int
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "axes": dict(self.axes),
+            "expected_topology": self.expected_topology,
+            "recovered_topology": self.recovered_topology,
+            "identified": self.identified,
+            "lanes_matched": self.lanes_matched,
+            "exact": self.exact,
+            "complete": self.complete,
+            "max_wl_error": self.max_wl_error,
+            "wl_errors": dict(self.wl_errors),
+            "retries": self.retries,
+            "fault_events": self.fault_events,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VariantScore":
+        return cls(
+            name=str(data["name"]),
+            axes=dict(data.get("axes", {})),
+            expected_topology=str(data["expected_topology"]),
+            recovered_topology=data.get("recovered_topology"),
+            identified=bool(data["identified"]),
+            lanes_matched=int(data.get("lanes_matched", 0)),
+            exact=bool(data.get("exact", False)),
+            complete=data.get("complete"),
+            max_wl_error=data.get("max_wl_error"),
+            wl_errors={k: float(v) for k, v in data.get("wl_errors", {}).items()},
+            retries=int(data.get("retries", 0)),
+            fault_events=int(data.get("fault_events", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+        )
+
+
+def score_variant(
+    spec: ChipVariantSpec, expected_topology: str, run: ChipRun
+) -> VariantScore:
+    """Compare one completed chip run against its generating spec."""
+    result = run.result
+    matched = result.lanes_matched if result is not None else 0
+    recovered = (
+        result.topology.value if result is not None and matched else None
+    )
+    wl_errors: dict[str, float] = {}
+    max_err: float | None = None
+    complete: bool | None = None
+    validation = result.validation if result is not None else None
+    if validation is not None:
+        for cls_, err in sorted(
+            validation.width_error.items(), key=lambda kv: kv[0].value
+        ):
+            wl_errors[f"{cls_.value}.w"] = float(err)
+        for cls_, err in sorted(
+            validation.length_error.items(), key=lambda kv: kv[0].value
+        ):
+            wl_errors[f"{cls_.value}.l"] = float(err)
+        max_err = float(validation.max_relative_error())
+        complete = validation.complete
+    return VariantScore(
+        name=spec.name,
+        axes=spec.axes,
+        expected_topology=expected_topology,
+        recovered_topology=recovered,
+        identified=recovered == expected_topology,
+        lanes_matched=matched,
+        exact=bool(result.all_exact) if result is not None else False,
+        complete=complete,
+        max_wl_error=max_err,
+        wl_errors=wl_errors,
+        retries=run.retries,
+        fault_events=run.fault_events,
+        seconds=run.seconds,
+    )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    idx = int(round(q * (len(sorted_values) - 1)))
+    return sorted_values[min(len(sorted_values) - 1, max(0, idx))]
+
+
+def _distribution(sorted_values: list[float]) -> dict:
+    if not sorted_values:
+        return {
+            "count": 0, "mean": None, "min": None,
+            "p50": None, "p95": None, "max": None,
+        }
+    return {
+        "count": len(sorted_values),
+        "mean": sum(sorted_values) / len(sorted_values),
+        "min": sorted_values[0],
+        "p50": _percentile(sorted_values, 0.50),
+        "p95": _percentile(sorted_values, 0.95),
+        "max": sorted_values[-1],
+    }
+
+
+#: axes the population summary groups identification rates by
+_GROUPING_AXES = (
+    "variant", "vendor", "generation", "word_size",
+    "column_mux", "body_tap", "noise", "faults",
+)
+
+
+def population_summary(scores: list[VariantScore], quarantined: int = 0) -> dict:
+    """Aggregate variant scores into the population-level numbers.
+
+    ``identification_rate`` is over *completed* variants; quarantined
+    ones count in ``variants`` but score nothing (the partial-report
+    contract of the campaign runtime).
+    """
+    completed = len(scores)
+    identified = sum(1 for s in scores if s.identified)
+    exact = sum(1 for s in scores if s.exact)
+    pooled = sorted(err for s in scores for err in s.wl_errors.values())
+    per_variant_max = sorted(
+        s.max_wl_error for s in scores if s.max_wl_error is not None
+    )
+    by_axis: dict[str, dict] = {}
+    for axis in _GROUPING_AXES:
+        groups: dict[str, dict] = {}
+        for s in scores:
+            key = str(s.axes.get(axis))
+            g = groups.setdefault(key, {"count": 0, "identified": 0})
+            g["count"] += 1
+            g["identified"] += int(s.identified)
+        for g in groups.values():
+            g["identification_rate"] = g["identified"] / g["count"]
+        by_axis[axis] = dict(sorted(groups.items()))
+    return {
+        "variants": completed + quarantined,
+        "completed": completed,
+        "quarantined": quarantined,
+        "identification_rate": identified / completed if completed else 0.0,
+        "exact_rate": exact / completed if completed else 0.0,
+        "by_axis": by_axis,
+        "wl_error": _distribution(pooled),
+        "max_wl_error": _distribution(per_variant_max),
+    }
+
+
+@dataclass
+class CatalogReport:
+    """Population-level RE accuracy of one catalog campaign."""
+
+    scores: list[VariantScore]
+    population: dict
+    workers: int
+    wall_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_dir: str | None = None
+    seed: int | None = None  #: sampling seed, when the run was sampled
+    quarantined: dict[str, dict] = field(default_factory=dict)
+
+    def results_digest(self) -> str:
+        """Stable hash of the deterministic portion (scores + summary).
+
+        Identical for any ``workers`` value and any cache state — the
+        bit-identity the campaign substrate guarantees, surfaced as one
+        comparable token.  Wall-clock fields (``seconds``) are excluded;
+        everything else in the scores and the population summary is
+        covered.
+        """
+        scores = []
+        for s in self.scores:
+            d = s.to_dict()
+            del d["seconds"]
+            scores.append(d)
+        return stable_hash({
+            "schema": REPORT_SCHEMA_VERSION,
+            "scores": scores,
+            "population": self.population,
+        })
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cache_dir": self.cache_dir,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "seed": self.seed,
+            "results": {
+                "digest": self.results_digest(),
+                "variants": [s.to_dict() for s in self.scores],
+                "population": self.population,
+            },
+            "quarantined": dict(self.quarantined),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CatalogReport":
+        version = data.get("schema_version")
+        if version not in _READABLE_SCHEMA_VERSIONS:
+            raise CatalogError(
+                f"unreadable catalog report schema {version!r} "
+                f"(expected one of {_READABLE_SCHEMA_VERSIONS})"
+            )
+        results = data.get("results", {})
+        return cls(
+            scores=[VariantScore.from_dict(s) for s in results.get("variants", [])],
+            population=dict(results.get("population", {})),
+            workers=int(data.get("workers", 1)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            cache_dir=data.get("cache_dir"),
+            seed=data.get("seed"),
+            quarantined=dict(data.get("quarantined", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CatalogReport":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """ASCII population table plus the by-axis identification rates."""
+        rows = []
+        for s in self.scores:
+            a = s.axes
+            err = f"{s.max_wl_error:.1%}" if s.max_wl_error is not None else "-"
+            rows.append([
+                s.name,
+                f"{a['vendor']}/{a['generation']}",
+                f"w{a['word_size']}m{a['column_mux']}/{a['body_tap']}/{a['noise']}",
+                s.expected_topology,
+                s.recovered_topology or "-",
+                "yes" if s.identified else "NO",
+                str(s.lanes_matched),
+                err,
+                f"{s.seconds:6.2f}s",
+            ])
+        for name, record in self.quarantined.items():
+            rows.append([
+                name, "-", "-", "-", "-", "QUAR", "0", "-",
+                f"{float(record.get('seconds', 0.0)):6.2f}s",
+            ])
+        pop = self.population
+        title = (
+            f"catalog: {pop.get('variants', len(self.scores))} variants, "
+            f"workers={self.workers}, identification "
+            f"{pop.get('identification_rate', 0.0):.1%}, wall "
+            f"{self.wall_seconds:.2f}s, cache {self.cache_hits} hit / "
+            f"{self.cache_misses} miss"
+        )
+        out = [render_table(
+            ["variant", "fab/gen", "knobs", "truth", "found", "id",
+             "lanes", "maxWLerr", "time"],
+            rows, title=title,
+        )]
+        wl = pop.get("wl_error", {})
+        if wl.get("count"):
+            out.append(
+                f"W/L error (pooled, {wl['count']} class dims): "
+                f"mean {wl['mean']:.2%}, p50 {wl['p50']:.2%}, "
+                f"p95 {wl['p95']:.2%}, max {wl['max']:.2%}"
+            )
+        for axis, groups in pop.get("by_axis", {}).items():
+            if len(groups) < 2:
+                continue
+            cells = ", ".join(
+                f"{value}={g['identification_rate']:.0%}"
+                for value, g in groups.items()
+            )
+            out.append(f"identification by {axis}: {cells}")
+        return "\n".join(out)
+
+
+def run_catalog_campaign(
+    variants: CatalogSpec | Sequence[ChipVariantSpec],
+    *,
+    config: PipelineConfig | None = None,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    policy: ResiliencePolicy | None = None,
+    obs: ObsConfig | None = None,
+    seed: int | None = None,
+    validate: bool = True,
+    job_kwargs: dict | None = None,
+) -> CatalogReport:
+    """Image + reverse engineer every variant and score the population.
+
+    ``variants`` is either an explicit variant list (from
+    :func:`~repro.catalog.grid.expand_grid` /
+    :func:`~repro.catalog.grid.sample`) or a
+    :class:`~repro.catalog.grid.CatalogSpec`, whose full grid is
+    enumerated.  Ground-truth validation must stay on for W/L error
+    distributions; ``validate=False`` still scores topology
+    identification.  All the campaign substrate knobs (``workers``,
+    ``cache_dir``, ``policy``, ``obs``) pass straight through to
+    :func:`~repro.runtime.campaign.run_campaign`.
+    """
+    if isinstance(variants, CatalogSpec):
+        specs = expand_grid(variants)
+    else:
+        specs = list(variants)
+    if not specs:
+        raise CatalogError("catalog campaign needs at least one variant")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        seen: set[str] = set()
+        dup = next(n for n in names if n in seen or seen.add(n))
+        raise CatalogError(f"catalog variant names must be unique (dup: {dup!r})")
+
+    jobs: list[ChipJob] = []
+    expected: dict[str, str] = {}
+    for spec in specs:
+        job = build_job(spec, validate=validate, **(job_kwargs or {}))
+        expected[spec.name] = job.spec.topology
+        jobs.append(job)
+
+    report = run_campaign(
+        jobs,
+        config=config if config is not None else catalog_pipeline_config(),
+        workers=workers,
+        cache_dir=cache_dir,
+        policy=policy,
+        obs=obs,
+    )
+
+    scores = [
+        score_variant(spec, expected[spec.name], report.chips[spec.name])
+        for spec in specs
+        if spec.name in report.chips
+    ]
+    return CatalogReport(
+        scores=scores,
+        population=population_summary(
+            scores, quarantined=len(report.quarantined)
+        ),
+        workers=report.workers,
+        wall_seconds=report.wall_seconds,
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        cache_dir=report.cache_dir,
+        seed=seed,
+        quarantined={
+            name: rec.to_dict() for name, rec in report.quarantined.items()
+        },
+    )

@@ -1,0 +1,153 @@
+"""Deterministic catalog enumeration: full grids and seeded samples.
+
+A :class:`CatalogSpec` declares the population axes as value tuples;
+:func:`expand_grid` walks their cartesian product in declared-axis order
+and :func:`sample` draws *n* variants with a seeded RNG.  Both are pure
+functions of their inputs — the same ``(spec, seed)`` always yields the
+same variant list, which is what makes hundred-chip fuzz campaigns
+cache-addressable and bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, fields
+
+from repro.catalog.variants import ChipVariantSpec
+from repro.errors import CatalogError
+from repro.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class CatalogSpec:
+    """The population axes a fuzz campaign enumerates over.
+
+    Every axis is a non-empty tuple of admissible values.  Axis values
+    are validated eagerly (each must survive
+    :class:`~repro.catalog.variants.ChipVariantSpec` construction), so a
+    typo fails at spec construction rather than mid-campaign.  Variant
+    *names* resolve lazily at lowering time so dynamically registered
+    builders work.
+    """
+
+    variants: tuple[str, ...] = ("classic", "ocsa")
+    vendors: tuple[str, ...] = ("fab-a", "fab-b", "fab-c")
+    generations: tuple[str, ...] = ("ddr4", "ddr5")
+    word_sizes: tuple[int, ...] = (1, 2)
+    column_muxes: tuple[int, ...] = (4,)
+    body_taps: tuple[str, ...] = ("none", "edge")
+    noises: tuple[str, ...] = ("nominal",)
+    fault_plans: tuple[FaultPlan | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            axis = getattr(self, f.name)
+            if not isinstance(axis, tuple) or not axis:
+                raise CatalogError(
+                    f"catalog axis {f.name!r} needs a non-empty tuple"
+                )
+        for vendor in self.vendors:
+            ChipVariantSpec(name="axis-check", vendor=vendor)
+        for generation in self.generations:
+            ChipVariantSpec(name="axis-check", generation=generation)
+        for word in self.word_sizes:
+            ChipVariantSpec(name="axis-check", word_size=word)
+        for mux in self.column_muxes:
+            ChipVariantSpec(name="axis-check", column_mux=mux)
+        for tap in self.body_taps:
+            ChipVariantSpec(name="axis-check", body_tap=tap)
+        for noise in self.noises:
+            ChipVariantSpec(name="axis-check", noise=noise)
+
+    @property
+    def grid_size(self) -> int:
+        """Number of combinations :func:`expand_grid` enumerates."""
+        size = 1
+        for f in fields(self):
+            size *= len(getattr(self, f.name))
+        return size
+
+
+def _variant_name(
+    prefix: str,
+    idx: int,
+    variant: str,
+    vendor: str,
+    generation: str,
+    word: int,
+    mux: int,
+    tap: str,
+    noise: str,
+    plan: FaultPlan | None,
+) -> str:
+    tag = f"{variant}-{vendor}-{generation}-w{word}m{mux}-{tap}-{noise}"
+    if plan is not None and plan.active:
+        tag += "-faulty"
+    return f"{prefix}{idx:03d}-{tag}"
+
+
+def expand_grid(spec: CatalogSpec) -> list[ChipVariantSpec]:
+    """Every axis combination, in deterministic declared-axis order."""
+    out: list[ChipVariantSpec] = []
+    combos = itertools.product(
+        spec.variants, spec.vendors, spec.generations, spec.word_sizes,
+        spec.column_muxes, spec.body_taps, spec.noises, spec.fault_plans,
+    )
+    for idx, (variant, vendor, generation, word, mux, tap, noise, plan) in (
+        enumerate(combos)
+    ):
+        out.append(ChipVariantSpec(
+            name=_variant_name(
+                "g", idx, variant, vendor, generation, word, mux, tap, noise, plan
+            ),
+            variant=variant,
+            vendor=vendor,
+            generation=generation,
+            word_size=word,
+            column_mux=mux,
+            body_tap=tap,
+            noise=noise,
+            fault_plan=plan,
+        ))
+    return out
+
+
+def sample(spec: CatalogSpec, n: int, seed: int = 0) -> list[ChipVariantSpec]:
+    """*n* seeded draws with independently sampled axes.
+
+    Deterministic: the same ``(spec, n, seed)`` always returns the same
+    list (``random.Random`` is a stable, platform-independent generator).
+    Draw *k* also carries ``seed=k``, so two draws that land on the same
+    axis combination still image *distinct* (but reproducible)
+    acquisitions — the population spreads even when ``n`` exceeds the
+    grid size.
+    """
+    if n < 1:
+        raise CatalogError("sample size must be at least 1")
+    rng = random.Random(seed)
+    out: list[ChipVariantSpec] = []
+    for k in range(n):
+        variant = rng.choice(spec.variants)
+        vendor = rng.choice(spec.vendors)
+        generation = rng.choice(spec.generations)
+        word = rng.choice(spec.word_sizes)
+        mux = rng.choice(spec.column_muxes)
+        tap = rng.choice(spec.body_taps)
+        noise = rng.choice(spec.noises)
+        plan = rng.choice(spec.fault_plans)
+        out.append(ChipVariantSpec(
+            name=_variant_name(
+                "s", k, variant, vendor, generation, word, mux, tap, noise, plan
+            ),
+            variant=variant,
+            vendor=vendor,
+            generation=generation,
+            word_size=word,
+            column_mux=mux,
+            body_tap=tap,
+            noise=noise,
+            seed=k,
+            fault_plan=plan,
+        ))
+    return out

@@ -1,0 +1,317 @@
+"""Chip variant specs and the named variant-builder registry.
+
+The paper's findings (§V) span vendors, DDR4/DDR5 generations and two SA
+topologies, but :class:`~repro.layout.generator.SaRegionSpec` describes
+exactly one region shape.  This module is the catalog's fab front-end:
+
+* a :class:`ChipVariantSpec` names one synthetic chip along the
+  population axes — vendor profile (A/B/C house styles), process
+  generation (the 318 nm DDR4 / 275 nm DDR5 transition split of §V-C),
+  a topology-family builder, word size, column-mux ratio, body-tap
+  placement, drift/noise regime and an optional
+  :class:`~repro.faults.FaultPlan`;
+* a registry of *named builders* lowers a variant spec to a concrete
+  ``SaRegionSpec`` — the OpenNVRAM ``OPTS.sense_amp`` indirection:
+  variants are selected dynamically by name, so new chip families plug
+  in through :func:`register_variant` (or an entry-point-style
+  ``"module:attr"`` reference) without touching the enumerator or the
+  campaign code.
+
+Registered out of the box: ``classic`` and ``ocsa`` (the two §III/§V
+families under the full axis set) and ``hifi-a4`` … ``hifi-c5`` (the six
+Table I chips with their measured dimensions — what
+``core.hifi.region_spec_for`` lowers through).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CatalogError, UnknownVariantError
+from repro.faults import FaultPlan
+from repro.layout.elements import TransistorKind
+from repro.layout.generator import (
+    TRANSITION_NM_BY_GENERATION,
+    DeviceDims,
+    SaRegionSpec,
+    default_dims,
+)
+
+
+@dataclass(frozen=True)
+class ProcessPreset:
+    """One DRAM process generation (feature size + MAT→SA transition)."""
+
+    generation: str
+    feature_nm: float
+    transition_nm: float
+
+
+#: §V-C presets: the MAT→SA transition averages 318 nm on the DDR4 chips
+#: and 275 nm on the DDR5 chips; the feature sizes follow the Table I
+#: medians of each generation.
+PROCESS_PRESETS: dict[str, ProcessPreset] = {
+    "ddr4": ProcessPreset("ddr4", 18.0, TRANSITION_NM_BY_GENERATION["ddr4"]),
+    "ddr5": ProcessPreset("ddr5", 16.0, TRANSITION_NM_BY_GENERATION["ddr5"]),
+}
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """A synthetic vendor house style applied on top of a process preset."""
+
+    name: str
+    w_scale: float = 1.0  #: transistor width bias vs the generic dims
+    l_scale: float = 1.0  #: transistor length bias
+    feature_scale: float = 1.0  #: feature-size bias vs the preset
+    se_friendly: bool = True  #: §IV-B: vendor B/C processes are not SE friendly
+
+
+VENDOR_PROFILES: dict[str, VendorProfile] = {
+    "fab-a": VendorProfile("fab-a"),
+    "fab-b": VendorProfile(
+        "fab-b", w_scale=1.15, l_scale=0.9, feature_scale=1.05, se_friendly=False
+    ),
+    "fab-c": VendorProfile(
+        "fab-c", w_scale=0.9, l_scale=1.1, feature_scale=0.95, se_friendly=False
+    ),
+}
+
+
+#: Acquisition drift/noise regimes.  Dwell time scales the SEM shot noise
+#: (sigma ∝ 1/sqrt(dwell)); the drift knobs feed the FIB-SEM random walk.
+#: "nominal" reproduces the demo acquisition of ``ChipJob.synthetic``.
+NOISE_REGIMES: dict[str, dict[str, float]] = {
+    "quiet": {"dwell_time_us": 8.0, "drift_step_px": 0.15, "max_drift_px": 2},
+    "nominal": {"dwell_time_us": 6.0, "drift_step_px": 0.25, "max_drift_px": 4},
+    "noisy": {"dwell_time_us": 3.0, "drift_step_px": 0.4, "max_drift_px": 4},
+}
+
+
+@dataclass(frozen=True)
+class ChipVariantSpec:
+    """One synthetic chip along the catalog's population axes."""
+
+    name: str
+    variant: str = "classic"  #: registered builder name (or "module:attr")
+    vendor: str = "fab-a"
+    generation: str = "ddr4"
+    word_size: int = 2  #: bitline pairs per imaged SA tile (region lanes)
+    column_mux: int = 4  #: adjacent pairs sharing one column-select Y net
+    body_tap: str = "none"  #: substrate taps: "none" | "lane" | "edge"
+    noise: str = "nominal"  #: acquisition drift/noise regime
+    seed: int = 0  #: per-variant acquisition seed material
+    fault_plan: FaultPlan | None = None
+    feature_nm: float | None = None  #: override the process preset
+    transition_nm: float | None = None  #: override the generation preset
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("chip variant needs a name")
+        if self.vendor not in VENDOR_PROFILES:
+            raise CatalogError(
+                f"unknown vendor profile {self.vendor!r} "
+                f"(expected one of {sorted(VENDOR_PROFILES)})"
+            )
+        if self.generation not in PROCESS_PRESETS:
+            raise CatalogError(
+                f"unknown process generation {self.generation!r} "
+                f"(expected one of {sorted(PROCESS_PRESETS)})"
+            )
+        if self.noise not in NOISE_REGIMES:
+            raise CatalogError(
+                f"unknown noise regime {self.noise!r} "
+                f"(expected one of {sorted(NOISE_REGIMES)})"
+            )
+        if self.body_tap not in ("none", "lane", "edge"):
+            raise CatalogError(
+                f"unknown body tap placement {self.body_tap!r} "
+                f"(expected none, lane or edge)"
+            )
+        if self.word_size < 1:
+            raise CatalogError("word size must be at least one bitline pair")
+        if self.column_mux < 1:
+            raise CatalogError("column mux ratio must be at least 1")
+
+    @property
+    def axes(self) -> dict[str, object]:
+        """The population axes as a plain dict (report rows, grouping)."""
+        return {
+            "variant": self.variant,
+            "vendor": self.vendor,
+            "generation": self.generation,
+            "word_size": self.word_size,
+            "column_mux": self.column_mux,
+            "body_tap": self.body_tap,
+            "noise": self.noise,
+            "faults": bool(self.fault_plan is not None and self.fault_plan.active),
+        }
+
+
+VariantBuilder = Callable[[ChipVariantSpec], SaRegionSpec]
+
+_VARIANT_BUILDERS: dict[str, VariantBuilder] = {}
+
+
+def register_variant(name: str, builder: VariantBuilder | None = None):
+    """Register a named variant builder; usable as a decorator.
+
+    A builder maps a :class:`ChipVariantSpec` to the
+    :class:`~repro.layout.generator.SaRegionSpec` it stands for.
+    Re-registering a name replaces the previous builder (latest wins),
+    so tests and plug-ins can shadow the stock families.
+    """
+    if not name:
+        raise CatalogError("variant name must be non-empty")
+    if builder is None:
+
+        def _decorator(fn: VariantBuilder) -> VariantBuilder:
+            register_variant(name, fn)
+            return fn
+
+        return _decorator
+    _VARIANT_BUILDERS[name] = builder
+    return builder
+
+
+def registered_variants() -> tuple[str, ...]:
+    """The registered builder names, sorted."""
+    return tuple(sorted(_VARIANT_BUILDERS))
+
+
+def variant_builder(name: str) -> VariantBuilder:
+    """Look up a builder by registry name or ``"module:attr"`` reference.
+
+    Names containing a colon resolve like packaging entry points: the
+    module is imported and the attribute fetched — so a catalog spec can
+    reference builders that were never registered.  Unknown names raise
+    :class:`~repro.errors.UnknownVariantError` listing the registry.
+    """
+    try:
+        return _VARIANT_BUILDERS[name]
+    except KeyError:
+        pass
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        try:
+            builder = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise UnknownVariantError(name, registered_variants()) from exc
+        if not callable(builder):
+            raise UnknownVariantError(name, registered_variants())
+        return builder
+    raise UnknownVariantError(name, registered_variants())
+
+
+def build_region_spec(spec: ChipVariantSpec) -> SaRegionSpec:
+    """Lower a variant spec to the ground-truth generator's region spec."""
+    region = variant_builder(spec.variant)(spec)
+    if not isinstance(region, SaRegionSpec):
+        raise CatalogError(
+            f"variant builder {spec.variant!r} returned "
+            f"{type(region).__name__}, expected SaRegionSpec"
+        )
+    return region
+
+
+# ---------------------------------------------------------------------------
+# Stock builders: the two §III/§V topology families.
+
+def _family_dims(
+    topology: str, profile: VendorProfile
+) -> dict[TransistorKind, DeviceDims]:
+    return {
+        kind: DeviceDims(w=d.w * profile.w_scale, l=d.l * profile.l_scale)
+        for kind, d in default_dims(topology).items()
+    }
+
+
+def _family_region(spec: ChipVariantSpec, topology: str) -> SaRegionSpec:
+    preset = PROCESS_PRESETS[spec.generation]
+    profile = VENDOR_PROFILES[spec.vendor]
+    feature = (
+        spec.feature_nm
+        if spec.feature_nm is not None
+        else preset.feature_nm * profile.feature_scale
+    )
+    transition = (
+        spec.transition_nm if spec.transition_nm is not None else preset.transition_nm
+    )
+    return SaRegionSpec(
+        name=spec.name,
+        topology=topology,
+        n_pairs=spec.word_size,
+        feature_nm=feature,
+        transition_nm=transition,
+        dims=_family_dims(topology, profile),
+        column_mux=spec.column_mux,
+        body_tap=spec.body_tap,
+    )
+
+
+@register_variant("classic")
+def build_classic_variant(spec: ChipVariantSpec) -> SaRegionSpec:
+    """The conventional SA family (§III Fig 2) under the catalog axes."""
+    return _family_region(spec, "classic")
+
+
+@register_variant("ocsa")
+def build_ocsa_variant(spec: ChipVariantSpec) -> SaRegionSpec:
+    """The offset-cancellation family (§V Fig 9) under the catalog axes."""
+    return _family_region(spec, "ocsa")
+
+
+# ---------------------------------------------------------------------------
+# Table I chips as catalog variants (what core.hifi lowers through).
+
+def chip_variant(chip_id: str, word_size: int = 2, **overrides) -> ChipVariantSpec:
+    """The variant spec of one Table I chip (builder ``hifi-<id>``)."""
+    from repro.core.chips import chip as get_chip
+
+    c = get_chip(chip_id)
+    return ChipVariantSpec(
+        name=f"{c.chip_id.lower()}_region",
+        variant=f"hifi-{c.chip_id.lower()}",
+        vendor=f"fab-{c.vendor.lower()}",
+        generation=c.generation.lower(),
+        word_size=word_size,
+        **overrides,
+    )
+
+
+def _table1_builder(chip_id: str) -> VariantBuilder:
+    def _build(spec: ChipVariantSpec) -> SaRegionSpec:
+        from repro.core.chips import chip as get_chip
+
+        c = get_chip(chip_id)
+        dims = {
+            kind: DeviceDims(w=rec.w, l=rec.l, eff_w=rec.eff_w, eff_l=rec.eff_l)
+            for kind, rec in c.transistors.items()
+        }
+        return SaRegionSpec(
+            name=spec.name,
+            topology=c.topology.value,
+            n_pairs=spec.word_size,
+            feature_nm=(
+                spec.feature_nm if spec.feature_nm is not None
+                else c.geometry.feature_nm
+            ),
+            transition_nm=(
+                spec.transition_nm if spec.transition_nm is not None
+                else c.geometry.transition_nm
+            ),
+            dims=dims,
+            column_mux=spec.column_mux,
+            body_tap=spec.body_tap,
+        )
+
+    _build.__name__ = f"build_hifi_{chip_id.lower()}"
+    _build.__doc__ = f"Table I chip {chip_id} with its measured dimensions."
+    return _build
+
+
+for _chip_id in ("A4", "B4", "C4", "A5", "B5", "C5"):
+    register_variant(f"hifi-{_chip_id.lower()}", _table1_builder(_chip_id))
+del _chip_id

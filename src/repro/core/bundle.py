@@ -27,7 +27,8 @@ import json
 from pathlib import Path
 
 from repro.core.chips import CHIPS, Chip
-from repro.core.hifi import region_spec_for, spice_card
+from repro.catalog.variants import build_region_spec, chip_variant
+from repro.core.hifi import spice_card
 from repro.core.model_accuracy import all_reports
 from repro.core.overheads import table2_rows
 from repro.core.report import render_table
@@ -148,7 +149,9 @@ def write_bundle(target: str | Path, n_pairs: int = 2) -> dict:
         record = _chip_record(chip)
         (chip_dir / f"{chip_id}.json").write_text(json.dumps(record, indent=2))
 
-        cell = generate_sa_region(region_spec_for(chip_id, n_pairs=n_pairs))
+        cell = generate_sa_region(
+            build_region_spec(chip_variant(chip_id, word_size=n_pairs))
+        )
         shapes = write_gds(cell, chip_dir / f"{chip_id}.gds")
         write_svg(cell, chip_dir / f"{chip_id}.svg")
 

@@ -17,12 +17,14 @@ guesses again.  This module packages the dataset the same way:
 
 from __future__ import annotations
 
+import warnings
+
 from repro.circuits.netlist import Circuit
 from repro.circuits.topologies import SaSizes, SaTopology, build_classic_sa, build_ocsa
 from repro.core.chips import Chip, chip as get_chip
 from repro.core.models import AnalogModel
 from repro.layout.elements import TransistorKind
-from repro.layout.generator import DeviceDims, SaRegionSpec
+from repro.layout.generator import SaRegionSpec
 
 
 def sa_sizes_for(chip_id: str) -> SaSizes:
@@ -77,20 +79,24 @@ def analog_model_for(chip_id: str) -> AnalogModel:
 
 
 def region_spec_for(chip_id: str, n_pairs: int = 2) -> SaRegionSpec:
-    """A layout-generator spec reproducing the chip's SA region."""
-    c = get_chip(chip_id)
-    dims = {
-        kind: DeviceDims(w=rec.w, l=rec.l, eff_w=rec.eff_w, eff_l=rec.eff_l)
-        for kind, rec in c.transistors.items()
-    }
-    return SaRegionSpec(
-        name=f"{chip_id.lower()}_region",
-        topology=c.topology.value,
-        n_pairs=n_pairs,
-        feature_nm=c.geometry.feature_nm,
-        transition_nm=c.geometry.transition_nm,
-        dims=dims,
+    """A layout-generator spec reproducing the chip's SA region.
+
+    .. deprecated:: 1.7
+        The chip catalog owns variant lowering now; use
+        ``build_region_spec(chip_variant(chip_id))`` from
+        :mod:`repro.catalog` (builders ``hifi-a4`` … ``hifi-c5``).
+        This shim will be removed in repro 2.0.
+    """
+    warnings.warn(
+        "region_spec_for() is deprecated; use "
+        "repro.catalog.build_region_spec(repro.catalog.chip_variant(chip_id)) "
+        "instead (it will be removed in repro 2.0)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.catalog.variants import build_region_spec, chip_variant
+
+    return build_region_spec(chip_variant(chip_id, word_size=n_pairs))
 
 
 def spice_card(chip_id: str) -> str:

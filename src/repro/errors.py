@@ -197,6 +197,28 @@ class CampaignError(ReproError):
     """The campaign runtime was misconfigured (bad job, unhashable params)."""
 
 
+class CatalogError(ReproError):
+    """The chip catalog was asked something inconsistent (bad axis value,
+    malformed variant spec, an empty enumeration, a builder returning the
+    wrong type)."""
+
+
+class UnknownVariantError(CatalogError):
+    """A chip variant name absent from the builder registry.
+
+    Carries the requested ``name`` and the ``registered`` names at lookup
+    time, and puts both in the message so a typo is a one-glance fix.
+    """
+
+    def __init__(self, name: str, registered: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(self.registered) if self.registered else "none"
+        super().__init__(
+            f"unknown chip variant {name!r} (registered variants: {known})"
+        )
+
+
 class EvaluationError(ReproError):
     """The §VI evaluation framework was asked something inconsistent."""
 

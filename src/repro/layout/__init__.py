@@ -24,7 +24,10 @@ from repro.layout.elements import (
 from repro.layout.cell import LayoutCell
 from repro.layout.design_rules import DesignRules, check_cell, free_track_count
 from repro.layout.generator import (
+    TRANSITION_NM_BY_GENERATION,
+    DeviceDims,
     SaRegionSpec,
+    default_dims,
     generate_sa_region,
     generate_mat_edge,
     generate_chip_layout,
@@ -48,7 +51,10 @@ __all__ = [
     "DesignRules",
     "check_cell",
     "free_track_count",
+    "TRANSITION_NM_BY_GENERATION",
+    "DeviceDims",
     "SaRegionSpec",
+    "default_dims",
     "generate_sa_region",
     "generate_mat_edge",
     "generate_chip_layout",

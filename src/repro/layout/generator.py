@@ -46,6 +46,13 @@ from repro.layout.elements import (
 )
 from repro.layout.geometry import Rect
 
+#: Average MAT→SA bitline-transition overhead per DRAM generation (§V-C):
+#: 318 nm across the DDR4 chips, 275 nm across the DDR5 chips.
+TRANSITION_NM_BY_GENERATION: dict[str, float] = {
+    "ddr4": 318.0,
+    "ddr5": 275.0,
+}
+
 
 @dataclass(frozen=True)
 class DeviceDims:
@@ -93,14 +100,45 @@ class SaRegionSpec:
     transition_nm: float = 318.0
     dims: dict[TransistorKind, DeviceDims] = field(default_factory=dict)
     include_lsa: bool = True
+    #: adjacent bitline pairs sharing one column-select gate net (Y line)
+    column_mux: int = 4
+    #: substrate body-tap placement: "none", "lane" (one tap per lane in
+    #: the vacant equalizer-row spot of the gate-feed slot) or "edge" (a
+    #: tap row in a widened bridge strip above the control rails)
+    body_tap: str = "none"
 
     def __post_init__(self) -> None:
         if self.topology not in ("classic", "ocsa"):
             raise LayoutError(f"unknown topology {self.topology!r}")
         if self.n_pairs < 1:
             raise LayoutError("need at least one bitline pair")
+        if self.feature_nm <= 0:
+            raise LayoutError("feature size must be positive")
+        if self.transition_nm <= 0:
+            raise LayoutError("MAT transition must be positive")
+        if self.column_mux < 1:
+            raise LayoutError("column mux ratio must be at least one pair")
+        if self.body_tap not in ("none", "lane", "edge"):
+            raise LayoutError(f"unknown body tap placement {self.body_tap!r}")
         if not self.dims:
             object.__setattr__(self, "dims", default_dims(self.topology))
+
+    @classmethod
+    def for_generation(cls, generation: str, **overrides) -> "SaRegionSpec":
+        """A spec with the generation's average MAT→SA transition preset.
+
+        ``generation`` is ``"ddr4"`` (318 nm) or ``"ddr5"`` (275 nm,
+        §V-C); every other field passes through ``overrides``.
+        """
+        try:
+            transition = TRANSITION_NM_BY_GENERATION[generation.lower()]
+        except KeyError:
+            raise LayoutError(
+                f"unknown DRAM generation {generation!r} "
+                f"(expected one of {sorted(TRANSITION_NM_BY_GENERATION)})"
+            ) from None
+        overrides.setdefault("transition_nm", transition)
+        return cls(**overrides)
 
     @property
     def bitline_pitch(self) -> float:
@@ -184,10 +222,12 @@ class _RegionBuilder:
         self.tile_width = cursor
         self.region_width = 2 * self.tile_width + spec.transition_nm
 
-        # Y extents.
+        # Y extents.  An edge tap row needs a wider bridge strip: the taps
+        # sit two pitches above the classic PEQ gate bridge so blur never
+        # merges the tap actives with the bridge poly.
         self.lanes_height = spec.n_pairs * spec.lane_height
         self.lsa_strip_h = 8 * self.p if spec.include_lsa else 0.0
-        self.bridge_strip_h = 2 * self.p
+        self.bridge_strip_h = 4 * self.p if spec.body_tap == "edge" else 2 * self.p
         self.region_height = self.lanes_height + self.lsa_strip_h + self.bridge_strip_h
 
     # -- slot widths --------------------------------------------------------
@@ -471,6 +511,9 @@ class _RegionBuilder:
             for tile in (0, 1):
                 self._build_lsa(tile)
 
+        if spec.body_tap == "edge":
+            self._build_edge_taps()
+
         self.cell.annotations["topology"] = spec.topology
         self.cell.annotations["n_pairs"] = str(spec.n_pairs)
         self.cell.annotations["tile_width_nm"] = f"{self.tile_width:.1f}"
@@ -570,7 +613,9 @@ class _RegionBuilder:
 
         # Column transistors: the first elements after the MAT (§V-C).
         x_col = self._x(lane, "col")
-        y_net = f"Y{lane // 4 * 4}"  # groups of 4 adjacent pairs share a select
+        # Adjacent pairs share a column select in groups of column_mux.
+        mux = spec.column_mux
+        y_net = f"Y{lane // mux * mux}"
         self.tap_device(
             f"col1_l{lane}", TransistorKind.COLUMN, "nmos", lane,
             x_col, ROW_TAP_BL, ROW_BL, bl, "LIO", y_net,
@@ -679,6 +724,46 @@ class _RegionBuilder:
             x_pre, ROW_TAP_BLB, blb_row, blb, "VPRE", pre_gate,
             connect_other="via_to_m2_at", other_x=self._x(lane, "vpre"),
         )
+
+        if spec.body_tap == "lane":
+            self._build_lane_tap(lane)
+
+    def _build_lane_tap(self, lane: int) -> None:
+        """A substrate tap in the lane's vacant equalizer-row spot.
+
+        The tap is a gate-less active with one contact to an isolated VBB
+        pad: extraction sees plain silicon (no gate crossing → no device)
+        on a net of its own.  The gate-feed slot keeps the spot ≥1.5
+        pitches from the jumper pads above (rows 0.5/2.5) and holds no
+        poly of its own, so blur cannot mint a spurious transistor.
+        """
+        x = self._x(lane, "gf")
+        y = self.row_y(lane, ROW_EQ)
+        self.cell.add_active(
+            ActiveRegion(self._name("act_vbb"), Rect.from_center(x, y, 4 * self.f, 2 * self.f))
+        )
+        self.contact("VBB", x, y)
+
+    def _build_edge_taps(self) -> None:
+        """A substrate tap row across the widened bridge strip.
+
+        One long gate-less active under a VBB METAL1 rail with contacts
+        every 16 features — the classic "tap stripe at the array edge".
+        Sits two pitches above the PEQ bridge (see ``bridge_strip_h``).
+        """
+        spec = self.spec
+        y = self.lanes_height + self.lsa_strip_h + 3.0 * self.p
+        x0 = spec.transition_nm
+        x1 = self.region_width - spec.transition_nm
+        self.cell.add_active(
+            ActiveRegion(self._name("act_vbb"), Rect(x0, y - self.f, x1, y + self.f))
+        )
+        self.hwire("VBB", y, x0, x1)
+        step = 16 * self.f
+        x = x0 + 4 * self.f
+        while x < x1 - 2 * self.f:
+            self.contact("VBB", x, y)
+            x += step
 
     def _build_lsa(self, tile: int) -> None:
         """Second-stage LIO latch (in the region, not part of the SA)."""

@@ -2,9 +2,10 @@
 
 Writes ``BENCH_pipeline.json`` (per-kernel ns/pixel, speedup vs the
 retained reference implementations, end-to-end pipeline time, campaign
-wall time) and prints the human-readable table.  ``--analog`` and
-``--dataplane`` run the analog and zero-copy data-plane suites instead
-(``BENCH_analog.json`` / ``BENCH_dataplane.json``).
+wall time) and prints the human-readable table.  ``--analog``,
+``--dataplane`` and ``--catalog`` run the analog, zero-copy data-plane
+and chip-catalog suites instead (``BENCH_analog.json`` /
+``BENCH_dataplane.json`` / ``BENCH_catalog.json``).
 """
 
 from __future__ import annotations
@@ -14,18 +15,23 @@ import sys
 from repro.errors import ReproError
 from repro.perf.bench import (
     ANALOG_REPORT_PATH,
+    CATALOG_REPORT_PATH,
     DATAPLANE_REPORT_PATH,
     DEFAULT_REPORT_PATH,
     _SCALES,
     analog_gate_failures,
+    catalog_gate_failures,
     dataplane_gate_failures,
+    measure_catalog,
     measure_dataplane,
     render_analog_report,
+    render_catalog_report,
     render_dataplane_report,
     render_report,
     run_analog_benchmarks,
     run_benchmarks,
     write_analog_report,
+    write_catalog_report,
     write_dataplane_report,
     write_report,
 )
@@ -37,13 +43,17 @@ options:
   --scale S          workload scale: {', '.join(sorted(_SCALES))} (default: default)
   --out PATH         report path (default: {DEFAULT_REPORT_PATH},
                      {ANALOG_REPORT_PATH} with --analog,
-                     {DATAPLANE_REPORT_PATH} with --dataplane)
+                     {DATAPLANE_REPORT_PATH} with --dataplane,
+                     {CATALOG_REPORT_PATH} with --catalog)
   --no-campaign      skip the one-chip campaign wall-time probe
   --analog           run the analog suite instead (batched solver vs scalar,
                      sensing_yield parity, characterize cache re-run)
   --dataplane        run the zero-copy data-plane suite instead (shm vs
                      pickle shard transport, peak RSS, cache mmap hits)
-  --workers N        shard workers for --dataplane (default: 4)
+  --catalog          run the chip-catalog suite instead (population
+                     campaign variants/sec, digest parity, warm cache)
+  --workers N        shard workers for --dataplane (default: 4), or
+                     campaign workers for --catalog (default: 2)
   --rss-ceiling-mb M with --dataplane: fail if the shm-plane peak RSS
                      exceeds M MiB (default: record only, no ceiling)
 """
@@ -83,6 +93,22 @@ def _run_dataplane(
     return 0
 
 
+def _run_catalog(scale: str, out: str | None, workers: int | None) -> int:
+    try:
+        data = measure_catalog(scale=scale, workers=workers)
+    except ReproError as exc:
+        print(f"catalog perf run failed: {exc}", file=sys.stderr)
+        return 1
+    path = write_catalog_report(data, out or CATALOG_REPORT_PATH)
+    print(render_catalog_report(data))
+    print(f"\nreport written: {path}")
+    failures = catalog_gate_failures(data)
+    if failures:
+        print(f"CATALOG GATE FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     scale = "default"
@@ -90,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     include_campaign = True
     analog = False
     dataplane = False
-    workers = 4
+    catalog = False
+    workers: int | None = None
     rss_ceiling_mb: float | None = None
     i = 0
     while i < len(args):
@@ -136,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
             analog = True
         elif arg == "--dataplane":
             dataplane = True
+        elif arg == "--catalog":
+            catalog = True
         elif arg in ("--help", "-h"):
             print(_USAGE)
             return 0
@@ -145,13 +174,19 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         i += 1
 
-    if analog and dataplane:
-        print("--analog and --dataplane are mutually exclusive", file=sys.stderr)
+    if analog + dataplane + catalog > 1:
+        print(
+            "--analog, --dataplane and --catalog are mutually exclusive",
+            file=sys.stderr,
+        )
         return 2
     if analog:
         return _run_analog(scale, out)
     if dataplane:
-        return _run_dataplane(scale, out, workers, rss_ceiling_mb)
+        return _run_dataplane(scale, out, workers if workers is not None else 4,
+                              rss_ceiling_mb)
+    if catalog:
+        return _run_catalog(scale, out, workers)
 
     out = out or DEFAULT_REPORT_PATH
     try:

@@ -361,12 +361,15 @@ def run_benchmarks(
     # The resilience layer must be free when unused: acquiring through an
     # inert (all-rates-zero) FaultInjector is timed against the plain
     # acquisition, and outputs_match re-checks the bit-identity contract.
+    from repro.catalog.variants import ChipVariantSpec, build_region_spec
     from repro.faults import FaultInjector, FaultPlan
     from repro.imaging.fib import FibSemCampaign, acquire_stack
     from repro.imaging.voxel import voxelize
-    from repro.layout.generator import SaRegionSpec, generate_sa_region
+    from repro.layout.generator import generate_sa_region
 
-    cell = generate_sa_region(SaRegionSpec(name="perf_faults", topology="classic", n_pairs=1))
+    cell = generate_sa_region(build_region_spec(
+        ChipVariantSpec(name="perf_faults", variant="classic", word_size=1)
+    ))
     volume = voxelize(cell, voxel_nm=6.0, margin_nm=40.0)
     fib = FibSemCampaign()
     y_stop = 300.0 if scale == "tiny" else None
@@ -952,3 +955,132 @@ def render_report(report: BenchReport) -> str:
             f"cores), outputs match: {match}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Catalog suite: population-campaign throughput (``--catalog``).
+
+CATALOG_REPORT_PATH = "BENCH_catalog.json"
+
+_CATALOG_SCALES: dict[str, dict[str, Any]] = {
+    # CI smoke: one chip per topology family, cropped to the first lane.
+    "tiny": {"variants": 2, "workers": 2},
+    # The recorded scale: both families across all three vendor profiles.
+    "default": {"variants": 6, "workers": 2},
+}
+
+
+def measure_catalog(
+    scale: str = "default", seed: int = 0, workers: int | None = None
+) -> dict[str, Any]:
+    """The ``catalog`` probe: variants/sec through the population campaign.
+
+    Enumerates a small grid (classic + OCSA across the vendor profiles,
+    word size 1, first-lane crop), runs it cold against a throwaway
+    cache, then warm (same cache — every stage must hit), then serial
+    (``workers=1``, same cache).  Gates
+    (:func:`catalog_gate_failures`) are correctness-only: the results
+    digest must be identical across all three runs (the substrate's
+    bit-identity contract surfaced at the population level) and the warm
+    run must not miss the cache.  Throughput (``variants_per_second``)
+    is the recorded trajectory, not a gate.
+    """
+    import tempfile
+
+    from repro.catalog import CatalogSpec, expand_grid, run_catalog_campaign
+
+    if scale not in _CATALOG_SCALES:
+        raise ReproError(
+            f"unknown catalog perf scale {scale!r} "
+            f"(expected one of {sorted(_CATALOG_SCALES)})"
+        )
+    params = _CATALOG_SCALES[scale]
+    n = params["variants"]
+    workers = workers if workers is not None else params["workers"]
+    grid = CatalogSpec(
+        variants=("classic", "ocsa"),
+        vendors=("fab-a", "fab-b", "fab-c"),
+        generations=("ddr4",),
+        word_sizes=(1,),
+        column_muxes=(4,),
+        body_taps=("none",),
+        noises=("nominal",),
+    )
+    variants = expand_grid(grid)[:n]
+    # Crop to the first lane: the probe measures campaign plumbing, not
+    # full-region RE; 400 nm covers lane 0 at every profile's pitch.
+    job_kwargs = {"y_stop_nm": 400.0}
+
+    def _run(run_workers: int, cache_dir: str):
+        t0 = time.perf_counter()
+        report = run_catalog_campaign(
+            variants, workers=run_workers, cache_dir=cache_dir,
+            seed=seed, job_kwargs=job_kwargs,
+        )
+        return report, time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-catalog-") as root:
+        cold, cold_s = _run(workers, root)
+        warm, warm_s = _run(workers, root)
+        serial, _serial_s = _run(1, root)
+
+    return {
+        "schema": "repro-perf-catalog/1",
+        "created_unix": time.time(),
+        "scale": scale,
+        "variants": len(variants),
+        "workers": workers,
+        "cold_wall_seconds": cold_s,
+        "warm_wall_seconds": warm_s,
+        "cold_variants_per_second": len(variants) / max(cold_s, 1e-9),
+        "warm_variants_per_second": len(variants) / max(warm_s, 1e-9),
+        "identification_rate": cold.population["identification_rate"],
+        "results_digest": cold.results_digest(),
+        "digests_match": (
+            cold.results_digest() == warm.results_digest()
+            and cold.results_digest() == serial.results_digest()
+        ),
+        "warm_cache_misses": warm.cache_misses,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def catalog_gate_failures(data: dict[str, Any]) -> list[str]:
+    """The gates a recorded catalog run must pass (empty = green)."""
+    failures: list[str] = []
+    if data["digests_match"] is not True:
+        failures.append("results digest differs across cold/warm/serial runs")
+    if data["warm_cache_misses"]:
+        failures.append(
+            f"warm run missed the stage cache {data['warm_cache_misses']} times"
+        )
+    return failures
+
+
+def write_catalog_report(
+    data: dict[str, Any], path: str | Path = CATALOG_REPORT_PATH
+) -> Path:
+    """Serialise a catalog perf run to JSON (the recorded artefact)."""
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_catalog_report(data: dict[str, Any]) -> str:
+    """Human-readable summary of one catalog perf run."""
+    match = {True: "yes", False: "NO", None: "-"}
+    return "\n".join([
+        f"catalog perf ({data['scale']} scale, {data['variants']} variants, "
+        f"{data['workers']} workers)",
+        f"  cold: {data['cold_wall_seconds']:.2f}s "
+        f"({data['cold_variants_per_second']:.2f} variants/s)",
+        f"  warm: {data['warm_wall_seconds']:.2f}s "
+        f"({data['warm_variants_per_second']:.2f} variants/s, "
+        f"{data['warm_cache_misses']} cache misses)",
+        f"  identification rate: {data['identification_rate']:.1%}, digests "
+        f"match cold/warm/serial: {match[data['digests_match']]}",
+    ])

@@ -112,15 +112,15 @@ def _expanded(slc: tuple[slice, slice], shape: tuple[int, int], grow: int) -> tu
     )
 
 
-def _overlapping_components(
+def _overlap_counts(
     features: PlanarFeatures,
     source_layer: Layer,
     source_id: int,
     source_slice: tuple[slice, slice],
     target_layer: Layer,
     dilate_px: int = 0,
-) -> set[int]:
-    """Target-layer component ids overlapping one source component.
+) -> dict[int, int]:
+    """Overlap pixel count per target-layer component for one source.
 
     ``dilate_px`` grows the source footprint before testing (see
     :data:`VIA_DILATION_PX`).
@@ -132,8 +132,39 @@ def _overlapping_components(
     if dilate_px:
         window_src = ndimage.binary_dilation(window_src, iterations=dilate_px)
     window_tgt = labels_tgt[window]
-    hits = np.unique(window_tgt[window_src])
-    return {int(h) for h in hits if h != 0}
+    hits, counts = np.unique(window_tgt[window_src], return_counts=True)
+    return {int(h): int(c) for h, c in zip(hits, counts) if h != 0}
+
+
+def _overlapping_components(
+    features: PlanarFeatures,
+    source_layer: Layer,
+    source_id: int,
+    source_slice: tuple[slice, slice],
+    target_layer: Layer,
+    dilate_px: int = 0,
+) -> set[int]:
+    """Target-layer component ids a plug genuinely lands on.
+
+    A via/contact is a point connection: it touches exactly one component
+    per layer.  When the grown footprint overlaps several (the wire it
+    lands on plus a neighbour whose rasterised gap collapsed to a pixel at
+    an off-grid feature size), only the *dominant* overlap is the real
+    landing — the plug sits inside its wire, so the true overlap is the
+    whole ring around the punched hole, while a graze is a thin sliver.
+    Keeping every overlap would short adjacent wires and collapse the
+    netlist (BL and BLB ending up on one net).
+    """
+    counts = _overlap_counts(
+        features, source_layer, source_id, source_slice, target_layer, dilate_px
+    )
+    if len(counts) <= 1:
+        return set(counts)
+    best = max(counts.values())
+    # Everything within a 2x margin of the best overlap is ambiguous enough
+    # to keep (a plug straddling a segmented wire boundary); clear slivers
+    # are dropped.  Deterministic: depends only on the counts.
+    return {cid for cid, c in counts.items() if 2 * c > best}
 
 
 def extract_circuit(features: PlanarFeatures, name: str = "extracted") -> ExtractedCircuit:

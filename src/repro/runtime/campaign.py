@@ -137,9 +137,13 @@ class ChipJob:
         **kwargs,
     ) -> "ChipJob":
         """A synthetic-vendor job with the demo acquisition parameters."""
+        from repro.catalog.variants import ChipVariantSpec, build_region_spec
+
         return cls(
             name=name,
-            spec=SaRegionSpec(name=name, topology=topology, n_pairs=n_pairs),
+            spec=build_region_spec(
+                ChipVariantSpec(name=name, variant=topology, word_size=n_pairs)
+            ),
             campaign=FibSemCampaign(
                 slice_thickness_nm=slice_thickness_nm,
                 sem=SemParameters(dwell_time_us=dwell_time_us),
@@ -150,13 +154,13 @@ class ChipJob:
     @classmethod
     def for_chip(cls, chip_id: str, n_pairs: int = 2, **kwargs) -> "ChipJob":
         """A job imaging a Table I chip with its own acquisition plan."""
-        from repro.core.hifi import region_spec_for
+        from repro.catalog.variants import build_region_spec, chip_variant
         from repro.imaging.plan import plan_for
 
         chip_id = chip_id.upper()
         return cls(
             name=chip_id,
-            spec=region_spec_for(chip_id, n_pairs=n_pairs),
+            spec=build_region_spec(chip_variant(chip_id, word_size=n_pairs)),
             campaign=plan_for(chip_id).campaign,
             **kwargs,
         )

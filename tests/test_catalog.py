@@ -1,0 +1,302 @@
+"""The parametric chip catalog: registry, enumerator, campaign scoring.
+
+The campaign tests here crop regions (``y_stop_nm``) and use the fast
+population preset — catalog orchestration and determinism are what is
+under test; full-fidelity identification across the whole axis grid is
+covered by the ``catalog-smoke`` CI job and the perf probe.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.catalog import (
+    NOISE_REGIMES,
+    PROCESS_PRESETS,
+    VENDOR_PROFILES,
+    CatalogReport,
+    CatalogSpec,
+    ChipVariantSpec,
+    build_job,
+    build_region_spec,
+    chip_variant,
+    expand_grid,
+    register_variant,
+    registered_variants,
+    run_catalog_campaign,
+    sample,
+    variant_builder,
+)
+from repro.errors import CatalogError, UnknownVariantError
+from repro.layout import SaRegionSpec
+
+
+# ---------------------------------------------------------------- registry
+
+class TestRegistry:
+    def test_builtin_builders_registered(self):
+        names = registered_variants()
+        assert "classic" in names and "ocsa" in names
+        # Table I chips ride along as hifi-<id> builders.
+        assert "hifi-a4" in names and "hifi-c5" in names
+
+    def test_unknown_variant_names_registered(self):
+        with pytest.raises(UnknownVariantError) as exc:
+            variant_builder("no-such-variant")
+        assert "no-such-variant" in str(exc.value)
+        assert "classic" in str(exc.value) and "ocsa" in str(exc.value)
+
+    def test_module_attr_lookup(self):
+        builder = variant_builder("repro.catalog.variants:build_classic_variant")
+        spec = ChipVariantSpec(name="mod", variant="classic")
+        assert builder(spec) == build_region_spec(spec)
+
+    def test_module_attr_lookup_bad_ref(self):
+        with pytest.raises(UnknownVariantError):
+            variant_builder("repro.catalog.variants:no_such_attr")
+
+    def test_register_variant_latest_wins(self):
+        def fake(spec):
+            return SaRegionSpec(name=spec.name, topology="classic", n_pairs=1)
+
+        register_variant("catalog-test-tmp", fake)
+        try:
+            assert variant_builder("catalog-test-tmp") is fake
+            assert "catalog-test-tmp" in registered_variants()
+        finally:
+            from repro.catalog import variants as mod
+
+            del mod._VARIANT_BUILDERS["catalog-test-tmp"]
+
+    def test_builder_must_return_region_spec(self):
+        register_variant("catalog-test-bad", lambda spec: 42)
+        try:
+            with pytest.raises(CatalogError):
+                build_region_spec(
+                    ChipVariantSpec(name="bad", variant="catalog-test-bad")
+                )
+        finally:
+            from repro.catalog import variants as mod
+
+            del mod._VARIANT_BUILDERS["catalog-test-bad"]
+
+
+# ------------------------------------------------------------ variant spec
+
+class TestChipVariantSpec:
+    @pytest.mark.parametrize("field,value", [
+        ("vendor", "fab-z"),
+        ("generation", "ddr6"),
+        ("noise", "silent"),
+        ("word_size", 0),
+        ("column_mux", 0),
+        ("body_tap", "everywhere"),
+    ])
+    def test_invalid_axis_values(self, field, value):
+        with pytest.raises(CatalogError):
+            ChipVariantSpec(name="v", **{field: value})
+
+    @pytest.mark.parametrize("field,value", [
+        ("feature_nm", -1.0),
+        ("transition_nm", 0.0),
+    ])
+    def test_bad_overrides_fail_at_lowering(self, field, value):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            build_region_spec(ChipVariantSpec(name="v", **{field: value}))
+
+    def test_axes_property(self):
+        spec = ChipVariantSpec(name="v", variant="ocsa", vendor="fab-b",
+                               generation="ddr5", word_size=1)
+        axes = spec.axes
+        assert axes["variant"] == "ocsa"
+        assert axes["vendor"] == "fab-b"
+        assert axes["generation"] == "ddr5"
+        assert axes["word_size"] == 1
+        assert axes["faults"] is False
+
+
+# --------------------------------------------------------------- lowering
+
+class TestLowering:
+    def test_default_matches_legacy_spec(self):
+        # The fab-a/ddr4 profile is the identity: lowering must reproduce
+        # a hand-built SaRegionSpec bit-for-bit (floats exact at x1.0).
+        for topology in ("classic", "ocsa"):
+            for n in (1, 2):
+                got = build_region_spec(
+                    ChipVariantSpec(name="leg", variant=topology, word_size=n)
+                )
+                assert got == SaRegionSpec(name="leg", topology=topology, n_pairs=n)
+
+    def test_generation_sets_transition(self):
+        ddr4 = build_region_spec(ChipVariantSpec(name="g4", generation="ddr4"))
+        ddr5 = build_region_spec(ChipVariantSpec(name="g5", generation="ddr5"))
+        assert ddr4.transition_nm == 318.0
+        assert ddr5.transition_nm == 275.0
+        assert ddr5.feature_nm < ddr4.feature_nm
+
+    def test_vendor_scales_feature(self):
+        base = build_region_spec(ChipVariantSpec(name="va", vendor="fab-a"))
+        fabb = build_region_spec(ChipVariantSpec(name="vb", vendor="fab-b"))
+        scale = VENDOR_PROFILES["fab-b"].feature_scale
+        assert fabb.feature_nm == pytest.approx(base.feature_nm * scale)
+
+    def test_feature_override_wins(self):
+        spec = ChipVariantSpec(name="ov", vendor="fab-b", feature_nm=21.0,
+                               transition_nm=300.0)
+        region = build_region_spec(spec)
+        assert region.feature_nm == 21.0
+        assert region.transition_nm == 300.0
+
+    def test_knobs_reach_region(self):
+        region = build_region_spec(
+            ChipVariantSpec(name="k", column_mux=8, body_tap="edge", word_size=2)
+        )
+        assert region.column_mux == 8
+        assert region.body_tap == "edge"
+        assert region.n_pairs == 2
+
+    def test_chip_variant_builders_match_table1(self):
+        from repro.core.chips import CHIPS
+
+        for chip_id, chip in CHIPS.items():
+            region = build_region_spec(chip_variant(chip_id))
+            assert region.topology == chip.topology.value
+            assert region.feature_nm == chip.geometry.feature_nm
+
+    def test_presets_and_regimes_well_formed(self):
+        assert set(PROCESS_PRESETS) == {"ddr4", "ddr5"}
+        for regime in NOISE_REGIMES.values():
+            assert regime["dwell_time_us"] > 0
+
+    def test_build_job_sampling_tracks_process(self):
+        # Acquisition sampling must scale with the variant's feature size
+        # (the paper picks pixel resolution per chip) so off-grid
+        # processes do not alias wire gaps away.
+        job_a = build_job(ChipVariantSpec(name="ja"))
+        job_b = build_job(ChipVariantSpec(name="jb", vendor="fab-b"))
+        scale = job_b.spec.feature_nm / job_a.spec.feature_nm
+        assert job_b.campaign.sem.pixel_nm == pytest.approx(
+            job_a.campaign.sem.pixel_nm * scale
+        )
+        assert job_b.voxel_nm == pytest.approx(job_a.voxel_nm * scale)
+
+    def test_build_job_matches_synthetic_defaults(self):
+        from repro.runtime import ChipJob
+
+        job = build_job(ChipVariantSpec(name="sj", variant="ocsa", word_size=2,
+                                        noise="quiet"))
+        legacy = ChipJob.synthetic("sj", "ocsa", n_pairs=2, dwell_time_us=8.0)
+        assert job.spec == legacy.spec
+        assert job.campaign.sem.pixel_nm == legacy.campaign.sem.pixel_nm
+        assert job.voxel_nm == legacy.voxel_nm
+
+
+# -------------------------------------------------------------- enumerator
+
+class TestEnumerator:
+    def test_grid_size_and_unique_names(self):
+        spec = CatalogSpec()
+        variants = expand_grid(spec)
+        assert len(variants) == spec.grid_size == 48
+        assert len({v.name for v in variants}) == len(variants)
+
+    def test_expand_grid_deterministic(self):
+        assert pickle.dumps(expand_grid(CatalogSpec())) == pickle.dumps(
+            expand_grid(CatalogSpec())
+        )
+
+    def test_sample_deterministic_and_seed_sensitive(self):
+        spec = CatalogSpec()
+        a = sample(spec, 10, seed=3)
+        b = sample(spec, 10, seed=3)
+        c = sample(spec, 10, seed=4)
+        assert pickle.dumps(a) == pickle.dumps(b)
+        assert pickle.dumps(a) != pickle.dumps(c)
+        assert len(a) == 10
+        assert len({v.name for v in a}) == 10
+
+    def test_sample_draw_carries_seed(self):
+        for k, v in enumerate(sample(CatalogSpec(), 5, seed=0)):
+            assert v.seed == k
+
+    def test_bad_axis_value_raises_eagerly(self):
+        with pytest.raises(CatalogError):
+            CatalogSpec(vendors=("fab-z",))
+        with pytest.raises(CatalogError):
+            CatalogSpec(word_sizes=(0,))
+
+
+# ---------------------------------------------------------------- campaign
+
+CROP = {"y_stop_nm": 400.0}
+
+
+@pytest.fixture(scope="module")
+def tiny_variants():
+    grid = CatalogSpec(variants=("classic", "ocsa"), vendors=("fab-a",),
+                       generations=("ddr4",), word_sizes=(1,),
+                       column_muxes=(4,), body_taps=("none",),
+                       noises=("nominal",))
+    return expand_grid(grid)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("catalog-cache"))
+
+
+@pytest.fixture(scope="module")
+def serial_report(tiny_variants, cache_dir):
+    return run_catalog_campaign(tiny_variants, workers=1, cache_dir=cache_dir,
+                                job_kwargs=CROP)
+
+
+class TestCatalogCampaign:
+    def test_scores_cover_population(self, serial_report, tiny_variants):
+        assert len(serial_report.scores) == len(tiny_variants)
+        assert serial_report.population["variants"] == len(tiny_variants)
+        assert 0.0 <= serial_report.population["identification_rate"] <= 1.0
+
+    def test_workers_bit_identical(self, serial_report, tiny_variants, cache_dir):
+        parallel = run_catalog_campaign(tiny_variants, workers=4,
+                                        cache_dir=cache_dir, job_kwargs=CROP)
+        assert parallel.results_digest() == serial_report.results_digest()
+
+    def test_cached_rerun_all_hits(self, serial_report, tiny_variants, cache_dir):
+        warm = run_catalog_campaign(tiny_variants, workers=2,
+                                    cache_dir=cache_dir, job_kwargs=CROP)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits > 0
+        assert warm.results_digest() == serial_report.results_digest()
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(CatalogError):
+            run_catalog_campaign([])
+
+    def test_duplicate_names_rejected(self, tiny_variants):
+        with pytest.raises(CatalogError):
+            run_catalog_campaign(list(tiny_variants) + [tiny_variants[0]])
+
+    def test_report_json_round_trip(self, serial_report):
+        clone = CatalogReport.from_json(serial_report.to_json())
+        assert clone.results_digest() == serial_report.results_digest()
+        assert clone.population == serial_report.population
+        assert [s.name for s in clone.scores] == [
+            s.name for s in serial_report.scores
+        ]
+
+    def test_report_schema_versioned(self, serial_report):
+        data = json.loads(serial_report.to_json())
+        assert data["schema_version"] == "catalog-report/1"
+        data["schema_version"] = "catalog-report/99"
+        with pytest.raises(CatalogError):
+            CatalogReport.from_dict(data)
+
+    def test_render_mentions_population(self, serial_report):
+        text = serial_report.render()
+        assert "identification" in text
+        assert serial_report.scores[0].name in text

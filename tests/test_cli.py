@@ -269,3 +269,53 @@ class TestCharacterizeCommand:
         data = json.loads(report_path.read_text())
         assert data["schema_version"] == "characterization-report/1"
         assert "classic-TT" in data["cells"]
+
+
+class TestCatalogCommand:
+    def test_help(self, capsys):
+        assert main(["catalog", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--variants" in out and "--builders" in out
+
+    def test_unknown_option(self, capsys):
+        assert main(["catalog", "--bogus"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_option_missing_value(self, capsys):
+        assert main(["catalog", "--variants"]) == 2
+        assert "requires a value" in capsys.readouterr().err
+
+    def test_bad_word_sizes(self, capsys):
+        assert main(["catalog", "--word-sizes", "two"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_bad_axis_value(self, capsys):
+        assert main(["catalog", "--vendors", "fab-z"]) == 2
+        assert "unknown vendor profile" in capsys.readouterr().err
+
+    def test_zero_variants(self, capsys):
+        assert main(["catalog", "--variants", "0"]) == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_tiny_catalog_run(self, capsys, tmp_path):
+        """A real sampled population through the CLI, with JSON report."""
+        import json
+
+        cache = str(tmp_path / "cache")
+        report_path = tmp_path / "catalog-report.json"
+        args = ["catalog", "--variants", "2", "--seed", "0",
+                "--word-sizes", "1", "--workers", "2",
+                "--cache", cache, "--json", str(report_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "results digest:" in out
+        data = json.loads(report_path.read_text())
+        assert data["schema_version"] == "catalog-report/1"
+        assert len(data["results"]["variants"]) == 2
+        assert data["results"]["digest"]
+
+        # Warm rerun against the same cache reuses every stage.
+        assert main(args) == 0
+        warm = json.loads(report_path.read_text())
+        assert warm["cache_misses"] == 0
+        assert warm["results"]["digest"] == data["results"]["digest"]

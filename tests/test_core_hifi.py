@@ -80,14 +80,17 @@ class TestRegionSpec:
         from repro.layout import generate_sa_region
         from repro.reveng import reverse_engineer_cell
 
-        spec = region_spec_for("B5", n_pairs=2)
+        with pytest.warns(DeprecationWarning):
+            spec = region_spec_for("B5", n_pairs=2)
         cell = generate_sa_region(spec)
         result = reverse_engineer_cell(cell)
         assert result.topology is SaTopology.OCSA
         assert result.all_exact
 
     def test_feature_size_carried(self):
-        assert region_spec_for("B4").feature_nm == chip("B4").geometry.feature_nm
+        with pytest.warns(DeprecationWarning):
+            spec = region_spec_for("B4")
+        assert spec.feature_nm == chip("B4").geometry.feature_nm
 
 
 class TestSpiceCard:
@@ -106,3 +109,20 @@ class TestSpiceCard:
         card = spice_card("C4")
         nsa = chip("C4").transistor(TransistorKind.NSA)
         assert f"W={nsa.w:.0f}n" in card
+
+
+class TestDeprecatedRegionSpec:
+    def test_shim_warns_and_matches_catalog(self):
+        from repro.catalog import build_region_spec, chip_variant
+
+        with pytest.warns(DeprecationWarning, match="region_spec_for"):
+            legacy = region_spec_for("B5", n_pairs=2)
+        assert legacy == build_region_spec(chip_variant("B5", word_size=2))
+
+    def test_shim_output_unchanged_for_all_chips(self):
+        from repro.catalog import build_region_spec, chip_variant
+
+        for chip_id in CHIPS:
+            with pytest.warns(DeprecationWarning):
+                legacy = region_spec_for(chip_id)
+            assert legacy == build_region_spec(chip_variant(chip_id))

@@ -10,7 +10,8 @@ import pytest
 from repro.circuits.matching import identify_topology
 from repro.circuits.topologies import SaTopology
 from repro.core.chips import CHIPS, chip
-from repro.core.hifi import netlist_for, region_spec_for, sa_sizes_for
+from repro.catalog import build_region_spec, chip_variant
+from repro.core.hifi import netlist_for, sa_sizes_for
 from repro.layout import generate_sa_region, read_gds, write_gds
 from repro.layout.elements import Layer
 from repro.reveng import reverse_engineer_cell
@@ -22,7 +23,7 @@ class TestDatasetToLayoutToRe:
     @pytest.mark.parametrize("chip_id", ["A4", "B4", "C4", "A5", "B5", "C5"])
     def test_round_trip(self, chip_id):
         c = chip(chip_id)
-        cell = generate_sa_region(region_spec_for(chip_id, n_pairs=2))
+        cell = generate_sa_region(build_region_spec(chip_variant(chip_id)))
         result = reverse_engineer_cell(cell)
         assert result.topology is c.topology
         assert result.all_exact

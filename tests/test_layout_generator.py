@@ -167,3 +167,58 @@ class TestRowDrivers:
     def test_row_drivers_off_by_default(self):
         chip = generate_chip_layout(SaRegionSpec(topology="classic", n_pairs=2), mat_rows=6)
         assert chip.annotations["row_driver_width_nm"] == "0.0"
+
+
+class TestSpecValidation:
+    """Catalog-facing knob validation (column mux, taps, process overrides)."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"feature_nm": 0.0},
+        {"feature_nm": -18.0},
+        {"transition_nm": 0.0},
+        {"transition_nm": -1.0},
+        {"column_mux": 0},
+        {"body_tap": "everywhere"},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(LayoutError):
+            SaRegionSpec(**kwargs)
+
+    def test_for_generation_presets(self):
+        from repro.layout import TRANSITION_NM_BY_GENERATION
+
+        assert SaRegionSpec.for_generation("ddr4").transition_nm == 318.0
+        assert SaRegionSpec.for_generation("DDR5").transition_nm == 275.0
+        assert set(TRANSITION_NM_BY_GENERATION) == {"ddr4", "ddr5"}
+
+    def test_for_generation_unknown(self):
+        with pytest.raises(LayoutError):
+            SaRegionSpec.for_generation("ddr6")
+
+
+class TestColumnMux:
+    def test_column_selects_grouped_by_mux(self):
+        cell = generate_sa_region(SaRegionSpec(name="mux", n_pairs=4, column_mux=2))
+        y_nets = sorted({w.net for w in cell.wires if w.net.startswith("Y")})
+        assert y_nets == ["Y0", "Y2"]
+
+    def test_default_mux_shares_one_select(self):
+        cell = generate_sa_region(SaRegionSpec(name="mux4", n_pairs=2))
+        y_nets = sorted({w.net for w in cell.wires if w.net.startswith("Y")})
+        assert y_nets == ["Y0"]
+
+
+class TestBodyTaps:
+    def test_edge_taps_add_vbb_rail(self):
+        cell = generate_sa_region(SaRegionSpec(name="tap-e", n_pairs=2, body_tap="edge"))
+        assert any(w.net == "VBB" for w in cell.wires)
+        assert any(v.net == "VBB" for v in cell.vias)
+
+    def test_lane_taps_add_vbb_contacts(self):
+        cell = generate_sa_region(SaRegionSpec(name="tap-l", n_pairs=2, body_tap="lane"))
+        assert any(v.net == "VBB" for v in cell.vias)
+
+    def test_no_taps_by_default(self):
+        cell = generate_sa_region(SaRegionSpec(name="tap-n", n_pairs=2))
+        assert not any(w.net == "VBB" for w in cell.wires)
+        assert not any(v.net == "VBB" for v in cell.vias)
