@@ -15,7 +15,17 @@ Commands:
   analog solver, through the same campaign runtime (``--help``);
 * ``catalog`` — enumerate or sample a parametric chip-variant population
   from the catalog registry, fuzz the full imaging + RE pipeline over it
-  and score population identification accuracy (``--help``).
+  and score population identification accuracy (``--help``);
+* ``obs serve`` — re-serve saved telemetry artifacts (metrics snapshot,
+  span trace, event JSONL) over HTTP as Prometheus text / OTLP JSON /
+  event-stream endpoints (``--help``);
+* ``obs analyze`` — offline trace analytics: critical path, per-stage /
+  per-kernel attribution, cache efficiency, and two-trace diffs
+  (``--help``).
+
+``campaign``, ``characterize`` and ``catalog`` all accept
+``--serve-obs PORT`` to expose the same endpoints *live* while the run
+is in flight.
 """
 
 from __future__ import annotations
@@ -86,6 +96,48 @@ def cmd_spice(chip_id: str) -> None:
     print(spice_card(chip_id))
 
 
+def _with_obs_server(port, linger, obs_config, body):
+    """Run ``body()`` with a live telemetry server attached, when asked.
+
+    With ``port`` ``None`` this is a plain ``body()`` call.  Otherwise
+    the body runs inside an :class:`~repro.obs.ObsSession` built from
+    *obs_config* — making its tracer/registry/bus *ambient*, which the
+    campaign runtime feeds live as chips finish — and an
+    :class:`~repro.obs.export.ObsServer` exposes them on ``port``
+    (``/metrics`` ``/events`` ``/trace`` ``/healthz``).  After the body
+    returns the server flips ``/healthz`` to ``"done"`` and keeps
+    serving for ``linger`` seconds so scrapers (the CI smoke job) can
+    collect the final snapshot deterministically.
+    """
+    if port is None:
+        return body()
+    import time
+
+    from repro.obs import ObsSession
+    from repro.obs.export import ObsServer
+
+    with ObsSession(obs_config) as session:
+        with ObsServer(
+            port=port,
+            metrics_fn=session.metrics_snapshot,
+            spans_fn=session.spans,
+            bus=session.bus,
+        ) as server:
+            print(
+                f"obs: serving live telemetry on {server.url} "
+                "(/metrics /events /trace /healthz)",
+                file=sys.stderr,
+            )
+            rc = body()
+            server.finish()
+            if linger > 0:
+                try:
+                    time.sleep(linger)
+                except KeyboardInterrupt:
+                    pass
+            return rc
+
+
 _CAMPAIGN_USAGE = """\
 usage: python -m repro campaign [TARGET ...] [options]
 
@@ -146,6 +198,19 @@ options:
   --metrics PATH
                 write the merged metrics snapshot (counters, gauges,
                 histograms) as JSON
+  --events PATH
+                write the lifecycle event stream (obs-event/1 JSONL:
+                campaign/chip/attempt/stage start-finish-retry,
+                cache hits/misses, shard backpressure)
+  --serve-obs PORT
+                expose live telemetry over HTTP while the campaign runs:
+                /metrics (Prometheus text), /events (JSONL tail,
+                ?follow=1), /trace (OTLP JSON), /healthz; implies
+                trace + metrics + events collection
+  --serve-linger S
+                with --serve-obs: keep serving S seconds after the run
+                finishes (/healthz state flips to "done"), so scrapers
+                can collect the final snapshot (default 0)
   --log-level LEVEL
                 emit JSON-lines structured logs at LEVEL (DEBUG, INFO,
                 WARNING, ...) on stderr, in every worker
@@ -200,6 +265,9 @@ def cmd_campaign(args: list[str]) -> int:
     n_chips: int | None = None
     trace_path: str | None = None
     metrics_path: str | None = None
+    events_path: str | None = None
+    serve_obs: int | None = None
+    serve_linger = 0.0
     log_level: str | None = None
     trace_summary = False
     try:
@@ -267,6 +335,15 @@ def cmd_campaign(args: list[str]) -> int:
             elif arg == "--metrics":
                 i += 1
                 metrics_path = _value(arg, i)
+            elif arg == "--events":
+                i += 1
+                events_path = _value(arg, i)
+            elif arg == "--serve-obs":
+                i += 1
+                serve_obs = _int_value(arg, i)
+            elif arg == "--serve-linger":
+                i += 1
+                serve_linger = _float_value(arg, i)
             elif arg == "--log-level":
                 i += 1
                 log_level = _value(arg, i).upper()
@@ -307,117 +384,132 @@ def cmd_campaign(args: list[str]) -> int:
             print(_CAMPAIGN_USAGE, file=sys.stderr)
             return 2
 
-    try:
-        jobs = []
-        if n_chips is not None:
-            # N synthetic chips alternating the two reference topologies:
-            # classic, ocsa, classic-2, ocsa-2, ...
-            for k in range(n_chips):
-                topo = ("classic", "ocsa")[k % 2]
-                idx = k // 2
-                name = topo if idx == 0 else f"{topo}-{idx + 1}"
-                jobs.append(ChipJob.synthetic(
-                    name, topo, n_pairs=n_pairs, validate=validate
-                ))
-        for target in targets:
-            if target.lower() in ("classic", "ocsa"):
-                jobs.append(ChipJob.synthetic(
-                    target.lower(), target.lower(), n_pairs=n_pairs, validate=validate
-                ))
-            elif target.upper() in CHIPS:
-                jobs.append(ChipJob.for_chip(target, n_pairs=n_pairs, validate=validate))
-            else:
-                print(f"unknown campaign target {target!r}", file=sys.stderr)
-                return 2
+    serving = serve_obs is not None
+    obs = None
+    if (trace_path is not None or trace_summary or metrics_path is not None
+            or events_path is not None or log_level is not None or serving):
+        from repro.obs import ObsConfig
 
-        config = PipelineConfig()
-        if fast:
-            config = config.replaced(
-                denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
-            )
-        if shift_penalty is not None:
-            config = config.replaced(align_shift_penalty=shift_penalty)
-        if search_strategy is not None:
-            config = config.replaced(align_search_strategy=search_strategy)
-        if tol is not None:
-            config = config.replaced(denoise_tol=tol)
-        if shard_slices or shard_batch is not None:
-            from repro.pipeline import ShardPlan
-
-            config = config.replaced(
-                shard=ShardPlan(slices=True, batch=shard_batch)
-            )
-        if data_plane is not None:
-            from dataclasses import replace as _dc_replace
-
-            config = config.replaced(
-                shard=_dc_replace(config.shard, data_plane=data_plane)
-            )
-
-        policy = None
-        if max_retries is not None or chip_timeout is not None:
-            from repro.runtime import ResiliencePolicy
-
-            policy = ResiliencePolicy(
-                max_retries=max_retries if max_retries is not None else 2,
-                chip_timeout_s=chip_timeout,
-            )
-        obs = None
-        if (trace_path is not None or trace_summary or metrics_path is not None
-                or log_level is not None):
-            from repro.obs import ObsConfig
-
-            obs = ObsConfig(
-                trace=trace_path is not None or trace_summary,
-                metrics=metrics_path is not None,
-                log_level=log_level,
-            )
-        report = run_campaign(
-            jobs, config=config, workers=workers, cache_dir=cache_dir,
-            policy=policy, fault_plan=fault_plan, obs=obs,
+        obs = ObsConfig(
+            trace=trace_path is not None or trace_summary or serving,
+            metrics=metrics_path is not None or serving,
+            events=events_path is not None or serving,
+            log_level=log_level,
         )
-    except ReproError as exc:
-        print(f"campaign failed: {exc}", file=sys.stderr)
-        return 1
-    print(report.render())
-    # The summary printer reads the versioned report dict — the same shape
-    # to_json() emits — instead of poking at pickled result objects.
-    summary = report.to_dict()
-    for name, chip in summary["chips"].items():
-        head = chip["summary"]
-        topo = head["topology"] or "unidentified"
-        line = f"{name}: topology={topo} lanes={head['lanes_matched']}"
-        if chip["retries"] or chip["fault_events"]:
-            line += (f" degraded(retries={chip['retries']}, "
-                     f"faults={chip['fault_events']})")
-        reversed_chip = report.chips[name].result
-        if reversed_chip is not None and reversed_chip.validation is not None:
-            line += (f" validated(complete={reversed_chip.validation.complete}, "
-                     f"max W/L err {reversed_chip.validation.max_relative_error():.1%})")
-        print(line)
-    for name, record in summary["quarantined"].items():
-        print(f"{name}: QUARANTINED at {record['stage'] or '?'} "
-              f"after {record['retries']} retries: {record['message']}")
-    if json_path is not None:
-        text = report.to_json()
-        if json_path == "-":
-            print(text)
-        else:
-            with open(json_path, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
-            print(f"report written: {json_path}")
-    if trace_summary:
-        print(report.trace_summary())
-    if trace_path is not None:
-        report.save_trace(trace_path)
-        print(f"trace written: {trace_path}")
-    if metrics_path is not None:
-        report.save_metrics(metrics_path)
-        print(f"metrics written: {metrics_path}")
-    if not summary["chips"]:
-        print("campaign failed: every chip was quarantined", file=sys.stderr)
-        return 1
-    return 0
+
+    def _run() -> int:
+        try:
+            jobs = []
+            if n_chips is not None:
+                # N synthetic chips alternating the two reference topologies:
+                # classic, ocsa, classic-2, ocsa-2, ...
+                for k in range(n_chips):
+                    topo = ("classic", "ocsa")[k % 2]
+                    idx = k // 2
+                    name = topo if idx == 0 else f"{topo}-{idx + 1}"
+                    jobs.append(ChipJob.synthetic(
+                        name, topo, n_pairs=n_pairs, validate=validate
+                    ))
+            for target in targets:
+                if target.lower() in ("classic", "ocsa"):
+                    jobs.append(ChipJob.synthetic(
+                        target.lower(), target.lower(), n_pairs=n_pairs,
+                        validate=validate
+                    ))
+                elif target.upper() in CHIPS:
+                    jobs.append(ChipJob.for_chip(
+                        target, n_pairs=n_pairs, validate=validate
+                    ))
+                else:
+                    print(f"unknown campaign target {target!r}", file=sys.stderr)
+                    return 2
+
+            config = PipelineConfig()
+            if fast:
+                config = config.replaced(
+                    denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+                )
+            if shift_penalty is not None:
+                config = config.replaced(align_shift_penalty=shift_penalty)
+            if search_strategy is not None:
+                config = config.replaced(align_search_strategy=search_strategy)
+            if tol is not None:
+                config = config.replaced(denoise_tol=tol)
+            if shard_slices or shard_batch is not None:
+                from repro.pipeline import ShardPlan
+
+                config = config.replaced(
+                    shard=ShardPlan(slices=True, batch=shard_batch)
+                )
+            if data_plane is not None:
+                from dataclasses import replace as _dc_replace
+
+                config = config.replaced(
+                    shard=_dc_replace(config.shard, data_plane=data_plane)
+                )
+
+            policy = None
+            if max_retries is not None or chip_timeout is not None:
+                from repro.runtime import ResiliencePolicy
+
+                policy = ResiliencePolicy(
+                    max_retries=max_retries if max_retries is not None else 2,
+                    chip_timeout_s=chip_timeout,
+                )
+            report = run_campaign(
+                jobs, config=config, workers=workers, cache_dir=cache_dir,
+                policy=policy, fault_plan=fault_plan, obs=obs,
+            )
+        except ReproError as exc:
+            print(f"campaign failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+        # The summary printer reads the versioned report dict — the same shape
+        # to_json() emits — instead of poking at pickled result objects.
+        summary = report.to_dict()
+        for name, chip in summary["chips"].items():
+            head = chip["summary"]
+            topo = head["topology"] or "unidentified"
+            line = f"{name}: topology={topo} lanes={head['lanes_matched']}"
+            if chip["retries"] or chip["fault_events"]:
+                line += (f" degraded(retries={chip['retries']}, "
+                         f"faults={chip['fault_events']})")
+            reversed_chip = report.chips[name].result
+            if reversed_chip is not None and reversed_chip.validation is not None:
+                line += (
+                    f" validated(complete={reversed_chip.validation.complete}, "
+                    f"max W/L err "
+                    f"{reversed_chip.validation.max_relative_error():.1%})"
+                )
+            print(line)
+        for name, record in summary["quarantined"].items():
+            print(f"{name}: QUARANTINED at {record['stage'] or '?'} "
+                  f"after {record['retries']} retries: {record['message']}")
+        if json_path is not None:
+            text = report.to_json()
+            if json_path == "-":
+                print(text)
+            else:
+                with open(json_path, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"report written: {json_path}")
+        if trace_summary:
+            print(report.trace_summary())
+        if trace_path is not None:
+            report.save_trace(trace_path)
+            print(f"trace written: {trace_path}")
+        if metrics_path is not None:
+            report.save_metrics(metrics_path)
+            print(f"metrics written: {metrics_path}")
+        if events_path is not None:
+            report.save_events(events_path)
+            print(f"events written: {events_path}")
+        if not summary["chips"]:
+            print("campaign failed: every chip was quarantined", file=sys.stderr)
+            return 1
+        return 0
+
+    return _with_obs_server(serve_obs, serve_linger, obs, _run)
 
 
 _CHARACTERIZE_USAGE = """\
@@ -448,6 +540,16 @@ options:
   --cache DIR        content-addressed stage cache directory
   --json PATH        also write the characterization-report/1 JSON to
                      PATH ("-" = stdout)
+  --trace PATH       record a span trace of the sweep (Chrome
+                     trace_event JSON, or span JSONL when PATH ends
+                     in .jsonl)
+  --metrics PATH     write the merged metrics snapshot as JSON
+                     (includes the repro_char_cells_total counter)
+  --events PATH      write the lifecycle event stream (obs-event/1 JSONL)
+  --serve-obs PORT   expose live telemetry over HTTP while the sweep
+                     runs (/metrics /events /trace /healthz)
+  --serve-linger S   with --serve-obs: keep serving S seconds after the
+                     sweep finishes (default 0)
 
 A sweep with quarantined cells still exits 0 as long as at least one
 cell completed; it exits 1 only when every cell failed.
@@ -485,6 +587,11 @@ def cmd_characterize(args: list[str]) -> int:
     cache_dir: str | None = None
     json_path: str | None = None
     data_plane: str | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
+    events_path: str | None = None
+    serve_obs: int | None = None
+    serve_linger = 0.0
     try:
         i = 0
         while i < len(args):
@@ -540,6 +647,21 @@ def cmd_characterize(args: list[str]) -> int:
             elif arg == "--json":
                 i += 1
                 json_path = _value(arg, i)
+            elif arg == "--trace":
+                i += 1
+                trace_path = _value(arg, i)
+            elif arg == "--metrics":
+                i += 1
+                metrics_path = _value(arg, i)
+            elif arg == "--events":
+                i += 1
+                events_path = _value(arg, i)
+            elif arg == "--serve-obs":
+                i += 1
+                serve_obs = _int_value(arg, i)
+            elif arg == "--serve-linger":
+                i += 1
+                serve_linger = _float_value(arg, i)
             elif arg in ("--help", "-h"):
                 print(_CHARACTERIZE_USAGE)
                 return 0
@@ -551,38 +673,63 @@ def cmd_characterize(args: list[str]) -> int:
         print(_CHARACTERIZE_USAGE, file=sys.stderr)
         return 2
 
-    try:
-        spec = CharacterizationSpec(**spec_kwargs)
-        config = None
-        if data_plane is not None:
-            from dataclasses import replace as _dc_replace
+    serving = serve_obs is not None
+    obs = None
+    if (trace_path is not None or metrics_path is not None
+            or events_path is not None or serving):
+        from repro.obs import ObsConfig
 
-            from repro.pipeline import PipelineConfig
-
-            base = PipelineConfig()
-            config = base.replaced(
-                shard=_dc_replace(base.shard, data_plane=data_plane)
-            )
-        report = characterize(
-            spec, workers=workers, cache_dir=cache_dir, config=config
+        obs = ObsConfig(
+            trace=trace_path is not None or serving,
+            metrics=metrics_path is not None or serving,
+            events=events_path is not None or serving,
         )
-    except ReproError as exc:
-        print(f"characterization failed: {exc}", file=sys.stderr)
-        return 1
-    print(report.render())
-    if json_path is not None:
-        text = report.to_json()
-        if json_path == "-":
-            print(text)
-        else:
-            with open(json_path, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
-            print(f"report written: {json_path}")
-    if not report.cells:
-        print("characterization failed: every cell was quarantined",
-              file=sys.stderr)
-        return 1
-    return 0
+
+    def _run() -> int:
+        try:
+            spec = CharacterizationSpec(**spec_kwargs)
+            config = None
+            if data_plane is not None:
+                from dataclasses import replace as _dc_replace
+
+                from repro.pipeline import PipelineConfig
+
+                base = PipelineConfig()
+                config = base.replaced(
+                    shard=_dc_replace(base.shard, data_plane=data_plane)
+                )
+            report = characterize(
+                spec, workers=workers, cache_dir=cache_dir, config=config,
+                obs=obs,
+            )
+        except ReproError as exc:
+            print(f"characterization failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+        if json_path is not None:
+            text = report.to_json()
+            if json_path == "-":
+                print(text)
+            else:
+                with open(json_path, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"report written: {json_path}")
+        if trace_path is not None:
+            report.campaign.save_trace(trace_path)
+            print(f"trace written: {trace_path}")
+        if metrics_path is not None:
+            report.campaign.save_metrics(metrics_path)
+            print(f"metrics written: {metrics_path}")
+        if events_path is not None:
+            report.campaign.save_events(events_path)
+            print(f"events written: {events_path}")
+        if not report.cells:
+            print("characterization failed: every cell was quarantined",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    return _with_obs_server(serve_obs, serve_linger, obs, _run)
 
 
 _CATALOG_USAGE = """\
@@ -627,6 +774,18 @@ options:
   --cache DIR   content-addressed stage cache directory (reruns reuse it)
   --json PATH   write the versioned catalog-report/1 JSON to PATH
                 ("-" = stdout)
+  --trace PATH  record a span trace of the population campaign (Chrome
+                trace_event JSON, or span JSONL when PATH ends in .jsonl)
+  --metrics PATH
+                write the merged metrics snapshot as JSON (includes the
+                repro_catalog_variants_total{outcome=...} counters)
+  --events PATH write the lifecycle event stream (obs-event/1 JSONL)
+  --serve-obs PORT
+                expose live telemetry over HTTP while the population
+                runs (/metrics /events /trace /healthz)
+  --serve-linger S
+                with --serve-obs: keep serving S seconds after the run
+                finishes (default 0)
 
 A campaign with quarantined variants still exits 0 as long as at least
 one variant completed; it exits 1 only when every variant failed.
@@ -671,6 +830,18 @@ def cmd_catalog(args: list[str]) -> int:
     workers: int | None = None
     cache_dir: str | None = None
     json_path: str | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
+    events_path: str | None = None
+    serve_obs: int | None = None
+    serve_linger = 0.0
+
+    def _float_value(flag: str, i: int) -> float:
+        raw = _value(flag, i)
+        try:
+            return float(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires a number, got {raw!r}") from None
 
     i = 0
     try:
@@ -717,6 +888,21 @@ def cmd_catalog(args: list[str]) -> int:
             elif arg == "--json":
                 i += 1
                 json_path = _value(arg, i)
+            elif arg == "--trace":
+                i += 1
+                trace_path = _value(arg, i)
+            elif arg == "--metrics":
+                i += 1
+                metrics_path = _value(arg, i)
+            elif arg == "--events":
+                i += 1
+                events_path = _value(arg, i)
+            elif arg == "--serve-obs":
+                i += 1
+                serve_obs = _int_value(arg, i)
+            elif arg == "--serve-linger":
+                i += 1
+                serve_linger = _float_value(arg, i)
             elif arg in ("--help", "-h"):
                 print(_CATALOG_USAGE)
                 return 0
@@ -753,37 +939,243 @@ def cmd_catalog(args: list[str]) -> int:
     from repro.catalog import run_catalog_campaign
     from repro.errors import ReproError as _ReproError
 
-    try:
-        config = None
-        if full_pipeline:
-            from repro.pipeline import PipelineConfig
+    serving = serve_obs is not None
+    obs = None
+    if (trace_path is not None or metrics_path is not None
+            or events_path is not None or serving):
+        from repro.obs import ObsConfig
 
-            config = PipelineConfig()
-        report = run_catalog_campaign(
-            variants,
-            config=config,
-            workers=workers,
-            cache_dir=cache_dir,
-            seed=seed if n_variants is not None else None,
+        obs = ObsConfig(
+            trace=trace_path is not None or serving,
+            metrics=metrics_path is not None or serving,
+            events=events_path is not None or serving,
         )
-    except _ReproError as exc:
-        print(f"catalog campaign failed: {exc}", file=sys.stderr)
+
+    def _run() -> int:
+        try:
+            config = None
+            if full_pipeline:
+                from repro.pipeline import PipelineConfig
+
+                config = PipelineConfig()
+            report = run_catalog_campaign(
+                variants,
+                config=config,
+                workers=workers,
+                cache_dir=cache_dir,
+                seed=seed if n_variants is not None else None,
+                obs=obs,
+            )
+        except _ReproError as exc:
+            print(f"catalog campaign failed: {exc}", file=sys.stderr)
+            return 1
+
+        print(report.render())
+        print(f"results digest: {report.results_digest()}")
+        if json_path is not None:
+            text = report.to_json()
+            if json_path == "-":
+                print(text)
+            else:
+                with open(json_path, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"report written: {json_path}")
+        if trace_path is not None:
+            report.save_trace(trace_path)
+            print(f"trace written: {trace_path}")
+        if metrics_path is not None:
+            report.save_metrics(metrics_path)
+            print(f"metrics written: {metrics_path}")
+        if events_path is not None:
+            report.save_events(events_path)
+            print(f"events written: {events_path}")
+        if not report.scores:
+            print("catalog campaign failed: every variant was quarantined",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    return _with_obs_server(serve_obs, serve_linger, obs, _run)
+
+
+_OBS_USAGE = """\
+usage: python -m repro obs serve [options]
+       python -m repro obs analyze TRACE.jsonl
+       python -m repro obs analyze --diff A.jsonl B.jsonl
+
+serve — re-serve saved telemetry artifacts over HTTP (the same
+endpoints a live --serve-obs run exposes):
+
+  --metrics PATH  metrics snapshot JSON (from --metrics / save_metrics);
+                  served as Prometheus text exposition on /metrics
+  --trace PATH    span trace JSONL (from --trace foo.jsonl); served as
+                  OTLP JSON on /trace
+  --events PATH   obs-event/1 JSONL (from --events); served on /events
+  --port N        listen port (default 9464; 0 = ephemeral)
+  --linger S      serve S seconds then exit (default: until Ctrl-C)
+
+At least one artifact is required.  /healthz reports state "done"
+immediately — saved artifacts are already final.
+
+analyze — offline trace analytics over a span-JSONL trace: the
+critical path, per-stage and per-kernel wall-time attribution and the
+per-stage cache efficiency; with --diff, the per-stage wall-time delta
+table between two traces (the "did this PR slow alignment down?"
+report).
+"""
+
+
+def cmd_obs(args: list[str]) -> int:
+    from repro.errors import ReproError
+
+    class _UsageError(Exception):
+        pass
+
+    def _value(flag: str, i: int) -> str:
+        if i >= len(args):
+            raise _UsageError(f"{flag} requires a value")
+        return args[i]
+
+    if not args:
+        print(_OBS_USAGE, file=sys.stderr)
+        return 2
+    if args[0] in ("--help", "-h"):
+        print(_OBS_USAGE)
+        return 0
+    sub, args = args[0], args[1:]
+
+    if sub == "analyze":
+        from repro.obs.analyze import load_trace, render_analysis, render_diff
+
+        diff = False
+        paths: list[str] = []
+        for arg in args:
+            if arg == "--diff":
+                diff = True
+            elif arg in ("--help", "-h"):
+                print(_OBS_USAGE)
+                return 0
+            elif arg.startswith("-"):
+                print(f"unknown option {arg!r}", file=sys.stderr)
+                print(_OBS_USAGE, file=sys.stderr)
+                return 2
+            else:
+                paths.append(arg)
+        if (diff and len(paths) != 2) or (not diff and len(paths) != 1):
+            print(
+                "obs analyze takes one trace, or two with --diff",
+                file=sys.stderr,
+            )
+            print(_OBS_USAGE, file=sys.stderr)
+            return 2
+        try:
+            if diff:
+                print(render_diff(load_trace(paths[0]), load_trace(paths[1])))
+            else:
+                print(render_analysis(load_trace(paths[0])))
+        except ReproError as exc:
+            print(f"obs analyze failed: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if sub != "serve":
+        print(f"unknown obs subcommand {sub!r}", file=sys.stderr)
+        print(_OBS_USAGE, file=sys.stderr)
+        return 2
+
+    import json as _json
+    import time
+
+    from repro.obs import EventBus, events_from_jsonl
+    from repro.obs.analyze import load_trace
+    from repro.obs.export import ObsServer
+
+    metrics_path: str | None = None
+    trace_path: str | None = None
+    events_path: str | None = None
+    port = 9464
+    linger: float | None = None
+    try:
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "--metrics":
+                i += 1
+                metrics_path = _value(arg, i)
+            elif arg == "--trace":
+                i += 1
+                trace_path = _value(arg, i)
+            elif arg == "--events":
+                i += 1
+                events_path = _value(arg, i)
+            elif arg == "--port":
+                i += 1
+                try:
+                    port = int(_value(arg, i))
+                except ValueError:
+                    raise _UsageError(
+                        f"--port requires an integer, got {args[i]!r}"
+                    ) from None
+            elif arg == "--linger":
+                i += 1
+                try:
+                    linger = float(_value(arg, i))
+                except ValueError:
+                    raise _UsageError(
+                        f"--linger requires a number, got {args[i]!r}"
+                    ) from None
+            elif arg in ("--help", "-h"):
+                print(_OBS_USAGE)
+                return 0
+            else:
+                raise _UsageError(f"unknown option {arg!r}")
+            i += 1
+        if metrics_path is None and trace_path is None and events_path is None:
+            raise _UsageError(
+                "obs serve needs at least one of --metrics/--trace/--events"
+            )
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        print(_OBS_USAGE, file=sys.stderr)
+        return 2
+
+    try:
+        metrics_fn = None
+        if metrics_path is not None:
+            snapshot = _json.loads(open(metrics_path, encoding="utf-8").read())
+            metrics_fn = lambda: snapshot  # noqa: E731
+        spans_fn = None
+        if trace_path is not None:
+            spans = load_trace(trace_path)
+            spans_fn = lambda: spans  # noqa: E731
+        bus = None
+        if events_path is not None:
+            events = events_from_jsonl(
+                open(events_path, encoding="utf-8").read()
+            )
+            bus = EventBus(capacity=max(len(events), 1))
+            bus.absorb(events)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"obs serve failed: {exc}", file=sys.stderr)
         return 1
 
-    print(report.render())
-    print(f"results digest: {report.results_digest()}")
-    if json_path is not None:
-        text = report.to_json()
-        if json_path == "-":
-            print(text)
-        else:
-            with open(json_path, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
-            print(f"report written: {json_path}")
-    if not report.scores:
-        print("catalog campaign failed: every variant was quarantined",
-              file=sys.stderr)
-        return 1
+    with ObsServer(
+        port=port, metrics_fn=metrics_fn, spans_fn=spans_fn, bus=bus
+    ) as server:
+        server.finish()  # saved artifacts are final from the start
+        print(
+            f"obs: serving saved telemetry on {server.url} "
+            "(/metrics /events /trace /healthz)",
+            file=sys.stderr,
+        )
+        try:
+            if linger is not None:
+                time.sleep(linger)
+            else:
+                while True:
+                    time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -818,6 +1210,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_characterize(args[1:])
     elif command == "catalog":
         return cmd_catalog(args[1:])
+    elif command == "obs":
+        return cmd_obs(args[1:])
     else:
         print(__doc__, file=sys.stderr)
         return 2

@@ -50,7 +50,7 @@ from repro.circuits.topologies import SaTopology
 from repro.core.report import render_table
 from repro.errors import AnalogError, CampaignError, CharacterizationError
 from repro.faults import FaultPlan
-from repro.obs import ObsConfig
+from repro.obs import ObsConfig, current_metrics
 from repro.pipeline.config import PipelineConfig
 from repro.runtime.campaign import CampaignReport, QuarantineRecord, run_campaign
 from repro.runtime.engine import ResiliencePolicy, _StageDef, register_stage_versions
@@ -514,6 +514,14 @@ def characterize(
         for name, run in campaign.chips.items()
         if run.result is not None
     }
+    live = current_metrics()
+    if live.enabled:
+        live.counter("repro_char_cells_total").inc(len(cells))
+    if campaign.metrics is not None:
+        counters = campaign.metrics.setdefault("counters", {})
+        counters["repro_char_cells_total"] = (
+            counters.get("repro_char_cells_total", 0.0) + len(cells)
+        )
     return CharacterizationReport(
         cells=cells,
         workers=campaign.workers,

@@ -32,9 +32,10 @@ from repro.core.report import render_table
 from repro.errors import CatalogError
 from repro.imaging.fib import FibSemCampaign
 from repro.imaging.sem import SemParameters
-from repro.obs import ObsConfig
+from repro.obs import ObsConfig, current_metrics
+from repro.obs.metrics import metric_key
 from repro.pipeline.config import PipelineConfig
-from repro.runtime.campaign import ChipJob, ChipRun, run_campaign
+from repro.runtime.campaign import CampaignReport, ChipJob, ChipRun, run_campaign
 from repro.runtime.engine import ResiliencePolicy
 from repro.runtime.hashing import stable_hash
 
@@ -275,6 +276,32 @@ class CatalogReport:
     cache_dir: str | None = None
     seed: int | None = None  #: sampling seed, when the run was sampled
     quarantined: dict[str, dict] = field(default_factory=dict)
+    #: the underlying campaign report, carrying its spans / metrics
+    #: snapshot / event stream when ``obs`` enabled them.  Never
+    #: serialized — deserialized catalog reports carry ``None``.
+    campaign: CampaignReport | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _require_campaign(self) -> CampaignReport:
+        if self.campaign is None:
+            raise CatalogError(
+                "this catalog report carries no campaign telemetry "
+                "(deserialized reports drop it; run with obs=ObsConfig(...))"
+            )
+        return self.campaign
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Write the underlying campaign trace (see ``CampaignReport.save_trace``)."""
+        return self._require_campaign().save_trace(path)
+
+    def save_metrics(self, path: str | Path) -> Path:
+        """Write the metrics snapshot (see ``CampaignReport.save_metrics``)."""
+        return self._require_campaign().save_metrics(path)
+
+    def save_events(self, path: str | Path) -> Path:
+        """Write the lifecycle event JSONL (see ``CampaignReport.save_events``)."""
+        return self._require_campaign().save_events(path)
 
     def results_digest(self) -> str:
         """Stable hash of the deterministic portion (scores + summary).
@@ -451,6 +478,8 @@ def run_catalog_campaign(
         for spec in specs
         if spec.name in report.chips
     ]
+    _count_variants(report, completed=len(scores),
+                    quarantined=len(report.quarantined))
     return CatalogReport(
         scores=scores,
         population=population_summary(
@@ -465,4 +494,25 @@ def run_catalog_campaign(
         quarantined={
             name: rec.to_dict() for name, rec in report.quarantined.items()
         },
+        campaign=report,
     )
+
+
+def _count_variants(
+    report: CampaignReport, *, completed: int, quarantined: int
+) -> None:
+    """Record ``repro_catalog_variants_total{outcome=…}`` counters.
+
+    Written both into the campaign report's metrics snapshot (so the
+    saved ``--metrics`` JSON carries them) and into any ambient live
+    registry (so a ``--serve-obs`` scrape sees them the moment the
+    population is scored).
+    """
+    for outcome, count in (("completed", completed), ("quarantined", quarantined)):
+        live = current_metrics()
+        if live.enabled:
+            live.counter("repro_catalog_variants_total", outcome=outcome).inc(count)
+        if report.metrics is not None:
+            counters = report.metrics.setdefault("counters", {})
+            key = metric_key("repro_catalog_variants_total", {"outcome": outcome})
+            counters[key] = counters.get(key, 0.0) + count

@@ -41,6 +41,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    Event,
+    EventBus,
+    NoopEventBus,
+    current_events,
+    events_from_jsonl,
+    events_to_jsonl,
+    use_events,
+)
 from repro.obs.logs import (
     JsonFormatter,
     bind,
@@ -88,13 +100,17 @@ class ObsConfig:
 
     trace: bool = False
     metrics: bool = False
+    #: publish typed lifecycle events (obs-event/1) on a bounded bus.
+    events: bool = False
     #: configure JSON logging at this level in every worker ("DEBUG",
     #: "INFO", ...); ``None`` leaves logging untouched.
     log_level: str | None = None
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.log_level is not None
+        return (
+            self.trace or self.metrics or self.events or self.log_level is not None
+        )
 
 
 class ObsSession:
@@ -111,8 +127,10 @@ class ObsSession:
         self.registry: MetricsRegistry | None = (
             MetricsRegistry() if config.metrics else None
         )
+        self.bus: EventBus | None = EventBus() if config.events else None
         self._tracer_cm: use_tracer | None = None
         self._metrics_cm: use_metrics | None = None
+        self._events_cm: use_events | None = None
 
     def __enter__(self) -> "ObsSession":
         if self.config.log_level is not None:
@@ -123,9 +141,15 @@ class ObsSession:
         if self.registry is not None:
             self._metrics_cm = use_metrics(self.registry)
             self._metrics_cm.__enter__()
+        if self.bus is not None:
+            self._events_cm = use_events(self.bus)
+            self._events_cm.__enter__()
         return self
 
     def __exit__(self, *exc: Any) -> bool:
+        if self._events_cm is not None:
+            self._events_cm.__exit__(*exc)
+            self._events_cm = None
         if self._metrics_cm is not None:
             self._metrics_cm.__exit__(*exc)
             self._metrics_cm = None
@@ -139,6 +163,9 @@ class ObsSession:
 
     def metrics_snapshot(self) -> dict[str, Any]:
         return self.registry.snapshot() if self.registry is not None else empty_snapshot()
+
+    def events(self) -> list[Event]:
+        return self.bus.snapshot() if self.bus is not None else []
 
 
 #: ns-per-pixel histogram bounds for the kernel metrics (``repro.perf``
@@ -231,6 +258,17 @@ __all__ = [
     "metric_key",
     "empty_snapshot",
     "merge_snapshots",
+    # events
+    "EVENT_SCHEMA",
+    "EVENT_KINDS",
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "NoopEventBus",
+    "current_events",
+    "use_events",
+    "events_to_jsonl",
+    "events_from_jsonl",
     # logs
     "JsonFormatter",
     "bind",

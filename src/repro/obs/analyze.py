@@ -1,0 +1,218 @@
+"""Offline analytics over saved campaign traces.
+
+``python -m repro obs analyze`` loads the span JSONL a traced campaign
+wrote (``CampaignReport.save_trace("trace.jsonl")``) and answers the
+questions a flamegraph answers, without the browser:
+
+* **critical path** — the chain of slowest children from the campaign
+  root down to a leaf: the spans that bound the wall clock, with each
+  hop's share of its parent;
+* **attribution** — total wall seconds per stage and per kernel across
+  every chip, the first place to look before touching an optimisation;
+* **cache efficiency** — hit/skip/run counts per stage straight from
+  the stage spans' ``disposition`` attributes, plus the seconds the
+  executed (``run``) stages cost — i.e. what a warm cache would save;
+* **diff** — two traces, per-stage wall-time totals side by side with
+  absolute and relative deltas: the regression report for "this PR made
+  alignment slower".
+
+Everything operates on plain :class:`~repro.obs.trace.Span` lists, so
+the same functions serve the CLI, tests and ad-hoc notebook use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.report import render_table
+from repro.errors import ReproError
+from repro.obs.trace import Span, from_jsonl, span_tree
+
+__all__ = [
+    "load_trace",
+    "critical_path",
+    "stage_attribution",
+    "kernel_attribution",
+    "cache_efficiency",
+    "diff_stage_seconds",
+    "render_analysis",
+    "render_diff",
+]
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Load a span-JSONL trace file (the ``save_trace(*.jsonl)`` format)."""
+    target = Path(path)
+    if not target.exists():
+        raise ReproError(f"trace file not found: {target}")
+    spans = from_jsonl(target.read_text())
+    if not spans:
+        raise ReproError(f"trace file is empty: {target}")
+    return spans
+
+
+def critical_path(spans: Iterable[Span]) -> list[Span]:
+    """Root-to-leaf chain of slowest children.
+
+    Starts at the longest root span and at every level descends into the
+    child with the largest duration — the path whose spans bound the
+    campaign wall clock.
+    """
+    spans = list(spans)
+    tree = span_tree(spans)
+    roots = tree.get(None, [])
+    if not roots:
+        return []
+    path = [max(roots, key=lambda s: s.duration_s)]
+    while True:
+        children = tree.get(path[-1].span_id, [])
+        if not children:
+            return path
+        path.append(max(children, key=lambda s: s.duration_s))
+
+
+def _totals_by_name(spans: Iterable[Span], kind: str) -> dict[str, dict[str, float]]:
+    totals: dict[str, dict[str, float]] = {}
+    for span in spans:
+        if span.kind != kind:
+            continue
+        entry = totals.setdefault(span.name, {"seconds": 0.0, "count": 0.0})
+        entry["seconds"] += span.duration_s
+        entry["count"] += 1
+    return totals
+
+
+def stage_attribution(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
+    """``{stage: {"seconds": total, "count": n}}`` over all chips."""
+    return _totals_by_name(spans, "stage")
+
+
+def kernel_attribution(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
+    """``{kernel: {"seconds": total, "count": n}}`` over all chips."""
+    return _totals_by_name(spans, "kernel")
+
+
+def cache_efficiency(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
+    """Per-stage cache dispositions and the wall cost of the misses.
+
+    Reads the ``disposition`` attribute the executor sets on every stage
+    span (``run`` / ``hit`` / ``skip``); ``run_seconds`` is the summed
+    duration of the executed stages — the upper bound on what a warm
+    cache saves.
+    """
+    report: dict[str, dict[str, float]] = {}
+    for span in spans:
+        if span.kind != "stage":
+            continue
+        disposition = span.attrs.get("disposition")
+        if disposition is None:
+            continue
+        entry = report.setdefault(
+            span.name, {"run": 0.0, "hit": 0.0, "skip": 0.0, "run_seconds": 0.0}
+        )
+        if disposition in entry:
+            entry[disposition] += 1
+        if disposition == "run":
+            entry["run_seconds"] += span.duration_s
+    return report
+
+
+def diff_stage_seconds(
+    a: Iterable[Span], b: Iterable[Span]
+) -> dict[str, dict[str, float]]:
+    """Per-stage wall-time totals of two traces, with deltas.
+
+    ``{stage: {"a_seconds", "b_seconds", "delta_seconds", "ratio"}}``;
+    a stage missing from one trace contributes 0.0 there, and ``ratio``
+    is ``b/a`` (``inf`` for a stage new in B).
+    """
+    a_totals = stage_attribution(a)
+    b_totals = stage_attribution(b)
+    diff: dict[str, dict[str, float]] = {}
+    for stage in sorted(set(a_totals) | set(b_totals)):
+        a_s = a_totals.get(stage, {}).get("seconds", 0.0)
+        b_s = b_totals.get(stage, {}).get("seconds", 0.0)
+        diff[stage] = {
+            "a_seconds": a_s,
+            "b_seconds": b_s,
+            "delta_seconds": b_s - a_s,
+            "ratio": (b_s / a_s) if a_s > 0 else float("inf"),
+        }
+    return diff
+
+
+def render_analysis(spans: Iterable[Span]) -> str:
+    """The full text report: critical path, attribution, cache efficiency."""
+    spans = list(spans)
+    sections: list[str] = []
+
+    path = critical_path(spans)
+    rows = []
+    for i, span in enumerate(path):
+        parent_s = path[i - 1].duration_s if i > 0 else None
+        share = f"{span.duration_s / parent_s * 100.0:5.1f}%" if parent_s else ""
+        rows.append([
+            "  " * i + span.name, span.kind, f"{span.duration_s * 1e3:10.2f} ms",
+            share,
+        ])
+    sections.append(render_table(
+        ["span", "kind", "duration", "of parent"], rows, title="critical path"
+    ))
+
+    for title, totals in (
+        ("per-stage attribution", stage_attribution(spans)),
+        ("per-kernel attribution", kernel_attribution(spans)),
+    ):
+        grand = sum(t["seconds"] for t in totals.values()) or 1.0
+        rows = [
+            [name, int(t["count"]), f"{t['seconds'] * 1e3:10.2f} ms",
+             f"{t['seconds'] / grand * 100.0:5.1f}%"]
+            for name, t in sorted(
+                totals.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        sections.append(render_table(
+            ["name", "calls", "total", "share"], rows, title=title
+        ))
+
+    cache = cache_efficiency(spans)
+    if cache:
+        rows = [
+            [stage, int(e["run"]), int(e["hit"]), int(e["skip"]),
+             f"{e['run_seconds'] * 1e3:10.2f} ms"]
+            for stage, e in sorted(
+                cache.items(), key=lambda kv: -kv[1]["run_seconds"]
+            )
+        ]
+        sections.append(render_table(
+            ["stage", "run", "hit", "skip", "run cost"], rows,
+            title="cache efficiency",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_diff(a: Iterable[Span], b: Iterable[Span]) -> str:
+    """The two-trace per-stage delta table."""
+    diff = diff_stage_seconds(a, b)
+    rows = []
+    for stage, d in sorted(diff.items(), key=lambda kv: -abs(kv[1]["delta_seconds"])):
+        ratio = "new" if d["ratio"] == float("inf") else f"{d['ratio']:.2f}x"
+        rows.append([
+            stage,
+            f"{d['a_seconds'] * 1e3:10.2f} ms",
+            f"{d['b_seconds'] * 1e3:10.2f} ms",
+            f"{d['delta_seconds'] * 1e3:+10.2f} ms",
+            ratio,
+        ])
+    total_a = sum(d["a_seconds"] for d in diff.values())
+    total_b = sum(d["b_seconds"] for d in diff.values())
+    rows.append([
+        "(total)", f"{total_a * 1e3:10.2f} ms", f"{total_b * 1e3:10.2f} ms",
+        f"{(total_b - total_a) * 1e3:+10.2f} ms",
+        f"{total_b / total_a:.2f}x" if total_a > 0 else "-",
+    ])
+    return render_table(
+        ["stage", "A", "B", "delta", "ratio"], rows,
+        title="per-stage wall-time diff (B vs A)",
+    )

@@ -1,0 +1,278 @@
+"""Bounded, drop-counting progress event bus for live campaign telemetry.
+
+Spans and metrics (PR 4) are *post-mortem*: they are collected per
+worker and only become visible once the campaign report is assembled.
+An :class:`Event` is the live complement — a small, typed, timestamped
+lifecycle record (``campaign_start``, ``chip_finish``, ``stage_start``,
+``cache_hit``, ``shard_backpressure``, ...) published the moment it
+happens, so a scraper or the ``/events`` HTTP endpoint can stream
+progress while the campaign is still running.
+
+Design constraints, inherited from :mod:`repro.obs.trace`:
+
+* **Disabled must be free.**  Instrumented code calls
+  ``current_events().emit(...)`` unconditionally; with no bus active
+  that hits a shared no-op singleton — no clock read, no allocation.
+  Events only *observe*: results and cache keys are bit-identical with
+  the bus on or off.
+* **Bounded, never blocking.**  The bus is a fixed-capacity ring: when
+  full, the *oldest* event is dropped and a drop counter incremented.
+  Producers never block, so a stalled (or absent) consumer cannot slow
+  a campaign down.  Consumers see the gap through ``dropped`` and the
+  strictly increasing per-bus ``seq``.
+* **Process-pool friendly.**  Each campaign worker records events into
+  its own bus; the finished list crosses the pool boundary with the
+  chip result (plain picklable dataclasses) and is folded into the
+  campaign bus by :meth:`EventBus.absorb` — the analogue of
+  ``merge_spans`` — which re-sequences foreign events while preserving
+  their wall timestamps, pids and payloads.
+
+Serialization is versioned JSONL (one event dict per line, schema tag
+``obs-event/1`` on every line) so logs stay greppable and the ``/events``
+endpoint can tail them without framing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+#: Schema tag stamped on every serialized event line.
+EVENT_SCHEMA = "obs-event/1"
+
+#: Known lifecycle event kinds (descriptive, not enforced — the bus
+#: carries any kind, but exporters and ``obs analyze`` know these).
+EVENT_KINDS = (
+    "campaign_start",
+    "campaign_finish",
+    "chip_start",
+    "chip_finish",
+    "chip_quarantined",
+    "attempt_start",
+    "attempt_finish",
+    "attempt_retry",
+    "stage_start",
+    "stage_finish",
+    "cache_hit",
+    "cache_miss",
+    "shard_backpressure",
+)
+
+#: Default ring capacity.  A 2-chip smoke campaign emits ~60 events; a
+#: hundred-chip catalog run a few thousand — 8192 keeps hours of
+#: progress without unbounded growth.
+DEFAULT_CAPACITY = 8192
+
+
+@dataclass
+class Event:
+    """One lifecycle event (picklable, JSON-able)."""
+
+    kind: str
+    ts_s: float  #: wall-anchored seconds, same clock as Span.start_s
+    seq: int  #: strictly increasing per bus; re-assigned by absorb()
+    pid: int
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": EVENT_SCHEMA,
+            "kind": self.kind,
+            "ts_s": self.ts_s,
+            "seq": self.seq,
+            "pid": self.pid,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Event":
+        schema = data.get("schema", EVENT_SCHEMA)
+        if schema != EVENT_SCHEMA:
+            raise ValueError(f"unsupported event schema {schema!r}")
+        return cls(
+            kind=str(data["kind"]),
+            ts_s=float(data["ts_s"]),
+            seq=int(data["seq"]),
+            pid=int(data.get("pid", 0)),
+            fields=dict(data.get("fields", {})),
+        )
+
+
+class NoopEventBus:
+    """Stand-in when the event bus is off: emit costs nothing."""
+
+    enabled = False
+    dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        pass
+
+
+class EventBus:
+    """Fixed-capacity, thread-safe progress event ring.
+
+    ``emit`` never blocks: at capacity the oldest event is evicted and
+    ``dropped`` incremented.  ``seq`` increases monotonically across
+    drops, so a consumer tailing with ``drain(since_seq=...)`` can
+    detect gaps.  ``wait`` parks a consumer until a newer event arrives
+    (the seam the chunked ``/events?follow=1`` endpoint uses).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("event bus capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.pid = os.getpid()
+        self.dropped = 0
+        self._seq = 0
+        self._ring: deque[Event] = deque()
+        self._cond = threading.Condition()
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        #: optional tap called (outside no lock ordering guarantees)
+        #: with each appended Event; used by the serve layer to persist
+        #: events to disk as they happen.
+        self.on_event: Callable[[Event], None] | None = None
+
+    def _wall(self, perf_now: float) -> float:
+        return self._epoch_wall + (perf_now - self._epoch_perf)
+
+    def _append(self, event: Event) -> None:
+        tap = None
+        with self._cond:
+            self._seq += 1
+            event.seq = self._seq
+            if len(self._ring) >= self.capacity:
+                self._ring.popleft()
+                self.dropped += 1
+            self._ring.append(event)
+            self._cond.notify_all()
+            tap = self.on_event
+        if tap is not None:
+            tap(event)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Publish one event; never blocks, never raises on overflow."""
+        self._append(
+            Event(
+                kind=kind,
+                ts_s=self._wall(time.perf_counter()),
+                seq=0,  # assigned under the lock in _append
+                pid=self.pid,
+                fields=fields,
+            )
+        )
+
+    def absorb(self, events: Iterable[Event]) -> None:
+        """Fold foreign (worker) events into this bus.
+
+        The analogue of ``merge_spans``: timestamps, pids, kinds and
+        payloads are preserved; only ``seq`` is re-assigned so the
+        campaign bus stays a single monotonic stream.
+        """
+        for event in events:
+            self._append(
+                Event(
+                    kind=event.kind,
+                    ts_s=event.ts_s,
+                    seq=0,
+                    pid=event.pid,
+                    fields=dict(event.fields),
+                )
+            )
+
+    @property
+    def last_seq(self) -> int:
+        with self._cond:
+            return self._seq
+
+    def drain(self, since_seq: int = -1) -> list[Event]:
+        """Events still buffered with ``seq > since_seq``, oldest first."""
+        with self._cond:
+            return [e for e in self._ring if e.seq > since_seq]
+
+    def wait(self, since_seq: int, timeout: float | None = None) -> list[Event]:
+        """Block until an event newer than *since_seq* exists (or timeout)."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._cond:
+            while self._seq <= since_seq:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return []
+                self._cond.wait(remaining)
+            return [e for e in self._ring if e.seq > since_seq]
+
+    def snapshot(self) -> list[Event]:
+        """Every event still buffered, oldest first."""
+        with self._cond:
+            return list(self._ring)
+
+
+# --- serialization ----------------------------------------------------------
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """One JSON object per line (schema-tagged), in the given order."""
+    return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+def events_from_jsonl(text: str) -> list[Event]:
+    return [
+        Event.from_dict(json.loads(line)) for line in text.splitlines() if line.strip()
+    ]
+
+
+# --- active-bus plumbing (mirrors trace._ACTIVE / metrics._ACTIVE) ---------
+
+_NOOP = NoopEventBus()
+#: Process-wide active bus.  A module global (not a contextvar) for the
+#: same reason as the tracer's: chunk worker threads inside
+#: denoise/align must see the bus their chip activated.
+_ACTIVE: EventBus | None = None
+
+
+def current_events() -> EventBus | NoopEventBus:
+    """The active event bus, or the shared no-op when events are off."""
+    return _ACTIVE if _ACTIVE is not None else _NOOP
+
+
+class use_events:
+    """Context manager activating *bus*, restoring the previous one."""
+
+    def __init__(self, bus: EventBus | None) -> None:
+        self._bus = bus
+        self._prev: EventBus | None = None
+
+    def __enter__(self) -> EventBus | None:
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self._bus
+        return self._bus
+
+    def __exit__(self, *exc: Any) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        return False
+
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_KINDS",
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "NoopEventBus",
+    "current_events",
+    "use_events",
+    "events_to_jsonl",
+    "events_from_jsonl",
+]

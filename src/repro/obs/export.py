@@ -1,0 +1,398 @@
+"""Prometheus and OTLP export for the observability layer, plus the
+background HTTP exposition server behind ``--serve-obs``.
+
+Three stdlib-only pieces:
+
+* :func:`to_prometheus` — renders a :meth:`MetricsRegistry.snapshot`
+  dict in the Prometheus text exposition format (``# TYPE`` headers,
+  sorted labels, histograms as cumulative ``_bucket``/``_sum``/
+  ``_count`` series with an explicit ``+Inf`` bucket);
+* :func:`to_otlp` — renders a span list as OTLP-JSON (the
+  ``resourceSpans``/``scopeSpans`` shape OTLP/HTTP collectors accept),
+  with deterministic trace/span ids derived from the internal span ids
+  and nanosecond string timestamps;
+* :class:`ObsServer` — a daemon-thread ``http.server`` exposing
+  ``/metrics`` (Prometheus), ``/healthz`` (JSON state), ``/events``
+  (``obs-event/1`` JSONL tail, optionally chunked follow mode) and
+  ``/trace`` (OTLP-JSON), fed by live references to a metrics
+  registry / event bus / tracer, or by saved artefacts re-served via
+  ``python -m repro obs serve``.
+
+The server binds loopback by default and never touches the campaign's
+hot path: scrapes read lock-protected snapshots, producers never wait
+for consumers (the bus drops oldest on overflow).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.events import EventBus
+from repro.obs.trace import Span
+
+__all__ = [
+    "to_prometheus",
+    "to_otlp",
+    "parse_metric_key",
+    "ObsServer",
+]
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`repro.obs.metrics.metric_key`.
+
+    ``"repro_stage_seconds{stage=align}"`` → ``("repro_stage_seconds",
+    {"stage": "align"})``.  Label *values* may contain anything except
+    ``,`` and ``=`` (the encoder writes raw ``k=v`` pairs), which holds
+    for every metric the runtime emits.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner[:-1].split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(labels[k]))}"' for k in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+
+    Series are grouped by metric name with one ``# TYPE`` line each;
+    histogram bucket counts are emitted *cumulatively* with ``le``
+    labels (the internal snapshot stores per-bucket counts).
+    """
+    lines: list[str] = []
+    by_name: dict[str, list[tuple[dict[str, str], float]]] = {}
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = parse_metric_key(key)
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in by_name[name]:
+            lines.append(f"{name}{_label_str(labels)} {_format_value(value)}")
+
+    gauges: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = parse_metric_key(key)
+        gauges.setdefault(name, []).append((labels, value))
+    for name in sorted(gauges):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in gauges[name]:
+            lines.append(f"{name}{_label_str(labels)} {_format_value(value)}")
+
+    hists: dict[str, list[tuple[dict[str, str], dict[str, Any]]]] = {}
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = parse_metric_key(key)
+        hists.setdefault(name, []).append((labels, hist))
+    for name in sorted(hists):
+        lines.append(f"# TYPE {name} histogram")
+        for labels, hist in hists[name]:
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(float(bound))
+                lines.append(
+                    f"{name}_bucket{_label_str(bucket_labels)} {cumulative}"
+                )
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = "+Inf"
+            lines.append(
+                f"{name}_bucket{_label_str(bucket_labels)} {hist['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_label_str(labels)} {_format_value(hist['sum'])}"
+            )
+            lines.append(f"{name}_count{_label_str(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# --- OTLP-JSON span export --------------------------------------------------
+
+
+def _otlp_id(internal_id: str | None, nbytes: int) -> str:
+    """A deterministic OTLP hex id derived from an internal span id."""
+    if internal_id is None:
+        return "0" * (nbytes * 2)
+    return hashlib.blake2b(internal_id.encode(), digest_size=nbytes).hexdigest()
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def to_otlp(spans: Iterable[Span], service_name: str = "repro") -> dict[str, Any]:
+    """OTLP-JSON (``ExportTraceServiceRequest`` shape) of a span list.
+
+    One resource + one scope; every span of one export shares a trace id
+    (derived from the root span's id, or the first span when no root is
+    present).  Ids are stable across exports of the same trace.
+    """
+    spans = list(spans)
+    root_id = next((s.span_id for s in spans if s.parent_id is None), None)
+    if root_id is None and spans:
+        root_id = spans[0].span_id
+    trace_id = _otlp_id(root_id, 16)
+    otlp_spans = []
+    for span in spans:
+        start_ns = int(span.start_s * 1e9)
+        end_ns = int((span.start_s + span.duration_s) * 1e9)
+        attributes = [
+            {"key": "repro.kind", "value": _otlp_value(span.kind)},
+            {"key": "repro.pid", "value": _otlp_value(span.pid)},
+        ]
+        for key, value in sorted(span.attrs.items()):
+            attributes.append({"key": key, "value": _otlp_value(value)})
+        otlp_spans.append({
+            "traceId": trace_id,
+            "spanId": _otlp_id(span.span_id, 8),
+            "parentSpanId": _otlp_id(span.parent_id, 8) if span.parent_id else "",
+            "name": span.name,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(end_ns),
+            "attributes": attributes,
+            "status": {"code": 2 if span.status == "error" else 1},
+        })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [{
+                    "key": "service.name",
+                    "value": {"stringValue": service_name},
+                }],
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs", "version": "1"},
+                "spans": otlp_spans,
+            }],
+        }],
+    }
+
+
+# --- the exposition server --------------------------------------------------
+
+
+class ObsServer:
+    """Background-thread HTTP exposition of live (or saved) telemetry.
+
+    Endpoints:
+
+    ``/healthz``
+        JSON: ``{"status": "ok", "state": ..., "events_seq": ...,
+        "events_dropped": ...}``.  ``state`` starts at ``"running"`` and
+        flips to ``"done"`` via :meth:`finish` — scrapers (the CI smoke
+        job) poll it to know the final snapshot is complete.
+    ``/metrics``
+        Prometheus text exposition of the current snapshot.
+    ``/events``
+        ``obs-event/1`` JSONL of the buffered event stream.  Query
+        params: ``since=SEQ`` tails events newer than SEQ;
+        ``follow=1`` switches to chunked transfer and streams new
+        events until the server finishes (or ``timeout_s`` elapses).
+    ``/trace``
+        OTLP-JSON of the spans collected so far.
+
+    The server takes *callables* for metrics and spans so the caller
+    decides what "current" means (a live registry's ``snapshot``, a
+    merged report dict, a loaded JSONL file).  It binds 127.0.0.1 by
+    default; ``port=0`` picks a free port (see :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        metrics_fn: Callable[[], dict[str, Any]] | None = None,
+        spans_fn: Callable[[], list[Span]] | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
+        self.metrics_fn = metrics_fn
+        self.spans_fn = spans_fn
+        self.bus = bus
+        self._state = "running"
+        self._state_lock = threading.Lock()
+        obs_server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Silence the default stderr request log.
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass
+
+            def _send(
+                self, body: bytes, content_type: str, status: int = 200
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                parsed = urlparse(self.path)
+                try:
+                    if parsed.path == "/healthz":
+                        self._send(
+                            json.dumps(obs_server.health()).encode(),
+                            "application/json",
+                        )
+                    elif parsed.path == "/metrics":
+                        self._send(
+                            obs_server.render_metrics().encode(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif parsed.path == "/events":
+                        self._handle_events(parse_qs(parsed.query))
+                    elif parsed.path == "/trace":
+                        self._send(
+                            json.dumps(obs_server.render_trace()).encode(),
+                            "application/json",
+                        )
+                    else:
+                        self._send(b"not found\n", "text/plain", status=404)
+                except BrokenPipeError:  # client went away mid-write
+                    pass
+
+            def _handle_events(self, query: dict[str, list[str]]) -> None:
+                since = int(query.get("since", ["-1"])[0])
+                follow = query.get("follow", ["0"])[0] in ("1", "true")
+                if not follow:
+                    body = obs_server.render_events(since).encode()
+                    self._send(body, "application/jsonl")
+                    return
+                timeout_s = float(query.get("timeout_s", ["30"])[0])
+                self.send_response(200)
+                self.send_header("Content-Type", "application/jsonl")
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+
+                def write_chunk(data: bytes) -> None:
+                    self.wfile.write(f"{len(data):x}\r\n".encode())
+                    self.wfile.write(data + b"\r\n")
+                    self.wfile.flush()
+
+                for line in obs_server.follow_events(since, timeout_s):
+                    write_chunk(line.encode() + b"\n")
+                self.wfile.write(b"0\r\n\r\n")
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # --- content builders (also used headless by tests/CLI) ---------------
+
+    def health(self) -> dict[str, Any]:
+        with self._state_lock:
+            state = self._state
+        payload: dict[str, Any] = {"status": "ok", "state": state}
+        if self.bus is not None:
+            payload["events_seq"] = self.bus.last_seq
+            payload["events_dropped"] = self.bus.dropped
+        return payload
+
+    def render_metrics(self) -> str:
+        if self.metrics_fn is None:
+            return "\n"
+        return to_prometheus(self.metrics_fn())
+
+    def render_events(self, since: int = -1) -> str:
+        if self.bus is None:
+            return ""
+        lines = [
+            json.dumps(e.to_dict(), sort_keys=True)
+            for e in self.bus.drain(since)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_trace(self) -> dict[str, Any]:
+        spans = self.spans_fn() if self.spans_fn is not None else []
+        return to_otlp(spans)
+
+    def follow_events(self, since: int, timeout_s: float):
+        """Yield event JSON lines until the server finishes or times out."""
+        import time as _time
+
+        deadline = _time.perf_counter() + timeout_s
+        seq = since
+        while True:
+            remaining = deadline - _time.perf_counter()
+            if remaining <= 0 or self.bus is None:
+                return
+            fresh = self.bus.wait(seq, timeout=min(remaining, 0.25))
+            for event in fresh:
+                seq = max(seq, event.seq)
+                yield json.dumps(event.to_dict(), sort_keys=True)
+            with self._state_lock:
+                if self._state == "done" and not fresh:
+                    return
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def finish(self) -> None:
+        """Flip ``/healthz`` state to ``"done"`` (the server keeps serving)."""
+        with self._state_lock:
+            self._state = "done"
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.stop()
+        return False

@@ -154,6 +154,38 @@ class MetricsRegistry:
                 metric = self._histograms[key] = Histogram(bounds)
         return metric
 
+    def absorb(self, snapshot: dict[str, Any]) -> None:
+        """Fold a worker's :meth:`snapshot` into this live registry.
+
+        The in-memory twin of :func:`merge_snapshots`, used by the
+        campaign loop to keep the parent's registry (and any live
+        ``/metrics`` scrape of it) current as pool outcomes arrive:
+        counters and matching-bounds histograms add, gauges take the
+        snapshot's value, bounds mismatches replace wholesale.
+
+        Snapshot keys are already ``metric_key``-encoded strings, so
+        they index the internal dicts directly.
+        """
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                metric = self._counters.get(key)
+                if metric is None:
+                    metric = self._counters[key] = Counter()
+                metric.value += value
+            for key, value in snapshot.get("gauges", {}).items():
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge()
+                gauge.value = float(value)
+            for key, hist in snapshot.get("histograms", {}).items():
+                bounds = tuple(float(b) for b in hist["bounds"])
+                mine = self._histograms.get(key)
+                if mine is None or mine.bounds != bounds:
+                    mine = self._histograms[key] = Histogram(bounds)
+                mine.counts = [a + b for a, b in zip(mine.counts, hist["counts"])]
+                mine.sum += hist["sum"]
+                mine.count += hist["count"]
+
     def snapshot(self) -> dict[str, Any]:
         """A JSON-able, mergeable view of everything recorded so far."""
         with self._lock:

@@ -53,6 +53,16 @@ from repro.perf.bench import (
     write_dataplane_report,
     write_report,
 )
+from repro.perf.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA,
+    check_regression,
+    environment_fingerprint,
+    key_metrics,
+    load_history,
+    record_run,
+    render_regressions,
+)
 from repro.perf.rss import RssSampler, tree_rss_bytes
 
 __all__ = [
@@ -60,11 +70,19 @@ __all__ = [
     "DATAPLANE_REPORT_PATH",
     "DEFAULT_REPORT_PATH",
     "MIN_BATCHED_SPEEDUP",
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA",
     "BenchReport",
     "KernelBench",
     "RssSampler",
     "analog_gate_failures",
+    "check_regression",
     "dataplane_gate_failures",
+    "environment_fingerprint",
+    "key_metrics",
+    "load_history",
+    "record_run",
+    "render_regressions",
     "measure_dataplane",
     "measure_shard_speedup",
     "render_analog_report",

@@ -13,6 +13,12 @@ from __future__ import annotations
 import sys
 
 from repro.errors import ReproError
+from repro.perf.history import (
+    DEFAULT_HISTORY_PATH,
+    check_regression,
+    record_run,
+    render_regressions,
+)
 from repro.perf.bench import (
     ANALOG_REPORT_PATH,
     CATALOG_REPORT_PATH,
@@ -56,10 +62,43 @@ options:
                      campaign workers for --catalog (default: 2)
   --rss-ceiling-mb M with --dataplane: fail if the shm-plane peak RSS
                      exceeds M MiB (default: record only, no ceiling)
+  --history PATH     append-mode perf history file (default:
+                     {DEFAULT_HISTORY_PATH}); every run is recorded
+  --no-history       skip the history append entirely
+  --check-regression fail (exit 1) when a key timing exceeds the gate
+                     threshold times the trailing same-environment
+                     median for this probe
+  --regression-threshold X
+                     the --check-regression gate multiplier (default: 1.5)
 """
 
 
-def _run_analog(scale: str, out: str | None) -> int:
+def _finish_history(
+    data: dict,
+    history: str | None,
+    check: bool,
+    threshold: float,
+) -> int:
+    """Record *data* in the history log, then gate on its regressions.
+
+    The comparison runs *before* the append so a run never baselines
+    itself; the append happens even when the gate fires, because the
+    history must reflect what actually ran.
+    """
+    if history is None:
+        return 0
+    regressions = check_regression(data, history, threshold=threshold) if check else []
+    record_run(data, history)
+    if regressions:
+        print(render_regressions(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_analog(
+    scale: str, out: str | None,
+    history: str | None, check: bool, threshold: float,
+) -> int:
     try:
         data = run_analog_benchmarks(scale=scale)
     except ReproError as exc:
@@ -72,11 +111,12 @@ def _run_analog(scale: str, out: str | None) -> int:
     if failures:
         print(f"ANALOG GATE FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
-    return 0
+    return _finish_history(data, history, check, threshold)
 
 
 def _run_dataplane(
-    scale: str, out: str | None, workers: int, rss_ceiling_mb: float | None
+    scale: str, out: str | None, workers: int, rss_ceiling_mb: float | None,
+    history: str | None, check: bool, threshold: float,
 ) -> int:
     try:
         data = measure_dataplane(scale=scale, shard_workers=workers)
@@ -90,10 +130,13 @@ def _run_dataplane(
     if failures:
         print(f"DATAPLANE GATE FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
-    return 0
+    return _finish_history(data, history, check, threshold)
 
 
-def _run_catalog(scale: str, out: str | None, workers: int | None) -> int:
+def _run_catalog(
+    scale: str, out: str | None, workers: int | None,
+    history: str | None, check: bool, threshold: float,
+) -> int:
     try:
         data = measure_catalog(scale=scale, workers=workers)
     except ReproError as exc:
@@ -106,7 +149,7 @@ def _run_catalog(scale: str, out: str | None, workers: int | None) -> int:
     if failures:
         print(f"CATALOG GATE FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
-    return 0
+    return _finish_history(data, history, check, threshold)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -119,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
     catalog = False
     workers: int | None = None
     rss_ceiling_mb: float | None = None
+    history: str | None = DEFAULT_HISTORY_PATH
+    check = False
+    threshold = 1.5
     i = 0
     while i < len(args):
         arg = args[i]
@@ -157,6 +203,29 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 2
+        elif arg == "--history":
+            i += 1
+            if i >= len(args):
+                print("--history requires a value", file=sys.stderr)
+                return 2
+            history = args[i]
+        elif arg == "--no-history":
+            history = None
+        elif arg == "--check-regression":
+            check = True
+        elif arg == "--regression-threshold":
+            i += 1
+            if i >= len(args):
+                print("--regression-threshold requires a value", file=sys.stderr)
+                return 2
+            try:
+                threshold = float(args[i])
+            except ValueError:
+                print(
+                    f"--regression-threshold expects a number, got {args[i]!r}",
+                    file=sys.stderr,
+                )
+                return 2
         elif arg == "--no-campaign":
             include_campaign = False
         elif arg == "--analog":
@@ -181,12 +250,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     if analog:
-        return _run_analog(scale, out)
+        return _run_analog(scale, out, history, check, threshold)
     if dataplane:
         return _run_dataplane(scale, out, workers if workers is not None else 4,
-                              rss_ceiling_mb)
+                              rss_ceiling_mb, history, check, threshold)
     if catalog:
-        return _run_catalog(scale, out, workers)
+        return _run_catalog(scale, out, workers, history, check, threshold)
 
     out = out or DEFAULT_REPORT_PATH
     try:
@@ -203,7 +272,7 @@ def main(argv: list[str] | None = None) -> int:
     if mismatched:
         print(f"OUTPUT MISMATCH in: {', '.join(mismatched)}", file=sys.stderr)
         return 1
-    return 0
+    return _finish_history(report.as_dict(), history, check, threshold)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,254 @@
+"""Append-mode performance history and the regression gate.
+
+The committed ``BENCH_*.json`` files are overwrite-in-place snapshots:
+each ``repro.perf`` run replaces the last, so the project keeps no
+performance *trajectory* and a kernel that quietly got 2x slower
+between PRs is invisible.  This module adds the missing axis:
+
+* :func:`record_run` appends every perf report to ``BENCH_history.jsonl``
+  as one ``bench-history/1`` line keyed by (probe, git SHA,
+  environment fingerprint) with the report's lower-is-better headline
+  timings flattened into a ``metrics`` dict;
+* :func:`check_regression` compares a fresh report against the trailing
+  median of the same probe's history *on the same environment* (python
+  + numpy + machine — cross-machine timings never gate each other) and
+  flags any metric above ``threshold`` × median;
+* ``python -m repro.perf --history PATH --check-regression`` wires both
+  into the CLI: history is always appended, and a flagged regression
+  exits non-zero so CI can gate on it.
+
+The gate needs at least ``min_history`` prior same-environment entries
+before it judges anything — a fresh checkout or a new machine records
+history silently instead of failing on an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Any
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_PATH",
+    "git_sha",
+    "environment_fingerprint",
+    "probe_name",
+    "key_metrics",
+    "record_run",
+    "load_history",
+    "check_regression",
+    "render_regressions",
+]
+
+HISTORY_SCHEMA = "bench-history/1"
+DEFAULT_HISTORY_PATH = "BENCH_history.jsonl"
+
+#: report ``schema`` → probe name the history entry is keyed by
+_PROBE_BY_SCHEMA = {
+    "repro-perf/1": "pipeline",
+    "repro-perf-analog/1": "analog",
+    "repro-perf-dataplane/1": "dataplane",
+    "repro-perf-catalog/1": "catalog",
+}
+
+
+def git_sha() -> str:
+    """The current commit's SHA, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """What makes two timings comparable: interpreter, numpy, machine."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = "none"
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "machine": platform.machine(),
+    }
+
+
+def probe_name(report: dict[str, Any]) -> str:
+    """The history probe key for one perf report (from its schema tag)."""
+    schema = report.get("schema", "")
+    return _PROBE_BY_SCHEMA.get(schema, schema or "unknown")
+
+
+def key_metrics(report: dict[str, Any]) -> dict[str, float]:
+    """Flatten a perf report's lower-is-better timings.
+
+    Every value is a wall time or a per-pixel time in which *smaller is
+    better*, so the regression check is a single direction everywhere.
+    Unknown schemas yield an empty dict (recorded, never gated).
+    """
+    probe = probe_name(report)
+    metrics: dict[str, float] = {}
+
+    def put(name: str, value: Any) -> None:
+        if isinstance(value, (int, float)) and value > 0:
+            metrics[name] = float(value)
+
+    if probe == "pipeline":
+        for kernel in report.get("kernels") or []:
+            put(f"kernel:{kernel.get('name')}:ns_per_px", kernel.get("ns_per_pixel"))
+        # Skipped probes serialize as explicit None (e.g. --no-campaign),
+        # so a plain .get(key, {}) default is not enough.
+        pipeline = report.get("pipeline") or {}
+        put("pipeline:ns_per_px", pipeline.get("ns_per_pixel"))
+        campaign = report.get("campaign") or {}
+        put("campaign:wall_seconds", campaign.get("wall_seconds"))
+    elif probe == "analog":
+        put("solver:fast_seconds", (report.get("solver") or {}).get("fast_seconds"))
+        put("sweep:cold_wall_seconds",
+            (report.get("sweep") or {}).get("cold_wall_seconds"))
+    elif probe == "dataplane":
+        put("serial:wall_seconds", (report.get("serial") or {}).get("wall_seconds"))
+        for plane in ("pickle_plane", "shm_plane"):
+            put(f"{plane}:wall_seconds", (report.get(plane) or {}).get("wall_seconds"))
+    elif probe == "catalog":
+        put("cold_wall_seconds", report.get("cold_wall_seconds"))
+    return metrics
+
+
+def record_run(
+    report: dict[str, Any], path: str | Path = DEFAULT_HISTORY_PATH
+) -> dict[str, Any]:
+    """Append one history entry for *report*; returns the entry."""
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "probe": probe_name(report),
+        "git_sha": git_sha(),
+        "environment": environment_fingerprint(),
+        "created_unix": report.get("created_unix"),
+        "scale": report.get("scale"),
+        "metrics": key_metrics(report),
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str | Path = DEFAULT_HISTORY_PATH) -> list[dict[str, Any]]:
+    """Every readable ``bench-history/1`` entry, file order preserved.
+
+    Malformed lines and foreign schemas are skipped, not fatal — an
+    append-mode log shared across branches must tolerate the odd torn
+    line.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    for line in target.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and entry.get("schema") == HISTORY_SCHEMA:
+            entries.append(entry)
+    return entries
+
+
+def check_regression(
+    report: dict[str, Any],
+    path: str | Path = DEFAULT_HISTORY_PATH,
+    threshold: float = 1.5,
+    min_history: int = 2,
+    window: int = 5,
+) -> list[dict[str, Any]]:
+    """Compare *report* against its trailing history; return regressions.
+
+    For each key metric, the baseline is the median of the last
+    ``window`` prior entries with the same probe, environment
+    fingerprint *and* workload scale (a tiny CI smoke run must never
+    gate — or baseline — a default-scale run).  A metric is flagged
+    when ``current > threshold × median``.  With fewer than
+    ``min_history`` comparable entries the gate abstains (empty list):
+    new machines and fresh clones bootstrap their baseline instead of
+    failing.
+    """
+    probe = probe_name(report)
+    env = environment_fingerprint()
+    scale = report.get("scale")
+    comparable = [
+        entry for entry in load_history(path)
+        if entry.get("probe") == probe
+        and entry.get("environment") == env
+        and entry.get("scale") == scale
+    ]
+    if len(comparable) < min_history:
+        return []
+    current = key_metrics(report)
+    regressions: list[dict[str, Any]] = []
+    for name, value in sorted(current.items()):
+        baseline_values = [
+            entry["metrics"][name]
+            for entry in comparable[-window:]
+            if isinstance(entry.get("metrics", {}).get(name), (int, float))
+        ]
+        if len(baseline_values) < min_history:
+            continue
+        baseline = median(baseline_values)
+        if baseline > 0 and value > threshold * baseline:
+            regressions.append({
+                "probe": probe,
+                "metric": name,
+                "current": value,
+                "baseline_median": baseline,
+                "ratio": value / baseline,
+                "threshold": threshold,
+                "samples": len(baseline_values),
+            })
+    return regressions
+
+
+def render_regressions(regressions: list[dict[str, Any]]) -> str:
+    """Human-readable one-liner-per-regression block for the CLI."""
+    if not regressions:
+        return "no regressions against trailing history"
+    lines = [
+        f"REGRESSION {r['probe']}:{r['metric']}: "
+        f"{r['current']:.4g} vs median {r['baseline_median']:.4g} "
+        f"({r['ratio']:.2f}x > {r['threshold']:.2f}x gate, "
+        f"n={r['samples']})"
+        for r in regressions
+    ]
+    return "\n".join(lines)
+
+
+def main_check(
+    report: dict[str, Any],
+    path: str | Path,
+    threshold: float,
+) -> int:
+    """CLI helper: record *report*, then gate on its regressions.
+
+    History is appended even when the gate fires — the log must reflect
+    what actually happened — and the exit code carries the verdict.
+    """
+    regressions = check_regression(report, path, threshold=threshold)
+    record_run(report, path)
+    print(render_regressions(regressions), file=sys.stderr)
+    return 1 if regressions else 0

@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from typing import Callable
 
 __all__ = ["RssSampler", "tree_rss_bytes"]
 
@@ -113,17 +114,29 @@ class RssSampler:
     >>> rss.peak_bytes                 # doctest: +SKIP
     """
 
-    def __init__(self, interval: float = 0.05, root: int | None = None):
+    def __init__(
+        self,
+        interval: float = 0.05,
+        root: int | None = None,
+        on_sample: "Callable[[int], None] | None" = None,
+    ):
         self.interval = max(float(interval), 0.001)
         self.root = os.getpid() if root is None else root
         self.peak_bytes = 0
         self.samples = 0
+        #: called with each instantaneous sample (bytes); the campaign
+        #: runtime uses this to feed the repro_campaign_rss_bytes gauge.
+        #: Same best-effort contract as sampling itself: never raises.
+        self.on_sample = on_sample
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def _sample_once(self) -> None:
-        self.peak_bytes = max(self.peak_bytes, tree_rss_bytes(self.root))
+        sample = tree_rss_bytes(self.root)
+        self.peak_bytes = max(self.peak_bytes, sample)
         self.samples += 1
+        if self.on_sample is not None:
+            self.on_sample(sample)
 
     def _run(self) -> None:
         while not self._stop.is_set():

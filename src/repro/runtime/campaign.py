@@ -52,6 +52,8 @@ from repro.imaging.fib import FibSemCampaign
 from repro.imaging.sem import SemParameters
 from repro.layout.generator import SaRegionSpec
 from repro.obs import (
+    Event,
+    EventBus,
     MetricsRegistry,
     ObsConfig,
     ObsSession,
@@ -59,7 +61,10 @@ from repro.obs import (
     Tracer,
     bind,
     configure_logging,
+    current_events,
+    current_metrics,
     current_tracer,
+    events_to_jsonl,
     get_logger,
     merge_snapshots,
     merge_spans,
@@ -324,6 +329,10 @@ class CampaignReport:
     #: merged metrics snapshot (``obs=ObsConfig(metrics=True)``); embedded
     #: in :meth:`to_dict` under ``"metrics"``
     metrics: dict | None = None
+    #: merged lifecycle event stream (``obs=ObsConfig(events=True)``);
+    #: exported as ``obs-event/1`` JSONL via :meth:`save_events`, never
+    #: embedded in :meth:`to_dict`
+    events: list[Event] | None = None
 
     def result(self, name: str) -> ReversedChip:
         """The recovered circuit of one chip."""
@@ -520,6 +529,7 @@ class CampaignReport:
         """
         spans = self._require_trace()
         target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
         if target.suffix == ".jsonl":
             target.write_text(to_jsonl(spans) + "\n")
         else:
@@ -538,7 +548,20 @@ class CampaignReport:
                 "(pass obs=ObsConfig(metrics=True) to run_campaign)"
             )
         target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(self.metrics, indent=2, sort_keys=True) + "\n")
+        return target
+
+    def save_events(self, path: str | Path) -> Path:
+        """Write the lifecycle event stream to *path* as obs-event/1 JSONL."""
+        if self.events is None:
+            raise CampaignError(
+                "campaign was run without the event bus "
+                "(pass obs=ObsConfig(events=True) to run_campaign)"
+            )
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(events_to_jsonl(self.events) + "\n")
         return target
 
 
@@ -549,6 +572,7 @@ class _JobOutcome:
     outcome: ChipRun | QuarantineRecord
     spans: list[Span] = field(default_factory=list)
     metrics: dict | None = None
+    events: list[Event] = field(default_factory=list)
 
 
 def _run_one(
@@ -621,6 +645,7 @@ def _execute_job_inner(
     if obs is None or not obs.enabled:
         return _JobOutcome(_run_one(job, config, cache_dir, policy))
     with ObsSession(obs) as session:
+        current_events().emit("chip_start", chip=job.name)
         with current_tracer().span(
             f"chip {job.name}", kind="chip", chip=job.name
         ) as span, bind(chip=job.name):
@@ -635,6 +660,7 @@ def _execute_job_inner(
         outcome,
         spans=session.spans(),
         metrics=session.metrics_snapshot() if obs.metrics else None,
+        events=session.events(),
     )
 
 
@@ -695,9 +721,13 @@ def run_campaign(
     tree (:attr:`CampaignReport.trace`, exportable via
     :meth:`CampaignReport.save_trace`); with ``metrics=True`` the merged
     counter/histogram snapshot (:attr:`CampaignReport.metrics`, embedded
-    in the report JSON); ``log_level`` configures JSON-lines logging in
-    the parent and every worker.  Observability never changes results or
-    cache keys — it only watches.
+    in the report JSON); with ``events=True`` the typed lifecycle event
+    stream (:attr:`CampaignReport.events`, ``obs-event/1`` JSONL via
+    :meth:`CampaignReport.save_events`) — published live on any ambient
+    :class:`~repro.obs.EventBus` so the ``--serve-obs`` exporter can
+    stream progress mid-run; ``log_level`` configures JSON-lines logging
+    in the parent and every worker.  Observability never changes results
+    or cache keys — it only watches.
     """
     if not jobs:
         raise CampaignError("campaign needs at least one job")
@@ -728,6 +758,45 @@ def run_campaign(
         StageCache(cache_dir).sweep_stale_tmp()
 
     campaign_tracer = Tracer() if obs is not None and obs.trace else None
+    # Live telemetry plumbing.  The event bus prefers an ambient bus (one
+    # activated by a surrounding ObsSession — e.g. the --serve-obs HTTP
+    # exporter) so a scraper watching that bus sees campaign progress the
+    # moment it happens; otherwise the campaign owns a private bus and the
+    # stream is only visible post-hoc via CampaignReport.events.  The same
+    # goes for metrics: worker snapshots are folded into any ambient live
+    # registry as outcomes arrive, while the report snapshot is still
+    # assembled from scratch below (identically to earlier releases).
+    campaign_bus: EventBus | None = None
+    if obs is not None and obs.events:
+        ambient_bus = current_events()
+        campaign_bus = ambient_bus if ambient_bus.enabled else EventBus()
+    live_metrics: MetricsRegistry | None = None
+    report_registry: MetricsRegistry | None = None
+    if obs is not None and obs.metrics:
+        report_registry = MetricsRegistry()
+        ambient_metrics = current_metrics()
+        if ambient_metrics.enabled:
+            live_metrics = ambient_metrics
+
+    def _note_outcome(outcome: _JobOutcome) -> None:
+        if campaign_bus is not None:
+            campaign_bus.absorb(outcome.events)
+            run = outcome.outcome
+            if isinstance(run, ChipRun):
+                campaign_bus.emit(
+                    "chip_finish", chip=run.name, seconds=run.seconds,
+                    cache_hits=run.cache_hits, cache_misses=run.cache_misses,
+                )
+            else:
+                campaign_bus.emit(
+                    "chip_quarantined", chip=run.name, stage=run.stage,
+                    error_type=run.error_type,
+                )
+        if live_metrics is not None and outcome.metrics is not None:
+            live_metrics.absorb(outcome.metrics)
+
+    if campaign_bus is not None:
+        campaign_bus.emit("campaign_start", jobs=len(jobs), workers=workers)
     t0 = time.perf_counter()
     # Submission order: with contended pool slots and a live cache, run
     # the chips with the deepest cache hit first.  Results are reassembled
@@ -746,19 +815,43 @@ def run_campaign(
                 }},
             )
     payloads = [(jobs[i], config, cache_dir, policy, obs) for i in order]
+    rss_sampler = None
     with ExitStack() as scope:
         if campaign_tracer is not None:
             scope.enter_context(campaign_tracer.span(
                 "campaign", kind="campaign", jobs=len(jobs), workers=workers,
                 shard_workers=config.shard.resolved_workers if config.shard.slices else 0,
             ))
+        if report_registry is not None:
+            # Periodic process-tree RSS gauge for the whole campaign
+            # (parent + pool workers + shard workers), mirrored into any
+            # live registry so a mid-run /metrics scrape sees it.
+            from repro.perf.rss import RssSampler
+
+            def _record_rss(sample_bytes: int) -> None:
+                report_registry.gauge("repro_campaign_rss_bytes").set(sample_bytes)
+                if live_metrics is not None:
+                    live_metrics.gauge("repro_campaign_rss_bytes").set(sample_bytes)
+
+            rss_sampler = scope.enter_context(
+                RssSampler(interval=0.25, on_sample=_record_rss)
+            )
+        outcomes = []
         if workers <= 1 or len(jobs) == 1:
-            outcomes = [_execute_job(p) for p in payloads]
+            for p in payloads:
+                outcome = _execute_job(p)
+                _note_outcome(outcome)
+                outcomes.append(outcome)
         else:
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=chip_workers) as pool:
-                outcomes = list(pool.map(_execute_job, payloads))
+                # Iterate (don't list()) so each worker's events/metrics
+                # join the live stream as its outcome arrives, not after
+                # the whole pool drains.
+                for outcome in pool.map(_execute_job, payloads):
+                    _note_outcome(outcome)
+                    outcomes.append(outcome)
     # Campaign-level data-plane backstop for segments published from this
     # process (serial path, or shard submitters that died mid-flight).
     dataplane.reap_leaked("campaign-teardown")
@@ -778,8 +871,8 @@ def run_campaign(
         trace = merge_spans(root, [s for o in outcomes for s in o.spans])
 
     metrics: dict | None = None
-    if obs is not None and obs.metrics:
-        registry = MetricsRegistry()
+    if report_registry is not None:
+        registry = report_registry
         for run in runs:
             if isinstance(run, ChipRun):
                 registry.counter("repro_chips_total", outcome="completed").inc()
@@ -794,10 +887,29 @@ def run_campaign(
             registry.gauge("repro_campaign_shard_workers").set(
                 config.shard.resolved_workers
             )
+        if rss_sampler is not None and rss_sampler.peak_bytes:
+            registry.gauge("repro_campaign_rss_peak_bytes").set(
+                rss_sampler.peak_bytes
+            )
         metrics = registry.snapshot()
         for outcome in outcomes:
             if outcome.metrics is not None:
                 merge_snapshots(metrics, outcome.metrics)
+        if live_metrics is not None:
+            # The campaign-level counters/gauges (not the worker
+            # snapshots — those were absorbed as outcomes arrived).
+            live_metrics.absorb(registry.snapshot())
+
+    events: list[Event] | None = None
+    if campaign_bus is not None:
+        campaign_bus.emit(
+            "campaign_finish",
+            wall_seconds=wall_seconds,
+            completed=sum(1 for r in runs if isinstance(r, ChipRun)),
+            quarantined=sum(1 for r in runs if isinstance(r, QuarantineRecord)),
+            dropped=campaign_bus.dropped,
+        )
+        events = campaign_bus.snapshot()
 
     return CampaignReport(
         chips={run.name: run for run in runs if isinstance(run, ChipRun)},
@@ -809,6 +921,7 @@ def run_campaign(
         },
         trace=trace,
         metrics=metrics,
+        events=events,
     )
 
 

@@ -39,7 +39,7 @@ from repro.errors import (
 )
 from repro.faults import FaultInjector
 from repro.imaging.fib import FusedSliceWork, acquire_stack
-from repro.obs import bind, current_metrics, current_tracer, get_logger
+from repro.obs import bind, current_events, current_metrics, current_tracer, get_logger
 from repro.imaging.roi import identify_roi
 from repro.imaging.voxel import voxelize
 from repro.layout.generator import generate_chip_layout, generate_sa_region
@@ -217,6 +217,7 @@ def build_stage_chain(
         events = []
         tracer = current_tracer()
         metrics = current_metrics()
+        bus = current_events()
         # Stage fusion: when the sharded imaging path will run anyway
         # (shard engaged, no active fault plan forcing serial), the same
         # pool trip also computes the denoised slices — and the QC
@@ -233,6 +234,7 @@ def build_stage_chain(
         )
         fuse = None
         while True:
+            bus.emit("attempt_start", chip=job.name, attempt=attempt)
             with tracer.span(
                 f"attempt {attempt}", kind="attempt", attempt=attempt
             ) as att_span, bind(attempt=attempt):
@@ -264,6 +266,10 @@ def build_stage_chain(
                 events.extend(stack.fault_events)
                 att_span.set(slices=len(stack), faults=len(stack.fault_events))
                 if not engaged:
+                    bus.emit(
+                        "attempt_finish", chip=job.name, attempt=attempt,
+                        slices=len(stack),
+                    )
                     break
                 qc = qc_stack(stack.images, policy.qc,
                               true_drift_px=stack.true_drift_px, shard=config.shard,
@@ -283,6 +289,10 @@ def build_stage_chain(
                         for check in verdict.failures:
                             metrics.counter("repro_qc_failures_total", check=check).inc()
                 if qc.passed:
+                    bus.emit(
+                        "attempt_finish", chip=job.name, attempt=attempt,
+                        slices=len(stack), qc_passed=True,
+                    )
                     break
                 if attempt >= policy.max_retries:
                     logger.error(
@@ -316,6 +326,10 @@ def build_stage_chain(
                     }},
                 )
                 metrics.counter("repro_acquire_retries_total").inc()
+                bus.emit(
+                    "attempt_retry", chip=job.name, attempt=attempt,
+                    failed_slices=len(failed),
+                )
             attempt += 1
         worst = max((max(abs(a), abs(b)) for a, b in stack.true_drift_px), default=0)
         if fuse is not None and fuse.denoised is not None:
@@ -533,10 +547,20 @@ def execute_chain(
 
     tracer = current_tracer()
     obs_metrics = current_metrics()
+    bus = current_events()
     ctx: dict[str, Any] = {}
     metrics: list[StageMetrics] = []
 
     def _push(m: StageMetrics) -> None:
+        bus.emit(
+            "cache_hit" if m.cache_hit else "cache_miss",
+            chip=chip_id, stage=m.stage, disposition=m.disposition,
+        )
+        bus.emit(
+            "stage_finish",
+            chip=chip_id, stage=m.stage, disposition=m.disposition,
+            seconds=m.seconds, payload_bytes=m.payload_bytes,
+        )
         if deadline is not None:
             m.notes["deadline_remaining_s"] = deadline - time.monotonic()
         if budget_s is not None and m.seconds > 0.8 * budget_s:
@@ -567,6 +591,7 @@ def execute_chain(
                 stage=stage.name,
                 details={"completed_stages": [m.stage for m in metrics]},
             )
+        bus.emit("stage_start", chip=chip_id, stage=stage.name)
         with tracer.span(stage.name, kind="stage") as span, bind(stage=stage.name):
             t0 = time.perf_counter()
             if i < deepest and deepest == len(stages) - 1:

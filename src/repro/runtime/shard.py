@@ -72,7 +72,7 @@ from typing import Any, Callable, Sequence, TypeVar
 
 import numpy as np
 
-from repro.obs import current_metrics, current_tracer, get_logger
+from repro.obs import current_events, current_metrics, current_tracer, get_logger
 from repro.pipeline.config import ShardPlan
 from repro.runtime import dataplane
 
@@ -291,6 +291,10 @@ def shard_map(
                     metrics.counter(
                         "repro_shard_backpressure_total", stage=stage
                     ).inc()
+                current_events().emit(
+                    "shard_backpressure", stage=stage,
+                    inflight_bytes=inflight_bytes, batch_bytes=nbytes,
+                )
                 _retire_oldest()
             if use_shm:
                 blob, in_headers = dataplane.dumps(

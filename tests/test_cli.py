@@ -182,7 +182,8 @@ class TestCampaignObsFlags:
         assert main(["campaign", "--help"]) == 0
         out = capsys.readouterr().out
         for flag in ("--chips", "--trace", "--trace-summary", "--metrics",
-                     "--log-level"):
+                     "--log-level", "--events", "--serve-obs",
+                     "--serve-linger"):
             assert flag in out
 
     def test_chips_zero_is_a_usage_error(self, capsys):
@@ -205,11 +206,13 @@ class TestCampaignObsFlags:
 
         trace_path = tmp_path / "trace.json"
         metrics_path = tmp_path / "metrics.json"
+        events_path = tmp_path / "events.jsonl"
         try:
             code = main([
                 "campaign", "--chips", "1", "--pairs", "1", "--fast",
                 "--workers", "1",
                 "--trace", str(trace_path), "--metrics", str(metrics_path),
+                "--events", str(events_path),
                 "--trace-summary", "--log-level", "WARNING",
             ])
         finally:
@@ -219,12 +222,18 @@ class TestCampaignObsFlags:
         assert "chip classic" in out  # the summary tree names the chip span
         assert f"trace written: {trace_path}" in out
         assert f"metrics written: {metrics_path}" in out
+        assert f"events written: {events_path}" in out
 
         doc = json.loads(trace_path.read_text())
         names = {event["name"] for event in doc["traceEvents"]}
         assert "campaign" in names and "chip classic" in names
         metrics = json.loads(metrics_path.read_text())
         assert metrics["counters"]["repro_chips_total{outcome=completed}"] == 1
+        kinds = [json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_finish"
+        assert "stage_finish" in kinds
 
 
 class TestCharacterizeCommand:
@@ -232,6 +241,8 @@ class TestCharacterizeCommand:
         assert main(["characterize", "--help"]) == 0
         out = capsys.readouterr().out
         assert "--corners" in out and "--trials" in out
+        for flag in ("--trace", "--metrics", "--events", "--serve-obs"):
+            assert flag in out
 
     def test_unknown_option(self, capsys):
         assert main(["characterize", "--bogus"]) == 2
@@ -276,6 +287,8 @@ class TestCatalogCommand:
         assert main(["catalog", "--help"]) == 0
         out = capsys.readouterr().out
         assert "--variants" in out and "--builders" in out
+        for flag in ("--trace", "--metrics", "--events", "--serve-obs"):
+            assert flag in out
 
     def test_unknown_option(self, capsys):
         assert main(["catalog", "--bogus"]) == 2
@@ -319,3 +332,92 @@ class TestCatalogCommand:
         warm = json.loads(report_path.read_text())
         assert warm["cache_misses"] == 0
         assert warm["results"]["digest"] == data["results"]["digest"]
+
+
+class TestObsCommand:
+    """``python -m repro obs`` — trace analytics and artifact re-serving."""
+
+    @pytest.fixture(scope="class")
+    def artefacts(self, tmp_path_factory):
+        """Trace/metrics/events from one real 1-chip campaign run."""
+        from repro.obs import reset_logging
+
+        root = tmp_path_factory.mktemp("obs-artefacts")
+        paths = {
+            "trace": root / "trace.jsonl",
+            "metrics": root / "metrics.json",
+            "events": root / "events.jsonl",
+        }
+        try:
+            code = main([
+                "campaign", "--chips", "1", "--pairs", "1", "--fast",
+                "--workers", "1",
+                "--trace", str(paths["trace"]),
+                "--metrics", str(paths["metrics"]),
+                "--events", str(paths["events"]),
+            ])
+        finally:
+            reset_logging()
+        assert code == 0
+        return paths
+
+    def test_help(self, capsys):
+        assert main(["obs", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "obs serve" in out and "obs analyze" in out and "--diff" in out
+
+    def test_no_subcommand_is_usage_error(self, capsys):
+        assert main(["obs"]) == 2
+        assert "obs serve" in capsys.readouterr().err
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["obs", "scrape"]) == 2
+        assert "unknown obs subcommand" in capsys.readouterr().err
+
+    def test_analyze_requires_one_trace(self, capsys):
+        assert main(["obs", "analyze"]) == 2
+        assert "one trace" in capsys.readouterr().err
+        assert main(["obs", "analyze", "a.jsonl", "b.jsonl"]) == 2
+
+    def test_analyze_diff_requires_two(self, capsys):
+        assert main(["obs", "analyze", "--diff", "a.jsonl"]) == 2
+        assert "two with --diff" in capsys.readouterr().err
+
+    def test_analyze_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["obs", "analyze", str(tmp_path / "absent.jsonl")]) == 1
+        assert "obs analyze failed" in capsys.readouterr().err
+
+    def test_analyze_renders_real_trace(self, artefacts, capsys):
+        assert main(["obs", "analyze", str(artefacts["trace"])]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "campaign" in out
+        assert "per-stage attribution" in out
+        assert "cache" in out
+
+    def test_analyze_diff_of_trace_with_itself(self, artefacts, capsys):
+        trace = str(artefacts["trace"])
+        assert main(["obs", "analyze", "--diff", trace, trace]) == 0
+        out = capsys.readouterr().out
+        assert "(total)" in out
+
+    def test_serve_requires_an_artifact(self, capsys):
+        assert main(["obs", "serve"]) == 2
+        assert "at least one of" in capsys.readouterr().err
+
+    def test_serve_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["obs", "serve", "--metrics", str(tmp_path / "no.json"),
+                     "--port", "0", "--linger", "0"])
+        assert code == 1
+        assert "obs serve failed" in capsys.readouterr().err
+
+    def test_serve_all_artifacts_and_exit(self, artefacts, capsys):
+        code = main([
+            "obs", "serve",
+            "--metrics", str(artefacts["metrics"]),
+            "--trace", str(artefacts["trace"]),
+            "--events", str(artefacts["events"]),
+            "--port", "0", "--linger", "0",
+        ])
+        assert code == 0
+        assert "serving saved telemetry" in capsys.readouterr().err

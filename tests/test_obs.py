@@ -221,6 +221,72 @@ class TestMetrics:
         assert merged["histograms"]["h"]["count"] == 2
         assert merge_snapshots(empty_snapshot(), merged) == merged
 
+    def test_merge_snapshots_histograms_across_workers(self):
+        # N workers each observe into the same-named histogram; folding
+        # their snapshots must add per-bucket counts elementwise.
+        workers = 4
+        base = empty_snapshot()
+        for w in range(workers):
+            reg = MetricsRegistry()
+            hist = reg.histogram("repro_stage_seconds", bounds=(0.1, 1.0),
+                                 stage="align")
+            hist.observe(0.05)       # bucket 0
+            hist.observe(0.5 + w)    # bucket 1 for w=0, +inf otherwise
+            merge_snapshots(base, reg.snapshot())
+        merged = base["histograms"]["repro_stage_seconds{stage=align}"]
+        assert merged["bounds"] == [0.1, 1.0]
+        assert merged["counts"] == [workers, 1, workers - 1]
+        assert merged["count"] == 2 * workers
+        assert merged["sum"] == pytest.approx(
+            sum(0.05 + 0.5 + w for w in range(workers))
+        )
+
+    def test_merge_snapshots_bounds_mismatch_replaces(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(5.0,)).observe(0.5)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        # Incompatible bucket layouts can't add; the newer snapshot wins.
+        assert merged["histograms"]["h"]["bounds"] == [5.0]
+        assert merged["histograms"]["h"]["count"] == 1
+
+    def test_absorb_counters_add_gauges_overwrite(self):
+        live = MetricsRegistry()
+        live.counter("c", stage="x").inc(1)
+        live.gauge("g").set(1)
+        worker = MetricsRegistry()
+        worker.counter("c", stage="x").inc(2)
+        worker.counter("fresh").inc()
+        worker.gauge("g").set(9)
+        live.absorb(worker.snapshot())
+        snap = live.snapshot()
+        assert snap["counters"]["c{stage=x}"] == 3.0
+        assert snap["counters"]["fresh"] == 1.0
+        assert snap["gauges"]["g"] == 9.0
+
+    def test_absorb_histograms_elementwise(self):
+        live = MetricsRegistry()
+        live.histogram("h", bounds=(0.1, 1.0)).observe(0.05)
+        worker = MetricsRegistry()
+        worker.histogram("h", bounds=(0.1, 1.0)).observe(0.5)
+        worker.histogram("h", bounds=(0.1, 1.0)).observe(99.0)
+        live.absorb(worker.snapshot())
+        hist = live.snapshot()["histograms"]["h"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+
+    def test_absorb_bounds_mismatch_replaces(self):
+        live = MetricsRegistry()
+        live.histogram("h", bounds=(1.0,)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.histogram("h", bounds=(2.0, 4.0)).observe(3.0)
+        live.absorb(worker.snapshot())
+        hist = live.snapshot()["histograms"]["h"]
+        assert hist["bounds"] == [2.0, 4.0]
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["count"] == 1
+
     def test_disabled_registry_is_noop(self):
         metrics = current_metrics()
         assert isinstance(metrics, NoopMetrics)
@@ -420,6 +486,18 @@ class TestCampaignTrace:
         path = obs_report.save_metrics(tmp_path / "metrics.json")
         assert json.loads(path.read_text()) == obs_report.metrics
 
+    def test_save_artefacts_create_parent_dirs(self, obs_report, tmp_path):
+        trace = obs_report.save_trace(tmp_path / "a" / "b" / "trace.json")
+        metrics = obs_report.save_metrics(tmp_path / "c" / "metrics.json")
+        assert trace.exists() and metrics.exists()
+
+    def test_rss_gauge_sampled(self, obs_report):
+        # The campaign-wide RssSampler ran for the whole fixture campaign.
+        gauges = obs_report.metrics["gauges"]
+        assert gauges["repro_campaign_rss_bytes"] > 0
+        assert gauges["repro_campaign_rss_peak_bytes"] >= \
+            gauges["repro_campaign_rss_bytes"]
+
     def test_unobserved_report_refuses_obs_artefacts(self, tmp_path):
         report = CampaignReport(chips={}, workers=1, wall_seconds=0.0)
         with pytest.raises(CampaignError, match="without tracing"):
@@ -455,7 +533,41 @@ class TestBitIdentity:
             obs=ObsConfig(trace=True, metrics=True, log_level="DEBUG"),
         )
         reset_logging()
-        assert pickle.dumps(off.result("bit")) == pickle.dumps(on.result("bit"))
+        assert pickle.dumps(off.result("bit")) == (
+            pickle.dumps(on.result("bit"))
+        )
+        keys_off = sorted(p.name for p in cache_off.rglob("*.pkl"))
+        keys_on = sorted(p.name for p in cache_on.rglob("*.pkl"))
+        assert keys_off and keys_off == keys_on
+
+    def test_parallel_campaign_with_live_exporter_bit_identical(self, tmp_path):
+        """workers=2 with the event bus AND a live scraping ObsServer
+        attached must produce results and cache keys identical to a bare
+        run — the full --serve-obs stack only observes."""
+        from repro.obs import ObsSession
+        from repro.obs.export import ObsServer
+
+        jobs = [_job("live-classic", "classic"), _job("live-ocsa", "ocsa")]
+        cache_off = tmp_path / "off"
+        cache_on = tmp_path / "on"
+        off = run_campaign(jobs, config=FAST, workers=2,
+                           cache_dir=str(cache_off))
+        obs = ObsConfig(trace=True, metrics=True, events=True)
+        with ObsSession(obs) as session:
+            with ObsServer(port=0, metrics_fn=session.metrics_snapshot,
+                           spans_fn=session.spans, bus=session.bus) as server:
+                on = run_campaign(jobs, config=FAST, workers=2,
+                                  cache_dir=str(cache_on), obs=obs)
+                # The ambient session bus was reused: progress streamed live.
+                assert session.bus.last_seq > 0
+                kinds = [e.kind for e in session.bus.snapshot()]
+                assert kinds.count("chip_finish") == 2
+                # And a scrape mid-lifetime renders cleanly.
+                assert "repro_chips_total" in server.render_metrics()
+        for name in ("live-classic", "live-ocsa"):
+            assert pickle.dumps(off.result(name)) == (
+                pickle.dumps(on.result(name))
+            )
         keys_off = sorted(p.name for p in cache_off.rglob("*.pkl"))
         keys_on = sorted(p.name for p in cache_on.rglob("*.pkl"))
         assert keys_off and keys_off == keys_on

@@ -1,0 +1,308 @@
+"""The lifecycle event bus: ring semantics, drop accounting, and the
+ordered ``obs-event/1`` stream a parallel campaign publishes.
+
+Unit-level coverage of :mod:`repro.obs.events` (bounded ring, strictly
+increasing ``seq``, ``absorb`` re-sequencing, blocking ``wait``) plus
+the campaign integration contract: a ``workers=2`` run emits one
+monotonic event stream whose per-chip blocks are internally ordered
+(chip_start → stages → chip_finish) and whose first/last events frame
+the campaign.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.faults import FaultPlan
+from repro.imaging import FibSemCampaign, SemParameters
+from repro.layout import SaRegionSpec
+from repro.obs import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    Event,
+    EventBus,
+    NoopEventBus,
+    ObsConfig,
+    current_events,
+    events_from_jsonl,
+    events_to_jsonl,
+    use_events,
+)
+from repro.pipeline import PipelineConfig
+from repro.runtime import ChipJob, ResiliencePolicy, run_campaign
+
+FAST = PipelineConfig(denoise_iterations=10, align_search_px=2, align_baselines=(1, 2))
+
+STAGE_ORDER = ["layout", "voxelize", "acquire", "denoise", "align", "assemble", "reveng"]
+
+
+def _job(name: str, topo: str, fault_plan: FaultPlan | None = None) -> ChipJob:
+    return ChipJob(
+        name=name,
+        spec=SaRegionSpec(name=name.replace("-", "_"), topology=topo, n_pairs=1),
+        campaign=FibSemCampaign(sem=SemParameters(dwell_time_us=6.0)),
+        y_stop_nm=300.0,
+        fault_plan=fault_plan,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Event serialization
+
+
+class TestEvent:
+    def test_dict_round_trip(self):
+        event = Event(kind="chip_start", ts_s=12.5, seq=3, pid=42,
+                      fields={"chip": "a"})
+        data = event.to_dict()
+        assert data["schema"] == EVENT_SCHEMA
+        restored = Event.from_dict(data)
+        assert restored == event
+
+    def test_foreign_schema_rejected(self):
+        data = Event(kind="x", ts_s=0.0, seq=1, pid=0).to_dict()
+        data["schema"] = "obs-event/99"
+        with pytest.raises(ValueError, match="unsupported event schema"):
+            Event.from_dict(data)
+
+    def test_jsonl_round_trip(self):
+        events = [
+            Event(kind="campaign_start", ts_s=1.0, seq=1, pid=1, fields={"jobs": 2}),
+            Event(kind="campaign_finish", ts_s=2.0, seq=2, pid=1),
+        ]
+        text = events_to_jsonl(events)
+        assert all(json.loads(line)["schema"] == EVENT_SCHEMA
+                   for line in text.splitlines())
+        assert events_from_jsonl(text) == events
+
+    def test_known_kinds_cover_lifecycle(self):
+        assert {"campaign_start", "chip_finish", "stage_start", "cache_hit",
+                "shard_backpressure"} <= set(EVENT_KINDS)
+
+
+# ---------------------------------------------------------------------------
+# EventBus ring semantics
+
+
+class TestEventBus:
+    def test_seq_strictly_increasing(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.emit("stage_start", stage=f"s{i}")
+        seqs = [e.seq for e in bus.snapshot()]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert bus.last_seq == 5
+        assert bus.dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        bus = EventBus(capacity=4)
+        for i in range(10):
+            bus.emit("stage_finish", i=i)
+        events = bus.snapshot()
+        assert len(events) == 4
+        assert bus.dropped == 6
+        # The survivors are the *newest* four, seq gap visible to tailers.
+        assert [e.seq for e in events] == [7, 8, 9, 10]
+        assert [e.fields["i"] for e in events] == [6, 7, 8, 9]
+        assert bus.last_seq == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+    def test_drain_since(self):
+        bus = EventBus()
+        for i in range(4):
+            bus.emit("cache_hit", i=i)
+        assert [e.seq for e in bus.drain(since_seq=2)] == [3, 4]
+        assert bus.drain(since_seq=4) == []
+        assert [e.seq for e in bus.drain()] == [1, 2, 3, 4]
+
+    def test_absorb_preserves_payload_reassigns_seq(self):
+        worker = EventBus()
+        worker.emit("chip_start", chip="w")
+        worker.emit("chip_finish", chip="w")
+        foreign = worker.snapshot()
+        campaign = EventBus()
+        campaign.emit("campaign_start")
+        campaign.absorb(foreign)
+        events = campaign.snapshot()
+        assert [e.seq for e in events] == [1, 2, 3]
+        assert [e.kind for e in events[1:]] == ["chip_start", "chip_finish"]
+        # Timestamps and pids survive the fold; seq is the campaign's own.
+        assert events[1].ts_s == foreign[0].ts_s
+        assert events[1].pid == foreign[0].pid
+        assert events[1].fields == {"chip": "w"}
+
+    def test_concurrent_emitters_keep_monotonic_seq(self):
+        bus = EventBus(capacity=64)
+        n_threads, per_thread = 8, 50
+
+        def pump(t: int) -> None:
+            for i in range(per_thread):
+                bus.emit("cache_miss", t=t, i=i)
+
+        threads = [threading.Thread(target=pump, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * per_thread
+        assert bus.last_seq == total
+        assert bus.dropped == total - 64
+        seqs = [e.seq for e in bus.snapshot()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_wait_wakes_on_emit(self):
+        bus = EventBus()
+        got: list[Event] = []
+
+        def consumer() -> None:
+            got.extend(bus.wait(since_seq=0, timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        bus.emit("campaign_finish")
+        thread.join(timeout=5.0)
+        assert [e.kind for e in got] == ["campaign_finish"]
+
+    def test_wait_timeout_returns_empty(self):
+        bus = EventBus()
+        assert bus.wait(since_seq=0, timeout=0.01) == []
+
+    def test_on_event_tap(self):
+        bus = EventBus()
+        seen: list[str] = []
+        bus.on_event = lambda e: seen.append(e.kind)
+        bus.emit("chip_start")
+        bus.emit("chip_finish")
+        assert seen == ["chip_start", "chip_finish"]
+
+    def test_noop_bus_is_free(self):
+        bus = current_events()  # nothing activated by default
+        assert isinstance(bus, NoopEventBus)
+        assert not bus.enabled
+        assert bus.dropped == 0
+        bus.emit("stage_start", stage="x")  # swallowed, records nothing
+
+    def test_use_events_restores_previous(self):
+        bus = EventBus()
+        with use_events(bus):
+            assert current_events() is bus
+            inner = EventBus()
+            with use_events(inner):
+                assert current_events() is inner
+            assert current_events() is bus
+        assert isinstance(current_events(), NoopEventBus)
+
+
+# ---------------------------------------------------------------------------
+# Campaign event stream
+
+
+@pytest.fixture(scope="module")
+def event_report():
+    """A 2-chip, 2-worker campaign with the event bus (and metrics) on."""
+    jobs = [_job("ev-classic", "classic"), _job("ev-ocsa", "ocsa")]
+    return run_campaign(
+        jobs, config=FAST, workers=2,
+        obs=ObsConfig(events=True, metrics=True),
+    )
+
+
+class TestCampaignEvents:
+    def test_stream_framed_by_campaign_events(self, event_report):
+        events = event_report.events
+        assert events, "no events recorded"
+        assert events[0].kind == "campaign_start"
+        assert events[0].fields == {"jobs": 2, "workers": 2}
+        assert events[-1].kind == "campaign_finish"
+        finish = events[-1].fields
+        assert finish["completed"] == 2
+        assert finish["quarantined"] == 0
+        assert finish["dropped"] == 0
+        assert finish["wall_seconds"] > 0
+
+    def test_seq_monotonic_no_gaps(self, event_report):
+        seqs = [e.seq for e in event_report.events]
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_per_chip_ordering(self, event_report):
+        for chip in ("ev-classic", "ev-ocsa"):
+            mine = [e for e in event_report.events
+                    if e.fields.get("chip") == chip]
+            kinds = [e.kind for e in mine]
+            assert kinds[0] == "chip_start"
+            assert kinds[-1] == "chip_finish"
+            starts = [e.fields["stage"] for e in mine if e.kind == "stage_start"]
+            assert starts == STAGE_ORDER
+            finishes = [e.fields["stage"] for e in mine if e.kind == "stage_finish"]
+            assert finishes == STAGE_ORDER
+            # Every stage_start precedes its stage_finish.
+            for stage in STAGE_ORDER:
+                start_seq = next(e.seq for e in mine if e.kind == "stage_start"
+                                 and e.fields["stage"] == stage)
+                finish_seq = next(e.seq for e in mine if e.kind == "stage_finish"
+                                  and e.fields["stage"] == stage)
+                assert start_seq < finish_seq
+
+    def test_cache_and_attempt_events(self, event_report):
+        kinds = {e.kind for e in event_report.events}
+        assert {"attempt_start", "attempt_finish", "cache_miss"} <= kinds
+        # No cache dir: every stage lookup is a miss, none a hit.
+        misses = [e for e in event_report.events if e.kind == "cache_miss"]
+        assert len(misses) == 2 * len(STAGE_ORDER)
+        assert all(e.fields["disposition"] == "run" for e in misses)
+
+    def test_stage_finish_carries_timing(self, event_report):
+        finishes = [e for e in event_report.events if e.kind == "stage_finish"]
+        assert all(e.fields["seconds"] >= 0 for e in finishes)
+        assert all("disposition" in e.fields for e in finishes)
+
+    def test_chip_finish_summarises_cache(self, event_report):
+        for e in event_report.events:
+            if e.kind == "chip_finish":
+                assert e.fields["cache_misses"] == len(STAGE_ORDER)
+                assert e.fields["cache_hits"] == 0
+                assert e.fields["seconds"] > 0
+
+    def test_save_events_round_trips(self, event_report, tmp_path):
+        path = event_report.save_events(tmp_path / "nested" / "events.jsonl")
+        restored = events_from_jsonl(path.read_text())
+        assert restored == event_report.events
+
+    def test_events_none_when_bus_off(self):
+        report = run_campaign([_job("ev-off", "classic")], config=FAST, workers=1)
+        assert report.events is None
+        with pytest.raises(CampaignError, match="without the event bus"):
+            report.save_events("/tmp/never.jsonl")
+
+    def test_rss_gauges_recorded(self, event_report):
+        gauges = event_report.metrics["gauges"]
+        assert gauges["repro_campaign_rss_bytes"] > 0
+        assert gauges["repro_campaign_rss_peak_bytes"] >= (
+            gauges["repro_campaign_rss_bytes"]
+        )
+
+
+class TestQuarantineEvents:
+    def test_quarantine_emits_event(self):
+        poison = FaultPlan(seed=3, drop_rate=0.6, drift_spike_rate=0.3)
+        report = run_campaign(
+            [_job("ev-poisoned", "classic", poison)], config=FAST, workers=1,
+            policy=ResiliencePolicy(max_retries=1),
+            obs=ObsConfig(events=True),
+        )
+        kinds = [e.kind for e in report.events]
+        assert "chip_quarantined" in kinds
+        assert "attempt_retry" in kinds
+        quarantine = next(e for e in report.events
+                          if e.kind == "chip_quarantined")
+        assert quarantine.fields["chip"] == "ev-poisoned"
+        assert quarantine.fields["error_type"] == "AcquisitionError"
+        retry = next(e for e in report.events if e.kind == "attempt_retry")
+        assert retry.fields["failed_slices"] > 0

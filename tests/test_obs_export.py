@@ -1,0 +1,261 @@
+"""Prometheus/OTLP export and the ``ObsServer`` HTTP exposition layer.
+
+Format-exactness tests for :func:`to_prometheus` (cumulative histogram
+buckets, ``+Inf``, label sorting/escaping) and :func:`to_otlp`
+(deterministic ids, parent links, status codes), plus live-socket tests
+of :class:`ObsServer` on an ephemeral port: ``/healthz`` state flip,
+``/metrics`` content type, ``/events?since=``, ``/trace`` and 404s.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.events import EventBus
+from repro.obs.export import ObsServer, parse_metric_key, to_otlp, to_prometheus
+from repro.obs.metrics import metric_key
+from repro.obs.trace import Span
+
+
+def _span(name, *, span_id, parent_id=None, start=100.0, dur=1.5,
+          status="ok", **attrs):
+    return Span(name=name, kind="stage", start_s=start, duration_s=dur,
+                span_id=span_id, parent_id=parent_id, pid=7,
+                attrs=attrs, status=status)
+
+
+# ---------------------------------------------------------------------------
+# metric key parsing
+
+
+class TestParseMetricKey:
+    def test_round_trips_metric_key(self):
+        labels = {"stage": "align", "disposition": "run"}
+        key = metric_key("repro_cache_lookups_total", labels)
+        assert parse_metric_key(key) == ("repro_cache_lookups_total", labels)
+
+    def test_bare_name(self):
+        assert parse_metric_key("repro_campaign_wall_seconds") == (
+            "repro_campaign_wall_seconds", {}
+        )
+
+    def test_empty_label_set(self):
+        assert parse_metric_key("name{}") == ("name", {})
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+class TestToPrometheus:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_chips_total", outcome="completed").inc(2)
+        registry.counter("repro_chips_total", outcome="quarantined").inc()
+        registry.gauge("repro_campaign_workers").set(4)
+        text = to_prometheus(registry.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_chips_total counter" in lines
+        assert 'repro_chips_total{outcome="completed"} 2' in lines
+        assert 'repro_chips_total{outcome="quarantined"} 1' in lines
+        assert "# TYPE repro_campaign_workers gauge" in lines
+        assert "repro_campaign_workers 4" in lines
+        assert text.endswith("\n")
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_qc_slices_total", result="pass").inc()
+        registry.counter("repro_qc_slices_total", result="fail").inc()
+        text = to_prometheus(registry.snapshot())
+        assert text.count("# TYPE repro_qc_slices_total counter") == 1
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_stage_seconds",
+                                  bounds=(0.1, 1.0, 10.0), stage="align")
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        lines = to_prometheus(registry.snapshot()).splitlines()
+        assert "# TYPE repro_stage_seconds histogram" in lines
+        # Internal snapshot stores per-bucket counts (1, 2, 1, 1 overflow);
+        # the exposition must be cumulative.
+        assert 'repro_stage_seconds_bucket{le="0.1",stage="align"} 1' in lines
+        assert 'repro_stage_seconds_bucket{le="1",stage="align"} 3' in lines
+        assert 'repro_stage_seconds_bucket{le="10",stage="align"} 4' in lines
+        assert 'repro_stage_seconds_bucket{le="+Inf",stage="align"} 5' in lines
+        assert 'repro_stage_seconds_sum{stage="align"} 56.05' in lines
+        assert 'repro_stage_seconds_count{stage="align"} 5' in lines
+
+    def test_labels_sorted_and_escaped(self):
+        snapshot = {
+            "counters": {
+                'weird{z=a "quoted"\\path,a=b}': 3.0,
+            },
+        }
+        lines = to_prometheus(snapshot).splitlines()
+        assert lines[0] == "# TYPE weird counter"
+        assert lines[1] == 'weird{a="b",z="a \\"quoted\\"\\\\path"} 3'
+
+    def test_whole_floats_render_as_ints(self):
+        text = to_prometheus({"gauges": {"g": 3.0, "h": 3.25}})
+        lines = text.splitlines()
+        assert "g 3" in lines
+        assert "h 3.25" in lines
+
+    def test_empty_snapshot(self):
+        assert to_prometheus({}) == "\n"
+
+
+# ---------------------------------------------------------------------------
+# OTLP-JSON
+
+
+class TestToOtlp:
+    def test_shape_and_resource(self):
+        payload = to_otlp([_span("campaign", span_id="r")])
+        assert list(payload) == ["resourceSpans"]
+        resource = payload["resourceSpans"][0]
+        assert resource["resource"]["attributes"][0] == {
+            "key": "service.name", "value": {"stringValue": "repro"},
+        }
+        scope = resource["scopeSpans"][0]
+        assert scope["scope"] == {"name": "repro.obs", "version": "1"}
+        assert len(scope["spans"]) == 1
+
+    def test_ids_deterministic_and_linked(self):
+        spans = [
+            _span("campaign", span_id="root"),
+            _span("chip a", span_id="child", parent_id="root"),
+        ]
+        otlp = to_otlp(spans)["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        again = to_otlp(spans)["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert otlp == again  # stable across exports
+        root, child = otlp
+        assert len(root["traceId"]) == 32
+        assert len(root["spanId"]) == 16
+        assert root["traceId"] == child["traceId"]
+        assert root["parentSpanId"] == ""
+        assert child["parentSpanId"] == root["spanId"]
+        assert root["spanId"] != child["spanId"]
+
+    def test_timestamps_are_nano_strings(self):
+        span = _span("s", span_id="x", start=100.0, dur=1.5)
+        otlp = to_otlp([span])["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+        assert otlp["startTimeUnixNano"] == str(int(100.0 * 1e9))
+        assert otlp["endTimeUnixNano"] == str(int(101.5 * 1e9))
+
+    def test_status_codes(self):
+        spans = [
+            _span("ok-span", span_id="a"),
+            _span("bad-span", span_id="b", status="error"),
+        ]
+        otlp = to_otlp(spans)["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert otlp[0]["status"] == {"code": 1}
+        assert otlp[1]["status"] == {"code": 2}
+
+    def test_attr_typing(self):
+        span = _span("s", span_id="x", flag=True, n=3, ratio=0.5, label="hi")
+        otlp = to_otlp([span])["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+        attrs = {a["key"]: a["value"] for a in otlp["attributes"]}
+        assert attrs["repro.kind"] == {"stringValue": "stage"}
+        assert attrs["repro.pid"] == {"intValue": "7"}
+        assert attrs["flag"] == {"boolValue": True}
+        assert attrs["n"] == {"intValue": "3"}
+        assert attrs["ratio"] == {"doubleValue": 0.5}
+        assert attrs["label"] == {"stringValue": "hi"}
+
+    def test_empty_span_list(self):
+        spans = to_otlp([])["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans == []
+
+
+# ---------------------------------------------------------------------------
+# the exposition server
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture()
+def served():
+    """A live ObsServer on an ephemeral port with one of everything."""
+    registry = MetricsRegistry()
+    registry.counter("repro_chips_total", outcome="completed").inc(2)
+    bus = EventBus()
+    bus.emit("campaign_start", jobs=2, workers=2)
+    bus.emit("campaign_finish", completed=2)
+    spans = [_span("campaign", span_id="root"),
+             _span("chip a", span_id="c", parent_id="root")]
+    with ObsServer(port=0, metrics_fn=registry.snapshot,
+                   spans_fn=lambda: spans, bus=bus) as server:
+        yield server
+
+
+class TestObsServer:
+    def test_healthz_flips_running_to_done(self, served):
+        status, ctype, body = _get(served.url + "/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        health = json.loads(body)
+        assert health == {"status": "ok", "state": "running",
+                          "events_seq": 2, "events_dropped": 0}
+        served.finish()
+        health = json.loads(_get(served.url + "/healthz")[2])
+        assert health["state"] == "done"
+
+    def test_metrics_endpoint(self, served):
+        status, ctype, body = _get(served.url + "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert b'repro_chips_total{outcome="completed"} 2' in body
+
+    def test_events_endpoint_with_since(self, served):
+        status, ctype, body = _get(served.url + "/events")
+        assert status == 200
+        assert ctype == "application/jsonl"
+        kinds = [json.loads(line)["kind"] for line in body.splitlines()]
+        assert kinds == ["campaign_start", "campaign_finish"]
+        body = _get(served.url + "/events?since=1")[2]
+        kinds = [json.loads(line)["kind"] for line in body.splitlines()]
+        assert kinds == ["campaign_finish"]
+        assert _get(served.url + "/events?since=2")[2] == b""
+
+    def test_trace_endpoint(self, served):
+        status, ctype, body = _get(served.url + "/trace")
+        assert status == 200
+        assert ctype == "application/json"
+        spans = json.loads(body)["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert [s["name"] for s in spans] == ["campaign", "chip a"]
+
+    def test_unknown_path_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_follow_events_headless(self, served):
+        # Generator form, no socket: drains the backlog, then stops once
+        # the server is marked done and nothing fresh arrives.
+        served.finish()
+        lines = list(served.follow_events(-1, timeout_s=5.0))
+        assert [json.loads(l)["kind"] for l in lines] == [
+            "campaign_start", "campaign_finish",
+        ]
+
+    def test_ephemeral_port_bound(self, served):
+        assert served.port > 0
+        assert served.url == f"http://127.0.0.1:{served.port}"
+
+    def test_server_without_sources(self):
+        with ObsServer(port=0) as server:
+            assert _get(server.url + "/metrics")[2] == b"\n"
+            assert _get(server.url + "/events")[2] == b""
+            payload = json.loads(_get(server.url + "/trace")[2])
+            spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+            assert spans == []
+            health = json.loads(_get(server.url + "/healthz")[2])
+            assert health == {"status": "ok", "state": "running"}

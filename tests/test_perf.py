@@ -89,11 +89,17 @@ class TestReportSerialisation:
 class TestCli:
     def test_main_writes_report(self, tmp_path, capsys):
         from repro.perf.__main__ import main
+        from repro.perf import load_history
 
         out = tmp_path / "bench.json"
-        assert main(["--scale", "tiny", "--no-campaign", "--out", str(out)]) == 0
+        history = tmp_path / "history.jsonl"
+        assert main(["--scale", "tiny", "--no-campaign", "--out", str(out),
+                     "--history", str(history)]) == 0
         assert out.exists()
         assert "report written" in capsys.readouterr().out
+        (entry,) = load_history(history)
+        assert entry["probe"] == "pipeline"
+        assert "campaign:wall_seconds" not in entry["metrics"]  # --no-campaign
 
     def test_main_rejects_unknown_option(self, capsys):
         from repro.perf.__main__ import main
