@@ -108,7 +108,7 @@ from repro.pipeline import PipelineConfig, ShardPlan
 from repro.reveng import ReversedChip, reverse_engineer_cell, reverse_engineer_stack
 from repro.runtime import CampaignReport, ChipJob, ResiliencePolicy, run_campaign
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchedTransientSolver",

@@ -21,7 +21,11 @@ Commands:
   event-stream endpoints (``--help``);
 * ``obs analyze`` — offline trace analytics: critical path, per-stage /
   per-kernel attribution, cache efficiency, and two-trace diffs
-  (``--help``).
+  (``--help``);
+* ``serve`` — the campaign-as-a-service daemon: an HTTP job API
+  multiplexing many campaign/characterize/catalog jobs onto one shared
+  worker pool and stage cache, with per-job event streams, priority
+  queueing, tenant quotas and SIGTERM graceful drain (``--help``).
 
 ``campaign``, ``characterize`` and ``catalog`` all accept
 ``--serve-obs PORT`` to expose the same endpoints *live* while the run
@@ -105,9 +109,10 @@ def _with_obs_server(port, linger, obs_config, body):
     campaign runtime feeds live as chips finish — and an
     :class:`~repro.obs.export.ObsServer` exposes them on ``port``
     (``/metrics`` ``/events`` ``/trace`` ``/healthz``).  After the body
-    returns the server flips ``/healthz`` to ``"done"`` and keeps
-    serving for ``linger`` seconds so scrapers (the CI smoke job) can
-    collect the final snapshot deterministically.
+    returns the server flips ``/healthz`` to ``"done"`` (``"failed"``
+    when the body raises) and keeps serving for ``linger`` seconds so
+    scrapers (the CI smoke job) can collect the final snapshot
+    deterministically instead of seeing an abrupt connection reset.
     """
     if port is None:
         return body()
@@ -115,6 +120,13 @@ def _with_obs_server(port, linger, obs_config, body):
 
     from repro.obs import ObsSession
     from repro.obs.export import ObsServer
+
+    def _linger() -> None:
+        if linger > 0:
+            try:
+                time.sleep(linger)
+            except KeyboardInterrupt:
+                pass
 
     with ObsSession(obs_config) as session:
         with ObsServer(
@@ -128,13 +140,18 @@ def _with_obs_server(port, linger, obs_config, body):
                 "(/metrics /events /trace /healthz)",
                 file=sys.stderr,
             )
-            rc = body()
+            try:
+                rc = body()
+            except BaseException:
+                server.finish(state="failed")
+                if session.bus is not None:
+                    session.bus.close()
+                _linger()
+                raise
             server.finish()
-            if linger > 0:
-                try:
-                    time.sleep(linger)
-                except KeyboardInterrupt:
-                    pass
+            if session.bus is not None:
+                session.bus.close()
+            _linger()
             return rc
 
 
@@ -1179,6 +1196,110 @@ def cmd_obs(args: list[str]) -> int:
     return 0
 
 
+_SERVE_USAGE = """\
+usage: python -m repro serve [options]
+
+Run the campaign-as-a-service daemon: a long-lived HTTP job API that
+multiplexes many campaign / characterize / catalog jobs onto ONE shared
+worker pool and ONE shared stage cache.
+
+  POST   /jobs                submit a job-spec/1 JSON document
+  GET    /jobs                list all jobs
+  GET    /jobs/{id}           one job's serve-job/1 status
+  GET    /jobs/{id}/report    the flushed versioned report JSON
+  GET    /jobs/{id}/events    obs-event/1 JSONL (?since=N&follow=1)
+  DELETE /jobs/{id}           cancel (running jobs quarantine cleanly)
+  GET    /healthz             daemon state + job counts
+
+SIGTERM/SIGINT drain gracefully: admission stops (503), queued jobs are
+cancelled, in-flight jobs finish and flush their reports, then the
+daemon exits.
+
+options:
+  --port N          listen port (default 0 = ephemeral; printed on boot)
+  --host ADDR       bind address (default 127.0.0.1)
+  --state-dir DIR   reports + shared stage cache root
+                    (default .repro-serve)
+  --pool-workers N  shared worker-process pool size (default 2)
+  --runners N       concurrent jobs in flight (default 2)
+  --tenant-quota N  max queued+running jobs per tenant (default 4)
+  --job-workers N   per-job runtime worker budget override
+"""
+
+
+def cmd_serve(args: list[str]) -> int:
+    class _UsageError(Exception):
+        pass
+
+    def _value(flag: str, i: int) -> str:
+        if i >= len(args):
+            raise _UsageError(f"{flag} requires a value")
+        return args[i]
+
+    def _int_value(flag: str, i: int) -> int:
+        raw = _value(flag, i)
+        try:
+            return int(raw)
+        except ValueError:
+            raise _UsageError(f"{flag} requires an integer, got {raw!r}") from None
+
+    port = 0
+    host = "127.0.0.1"
+    state_dir = ".repro-serve"
+    pool_workers = 2
+    runners = 2
+    tenant_quota = 4
+    job_workers: int | None = None
+    try:
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "--port":
+                i += 1
+                port = _int_value(arg, i)
+            elif arg == "--host":
+                i += 1
+                host = _value(arg, i)
+            elif arg == "--state-dir":
+                i += 1
+                state_dir = _value(arg, i)
+            elif arg == "--pool-workers":
+                i += 1
+                pool_workers = _int_value(arg, i)
+            elif arg == "--runners":
+                i += 1
+                runners = _int_value(arg, i)
+            elif arg == "--tenant-quota":
+                i += 1
+                tenant_quota = _int_value(arg, i)
+            elif arg == "--job-workers":
+                i += 1
+                job_workers = _int_value(arg, i)
+            elif arg in ("--help", "-h"):
+                print(_SERVE_USAGE)
+                return 0
+            else:
+                raise _UsageError(f"unknown option {arg!r}")
+            i += 1
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        print(_SERVE_USAGE, file=sys.stderr)
+        return 2
+
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        state_dir, port=port, host=host, pool_workers=pool_workers,
+        runners=runners, tenant_quota=tenant_quota, job_workers=job_workers,
+    )
+    daemon.install_signal_handlers()
+    daemon.start()
+    print(f"serving on {daemon.url} (state: {state_dir})", flush=True)
+    daemon.wait()
+    print("drained; exiting", flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "summary"
@@ -1212,6 +1333,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_catalog(args[1:])
     elif command == "obs":
         return cmd_obs(args[1:])
+    elif command == "serve":
+        return cmd_serve(args[1:])
     else:
         print(__doc__, file=sys.stderr)
         return 2

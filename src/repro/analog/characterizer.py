@@ -486,6 +486,9 @@ def characterize(
     policy: ResiliencePolicy | None = None,
     obs: ObsConfig | None = None,
     config: PipelineConfig | None = None,
+    pool=None,
+    cancel=None,
+    bus=None,
 ) -> CharacterizationReport:
     """Characterize every sweep cell of *spec* through the campaign runtime.
 
@@ -494,7 +497,9 @@ def characterize(
     sweep recomputes nothing, a widened axis recomputes only new cells);
     ``policy`` adds per-cell timeouts; ``obs`` records spans/metrics.
     Cells whose solve fails are quarantined, not fatal — check
-    :attr:`CharacterizationReport.degraded`.
+    :attr:`CharacterizationReport.degraded`.  ``pool``/``cancel``/``bus``
+    are the serve-daemon seams, passed straight through to
+    :func:`~repro.runtime.campaign.run_campaign`.
     """
     spec = spec or CharacterizationSpec()
     jobs = [
@@ -508,6 +513,9 @@ def characterize(
         cache_dir=cache_dir,
         policy=policy,
         obs=obs,
+        pool=pool,
+        cancel=cancel,
+        bus=bus,
     )
     cells = {
         name: run.result

@@ -432,6 +432,9 @@ def run_catalog_campaign(
     seed: int | None = None,
     validate: bool = True,
     job_kwargs: dict | None = None,
+    pool=None,
+    cancel=None,
+    bus=None,
 ) -> CatalogReport:
     """Image + reverse engineer every variant and score the population.
 
@@ -442,7 +445,8 @@ def run_catalog_campaign(
     enumerated.  Ground-truth validation must stay on for W/L error
     distributions; ``validate=False`` still scores topology
     identification.  All the campaign substrate knobs (``workers``,
-    ``cache_dir``, ``policy``, ``obs``) pass straight through to
+    ``cache_dir``, ``policy``, ``obs`` — and the serve-daemon seams
+    ``pool``/``cancel``/``bus``) pass straight through to
     :func:`~repro.runtime.campaign.run_campaign`.
     """
     if isinstance(variants, CatalogSpec):
@@ -471,6 +475,9 @@ def run_catalog_campaign(
         cache_dir=cache_dir,
         policy=policy,
         obs=obs,
+        pool=pool,
+        cancel=cancel,
+        bus=bus,
     )
 
     scores = [

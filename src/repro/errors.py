@@ -163,6 +163,16 @@ class StageTimeoutError(StageError):
     """A chip's stage chain exceeded the campaign's per-chip time budget."""
 
 
+class JobCancelledError(StageError):
+    """A chip's chain was cut short because its campaign was cancelled.
+
+    Raised cooperatively at stage boundaries (and synthesized for chips
+    that never started) when a caller trips ``run_campaign``'s ``cancel``
+    event — e.g. ``DELETE /jobs/{id}`` against the serve daemon, or a
+    SIGTERM drain.  Inherits :class:`StageError` so the chip lands in the
+    report's quarantine section instead of aborting the campaign."""
+
+
 class CharacterizationError(StageError, AnalogError):
     """An analog characterization sweep cell failed.
 
@@ -217,6 +227,43 @@ class UnknownVariantError(CatalogError):
         super().__init__(
             f"unknown chip variant {name!r} (registered variants: {known})"
         )
+
+
+class ServeError(ReproError):
+    """The campaign-as-a-service daemon was asked something inconsistent."""
+
+
+class SpecError(ServeError):
+    """A submitted ``job-spec/1`` document failed validation.
+
+    Carries ``errors`` — one human-readable string per violation — so the
+    HTTP layer can return them all at once instead of one per round trip.
+    """
+
+    def __init__(self, errors: list[str] | str) -> None:
+        if isinstance(errors, str):
+            errors = [errors]
+        self.errors = list(errors)
+        super().__init__("invalid job spec: " + "; ".join(self.errors))
+
+
+class QuotaError(ServeError):
+    """A tenant's job admission would exceed its queued+running quota."""
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        self.tenant = tenant
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} already has {limit} queued or running "
+            "jobs (per-tenant quota)"
+        )
+
+
+class DrainingError(ServeError):
+    """A job was submitted while the daemon is draining (shutting down)."""
+
+    def __init__(self) -> None:
+        super().__init__("daemon is draining; not admitting new jobs")
 
 
 class EvaluationError(ReproError):

@@ -108,8 +108,12 @@ class NoopEventBus:
 
     enabled = False
     dropped = 0
+    closed = False
 
     def emit(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
         pass
 
 
@@ -132,6 +136,7 @@ class EventBus:
         self.pid = os.getpid()
         self.dropped = 0
         self._seq = 0
+        self._closed = False
         self._ring: deque[Event] = deque()
         self._cond = threading.Condition()
         self._epoch_wall = time.time()
@@ -147,6 +152,7 @@ class EventBus:
     def _append(self, event: Event) -> None:
         tap = None
         with self._cond:
+            self._closed = False
             self._seq += 1
             event.seq = self._seq
             if len(self._ring) >= self.capacity:
@@ -193,6 +199,24 @@ class EventBus:
         with self._cond:
             return self._seq
 
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        """Mark end-of-stream and wake every parked ``wait`` caller.
+
+        After ``close()`` a consumer's ``wait`` returns immediately (with
+        whatever newer events are buffered, possibly none), which is how
+        ``/events?follow=1`` streams learn the run is over instead of
+        timing out poll after poll.  The marker is soft: a later ``emit``
+        on the same bus (a new run reusing it) reopens the stream.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
     def drain(self, since_seq: int = -1) -> list[Event]:
         """Events still buffered with ``seq > since_seq``, oldest first."""
         with self._cond:
@@ -203,6 +227,8 @@ class EventBus:
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._cond:
             while self._seq <= since_seq:
+                if self._closed:
+                    return []
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.perf_counter()

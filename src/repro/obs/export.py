@@ -363,8 +363,10 @@ class ObsServer:
             for event in fresh:
                 seq = max(seq, event.seq)
                 yield json.dumps(event.to_dict(), sort_keys=True)
+            if not fresh and getattr(self.bus, "closed", False):
+                return  # end-of-stream marker: the run is over
             with self._state_lock:
-                if self._state == "done" and not fresh:
+                if self._state in ("done", "failed") and not fresh:
                     return
 
     # --- lifecycle ---------------------------------------------------------
@@ -378,10 +380,17 @@ class ObsServer:
         self._thread.start()
         return self
 
-    def finish(self) -> None:
-        """Flip ``/healthz`` state to ``"done"`` (the server keeps serving)."""
+    def finish(self, state: str = "done") -> None:
+        """Flip ``/healthz`` state (the server keeps serving).
+
+        ``state`` defaults to ``"done"``; a crashed run passes
+        ``"failed"`` so scrapers polling during the linger window see an
+        explicit terminal state instead of an abrupt connection reset.
+        """
+        if state not in ("done", "failed"):
+            raise ValueError(f"finish state must be 'done' or 'failed', got {state!r}")
         with self._state_lock:
-            self._state = "done"
+            self._state = state
 
     def stop(self) -> None:
         self._httpd.shutdown()

@@ -800,13 +800,20 @@ def measure_dataplane(
     comparison from :func:`_measure_cache_hit`.
 
     The planes are compared at *equal* worker counts, so the shm-plane
-    speedup isolates serialization cost, not parallel scaling (on a
-    single-core box the pool itself may lose to serial; the plane-vs-
-    plane ratio is still meaningful).  Gates
+    speedup isolates serialization cost, not parallel scaling.  Gates
     (:func:`dataplane_gate_failures`) are correctness-only: byte-level
     ``outputs_match`` across all three runs, the cache round-trip, and
     zero leaked ``/dev/shm`` segments.  The speedup and RSS numbers are
     the recorded trajectory.
+
+    On a box with fewer than two usable CPUs the probe **abstains** from
+    the plane comparison: a process pool multiplexed onto one core
+    measures scheduler contention, not transport cost, so any
+    shm-vs-pickle ratio it produced would be noise.  The record says so
+    explicitly (``abstained``/``abstain_reason``), carries the serial
+    run and the (single-threaded, still meaningful) warm cache-hit
+    comparison, and sets both plane records and ``outputs_match`` to
+    ``None``; gates skip the plane checks.
     """
     import pickle
     from dataclasses import replace as dc_replace
@@ -847,7 +854,47 @@ def measure_dataplane(
             "blob": pickle.dumps(report.results()),
         }
 
+    from repro.runtime import usable_cpus
+
+    cores = usable_cpus()
+    abstained = cores < 2
+
     serial = _run(config, workers=1)
+    record: dict[str, Any] = {
+        "schema": "repro-perf-dataplane/1",
+        "created_unix": time.time(),
+        "scale": scale,
+        "shard_workers": shard_workers,
+        "usable_cpus": cores,
+        "abstained": abstained,
+        "abstain_reason": (
+            f"usable_cpus()={cores} < 2: a pool multiplexed onto one core "
+            "measures scheduler contention, not transport cost — plane "
+            "comparison skipped, serial + cache numbers recorded"
+            if abstained else None
+        ),
+        "shm_available": available(),
+        "shm_min_bytes": DEFAULT_MIN_BYTES,
+        "serial": {
+            "wall_seconds": serial["wall_seconds"],
+            "peak_rss_bytes": serial["peak_rss_bytes"],
+        },
+        "cache": _measure_cache_hit(scale, seed),
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    if abstained:
+        record.update({
+            "pickle_plane": None,
+            "shm_plane": None,
+            "outputs_match": None,
+            "leaked_segments": _leaked_segments(),
+        })
+        return record
+
     pickle_plane = _run(
         config.replaced(shard=dc_replace(shard, data_plane="pickle")),
         workers=shard_workers,
@@ -857,45 +904,30 @@ def measure_dataplane(
         workers=shard_workers,
     )
 
-    def _record(run: dict[str, Any]) -> dict[str, Any]:
+    def _plane(run: dict[str, Any]) -> dict[str, Any]:
         return {
             "wall_seconds": run["wall_seconds"],
             "peak_rss_bytes": run["peak_rss_bytes"],
             "speedup_vs_serial": serial["wall_seconds"] / max(run["wall_seconds"], 1e-9),
         }
 
-    shm_record = _record(shm_plane)
+    shm_record = _plane(shm_plane)
     shm_record["speedup_vs_pickle_plane"] = (
         pickle_plane["wall_seconds"] / max(shm_plane["wall_seconds"], 1e-9)
     )
     shm_record["peak_rss_delta_bytes"] = (
         shm_plane["peak_rss_bytes"] - pickle_plane["peak_rss_bytes"]
     )
-    return {
-        "schema": "repro-perf-dataplane/1",
-        "created_unix": time.time(),
-        "scale": scale,
-        "shard_workers": shard_workers,
-        "shm_available": available(),
-        "shm_min_bytes": DEFAULT_MIN_BYTES,
-        "serial": {
-            "wall_seconds": serial["wall_seconds"],
-            "peak_rss_bytes": serial["peak_rss_bytes"],
-        },
-        "pickle_plane": _record(pickle_plane),
+    record.update({
+        "pickle_plane": _plane(pickle_plane),
         "shm_plane": shm_record,
-        "cache": _measure_cache_hit(scale, seed),
         "outputs_match": (
             serial["blob"] == pickle_plane["blob"]
             and serial["blob"] == shm_plane["blob"]
         ),
         "leaked_segments": _leaked_segments(),
-        "environment": {
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
-    }
+    })
+    return record
 
 
 def dataplane_gate_failures(
@@ -907,15 +939,18 @@ def dataplane_gate_failures(
     round-trip, and segment hygiene.  Wall-time and RSS are recorded,
     not gated (the probe runs on whatever box CI gives it); CI may pass
     an explicit *rss_ceiling_mb* to also bound the shm-plane footprint.
+    An *abstained* record (single-CPU box — see :func:`measure_dataplane`)
+    has no plane runs, so only the cache and segment gates apply.
     """
     failures: list[str] = []
-    if data["outputs_match"] is not True:
+    abstained = data.get("abstained", False)
+    if not abstained and data["outputs_match"] is not True:
         failures.append("campaign outputs_match across planes")
     if data["cache"]["outputs_match"] is not True:
         failures.append("cache mmap-vs-pickle outputs_match")
     if data["leaked_segments"]:
         failures.append(f"{data['leaked_segments']} leaked /dev/shm segments")
-    if rss_ceiling_mb is not None:
+    if rss_ceiling_mb is not None and not abstained:
         peak_mb = data["shm_plane"]["peak_rss_bytes"] / (1024 * 1024)
         if peak_mb > rss_ceiling_mb:
             failures.append(
@@ -937,8 +972,6 @@ def render_dataplane_report(data: dict[str, Any]) -> str:
     """Human-readable summary of one dataplane perf run."""
     match = {True: "yes", False: "NO", None: "-"}
     mib = 1024 * 1024
-    shm = data["shm_plane"]
-    pkl = data["pickle_plane"]
     cache = data["cache"]
     lines = [
         f"dataplane perf ({data['scale']} scale, "
@@ -946,14 +979,23 @@ def render_dataplane_report(data: dict[str, Any]) -> str:
         f"{match[data['shm_available']]})",
         f"  serial:       {data['serial']['wall_seconds']:.2f}s, peak RSS "
         f"{data['serial']['peak_rss_bytes'] / mib:.0f} MiB",
-        f"  pickle plane: {pkl['wall_seconds']:.2f}s "
-        f"({pkl['speedup_vs_serial']:.2f}x vs serial), peak RSS "
-        f"{pkl['peak_rss_bytes'] / mib:.0f} MiB",
-        f"  shm plane:    {shm['wall_seconds']:.2f}s "
-        f"({shm['speedup_vs_serial']:.2f}x vs serial, "
-        f"{shm['speedup_vs_pickle_plane']:.2f}x vs pickle plane), peak RSS "
-        f"{shm['peak_rss_bytes'] / mib:.0f} MiB "
-        f"({shm['peak_rss_delta_bytes'] / mib:+.0f} MiB vs pickle plane)",
+    ]
+    if data.get("abstained"):
+        lines.append(f"  planes:       abstained — {data['abstain_reason']}")
+    else:
+        shm = data["shm_plane"]
+        pkl = data["pickle_plane"]
+        lines += [
+            f"  pickle plane: {pkl['wall_seconds']:.2f}s "
+            f"({pkl['speedup_vs_serial']:.2f}x vs serial), peak RSS "
+            f"{pkl['peak_rss_bytes'] / mib:.0f} MiB",
+            f"  shm plane:    {shm['wall_seconds']:.2f}s "
+            f"({shm['speedup_vs_serial']:.2f}x vs serial, "
+            f"{shm['speedup_vs_pickle_plane']:.2f}x vs pickle plane), peak RSS "
+            f"{shm['peak_rss_bytes'] / mib:.0f} MiB "
+            f"({shm['peak_rss_delta_bytes'] / mib:+.0f} MiB vs pickle plane)",
+        ]
+    lines += [
         f"  cache hit [{cache['payload_bytes'] / mib:.1f} MiB]: mmap "
         f"{cache['mmap_hit_seconds'] * 1e3:.1f} ms vs pickle "
         f"{cache['pickle_hit_seconds'] * 1e3:.1f} ms "

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import traceback as traceback_module
 from contextlib import ExitStack
@@ -46,7 +47,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.report import render_table
-from repro.errors import CampaignError, ReproError, StageError
+from repro.errors import CampaignError, JobCancelledError, ReproError, StageError
 from repro.faults import FaultPlan
 from repro.imaging.fib import FibSemCampaign
 from repro.imaging.sem import SemParameters
@@ -156,17 +157,52 @@ class ChipJob:
             **kwargs,
         )
 
+    #: a plan whose SEM pixel exceeds this fraction of the chip's feature
+    #: size undersamples the latch contacts — re-plan at feature-scaled
+    #: resolution instead (see :meth:`for_chip`)
+    _UNDERSAMPLED_PIXEL_FRACTION = 0.35
+
     @classmethod
     def for_chip(cls, chip_id: str, n_pairs: int = 2, **kwargs) -> "ChipJob":
-        """A job imaging a Table I chip with its own acquisition plan."""
+        """A job imaging a Table I chip with its own acquisition plan.
+
+        The assembly voxel is matched to the plan's SEM pixel (1:1) rather
+        than fixed: resampling a fine acquisition (B4's 3.4 nm pixels) into
+        coarser voxels smears the latch gate-strap clearances until the
+        extractor's active-contact guard severs the cross-couple nets and
+        the nSA/pSA pairs vanish.  Plans whose pixel *undersamples* the
+        feature size (A4: 10.4 nm pixels on a 20.5 nm process) cannot be
+        rescued by assembly alone — those are re-planned at the
+        population recipe's feature-scaled resolution (pixel ``5*scale``,
+        voxel ``6*scale``, 12 nm slices, ``scale = feature/18``), the
+        same sampling every catalog variant images with.
+        """
+        from dataclasses import replace as _dc_replace
+
         from repro.catalog.variants import build_region_spec, chip_variant
+        from repro.core.chips import chip as get_chip
         from repro.imaging.plan import plan_for
 
         chip_id = chip_id.upper()
+        chip = get_chip(chip_id)
+        campaign = plan_for(chip_id).campaign
+        if "voxel_nm" not in kwargs:
+            pixel = campaign.sem.pixel_nm
+            limit = chip.geometry.feature_nm * cls._UNDERSAMPLED_PIXEL_FRACTION
+            if pixel > limit:
+                scale = chip.geometry.feature_nm / 18.0
+                campaign = _dc_replace(
+                    campaign,
+                    slice_thickness_nm=min(campaign.slice_thickness_nm, 12.0),
+                    sem=_dc_replace(campaign.sem, pixel_nm=5.0 * scale),
+                )
+                kwargs["voxel_nm"] = 6.0 * scale
+            else:
+                kwargs["voxel_nm"] = pixel
         return cls(
             name=chip_id,
             spec=build_region_spec(chip_variant(chip_id, word_size=n_pairs)),
-            campaign=plan_for(chip_id).campaign,
+            campaign=campaign,
             **kwargs,
         )
 
@@ -580,6 +616,7 @@ def _run_one(
     config: PipelineConfig,
     cache_dir: str | None,
     policy: ResiliencePolicy | None,
+    cancel: "threading.Event | None" = None,
 ) -> ChipRun | QuarantineRecord:
     """One chip's chain; a failing chip returns a quarantine record.
 
@@ -591,7 +628,9 @@ def _run_one(
     """
     t0 = time.perf_counter()
     try:
-        result, metrics = run_chip_stages(job, config, StageCache(cache_dir), policy)
+        result, metrics = run_chip_stages(
+            job, config, StageCache(cache_dir), policy, cancel=cancel
+        )
     except StageError as exc:
         logger.error(
             "chip quarantined",
@@ -615,6 +654,7 @@ def _execute_job(
     args: tuple[
         ChipJob, PipelineConfig, str | None, ResiliencePolicy | None, ObsConfig | None
     ],
+    cancel: "threading.Event | None" = None,
 ) -> _JobOutcome:
     """Pool entry point: run one chip under its own observability session.
 
@@ -622,10 +662,15 @@ def _execute_job(
     :class:`~repro.obs.ObsSession` saves and restores whatever was
     active), so the chip's spans and metrics travel back to the campaign
     as plain picklable data regardless of which process ran them.
+
+    ``cancel`` only reaches in-process (serial-path) chips: a
+    ``threading.Event`` cannot cross the pool boundary, so pooled chips
+    are cancelled at the future level before they start and run to
+    completion once picked up.
     """
     job, config, cache_dir, policy, obs = args
     try:
-        return _execute_job_inner(job, config, cache_dir, policy, obs)
+        return _execute_job_inner(job, config, cache_dir, policy, obs, cancel)
     finally:
         # Zero-copy data-plane backstop: shard_map releases its segments
         # on every path it controls, but a chip that quarantined or
@@ -641,15 +686,16 @@ def _execute_job_inner(
     cache_dir: str | None,
     policy: ResiliencePolicy | None,
     obs: ObsConfig | None,
+    cancel: "threading.Event | None" = None,
 ) -> _JobOutcome:
     if obs is None or not obs.enabled:
-        return _JobOutcome(_run_one(job, config, cache_dir, policy))
+        return _JobOutcome(_run_one(job, config, cache_dir, policy, cancel))
     with ObsSession(obs) as session:
         current_events().emit("chip_start", chip=job.name)
         with current_tracer().span(
             f"chip {job.name}", kind="chip", chip=job.name
         ) as span, bind(chip=job.name):
-            outcome = _run_one(job, config, cache_dir, policy)
+            outcome = _run_one(job, config, cache_dir, policy, cancel)
             if isinstance(outcome, QuarantineRecord):
                 span.set(outcome="quarantined", error_type=outcome.error_type,
                          stage=outcome.stage)
@@ -685,6 +731,10 @@ def run_campaign(
     policy: ResiliencePolicy | None = None,
     fault_plan: FaultPlan | None = None,
     obs: ObsConfig | None = None,
+    *,
+    pool: "Executor | None" = None,
+    cancel: threading.Event | None = None,
+    bus: EventBus | None = None,
 ) -> CampaignReport:
     """Run every chip job and return the campaign report.
 
@@ -728,6 +778,27 @@ def run_campaign(
     stream progress mid-run; ``log_level`` configures JSON-lines logging
     in the parent and every worker.  Observability never changes results
     or cache keys — it only watches.
+
+    The keyword-only seams exist for the serve daemon (multiplexing many
+    campaigns through one process), and none of them changes results:
+
+    * ``pool`` — an externally owned :class:`concurrent.futures.Executor`
+      to fan chips out on instead of creating (and tearing down) a
+      private ``ProcessPoolExecutor``.  The pool is *not* shut down here,
+      and its ``max_workers`` is the real parallelism cap; ``workers``
+      keeps its reporting/shard-budget meaning.
+    * ``cancel`` — a :class:`threading.Event`; once set, chips that have
+      not started are quarantined with :class:`JobCancelledError`
+      (pool-backed chips via ``Future.cancel``, in-process chips at the
+      next stage boundary) while chips already running on a pool worker
+      finish normally.  The report is partial, never absent.
+    * ``bus`` — an explicit per-campaign :class:`EventBus` that takes
+      precedence over the ambient bus.  The ambient bus is a process
+      global, so two campaigns running on different threads of one
+      daemon would otherwise interleave their streams.  A campaign that
+      *owns* its bus (ambient or private) closes it at campaign end
+      (:meth:`EventBus.close`) so follow-mode consumers terminate; an
+      injected ``bus`` is left open — its owner decides end-of-stream.
     """
     if not jobs:
         raise CampaignError("campaign needs at least one job")
@@ -767,7 +838,11 @@ def run_campaign(
     # registry as outcomes arrive, while the report snapshot is still
     # assembled from scratch below (identically to earlier releases).
     campaign_bus: EventBus | None = None
-    if obs is not None and obs.events:
+    owns_bus = True
+    if bus is not None:
+        campaign_bus = bus
+        owns_bus = False
+    elif obs is not None and obs.events:
         ambient_bus = current_events()
         campaign_bus = ambient_bus if ambient_bus.enabled else EventBus()
     live_metrics: MetricsRegistry | None = None
@@ -836,22 +911,50 @@ def run_campaign(
             rss_sampler = scope.enter_context(
                 RssSampler(interval=0.25, on_sample=_record_rss)
             )
+        def _cancelled_outcome(job: ChipJob) -> _JobOutcome:
+            return _JobOutcome(QuarantineRecord(
+                name=job.name,
+                stage=None,
+                error_type=JobCancelledError.__name__,
+                message="campaign cancelled before this chip started",
+                seconds=0.0,
+            ))
+
+        def _collect_futures(executor) -> None:
+            # Submit everything up front, then collect in submission order
+            # so each worker's events/metrics join the live stream as its
+            # outcome arrives, not after the whole pool drains.  Once
+            # ``cancel`` trips, pending futures are cancelled (chips that
+            # never started quarantine instantly); chips a worker already
+            # picked up run to completion — the daemon's drain contract is
+            # "finish or quarantine in-flight work", never kill mid-stage.
+            futures = [
+                (p, executor.submit(_execute_job, p)) for p in payloads
+            ]
+            for payload, future in futures:
+                if cancel is not None and cancel.is_set() and future.cancel():
+                    outcome = _cancelled_outcome(payload[0])
+                else:
+                    outcome = future.result()
+                _note_outcome(outcome)
+                outcomes.append(outcome)
+
         outcomes = []
-        if workers <= 1 or len(jobs) == 1:
+        if pool is not None:
+            _collect_futures(pool)
+        elif workers <= 1 or len(jobs) == 1:
             for p in payloads:
-                outcome = _execute_job(p)
+                if cancel is not None and cancel.is_set():
+                    outcome = _cancelled_outcome(p[0])
+                else:
+                    outcome = _execute_job(p, cancel)
                 _note_outcome(outcome)
                 outcomes.append(outcome)
         else:
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=chip_workers) as pool:
-                # Iterate (don't list()) so each worker's events/metrics
-                # join the live stream as its outcome arrives, not after
-                # the whole pool drains.
-                for outcome in pool.map(_execute_job, payloads):
-                    _note_outcome(outcome)
-                    outcomes.append(outcome)
+            with ProcessPoolExecutor(max_workers=chip_workers) as executor:
+                _collect_futures(executor)
     # Campaign-level data-plane backstop for segments published from this
     # process (serial path, or shard submitters that died mid-flight).
     dataplane.reap_leaked("campaign-teardown")
@@ -910,6 +1013,11 @@ def run_campaign(
             dropped=campaign_bus.dropped,
         )
         events = campaign_bus.snapshot()
+        if owns_bus:
+            # End-of-stream for follow-mode consumers (--serve-obs
+            # scrapers).  Injected buses stay open: their owner (the
+            # serve scheduler) appends job-level events before closing.
+            campaign_bus.close()
 
     return CampaignReport(
         chips={run.name: run for run in runs if isinstance(run, ChipRun)},

@@ -27,6 +27,7 @@ bytes, stage notes) to the chip's run result.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
@@ -35,6 +36,7 @@ from repro.errors import (
     AcquisitionError,
     AlignmentBudgetExceeded,
     CampaignError,
+    JobCancelledError,
     StageTimeoutError,
 )
 from repro.faults import FaultInjector
@@ -518,6 +520,7 @@ def execute_chain(
     deadline: float | None = None,
     chip_id: str | None = None,
     budget_s: float | None = None,
+    cancel: "threading.Event | None" = None,
 ) -> tuple[dict[str, Any], list[StageMetrics]]:
     """Run a stage chain against a cache; return (final context, metrics).
 
@@ -532,6 +535,13 @@ def execute_chain(
     is observable before it becomes a quarantine; ``budget_s`` (the full
     chip budget behind the deadline) additionally triggers a warning log
     when a single stage consumes more than 80 % of it.
+
+    ``cancel`` (a ``threading.Event``) is the cooperative kill switch the
+    serve daemon trips on ``DELETE /jobs/{id}``: like the deadline it is
+    honoured *between* stages, raising :class:`JobCancelledError` at the
+    next boundary so completed stage artefacts stay cached and the chip
+    quarantines cleanly.  It only works for chips running in the caller's
+    process (events don't cross the pool).
 
     Every loop iteration emits exactly one stage span on the active
     tracer — skipped, loaded and executed stages alike — so a trace's
@@ -577,6 +587,13 @@ def execute_chain(
         metrics.append(m)
 
     for i, stage in enumerate(stages):
+        if cancel is not None and cancel.is_set():
+            raise JobCancelledError(
+                "campaign cancelled; stopping at stage boundary",
+                chip_id=chip_id,
+                stage=stage.name,
+                details={"completed_stages": [m.stage for m in metrics]},
+            )
         if deadline is not None and time.monotonic() > deadline:
             logger.error(
                 "chip blew its time budget; stopping at stage boundary",
@@ -653,6 +670,7 @@ def run_chip_stages(
     config: PipelineConfig,
     cache: StageCache,
     policy: ResiliencePolicy | None = None,
+    cancel: "threading.Event | None" = None,
 ) -> tuple[Any, list[StageMetrics]]:
     """Execute one job's full chain and return its final ``result``.
 
@@ -670,7 +688,7 @@ def run_chip_stages(
         ctx, metrics = execute_chain(
             build_stage_chain(job, config, policy), cache,
             deadline=deadline, chip_id=job.name,
-            budget_s=policy.chip_timeout_s,
+            budget_s=policy.chip_timeout_s, cancel=cancel,
         )
     result = ctx.get("result")
     if result is None:

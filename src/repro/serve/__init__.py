@@ -1,0 +1,37 @@
+"""Campaign-as-a-service: the ``python -m repro serve`` daemon.
+
+One long-lived process multiplexes many independent campaign /
+characterization / catalog jobs onto a single shared worker pool and a
+single shared stage cache, so a lab box can accept work over HTTP
+instead of one shell per run:
+
+* :mod:`repro.serve.spec` — the versioned ``job-spec/1`` document
+  (validation, and the same spec→jobs lowering the one-shot CLI uses,
+  so a daemon report is bit-identical to the CLI's);
+* :mod:`repro.serve.queue` — the admission queue (priority ordering,
+  per-tenant quotas, drain gate);
+* :mod:`repro.serve.scheduler` — runner threads that lease jobs from
+  the queue and execute them on the shared
+  :class:`~concurrent.futures.ProcessPoolExecutor` + cache directory,
+  flushing versioned reports to the state dir;
+* :mod:`repro.serve.http` — the HTTP surface (``POST /jobs``,
+  ``GET /jobs/{id}``, ``GET /jobs/{id}/report``,
+  ``GET /jobs/{id}/events``, ``DELETE /jobs/{id}``, ``/healthz``) and
+  the SIGTERM-driven graceful drain.
+"""
+
+from repro.serve.http import ServeDaemon
+from repro.serve.queue import JobQueue, JobRecord
+from repro.serve.scheduler import Scheduler
+from repro.serve.spec import JobSpec, canonical_report, parse_job_spec, run_job
+
+__all__ = [
+    "JobSpec",
+    "JobQueue",
+    "JobRecord",
+    "Scheduler",
+    "ServeDaemon",
+    "canonical_report",
+    "parse_job_spec",
+    "run_job",
+]

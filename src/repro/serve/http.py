@@ -1,0 +1,333 @@
+"""The serve daemon's HTTP surface and process lifecycle.
+
+Endpoints (all JSON unless noted):
+
+``POST /jobs``
+    Body: a ``job-spec/1`` document.  201 with the ``serve-job/1``
+    status on admission; 400 with ``{"errors": [...]}`` on an invalid
+    spec; 429 when the tenant quota is exhausted; 503 while draining.
+``GET /jobs``
+    ``{"jobs": [status, ...]}`` for every known job.
+``GET /jobs/{id}``
+    One job's ``serve-job/1`` status document.
+``GET /jobs/{id}/report``
+    The flushed versioned report JSON (``campaign-report/3`` /
+    ``characterization-report/1`` / ``catalog-report/1``).  409 until
+    the job reaches a state that has one.
+``GET /jobs/{id}/events?since=SEQ&follow=1&timeout_s=S``
+    The job's ``obs-event/1`` JSONL stream.  ``follow=1`` switches to
+    chunked transfer and streams until the job's bus closes (the
+    scheduler closes it when the job terminates) or the timeout lapses.
+``DELETE /jobs/{id}``
+    Cancel: queued jobs terminate immediately, running jobs quarantine
+    at the runtime's next boundary and flush a partial report.
+``GET /healthz``
+    ``{"status": "ok", "state": "serving"|"draining", "jobs": {...}}``.
+
+:class:`ServeDaemon` ties queue + scheduler + HTTP server together and
+owns the graceful drain: SIGTERM (and SIGINT) stops admission, cancels
+queued jobs, lets in-flight jobs finish and flush their reports, then
+stops serving.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import DrainingError, QuotaError, SpecError
+from repro.obs import get_logger
+from repro.serve.queue import JobQueue, JobRecord
+from repro.serve.scheduler import Scheduler
+from repro.serve.spec import parse_job_spec
+
+logger = get_logger("repro.serve.http")
+
+#: request-body cap — a job spec is a small control document
+_MAX_BODY_BYTES = 1 << 20
+
+
+class ServeDaemon:
+    """The ``python -m repro serve`` process: HTTP + queue + scheduler."""
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        pool_workers: int = 2,
+        runners: int = 2,
+        tenant_quota: int = 4,
+        job_workers: int | None = None,
+    ) -> None:
+        self.queue = JobQueue(tenant_quota=tenant_quota)
+        self.scheduler = Scheduler(
+            self.queue, state_dir, pool_workers=pool_workers,
+            runners=runners, job_workers=job_workers,
+        )
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        daemon = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # keep the daemon's stdout quiet
+
+            # --- plumbing --------------------------------------------------
+
+            def _send_json(self, doc: Any, status: int = 200) -> None:
+                body = json.dumps(doc, sort_keys=True).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_raw(
+                self, body: bytes, content_type: str, status: int = 200
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _job_or_404(self, job_id: str) -> JobRecord | None:
+                try:
+                    return daemon.queue.get(job_id)
+                except KeyError:
+                    self._send_json(
+                        {"error": f"unknown job {job_id!r}"}, status=404
+                    )
+                    return None
+
+            # --- methods ---------------------------------------------------
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                parsed = urlparse(self.path)
+                parts = [p for p in parsed.path.split("/") if p]
+                try:
+                    if parsed.path == "/healthz":
+                        self._send_json(daemon.health())
+                    elif parsed.path == "/jobs":
+                        self._send_json(
+                            {"jobs": [r.status() for r in daemon.queue.jobs()]}
+                        )
+                    elif len(parts) == 2 and parts[0] == "jobs":
+                        record = self._job_or_404(parts[1])
+                        if record is not None:
+                            self._send_json(record.status())
+                    elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
+                        self._handle_report(parts[1])
+                    elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                        self._handle_events(parts[1], parse_qs(parsed.query))
+                    else:
+                        self._send_json({"error": "not found"}, status=404)
+                except BrokenPipeError:  # client went away mid-write
+                    pass
+
+            def do_POST(self) -> None:  # noqa: N802
+                parsed = urlparse(self.path)
+                if parsed.path != "/jobs":
+                    self._send_json({"error": "not found"}, status=404)
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                if length > _MAX_BODY_BYTES:
+                    self._send_json({"error": "request body too large"},
+                                    status=413)
+                    return
+                raw = self.rfile.read(length)
+                try:
+                    doc = json.loads(raw.decode("utf-8") or "null")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    self._send_json(
+                        {"error": f"request body is not JSON: {exc}"},
+                        status=400,
+                    )
+                    return
+                try:
+                    spec = parse_job_spec(doc)
+                    record = daemon.queue.submit(spec)
+                except SpecError as exc:
+                    self._send_json({"errors": exc.errors}, status=400)
+                    return
+                except QuotaError as exc:
+                    self._send_json({"error": str(exc)}, status=429)
+                    return
+                except DrainingError as exc:
+                    self._send_json({"error": str(exc)}, status=503)
+                    return
+                self._send_json(record.status(), status=201)
+
+            def do_DELETE(self) -> None:  # noqa: N802
+                parsed = urlparse(self.path)
+                parts = [p for p in parsed.path.split("/") if p]
+                if len(parts) != 2 or parts[0] != "jobs":
+                    self._send_json({"error": "not found"}, status=404)
+                    return
+                record = self._job_or_404(parts[1])
+                if record is None:
+                    return
+                daemon.queue.cancel(record.id)
+                self._send_json(daemon.queue.get(record.id).status())
+
+            # --- endpoint bodies -------------------------------------------
+
+            def _handle_report(self, job_id: str) -> None:
+                record = self._job_or_404(job_id)
+                if record is None:
+                    return
+                if record.report_path is None:
+                    self._send_json(
+                        {
+                            "error": f"job {job_id} has no report "
+                                     f"(state: {record.state})",
+                            "state": record.state,
+                        },
+                        status=409,
+                    )
+                    return
+                body = Path(record.report_path).read_bytes()
+                self._send_raw(body, "application/json")
+
+            def _handle_events(
+                self, job_id: str, query: dict[str, list[str]]
+            ) -> None:
+                record = self._job_or_404(job_id)
+                if record is None:
+                    return
+                since = int(query.get("since", ["-1"])[0])
+                follow = query.get("follow", ["0"])[0] in ("1", "true")
+                if not follow:
+                    lines = [
+                        json.dumps(e.to_dict(), sort_keys=True)
+                        for e in record.bus.drain(since)
+                    ]
+                    body = "\n".join(lines) + ("\n" if lines else "")
+                    self._send_raw(body.encode(), "application/jsonl")
+                    return
+                timeout_s = float(query.get("timeout_s", ["30"])[0])
+                self.send_response(200)
+                self.send_header("Content-Type", "application/jsonl")
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+
+                def write_chunk(data: bytes) -> None:
+                    self.wfile.write(f"{len(data):x}\r\n".encode())
+                    self.wfile.write(data + b"\r\n")
+                    self.wfile.flush()
+
+                for line in daemon.follow_job_events(record, timeout_s, since):
+                    write_chunk(line.encode() + b"\n")
+                self.wfile.write(b"0\r\n\r\n")
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    # --- shared content builders -------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "state": "draining" if self._draining.is_set() else "serving",
+            "jobs": self.queue.counts(),
+        }
+
+    def follow_job_events(
+        self, record: JobRecord, timeout_s: float, since: int = -1
+    ):
+        """Yield one job's event JSON lines until its bus closes (the job
+        terminated) or ``timeout_s`` elapses."""
+        import time as _time
+
+        deadline = _time.perf_counter() + timeout_s
+        seq = since
+        while True:
+            remaining = deadline - _time.perf_counter()
+            if remaining <= 0:
+                return
+            fresh = record.bus.wait(seq, timeout=min(remaining, 0.25))
+            for event in fresh:
+                seq = max(seq, event.seq)
+                yield json.dumps(event.to_dict(), sort_keys=True)
+            if not fresh and record.bus.closed:
+                return  # end-of-stream: the scheduler closed the job bus
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        self.scheduler.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Graceful SIGTERM path: refuse new work, finish in-flight jobs,
+        flush their reports, then stop the scheduler's pool.  Idempotent;
+        the HTTP server keeps answering status/report reads until
+        :meth:`stop`."""
+        if self._draining.is_set():
+            self._drained.wait()
+            return
+        self._draining.set()
+        self.scheduler.drain(timeout=timeout)
+        self._drained.set()
+
+    def stop(self) -> None:
+        if not self._drained.is_set():
+            self.drain()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain, then stop (main thread only)."""
+
+        def _handle(signum: int, _frame: Any) -> None:
+            logger.info(
+                "signal received; draining",
+                extra={"fields": {"signal": signum}},
+            )
+            # Drain on a helper thread: the handler must return quickly so
+            # in-flight HTTP writes are not interrupted mid-frame.
+            threading.Thread(
+                target=self._drain_and_stop, name="repro-serve-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    def _drain_and_stop(self) -> None:
+        self.drain()
+        self.stop()
+
+    def wait(self) -> None:
+        """Block until the HTTP thread exits (after :meth:`stop`)."""
+        while self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=0.5)
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.stop()
+        return False

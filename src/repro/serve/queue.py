@@ -1,0 +1,223 @@
+"""Admission queue for the serve daemon.
+
+A :class:`JobQueue` is the single synchronisation point between the HTTP
+layer (producers) and the scheduler's runner threads (consumers):
+
+* **priority ordering** — jobs are leased highest ``priority`` first,
+  FIFO within a priority level (a strict heap on ``(-priority, seq)``);
+* **per-tenant quotas** — each tenant may hold at most ``tenant_quota``
+  jobs in flight (queued + running); the quota frees when a job reaches
+  a terminal state, so a chatty client cannot starve the box;
+* **drain gate** — :meth:`drain` atomically stops admission
+  (:class:`~repro.errors.DrainingError` for later submits) and cancels
+  every job still waiting in the heap, while jobs already leased keep
+  running (the scheduler finishes and flushes them).
+
+Every job owns a private :class:`~repro.obs.EventBus` (created at
+admission, so ``GET /jobs/{id}/events`` streams from the moment of
+submission) and a cancel :class:`threading.Event` wired into the
+campaign runtime's cancellation seam.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import DrainingError, QuotaError, ServeError
+from repro.obs import EventBus
+from repro.serve.spec import JobSpec
+
+#: states a job moves through; terminal states release the tenant quota
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+_TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's full lifecycle state."""
+
+    id: str
+    spec: JobSpec
+    state: str = QUEUED
+    created_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    error: str | None = None
+    #: schema string of the flushed report (``campaign-report/3`` ...)
+    report_schema: str | None = None
+    #: where the scheduler flushed the report JSON (None until done)
+    report_path: str | None = None
+    #: per-job lifecycle event stream, served by ``/jobs/{id}/events``
+    bus: EventBus = field(default_factory=EventBus)
+    #: cooperative cancellation flag, wired into the runtime seam
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def status(self) -> dict:
+        """The JSON document ``GET /jobs/{id}`` returns."""
+        return {
+            "schema": "serve-job/1",
+            "id": self.id,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "error": self.error,
+            "report_schema": self.report_schema,
+            "events_seq": self.bus.last_seq,
+        }
+
+
+class JobQueue:
+    """Thread-safe priority queue with tenant quotas and a drain gate."""
+
+    def __init__(self, tenant_quota: int = 4) -> None:
+        if tenant_quota < 1:
+            raise ServeError("tenant quota must be at least 1")
+        self.tenant_quota = tenant_quota
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._jobs: dict[str, JobRecord] = {}
+        self._seq = itertools.count()
+        self._draining = False
+
+    # --- producer side ------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit one job; raises :class:`DrainingError` after :meth:`drain`
+        and :class:`QuotaError` when the tenant is at its in-flight cap."""
+        with self._available:
+            if self._draining:
+                raise DrainingError()
+            in_flight = sum(
+                1 for r in self._jobs.values()
+                if r.spec.tenant == spec.tenant and r.state not in _TERMINAL
+            )
+            if in_flight >= self.tenant_quota:
+                raise QuotaError(spec.tenant, self.tenant_quota)
+            seq = next(self._seq)
+            record = JobRecord(id=f"job-{seq:06d}", spec=spec)
+            self._jobs[record.id] = record
+            heapq.heappush(self._heap, (-spec.priority, seq, record.id))
+            self._available.notify()
+            return record
+
+    # --- consumer side ------------------------------------------------------
+
+    def lease(self, timeout: float | None = None) -> JobRecord | None:
+        """Block until a queued job is available, mark it RUNNING, return
+        it.  ``None`` on timeout or when draining with an empty heap."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    record = self._jobs[job_id]
+                    if record.state != QUEUED:
+                        continue  # cancelled while waiting
+                    record.state = RUNNING
+                    record.started_s = time.time()
+                    return record
+                if self._draining:
+                    return None
+                if deadline is None:
+                    self._available.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        return None
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        error: str | None = None,
+        report_schema: str | None = None,
+        report_path: str | None = None,
+    ) -> None:
+        """Move a RUNNING job to a terminal state (scheduler only)."""
+        if state not in _TERMINAL:
+            raise ServeError(f"finish state must be terminal, got {state!r}")
+        with self._available:
+            record = self._require(job_id)
+            record.state = state
+            record.finished_s = time.time()
+            record.error = error
+            record.report_schema = report_schema
+            record.report_path = report_path
+            self._available.notify_all()
+
+    # --- shared -------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._require(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda r: r.id)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel one job.  A queued job terminates immediately; a running
+        job gets its cancel event set and quarantines at the runtime's
+        next opportunity (the scheduler still flushes its partial
+        report).  Cancelling a terminal job is a no-op."""
+        with self._available:
+            record = self._require(job_id)
+            if record.state == QUEUED:
+                record.state = CANCELLED
+                record.finished_s = time.time()
+                record.error = "cancelled before start"
+                record.cancel_event.set()
+                record.bus.close()
+            elif record.state == RUNNING:
+                record.cancel_event.set()
+            return record
+
+    def drain(self) -> list[JobRecord]:
+        """Stop admitting; cancel everything still queued; wake leasers.
+        Returns the records that were cancelled while queued."""
+        with self._available:
+            self._draining = True
+            dropped = []
+            for record in self._jobs.values():
+                if record.state == QUEUED:
+                    record.state = CANCELLED
+                    record.finished_s = time.time()
+                    record.error = "daemon drained before start"
+                    record.cancel_event.set()
+                    record.bus.close()
+                    dropped.append(record)
+            self._available.notify_all()
+            return dropped
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def counts(self) -> dict[str, int]:
+        """State → count summary for ``/healthz``."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for record in self._jobs.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            return counts
+
+    def _require(self, job_id: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        return record

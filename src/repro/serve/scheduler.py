@@ -1,0 +1,166 @@
+"""The serve daemon's execution engine.
+
+One :class:`Scheduler` owns the resources every job shares:
+
+* **one process pool** — a single
+  :class:`~concurrent.futures.ProcessPoolExecutor` handed to every
+  campaign through :func:`run_campaign`'s ``pool`` seam, so N concurrent
+  jobs multiplex onto one bounded set of workers instead of each
+  spawning its own;
+* **one stage cache** — a single content-addressed cache directory, so
+  a chip imaged by one tenant's job is a cache hit in the next tenant's
+  (stage keys are content hashes; cross-job reuse is sound by
+  construction);
+* **runner threads** — ``runners`` threads lease jobs from the
+  :class:`~repro.serve.queue.JobQueue` and drive them concurrently;
+  the pool is the parallelism cap, the runner count is merely how many
+  jobs may be *in flight* at once.
+
+Each job runs with its record's private event bus and cancel event wired
+into the runtime seams; the scheduler appends ``job_start`` /
+``job_finish`` framing events around the campaign's own stream and
+closes the bus when the job terminates, so ``follow`` readers of
+``/jobs/{id}/events`` get a definitive end-of-stream.
+
+Reports are flushed to ``<state_dir>/jobs/<id>.json`` *before* the job
+flips to a terminal state — a client that polls ``state`` and then
+fetches the report never sees a missing file.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs import get_logger
+from repro.serve import queue as jobstate
+from repro.serve.queue import JobQueue, JobRecord
+from repro.serve.spec import run_job
+
+logger = get_logger("repro.serve.scheduler")
+
+
+class Scheduler:
+    """Runner threads multiplexing queued jobs onto shared pool + cache."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        state_dir: str | Path,
+        pool_workers: int = 2,
+        runners: int = 2,
+        job_workers: int | None = None,
+    ) -> None:
+        self.queue = queue
+        self.state_dir = Path(state_dir)
+        self.reports_dir = self.state_dir / "jobs"
+        self.reports_dir.mkdir(parents=True, exist_ok=True)
+        self.cache_dir = self.state_dir / "cache"
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: per-job ``workers`` budget passed to the runtime; None keeps
+        #: each kind's own default resolution
+        self.job_workers = job_workers
+        self.pool = ProcessPoolExecutor(max_workers=max(1, pool_workers))
+        self._threads = [
+            threading.Thread(
+                target=self._run_loop, name=f"repro-serve-runner-{i}",
+                daemon=True,
+            )
+            for i in range(max(1, runners))
+        ]
+        self._stop = threading.Event()
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: stop admission, cancel queued jobs, let
+        running jobs finish and flush, then release the pool."""
+        self.queue.drain()
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self.pool.shutdown(wait=True)
+
+    def stop(self) -> None:
+        """Hard-ish shutdown for tests: drain, but cancel in-flight jobs
+        first so runners come back quickly."""
+        for record in self.queue.jobs():
+            if record.state == jobstate.RUNNING:
+                record.cancel_event.set()
+        self.drain()
+
+    # --- execution ----------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.lease(timeout=0.2)
+            if record is None:
+                if self.queue.draining:
+                    return
+                continue
+            self._execute(record)
+
+    def _execute(self, record: JobRecord) -> None:
+        # Everything from the framing emit to the report flush runs under
+        # one umbrella: an escaping exception would kill the runner thread
+        # and wedge the job in RUNNING forever.
+        bus = record.bus
+        try:
+            bus.emit(
+                "job_start", job=record.id, job_kind=record.spec.kind,
+                tenant=record.spec.tenant, priority=record.spec.priority,
+            )
+            report = run_job(
+                record.spec,
+                cache_dir=str(self.cache_dir),
+                workers=self.job_workers,
+                pool=self.pool,
+                cancel=record.cancel_event,
+                bus=bus,
+            )
+            schema = report.to_dict().get("schema_version")
+            path = self.reports_dir / f"{record.id}.json"
+            path.write_text(report.to_json() + "\n", encoding="utf-8")
+        except ReproError as exc:
+            self._finish(record, jobstate.FAILED, error=str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - a job must never kill a runner
+            logger.error(
+                "job crashed", extra={"fields": {
+                    "job": record.id, "error": repr(exc),
+                }},
+            )
+            self._finish(record, jobstate.FAILED,
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+        state = (
+            jobstate.CANCELLED if record.cancel_event.is_set() else jobstate.DONE
+        )
+        self._finish(record, state, report_schema=schema,
+                     report_path=str(path))
+
+    def _finish(
+        self,
+        record: JobRecord,
+        state: str,
+        *,
+        error: str | None = None,
+        report_schema: str | None = None,
+        report_path: str | None = None,
+    ) -> None:
+        self.queue.finish(
+            record.id, state, error=error, report_schema=report_schema,
+            report_path=report_path,
+        )
+        record.bus.emit(
+            "job_finish", job=record.id, state=state,
+            **({"error": error} if error else {}),
+        )
+        record.bus.close()

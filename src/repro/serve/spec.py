@@ -1,0 +1,488 @@
+"""The versioned ``job-spec/1`` document and its lowering to runtime calls.
+
+A job spec is the JSON body of ``POST /jobs``:
+
+.. code-block:: json
+
+    {
+      "schema": "job-spec/1",
+      "kind": "campaign",
+      "tenant": "alice",
+      "priority": 5,
+      "spec": {"targets": ["classic", "ocsa"], "fast": true}
+    }
+
+``kind`` selects the runtime entry point (``campaign`` /
+``characterize`` / ``catalog``); ``spec`` carries the same knobs the
+one-shot CLI exposes as flags, with the same names, defaults and
+lowering — :func:`run_job` is deliberately a line-for-line mirror of
+``cmd_campaign`` / ``cmd_characterize`` / ``cmd_catalog`` so a report
+produced through the daemon is bit-identical (timing fields aside — see
+:func:`canonical_report`) to one produced by ``python -m repro
+<kind> --json``.
+
+Validation (:func:`parse_job_spec`) is strict and *accumulating*: every
+unknown key, wrong type and bad enum value is collected and reported in
+one :class:`~repro.errors.SpecError`, so a client fixes its document in
+one round trip instead of one error at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecError
+
+#: accepted value of the optional top-level ``schema`` field
+JOB_SPEC_SCHEMA = "job-spec/1"
+
+_KINDS = ("campaign", "characterize", "catalog")
+
+#: spec keys each kind accepts (mirrors the CLI flag set)
+_CAMPAIGN_KEYS = {
+    "targets", "chips", "pairs", "fast", "validate", "shift_penalty",
+    "search_strategy", "tol", "fault_plan", "max_retries",
+    "chip_timeout_s", "shard_slices", "shard_batch", "data_plane",
+    "workers",
+}
+_CHARACTERIZE_KEYS = {
+    "topologies", "corners", "caps_ff", "trials", "sigma_mv", "seed",
+    "data", "deadline_ns", "data_plane", "workers",
+}
+_CATALOG_KEYS = {
+    "variants", "seed", "builders", "vendors", "generations",
+    "word_sizes", "column_muxes", "body_taps", "noises", "fault_plan",
+    "full_pipeline", "workers",
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated job submission."""
+
+    kind: str
+    payload: dict = field(default_factory=dict)
+    tenant: str = "default"
+    priority: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SPEC_SCHEMA,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "spec": dict(self.payload),
+        }
+
+
+class _Check:
+    """Accumulating type checks over one payload dict."""
+
+    def __init__(self, payload: dict, errors: list[str]) -> None:
+        self.payload = payload
+        self.errors = errors
+
+    def _get(self, key: str, types: tuple, what: str) -> Any:
+        value = self.payload.get(key)
+        if value is None:
+            return None
+        # bool is an int subclass; reject it for numeric fields explicitly.
+        if isinstance(value, bool) and bool not in types:
+            self.errors.append(f"spec.{key}: expected {what}, got {value!r}")
+            return None
+        if not isinstance(value, types):
+            self.errors.append(f"spec.{key}: expected {what}, got {value!r}")
+            return None
+        return value
+
+    def str_(self, key: str) -> str | None:
+        return self._get(key, (str,), "a string")
+
+    def int_(self, key: str, minimum: int | None = None) -> int | None:
+        value = self._get(key, (int,), "an integer")
+        if value is not None and minimum is not None and value < minimum:
+            self.errors.append(f"spec.{key}: must be >= {minimum}, got {value}")
+            return None
+        return value
+
+    def float_(self, key: str) -> float | None:
+        value = self._get(key, (int, float), "a number")
+        return None if value is None else float(value)
+
+    def bool_(self, key: str) -> bool | None:
+        return self._get(key, (bool,), "a boolean")
+
+    def str_list(self, key: str) -> list[str] | None:
+        value = self._get(key, (list,), "a list of strings")
+        if value is None:
+            return None
+        if not all(isinstance(v, str) for v in value):
+            self.errors.append(f"spec.{key}: expected a list of strings")
+            return None
+        return list(value)
+
+    def int_list(self, key: str) -> list[int] | None:
+        value = self._get(key, (list,), "a list of integers")
+        if value is None:
+            return None
+        if not all(isinstance(v, int) and not isinstance(v, bool) for v in value):
+            self.errors.append(f"spec.{key}: expected a list of integers")
+            return None
+        return list(value)
+
+    def num_list(self, key: str) -> list[float] | None:
+        value = self._get(key, (list,), "a list of numbers")
+        if value is None:
+            return None
+        ok = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in value
+        )
+        if not ok:
+            self.errors.append(f"spec.{key}: expected a list of numbers")
+            return None
+        return [float(v) for v in value]
+
+    def enum(self, key: str, allowed: tuple[str, ...]) -> str | None:
+        value = self.str_(key)
+        if value is not None and value not in allowed:
+            self.errors.append(
+                f"spec.{key}: must be one of {', '.join(allowed)}, got {value!r}"
+            )
+            return None
+        return value
+
+
+def parse_job_spec(doc: Any) -> JobSpec:
+    """Validate a ``job-spec/1`` document; raise :class:`SpecError` listing
+    every problem at once."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        raise SpecError("job spec must be a JSON object")
+
+    schema = doc.get("schema", JOB_SPEC_SCHEMA)
+    if schema != JOB_SPEC_SCHEMA:
+        errors.append(f"schema: expected {JOB_SPEC_SCHEMA!r}, got {schema!r}")
+
+    kind = doc.get("kind")
+    if kind not in _KINDS:
+        errors.append(f"kind: must be one of {', '.join(_KINDS)}, got {kind!r}")
+        raise SpecError(errors)
+
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        errors.append(f"tenant: expected a non-empty string, got {tenant!r}")
+        tenant = "default"
+    priority = doc.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        errors.append(f"priority: expected an integer, got {priority!r}")
+        priority = 0
+
+    payload = doc.get("spec", {})
+    if not isinstance(payload, dict):
+        errors.append(f"spec: expected an object, got {payload!r}")
+        payload = {}
+
+    allowed = {
+        "campaign": _CAMPAIGN_KEYS,
+        "characterize": _CHARACTERIZE_KEYS,
+        "catalog": _CATALOG_KEYS,
+    }[kind]
+    for key in sorted(set(payload) - allowed):
+        errors.append(f"spec.{key}: unknown key for kind {kind!r}")
+
+    check = _Check(payload, errors)
+    if kind == "campaign":
+        _validate_campaign(check)
+    elif kind == "characterize":
+        _validate_characterize(check)
+    else:
+        _validate_catalog(check)
+
+    if errors:
+        raise SpecError(errors)
+    return JobSpec(kind=kind, payload=dict(payload), tenant=tenant,
+                   priority=priority)
+
+
+def _validate_campaign(check: _Check) -> None:
+    targets = check.str_list("targets")
+    chips = check.int_("chips", minimum=1)
+    if targets and chips is not None:
+        check.errors.append("spec.chips: cannot be combined with spec.targets")
+    if targets is not None:
+        from repro.core.chips import CHIPS
+
+        for target in targets:
+            if target.lower() not in ("classic", "ocsa") and target.upper() not in CHIPS:
+                check.errors.append(f"spec.targets: unknown target {target!r}")
+    check.int_("pairs", minimum=1)
+    check.bool_("fast")
+    check.bool_("validate")
+    check.float_("shift_penalty")
+    check.str_("search_strategy")
+    check.float_("tol")
+    check.int_("max_retries", minimum=0)
+    check.float_("chip_timeout_s")
+    check.bool_("shard_slices")
+    check.int_("shard_batch", minimum=1)
+    check.enum("data_plane", ("pickle", "shm"))
+    check.int_("workers", minimum=1)
+    _validate_fault_plan(check)
+
+
+def _validate_characterize(check: _Check) -> None:
+    check.str_list("topologies")
+    check.str_list("corners")
+    check.num_list("caps_ff")
+    check.int_("trials", minimum=1)
+    check.float_("sigma_mv")
+    check.int_("seed")
+    check.int_("data")
+    check.float_("deadline_ns")
+    check.enum("data_plane", ("pickle", "shm"))
+    check.int_("workers", minimum=1)
+
+
+def _validate_catalog(check: _Check) -> None:
+    check.int_("variants", minimum=1)
+    check.int_("seed")
+    check.str_list("builders")
+    check.str_list("vendors")
+    check.str_list("generations")
+    check.int_list("word_sizes")
+    check.int_list("column_muxes")
+    check.str_list("body_taps")
+    check.str_list("noises")
+    check.bool_("full_pipeline")
+    check.int_("workers", minimum=1)
+    _validate_fault_plan(check)
+
+
+def _validate_fault_plan(check: _Check) -> None:
+    spec = check.str_("fault_plan")
+    if spec is not None:
+        from repro.errors import ReproError
+        from repro.faults import FaultPlan
+
+        try:
+            FaultPlan.parse(spec)
+        except ReproError as exc:
+            check.errors.append(f"spec.fault_plan: {exc}")
+
+
+# --- spec → runtime lowering ------------------------------------------------
+
+
+def run_job(spec: JobSpec, *, cache_dir=None, workers=None, pool=None,
+            cancel=None, bus=None):
+    """Execute one validated job and return its report object.
+
+    The lowering is the CLI's, knob for knob, so the returned report is
+    bit-identical (modulo wall-clock fields) to the matching one-shot
+    run.  ``workers`` overrides the spec's own worker budget (the daemon
+    pins it so jobs share one pool fairly); ``pool``/``cancel``/``bus``
+    are handed straight to the runtime seams.
+    """
+    if spec.kind == "campaign":
+        return _run_campaign_job(spec.payload, cache_dir, workers, pool,
+                                 cancel, bus)
+    if spec.kind == "characterize":
+        return _run_characterize_job(spec.payload, cache_dir, workers, pool,
+                                     cancel, bus)
+    return _run_catalog_job(spec.payload, cache_dir, workers, pool, cancel,
+                            bus)
+
+
+def _run_campaign_job(payload, cache_dir, workers, pool, cancel, bus):
+    from repro.pipeline import PipelineConfig
+    from repro.runtime import ChipJob, run_campaign
+
+    n_pairs = payload.get("pairs", 2)
+    validate = payload.get("validate", True)
+    n_chips = payload.get("chips")
+    targets = payload.get("targets")
+    if not targets and n_chips is None:
+        targets = ["classic", "ocsa"]
+
+    jobs = []
+    if n_chips is not None:
+        for k in range(n_chips):
+            topo = ("classic", "ocsa")[k % 2]
+            idx = k // 2
+            name = topo if idx == 0 else f"{topo}-{idx + 1}"
+            jobs.append(ChipJob.synthetic(
+                name, topo, n_pairs=n_pairs, validate=validate
+            ))
+    for target in targets or []:
+        if target.lower() in ("classic", "ocsa"):
+            jobs.append(ChipJob.synthetic(
+                target.lower(), target.lower(), n_pairs=n_pairs,
+                validate=validate
+            ))
+        else:
+            jobs.append(ChipJob.for_chip(
+                target, n_pairs=n_pairs, validate=validate
+            ))
+
+    config = PipelineConfig()
+    if payload.get("fast"):
+        config = config.replaced(
+            denoise_iterations=10, align_search_px=2, align_baselines=(1, 2)
+        )
+    if payload.get("shift_penalty") is not None:
+        config = config.replaced(align_shift_penalty=payload["shift_penalty"])
+    if payload.get("search_strategy") is not None:
+        config = config.replaced(align_search_strategy=payload["search_strategy"])
+    if payload.get("tol") is not None:
+        config = config.replaced(denoise_tol=payload["tol"])
+    if payload.get("shard_slices") or payload.get("shard_batch") is not None:
+        from repro.pipeline import ShardPlan
+
+        config = config.replaced(
+            shard=ShardPlan(slices=True, batch=payload.get("shard_batch"))
+        )
+    if payload.get("data_plane") is not None:
+        from dataclasses import replace as _dc_replace
+
+        config = config.replaced(
+            shard=_dc_replace(config.shard, data_plane=payload["data_plane"])
+        )
+
+    policy = None
+    if payload.get("max_retries") is not None or payload.get("chip_timeout_s") is not None:
+        from repro.runtime import ResiliencePolicy
+
+        policy = ResiliencePolicy(
+            max_retries=payload.get("max_retries", 2),
+            chip_timeout_s=payload.get("chip_timeout_s"),
+        )
+
+    fault_plan = None
+    if payload.get("fault_plan") is not None:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(payload["fault_plan"])
+
+    return run_campaign(
+        jobs, config=config,
+        workers=workers if workers is not None else payload.get("workers"),
+        cache_dir=cache_dir, policy=policy, fault_plan=fault_plan,
+        pool=pool, cancel=cancel, bus=bus,
+    )
+
+
+def _run_characterize_job(payload, cache_dir, workers, pool, cancel, bus):
+    from repro.analog import CharacterizationSpec, characterize
+
+    spec_kwargs: dict = {}
+    if payload.get("topologies") is not None:
+        spec_kwargs["topologies"] = tuple(payload["topologies"])
+    if payload.get("corners") is not None:
+        spec_kwargs["corners"] = tuple(payload["corners"])
+    if payload.get("caps_ff") is not None:
+        spec_kwargs["bitline_caps_f"] = tuple(
+            c * 1e-15 for c in payload["caps_ff"]
+        )
+    for key in ("trials", "sigma_mv", "seed", "data", "deadline_ns"):
+        if payload.get(key) is not None:
+            spec_kwargs[key] = payload[key]
+
+    config = None
+    if payload.get("data_plane") is not None:
+        from dataclasses import replace as _dc_replace
+
+        from repro.pipeline import PipelineConfig
+
+        base = PipelineConfig()
+        config = base.replaced(
+            shard=_dc_replace(base.shard, data_plane=payload["data_plane"])
+        )
+    return characterize(
+        CharacterizationSpec(**spec_kwargs),
+        workers=workers if workers is not None else payload.get("workers"),
+        cache_dir=cache_dir, config=config,
+        pool=pool, cancel=cancel, bus=bus,
+    )
+
+
+def _run_catalog_job(payload, cache_dir, workers, pool, cancel, bus):
+    from repro.catalog import (
+        CatalogSpec,
+        expand_grid,
+        run_catalog_campaign,
+        sample,
+    )
+
+    axes: dict = {}
+    if payload.get("builders") is not None:
+        axes["variants"] = tuple(payload["builders"])
+    for key, axis in (
+        ("vendors", "vendors"), ("generations", "generations"),
+        ("word_sizes", "word_sizes"), ("column_muxes", "column_muxes"),
+        ("body_taps", "body_taps"), ("noises", "noises"),
+    ):
+        if payload.get(key) is not None:
+            axes[axis] = tuple(payload[key])
+    if payload.get("fault_plan") is not None:
+        from repro.faults import FaultPlan
+
+        axes["fault_plans"] = (FaultPlan.parse(payload["fault_plan"]),)
+
+    spec = CatalogSpec(**axes)
+    n_variants = payload.get("variants")
+    seed = payload.get("seed", 0)
+    variants = (
+        sample(spec, n_variants, seed=seed)
+        if n_variants is not None
+        else expand_grid(spec)
+    )
+
+    config = None
+    if payload.get("full_pipeline"):
+        from repro.pipeline import PipelineConfig
+
+        config = PipelineConfig()
+    return run_catalog_campaign(
+        variants, config=config,
+        workers=workers if workers is not None else payload.get("workers"),
+        cache_dir=cache_dir,
+        seed=seed if n_variants is not None else None,
+        pool=pool, cancel=cancel, bus=bus,
+    )
+
+
+# --- report canonicalization ------------------------------------------------
+
+#: report-dict keys that carry wall-clock, machine-local or
+#: execution-plan values (cache warmth decides hits vs misses and a
+#: stage's run/cache-hit disposition without changing any result);
+#: removed by :func:`canonical_report` at any nesting depth
+_VOLATILE_KEYS = (
+    "wall_seconds", "seconds", "cache_dir", "beam_hours",
+    "cache_hits", "cache_misses", "disposition", "notes",
+)
+#: note keys that embed timing (kept for callers canonicalizing note
+#: dicts on their own; "notes" blocks are dropped wholesale above —
+#: a cache-hit stage record legitimately carries none)
+_VOLATILE_NOTE_KEYS = ("deadline_remaining_s",)
+
+
+def canonical_report(data):
+    """A copy of a report dict with every timing/machine-local field removed.
+
+    Two runs of the same spec on the same code produce the same canonical
+    form regardless of where they ran (one-shot CLI, daemon, warm or cold
+    stage cache, different worker counts) — this is what the bit-identity
+    tests and the CI smoke job compare.
+    """
+    if isinstance(data, dict):
+        out = {}
+        for key, value in data.items():
+            if key in _VOLATILE_KEYS or key in _VOLATILE_NOTE_KEYS:
+                continue
+            out[key] = canonical_report(value)
+        return out
+    if isinstance(data, list):
+        return [canonical_report(v) for v in data]
+    return data

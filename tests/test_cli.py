@@ -421,3 +421,63 @@ class TestObsCommand:
         ])
         assert code == 0
         assert "serving saved telemetry" in capsys.readouterr().err
+
+
+class TestWithObsServerFailure:
+    def test_body_failure_flips_healthz_to_failed(self):
+        """A crashing body must not skip the healthz flip: scrapers
+        polling during the linger window see an explicit "failed" state
+        (and a closed event bus), then the exception propagates."""
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        from repro.__main__ import _with_obs_server
+        from repro.obs import ObsConfig
+
+        url_holder: dict[str, str] = {}
+        seen: dict[str, object] = {}
+
+        def body():
+            raise RuntimeError("campaign exploded")
+
+        def run(capture):
+            try:
+                _with_obs_server(0, 5.0, ObsConfig(events=True), body)
+            except RuntimeError as exc:
+                capture["raised"] = str(exc)
+
+        # the ephemeral URL is only announced on stderr
+        import io
+        import sys
+
+        stderr, sys.stderr = sys.stderr, io.StringIO()
+        try:
+            thread = threading.Thread(target=run, args=(seen,), daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and "url" not in url_holder:
+                match = re.search(r"http://[\d.]+:\d+",
+                                  sys.stderr.getvalue())
+                if match:
+                    url_holder["url"] = match.group(0)
+                    break
+                time.sleep(0.02)
+        finally:
+            sys.stderr = stderr
+        assert "url" in url_holder, "obs server never announced its URL"
+
+        deadline = time.monotonic() + 10
+        state = None
+        while time.monotonic() < deadline:
+            with urllib.request.urlopen(url_holder["url"] + "/healthz",
+                                        timeout=5) as resp:
+                state = json.loads(resp.read())["state"]
+            if state == "failed":
+                break
+            time.sleep(0.05)
+        assert state == "failed"
+        thread.join(timeout=15)
+        assert seen.get("raised") == "campaign exploded"

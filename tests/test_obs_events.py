@@ -306,3 +306,67 @@ class TestQuarantineEvents:
         assert quarantine.fields["error_type"] == "AcquisitionError"
         retry = next(e for e in report.events if e.kind == "attempt_retry")
         assert retry.fields["failed_slices"] > 0
+
+
+# ---------------------------------------------------------------------------
+# End-of-stream: EventBus.close semantics and campaign bus ownership
+
+
+class TestBusClose:
+    def test_wait_returns_immediately_when_closed(self):
+        bus = EventBus()
+        bus.emit("campaign_start")
+        bus.close()
+        t0 = time.perf_counter()
+        assert bus.wait(since_seq=bus.last_seq, timeout=5.0) == []
+        assert time.perf_counter() - t0 < 1.0
+        assert bus.closed
+
+    def test_close_wakes_parked_waiter(self):
+        bus = EventBus()
+        woke = threading.Event()
+
+        def consumer() -> None:
+            bus.wait(since_seq=0, timeout=10.0)
+            woke.set()
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        bus.close()
+        assert woke.wait(timeout=5.0), "close() left the waiter parked"
+        thread.join(timeout=5.0)
+
+    def test_emit_reopens_closed_bus(self):
+        bus = EventBus()
+        bus.close()
+        bus.emit("campaign_start")
+        assert not bus.closed
+
+    def test_noop_bus_close_is_free(self):
+        bus = NoopEventBus()
+        bus.close()
+        assert bus.closed is False
+
+    def test_campaign_closes_ambient_bus_at_end(self):
+        """A follow stream on the live (ambient) bus must learn the run is
+        over: the campaign closes the bus it adopted once the report is
+        assembled."""
+        bus = EventBus()
+        with use_events(bus):
+            run_campaign([_job("ev-close", "classic")], config=FAST,
+                         workers=1, obs=ObsConfig(events=True))
+        assert bus.closed
+        assert [e.kind for e in bus.drain()][-1] == "campaign_finish"
+
+    def test_campaign_leaves_injected_bus_open(self):
+        """An injected bus (the serve daemon's per-job stream) belongs to
+        the caller — the campaign must not close it, since the caller
+        still appends its own framing events after the run."""
+        bus = EventBus()
+        run_campaign([_job("ev-injected", "classic")], config=FAST,
+                     workers=1, bus=bus)
+        assert not bus.closed
+        kinds = [e.kind for e in bus.drain()]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_finish"

@@ -259,3 +259,29 @@ class TestObsServer:
             assert spans == []
             health = json.loads(_get(server.url + "/healthz")[2])
             assert health == {"status": "ok", "state": "running"}
+
+
+class TestFollowTermination:
+    def test_follow_ends_on_bus_close_while_running(self):
+        """A closed bus alone ends the follow stream — even when the
+        server has not been marked done (the campaign closes its bus the
+        moment the run is over; the healthz flip happens later)."""
+        bus = EventBus()
+        bus.emit("campaign_start", jobs=1)
+        bus.emit("campaign_finish", completed=1)
+        with ObsServer(port=0, bus=bus) as server:
+            assert json.loads(_get(server.url + "/healthz")[2])["state"] == \
+                "running"
+            bus.close()
+            import time
+            t0 = time.perf_counter()
+            lines = list(server.follow_events(-1, timeout_s=30.0))
+            assert time.perf_counter() - t0 < 5.0
+            assert [json.loads(l)["kind"] for l in lines] == [
+                "campaign_start", "campaign_finish",
+            ]
+
+    def test_finish_rejects_unknown_state(self):
+        with ObsServer(port=0) as server:
+            with pytest.raises(ValueError, match="finish state"):
+                server.finish(state="exploded")

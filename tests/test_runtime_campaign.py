@@ -354,3 +354,38 @@ class TestReportSerialization:
         restored = CampaignReport.from_json(faulty_report.to_json())
         with pytest.raises(CampaignError, match="summary-only"):
             restored.result("res-a")
+
+
+class TestForChipResolution:
+    """Resolution-matched assembly: for_chip must pick a voxel pitch the
+    chip's acquisition can actually support (Table I regression — A4 and
+    B4 previously failed topology identification because every plan was
+    assembled at a fixed 6.0 nm voxel regardless of the scan pixel)."""
+
+    def test_well_sampled_chip_assembles_at_native_pixel(self):
+        # C4 scans at 5.0 nm on a 20 nm feature: 1:1 voxel, plan untouched
+        job = ChipJob.for_chip("C4", n_pairs=1)
+        assert job.voxel_nm == pytest.approx(5.0)
+        assert job.campaign.sem.pixel_nm == pytest.approx(5.0)
+
+    def test_b4_fine_pixel_keeps_one_to_one_voxel(self):
+        # B4 scans at 3.4 nm; resampling that onto a coarser fixed grid is
+        # what used to smear its cross-couple straps into neighbouring
+        # actives and sever the latch during extraction
+        job = ChipJob.for_chip("B4", n_pairs=1)
+        assert job.voxel_nm == pytest.approx(3.4)
+        assert job.campaign.sem.pixel_nm == pytest.approx(3.4)
+
+    def test_a4_undersampled_plan_is_rescanned(self):
+        # A4's survey plan (10.4 nm pixel on a 20.5 nm feature) cannot
+        # resolve its own features at any voxel pitch — for_chip re-plans
+        # at the feature-scaled catalog recipe instead
+        job = ChipJob.for_chip("A4", n_pairs=1)
+        scale = 20.5 / 18.0
+        assert job.voxel_nm == pytest.approx(6.0 * scale)
+        assert job.campaign.sem.pixel_nm == pytest.approx(5.0 * scale)
+        assert job.campaign.slice_thickness_nm == pytest.approx(12.0)
+
+    def test_explicit_voxel_wins(self):
+        job = ChipJob.for_chip("C4", n_pairs=1, voxel_nm=7.5)
+        assert job.voxel_nm == pytest.approx(7.5)

@@ -1,0 +1,390 @@
+"""The campaign-as-a-service daemon: spec validation, queue semantics,
+and the full HTTP lifecycle.
+
+The cheap layers (spec parsing, :class:`JobQueue`) are covered
+exhaustively with no daemon at all.  The expensive end-to-end section
+boots ONE module-scoped :class:`ServeDaemon` and drives real campaign
+jobs through it over HTTP — two concurrent jobs multiplexed onto the one
+shared process pool, cross-job stage-cache reuse, per-job event streams
+that terminate, mid-run cancellation, bit-identity of the daemon's
+report against a one-shot run of the same spec, and the graceful drain.
+Campaign payloads use the ``fast`` preset with 1-pair regions so each
+job costs seconds, not minutes.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import DrainingError, QuotaError, SpecError
+from repro.serve import JobQueue, ServeDaemon
+from repro.serve.spec import JobSpec, canonical_report, parse_job_spec, run_job
+
+FAST_CLASSIC = {"targets": ["classic"], "pairs": 1, "fast": True}
+FAST_OCSA = {"targets": ["ocsa"], "pairs": 1, "fast": True}
+
+
+def _request(url, method="GET", body=None, timeout=30.0):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, resp.read().decode()
+
+
+def _request_error(url, method="GET", body=None):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _request(url, method, body)
+    exc = excinfo.value
+    return exc.code, json.loads(exc.read().decode())
+
+
+# ---------------------------------------------------------------------------
+# job-spec/1 parsing
+
+
+class TestSpecParsing:
+    def test_minimal_campaign_spec(self):
+        spec = parse_job_spec({"kind": "campaign", "spec": FAST_CLASSIC})
+        assert spec.kind == "campaign"
+        assert spec.tenant == "default"
+        assert spec.priority == 0
+        assert spec.payload["targets"] == ["classic"]
+
+    def test_tenant_and_priority_carried(self):
+        spec = parse_job_spec({
+            "kind": "campaign", "tenant": "alice", "priority": 3,
+            "spec": FAST_CLASSIC,
+        })
+        assert (spec.tenant, spec.priority) == ("alice", 3)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError):
+            parse_job_spec([1, 2, 3])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            parse_job_spec({"kind": "frobnicate", "spec": {}})
+
+    def test_errors_accumulate(self):
+        """One submission reports every problem, not just the first."""
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({
+                "kind": "campaign",
+                "spec": {"targets": ["zzz"], "pairs": -1, "bogus_knob": 1},
+            })
+        joined = "\n".join(excinfo.value.errors)
+        assert len(excinfo.value.errors) >= 3
+        assert "zzz" in joined
+        assert "pairs" in joined
+        assert "bogus_knob" in joined
+
+    def test_chips_and_targets_mutually_exclusive(self):
+        with pytest.raises(SpecError):
+            parse_job_spec({
+                "kind": "campaign",
+                "spec": {"targets": ["classic"], "chips": ["A4"]},
+            })
+
+    def test_characterize_spec_parses(self):
+        spec = parse_job_spec({
+            "kind": "characterize",
+            "spec": {"topologies": ["classic"], "corners": ["TT"],
+                     "caps_ff": [90.0], "trials": 4},
+        })
+        assert spec.kind == "characterize"
+
+    def test_catalog_spec_parses(self):
+        spec = parse_job_spec({
+            "kind": "catalog",
+            "spec": {"variants": 2, "seed": 11},
+        })
+        assert spec.kind == "catalog"
+
+    def test_to_dict_round_trips(self):
+        doc = {"kind": "campaign", "tenant": "t", "priority": 1,
+               "spec": FAST_CLASSIC}
+        assert parse_job_spec(parse_job_spec(doc).to_dict()).to_dict() == \
+            parse_job_spec(doc).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# JobQueue: priority, quotas, drain
+
+
+def _spec(tenant="default", priority=0):
+    return JobSpec(kind="campaign", payload=dict(FAST_CLASSIC),
+                   tenant=tenant, priority=priority)
+
+
+class TestJobQueue:
+    def test_submit_assigns_ids_and_status_schema(self):
+        queue = JobQueue()
+        record = queue.submit(_spec())
+        assert record.state == "queued"
+        status = record.status()
+        assert status["schema"] == "serve-job/1"
+        assert status["id"] == record.id
+
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue(tenant_quota=10)
+        low1 = queue.submit(_spec(priority=0))
+        high = queue.submit(_spec(priority=5))
+        low2 = queue.submit(_spec(priority=0))
+        leased = [queue.lease(timeout=0.1).id for _ in range(3)]
+        assert leased == [high.id, low1.id, low2.id]
+
+    def test_lease_marks_running(self):
+        queue = JobQueue()
+        queue.submit(_spec())
+        record = queue.lease(timeout=0.1)
+        assert record.state == "running"
+        assert record.started_s is not None
+
+    def test_tenant_quota_enforced_per_tenant(self):
+        queue = JobQueue(tenant_quota=2)
+        queue.submit(_spec(tenant="alice"))
+        queue.submit(_spec(tenant="alice"))
+        with pytest.raises(QuotaError):
+            queue.submit(_spec(tenant="alice"))
+        # an unrelated tenant is not starved
+        queue.submit(_spec(tenant="bob"))
+
+    def test_quota_frees_on_terminal_state(self):
+        queue = JobQueue(tenant_quota=1)
+        record = queue.submit(_spec(tenant="alice"))
+        queue.lease(timeout=0.1)
+        queue.finish(record.id, "done")
+        queue.submit(_spec(tenant="alice"))  # must not raise
+
+    def test_cancel_queued_job_terminates_and_closes_bus(self):
+        queue = JobQueue()
+        record = queue.submit(_spec())
+        queue.cancel(record.id)
+        assert record.state == "cancelled"
+        assert record.cancel_event.is_set()
+        assert record.bus.closed
+        assert queue.lease(timeout=0.05) is None  # skipped in the heap
+
+    def test_cancel_running_job_only_sets_event(self):
+        queue = JobQueue()
+        record = queue.submit(_spec())
+        queue.lease(timeout=0.1)
+        queue.cancel(record.id)
+        assert record.state == "running"
+        assert record.cancel_event.is_set()
+        assert not record.bus.closed  # the scheduler closes it at finish
+
+    def test_drain_rejects_new_and_cancels_queued(self):
+        queue = JobQueue()
+        queued = queue.submit(_spec())
+        dropped = queue.drain()
+        assert [r.id for r in dropped] == [queued.id]
+        assert queued.state == "cancelled"
+        assert queued.bus.closed
+        with pytest.raises(DrainingError):
+            queue.submit(_spec())
+        assert queue.lease(timeout=0.05) is None
+
+    def test_finish_requires_terminal_state(self):
+        queue = JobQueue()
+        record = queue.submit(_spec())
+        queue.lease(timeout=0.1)
+        from repro.errors import ServeError
+        with pytest.raises(ServeError):
+            queue.finish(record.id, "running")
+
+    def test_unknown_job_raises_key_error(self):
+        with pytest.raises(KeyError):
+            JobQueue().get("job-999999")
+
+
+# ---------------------------------------------------------------------------
+# the daemon end-to-end (one shared module-scoped instance)
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    state = tmp_path_factory.mktemp("serve-state")
+    instance = ServeDaemon(state, port=0, pool_workers=2, runners=2)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def _wait_terminal(daemon, job_id, timeout=600.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body = _request(f"{daemon.url}/jobs/{job_id}")
+        status = json.loads(body)
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} did not terminate in {timeout}s")
+
+
+class TestServeDaemon:
+    def test_healthz_serving(self, daemon):
+        _, body = _request(daemon.url + "/healthz")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["state"] == "serving"
+
+    def test_invalid_spec_rejected_with_all_errors(self, daemon):
+        code, doc = _request_error(
+            daemon.url + "/jobs", "POST",
+            {"kind": "campaign", "spec": {"targets": ["zzz"], "bogus": 1}},
+        )
+        assert code == 400
+        assert len(doc["errors"]) >= 2
+
+    def test_non_json_body_rejected(self, daemon):
+        req = urllib.request.Request(
+            daemon.url + "/jobs", data=b"not json{", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_404(self, daemon):
+        code, _ = _request_error(daemon.url + "/jobs/job-424242")
+        assert code == 404
+
+    def test_concurrent_jobs_share_pool_and_cache(self, daemon):
+        """Two tenants' jobs run through the one shared pool; a follow-up
+        job re-imaging the same chip hits the shared stage cache."""
+        _, body1 = _request(daemon.url + "/jobs", "POST",
+                            {"kind": "campaign", "tenant": "alice",
+                             "spec": FAST_CLASSIC})
+        _, body2 = _request(daemon.url + "/jobs", "POST",
+                            {"kind": "campaign", "tenant": "bob",
+                             "spec": FAST_OCSA})
+        id1 = json.loads(body1)["id"]
+        id2 = json.loads(body2)["id"]
+        st1 = _wait_terminal(daemon, id1)
+        st2 = _wait_terminal(daemon, id2)
+        assert st1["state"] == "done", st1
+        assert st2["state"] == "done", st2
+        assert st1["report_schema"] == "campaign-report/3"
+
+        # cross-job cache reuse: a third tenant resubmits alice's spec and
+        # every stage comes back from the shared cache
+        _, body3 = _request(daemon.url + "/jobs", "POST",
+                            {"kind": "campaign", "tenant": "carol",
+                             "spec": FAST_CLASSIC})
+        id3 = json.loads(body3)["id"]
+        assert _wait_terminal(daemon, id3)["state"] == "done"
+        _, report3 = _request(f"{daemon.url}/jobs/{id3}/report")
+        data3 = json.loads(report3)
+        assert data3["cache_hits"] > 0
+        assert data3["cache_misses"] == 0
+
+    def test_report_bit_identical_to_oneshot(self, daemon, tmp_path):
+        """The daemon's flushed report matches a one-shot run of the same
+        spec (fresh cache, no pool, no bus) in canonical form."""
+        _, body = _request(daemon.url + "/jobs", "POST",
+                           {"kind": "campaign", "spec": FAST_CLASSIC})
+        job_id = json.loads(body)["id"]
+        assert _wait_terminal(daemon, job_id)["state"] == "done"
+        _, report = _request(f"{daemon.url}/jobs/{job_id}/report")
+        oneshot = run_job(
+            JobSpec(kind="campaign", payload=dict(FAST_CLASSIC)),
+            cache_dir=str(tmp_path / "oneshot-cache"),
+        )
+        daemon_side = canonical_report(json.loads(report))
+        oneshot_side = canonical_report(oneshot.to_dict())
+        assert json.dumps(daemon_side, sort_keys=True) == \
+            json.dumps(oneshot_side, sort_keys=True)
+
+    def test_event_stream_frames_job_and_terminates(self, daemon):
+        """/jobs/{id}/events carries job_start ... job_finish and the
+        follow stream ends promptly once the scheduler closes the bus."""
+        _, body = _request(daemon.url + "/jobs", "POST",
+                           {"kind": "campaign", "spec": FAST_CLASSIC})
+        job_id = json.loads(body)["id"]
+        assert _wait_terminal(daemon, job_id)["state"] == "done"
+        _, snapshot = _request(f"{daemon.url}/jobs/{job_id}/events")
+        kinds = [json.loads(line)["kind"] for line in snapshot.splitlines()]
+        assert kinds[0] == "job_start"
+        assert kinds[-1] == "job_finish"
+        assert "campaign_start" in kinds and "campaign_finish" in kinds
+
+        t0 = time.monotonic()
+        _, followed = _request(
+            f"{daemon.url}/jobs/{job_id}/events?follow=1&timeout_s=30")
+        elapsed = time.monotonic() - t0
+        assert elapsed < 10.0, "follow stream did not terminate on bus close"
+        followed_kinds = [json.loads(l)["kind"] for l in followed.splitlines()]
+        assert followed_kinds == kinds
+
+    def test_report_409_before_done(self, daemon):
+        _, body = _request(daemon.url + "/jobs", "POST",
+                           {"kind": "campaign", "spec": FAST_OCSA})
+        job_id = json.loads(body)["id"]
+        code, doc = _request_error(f"{daemon.url}/jobs/{job_id}/report")
+        assert code == 409
+        assert doc["state"] in ("queued", "running")
+        assert _wait_terminal(daemon, job_id)["state"] == "done"
+
+    def test_cancel_mid_run_quarantines_cleanly(self, daemon):
+        """DELETE on a running job flips its cancel event; the runtime
+        quarantines at the next boundary, the report still flushes, and
+        the bus closes so streams terminate."""
+        # 2-pair regions dodge the warm 1-pair cache so the job is slow
+        # enough to catch in flight
+        _, body = _request(daemon.url + "/jobs", "POST",
+                           {"kind": "campaign",
+                            "spec": {"targets": ["classic", "ocsa"],
+                                     "pairs": 2, "fast": True}})
+        job_id = json.loads(body)["id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, st = _request(f"{daemon.url}/jobs/{job_id}")
+            if json.loads(st)["state"] == "running":
+                break
+            time.sleep(0.05)
+        _request(f"{daemon.url}/jobs/{job_id}", "DELETE")
+        status = _wait_terminal(daemon, job_id)
+        assert status["state"] == "cancelled"
+        record = daemon.queue.get(job_id)
+        assert record.bus.closed
+        # the partial report still flushed, with unfinished chips
+        # quarantined rather than half-written
+        _, report = _request(f"{daemon.url}/jobs/{job_id}/report")
+        data = json.loads(report)
+        assert data["schema_version"] == "campaign-report/3"
+        assert not set(data["quarantined"]) & set(data["chips"])
+        for record in data["quarantined"].values():
+            assert record["error_type"], record
+
+    def test_drain_finishes_inflight_and_rejects_new(self, daemon):
+        """The SIGTERM path: drain lets the running job finish and flush,
+        cancels anything still queued, and refuses new admissions.  Kept
+        last — the module daemon does not serve jobs afterwards."""
+        _, body = _request(daemon.url + "/jobs", "POST",
+                           {"kind": "campaign", "spec": FAST_CLASSIC})
+        running_id = json.loads(body)["id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, st = _request(f"{daemon.url}/jobs/{running_id}")
+            if json.loads(st)["state"] == "running":
+                break
+            time.sleep(0.05)
+
+        drainer = threading.Thread(target=daemon.drain, daemon=True)
+        drainer.start()
+        drainer.join(timeout=600)
+        assert not drainer.is_alive(), "drain did not complete"
+
+        health = json.loads(_request(daemon.url + "/healthz")[1])
+        assert health["state"] == "draining"
+        status = json.loads(_request(f"{daemon.url}/jobs/{running_id}")[1])
+        assert status["state"] == "done"  # in-flight work finished + flushed
+        _, report = _request(f"{daemon.url}/jobs/{running_id}/report")
+        assert json.loads(report)["schema_version"] == "campaign-report/3"
+
+        code, _ = _request_error(daemon.url + "/jobs", "POST",
+                                 {"kind": "campaign", "spec": FAST_CLASSIC})
+        assert code == 503
